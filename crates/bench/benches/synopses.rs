@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks: synopsis construction and product estimation
+//! per estimator (the micro view behind Figures 7/8).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mnc_estimators::{
+    BiasedSamplingEstimator, BitsetEstimator, DensityMapEstimator, LayeredGraphEstimator,
+    MetaAcEstimator, MncEstimator, OpKind, SparsityEstimator,
+};
+use mnc_matrix::gen;
+use rand::SeedableRng;
+
+fn inputs(d: usize, s: f64) -> (Arc<mnc_matrix::CsrMatrix>, Arc<mnc_matrix::CsrMatrix>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    (
+        Arc::new(gen::rand_uniform(&mut rng, d, d, s)),
+        Arc::new(gen::rand_uniform(&mut rng, d, d, s)),
+    )
+}
+
+fn estimators() -> Vec<Box<dyn SparsityEstimator>> {
+    vec![
+        Box::new(MetaAcEstimator),
+        Box::new(BiasedSamplingEstimator::default()),
+        Box::new(MncEstimator::new()),
+        Box::new(MncEstimator::basic()),
+        Box::new(DensityMapEstimator::default()),
+        Box::new(BitsetEstimator::default()),
+        Box::new(LayeredGraphEstimator::default()),
+    ]
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let (a, _) = inputs(1024, 0.05);
+    let mut g = c.benchmark_group("construction_1k_s0.05");
+    for est in estimators() {
+        g.bench_with_input(BenchmarkId::from_parameter(est.name()), &a, |b, a| {
+            b.iter(|| est.build(a).expect("builds"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let (a, b) = inputs(1024, 0.05);
+    let mut g = c.benchmark_group("estimate_mm_1k_s0.05");
+    for est in estimators() {
+        let sa = est.build(&a).expect("builds");
+        let sb = est.build(&b).expect("builds");
+        g.bench_function(BenchmarkId::from_parameter(est.name()), |bench| {
+            bench.iter(|| {
+                est.estimate(&OpKind::MatMul, &[&sa, &sb])
+                    .expect("estimates")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_mnc_sketch_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mnc_sketch_build");
+    for &s in &[0.001, 0.01, 0.1] {
+        let (a, _) = inputs(2048, s);
+        g.bench_with_input(BenchmarkId::from_parameter(s), &a, |b, a| {
+            b.iter(|| mnc_core::MncSketch::build(a));
+        });
+    }
+    g.finish();
+}
+
+fn bench_exact_matmul(c: &mut Criterion) {
+    let (a, b) = inputs(1024, 0.05);
+    c.bench_function("exact_spgemm_1k_s0.05", |bench| {
+        bench.iter(|| mnc_matrix::ops::matmul(&a, &b).expect("shapes agree"));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_estimation,
+    bench_mnc_sketch_build,
+    bench_exact_matmul
+);
+criterion_main!(benches);

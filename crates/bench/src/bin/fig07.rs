@@ -1,0 +1,95 @@
+//! Figure 7: construction and estimation runtime for varying sparsity.
+//!
+//! Product of two random d x d matrices with sparsity in
+//! {0.001, 0.01, 0.1, 0.99} (the paper avoids 1.0 to dodge dense special
+//! cases). Series: Sample, MNC, DMap, Bitset, LGraph, plus the actual FP64
+//! matrix multiplication as the baseline.
+//!
+//! Expected shape (paper): metadata ≈ free (not shown); MNC close to
+//! sampling and below DMap; Bitset and LGraph one or more orders of
+//! magnitude slower, with LGraph gaining at low sparsity; estimators stay
+//! below the MM runtime.
+
+use std::sync::Arc;
+
+use mnc_bench::{banner, env_reps, env_scale, fmt_duration, print_table};
+use mnc_estimators::{
+    BiasedSamplingEstimator, BitsetEstimator, DensityMapEstimator, LayeredGraphEstimator,
+    MncEstimator, SparsityEstimator,
+};
+use mnc_matrix::gen;
+use mnc_sparsest::runtime::{mean_duration, time_matmul, time_product};
+use rand::SeedableRng;
+
+fn main() {
+    // Paper: 20K x 20K on a 24-vcore node. Default scale 0.1 -> 2K x 2K
+    // keeps the dense 0.99 MM baseline tractable single-threaded.
+    let scale = env_scale(0.1);
+    let reps = env_reps(3);
+    let d = ((20_000.0 * scale) as usize).max(256);
+    banner(
+        "Figure 7",
+        "Construction/Estimation Runtime for Varying Sparsity",
+        &format!("dims {d} x {d} (paper: 20K x 20K), mean of {reps} runs."),
+    );
+
+    let sample = BiasedSamplingEstimator::default();
+    let mnc = MncEstimator::new();
+    let dmap = DensityMapEstimator::default();
+    let bitset = BitsetEstimator::default();
+    let lgraph = LayeredGraphEstimator::default();
+    let estimators: Vec<&dyn SparsityEstimator> = vec![&sample, &mnc, &dmap, &bitset, &lgraph];
+
+    let mut total_rows = Vec::new();
+    let mut cons_rows = Vec::new();
+    let mut est_rows = Vec::new();
+    for &s in &[0.001, 0.01, 0.1, 0.99] {
+        eprintln!("sparsity {s}: generating inputs ...");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = Arc::new(gen::rand_uniform(&mut rng, d, d, s));
+        let b = Arc::new(gen::rand_uniform(&mut rng, d, d, s));
+        let mut total = vec![format!("{s}")];
+        let mut cons = vec![format!("{s}")];
+        let mut est = vec![format!("{s}")];
+        for e in &estimators {
+            eprintln!("  {} ...", e.name());
+            let mut last = None;
+            let mean_total = mean_duration(reps, || {
+                let t = time_product(*e, &a, &b).expect("product estimation succeeds");
+                let out = t.total();
+                last = Some(t);
+                out
+            });
+            let t = last.expect("at least one repetition");
+            total.push(fmt_duration(mean_total));
+            cons.push(fmt_duration(t.construction));
+            est.push(fmt_duration(t.estimation));
+        }
+        eprintln!("  MM baseline ...");
+        let (mm, _) = time_matmul(&a, &b);
+        total.push(fmt_duration(mm));
+        total_rows.push(total);
+        cons_rows.push(cons);
+        est_rows.push(est);
+    }
+
+    let names: Vec<&str> = estimators.iter().map(|e| e.name()).collect();
+    println!();
+    println!("Figure 7(a) — total estimation time (construction + estimation):");
+    let mut headers = vec!["sparsity"];
+    headers.extend(&names);
+    headers.push("MM");
+    print_table(&headers, &total_rows);
+
+    println!();
+    println!("Figure 7(b) — construction time:");
+    let mut headers = vec!["sparsity"];
+    headers.extend(&names);
+    print_table(&headers, &cons_rows);
+
+    println!();
+    println!("Figure 7(c) — estimation time:");
+    let mut headers = vec!["sparsity"];
+    headers.extend(&names);
+    print_table(&headers, &est_rows);
+}

@@ -1,0 +1,106 @@
+//! Figure 8: construction and estimation runtime for varying common
+//! dimension at a fixed non-zero count.
+//!
+//! Output is d x d; the common dimension n and sparsity co-vary so that
+//! nnz stays constant: (n, s) in {(0.1d, 0.1), (d, 0.01), (10d, 0.001),
+//! (100d, 1e-4)} — the paper's {1K/0.1, 10K/0.01, 100K/0.001, 1M/1e-4}
+//! with output 10K x 10K.
+//!
+//! Expected shape (paper): with increasing sparsity bitset and density map
+//! become less competitive even vs the full MM; sampling and MNC scale
+//! with the common dimension; MNC construction scales slightly worse than
+//! the density map here because its per-row reduction is smaller.
+
+use std::sync::Arc;
+
+use mnc_bench::{banner, env_reps, env_scale, fmt_duration, print_table};
+use mnc_estimators::{
+    BiasedSamplingEstimator, BitsetEstimator, DensityMapEstimator, LayeredGraphEstimator,
+    MncEstimator, SparsityEstimator,
+};
+use mnc_matrix::gen;
+use mnc_sparsest::runtime::{mean_duration, time_matmul, time_product};
+use rand::SeedableRng;
+
+fn main() {
+    // Paper output dims: 10K x 10K. Default scale 0.25 -> 2.5K x 2.5K.
+    let scale = env_scale(0.25);
+    let reps = env_reps(3);
+    let d = ((10_000.0 * scale) as usize).max(250);
+    banner(
+        "Figure 8",
+        "Runtime for Varying Common Dimension (fixed nnz)",
+        &format!(
+            "output {d} x {d} (paper: 10K x 10K), common dimension sweep, \
+             mean of {reps} runs."
+        ),
+    );
+
+    let sample = BiasedSamplingEstimator::default();
+    let mnc = MncEstimator::new();
+    let dmap = DensityMapEstimator::default();
+    let bitset = BitsetEstimator::default();
+    let lgraph = LayeredGraphEstimator::default();
+    let estimators: Vec<&dyn SparsityEstimator> = vec![&sample, &mnc, &dmap, &bitset, &lgraph];
+
+    let configs: Vec<(usize, f64)> = vec![
+        (d / 10, 0.1),
+        (d, 0.01),
+        (10 * d, 0.001),
+        (100 * d, 0.0001),
+    ];
+
+    let mut total_rows = Vec::new();
+    let mut cons_rows = Vec::new();
+    let mut est_rows = Vec::new();
+    for &(n, s) in &configs {
+        let label = format!("{n}/{s}");
+        eprintln!("common dim {n}, sparsity {s}: generating inputs ...");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let a = Arc::new(gen::rand_uniform(&mut rng, d, n, s));
+        let b = Arc::new(gen::rand_uniform(&mut rng, n, d, s));
+        let mut total = vec![label.clone()];
+        let mut cons = vec![label.clone()];
+        let mut est = vec![label];
+        for e in &estimators {
+            eprintln!("  {} ...", e.name());
+            let mut last = None;
+            let mean_total = mean_duration(reps, || {
+                let t = time_product(*e, &a, &b).expect("product estimation succeeds");
+                let out = t.total();
+                last = Some(t);
+                out
+            });
+            let t = last.expect("at least one repetition");
+            total.push(fmt_duration(mean_total));
+            cons.push(fmt_duration(t.construction));
+            est.push(fmt_duration(t.estimation));
+        }
+        eprintln!("  MM baseline ...");
+        let (mm, _) = time_matmul(&a, &b);
+        total.push(fmt_duration(mm));
+        total_rows.push(total);
+        cons_rows.push(cons);
+        est_rows.push(est);
+    }
+
+    let names: Vec<&str> = estimators.iter().map(|e| e.name()).collect();
+    println!();
+    println!("Figure 8(a) — total estimation time:");
+    let mut headers = vec!["n/sparsity"];
+    headers.extend(&names);
+    headers.push("MM");
+    print_table(&headers, &total_rows);
+
+    println!();
+    println!("Figure 8(b) — construction time:");
+    let mut headers = vec!["n/sparsity"];
+    headers.extend(&names);
+    print_table(&headers, &cons_rows);
+
+    println!();
+    println!("Figure 8(c) — estimation time:");
+    let mut headers = vec!["n/sparsity"];
+    headers.extend(&names);
+    print_table(&headers, &est_rows);
+}

@@ -1,0 +1,42 @@
+//! Figure 10: accuracy for B1 Struct (structured matrix products).
+//!
+//! Paper expectations: the metadata estimators, sampling, and the density
+//! map show large errors; the layered graph is accurate (max 1.61 on
+//! B1.1); only Bitset and MNC are exact on *all* five scenarios, with B1.5
+//! relying on MNC's upper bound. The biased sampler reports INF on B1.4
+//! (it misses the dense vectors in most runs).
+
+use mnc_bench::{banner, env_scale, print_accuracy_matrix};
+use mnc_estimators::SparsityEstimator;
+use mnc_sparsest::runner::{run_case, standard_estimators};
+use mnc_sparsest::usecases::b1_suite;
+
+fn main() {
+    // Paper base dimension is 100K; scale 0.1 (10K) keeps the fully dense
+    // B1.4 ground truth tractable on one machine.
+    let scale = env_scale(0.1);
+    banner(
+        "Figure 10",
+        "Accuracy for B1 Struct",
+        &format!(
+            "Base dimension {} (paper: 100K). Cells are relative errors \
+             max(s,ŝ)/min(s,ŝ); 1.000 = exact.",
+            (100_000.0 * scale) as usize
+        ),
+    );
+    let estimators = standard_estimators();
+    let refs: Vec<&dyn SparsityEstimator> = estimators.iter().map(|b| b.as_ref()).collect();
+    let names: Vec<&str> = refs.iter().map(|e| e.name()).collect();
+    let mut results = Vec::new();
+    for case in b1_suite(scale, 42) {
+        eprintln!("running {} {} ...", case.id, case.name);
+        results.extend(run_case(&case, &refs));
+    }
+    print_accuracy_matrix(&results, &names);
+    println!();
+    println!(
+        "paper reference: MNC and Bitset exact everywhere; LGraph max 1.61 \
+         (B1.1); Sample INF on B1.4, exact on B1.5; MetaWC/MetaAC/DMap \
+         errors of 10..1e5 except special cases."
+    );
+}

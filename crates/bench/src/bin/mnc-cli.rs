@@ -1,0 +1,193 @@
+//! `mnc-cli` — inspect sketches and estimate sparsity from the command
+//! line, on MatrixMarket files.
+//!
+//! ```text
+//! mnc-cli sketch <a.mtx>                      # print the MNC sketch summary
+//! mnc-cli estimate <a.mtx> <b.mtx> [--op matmul|ewadd|ewmul|ewmax|ewmin]
+//!                                  [--exact]  # all estimators on one op
+//! mnc-cli gen <uniform|permutation|nlp> <out.mtx> [rows cols sparsity]
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mnc_core::MncSketch;
+use mnc_estimators::{
+    BiasedSamplingEstimator, BitsetEstimator, DensityMapEstimator, DynamicDensityMapEstimator,
+    HashEstimator, LayeredGraphEstimator, MetaAcEstimator, MetaWcEstimator, MncEstimator,
+    OpKind, SparsityEstimator, UnbiasedSamplingEstimator,
+};
+use mnc_matrix::io::{read_matrix_market_file, write_matrix_market_file};
+use mnc_matrix::{gen, ops, CsrMatrix};
+use rand::SeedableRng;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("sketch") => cmd_sketch(&args[1..]),
+        Some("estimate") => cmd_estimate(&args[1..]),
+        Some("gen") => cmd_gen(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage:\n  mnc-cli sketch <a.mtx>\n  mnc-cli estimate <a.mtx> \
+                 <b.mtx> [--op matmul|ewadd|ewmul|ewmax|ewmin] [--exact]\n  \
+                 mnc-cli gen <uniform|permutation|nlp> <out.mtx> [rows cols sparsity]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(path: &str) -> Result<CsrMatrix, String> {
+    read_matrix_market_file(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_sketch(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("sketch: missing file argument")?;
+    let m = load(path)?;
+    let t = Instant::now();
+    let h = MncSketch::build(&m);
+    let took = t.elapsed();
+    println!("matrix           : {}x{}, nnz {} (sparsity {:.3e})",
+        m.nrows(), m.ncols(), m.nnz(), m.sparsity());
+    println!("construction     : {took:?}");
+    println!("sketch size      : {} B", h.size_bytes());
+    println!("max(h^r), max(h^c): {} / {}", h.meta.max_hr, h.meta.max_hc);
+    println!("non-empty rows/cols: {} / {}", h.meta.nonempty_rows, h.meta.nonempty_cols);
+    println!("rows/cols with 1 nnz: {} / {}", h.meta.rows_eq_1, h.meta.cols_eq_1);
+    println!("half-full rows/cols: {} / {}", h.meta.half_full_rows, h.meta.half_full_cols);
+    println!("fully diagonal   : {}", h.meta.fully_diagonal);
+    println!("extended vectors : {}", if h.her.is_some() { "built" } else { "not needed" });
+    if h.meta.max_hr <= 1 {
+        println!("note: max(h^r) <= 1 — products with this matrix on the left are estimated EXACTLY (Theorem 3.1)");
+    }
+    if h.meta.max_hc <= 1 {
+        println!("note: max(h^c) <= 1 — products with this matrix on the right are estimated EXACTLY (Theorem 3.1)");
+    }
+    Ok(())
+}
+
+fn parse_op(name: &str) -> Result<OpKind, String> {
+    Ok(match name {
+        "matmul" | "mm" => OpKind::MatMul,
+        "ewadd" | "+" => OpKind::EwAdd,
+        "ewmul" | "*" => OpKind::EwMul,
+        "ewmax" | "max" => OpKind::EwMax,
+        "ewmin" | "min" => OpKind::EwMin,
+        other => return Err(format!("unknown op `{other}`")),
+    })
+}
+
+fn cmd_estimate(args: &[String]) -> Result<(), String> {
+    let mut files = Vec::new();
+    let mut op = OpKind::MatMul;
+    let mut exact = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--op" => {
+                op = parse_op(it.next().ok_or("--op needs a value")?)?;
+            }
+            "--exact" => exact = true,
+            f => files.push(f.to_string()),
+        }
+    }
+    if files.len() != 2 {
+        return Err("estimate: expected exactly two .mtx files".into());
+    }
+    let a = Arc::new(load(&files[0])?);
+    let b = Arc::new(load(&files[1])?);
+
+    let estimators: Vec<Box<dyn SparsityEstimator>> = vec![
+        Box::new(MetaWcEstimator),
+        Box::new(MetaAcEstimator),
+        Box::new(BiasedSamplingEstimator::default()),
+        Box::new(UnbiasedSamplingEstimator::default()),
+        Box::new(HashEstimator::default()),
+        Box::new(MncEstimator::basic()),
+        Box::new(MncEstimator::new()),
+        Box::new(DensityMapEstimator::default()),
+        Box::new(DynamicDensityMapEstimator::default()),
+        Box::new(BitsetEstimator::default()),
+        Box::new(LayeredGraphEstimator::default()),
+    ];
+    println!(
+        "{:<10} {:>14} {:>14} {:>12}",
+        "estimator", "estimate s_C", "est. nnz", "time"
+    );
+    let (rows, cols) = mnc_estimators::OpKind::output_shape(&op, &[a.shape(), b.shape()])
+        .map_err(|e| e.to_string())?;
+    for est in &estimators {
+        let t = Instant::now();
+        let outcome = est
+            .build(&a)
+            .and_then(|sa| est.build(&b).map(|sb| (sa, sb)))
+            .and_then(|(sa, sb)| est.estimate(&op, &[&sa, &sb]));
+        match outcome {
+            Ok(s) => println!(
+                "{:<10} {:>14.6e} {:>14.0} {:>12?}",
+                est.name(),
+                s,
+                s * rows as f64 * cols as f64,
+                t.elapsed()
+            ),
+            Err(e) => println!("{:<10} {:>14} ({e})", est.name(), "✗"),
+        }
+    }
+    if exact {
+        let t = Instant::now();
+        let c = match op {
+            OpKind::MatMul => ops::bool_matmul(&a, &b),
+            OpKind::EwAdd => ops::ew_add(&a, &b),
+            OpKind::EwMul => ops::ew_mul(&a, &b),
+            OpKind::EwMax => ops::ew_max(&a, &b),
+            OpKind::EwMin => ops::ew_min(&a, &b),
+            _ => unreachable!("parse_op only yields the above"),
+        }
+        .map_err(|e| e.to_string())?;
+        println!(
+            "{:<10} {:>14.6e} {:>14} {:>12?}",
+            "EXACT",
+            c.sparsity(),
+            c.nnz(),
+            t.elapsed()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let kind = args.first().ok_or("gen: missing kind")?;
+    let out = args.get(1).ok_or("gen: missing output path")?;
+    let rows: usize = args.get(2).map_or(Ok(1000), |v| v.parse().map_err(|_| "bad rows"))?;
+    let cols: usize = args.get(3).map_or(Ok(rows), |v| v.parse().map_err(|_| "bad cols"))?;
+    let sparsity: f64 = args
+        .get(4)
+        .map_or(Ok(0.01), |v| v.parse().map_err(|_| "bad sparsity"))?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC11);
+    let m = match kind.as_str() {
+        "uniform" => gen::rand_uniform(&mut rng, rows, cols, sparsity),
+        "permutation" => gen::permutation(&mut rng, rows),
+        "nlp" => {
+            let counts = vec![1u32; rows];
+            gen::rand_with_row_counts(&mut rng, cols, &counts)
+        }
+        other => return Err(format!("unknown generator `{other}`")),
+    };
+    write_matrix_market_file(&m, out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {}x{} with {} non-zeros",
+        m.nrows(),
+        m.ncols(),
+        m.nnz()
+    );
+    Ok(())
+}

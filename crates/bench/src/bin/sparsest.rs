@@ -1,0 +1,42 @@
+//! The full SparsEst accuracy suite in one run: B1, B2, and B3 (roots and
+//! tracked intermediates) across the standard estimator line-up. This is
+//! the aggregate behind Figures 10, 11, 13, and 14 — run the individual
+//! `figNN` binaries for the paper-faithful subsets and reference values.
+
+use mnc_bench::{banner, env_scale, print_accuracy_matrix};
+use mnc_estimators::{BitsetEstimator, SparsityEstimator};
+use mnc_sparsest::datasets::Datasets;
+use mnc_sparsest::runner::{run_case, run_tracked, standard_estimators};
+use mnc_sparsest::usecases::{b1_suite, b2_suite, b3_suite};
+
+fn main() {
+    let scale = env_scale(0.1);
+    banner(
+        "SparsEst",
+        "Full accuracy suite (B1 + B2 + B3)",
+        &format!("B1 base dimension scale {scale}; datasets at the same scale."),
+    );
+    let mut estimators = standard_estimators();
+    estimators[6] = Box::new(BitsetEstimator::with_memory_limit(256 << 20));
+    let refs: Vec<&dyn SparsityEstimator> = estimators.iter().map(|b| b.as_ref()).collect();
+    let names: Vec<&str> = refs.iter().map(|e| e.name()).collect();
+
+    let mut results = Vec::new();
+    for case in b1_suite(scale, 42) {
+        eprintln!("running {} {} ...", case.id, case.name);
+        results.extend(run_case(&case, &refs));
+    }
+    let data = Datasets::with_scale(0xDA7A, scale);
+    for case in b2_suite(&data) {
+        eprintln!("running {} {} ...", case.id, case.name);
+        results.extend(run_case(&case, &refs));
+    }
+    for case in b3_suite(&data) {
+        eprintln!("running {} {} ...", case.id, case.name);
+        results.extend(run_case(&case, &refs));
+        if !case.tracked.is_empty() {
+            results.extend(run_tracked(&case, &refs));
+        }
+    }
+    print_accuracy_matrix(&results, &names);
+}

@@ -1,0 +1,26 @@
+//! Table 1: analysis of existing sparsity estimators (space, time, chain
+//! support, bias).
+
+use mnc_bench::{banner, print_table};
+use mnc_estimators::COMPLEXITY_TABLE;
+
+fn main() {
+    banner(
+        "Table 1",
+        "Analysis of Existing Sparsity Estimators",
+        "Static complexity summary; matches the paper's Table 1 verbatim.",
+    );
+    let rows: Vec<Vec<String>> = COMPLEXITY_TABLE
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.to_string(),
+                c.space.to_string(),
+                c.time.to_string(),
+                if c.chains { "yes" } else { "no" }.to_string(),
+                c.bias.unwrap_or("unbiased-ish / none stated").to_string(),
+            ]
+        })
+        .collect();
+    print_table(&["Estimator", "Space", "Time", "Chains", "Bias"], &rows);
+}

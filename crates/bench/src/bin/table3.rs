@@ -1,0 +1,41 @@
+//! Table 3: overview of used datasets — the paper's real datasets next to
+//! our synthetic substitutes (see DESIGN.md for the substitution rationale).
+
+use mnc_bench::{banner, env_scale, print_table};
+use mnc_sparsest::datasets::{table3, Datasets};
+
+fn main() {
+    let scale = env_scale(1.0);
+    banner(
+        "Table 3",
+        "Overview of Used Datasets",
+        &format!("Substitutes generated at scale {scale} (MNC_SCALE to change)."),
+    );
+    let data = Datasets::with_scale(0xDA7A, scale);
+    let rows: Vec<Vec<String>> = table3(&data)
+        .into_iter()
+        .map(|d| {
+            vec![
+                d.name.to_string(),
+                format!("{}x{}", d.paper.0, d.paper.1),
+                format!("{:.1e}", d.paper.2 as f64),
+                format!("{:.2e}", d.paper.3),
+                format!("{}x{}", d.ours.0, d.ours.1),
+                format!("{:.1e}", d.ours.2 as f64),
+                format!("{:.2e}", d.ours.3),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "Dataset",
+            "paper dims",
+            "paper nnz",
+            "paper s",
+            "ours dims",
+            "ours nnz",
+            "ours s",
+        ],
+        &rows,
+    );
+}

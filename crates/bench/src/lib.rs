@@ -1,0 +1,176 @@
+//! Shared infrastructure for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! and prints (a) the measured series and (b) the paper's reference values
+//! where the paper states them, so the shape comparison is immediate.
+//!
+//! Scaling: the binaries default to dimensions that run on a laptop in
+//! seconds to minutes; set `MNC_SCALE` (a factor in `(0, 1]`) to shrink or
+//! grow them. `EXPERIMENTS.md` records the scale each reported run used.
+
+use std::time::Duration;
+
+use mnc_sparsest::runner::CaseResult;
+use mnc_sparsest::Outcome;
+
+/// Reads the `MNC_SCALE` environment variable, defaulting to `default`.
+pub fn env_scale(default: f64) -> f64 {
+    std::env::var("MNC_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|&v| v > 0.0 && v <= 1.0)
+        .unwrap_or(default)
+}
+
+/// Number of repetitions for timing experiments (`MNC_REPS`, default 5;
+/// the paper used 20).
+pub fn env_reps(default: usize) -> usize {
+    std::env::var("MNC_REPS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// Formats a duration in seconds with engineering precision.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+/// Formats a relative error (`INF` for infinite, matching the paper's
+/// Table 4 notation).
+pub fn fmt_err(e: f64) -> String {
+    if e.is_infinite() {
+        "INF".into()
+    } else if e >= 1000.0 {
+        format!("{e:.3e}")
+    } else {
+        format!("{e:.3}")
+    }
+}
+
+/// Formats a case outcome (`✗` for unsupported / out-of-memory cases, as in
+/// the paper's figures).
+pub fn fmt_outcome(o: &Outcome) -> String {
+    match o {
+        Outcome::Estimate { relative_error, .. } => fmt_err(*relative_error),
+        Outcome::Unsupported => "✗ (unsupported)".into(),
+        Outcome::TooLarge => "✗ (out of memory)".into(),
+    }
+}
+
+/// Prints a fixed-width table: a header row and data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Groups case results into a `case x estimator` error matrix and prints it.
+pub fn print_accuracy_matrix(results: &[CaseResult], estimator_order: &[&str]) {
+    let mut cases: Vec<String> = Vec::new();
+    for r in results {
+        if !cases.contains(&r.case) {
+            cases.push(r.case.clone());
+        }
+    }
+    let mut headers = vec!["case", "truth s_C"];
+    headers.extend(estimator_order);
+    let rows: Vec<Vec<String>> = cases
+        .iter()
+        .map(|case| {
+            let mut row = vec![case.clone()];
+            let truth = results
+                .iter()
+                .find(|r| &r.case == case)
+                .map(|r| format!("{:.3e}", r.truth))
+                .unwrap_or_default();
+            row.push(truth);
+            for est in estimator_order {
+                let cell = results
+                    .iter()
+                    .find(|r| &r.case == case && r.estimator == *est)
+                    .map(|r| fmt_outcome(&r.outcome))
+                    .unwrap_or_else(|| "-".into());
+                row.push(cell);
+            }
+            row
+        })
+        .collect();
+    print_table(&headers, &rows);
+}
+
+/// Prints the standard figure preamble.
+pub fn banner(id: &str, title: &str, notes: &str) {
+    println!("================================================================");
+    println!("{id} — {title}");
+    if !notes.is_empty() {
+        println!("{notes}");
+    }
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.000 ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7.0 us");
+    }
+
+    #[test]
+    fn errors_format_infinity_and_magnitude() {
+        assert_eq!(fmt_err(f64::INFINITY), "INF");
+        assert_eq!(fmt_err(1.234), "1.234");
+        assert_eq!(fmt_err(54321.0), "5.432e4");
+    }
+
+    #[test]
+    fn outcome_formatting() {
+        assert_eq!(
+            fmt_outcome(&Outcome::Estimate {
+                estimate: 0.5,
+                relative_error: 1.5
+            }),
+            "1.500"
+        );
+        assert!(fmt_outcome(&Outcome::Unsupported).contains('✗'));
+        assert!(fmt_outcome(&Outcome::TooLarge).contains("memory"));
+    }
+
+    #[test]
+    fn env_scale_defaults() {
+        // Other tests may set the variable; only check fallback semantics.
+        std::env::remove_var("MNC_SCALE");
+        assert_eq!(env_scale(0.25), 0.25);
+        assert_eq!(env_reps(5), 5);
+    }
+}

@@ -1,0 +1,90 @@
+//! # mnc-core — the MNC sketch
+//!
+//! The paper's primary contribution: the **Matrix Non-zero Count** sketch
+//! (Section 3), a count-based matrix synopsis of size `O(m + n)` that
+//! exploits structural properties — single non-zeros per row/column,
+//! sparsity skew across columns, diagonal matrices — for accurate, cheap
+//! sparsity estimation of matrix expressions.
+//!
+//! The crate is split along the paper's structure:
+//!
+//! * [`sketch`] — the [`MncSketch`] data structure and its single-pass
+//!   construction (Section 3.1);
+//! * [`estimate`] — sparsity estimation for matrix products
+//!   (Algorithm 1; Theorems 3.1 and 3.2) and for reorganization /
+//!   element-wise operations (Section 4.1);
+//! * [`propagate`] — sketch propagation across products (Section 3.3,
+//!   Eq. 11–12) and other operations (Section 4.2, Eq. 14–15), with
+//!   probabilistic rounding;
+//! * [`round`] — unbiased probabilistic rounding on top of a tiny,
+//!   dependency-free SplitMix64 generator.
+//!
+//! ## Configuration and the "MNC Basic" ablation
+//!
+//! [`MncConfig`] toggles the extended count vectors, the Theorem 3.2 bounds
+//! (including the reduced output size `p` of Algorithm 1), and probabilistic
+//! vs. deterministic rounding. [`MncConfig::basic`] reproduces the paper's
+//! *MNC Basic* baseline (no extension vectors, no bounds).
+
+pub mod confidence;
+pub mod distributed;
+pub mod estimate;
+pub mod propagate;
+pub mod round;
+pub mod serialize;
+pub mod sketch;
+
+pub use confidence::{estimate_matmul_ci, SparsityEstimateCi};
+pub use distributed::{build_distributed, build_distributed_with};
+pub use estimate::{
+    estimate_cbind, estimate_diag_extract, estimate_diag_v2m, estimate_eq_zero,
+    estimate_ew_add, estimate_ew_mul, estimate_matmul, estimate_matmul_with,
+    estimate_neq_zero, estimate_rbind, estimate_reshape, estimate_transpose, vector_edm,
+};
+pub use propagate::{
+    propagate_cbind, propagate_diag_extract, propagate_diag_v2m, propagate_eq_zero, propagate_ew_add,
+    propagate_ew_mul, propagate_matmul, propagate_neq_zero, propagate_rbind,
+    propagate_reshape, propagate_transpose,
+};
+pub use round::SplitMix64;
+pub use serialize::{from_bytes, to_bytes, DecodeError};
+pub use sketch::{MncSketch, SketchMeta};
+
+/// Configuration of the MNC estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MncConfig {
+    /// Build and exploit the extended count vectors `h^er` / `h^ec`
+    /// (Eq. 8 in the paper).
+    pub use_extended: bool,
+    /// Apply the Theorem 3.2 lower bound and the reduced output size `p`
+    /// (Algorithm 1, lines 6/9/12).
+    pub use_bounds: bool,
+    /// Round propagated count vectors probabilistically (unbiased) instead
+    /// of deterministically (`round()`), Section 3.3.
+    pub probabilistic_rounding: bool,
+    /// Seed for the internal rounding generator.
+    pub seed: u64,
+}
+
+impl Default for MncConfig {
+    fn default() -> Self {
+        MncConfig {
+            use_extended: true,
+            use_bounds: true,
+            probabilistic_rounding: true,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl MncConfig {
+    /// The paper's *MNC Basic* configuration: count vectors only — no
+    /// extension vectors, no bounds, naive full output size `m·l`.
+    pub fn basic() -> Self {
+        MncConfig {
+            use_extended: false,
+            use_bounds: false,
+            ..Self::default()
+        }
+    }
+}

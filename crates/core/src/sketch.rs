@@ -1,0 +1,376 @@
+//! The MNC sketch data structure and its construction (Section 3.1).
+
+use mnc_matrix::CsrMatrix;
+
+/// Summary statistics kept alongside the count vectors (Section 3.1,
+/// "Summary Statistics").
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SketchMeta {
+    /// Total non-zeros, `Σ h^r` (equal to `Σ h^c` for sketches built from a
+    /// matrix; propagated sketches keep both sums within rounding noise).
+    pub nnz: u64,
+    /// `max(h^r)`.
+    pub max_hr: u32,
+    /// `max(h^c)`.
+    pub max_hc: u32,
+    /// Number of non-empty rows, `nnz(h^r)`.
+    pub nonempty_rows: usize,
+    /// Number of non-empty columns, `nnz(h^c)`.
+    pub nonempty_cols: usize,
+    /// Number of half-full rows, `|h^r > n/2|` (more than half the columns
+    /// occupied) — feeds the Theorem 3.2 lower bound.
+    pub half_full_rows: usize,
+    /// Number of half-full columns, `|h^c > m/2|`.
+    pub half_full_cols: usize,
+    /// `|h^r = 1|` — rows with exactly one non-zero (Eq. 9 / Alg. 1 line 6).
+    pub rows_eq_1: usize,
+    /// `|h^c = 1|` — columns with exactly one non-zero.
+    pub cols_eq_1: usize,
+    /// Square with a fully dense diagonal and nothing else (Eq. 12 flag).
+    pub fully_diagonal: bool,
+}
+
+/// The MNC (Matrix Non-zero Count) sketch of an `m x n` matrix:
+/// row/column non-zero count vectors, optional extended count vectors, and
+/// summary metadata. Size `O(m + n)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MncSketch {
+    /// Number of rows of the sketched matrix.
+    pub nrows: usize,
+    /// Number of columns of the sketched matrix.
+    pub ncols: usize,
+    /// `h^r` — non-zeros per row, length `nrows`.
+    pub hr: Vec<u32>,
+    /// `h^c` — non-zeros per column, length `ncols`.
+    pub hc: Vec<u32>,
+    /// `h^er` — per row, the count of non-zeros lying in columns with a
+    /// single non-zero (`rowSums((A≠0) · (h^c = 1))`). Built only when some
+    /// row *and* some column has more than one non-zero.
+    pub her: Option<Vec<u32>>,
+    /// `h^ec` — per column, the count of non-zeros lying in rows with a
+    /// single non-zero (`colSums((A≠0) · (h^r = 1))`).
+    pub hec: Option<Vec<u32>>,
+    /// Summary statistics.
+    pub meta: SketchMeta,
+}
+
+impl MncSketch {
+    /// Builds the sketch with extended count vectors when applicable
+    /// (the paper's default construction).
+    ///
+    /// ```
+    /// use mnc_core::MncSketch;
+    /// use mnc_matrix::CsrMatrix;
+    ///
+    /// let m = CsrMatrix::from_triples(2, 3, vec![(0, 1, 1.0), (1, 0, 2.0), (1, 2, 3.0)])
+    ///     .unwrap();
+    /// let h = MncSketch::build(&m);
+    /// assert_eq!(h.hr, vec![1, 2]);
+    /// assert_eq!(h.hc, vec![1, 1, 1]);
+    /// assert_eq!(h.meta.nnz, 3);
+    /// ```
+    pub fn build(m: &CsrMatrix) -> Self {
+        Self::build_with(m, true)
+    }
+
+    /// Builds the sketch; `use_extended = false` reproduces *MNC Basic*.
+    ///
+    /// One scan over the non-zeros for `h^r`/`h^c` (CSR provides `h^r` from
+    /// the row pointer), one pass over the vectors for the metadata, and —
+    /// if needed — a second scan over the non-zeros for `h^er`/`h^ec`.
+    pub fn build_with(m: &CsrMatrix, use_extended: bool) -> Self {
+        let (nrows, ncols) = m.shape();
+        let mut hr = vec![0u32; nrows];
+        let mut hc = vec![0u32; ncols];
+        for (i, rc) in hr.iter_mut().enumerate() {
+            let (cols, _) = m.row(i);
+            *rc = cols.len() as u32;
+            for &c in cols {
+                hc[c as usize] += 1;
+            }
+        }
+        let fully_diagonal = m.is_fully_diagonal();
+        let meta = compute_meta(&hr, &hc, nrows, ncols, fully_diagonal);
+
+        // Extended vectors only pay off when neither Theorem 3.1 case holds.
+        let (her, hec) = if use_extended && meta.max_hr > 1 && meta.max_hc > 1 {
+            let mut her = vec![0u32; nrows];
+            let mut hec = vec![0u32; ncols];
+            for (i, er) in her.iter_mut().enumerate() {
+                let (cols, _) = m.row(i);
+                let single_row = cols.len() == 1;
+                for &c in cols {
+                    if hc[c as usize] == 1 {
+                        *er += 1;
+                    }
+                    if single_row {
+                        hec[c as usize] += 1;
+                    }
+                }
+            }
+            (Some(her), Some(hec))
+        } else {
+            (None, None)
+        };
+
+        MncSketch {
+            nrows,
+            ncols,
+            hr,
+            hc,
+            her,
+            hec,
+            meta,
+        }
+    }
+
+    /// Assembles a sketch from (propagated) count vectors, recomputing the
+    /// metadata. Used by the propagation rules of Sections 3.3 / 4.2.
+    pub fn from_vectors(
+        nrows: usize,
+        ncols: usize,
+        hr: Vec<u32>,
+        hc: Vec<u32>,
+        her: Option<Vec<u32>>,
+        hec: Option<Vec<u32>>,
+        fully_diagonal: bool,
+    ) -> Self {
+        debug_assert_eq!(hr.len(), nrows);
+        debug_assert_eq!(hc.len(), ncols);
+        let meta = compute_meta(&hr, &hc, nrows, ncols, fully_diagonal);
+        MncSketch {
+            nrows,
+            ncols,
+            hr,
+            hc,
+            her,
+            hec,
+            meta,
+        }
+    }
+
+    /// Sketch of an all-zero matrix.
+    pub fn empty(nrows: usize, ncols: usize) -> Self {
+        Self::from_vectors(nrows, ncols, vec![0; nrows], vec![0; ncols], None, None, false)
+    }
+
+    /// Sparsity implied by the sketch, `nnz / (m·n)`.
+    pub fn sparsity(&self) -> f64 {
+        let cells = self.nrows as f64 * self.ncols as f64;
+        if cells == 0.0 {
+            0.0
+        } else {
+            self.meta.nnz as f64 / cells
+        }
+    }
+
+    /// `h^er` with the degenerate case materialized: when every column has
+    /// at most one non-zero, *every* stored entry lies in a single-non-zero
+    /// column, so `h^er = h^r`.
+    pub fn effective_her(&self) -> Option<Vec<u32>> {
+        if self.meta.max_hc <= 1 {
+            Some(self.hr.clone())
+        } else {
+            self.her.clone()
+        }
+    }
+
+    /// `h^ec` with the degenerate case materialized (`max(h^r) ≤ 1` ⇒
+    /// `h^ec = h^c`).
+    pub fn effective_hec(&self) -> Option<Vec<u32>> {
+        if self.meta.max_hr <= 1 {
+            Some(self.hc.clone())
+        } else {
+            self.hec.clone()
+        }
+    }
+
+    /// Synopsis size in bytes: 4 B per count entry (`u32`), doubled when the
+    /// extended vectors are materialized, plus the fixed metadata block.
+    pub fn size_bytes(&self) -> usize {
+        let base = 4 * (self.nrows + self.ncols);
+        let ext = if self.her.is_some() { 4 * self.nrows } else { 0 }
+            + if self.hec.is_some() { 4 * self.ncols } else { 0 };
+        base + ext + std::mem::size_of::<SketchMeta>()
+    }
+}
+
+fn compute_meta(
+    hr: &[u32],
+    hc: &[u32],
+    nrows: usize,
+    ncols: usize,
+    fully_diagonal: bool,
+) -> SketchMeta {
+    let mut meta = SketchMeta {
+        fully_diagonal,
+        ..SketchMeta::default()
+    };
+    // Half-full thresholds: rows are half-full w.r.t. the number of columns
+    // and vice versa (Theorem 3.2 compares against the common dimension).
+    let row_threshold = ncols as u32 / 2;
+    let col_threshold = nrows as u32 / 2;
+    for &c in hr {
+        meta.nnz += c as u64;
+        meta.max_hr = meta.max_hr.max(c);
+        meta.nonempty_rows += usize::from(c > 0);
+        meta.rows_eq_1 += usize::from(c == 1);
+        meta.half_full_rows += usize::from(c > row_threshold);
+    }
+    let mut col_nnz = 0u64;
+    for &c in hc {
+        col_nnz += c as u64;
+        meta.max_hc = meta.max_hc.max(c);
+        meta.nonempty_cols += usize::from(c > 0);
+        meta.cols_eq_1 += usize::from(c == 1);
+        meta.half_full_cols += usize::from(c > col_threshold);
+    }
+    // For matrix-built sketches both sums are the non-zero count; propagated
+    // sketches may disagree by rounding noise, in which case the row sum is
+    // authoritative (documented in `SketchMeta::nnz`).
+    let _ = col_nnz;
+    meta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_matrix::gen;
+    use rand::SeedableRng;
+
+    /// The running-example-style matrix used across the crate's tests:
+    ///
+    /// ```text
+    /// [ . 1 . . ]      h^r = [1, 2, 0, 1, 3]
+    /// [ 1 . 1 . ]      h^c = [2, 2, 2, 1]
+    /// [ . . . . ]      h^er = [0, 0, 0, 0, 1]  (column 3 is single-nnz)
+    /// [ . 1 . . ]      h^ec = [0, 1, 0, 0]     (row 0 and row 3 are single;
+    /// [ 1 . 1 1 ]                               both hit column 1 ... row 0
+    ///                                           col 1, row 3 col 1 -> hec[1]=2)
+    /// ```
+    fn sample() -> CsrMatrix {
+        CsrMatrix::from_triples(
+            5,
+            4,
+            vec![
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 1.0),
+                (3, 1, 1.0),
+                (4, 0, 1.0),
+                (4, 2, 1.0),
+                (4, 3, 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn count_vectors() {
+        let h = MncSketch::build(&sample());
+        assert_eq!(h.hr, vec![1, 2, 0, 1, 3]);
+        assert_eq!(h.hc, vec![2, 2, 2, 1]);
+        assert_eq!(h.meta.nnz, 7);
+    }
+
+    #[test]
+    fn extended_vectors() {
+        let h = MncSketch::build(&sample());
+        // Column 3 is the only single-non-zero column; its entry is in row 4.
+        assert_eq!(h.her, Some(vec![0, 0, 0, 0, 1]));
+        // Rows 0 and 3 are single-non-zero rows; both entries in column 1.
+        assert_eq!(h.hec, Some(vec![0, 2, 0, 0]));
+    }
+
+    #[test]
+    fn metadata() {
+        let h = MncSketch::build(&sample());
+        let m = &h.meta;
+        assert_eq!(m.max_hr, 3);
+        assert_eq!(m.max_hc, 2);
+        assert_eq!(m.nonempty_rows, 4);
+        assert_eq!(m.nonempty_cols, 4);
+        assert_eq!(m.rows_eq_1, 2);
+        assert_eq!(m.cols_eq_1, 1);
+        // Row threshold: ncols/2 = 2, so rows with > 2 nnz: row 4 only.
+        assert_eq!(m.half_full_rows, 1);
+        // Col threshold: nrows/2 = 2, no column exceeds 2.
+        assert_eq!(m.half_full_cols, 0);
+        assert!(!m.fully_diagonal);
+    }
+
+    #[test]
+    fn extended_skipped_when_theorem31_applies() {
+        // Permutation: max(h^r) = 1, extended vectors are unnecessary.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = gen::permutation(&mut rng, 16);
+        let h = MncSketch::build(&p);
+        assert!(h.her.is_none() && h.hec.is_none());
+        // But the effective vectors materialize the degenerate equality.
+        assert_eq!(h.effective_hec(), Some(h.hc.clone()));
+        assert_eq!(h.effective_her(), Some(h.hr.clone()));
+    }
+
+    #[test]
+    fn basic_config_skips_extended() {
+        let h = MncSketch::build_with(&sample(), false);
+        assert!(h.her.is_none() && h.hec.is_none());
+        assert_eq!(h.hr, vec![1, 2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn diagonal_flag() {
+        let d = gen::scalar_diag(8, 2.0);
+        assert!(MncSketch::build(&d).meta.fully_diagonal);
+        let i = CsrMatrix::identity(3);
+        assert!(MncSketch::build(&i).meta.fully_diagonal);
+        assert!(!MncSketch::build(&sample()).meta.fully_diagonal);
+    }
+
+    #[test]
+    fn row_and_col_sums_agree_for_built_sketches() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let m = gen::rand_uniform(&mut rng, 50, 70, 0.08);
+        let h = MncSketch::build(&m);
+        let rsum: u64 = h.hr.iter().map(|&c| c as u64).sum();
+        let csum: u64 = h.hc.iter().map(|&c| c as u64).sum();
+        assert_eq!(rsum, csum);
+        assert_eq!(rsum, m.nnz() as u64);
+        assert!((h.sparsity() - m.sparsity()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extended_counts_bounded_by_base_counts() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let m = gen::rand_uniform(&mut rng, 60, 40, 0.05);
+        let h = MncSketch::build(&m);
+        if let (Some(her), Some(hec)) = (&h.her, &h.hec) {
+            for (e, b) in her.iter().zip(&h.hr) {
+                assert!(e <= b);
+            }
+            for (e, b) in hec.iter().zip(&h.hc) {
+                assert!(e <= b);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sketch() {
+        let h = MncSketch::empty(3, 5);
+        assert_eq!(h.meta.nnz, 0);
+        assert_eq!(h.sparsity(), 0.0);
+        assert_eq!(h.meta.nonempty_rows, 0);
+    }
+
+    #[test]
+    fn size_is_linear_in_dimensions() {
+        let h = MncSketch::empty(1000, 500);
+        // No extended vectors: 4 B per dimension entry plus metadata.
+        assert_eq!(
+            h.size_bytes(),
+            4 * 1500 + std::mem::size_of::<SketchMeta>()
+        );
+        let he = MncSketch::build(&sample());
+        assert!(he.size_bytes() > 4 * (5 + 4)); // extended vectors present
+    }
+}

@@ -1,0 +1,144 @@
+//! Analytical comparison of the estimators: Table 1 (space/time/chain/bias)
+//! and the synopsis-size formulas behind Figure 9.
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Complexity {
+    /// Estimator name as used in the paper.
+    pub name: &'static str,
+    /// Space complexity (synopsis size).
+    pub space: &'static str,
+    /// Time complexity (construction + estimation for one product).
+    pub time: &'static str,
+    /// Supports matrix product chains (the `®` column).
+    pub chains: bool,
+    /// Bias, if any: the direction the estimate is guaranteed to err.
+    pub bias: Option<&'static str>,
+}
+
+/// The paper's Table 1, verbatim.
+pub const COMPLEXITY_TABLE: &[Complexity] = &[
+    Complexity {
+        name: "MetaAC (E_ac)",
+        space: "O(1)",
+        time: "O(1)",
+        chains: true,
+        bias: None,
+    },
+    Complexity {
+        name: "MetaWC (E_wc)",
+        space: "O(1)",
+        time: "O(1)",
+        chains: true,
+        bias: Some("over-estimation (upper bound)"),
+    },
+    Complexity {
+        name: "Bitset (E_bmm)",
+        space: "O(mn + nl + ml)",
+        time: "O(mnl)",
+        chains: true,
+        bias: None,
+    },
+    Complexity {
+        name: "DMap (E_dm)",
+        space: "O((mn + nl + ml) / b^2)",
+        time: "O(mnl / b^3)",
+        chains: true,
+        bias: None,
+    },
+    Complexity {
+        name: "Sample (E_smpl)",
+        space: "O(|S|)",
+        time: "O(|S| (m + l))",
+        chains: false,
+        bias: Some("under-estimation (lower bound)"),
+    },
+    Complexity {
+        name: "LGraph (E_gph)",
+        space: "O(r d + nnz(A, B))",
+        time: "O(r (d + nnz(A, B)))",
+        chains: true,
+        bias: None,
+    },
+    Complexity {
+        name: "MNC (E_mnc)",
+        space: "O(d)",
+        time: "O(d + nnz(A, B))",
+        chains: true,
+        bias: None,
+    },
+];
+
+/// Analytical synopsis sizes in bytes for one `m x n` matrix with `nnz`
+/// non-zeros (Figure 9). The constants follow the paper's accounting:
+/// bitset 1 bit/cell, density map 8 B per `b x b` block, MNC 4 B per
+/// dimension entry for up to four count vectors, layered graph `r` 4-B
+/// entries per node plus 8 B per edge.
+#[derive(Debug, Clone, Copy)]
+pub struct SynopsisSizes {
+    /// Bitset: `m·n / 8`.
+    pub bitset: f64,
+    /// Density map: `8 · ceil(m/b) · ceil(n/b)`.
+    pub density_map: f64,
+    /// MNC: `4 · 2 · (m + n)` (base + extended count vectors).
+    pub mnc: f64,
+    /// Layered graph: `4r · (m + n) + 8 · nnz`.
+    pub layered_graph: f64,
+}
+
+/// Computes the analytical sizes for the Figure 9 sweeps.
+pub fn synopsis_sizes(m: f64, n: f64, nnz: f64, block: f64, rounds: f64) -> SynopsisSizes {
+    SynopsisSizes {
+        bitset: m * n / 8.0,
+        density_map: 8.0 * (m / block).ceil() * (n / block).ceil(),
+        mnc: 4.0 * 2.0 * (m + n),
+        layered_graph: 4.0 * rounds * (m + n) + 8.0 * nnz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_seven_estimators() {
+        assert_eq!(COMPLEXITY_TABLE.len(), 7);
+        let names: Vec<_> = COMPLEXITY_TABLE.iter().map(|c| c.name).collect();
+        assert!(names.iter().any(|n| n.contains("MNC")));
+        assert!(names.iter().any(|n| n.contains("LGraph")));
+    }
+
+    #[test]
+    fn only_sampling_lacks_chain_support() {
+        let no_chain: Vec<_> = COMPLEXITY_TABLE
+            .iter()
+            .filter(|c| !c.chains)
+            .map(|c| c.name)
+            .collect();
+        assert_eq!(no_chain, vec!["Sample (E_smpl)"]);
+    }
+
+    #[test]
+    fn figure9_example_magnitudes() {
+        // Paper, Section 6.2: m = n = 1M -> MNC 16 MB of count vectors
+        // (2 vectors x 2M entries x 4 B; the paper doubles this for the
+        // extended vectors to 32 MB), bitset 125 GB, density map 122 KB
+        // ... with b = 256 the map is 8·(1M/256)^2 = 122 MB.
+        let s = synopsis_sizes(1e6, 1e6, 1e6, 256.0, 32.0);
+        assert!((s.bitset - 125e9).abs() / 125e9 < 0.01);
+        assert!((s.mnc - 16e6).abs() / 16e6 < 0.01);
+        assert!((s.density_map - 122e6).abs() / 122e6 < 0.01);
+        // Layered graph at low sparsity is dominated by node vectors.
+        assert!(s.layered_graph > 4.0 * 32.0 * 2e6);
+    }
+
+    #[test]
+    fn layered_graph_grows_with_nnz() {
+        let sparse = synopsis_sizes(1e6, 1e6, 1e3, 256.0, 32.0);
+        let dense = synopsis_sizes(1e6, 1e6, 1e12, 256.0, 32.0);
+        assert!(dense.layered_graph > sparse.layered_graph);
+        // At full density the layered graph even exceeds the bitset
+        // (Figure 9(a), right edge).
+        assert!(dense.layered_graph > dense.bitset);
+    }
+}

@@ -1,0 +1,357 @@
+//! Cohen's layered-graph estimator `E_gph` (Section 2.4, Eq. 6).
+//!
+//! The layered graph of a chain `(M1, ..., Mk)` has one level per matrix
+//! boundary; edges are the non-zero positions. Leaf nodes (rows of `M1`)
+//! receive *r-vectors* of exponential(1) variates; inner nodes take the
+//! element-wise minimum of their inputs. The number of leaves reaching a
+//! root (an output column) — i.e. the non-zero count of that column — is
+//! estimated as `(r - 1) / Σ r_v` (Eq. 6).
+//!
+//! In synopsis form: a leaf synopsis keeps the matrix pattern plus the
+//! r-vectors of its *columns* (computed from fresh leaf vectors); a product
+//! propagates the left operand's column vectors through the right operand's
+//! pattern. Estimation therefore works for arbitrary-length, left-deep
+//! product chains — and for nothing else, matching the paper (element-wise
+//! operations and reorganizations are `✗` for `E_gph`).
+
+use std::sync::Arc;
+
+use mnc_core::SplitMix64;
+use mnc_matrix::CsrMatrix;
+
+use crate::{EstimatorError, OpKind, Result, SparsityEstimator, Synopsis};
+
+/// Default r-vector length ("number of rounds", paper default 32).
+pub const DEFAULT_ROUNDS: usize = 32;
+
+/// Layered-graph synopsis: per-column r-vectors and (for leaves) the matrix
+/// pattern used when this synopsis is the right operand of a product.
+#[derive(Debug, Clone)]
+pub struct LgSynopsis {
+    nrows: usize,
+    ncols: usize,
+    /// `ncols` r-vectors of length `rounds`; `f32` as in compact
+    /// implementations (4 B per entry, Figure 9 accounting).
+    col_rvecs: Vec<f32>,
+    rounds: usize,
+    /// Leaf pattern; `None` for propagated intermediates.
+    pattern: Option<Arc<CsrMatrix>>,
+    /// Known/estimated non-zero count of the described matrix.
+    nnz_est: f64,
+}
+
+impl LgSynopsis {
+    /// Shape of the described matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Sparsity implied by the synopsis.
+    pub fn sparsity(&self) -> f64 {
+        let cells = self.nrows as f64 * self.ncols as f64;
+        if cells == 0.0 {
+            0.0
+        } else {
+            (self.nnz_est / cells).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Measured synopsis size: r-vectors plus (for leaves) the retained
+    /// pattern edges.
+    pub fn size_bytes(&self) -> u64 {
+        let rvec_bytes = (self.col_rvecs.len() * 4) as u64;
+        let edges = self
+            .pattern
+            .as_ref()
+            .map(|p| (p.nnz() * (4 + 8)) as u64)
+            .unwrap_or(0);
+        rvec_bytes + edges
+    }
+
+    fn rvec(&self, j: usize) -> &[f32] {
+        &self.col_rvecs[j * self.rounds..(j + 1) * self.rounds]
+    }
+
+    /// Cohen's count estimate for column `j`: `(r - 1) / Σ r_v`, clamped to
+    /// the leaf count; 0 for unreachable columns.
+    fn col_count_estimate(&self, j: usize, leaf_count: f64) -> f64 {
+        let rv = self.rvec(j);
+        let mut sum = 0.0f64;
+        for &v in rv {
+            if v == f32::INFINITY {
+                return 0.0; // unreachable column
+            }
+            sum += v as f64;
+        }
+        if sum <= 0.0 {
+            return leaf_count;
+        }
+        (((self.rounds - 1) as f64) / sum).min(leaf_count)
+    }
+}
+
+/// The layered-graph estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct LayeredGraphEstimator {
+    /// r-vector length (number of rounds); paper default 32.
+    pub rounds: usize,
+    /// Seed for the exponential leaf variates.
+    pub seed: u64,
+}
+
+impl Default for LayeredGraphEstimator {
+    fn default() -> Self {
+        LayeredGraphEstimator {
+            rounds: DEFAULT_ROUNDS,
+            seed: 0x16A9,
+        }
+    }
+}
+
+impl LayeredGraphEstimator {
+    /// Estimator with an explicit number of rounds (Figure 12 sweeps).
+    pub fn with_rounds(rounds: usize) -> Self {
+        LayeredGraphEstimator {
+            rounds,
+            seed: 0x16A9,
+        }
+    }
+
+    fn unwrap<'a>(&self, inputs: &[&'a Synopsis], idx: usize) -> Result<&'a LgSynopsis> {
+        crate::expect_synopsis!("LGraph", Synopsis::LayeredGraph, inputs, idx)
+    }
+
+    /// Propagates column r-vectors through the pattern of the next matrix:
+    /// `rv_C[j] = min over k with B[k,j] != 0 of rv_A[k]`.
+    fn advance(&self, a: &LgSynopsis, b: &LgSynopsis) -> Result<LgSynopsis> {
+        let pattern = b.pattern.as_ref().ok_or_else(|| {
+            EstimatorError::Internal(
+                "LGraph: right operand of a product must be a base matrix \
+                 (left-deep chains only)"
+                    .into(),
+            )
+        })?;
+        if a.ncols != pattern.nrows() {
+            return Err(EstimatorError::Internal("LGraph: inner dimension".into()));
+        }
+        let l = pattern.ncols();
+        let rounds = self.rounds;
+        let mut out = vec![f32::INFINITY; l * rounds];
+        // One pass over B's non-zeros: out[j] = min(out[j], rv_A[k]).
+        for k in 0..pattern.nrows() {
+            let (cols, _) = pattern.row(k);
+            if cols.is_empty() {
+                continue;
+            }
+            let src = a.rvec(k);
+            for &j in cols {
+                let dst = &mut out[j as usize * rounds..(j as usize + 1) * rounds];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    if s < *d {
+                        *d = s;
+                    }
+                }
+            }
+        }
+        let mut syn = LgSynopsis {
+            nrows: a.nrows,
+            ncols: l,
+            col_rvecs: out,
+            rounds,
+            pattern: None,
+            nnz_est: 0.0,
+        };
+        // Eq. 6: sum the per-root (per-column) count estimates.
+        let leaf_count = a.nrows as f64;
+        syn.nnz_est = (0..l).map(|j| syn.col_count_estimate(j, leaf_count)).sum();
+        Ok(syn)
+    }
+}
+
+impl SparsityEstimator for LayeredGraphEstimator {
+    fn name(&self) -> &'static str {
+        "LGraph"
+    }
+
+    /// Builds the leaf synopsis: assigns exponential r-vectors to the rows
+    /// (level-1 leaves) and folds them into per-column vectors — a single
+    /// pass over the non-zeros, `O(r · (m + nnz))`.
+    fn build(&self, m: &Arc<CsrMatrix>) -> Result<Synopsis> {
+        let rounds = self.rounds;
+        let mut rng = SplitMix64::new(self.seed);
+        let mut cols = vec![f32::INFINITY; m.ncols() * rounds];
+        let mut leaf = vec![0f32; rounds];
+        for i in 0..m.nrows() {
+            let (row_cols, _) = m.row(i);
+            if row_cols.is_empty() {
+                continue;
+            }
+            for v in &mut leaf {
+                *v = sample_exp(&mut rng);
+            }
+            for &j in row_cols {
+                let dst = &mut cols[j as usize * rounds..(j as usize + 1) * rounds];
+                for (d, &s) in dst.iter_mut().zip(leaf.iter()) {
+                    if s < *d {
+                        *d = s;
+                    }
+                }
+            }
+        }
+        Ok(Synopsis::LayeredGraph(LgSynopsis {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            col_rvecs: cols,
+            rounds,
+            pattern: Some(Arc::clone(m)),
+            nnz_est: m.nnz() as f64,
+        }))
+    }
+
+    fn estimate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<f64> {
+        if !matches!(op, OpKind::MatMul) {
+            return Err(EstimatorError::unsupported(self.name(), op));
+        }
+        let a = self.unwrap(inputs, 0)?;
+        let b = self.unwrap(inputs, 1)?;
+        Ok(self.advance(a, b)?.sparsity())
+    }
+
+    fn propagate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<Synopsis> {
+        if !matches!(op, OpKind::MatMul) {
+            return Err(EstimatorError::unsupported(self.name(), op));
+        }
+        let a = self.unwrap(inputs, 0)?;
+        let b = self.unwrap(inputs, 1)?;
+        Ok(Synopsis::LayeredGraph(self.advance(a, b)?))
+    }
+}
+
+/// Exponential(1) variate from the synopsis RNG via inversion sampling
+/// (`-ln(1 - U)`).
+fn sample_exp(rng: &mut SplitMix64) -> f32 {
+    let u = rng.next_f64();
+    (-(1.0 - u).ln()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_matrix::{gen, ops};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn syn(e: &LayeredGraphEstimator, m: &CsrMatrix) -> Synopsis {
+        e.build(&Arc::new(m.clone())).unwrap()
+    }
+
+    #[test]
+    fn single_product_close_to_truth() {
+        let mut r = rng(1);
+        let a = gen::rand_uniform(&mut r, 120, 100, 0.03);
+        let b = gen::rand_uniform(&mut r, 100, 120, 0.04);
+        let e = LayeredGraphEstimator::with_rounds(64);
+        let est = e
+            .estimate(&OpKind::MatMul, &[&syn(&e, &a), &syn(&e, &b)])
+            .unwrap();
+        let truth = ops::bool_matmul(&a, &b).unwrap().sparsity();
+        let rel = est.max(truth) / est.min(truth).max(1e-12);
+        assert!(rel < 1.3, "relative error {rel} (est {est}, truth {truth})");
+    }
+
+    #[test]
+    fn chain_estimation_left_deep() {
+        let mut r = rng(2);
+        let g = gen::rand_uniform(&mut r, 80, 80, 0.03);
+        let e = LayeredGraphEstimator::with_rounds(64);
+        let s1 = syn(&e, &g);
+        let s2 = syn(&e, &g);
+        let mid = e.propagate(&OpKind::MatMul, &[&s1, &s2]).unwrap();
+        let est = e.estimate(&OpKind::MatMul, &[&mid, &syn(&e, &g)]).unwrap();
+        let gg = ops::bool_matmul(&g, &g).unwrap();
+        let truth = ops::bool_matmul(&gg, &g).unwrap().sparsity();
+        let rel = est.max(truth) / est.min(truth).max(1e-12);
+        assert!(rel < 1.5, "relative error {rel} (est {est}, truth {truth})");
+    }
+
+    #[test]
+    fn empty_columns_estimated_zero() {
+        // B has empty columns -> unreachable roots -> zero counts.
+        let a = CsrMatrix::identity(10);
+        let b = CsrMatrix::from_triples(10, 10, vec![(0, 0, 1.0), (5, 0, 1.0)]).unwrap();
+        let e = LayeredGraphEstimator::default();
+        let est = e
+            .estimate(&OpKind::MatMul, &[&syn(&e, &a), &syn(&e, &b)])
+            .unwrap();
+        let truth = ops::bool_matmul(&a, &b).unwrap().sparsity();
+        // Output: column 0 has 2 non-zeros, rest empty -> s = 0.02.
+        assert!((truth - 0.02).abs() < 1e-12);
+        assert!(est > 0.0 && est < 0.1, "est {est}");
+    }
+
+    #[test]
+    fn permutation_product_exactish() {
+        // A permutation reaches each root from exactly one leaf; the count
+        // estimate for a single-leaf column is exact ((r-1)/((r-1)·v)
+        // clamped to 1 leaf... clamped by leaf_count bound).
+        let mut r = rng(3);
+        let p = gen::permutation(&mut r, 50);
+        let x = gen::rand_uniform(&mut r, 50, 30, 0.1);
+        let e = LayeredGraphEstimator::with_rounds(128);
+        let est = e
+            .estimate(&OpKind::MatMul, &[&syn(&e, &p), &syn(&e, &x)])
+            .unwrap();
+        let truth = ops::bool_matmul(&p, &x).unwrap().sparsity();
+        let rel = est.max(truth) / est.min(truth).max(1e-12);
+        assert!(rel < 1.6, "relative error {rel}");
+    }
+
+    #[test]
+    fn unsupported_ops_rejected() {
+        let mut r = rng(4);
+        let a = gen::rand_uniform(&mut r, 10, 10, 0.2);
+        let e = LayeredGraphEstimator::default();
+        let s = syn(&e, &a);
+        assert!(e.estimate(&OpKind::EwMul, &[&s, &s]).is_err());
+        assert!(e.estimate(&OpKind::Transpose, &[&s]).is_err());
+    }
+
+    #[test]
+    fn right_operand_must_be_leaf() {
+        let mut r = rng(5);
+        let a = gen::rand_uniform(&mut r, 10, 10, 0.3);
+        let e = LayeredGraphEstimator::default();
+        let s = syn(&e, &a);
+        let mid = e.propagate(&OpKind::MatMul, &[&s, &s]).unwrap();
+        // mid has no pattern: using it as the right operand fails.
+        assert!(e.estimate(&OpKind::MatMul, &[&s, &mid]).is_err());
+    }
+
+    #[test]
+    fn more_rounds_reduce_error_in_expectation() {
+        let mut r = rng(6);
+        let a = gen::rand_uniform(&mut r, 150, 120, 0.02);
+        let b = gen::rand_uniform(&mut r, 120, 150, 0.03);
+        let truth = ops::bool_matmul(&a, &b).unwrap().sparsity();
+        let err = |rounds: usize| {
+            let mut total = 0.0;
+            for seed in 0..5u64 {
+                let e = LayeredGraphEstimator { rounds, seed };
+                let est = e
+                    .estimate(&OpKind::MatMul, &[&syn(&e, &a), &syn(&e, &b)])
+                    .unwrap();
+                total += est.max(truth) / est.min(truth).max(1e-12);
+            }
+            total / 5.0
+        };
+        let coarse = err(2);
+        let fine = err(128);
+        assert!(
+            fine <= coarse + 0.05,
+            "expected error to shrink: rounds=2 -> {coarse}, rounds=128 -> {fine}"
+        );
+    }
+}

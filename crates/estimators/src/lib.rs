@@ -1,0 +1,399 @@
+//! # mnc-estimators — baseline sparsity estimators
+//!
+//! Every estimator surveyed or introduced by the paper, implemented behind a
+//! single [`SparsityEstimator`] trait so the SparsEst benchmark can run them
+//! uniformly:
+//!
+//! | Module | Estimator | Paper section |
+//! |---|---|---|
+//! | [`meta`] | `E_ac` average-case and `E_wc` worst-case metadata estimators | §2.1, Eq. 1–2 |
+//! | [`bitset`] | `E_bmm` exact boolean matrix multiply (single- and multi-threaded) | §2.1, Eq. 3; Appendix B |
+//! | [`density_map`] | `E_dm` block density map with configurable block size | §2.2, Eq. 4 |
+//! | [`sampling`] | `E_smpl` biased sampling (Eq. 5) and the unbiased extension (Eq. 16) | §2.3; Appendix A |
+//! | [`hashing`] | KMV-style hash-and-sample estimator | Appendix A, [Amossen et al.] |
+//! | [`layered_graph`] | `E_gph` Cohen's layered graph with exponential r-vectors | §2.4, Eq. 6 |
+//! | [`mnc`] | the MNC estimator (adapter over [`mnc_core`]) | §3–4 |
+//!
+//! ## Synopsis model
+//!
+//! Each estimator builds a [`Synopsis`] per base matrix, estimates operation
+//! output sparsity from synopses, and *propagates* synopses over operations
+//! so chains/DAGs can be estimated recursively. Estimators that do not
+//! support an operation (e.g. the layered graph on element-wise operations,
+//! biased sampling on chains) return [`EstimatorError::Unsupported`], which
+//! the benchmark reports as `✗` — exactly how the paper's figures mark them.
+
+pub mod analysis;
+pub mod bitset;
+pub mod density_map;
+pub mod dynamic_density_map;
+pub mod hashing;
+pub mod layered_graph;
+pub mod meta;
+pub mod mnc;
+pub mod sampling;
+
+use std::fmt;
+use std::sync::Arc;
+
+use mnc_matrix::CsrMatrix;
+
+pub use analysis::{Complexity, COMPLEXITY_TABLE};
+pub use bitset::BitsetEstimator;
+pub use density_map::DensityMapEstimator;
+pub use dynamic_density_map::DynamicDensityMapEstimator;
+pub use hashing::HashEstimator;
+pub use layered_graph::LayeredGraphEstimator;
+pub use meta::{MetaAcEstimator, MetaWcEstimator};
+pub use mnc::MncEstimator;
+pub use sampling::{BiasedSamplingEstimator, UnbiasedSamplingEstimator};
+
+/// The operations the SparsEst benchmark exercises (paper Sections 3–4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpKind {
+    /// Matrix product `A B`.
+    MatMul,
+    /// Element-wise addition `A + B`.
+    EwAdd,
+    /// Element-wise (Hadamard) multiplication `A ⊙ B`.
+    EwMul,
+    /// Element-wise maximum `max(A, B)` — under assumption A1 its pattern
+    /// is the union, like `EwAdd` (the paper's spatial pattern where `max`
+    /// replaces `∨`).
+    EwMax,
+    /// Element-wise minimum `min(A, B)` — pattern-equivalent to `EwMul`
+    /// under A1.
+    EwMin,
+    /// Transposition `Aᵀ`.
+    Transpose,
+    /// Row-wise reshape to `rows x cols`.
+    Reshape { rows: usize, cols: usize },
+    /// `diag(v)`: column vector onto the diagonal.
+    DiagV2M,
+    /// `diag(A)`: diagonal extraction from a square matrix into an
+    /// `m x 1` vector.
+    DiagM2V,
+    /// Row-wise concatenation.
+    Rbind,
+    /// Column-wise concatenation.
+    Cbind,
+    /// `A != 0` indicator.
+    Neq0,
+    /// `A == 0` indicator.
+    Eq0,
+}
+
+impl OpKind {
+    /// Number of operands the operation consumes.
+    pub fn arity(&self) -> usize {
+        match self {
+            OpKind::MatMul
+            | OpKind::EwAdd
+            | OpKind::EwMul
+            | OpKind::EwMax
+            | OpKind::EwMin
+            | OpKind::Rbind
+            | OpKind::Cbind => 2,
+            _ => 1,
+        }
+    }
+
+    /// Output shape given input shapes; an error for incompatible shapes.
+    pub fn output_shape(
+        &self,
+        inputs: &[(usize, usize)],
+    ) -> Result<(usize, usize)> {
+        let bad = |msg: &str| {
+            Err(EstimatorError::Internal(format!(
+                "{self:?}: incompatible shapes {inputs:?} ({msg})"
+            )))
+        };
+        match self {
+            OpKind::MatMul => {
+                if inputs[0].1 != inputs[1].0 {
+                    return bad("inner dimension");
+                }
+                Ok((inputs[0].0, inputs[1].1))
+            }
+            OpKind::EwAdd | OpKind::EwMul | OpKind::EwMax | OpKind::EwMin => {
+                if inputs[0] != inputs[1] {
+                    return bad("equal shapes required");
+                }
+                Ok(inputs[0])
+            }
+            OpKind::Transpose => Ok((inputs[0].1, inputs[0].0)),
+            OpKind::Reshape { rows, cols } => {
+                if inputs[0].0 * inputs[0].1 != rows * cols {
+                    return bad("cell count");
+                }
+                Ok((*rows, *cols))
+            }
+            OpKind::DiagV2M => {
+                if inputs[0].1 != 1 {
+                    return bad("column vector required");
+                }
+                Ok((inputs[0].0, inputs[0].0))
+            }
+            OpKind::DiagM2V => {
+                if inputs[0].0 != inputs[0].1 {
+                    return bad("square matrix required");
+                }
+                Ok((inputs[0].0, 1))
+            }
+            OpKind::Rbind => {
+                if inputs[0].1 != inputs[1].1 {
+                    return bad("column count");
+                }
+                Ok((inputs[0].0 + inputs[1].0, inputs[0].1))
+            }
+            OpKind::Cbind => {
+                if inputs[0].0 != inputs[1].0 {
+                    return bad("row count");
+                }
+                Ok((inputs[0].0, inputs[0].1 + inputs[1].1))
+            }
+            OpKind::Neq0 | OpKind::Eq0 => Ok(inputs[0]),
+        }
+    }
+}
+
+/// Errors surfaced by estimators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EstimatorError {
+    /// The estimator does not support the operation (reported as `✗`).
+    Unsupported {
+        estimator: &'static str,
+        op: String,
+    },
+    /// The synopsis would exceed the configured memory budget — mirrors the
+    /// paper's bitset out-of-memory cases (e.g. ≈8 TB for B2.1).
+    SynopsisTooLarge {
+        estimator: &'static str,
+        bytes: u64,
+        limit: u64,
+    },
+    /// Internal invariant violation (shape mismatch fed from the DAG, ...).
+    Internal(String),
+}
+
+impl fmt::Display for EstimatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimatorError::Unsupported { estimator, op } => {
+                write!(f, "{estimator} does not support {op}")
+            }
+            EstimatorError::SynopsisTooLarge {
+                estimator,
+                bytes,
+                limit,
+            } => write!(
+                f,
+                "{estimator} synopsis of {bytes} B exceeds the {limit} B budget"
+            ),
+            EstimatorError::Internal(msg) => write!(f, "internal estimator error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimatorError {}
+
+/// Result alias for estimator operations.
+pub type Result<T> = std::result::Result<T, EstimatorError>;
+
+/// A per-matrix synopsis. One enum instead of trait objects so synopses can
+/// be stored, cloned, and size-accounted uniformly by the benchmark runner.
+#[derive(Debug, Clone)]
+pub enum Synopsis {
+    /// Shape + estimated non-zero count only.
+    Meta(meta::MetaSynopsis),
+    /// Packed boolean bit matrix.
+    Bitset(bitset::BitsetSynopsis),
+    /// Block density map.
+    DensityMap(density_map::DmSynopsis),
+    /// Adaptive quad-tree density map (the §2.2 dynamic extension).
+    QuadTree(dynamic_density_map::QuadTreeSynopsis),
+    /// Sampling: retained base matrix (leaves) or propagated metadata.
+    Sample(sampling::SampleSynopsis),
+    /// Hashing: retained base matrix (leaves only).
+    Hash(hashing::HashSynopsis),
+    /// Layered graph: per-column r-vectors plus the leaf pattern.
+    LayeredGraph(layered_graph::LgSynopsis),
+    /// MNC sketch.
+    Mnc(mnc::MncSynopsis),
+}
+
+impl Synopsis {
+    /// Shape of the matrix the synopsis describes.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            Synopsis::Meta(s) => (s.nrows, s.ncols),
+            Synopsis::Bitset(s) => (s.nrows(), s.ncols()),
+            Synopsis::DensityMap(s) => (s.nrows, s.ncols),
+            Synopsis::QuadTree(s) => s.shape(),
+            Synopsis::Sample(s) => (s.nrows, s.ncols),
+            Synopsis::Hash(s) => s.shape(),
+            Synopsis::LayeredGraph(s) => s.shape(),
+            Synopsis::Mnc(s) => (s.sketch.nrows, s.sketch.ncols),
+        }
+    }
+
+    /// The sparsity the synopsis implies for its own matrix.
+    pub fn sparsity(&self) -> f64 {
+        match self {
+            Synopsis::Meta(s) => s.sparsity(),
+            Synopsis::Bitset(s) => s.sparsity(),
+            Synopsis::DensityMap(s) => s.sparsity(),
+            Synopsis::QuadTree(s) => s.sparsity(),
+            Synopsis::Sample(s) => s.sparsity(),
+            Synopsis::Hash(s) => s.sparsity(),
+            Synopsis::LayeredGraph(s) => s.sparsity(),
+            Synopsis::Mnc(s) => s.sketch.sparsity(),
+        }
+    }
+
+    /// Heap bytes the synopsis occupies (measured, not analytical).
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Synopsis::Meta(_) => std::mem::size_of::<meta::MetaSynopsis>() as u64,
+            Synopsis::Bitset(s) => s.size_bytes(),
+            Synopsis::DensityMap(s) => s.size_bytes(),
+            Synopsis::QuadTree(s) => s.size_bytes(),
+            Synopsis::Sample(s) => s.size_bytes(),
+            Synopsis::Hash(s) => s.size_bytes(),
+            Synopsis::LayeredGraph(s) => s.size_bytes(),
+            Synopsis::Mnc(s) => s.sketch.size_bytes() as u64,
+        }
+    }
+}
+
+/// The common estimator interface the SparsEst benchmark drives.
+pub trait SparsityEstimator {
+    /// Short name used in result tables (matches the paper's legends).
+    fn name(&self) -> &'static str;
+
+    /// Builds the synopsis of a base (leaf) matrix.
+    fn build(&self, m: &Arc<CsrMatrix>) -> Result<Synopsis>;
+
+    /// Estimates the output sparsity of `op` applied to the inputs.
+    fn estimate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<f64>;
+
+    /// Derives the output synopsis of `op`, enabling recursive estimation
+    /// over expression chains and DAGs.
+    fn propagate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<Synopsis>;
+
+    /// Whether the estimator handles matrix product *chains* (the `®` column
+    /// of Table 1).
+    fn supports_chains(&self) -> bool {
+        true
+    }
+}
+
+/// Average-case metadata estimator `E_ac` (Eq. 1): complementary probability
+/// of an output cell staying zero under uniformity and independence.
+/// Shared by the density map and several tests, hence exposed here.
+#[inline]
+pub fn eac(sa: f64, sb: f64, n: f64) -> f64 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let v = (sa * sb).clamp(0.0, 1.0);
+    if v >= 1.0 {
+        return 1.0;
+    }
+    1.0 - (n * (-v).ln_1p()).exp()
+}
+
+/// Probabilistic disjunction `s ⊕ s' = s + s' - s·s'` (Eq. 4).
+#[inline]
+pub fn prob_or(s1: f64, s2: f64) -> f64 {
+    (s1 + s2 - s1 * s2).clamp(0.0, 1.0)
+}
+
+/// Helper used by several estimators: unwrap exactly `n` synopses of one
+/// variant or report an internal error.
+macro_rules! expect_synopsis {
+    ($name:expr, $variant:path, $inputs:expr, $idx:expr) => {
+        match $inputs.get($idx) {
+            Some($variant(s)) => Ok(s),
+            _ => Err($crate::EstimatorError::Internal(format!(
+                "{}: input {} is not a {} synopsis",
+                $name,
+                $idx,
+                stringify!($variant)
+            ))),
+        }
+    };
+}
+pub(crate) use expect_synopsis;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eac_matches_closed_form() {
+        let s = eac(0.1, 0.2, 50.0);
+        let expect = 1.0 - (1.0f64 - 0.02).powi(50);
+        assert!((s - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eac_saturates() {
+        assert_eq!(eac(1.0, 1.0, 10.0), 1.0);
+        assert_eq!(eac(0.5, 0.5, 0.0), 0.0);
+        assert_eq!(eac(0.0, 1.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn prob_or_bounds() {
+        assert_eq!(prob_or(0.0, 0.0), 0.0);
+        assert_eq!(prob_or(1.0, 0.3), 1.0);
+        assert!((prob_or(0.5, 0.5) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn op_output_shapes() {
+        assert_eq!(
+            OpKind::MatMul.output_shape(&[(2, 3), (3, 5)]).unwrap(),
+            (2, 5)
+        );
+        assert!(OpKind::MatMul.output_shape(&[(2, 3), (4, 5)]).is_err());
+        assert_eq!(OpKind::Transpose.output_shape(&[(2, 3)]).unwrap(), (3, 2));
+        assert_eq!(
+            OpKind::Reshape { rows: 6, cols: 1 }
+                .output_shape(&[(2, 3)])
+                .unwrap(),
+            (6, 1)
+        );
+        assert!(OpKind::Reshape { rows: 4, cols: 2 }
+            .output_shape(&[(2, 3)])
+            .is_err());
+        assert_eq!(
+            OpKind::Rbind.output_shape(&[(2, 3), (4, 3)]).unwrap(),
+            (6, 3)
+        );
+        assert_eq!(
+            OpKind::Cbind.output_shape(&[(2, 3), (2, 4)]).unwrap(),
+            (2, 7)
+        );
+        assert_eq!(OpKind::DiagV2M.output_shape(&[(5, 1)]).unwrap(), (5, 5));
+        assert!(OpKind::DiagV2M.output_shape(&[(5, 2)]).is_err());
+    }
+
+    #[test]
+    fn arity() {
+        assert_eq!(OpKind::MatMul.arity(), 2);
+        assert_eq!(OpKind::Transpose.arity(), 1);
+        assert_eq!(OpKind::Eq0.arity(), 1);
+        assert_eq!(OpKind::Rbind.arity(), 2);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = EstimatorError::Unsupported {
+            estimator: "LGraph",
+            op: "EwMul".into(),
+        };
+        assert_eq!(e.to_string(), "LGraph does not support EwMul");
+    }
+}

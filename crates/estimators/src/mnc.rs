@@ -1,0 +1,249 @@
+//! Adapter exposing the MNC sketch (the [`mnc_core`] crate) through the
+//! common [`SparsityEstimator`] trait, including the *MNC Basic* ablation.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use mnc_core::{
+    estimate_cbind, estimate_diag_extract, estimate_diag_v2m, estimate_eq_zero, estimate_ew_add, estimate_ew_mul,
+    estimate_matmul_with, estimate_neq_zero, estimate_rbind, estimate_reshape,
+    estimate_transpose, propagate_cbind, propagate_diag_v2m, propagate_eq_zero,
+    propagate_ew_add, propagate_diag_extract, propagate_ew_mul, propagate_matmul, propagate_neq_zero, propagate_rbind,
+    propagate_reshape, propagate_transpose, MncConfig, MncSketch, SplitMix64,
+};
+use mnc_matrix::CsrMatrix;
+
+use crate::{OpKind, Result, SparsityEstimator, Synopsis};
+
+/// Synopsis wrapper around [`MncSketch`].
+#[derive(Debug, Clone)]
+pub struct MncSynopsis {
+    /// The wrapped sketch.
+    pub sketch: MncSketch,
+}
+
+/// The MNC estimator (Sections 3–4 of the paper).
+#[derive(Debug)]
+pub struct MncEstimator {
+    name: &'static str,
+    cfg: MncConfig,
+    /// Internal generator for probabilistic rounding during propagation;
+    /// deterministic given the configured seed and call sequence.
+    rng: RefCell<SplitMix64>,
+}
+
+impl Default for MncEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MncEstimator {
+    /// Full MNC: extended count vectors + Theorem 3.2 bounds.
+    pub fn new() -> Self {
+        Self::with_config("MNC", MncConfig::default())
+    }
+
+    /// *MNC Basic*: count vectors only (the paper's ablation series).
+    pub fn basic() -> Self {
+        Self::with_config("MNC Basic", MncConfig::basic())
+    }
+
+    /// Custom configuration under a display name.
+    pub fn with_config(name: &'static str, cfg: MncConfig) -> Self {
+        MncEstimator {
+            name,
+            cfg,
+            rng: RefCell::new(SplitMix64::new(cfg.seed)),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MncConfig {
+        &self.cfg
+    }
+
+    fn unwrap<'a>(&self, inputs: &[&'a Synopsis], idx: usize) -> Result<&'a MncSynopsis> {
+        crate::expect_synopsis!("MNC", Synopsis::Mnc, inputs, idx)
+    }
+}
+
+impl SparsityEstimator for MncEstimator {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn build(&self, m: &Arc<CsrMatrix>) -> Result<Synopsis> {
+        Ok(Synopsis::Mnc(MncSynopsis {
+            sketch: MncSketch::build_with(m, self.cfg.use_extended),
+        }))
+    }
+
+    fn estimate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<f64> {
+        let a = &self.unwrap(inputs, 0)?.sketch;
+        let s = match op {
+            OpKind::MatMul => {
+                let b = &self.unwrap(inputs, 1)?.sketch;
+                estimate_matmul_with(a, b, &self.cfg)
+            }
+            // Under A1, max is pattern-equivalent to + and min to ⊙.
+            OpKind::EwAdd | OpKind::EwMax => {
+                estimate_ew_add(a, &self.unwrap(inputs, 1)?.sketch)
+            }
+            OpKind::EwMul | OpKind::EwMin => {
+                estimate_ew_mul(a, &self.unwrap(inputs, 1)?.sketch)
+            }
+            OpKind::Transpose => estimate_transpose(a),
+            OpKind::Reshape { .. } => estimate_reshape(a),
+            OpKind::DiagV2M => estimate_diag_v2m(a),
+            OpKind::DiagM2V => estimate_diag_extract(a),
+            OpKind::Rbind => estimate_rbind(a, &self.unwrap(inputs, 1)?.sketch),
+            OpKind::Cbind => estimate_cbind(a, &self.unwrap(inputs, 1)?.sketch),
+            OpKind::Neq0 => estimate_neq_zero(a),
+            OpKind::Eq0 => estimate_eq_zero(a),
+        };
+        Ok(s)
+    }
+
+    fn propagate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<Synopsis> {
+        let a = &self.unwrap(inputs, 0)?.sketch;
+        let rng = &mut *self.rng.borrow_mut();
+        let sketch = match op {
+            OpKind::MatMul => {
+                propagate_matmul(a, &self.unwrap(inputs, 1)?.sketch, &self.cfg, rng)
+            }
+            OpKind::EwAdd | OpKind::EwMax => {
+                propagate_ew_add(a, &self.unwrap(inputs, 1)?.sketch, &self.cfg, rng)
+            }
+            OpKind::EwMul | OpKind::EwMin => {
+                propagate_ew_mul(a, &self.unwrap(inputs, 1)?.sketch, &self.cfg, rng)
+            }
+            OpKind::Transpose => propagate_transpose(a),
+            OpKind::Reshape { rows, cols } => {
+                propagate_reshape(a, *rows, *cols, &self.cfg, rng)
+            }
+            OpKind::DiagV2M => propagate_diag_v2m(a),
+            OpKind::DiagM2V => propagate_diag_extract(a, &self.cfg, rng),
+            OpKind::Rbind => propagate_rbind(a, &self.unwrap(inputs, 1)?.sketch),
+            OpKind::Cbind => propagate_cbind(a, &self.unwrap(inputs, 1)?.sketch),
+            OpKind::Neq0 => propagate_neq_zero(a),
+            OpKind::Eq0 => propagate_eq_zero(a),
+        };
+        Ok(Synopsis::Mnc(MncSynopsis { sketch }))
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_matrix::{gen, ops};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn syn(e: &MncEstimator, m: &CsrMatrix) -> Synopsis {
+        e.build(&Arc::new(m.clone())).unwrap()
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(MncEstimator::new().name(), "MNC");
+        assert_eq!(MncEstimator::basic().name(), "MNC Basic");
+    }
+
+    #[test]
+    fn basic_does_not_build_extended_vectors() {
+        let mut r = rng(1);
+        let m = gen::rand_uniform(&mut r, 40, 40, 0.1);
+        let e = MncEstimator::basic();
+        if let Synopsis::Mnc(s) = syn(&e, &m) {
+            assert!(s.sketch.her.is_none() && s.sketch.hec.is_none());
+        } else {
+            panic!("expected MNC synopsis");
+        }
+    }
+
+    #[test]
+    fn adapter_matches_core_for_products() {
+        let mut r = rng(2);
+        let a = gen::rand_uniform(&mut r, 50, 40, 0.1);
+        let b = gen::rand_uniform(&mut r, 40, 60, 0.08);
+        let e = MncEstimator::new();
+        let est = e
+            .estimate(&OpKind::MatMul, &[&syn(&e, &a), &syn(&e, &b)])
+            .unwrap();
+        let core = mnc_core::estimate_matmul(&MncSketch::build(&a), &MncSketch::build(&b));
+        assert!((est - core).abs() < 1e-15);
+    }
+
+    #[test]
+    fn all_ops_supported() {
+        let mut r = rng(3);
+        let a = gen::rand_uniform(&mut r, 12, 12, 0.2);
+        let b = gen::rand_uniform(&mut r, 12, 12, 0.3);
+        let v = gen::ones_vector(12);
+        let e = MncEstimator::new();
+        let (sa, sb, sv) = (syn(&e, &a), syn(&e, &b), syn(&e, &v));
+        for (op, inputs) in [
+            (OpKind::MatMul, vec![&sa, &sb]),
+            (OpKind::EwAdd, vec![&sa, &sb]),
+            (OpKind::EwMul, vec![&sa, &sb]),
+            (OpKind::EwMax, vec![&sa, &sb]),
+            (OpKind::EwMin, vec![&sa, &sb]),
+            (OpKind::Transpose, vec![&sa]),
+            (OpKind::Reshape { rows: 6, cols: 24 }, vec![&sa]),
+            (OpKind::DiagV2M, vec![&sv]),
+            (OpKind::DiagM2V, vec![&sa]),
+            (OpKind::Rbind, vec![&sa, &sb]),
+            (OpKind::Cbind, vec![&sa, &sb]),
+            (OpKind::Neq0, vec![&sa]),
+            (OpKind::Eq0, vec![&sa]),
+        ] {
+            let est = e.estimate(&op, &inputs).expect("estimate");
+            assert!((0.0..=1.0).contains(&est), "{op:?} -> {est}");
+            let prop = e.propagate(&op, &inputs).expect("propagate");
+            assert_eq!(
+                prop.shape(),
+                op.output_shape(&inputs.iter().map(|s| s.shape()).collect::<Vec<_>>())
+                    .unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn max_matches_add_and_min_matches_mul_under_a1() {
+        let mut r = rng(5);
+        let a = gen::rand_uniform(&mut r, 20, 20, 0.3);
+        let b = gen::rand_uniform(&mut r, 20, 20, 0.2);
+        let e = MncEstimator::new();
+        let (sa, sb) = (syn(&e, &a), syn(&e, &b));
+        let add = e.estimate(&OpKind::EwAdd, &[&sa, &sb]).unwrap();
+        let max = e.estimate(&OpKind::EwMax, &[&sa, &sb]).unwrap();
+        assert_eq!(add, max);
+        let mul = e.estimate(&OpKind::EwMul, &[&sa, &sb]).unwrap();
+        let min = e.estimate(&OpKind::EwMin, &[&sa, &sb]).unwrap();
+        assert_eq!(mul, min);
+        // And the estimates track the exact kernels.
+        let t_max = ops::ew_max(&a, &b).unwrap().sparsity();
+        assert!((max - t_max).abs() < 0.06, "max {max} truth {t_max}");
+    }
+
+    #[test]
+    fn chain_estimation_via_propagation() {
+        // Scale & permute (B1.2/B1.3 flavour): sketches propagate exactly
+        // through the diagonal product, keeping the chain estimate exact.
+        let mut r = rng(4);
+        let d = gen::scalar_diag(30, 2.0);
+        let x = gen::rand_uniform(&mut r, 30, 20, 0.15);
+        let e = MncEstimator::new();
+        let mid = e
+            .propagate(&OpKind::MatMul, &[&syn(&e, &d), &syn(&e, &x)])
+            .unwrap();
+        assert!((mid.sparsity() - x.sparsity()).abs() < 1e-12);
+        let dx = ops::matmul(&d, &x).unwrap();
+        assert!((mid.sparsity() - dx.sparsity()).abs() < 1e-12);
+    }
+}

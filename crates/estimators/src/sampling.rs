@@ -1,0 +1,561 @@
+//! Sampling-based estimators (Section 2.3 and Appendix A).
+//!
+//! * [`BiasedSamplingEstimator`] — `E_smpl` (Eq. 5): views the product as a
+//!   sum of outer products and returns the sparsity of the *largest sampled*
+//!   outer product. A strict lower bound that does not converge even for
+//!   `|S| = n`.
+//! * [`UnbiasedSamplingEstimator`] — the Appendix A extension (Eq. 16):
+//!   treats the unsampled outer products as drawn from the empirical
+//!   distribution of the sampled ones, yielding an unbiased estimate.
+//!
+//! Neither estimator materializes a synopsis: leaves retain a cheap handle
+//! to the base matrix, and all work happens at estimation time — matching
+//! the paper's accounting (no construction cost, `O(|S|(m + l))`
+//! estimation). Only the unbiased variant extends to chains, by replacing
+//! unavailable intermediate column counts with `m_j · s_j` (Appendix A).
+
+use std::sync::Arc;
+
+use mnc_core::SplitMix64;
+use mnc_matrix::CsrMatrix;
+
+use crate::{EstimatorError, OpKind, Result, SparsityEstimator, Synopsis};
+
+/// Synopsis for the sampling estimators: the retained base matrix for
+/// leaves, or bare metadata for propagated intermediates.
+#[derive(Debug, Clone)]
+pub struct SampleSynopsis {
+    /// The base matrix (leaves only; `None` after propagation).
+    pub matrix: Option<Arc<CsrMatrix>>,
+    /// Rows of the described matrix.
+    pub nrows: usize,
+    /// Columns of the described matrix.
+    pub ncols: usize,
+    /// (Estimated) non-zero count.
+    pub nnz: f64,
+}
+
+impl SampleSynopsis {
+    fn of(m: &Arc<CsrMatrix>) -> Self {
+        SampleSynopsis {
+            matrix: Some(Arc::clone(m)),
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            nnz: m.nnz() as f64,
+        }
+    }
+
+    /// Sparsity implied by the synopsis.
+    pub fn sparsity(&self) -> f64 {
+        let cells = self.nrows as f64 * self.ncols as f64;
+        if cells == 0.0 {
+            0.0
+        } else {
+            (self.nnz / cells).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Owned synopsis bytes — the matrix handle is shared, so the sample
+    /// synopsis itself is constant-size (the paper's "no construction").
+    pub fn size_bytes(&self) -> u64 {
+        std::mem::size_of::<Self>() as u64
+    }
+
+    /// Non-zeros in column `k`: exact (binary search per row) when the
+    /// matrix is available, `nnz / ncols` (uniform assumption, Appendix A)
+    /// otherwise.
+    fn col_nnz(&self, k: usize) -> f64 {
+        match &self.matrix {
+            Some(m) => {
+                let mut count = 0usize;
+                for i in 0..m.nrows() {
+                    let (cols, _) = m.row(i);
+                    if cols.binary_search(&(k as u32)).is_ok() {
+                        count += 1;
+                    }
+                }
+                count as f64
+            }
+            None => {
+                if self.ncols == 0 {
+                    0.0
+                } else {
+                    self.nnz / self.ncols as f64
+                }
+            }
+        }
+    }
+
+    /// Non-zeros in row `k`: exact from CSR when available.
+    fn row_nnz(&self, k: usize) -> f64 {
+        match &self.matrix {
+            Some(m) => m.row_nnz(k) as f64,
+            None => {
+                if self.nrows == 0 {
+                    0.0
+                } else {
+                    self.nnz / self.nrows as f64
+                }
+            }
+        }
+    }
+}
+
+/// Draws `count` distinct indices from `0..n`.
+fn sample_indices(rng: &mut SplitMix64, n: usize, count: usize) -> Vec<usize> {
+    let count = count.min(n);
+    if count * 3 >= n {
+        // Partial Fisher-Yates for dense samples.
+        let mut all: Vec<usize> = (0..n).collect();
+        for i in 0..count {
+            let j = i + (rng.next_u64() as usize) % (n - i);
+            all.swap(i, j);
+        }
+        all.truncate(count);
+        all
+    } else {
+        let mut seen = std::collections::HashSet::with_capacity(count * 2);
+        while seen.len() < count {
+            seen.insert((rng.next_u64() as usize) % n);
+        }
+        seen.into_iter().collect()
+    }
+}
+
+/// Shared configuration for both variants.
+#[derive(Debug, Clone, Copy)]
+struct SampleConfig {
+    fraction: f64,
+    seed: u64,
+}
+
+/// Default sample fraction used by the paper (`f = 0.05`).
+pub const DEFAULT_FRACTION: f64 = 0.05;
+
+fn sample_size(fraction: f64, n: usize) -> usize {
+    ((fraction * n as f64).round() as usize).clamp(1, n.max(1))
+}
+
+/// Estimation shared by both variants for element-wise operations: sample
+/// rows and compute exact per-row result counts from the base matrices.
+fn ew_estimate(
+    cfg: &SampleConfig,
+    op: &OpKind,
+    a: &SampleSynopsis,
+    b: &SampleSynopsis,
+) -> Result<f64> {
+    let (ma, mb) = match (&a.matrix, &b.matrix) {
+        (Some(x), Some(y)) => (x, y),
+        // Without base matrices fall back to the average-case formula.
+        _ => {
+            let (sa, sb) = (a.sparsity(), b.sparsity());
+            return Ok(match op {
+                OpKind::EwAdd | OpKind::EwMax => crate::prob_or(sa, sb),
+                _ => sa * sb,
+            });
+        }
+    };
+    let m = a.nrows;
+    let mut rng = SplitMix64::new(cfg.seed ^ 0x5EED_E300);
+    let rows = sample_indices(&mut rng, m, sample_size(cfg.fraction, m));
+    let mut total = 0usize;
+    for &i in &rows {
+        let (ac, _) = ma.row(i);
+        let (bc, _) = mb.row(i);
+        total += match op {
+            OpKind::EwAdd | OpKind::EwMax => {
+                // |union| = |A row| + |B row| - |intersection|.
+                ac.len() + bc.len() - sorted_intersection(ac, bc)
+            }
+            OpKind::EwMul | OpKind::EwMin => sorted_intersection(ac, bc),
+            _ => unreachable!("ew_estimate only handles element-wise ops"),
+        };
+    }
+    let est_rows = rows.len().max(1) as f64;
+    Ok((total as f64 / est_rows / a.ncols as f64).clamp(0.0, 1.0))
+}
+
+fn sorted_intersection(a: &[u32], b: &[u32]) -> usize {
+    let (mut p, mut q, mut count) = (0usize, 0usize, 0usize);
+    while p < a.len() && q < b.len() {
+        match a[p].cmp(&b[q]) {
+            std::cmp::Ordering::Less => p += 1,
+            std::cmp::Ordering::Greater => q += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                p += 1;
+                q += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Metadata-style estimation for reorganizations (exact from counts), shared
+/// by both variants.
+fn reorg_estimate(op: &OpKind, inputs: &[&SampleSynopsis]) -> Result<f64> {
+    let a = inputs[0];
+    Ok(match op {
+        OpKind::Transpose | OpKind::Reshape { .. } | OpKind::Neq0 => a.sparsity(),
+        OpKind::Eq0 => 1.0 - a.sparsity(),
+        OpKind::DiagV2M => {
+            let m = a.nrows as f64;
+            if m == 0.0 {
+                0.0
+            } else {
+                a.nnz / (m * m)
+            }
+        }
+        OpKind::DiagM2V => {
+            // Exact diagonal count when the base matrix is available,
+            // uniform expectation otherwise.
+            match &a.matrix {
+                Some(m) => {
+                    let hits = (0..m.nrows()).filter(|&i| m.get(i, i) != 0.0).count();
+                    hits as f64 / m.nrows().max(1) as f64
+                }
+                None => {
+                    let (m, n) = (a.nrows as f64, a.ncols as f64);
+                    if m == 0.0 || n == 0.0 {
+                        0.0
+                    } else {
+                        a.nnz / (n * m)
+                    }
+                }
+            }
+        }
+        OpKind::Rbind => {
+            let b = inputs[1];
+            (a.nnz + b.nnz) / ((a.nrows + b.nrows) as f64 * a.ncols as f64)
+        }
+        OpKind::Cbind => {
+            let b = inputs[1];
+            (a.nnz + b.nnz) / (a.nrows as f64 * (a.ncols + b.ncols) as f64)
+        }
+        _ => unreachable!("reorg_estimate only handles reorganizations"),
+    })
+}
+
+fn propagate_common(
+    name: &'static str,
+    est: f64,
+    op: &OpKind,
+    inputs: &[&Synopsis],
+) -> Result<Synopsis> {
+    let shapes: Vec<(usize, usize)> = inputs.iter().map(|s| s.shape()).collect();
+    let (rows, cols) = op.output_shape(&shapes)?;
+    let _ = name;
+    Ok(Synopsis::Sample(SampleSynopsis {
+        matrix: None,
+        nrows: rows,
+        ncols: cols,
+        nnz: est * rows as f64 * cols as f64,
+    }))
+}
+
+/// `E_smpl`, the biased sampling estimator of Eq. 5 (a strict lower bound).
+#[derive(Debug, Clone, Copy)]
+pub struct BiasedSamplingEstimator {
+    /// Fraction of the common dimension to sample (default 0.05).
+    pub fraction: f64,
+    /// RNG seed for the sample choice.
+    pub seed: u64,
+}
+
+impl Default for BiasedSamplingEstimator {
+    fn default() -> Self {
+        BiasedSamplingEstimator {
+            fraction: DEFAULT_FRACTION,
+            seed: 0xB1A5,
+        }
+    }
+}
+
+/// The unbiased sampling estimator of Appendix A, Eq. 16.
+#[derive(Debug, Clone, Copy)]
+pub struct UnbiasedSamplingEstimator {
+    /// Fraction of the common dimension to sample (default 0.05).
+    pub fraction: f64,
+    /// RNG seed for the sample choice.
+    pub seed: u64,
+}
+
+impl Default for UnbiasedSamplingEstimator {
+    fn default() -> Self {
+        UnbiasedSamplingEstimator {
+            fraction: DEFAULT_FRACTION,
+            seed: 0x0B1A5,
+        }
+    }
+}
+
+fn unwrap<'a>(name: &'static str, inputs: &[&'a Synopsis], idx: usize) -> Result<&'a SampleSynopsis> {
+    crate::expect_synopsis!(name, Synopsis::Sample, inputs, idx)
+}
+
+impl SparsityEstimator for BiasedSamplingEstimator {
+    fn name(&self) -> &'static str {
+        "Sample"
+    }
+
+    fn build(&self, m: &Arc<CsrMatrix>) -> Result<Synopsis> {
+        Ok(Synopsis::Sample(SampleSynopsis::of(m)))
+    }
+
+    fn estimate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<f64> {
+        let cfg = SampleConfig {
+            fraction: self.fraction,
+            seed: self.seed,
+        };
+        match op {
+            OpKind::MatMul => {
+                let a = unwrap(self.name(), inputs, 0)?;
+                let b = unwrap(self.name(), inputs, 1)?;
+                if a.matrix.is_none() || b.matrix.is_none() {
+                    // Eq. 5 requires the actual matrices; chains are out of
+                    // scope for the biased estimator (Table 1, `®` column).
+                    return Err(EstimatorError::unsupported(self.name(), op));
+                }
+                let n = a.ncols;
+                let mut rng = SplitMix64::new(cfg.seed);
+                let sample = sample_indices(&mut rng, n, sample_size(cfg.fraction, n));
+                let cells = a.nrows as f64 * b.ncols as f64;
+                // Eq. 5: the largest sampled outer product.
+                let mut best = 0.0f64;
+                for &k in &sample {
+                    best = best.max(a.col_nnz(k) * b.row_nnz(k));
+                }
+                Ok((best / cells).clamp(0.0, 1.0))
+            }
+            OpKind::EwAdd | OpKind::EwMul | OpKind::EwMax | OpKind::EwMin => {
+                let a = unwrap(self.name(), inputs, 0)?;
+                let b = unwrap(self.name(), inputs, 1)?;
+                ew_estimate(&cfg, op, a, b)
+            }
+            _ => {
+                let syns: Vec<&SampleSynopsis> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| unwrap(self.name(), inputs, i))
+                    .collect::<Result<_>>()?;
+                reorg_estimate(op, &syns)
+            }
+        }
+    }
+
+    fn propagate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<Synopsis> {
+        if matches!(op, OpKind::MatMul) {
+            // The biased estimator "only applies to single matrix products"
+            // (Section 2.5) — it cannot produce a usable intermediate.
+            return Err(EstimatorError::unsupported(self.name(), op));
+        }
+        let est = self.estimate(op, inputs)?;
+        propagate_common(self.name(), est, op, inputs)
+    }
+
+    fn supports_chains(&self) -> bool {
+        false
+    }
+}
+
+impl SparsityEstimator for UnbiasedSamplingEstimator {
+    fn name(&self) -> &'static str {
+        "SampleUB"
+    }
+
+    fn build(&self, m: &Arc<CsrMatrix>) -> Result<Synopsis> {
+        Ok(Synopsis::Sample(SampleSynopsis::of(m)))
+    }
+
+    fn estimate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<f64> {
+        let cfg = SampleConfig {
+            fraction: self.fraction,
+            seed: self.seed,
+        };
+        match op {
+            OpKind::MatMul => {
+                let a = unwrap(self.name(), inputs, 0)?;
+                let b = unwrap(self.name(), inputs, 1)?;
+                let n = a.ncols;
+                if n == 0 {
+                    return Ok(0.0);
+                }
+                let mut rng = SplitMix64::new(cfg.seed);
+                let sample = sample_indices(&mut rng, n, sample_size(cfg.fraction, n));
+                let cells = a.nrows as f64 * b.ncols as f64;
+                if cells == 0.0 {
+                    return Ok(0.0);
+                }
+                // Eq. 16: s_C = 1 - (1 - v̄)^q · Π_{k∈S} (1 - v_k).
+                let mut log_prod = 0.0f64;
+                let mut v_sum = 0.0f64;
+                for &k in &sample {
+                    let v = (a.col_nnz(k) * b.row_nnz(k) / cells).clamp(0.0, 1.0);
+                    v_sum += v;
+                    if v >= 1.0 {
+                        return Ok(1.0);
+                    }
+                    log_prod += (-v).ln_1p();
+                }
+                let v_bar = v_sum / sample.len() as f64;
+                let q = (n - sample.len()) as f64;
+                if v_bar >= 1.0 {
+                    return Ok(1.0);
+                }
+                let s = 1.0 - (q * (-v_bar).ln_1p() + log_prod).exp();
+                Ok(s.clamp(0.0, 1.0))
+            }
+            OpKind::EwAdd | OpKind::EwMul | OpKind::EwMax | OpKind::EwMin => {
+                let a = unwrap(self.name(), inputs, 0)?;
+                let b = unwrap(self.name(), inputs, 1)?;
+                ew_estimate(&cfg, op, a, b)
+            }
+            _ => {
+                let syns: Vec<&SampleSynopsis> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| unwrap(self.name(), inputs, i))
+                    .collect::<Result<_>>()?;
+                reorg_estimate(op, &syns)
+            }
+        }
+    }
+
+    fn propagate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<Synopsis> {
+        let est = self.estimate(op, inputs)?;
+        propagate_common(self.name(), est, op, inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_matrix::{gen, ops};
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn syn(m: &CsrMatrix) -> Synopsis {
+        Synopsis::Sample(SampleSynopsis::of(&Arc::new(m.clone())))
+    }
+
+    #[test]
+    fn biased_is_lower_bound() {
+        for seed in 0..8u64 {
+            let mut r = rng(seed);
+            let a = gen::rand_uniform(&mut r, 60, 50, 0.08);
+            let b = gen::rand_uniform(&mut r, 50, 40, 0.1);
+            let e = BiasedSamplingEstimator {
+                fraction: 0.2,
+                seed,
+            };
+            let est = e.estimate(&OpKind::MatMul, &[&syn(&a), &syn(&b)]).unwrap();
+            let truth = ops::bool_matmul(&a, &b).unwrap().sparsity();
+            assert!(est <= truth + 1e-12, "biased {est} > truth {truth}");
+        }
+    }
+
+    #[test]
+    fn biased_with_full_sample_still_biased() {
+        // Even |S| = n does not converge to the truth (Section 2.3): the
+        // estimate is the largest single outer product.
+        let a = CsrMatrix::from_triples(4, 2, vec![(0, 0, 1.0), (1, 1, 1.0)]).unwrap();
+        let b = CsrMatrix::from_triples(2, 4, vec![(0, 0, 1.0), (1, 1, 1.0)]).unwrap();
+        let e = BiasedSamplingEstimator {
+            fraction: 1.0,
+            seed: 1,
+        };
+        let est = e.estimate(&OpKind::MatMul, &[&syn(&a), &syn(&b)]).unwrap();
+        // True output has 2 non-zeros; the largest outer product has 1.
+        assert!((est - 1.0 / 16.0).abs() < 1e-12);
+        let truth = ops::bool_matmul(&a, &b).unwrap().sparsity();
+        assert!(est < truth);
+    }
+
+    #[test]
+    fn unbiased_close_on_uniform_data() {
+        let mut r = rng(5);
+        let a = gen::rand_uniform(&mut r, 150, 120, 0.03);
+        let b = gen::rand_uniform(&mut r, 120, 150, 0.04);
+        let e = UnbiasedSamplingEstimator {
+            fraction: 0.3,
+            seed: 9,
+        };
+        let est = e.estimate(&OpKind::MatMul, &[&syn(&a), &syn(&b)]).unwrap();
+        let truth = ops::bool_matmul(&a, &b).unwrap().sparsity();
+        let rel = est.max(truth) / est.min(truth).max(1e-12);
+        assert!(rel < 1.25, "relative error {rel}");
+    }
+
+    #[test]
+    fn unbiased_with_full_sample_equals_mnc_fallback_form() {
+        // For |S| = n Eq. 16 reduces to 1 - Π(1 - v_k) — the same form as
+        // MNC's fallback over m·l cells (Appendix A).
+        let mut r = rng(6);
+        let a = gen::rand_uniform(&mut r, 30, 20, 0.1);
+        let b = gen::rand_uniform(&mut r, 20, 30, 0.15);
+        let e = UnbiasedSamplingEstimator {
+            fraction: 1.0,
+            seed: 2,
+        };
+        let est = e.estimate(&OpKind::MatMul, &[&syn(&a), &syn(&b)]).unwrap();
+        let ca = mnc_matrix::stats::col_nnz_counts(&a);
+        let rb = mnc_matrix::stats::row_nnz_counts(&b);
+        let expect = mnc_core::vector_edm(&ca, &rb, 900.0);
+        assert!((est - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn biased_rejects_chains() {
+        let mut r = rng(7);
+        let a = gen::rand_uniform(&mut r, 10, 10, 0.2);
+        let e = BiasedSamplingEstimator::default();
+        assert!(e
+            .propagate(&OpKind::MatMul, &[&syn(&a), &syn(&a)])
+            .is_err());
+        assert!(!e.supports_chains());
+    }
+
+    #[test]
+    fn unbiased_supports_chains() {
+        let mut r = rng(8);
+        let a = gen::rand_uniform(&mut r, 20, 20, 0.15);
+        let e = UnbiasedSamplingEstimator::default();
+        let mid = e.propagate(&OpKind::MatMul, &[&syn(&a), &syn(&a)]).unwrap();
+        // The propagated synopsis has no matrix but still supports another
+        // product via the uniform column-count assumption.
+        let est = e.estimate(&OpKind::MatMul, &[&mid, &syn(&a)]).unwrap();
+        assert!((0.0..=1.0).contains(&est));
+        assert!(e.supports_chains());
+    }
+
+    #[test]
+    fn ew_sampling_close_to_truth() {
+        let mut r = rng(9);
+        let a = gen::rand_uniform(&mut r, 100, 50, 0.25);
+        let b = gen::rand_uniform(&mut r, 100, 50, 0.3);
+        let e = BiasedSamplingEstimator {
+            fraction: 0.5,
+            seed: 3,
+        };
+        let add = e.estimate(&OpKind::EwAdd, &[&syn(&a), &syn(&b)]).unwrap();
+        let mul = e.estimate(&OpKind::EwMul, &[&syn(&a), &syn(&b)]).unwrap();
+        let t_add = ops::ew_add(&a, &b).unwrap().sparsity();
+        let t_mul = ops::ew_mul(&a, &b).unwrap().sparsity();
+        assert!((add - t_add).abs() < 0.05, "add {add} vs {t_add}");
+        assert!((mul - t_mul).abs() < 0.05, "mul {mul} vs {t_mul}");
+    }
+
+    #[test]
+    fn reorg_exact_from_metadata() {
+        let mut r = rng(10);
+        let a = gen::rand_uniform(&mut r, 12, 9, 0.3);
+        let e = UnbiasedSamplingEstimator::default();
+        let t = e.estimate(&OpKind::Transpose, &[&syn(&a)]).unwrap();
+        assert!((t - a.sparsity()).abs() < 1e-12);
+        let z = e.estimate(&OpKind::Eq0, &[&syn(&a)]).unwrap();
+        assert!((z - (1.0 - a.sparsity())).abs() < 1e-12);
+    }
+}

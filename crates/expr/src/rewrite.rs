@@ -1,0 +1,356 @@
+//! Sparsity-aware matrix-multiplication chain rewriting — the Appendix C
+//! optimizer integration ("we introduced an additional dynamic rewrite for
+//! sparsity-aware matrix multiplication chain optimization" in SystemML's
+//! compiler).
+//!
+//! [`rewrite_mm_chains`] scans an expression DAG for *maximal* chains of
+//! matrix products (product nodes whose intermediate results are not
+//! consumed elsewhere), re-optimizes each chain with the sketch-based
+//! dynamic program of [`crate::chain_opt`], and emits a new DAG with the
+//! reordered parenthesization. Non-product operations and shared
+//! intermediates are preserved untouched.
+
+use std::collections::HashMap;
+
+use mnc_core::{MncConfig, MncSketch};
+use mnc_estimators::{OpKind, Result};
+
+use crate::chain_opt::{sparse_chain_order, PlanTree};
+use crate::dag::{ExprDag, ExprNode, NodeId};
+
+/// Outcome of a rewrite pass.
+#[derive(Debug)]
+pub struct RewriteResult {
+    /// The rewritten DAG.
+    pub dag: ExprDag,
+    /// Mapping from old node ids to new node ids (chain-internal products
+    /// that were dissolved are absent).
+    pub node_map: HashMap<NodeId, NodeId>,
+    /// Number of chains that were re-parenthesized.
+    pub chains_rewritten: usize,
+}
+
+/// Counts how many nodes consume each node's output.
+fn consumer_counts(dag: &ExprDag) -> Vec<usize> {
+    let mut counts = vec![0usize; dag.len()];
+    for (_, node) in dag.iter() {
+        if let ExprNode::Op { inputs, .. } = node {
+            for &i in inputs {
+                counts[i] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Collects the leaves of the maximal product chain rooted at `id`:
+/// a product input is *inlined* into the chain when it is itself a product
+/// with exactly one consumer (so dissolving it is safe).
+fn collect_chain(
+    dag: &ExprDag,
+    id: NodeId,
+    consumers: &[usize],
+    leaves: &mut Vec<NodeId>,
+) {
+    match dag.node(id) {
+        ExprNode::Op { op, inputs } if matches!(op, OpKind::MatMul) && consumers[id] <= 1 => {
+            collect_chain(dag, inputs[0], consumers, leaves);
+            collect_chain(dag, inputs[1], consumers, leaves);
+        }
+        _ => leaves.push(id),
+    }
+}
+
+/// Rewrites every maximal matrix-product chain in the DAG using the
+/// sparsity-aware dynamic program over MNC sketches of the chain inputs.
+///
+/// Chain inputs that are themselves operation nodes get their sketches via
+/// propagation (memoized); leaf inputs use exact sketches.
+pub fn rewrite_mm_chains(dag: &ExprDag, cfg: &MncConfig) -> Result<RewriteResult> {
+    let consumers = consumer_counts(dag);
+    let mnc = mnc_estimators::MncEstimator::with_config("MNC", *cfg);
+
+    let mut out = ExprDag::new();
+    let mut node_map: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut chains_rewritten = 0usize;
+
+    // Synopsis memo over the *old* DAG for chain-input sketches.
+    let mut synopses: HashMap<NodeId, mnc_estimators::Synopsis> = HashMap::new();
+
+    for (id, node) in dag.iter() {
+        // Chain-internal products are dissolved lazily: skip nodes that are
+        // single-consumer products feeding another product.
+        if is_dissolved(dag, id, &consumers) {
+            continue;
+        }
+        let new_id = match node {
+            ExprNode::Leaf { name, matrix } => out.leaf(name.clone(), matrix.clone()),
+            ExprNode::Op { op, inputs } => {
+                if matches!(op, OpKind::MatMul) {
+                    let mut leaves = Vec::new();
+                    collect_chain(dag, id, &consumers, &mut leaves);
+                    if leaves.len() > 2 {
+                        // Re-optimize the chain.
+                        chains_rewritten += 1;
+                        let sketches: Vec<MncSketch> = leaves
+                            .iter()
+                            .map(|&l| sketch_of(&mnc, dag, l, &mut synopses))
+                            .collect::<Result<_>>()?;
+                        let (_, plan) = sparse_chain_order(&sketches, cfg);
+                        let new_leaves: Vec<NodeId> =
+                            leaves.iter().map(|l| node_map[l]).collect();
+                        build_plan(&mut out, &plan, &new_leaves)?
+                    } else {
+                        let ins: Vec<NodeId> = inputs.iter().map(|i| node_map[i]).collect();
+                        out.op(op.clone(), &ins)?
+                    }
+                } else {
+                    let ins: Vec<NodeId> = inputs.iter().map(|i| node_map[i]).collect();
+                    out.op(op.clone(), &ins)?
+                }
+            }
+        };
+        node_map.insert(id, new_id);
+    }
+    Ok(RewriteResult {
+        dag: out,
+        node_map,
+        chains_rewritten,
+    })
+}
+
+/// A node is dissolved when it is a single-consumer product feeding another
+/// product (it will be re-created by the chain rebuild of its root).
+fn is_dissolved(dag: &ExprDag, id: NodeId, consumers: &[usize]) -> bool {
+    if !matches!(
+        dag.node(id),
+        ExprNode::Op {
+            op: OpKind::MatMul,
+            ..
+        }
+    ) || consumers[id] != 1
+    {
+        return false;
+    }
+    // Find the unique consumer and check it is a product.
+    for (_, node) in dag.iter() {
+        if let ExprNode::Op { op, inputs } = node {
+            if inputs.contains(&id) {
+                return matches!(op, OpKind::MatMul);
+            }
+        }
+    }
+    false
+}
+
+/// MNC sketch of an arbitrary old-DAG node via (memoized) propagation.
+fn sketch_of(
+    mnc: &mnc_estimators::MncEstimator,
+    dag: &ExprDag,
+    id: NodeId,
+    memo: &mut HashMap<NodeId, mnc_estimators::Synopsis>,
+) -> Result<MncSketch> {
+    use mnc_estimators::{SparsityEstimator, Synopsis};
+    fn materialize(
+        mnc: &mnc_estimators::MncEstimator,
+        dag: &ExprDag,
+        id: NodeId,
+        memo: &mut HashMap<NodeId, Synopsis>,
+    ) -> Result<()> {
+        if memo.contains_key(&id) {
+            return Ok(());
+        }
+        let syn = match dag.node(id) {
+            ExprNode::Leaf { matrix, .. } => mnc.build(matrix)?,
+            ExprNode::Op { op, inputs } => {
+                for &i in inputs {
+                    materialize(mnc, dag, i, memo)?;
+                }
+                let ins: Vec<&Synopsis> = inputs.iter().map(|i| &memo[i]).collect();
+                mnc.propagate(op, &ins)?
+            }
+        };
+        memo.insert(id, syn);
+        Ok(())
+    }
+    materialize(mnc, dag, id, memo)?;
+    match &memo[&id] {
+        Synopsis::Mnc(s) => Ok(s.sketch.clone()),
+        _ => unreachable!("the MNC estimator only produces MNC synopses"),
+    }
+}
+
+/// Materializes a plan tree as product nodes in the new DAG.
+fn build_plan(dag: &mut ExprDag, plan: &PlanTree, leaves: &[NodeId]) -> Result<NodeId> {
+    match plan {
+        PlanTree::Leaf(i) => Ok(leaves[*i]),
+        PlanTree::Node(l, r) => {
+            let nl = build_plan(dag, l, leaves)?;
+            let nr = build_plan(dag, r, leaves)?;
+            dag.matmul(nl, nr)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use mnc_matrix::gen;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    /// Equality up to floating-point reassociation round-off.
+    fn assert_numerically_equal(a: &mnc_matrix::CsrMatrix, b: &mnc_matrix::CsrMatrix) {
+        assert!(b.same_pattern(a), "patterns must be identical");
+        for ((_, _, va), (_, _, vb)) in a.iter_triples().zip(b.iter_triples()) {
+            assert!(
+                (va - vb).abs() <= 1e-9 * va.abs().max(1.0),
+                "value drift beyond round-off: {va} vs {vb}"
+            );
+        }
+    }
+
+    /// Left-deep chain of four skewed matrices.
+    fn chain_dag(seed: u64) -> (ExprDag, NodeId) {
+        let mut r = rng(seed);
+        let dims = [40usize, 300, 300, 60, 12];
+        let sparsities: [f64; 4] = [0.2, 0.001, 0.3, 0.25];
+        let mut dag = ExprDag::new();
+        let leaves: Vec<NodeId> = dims
+            .windows(2)
+            .zip(&sparsities)
+            .enumerate()
+            .map(|(i, (w, &s))| {
+                dag.leaf(
+                    format!("M{i}"),
+                    Arc::new(gen::rand_uniform(&mut r, w[0], w[1], s.max(1.0 / (w[0] * w[1]) as f64))),
+                )
+            })
+            .collect();
+        let mids = dag.left_deep_chain(&leaves).unwrap();
+        (dag, *mids.last().unwrap())
+    }
+
+    #[test]
+    fn rewrite_preserves_the_result() {
+        let (dag, root) = chain_dag(1);
+        let rewritten = rewrite_mm_chains(&dag, &MncConfig::default()).unwrap();
+        assert_eq!(rewritten.chains_rewritten, 1);
+        let new_root = rewritten.node_map[&root];
+        let before = Evaluator::new().eval(&dag, root).unwrap();
+        let after = Evaluator::new().eval(&rewritten.dag, new_root).unwrap();
+        // Reassociation changes the floating-point summation order, so
+        // compare patterns exactly and values within round-off.
+        assert!(after.same_pattern(&before), "patterns must be identical");
+        for ((_, _, va), (_, _, vb)) in before.iter_triples().zip(after.iter_triples()) {
+            assert!(
+                (va - vb).abs() <= 1e-9 * va.abs().max(1.0),
+                "value drift beyond round-off: {va} vs {vb}"
+            );
+        }
+    }
+
+    #[test]
+    fn rewrite_reduces_or_preserves_actual_flops() {
+        use crate::chain_opt::chain_flops_exact;
+        let (dag, _) = chain_dag(2);
+        // Extract the chain matrices back out for exact cost accounting.
+        let mats: Vec<_> = dag
+            .iter()
+            .filter_map(|(_, n)| match n {
+                ExprNode::Leaf { matrix, .. } => Some(Arc::clone(matrix)),
+                _ => None,
+            })
+            .collect();
+        let left_deep = PlanTree::left_deep(mats.len());
+        let rewritten = rewrite_mm_chains(&dag, &MncConfig::default()).unwrap();
+        // Reconstruct the rewritten plan's cost by evaluating the new DAG
+        // shape: simplest check — the optimizer's own plan choice costs no
+        // more than left-deep.
+        let sketches: Vec<MncSketch> = mats.iter().map(|m| MncSketch::build(m)).collect();
+        let (_, plan) = sparse_chain_order(&sketches, &MncConfig::default());
+        assert!(
+            chain_flops_exact(&mats, &plan) <= chain_flops_exact(&mats, &left_deep),
+            "optimized plan must not be worse than left-deep"
+        );
+        assert_eq!(rewritten.chains_rewritten, 1);
+    }
+
+    #[test]
+    fn shared_intermediates_are_not_dissolved() {
+        // (A B) is consumed twice: once by another product and once by an
+        // element-wise op — it must survive the rewrite as a real node.
+        let mut r = rng(3);
+        let a = Arc::new(gen::rand_uniform(&mut r, 20, 20, 0.3));
+        let mut dag = ExprDag::new();
+        let na = dag.leaf("A", Arc::clone(&a));
+        let nb = dag.leaf("B", Arc::clone(&a));
+        let ab = dag.matmul(na, nb).unwrap();
+        let abc = dag.matmul(ab, na).unwrap();
+        let shared = dag.ew_add(ab, nb).unwrap();
+        let rewritten = rewrite_mm_chains(&dag, &MncConfig::default()).unwrap();
+        let new_abc = rewritten.node_map[&abc];
+        let new_shared = rewritten.node_map[&shared];
+        let mut ev_old = Evaluator::new();
+        let mut ev_new = Evaluator::new();
+        assert_eq!(
+            *ev_old.eval(&dag, abc).unwrap(),
+            *ev_new.eval(&rewritten.dag, new_abc).unwrap()
+        );
+        assert_eq!(
+            *ev_old.eval(&dag, shared).unwrap(),
+            *ev_new.eval(&rewritten.dag, new_shared).unwrap()
+        );
+    }
+
+    #[test]
+    fn mixed_expressions_pass_through() {
+        // reshape/transpose/element-wise nodes are copied untouched.
+        let mut r = rng(4);
+        let x = Arc::new(gen::rand_uniform(&mut r, 12, 10, 0.4));
+        let mut dag = ExprDag::new();
+        let nx = dag.leaf("X", Arc::clone(&x));
+        let t = dag.transpose(nx).unwrap();
+        let p = dag.matmul(nx, t).unwrap();
+        let z = dag.op(OpKind::Neq0, &[p]).unwrap();
+        let rewritten = rewrite_mm_chains(&dag, &MncConfig::default()).unwrap();
+        assert_eq!(rewritten.chains_rewritten, 0); // only a 2-chain
+        let new_z = rewritten.node_map[&z];
+        assert_eq!(
+            *Evaluator::new().eval(&dag, z).unwrap(),
+            *Evaluator::new().eval(&rewritten.dag, new_z).unwrap()
+        );
+    }
+
+    #[test]
+    fn chains_behind_reorgs_are_found() {
+        // (A B C)ᵀ — the chain sits under a transpose.
+        let mut r = rng(5);
+        let dims = [10usize, 80, 15, 30];
+        let mut dag = ExprDag::new();
+        let leaves: Vec<NodeId> = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                dag.leaf(
+                    format!("M{i}"),
+                    Arc::new(gen::rand_uniform(&mut r, w[0], w[1], 0.2)),
+                )
+            })
+            .collect();
+        let mids = dag.left_deep_chain(&leaves).unwrap();
+        let root = dag.transpose(*mids.last().unwrap()).unwrap();
+        let rewritten = rewrite_mm_chains(&dag, &MncConfig::default()).unwrap();
+        assert_eq!(rewritten.chains_rewritten, 1);
+        let new_root = rewritten.node_map[&root];
+        assert_numerically_equal(
+            &Evaluator::new().eval(&dag, root).unwrap(),
+            &Evaluator::new().eval(&rewritten.dag, new_root).unwrap(),
+        );
+    }
+}

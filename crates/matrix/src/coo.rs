@@ -1,0 +1,145 @@
+//! Coordinate (triple) format — the ingestion format.
+//!
+//! `CooMatrix` is the builder format: cheap appends, no ordering invariant.
+//! Every generator first produces a COO matrix and then compresses it into a
+//! [`CsrMatrix`](crate::CsrMatrix).
+
+use crate::error::{MatrixError, Result};
+
+/// A sparse matrix in coordinate (row, col, value) format.
+///
+/// Invariants enforced at conversion time (not on push):
+/// * all indices are in range,
+/// * duplicate coordinates are summed on compression (consistent with the
+///   usual COO semantics).
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    rows: Vec<u32>,
+    cols: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty COO matrix of the given shape.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        assert!(
+            nrows <= u32::MAX as usize && ncols <= u32::MAX as usize,
+            "dimensions must fit in u32"
+        );
+        CooMatrix {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates an empty COO matrix with capacity for `cap` entries.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        let mut m = Self::new(nrows, ncols);
+        m.rows.reserve(cap);
+        m.cols.reserve(cap);
+        m.values.reserve(cap);
+        m
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries (before duplicate merging).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Appends an entry. Zero values are dropped (assumption A1 makes them
+    /// meaningless), out-of-range indices are an error.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<()> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(MatrixError::IndexOutOfBounds {
+                index: (row, col),
+                shape: (self.nrows, self.ncols),
+            });
+        }
+        debug_assert!(value.is_finite(), "assumption A2: no NaN/Inf values");
+        if value != 0.0 {
+            self.rows.push(row as u32);
+            self.cols.push(col as u32);
+            self.values.push(value);
+        }
+        Ok(())
+    }
+
+    /// Iterates over stored `(row, col, value)` triples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.values)
+            .map(|((&r, &c), &v)| (r as usize, c as usize, v))
+    }
+
+    /// Consumes the builder and returns the raw `(rows, cols, values)`
+    /// buffers, e.g. for direct CSR compression.
+    pub(crate) fn into_parts(self) -> (usize, usize, Vec<u32>, Vec<u32>, Vec<f64>) {
+        (self.nrows, self.ncols, self.rows, self.cols, self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iter() {
+        let mut m = CooMatrix::new(3, 4);
+        m.push(0, 1, 1.0).unwrap();
+        m.push(2, 3, 2.5).unwrap();
+        let triples: Vec<_> = m.iter().collect();
+        assert_eq!(triples, vec![(0, 1, 1.0), (2, 3, 2.5)]);
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn zero_values_dropped() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 0, 0.0).unwrap();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut m = CooMatrix::new(2, 2);
+        assert!(matches!(
+            m.push(2, 0, 1.0),
+            Err(MatrixError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            m.push(0, 2, 1.0),
+            Err(MatrixError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn with_capacity_reserves() {
+        let m = CooMatrix::with_capacity(2, 2, 16);
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.ncols(), 2);
+    }
+}

@@ -1,0 +1,499 @@
+//! Compressed sparse row (CSR) format — the workhorse format.
+//!
+//! The paper's sketches are built in "a single scan over the non-zeros",
+//! which CSR provides; the row-pointer array even gives the row-count vector
+//! `h^r` for free (Section 3.1 of the paper).
+
+use crate::coo::CooMatrix;
+use crate::dense::DenseMatrix;
+use crate::error::{MatrixError, Result};
+
+/// A sparse matrix in CSR format.
+///
+/// Invariants:
+/// * `row_ptr.len() == nrows + 1`, `row_ptr[0] == 0`,
+///   `row_ptr[nrows] == col_idx.len() == values.len()`;
+/// * column indices within each row are strictly increasing;
+/// * stored values are finite and non-zero (assumptions A1/A2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Creates an empty (all-zero) matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        assert!(
+            ncols <= u32::MAX as usize,
+            "column dimension must fit in u32"
+        );
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let row_ptr = (0..=n).collect();
+        let col_idx = (0..n as u32).collect();
+        let values = vec![1.0; n];
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Builds a CSR matrix from raw parts, validating all invariants.
+    pub fn try_from_parts(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self> {
+        if row_ptr.len() != nrows + 1 {
+            return Err(MatrixError::MalformedBuffers("row_ptr length"));
+        }
+        if row_ptr[0] != 0 || row_ptr[nrows] != col_idx.len() || col_idx.len() != values.len() {
+            return Err(MatrixError::MalformedBuffers("buffer lengths"));
+        }
+        for w in row_ptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(MatrixError::MalformedBuffers("row_ptr not monotone"));
+            }
+        }
+        for r in 0..nrows {
+            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for pair in row.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(MatrixError::MalformedBuffers("columns not strictly sorted"));
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last as usize >= ncols {
+                    return Err(MatrixError::MalformedBuffers("column index out of range"));
+                }
+            }
+        }
+        if values.iter().any(|v| !v.is_finite() || *v == 0.0) {
+            return Err(MatrixError::MalformedBuffers("zero or non-finite value"));
+        }
+        Ok(CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Builds a CSR matrix from raw parts without validation.
+    ///
+    /// Callers must uphold the type invariants; kernels in this crate use it
+    /// after producing sorted, de-duplicated output.
+    pub(crate) fn from_parts_unchecked(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), nrows + 1);
+        debug_assert_eq!(*row_ptr.last().unwrap(), col_idx.len());
+        debug_assert_eq!(col_idx.len(), values.len());
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Compresses a COO matrix into CSR form.
+    ///
+    /// Duplicate coordinates are summed; entries that sum to exactly zero
+    /// are dropped.
+    pub fn from_coo(coo: CooMatrix) -> Self {
+        let (nrows, ncols, rows, cols, vals) = coo.into_parts();
+        // Counting sort by row.
+        let mut counts = vec![0usize; nrows + 1];
+        for &r in &rows {
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..nrows {
+            counts[i + 1] += counts[i];
+        }
+        let mut order = vec![0usize; rows.len()];
+        {
+            let mut next = counts.clone();
+            for (k, &r) in rows.iter().enumerate() {
+                let slot = next[r as usize];
+                order[slot] = k;
+                next[r as usize] += 1;
+            }
+        }
+        // Per row: sort by column, merge duplicates.
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        row_ptr.push(0);
+        let mut col_idx: Vec<u32> = Vec::with_capacity(rows.len());
+        let mut values: Vec<f64> = Vec::with_capacity(rows.len());
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for r in 0..nrows {
+            scratch.clear();
+            for &k in &order[counts[r]..counts[r + 1]] {
+                scratch.push((cols[k], vals[k]));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut v = 0.0;
+                while i < scratch.len() && scratch[i].0 == c {
+                    v += scratch[i].1;
+                    i += 1;
+                }
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Builds a matrix from an iterator of `(row, col, value)` triples.
+    pub fn from_triples<I>(nrows: usize, ncols: usize, triples: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        let mut coo = CooMatrix::new(nrows, ncols);
+        for (r, c, v) in triples {
+            coo.push(r, c, v)?;
+        }
+        Ok(Self::from_coo(coo))
+    }
+
+    /// Builds a CSR matrix from a dense row-major matrix, dropping zeros.
+    pub fn from_dense(d: &DenseMatrix) -> Self {
+        let (m, n) = (d.nrows(), d.ncols());
+        let mut row_ptr = Vec::with_capacity(m + 1);
+        row_ptr.push(0);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..m {
+            let row = d.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(j as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            nrows: m,
+            ncols: n,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Shape as `(nrows, ncols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    /// Number of stored non-zeros, `nnz(A)`.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Sparsity `s_A = nnz(A) / (m·n)`; 0 for degenerate empty shapes.
+    pub fn sparsity(&self) -> f64 {
+        let cells = self.nrows as f64 * self.ncols as f64;
+        if cells == 0.0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells
+        }
+    }
+
+    /// Row pointer array (length `nrows + 1`).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index array (length `nnz`).
+    #[inline]
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Value array (length `nnz`).
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The sparse row `i` as parallel `(columns, values)` slices.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of non-zeros in row `i` (one entry of `h^r`).
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Value at `(i, j)` via binary search in row `i`; zero if absent.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&(j as u32)) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over `(row, col, value)` triples in row-major order.
+    pub fn iter_triples(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.nrows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (i, c as usize, v))
+        })
+    }
+
+    /// Materializes the matrix densely (use only for small matrices/tests).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.nrows, self.ncols);
+        for (i, j, v) in self.iter_triples() {
+            d[(i, j)] = v;
+        }
+        d
+    }
+
+    /// Transposes the matrix (counting sort over columns, `O(nnz + m + n)`).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            counts[j + 1] += counts[j];
+        }
+        let row_ptr_t = counts.clone();
+        let mut col_idx_t = vec![0u32; self.nnz()];
+        let mut values_t = vec![0.0f64; self.nnz()];
+        let mut next = counts;
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let slot = next[c as usize];
+                col_idx_t[slot] = i as u32;
+                values_t[slot] = v;
+                next[c as usize] += 1;
+            }
+        }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr: row_ptr_t,
+            col_idx: col_idx_t,
+            values: values_t,
+        }
+    }
+
+    /// Replaces every stored value with `1.0` (the `A != 0` indicator under
+    /// assumption A1: the pattern is unchanged).
+    pub fn to_indicator(&self) -> CsrMatrix {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v = 1.0;
+        }
+        out
+    }
+
+    /// True if the matrix is square with a fully dense diagonal and no
+    /// off-diagonal non-zeros (the paper's "fully diagonal" flag, Eq. 12).
+    pub fn is_fully_diagonal(&self) -> bool {
+        if self.nrows != self.ncols || self.nnz() != self.nrows {
+            return false;
+        }
+        (0..self.nrows).all(|i| {
+            let (cols, _) = self.row(i);
+            cols.len() == 1 && cols[0] as usize == i
+        })
+    }
+
+    /// Checks full structural equality of the non-zero *pattern* (ignores
+    /// values). Useful for estimator exactness tests.
+    pub fn same_pattern(&self, other: &CsrMatrix) -> bool {
+        self.shape() == other.shape()
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        CsrMatrix::from_triples(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+            .unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let m = sample();
+        assert_eq!(m.shape(), (3, 3));
+        assert_eq!(m.nnz(), 4);
+        assert!((m.sparsity() - 4.0 / 9.0).abs() < 1e-12);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.row_nnz(2), 2);
+    }
+
+    #[test]
+    fn from_coo_merges_duplicates() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 0, 2.0).unwrap();
+        coo.push(1, 1, -1.0).unwrap();
+        coo.push(1, 1, 1.0).unwrap(); // cancels to zero -> dropped
+        let m = CsrMatrix::from_coo(coo);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn from_coo_sorts_columns() {
+        let m =
+            CsrMatrix::from_triples(1, 5, vec![(0, 4, 4.0), (0, 1, 1.0), (0, 3, 3.0)]).unwrap();
+        assert_eq!(m.col_indices(), &[1, 3, 4]);
+        assert_eq!(m.values(), &[1.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 3));
+        assert_eq!(t.get(0, 2), 3.0);
+        assert_eq!(t.get(2, 0), 2.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn transpose_rectangular() {
+        let m = CsrMatrix::from_triples(2, 4, vec![(0, 3, 1.0), (1, 0, 2.0)]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (4, 2));
+        assert_eq!(t.get(3, 0), 1.0);
+        assert_eq!(t.get(0, 1), 2.0);
+        assert_eq!(t.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn identity_is_fully_diagonal() {
+        assert!(CsrMatrix::identity(5).is_fully_diagonal());
+        assert!(!sample().is_fully_diagonal());
+        // Diagonal with a hole is not fully diagonal.
+        let holey = CsrMatrix::from_triples(3, 3, vec![(0, 0, 1.0), (2, 2, 1.0)]).unwrap();
+        assert!(!holey.is_fully_diagonal());
+    }
+
+    #[test]
+    fn try_from_parts_validates() {
+        // Unsorted columns rejected.
+        assert!(CsrMatrix::try_from_parts(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 1.0]).is_err());
+        // Out-of-range column rejected.
+        assert!(CsrMatrix::try_from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        // Zero value rejected.
+        assert!(CsrMatrix::try_from_parts(1, 2, vec![0, 1], vec![0], vec![0.0]).is_err());
+        // Valid input accepted.
+        let ok = CsrMatrix::try_from_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = sample();
+        let d = m.to_dense();
+        let back = CsrMatrix::from_dense(&d);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn indicator_preserves_pattern() {
+        let m = sample();
+        let ind = m.to_indicator();
+        assert!(ind.same_pattern(&m));
+        assert!(ind.values().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = CsrMatrix::zeros(3, 7);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.shape(), (3, 7));
+        let i = CsrMatrix::identity(4);
+        assert_eq!(i.nnz(), 4);
+        assert_eq!(i.get(2, 2), 1.0);
+        assert_eq!(i.get(2, 1), 0.0);
+    }
+
+    #[test]
+    fn iter_triples_row_major() {
+        let m = sample();
+        let t: Vec<_> = m.iter_triples().collect();
+        assert_eq!(
+            t,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]
+        );
+    }
+}

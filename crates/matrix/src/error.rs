@@ -1,0 +1,109 @@
+//! Error type shared by all matrix kernels.
+
+use std::fmt;
+
+/// Errors produced by matrix constructors and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Two operands had incompatible shapes for the requested operation.
+    DimensionMismatch {
+        /// Operation name, e.g. `"matmul"`.
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand.
+        rhs: (usize, usize),
+    },
+    /// A reshape was requested whose target cell count differs from the
+    /// source cell count.
+    InvalidReshape {
+        from: (usize, usize),
+        to: (usize, usize),
+    },
+    /// An index was out of bounds for the matrix shape.
+    IndexOutOfBounds {
+        index: (usize, usize),
+        shape: (usize, usize),
+    },
+    /// Raw CSR/COO buffers were inconsistent (lengths, ordering, ranges).
+    MalformedBuffers(&'static str),
+    /// The operation is only defined for a specific shape class
+    /// (e.g. `diag` extraction needs a square matrix or a vector).
+    ShapeClass(&'static str),
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            MatrixError::InvalidReshape { from, to } => write!(
+                f,
+                "invalid reshape: {}x{} ({} cells) -> {}x{} ({} cells)",
+                from.0,
+                from.1,
+                from.0 * from.1,
+                to.0,
+                to.1,
+                to.0 * to.1
+            ),
+            MatrixError::IndexOutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            MatrixError::MalformedBuffers(msg) => write!(f, "malformed buffers: {msg}"),
+            MatrixError::ShapeClass(msg) => write!(f, "unsupported shape: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, MatrixError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = MatrixError::DimensionMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert_eq!(e.to_string(), "dimension mismatch in matmul: 2x3 vs 4x5");
+    }
+
+    #[test]
+    fn display_invalid_reshape() {
+        let e = MatrixError::InvalidReshape {
+            from: (2, 3),
+            to: (4, 2),
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid reshape: 2x3 (6 cells) -> 4x2 (8 cells)"
+        );
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = MatrixError::IndexOutOfBounds {
+            index: (9, 9),
+            shape: (3, 3),
+        };
+        assert_eq!(e.to_string(), "index (9, 9) out of bounds for 3x3 matrix");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<MatrixError>();
+    }
+}

@@ -1,0 +1,378 @@
+//! Deterministic, seeded generators for every matrix family the SparsEst
+//! benchmark needs.
+//!
+//! All generators take an explicit `&mut impl Rng` so experiments are
+//! reproducible from a single seed. Values are drawn from `[0.1, 1.0)`:
+//! strictly positive, which realizes assumption A1 (no cancellation).
+
+use std::collections::HashSet;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::rand_ext::Zipf;
+
+/// Draws a non-zero value in `[0.1, 1.0)`.
+#[inline]
+pub fn nz_value<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    0.1 + 0.9 * rng.gen::<f64>()
+}
+
+/// Uniformly random sparse matrix with the given expected sparsity.
+///
+/// For `sparsity < 0.1` the generator samples `round(s·m·n)` distinct cells
+/// (exact nnz); otherwise it performs per-cell Bernoulli trials (expected
+/// nnz), which is faster for dense-ish matrices.
+pub fn rand_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    nrows: usize,
+    ncols: usize,
+    sparsity: f64,
+) -> CsrMatrix {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
+    let cells = nrows as u128 * ncols as u128;
+    if cells == 0 {
+        return CsrMatrix::zeros(nrows, ncols);
+    }
+    if sparsity < 0.1 {
+        let target = ((sparsity * cells as f64).round() as u128).min(cells) as usize;
+        let mut seen: HashSet<u64> = HashSet::with_capacity(target * 2);
+        let mut coo = CooMatrix::with_capacity(nrows, ncols, target);
+        while seen.len() < target {
+            let i = rng.gen_range(0..nrows);
+            let j = rng.gen_range(0..ncols);
+            let key = (i as u64) * (ncols as u64) + j as u64;
+            if seen.insert(key) {
+                coo.push(i, j, nz_value(rng)).expect("in range");
+            }
+        }
+        CsrMatrix::from_coo(coo)
+    } else {
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for _ in 0..nrows {
+            for j in 0..ncols {
+                if rng.gen::<f64>() < sparsity {
+                    col_idx.push(j as u32);
+                    values.push(nz_value(rng));
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix::from_parts_unchecked(nrows, ncols, row_ptr, col_idx, values)
+    }
+}
+
+/// Fully dense random matrix.
+pub fn rand_dense<R: Rng + ?Sized>(rng: &mut R, nrows: usize, ncols: usize) -> CsrMatrix {
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::with_capacity(nrows * ncols);
+    let mut values = Vec::with_capacity(nrows * ncols);
+    for _ in 0..nrows {
+        for j in 0..ncols {
+            col_idx.push(j as u32);
+            values.push(nz_value(rng));
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix::from_parts_unchecked(nrows, ncols, row_ptr, col_idx, values)
+}
+
+/// Samples `count` distinct column positions out of `0..ncols`.
+fn sample_distinct_cols<R: Rng + ?Sized>(rng: &mut R, ncols: usize, count: usize) -> Vec<u32> {
+    let count = count.min(ncols);
+    if count * 3 >= ncols {
+        // Dense-ish row: partial Fisher-Yates over all columns.
+        let mut all: Vec<u32> = (0..ncols as u32).collect();
+        all.partial_shuffle(rng, count);
+        let mut cols = all[..count].to_vec();
+        cols.sort_unstable();
+        cols
+    } else {
+        let mut seen = HashSet::with_capacity(count * 2);
+        while seen.len() < count {
+            seen.insert(rng.gen_range(0..ncols) as u32);
+        }
+        let mut cols: Vec<u32> = seen.into_iter().collect();
+        cols.sort_unstable();
+        cols
+    }
+}
+
+/// Random matrix with an exact, caller-specified number of non-zeros per row.
+pub fn rand_with_row_counts<R: Rng + ?Sized>(
+    rng: &mut R,
+    ncols: usize,
+    row_counts: &[u32],
+) -> CsrMatrix {
+    let nrows = row_counts.len();
+    let total: usize = row_counts.iter().map(|&c| c as usize).sum();
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::with_capacity(total);
+    let mut values = Vec::with_capacity(total);
+    for &c in row_counts {
+        let cols = sample_distinct_cols(rng, ncols, c as usize);
+        for col in cols {
+            col_idx.push(col);
+            values.push(nz_value(rng));
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix::from_parts_unchecked(nrows, ncols, row_ptr, col_idx, values)
+}
+
+/// Random matrix with an exact, caller-specified number of non-zeros per
+/// column (generated on the transpose, then transposed back).
+pub fn rand_with_col_counts<R: Rng + ?Sized>(
+    rng: &mut R,
+    nrows: usize,
+    col_counts: &[u32],
+) -> CsrMatrix {
+    rand_with_row_counts(rng, nrows, col_counts).transpose()
+}
+
+/// Splits `total` non-zeros over `n` buckets following a Zipf law with the
+/// given exponent, capping each bucket at `cap`. Returns the bucket counts.
+///
+/// Used for power-law column/row distributions (e.g. token frequencies in
+/// the B1.1/B2.1 NLP scenarios).
+pub fn powerlaw_counts<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    total: usize,
+    exponent: f64,
+    cap: usize,
+) -> Vec<u32> {
+    let zipf = Zipf::new(n, exponent);
+    let mut counts = vec![0u32; n];
+    let mut placed = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = total.saturating_mul(20).max(1024);
+    while placed < total && attempts < max_attempts {
+        attempts += 1;
+        let k = zipf.sample(rng);
+        if (counts[k] as usize) < cap {
+            counts[k] += 1;
+            placed += 1;
+        }
+    }
+    // If rejection sampling stalls (tiny caps), spill round-robin.
+    let mut k = 0usize;
+    while placed < total {
+        if (counts[k] as usize) < cap {
+            counts[k] += 1;
+            placed += 1;
+        }
+        k = (k + 1) % n;
+    }
+    counts
+}
+
+/// Random `n x n` permutation matrix (exactly one 1 per row and column).
+pub fn permutation<R: Rng + ?Sized>(rng: &mut R, n: usize) -> CsrMatrix {
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.shuffle(rng);
+    let row_ptr = (0..=n).collect();
+    let values = vec![1.0; n];
+    CsrMatrix::from_parts_unchecked(n, n, row_ptr, perm, values)
+}
+
+/// Selection matrix `P` of shape `k x m` with `P[i, rows[i]] = 1`:
+/// `P · X` extracts the listed rows of `X` in order.
+pub fn selection_matrix(rows: &[usize], m: usize) -> CsrMatrix {
+    let k = rows.len();
+    let row_ptr = (0..=k).collect();
+    let col_idx: Vec<u32> = rows.iter().map(|&r| {
+        assert!(r < m, "selected row out of range");
+        r as u32
+    }).collect();
+    let values = vec![1.0; k];
+    CsrMatrix::from_parts_unchecked(k, m, row_ptr, col_idx, values)
+}
+
+/// Column-projection matrix of shape `n x w` selecting columns
+/// `lo..lo+w`: `X · P` keeps that column range.
+pub fn col_projection(n: usize, lo: usize, w: usize) -> CsrMatrix {
+    assert!(lo + w <= n, "projection range out of bounds");
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::with_capacity(w);
+    for r in 0..n {
+        if r >= lo && r < lo + w {
+            col_idx.push((r - lo) as u32);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    let values = vec![1.0; w];
+    CsrMatrix::from_parts_unchecked(n, w, row_ptr, col_idx, values)
+}
+
+/// Scalar scaling matrix `diag(lambda)` of size `n` — fully diagonal.
+pub fn scalar_diag(n: usize, lambda: f64) -> CsrMatrix {
+    assert!(lambda != 0.0, "zero diagonal would not be fully diagonal");
+    let row_ptr = (0..=n).collect();
+    let col_idx = (0..n as u32).collect();
+    let values = vec![lambda; n];
+    CsrMatrix::from_parts_unchecked(n, n, row_ptr, col_idx, values)
+}
+
+/// The paper's B3.2 "scale & shift" matrix: `n x n` with a fully dense
+/// diagonal and a fully dense last row (used to fold feature scaling and
+/// intercept shifting into one product).
+pub fn scale_shift_matrix<R: Rng + ?Sized>(rng: &mut R, n: usize) -> CsrMatrix {
+    let mut coo = CooMatrix::with_capacity(n, n, 2 * n);
+    for i in 0..n {
+        coo.push(i, i, nz_value(rng)).expect("in range");
+    }
+    for j in 0..n {
+        if j != n - 1 {
+            coo.push(n - 1, j, nz_value(rng)).expect("in range");
+        }
+    }
+    CsrMatrix::from_coo(coo)
+}
+
+/// Dense column vector of ones (`m x 1`).
+pub fn ones_vector(m: usize) -> CsrMatrix {
+    let row_ptr = (0..=m).collect();
+    let col_idx = vec![0u32; m];
+    let values = vec![1.0; m];
+    CsrMatrix::from_parts_unchecked(m, 1, row_ptr, col_idx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rand_uniform_hits_target_sparsity_sparse_path() {
+        let m = rand_uniform(&mut rng(1), 200, 150, 0.01);
+        assert_eq!(m.nnz(), (0.01f64 * 200.0 * 150.0).round() as usize);
+    }
+
+    #[test]
+    fn rand_uniform_dense_path_close_to_target() {
+        let m = rand_uniform(&mut rng(2), 300, 300, 0.5);
+        let s = m.sparsity();
+        assert!((s - 0.5).abs() < 0.02, "sparsity {s}");
+    }
+
+    #[test]
+    fn rand_uniform_extremes() {
+        assert_eq!(rand_uniform(&mut rng(3), 10, 10, 0.0).nnz(), 0);
+        assert_eq!(rand_uniform(&mut rng(3), 10, 10, 1.0).nnz(), 100);
+        assert_eq!(rand_dense(&mut rng(3), 7, 5).nnz(), 35);
+    }
+
+    #[test]
+    fn row_counts_respected_exactly() {
+        let counts = vec![0u32, 1, 5, 10, 10];
+        let m = rand_with_row_counts(&mut rng(4), 10, &counts);
+        for (i, &c) in counts.iter().enumerate() {
+            assert_eq!(m.row_nnz(i), c as usize);
+        }
+    }
+
+    #[test]
+    fn col_counts_respected_exactly() {
+        let counts = vec![3u32, 0, 7];
+        let m = rand_with_col_counts(&mut rng(5), 8, &counts);
+        let col = crate::stats::col_nnz_counts(&m);
+        assert_eq!(col, counts);
+        assert_eq!(m.shape(), (8, 3));
+    }
+
+    #[test]
+    fn powerlaw_counts_sum_and_skew() {
+        let counts = powerlaw_counts(&mut rng(6), 100, 5_000, 1.1, 1_000);
+        let total: usize = counts.iter().map(|&c| c as usize).sum();
+        assert_eq!(total, 5_000);
+        assert!(counts[0] > counts[50]);
+    }
+
+    #[test]
+    fn powerlaw_counts_respects_cap() {
+        let counts = powerlaw_counts(&mut rng(7), 10, 95, 2.0, 10);
+        assert!(counts.iter().all(|&c| c <= 10));
+        let total: usize = counts.iter().map(|&c| c as usize).sum();
+        assert_eq!(total, 95);
+    }
+
+    #[test]
+    fn permutation_has_one_per_row_and_col() {
+        let p = permutation(&mut rng(8), 50);
+        assert_eq!(p.nnz(), 50);
+        let stats = crate::stats::NnzStats::compute(&p);
+        assert!(stats.row_counts.iter().all(|&c| c == 1));
+        assert!(stats.col_counts.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn permutation_product_preserves_sparsity() {
+        let mut r = rng(9);
+        let p = permutation(&mut r, 30);
+        let x = rand_uniform(&mut r, 30, 10, 0.3);
+        let y = crate::ops::matmul(&p, &x).unwrap();
+        assert_eq!(y.nnz(), x.nnz());
+    }
+
+    #[test]
+    fn selection_matrix_selects_rows() {
+        let mut r = rng(10);
+        let x = rand_uniform(&mut r, 20, 6, 0.4);
+        let p = selection_matrix(&[3, 17, 5], 20);
+        let y = crate::ops::matmul(&p, &x).unwrap();
+        assert_eq!(y.shape(), (3, 6));
+        assert_eq!(y.to_dense().row(0), x.to_dense().row(3));
+        assert_eq!(y.to_dense().row(1), x.to_dense().row(17));
+    }
+
+    #[test]
+    fn col_projection_selects_columns() {
+        let mut r = rng(11);
+        let x = rand_uniform(&mut r, 10, 20, 0.4);
+        let p = col_projection(20, 5, 4);
+        let y = crate::ops::matmul(&x, &p).unwrap();
+        assert_eq!(y.shape(), (10, 4));
+        for i in 0..10 {
+            for j in 0..4 {
+                assert_eq!(y.get(i, j), x.get(i, j + 5));
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_diag_is_fully_diagonal() {
+        let d = scalar_diag(12, 2.5);
+        assert!(d.is_fully_diagonal());
+        assert_eq!(d.get(3, 3), 2.5);
+    }
+
+    #[test]
+    fn scale_shift_structure() {
+        let s = scale_shift_matrix(&mut rng(12), 10);
+        assert_eq!(s.nnz(), 2 * 10 - 1);
+        for i in 0..10 {
+            assert!(s.get(i, i) != 0.0, "diagonal {i}");
+            assert!(s.get(9, i) != 0.0, "last row {i}");
+        }
+    }
+
+    #[test]
+    fn ones_vector_shape() {
+        let v = ones_vector(5);
+        assert_eq!(v.shape(), (5, 1));
+        assert_eq!(v.nnz(), 5);
+    }
+}

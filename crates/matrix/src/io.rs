@@ -1,0 +1,193 @@
+//! Matrix Market (`.mtx`) I/O.
+//!
+//! The paper's datasets (SuiteSparse's Email-EuAll, AMiner exports, ...)
+//! ship in MatrixMarket coordinate format; this module reads and writes the
+//! `matrix coordinate real/integer/pattern general` subset so users can run
+//! the estimators on their own data. Sketch construction can be
+//! piggybacked on the read (Section 3.1: "the MNC construction can be
+//! piggybacked on the read of matrices") via [`read_matrix_market_with`].
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use crate::error::{MatrixError, Result};
+
+/// Reads a MatrixMarket coordinate file from any buffered reader.
+pub fn read_matrix_market<R: BufRead>(reader: R) -> Result<CsrMatrix> {
+    read_matrix_market_with(reader, |_, _, _| {})
+}
+
+/// Reads a MatrixMarket coordinate file, invoking `observe(row, col, value)`
+/// for every entry — the hook on which sketch construction piggybacks.
+pub fn read_matrix_market_with<R: BufRead>(
+    reader: R,
+    mut observe: impl FnMut(usize, usize, f64),
+) -> Result<CsrMatrix> {
+    let mut lines = reader.lines();
+    // Header: "%%MatrixMarket matrix coordinate <field> <symmetry>".
+    let header = lines
+        .next()
+        .ok_or(MatrixError::MalformedBuffers("empty MatrixMarket file"))?
+        .map_err(|_| MatrixError::MalformedBuffers("unreadable header"))?;
+    let header_lc = header.to_lowercase();
+    if !header_lc.starts_with("%%matrixmarket matrix coordinate") {
+        return Err(MatrixError::MalformedBuffers(
+            "only `matrix coordinate` MatrixMarket files are supported",
+        ));
+    }
+    let pattern = header_lc.contains("pattern");
+    let symmetric = header_lc.contains("symmetric");
+
+    let mut coo: Option<CooMatrix> = None;
+    let mut expected = 0usize;
+    for line in lines {
+        let line = line.map_err(|_| MatrixError::MalformedBuffers("unreadable line"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_ascii_whitespace();
+        if coo.is_none() {
+            // Size line: rows cols nnz.
+            let rows: usize = parse(it.next())?;
+            let cols: usize = parse(it.next())?;
+            expected = parse(it.next())?;
+            coo = Some(CooMatrix::with_capacity(rows, cols, expected));
+            continue;
+        }
+        let coo_ref = coo.as_mut().expect("initialized above");
+        let i: usize = parse::<usize>(it.next())?
+            .checked_sub(1)
+            .ok_or(MatrixError::MalformedBuffers("1-based row index is 0"))?;
+        let j: usize = parse::<usize>(it.next())?
+            .checked_sub(1)
+            .ok_or(MatrixError::MalformedBuffers("1-based column index is 0"))?;
+        let v: f64 = if pattern { 1.0 } else { parse(it.next())? };
+        observe(i, j, v);
+        coo_ref.push(i, j, v)?;
+        if symmetric && i != j {
+            coo_ref.push(j, i, v)?;
+        }
+    }
+    let coo = coo.ok_or(MatrixError::MalformedBuffers("missing size line"))?;
+    // Note: the declared entry count is advisory only — explicit zeros are
+    // dropped on push and symmetric files expand, so `coo.len()` may differ
+    // from `expected` for well-formed files.
+    let _ = expected;
+    Ok(CsrMatrix::from_coo(coo))
+}
+
+fn parse<T: std::str::FromStr>(tok: Option<&str>) -> Result<T> {
+    tok.and_then(|t| t.parse().ok())
+        .ok_or(MatrixError::MalformedBuffers("malformed numeric token"))
+}
+
+/// Reads a MatrixMarket file from disk.
+pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<CsrMatrix> {
+    let file = std::fs::File::open(path)
+        .map_err(|_| MatrixError::MalformedBuffers("cannot open file"))?;
+    read_matrix_market(std::io::BufReader::new(file))
+}
+
+/// Writes a matrix in MatrixMarket `coordinate real general` format.
+pub fn write_matrix_market<W: Write>(m: &CsrMatrix, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    let io_err = |_| MatrixError::MalformedBuffers("write failure");
+    writeln!(w, "%%MatrixMarket matrix coordinate real general").map_err(io_err)?;
+    writeln!(w, "% written by mnc-rs").map_err(io_err)?;
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz()).map_err(io_err)?;
+    for (i, j, v) in m.iter_triples() {
+        writeln!(w, "{} {} {}", i + 1, j + 1, v).map_err(io_err)?;
+    }
+    w.flush().map_err(io_err)
+}
+
+/// Writes a matrix to a `.mtx` file on disk.
+pub fn write_matrix_market_file(m: &CsrMatrix, path: impl AsRef<Path>) -> Result<()> {
+    let file = std::fs::File::create(path)
+        .map_err(|_| MatrixError::MalformedBuffers("cannot create file"))?;
+    write_matrix_market(m, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_through_buffer() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let m = gen::rand_uniform(&mut rng, 20, 30, 0.1);
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back = read_matrix_market(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn reads_pattern_files() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    % comment line\n\
+                    3 4 2\n\
+                    1 1\n\
+                    3 4\n";
+        let m = read_matrix_market(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(2, 3), 1.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn reads_symmetric_files() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    3 3 2\n\
+                    2 1 5.0\n\
+                    3 3 7.0\n";
+        let m = read_matrix_market(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.get(0, 1), 5.0); // mirrored
+        assert_eq!(m.get(2, 2), 7.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn rejects_non_coordinate() {
+        let text = "%%MatrixMarket matrix array real general\n1 1\n0.5\n";
+        assert!(read_matrix_market(std::io::Cursor::new(text)).is_err());
+        assert!(read_matrix_market(std::io::Cursor::new("")).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_based_indices() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 3.0\n";
+        assert!(read_matrix_market(std::io::Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn observe_hook_sees_all_entries() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let m = gen::rand_uniform(&mut rng, 10, 10, 0.2);
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let mut count = 0usize;
+        let back =
+            read_matrix_market_with(std::io::Cursor::new(buf), |_, _, _| count += 1).unwrap();
+        assert_eq!(count, m.nnz());
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let m = gen::rand_uniform(&mut rng, 8, 8, 0.3);
+        let path = std::env::temp_dir().join("mnc_io_test.mtx");
+        write_matrix_market_file(&m, &path).unwrap();
+        let back = read_matrix_market_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,44 @@
+//! # mnc-matrix
+//!
+//! Sparse-matrix substrate for the MNC sparsity-estimation reproduction
+//! (Sommer et al., *MNC: Structure-Exploiting Sparsity Estimation for Matrix
+//! Expressions*, SIGMOD 2019).
+//!
+//! This crate provides everything the estimators and the SparsEst benchmark
+//! need from a linear-algebra runtime:
+//!
+//! * matrix formats: triple-based [`CooMatrix`], compressed-sparse-row
+//!   [`CsrMatrix`] (the workhorse), and a row-major [`DenseMatrix`] used for
+//!   small cross-checks;
+//! * exact kernels for every operation the paper's Section 4 covers:
+//!   matrix product (SpGEMM), element-wise add/multiply, transpose, row-wise
+//!   reshape, `diag`, `rbind`/`cbind`, and the `==0` / `!=0` comparisons;
+//! * non-zero statistics (row/column count vectors, the raw material of the
+//!   MNC sketch);
+//! * deterministic, seeded random generators for every matrix family used by
+//!   the SparsEst benchmark (uniform sparsity, per-row/column counts,
+//!   power-law skew, permutation/selection/diagonal matrices, ...).
+//!
+//! All kernels follow the paper's simplifying assumptions:
+//!
+//! * **A1 — no cancellation**: generated values are strictly positive, so
+//!   additions never produce incidental zeros. Kernels still drop exact
+//!   zeros defensively.
+//! * **A2 — no NaNs**: values are finite; debug assertions enforce this.
+
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod gen;
+pub mod io;
+pub mod ops;
+pub mod partition;
+pub mod rand_ext;
+pub mod stats;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use error::{MatrixError, Result};
+pub use stats::NnzStats;

@@ -1,0 +1,144 @@
+//! Aggregation kernels: `rowSums`, `colSums`, `sum`, and their indicator
+//! variants — the vocabulary the paper defines the MNC sketch in
+//! (`h^r = rowSums(A != 0)`, `h^c = colSums(A != 0)`, Section 3.1).
+
+use crate::csr::CsrMatrix;
+
+/// `rowSums(A)`: per-row value sums as an `m x 1` column vector.
+pub fn row_sums(a: &CsrMatrix) -> CsrMatrix {
+    let m = a.nrows();
+    let mut row_ptr = Vec::with_capacity(m + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    for i in 0..m {
+        let (_, vals) = a.row(i);
+        let s: f64 = vals.iter().sum();
+        if s != 0.0 {
+            col_idx.push(0u32);
+            values.push(s);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix::from_parts_unchecked(m, 1, row_ptr, col_idx, values)
+}
+
+/// `colSums(A)`: per-column value sums as a `1 x n` row vector.
+pub fn col_sums(a: &CsrMatrix) -> CsrMatrix {
+    let n = a.ncols();
+    let mut acc = vec![0.0f64; n];
+    for (_, j, v) in a.iter_triples() {
+        acc[j] += v;
+    }
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    for (j, &v) in acc.iter().enumerate() {
+        if v != 0.0 {
+            col_idx.push(j as u32);
+            values.push(v);
+        }
+    }
+    let nnz = col_idx.len();
+    CsrMatrix::from_parts_unchecked(1, n, vec![0, nnz], col_idx, values)
+}
+
+/// `sum(A)`: the grand total of all values.
+pub fn sum(a: &CsrMatrix) -> f64 {
+    a.values().iter().sum()
+}
+
+/// `rowMaxs(A)` over stored values, with absent cells counting as zero
+/// (`max(row) >= 0` for any non-full row).
+pub fn row_maxs(a: &CsrMatrix) -> CsrMatrix {
+    let m = a.nrows();
+    let n = a.ncols();
+    let mut row_ptr = Vec::with_capacity(m + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    for i in 0..m {
+        let (cols, vals) = a.row(i);
+        let mut mx = if cols.len() < n { 0.0f64 } else { f64::NEG_INFINITY };
+        for &v in vals {
+            mx = mx.max(v);
+        }
+        if !vals.is_empty() && mx != 0.0 {
+            col_idx.push(0u32);
+            values.push(mx);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix::from_parts_unchecked(m, 1, row_ptr, col_idx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::stats::NnzStats;
+    use rand::SeedableRng;
+
+    fn sample() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 -3 0 ]
+        CsrMatrix::from_triples(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, -3.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn row_sums_values() {
+        let r = row_sums(&sample());
+        assert_eq!(r.shape(), (3, 1));
+        assert_eq!(r.get(0, 0), 3.0);
+        assert_eq!(r.get(1, 0), 0.0);
+        assert_eq!(r.get(2, 0), 0.0); // 3 + (-3) cancels -> dropped
+        assert_eq!(r.nnz(), 1);
+    }
+
+    #[test]
+    fn col_sums_values() {
+        let c = col_sums(&sample());
+        assert_eq!(c.shape(), (1, 3));
+        assert_eq!(c.get(0, 0), 4.0);
+        assert_eq!(c.get(0, 1), -3.0);
+        assert_eq!(c.get(0, 2), 2.0);
+    }
+
+    #[test]
+    fn sum_is_total() {
+        assert_eq!(sum(&sample()), 3.0);
+        assert_eq!(sum(&CsrMatrix::zeros(4, 4)), 0.0);
+    }
+
+    #[test]
+    fn sketch_definition_via_aggregations() {
+        // h^r = rowSums(A != 0) and h^c = colSums(A != 0) — the paper's
+        // defining identities, checked against the stats module.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a = gen::rand_uniform(&mut rng, 25, 18, 0.2);
+        let ind = a.to_indicator();
+        let hr = row_sums(&ind);
+        let hc = col_sums(&ind);
+        let stats = NnzStats::compute(&a);
+        for i in 0..25 {
+            assert_eq!(hr.get(i, 0) as u32, stats.row_counts[i]);
+        }
+        for j in 0..18 {
+            assert_eq!(hc.get(0, j) as u32, stats.col_counts[j]);
+        }
+    }
+
+    #[test]
+    fn row_maxs_with_implicit_zeros() {
+        let m = CsrMatrix::from_triples(2, 3, vec![(0, 0, -5.0), (1, 1, 4.0)]).unwrap();
+        let mx = row_maxs(&m);
+        // Row 0: max(-5, 0, 0) = 0 -> dropped.
+        assert_eq!(mx.get(0, 0), 0.0);
+        assert_eq!(mx.get(1, 0), 4.0);
+    }
+}

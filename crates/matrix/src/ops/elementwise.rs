@@ -1,0 +1,258 @@
+//! Element-wise (Hadamard) operations: `A + B` and `A ⊙ B`.
+//!
+//! Both kernels are sorted-merge joins over each row pair, `O(nnz(A) +
+//! nnz(B))` time.
+
+use crate::csr::CsrMatrix;
+use crate::error::{MatrixError, Result};
+
+fn check_same_shape(op: &'static str, a: &CsrMatrix, b: &CsrMatrix) -> Result<()> {
+    if a.shape() != b.shape() {
+        return Err(MatrixError::DimensionMismatch {
+            op,
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// Element-wise addition `C = A + B`.
+///
+/// Cells where the sum cancels to exactly zero are dropped (they are real
+/// zeros, not stored ones).
+pub fn ew_add(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    check_same_shape("ew_add", a, b)?;
+    let (m, n) = a.shape();
+    let mut row_ptr = Vec::with_capacity(m + 1);
+    row_ptr.push(0usize);
+    let mut col_idx: Vec<u32> = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut values: Vec<f64> = Vec::with_capacity(a.nnz() + b.nnz());
+
+    for i in 0..m {
+        let (ac, av) = a.row(i);
+        let (bc, bv) = b.row(i);
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < ac.len() || q < bc.len() {
+            let (c, v) = if q >= bc.len() || (p < ac.len() && ac[p] < bc[q]) {
+                let out = (ac[p], av[p]);
+                p += 1;
+                out
+            } else if p >= ac.len() || bc[q] < ac[p] {
+                let out = (bc[q], bv[q]);
+                q += 1;
+                out
+            } else {
+                let out = (ac[p], av[p] + bv[q]);
+                p += 1;
+                q += 1;
+                out
+            };
+            if v != 0.0 {
+                col_idx.push(c);
+                values.push(v);
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(m, n, row_ptr, col_idx, values))
+}
+
+/// Element-wise multiplication `C = A ⊙ B` (intersection of patterns).
+pub fn ew_mul(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    check_same_shape("ew_mul", a, b)?;
+    let (m, n) = a.shape();
+    let mut row_ptr = Vec::with_capacity(m + 1);
+    row_ptr.push(0usize);
+    let mut col_idx: Vec<u32> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+
+    for i in 0..m {
+        let (ac, av) = a.row(i);
+        let (bc, bv) = b.row(i);
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < ac.len() && q < bc.len() {
+            if ac[p] < bc[q] {
+                p += 1;
+            } else if bc[q] < ac[p] {
+                q += 1;
+            } else {
+                let v = av[p] * bv[q];
+                if v != 0.0 {
+                    col_idx.push(ac[p]);
+                    values.push(v);
+                }
+                p += 1;
+                q += 1;
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(m, n, row_ptr, col_idx, values))
+}
+
+/// Element-wise maximum `C_ij = max(A_ij, B_ij)`, with absent entries
+/// treated as zero (so `max(-2, ·absent·) = 0` is dropped). Under
+/// assumption A1 (positive values) the result pattern is the union —
+/// the paper's spatial-processing pattern where `max` replaces `∨`.
+pub fn ew_max(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    merge_extremum("ew_max", a, b, f64::max)
+}
+
+/// Element-wise minimum with absent entries treated as zero; under A1 the
+/// result pattern is the intersection.
+pub fn ew_min(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    merge_extremum("ew_min", a, b, f64::min)
+}
+
+fn merge_extremum(
+    op: &'static str,
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    f: impl Fn(f64, f64) -> f64,
+) -> Result<CsrMatrix> {
+    check_same_shape(op, a, b)?;
+    let (m, n) = a.shape();
+    let mut row_ptr = Vec::with_capacity(m + 1);
+    row_ptr.push(0usize);
+    let mut col_idx: Vec<u32> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+    for i in 0..m {
+        let (ac, av) = a.row(i);
+        let (bc, bv) = b.row(i);
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < ac.len() || q < bc.len() {
+            let (c, v) = if q >= bc.len() || (p < ac.len() && ac[p] < bc[q]) {
+                let out = (ac[p], f(av[p], 0.0));
+                p += 1;
+                out
+            } else if p >= ac.len() || bc[q] < ac[p] {
+                let out = (bc[q], f(bv[q], 0.0));
+                q += 1;
+                out
+            } else {
+                let out = (ac[p], f(av[p], bv[q]));
+                p += 1;
+                q += 1;
+                out
+            };
+            if v != 0.0 {
+                col_idx.push(c);
+                values.push(v);
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(m, n, row_ptr, col_idx, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::SeedableRng;
+
+    fn dense_check(
+        op: impl Fn(&CsrMatrix, &CsrMatrix) -> Result<CsrMatrix>,
+        f: impl Fn(f64, f64) -> f64,
+        seed: u64,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = gen::rand_uniform(&mut rng, 17, 23, 0.25);
+        let b = gen::rand_uniform(&mut rng, 17, 23, 0.4);
+        let c = op(&a, &b).unwrap();
+        let (da, db, dc) = (a.to_dense(), b.to_dense(), c.to_dense());
+        for i in 0..17 {
+            for j in 0..23 {
+                let expect = f(da[(i, j)], db[(i, j)]);
+                assert!(
+                    (dc[(i, j)] - expect).abs() < 1e-12,
+                    "mismatch at ({i},{j}): {} vs {}",
+                    dc[(i, j)],
+                    expect
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_matches_dense() {
+        dense_check(ew_add, |x, y| x + y, 11);
+    }
+
+    #[test]
+    fn mul_matches_dense() {
+        dense_check(ew_mul, |x, y| x * y, 13);
+    }
+
+    #[test]
+    fn add_cancellation_dropped() {
+        let a = CsrMatrix::from_triples(1, 2, vec![(0, 0, 1.0)]).unwrap();
+        let b = CsrMatrix::from_triples(1, 2, vec![(0, 0, -1.0), (0, 1, 2.0)]).unwrap();
+        let c = ew_add(&a, &b).unwrap();
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 1), 2.0);
+    }
+
+    #[test]
+    fn mul_is_pattern_intersection() {
+        let a = CsrMatrix::from_triples(2, 2, vec![(0, 0, 2.0), (1, 1, 3.0)]).unwrap();
+        let b = CsrMatrix::from_triples(2, 2, vec![(0, 0, 4.0), (1, 0, 5.0)]).unwrap();
+        let c = ew_mul(&a, &b).unwrap();
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 0), 8.0);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = CsrMatrix::zeros(2, 2);
+        let b = CsrMatrix::zeros(2, 3);
+        assert!(ew_add(&a, &b).is_err());
+        assert!(ew_mul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn max_matches_dense() {
+        dense_check(ew_max, f64::max, 17);
+    }
+
+    #[test]
+    fn min_matches_dense() {
+        dense_check(ew_min, f64::min, 19);
+    }
+
+    #[test]
+    fn max_with_negative_values_drops_zeros() {
+        // max(-2, absent) = max(-2, 0) = 0 -> dropped.
+        let a = CsrMatrix::from_triples(1, 3, vec![(0, 0, -2.0), (0, 1, 3.0)]).unwrap();
+        let b = CsrMatrix::from_triples(1, 3, vec![(0, 2, -5.0)]).unwrap();
+        let c = ew_max(&a, &b).unwrap();
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.get(0, 1), 3.0);
+        // min keeps the negatives instead.
+        let d = ew_min(&a, &b).unwrap();
+        assert_eq!(d.get(0, 0), -2.0);
+        assert_eq!(d.get(0, 2), -5.0);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn positive_max_is_union_min_is_intersection() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let a = gen::rand_uniform(&mut rng, 20, 20, 0.3);
+        let b = gen::rand_uniform(&mut rng, 20, 20, 0.25);
+        let mx = ew_max(&a, &b).unwrap();
+        let mn = ew_min(&a, &b).unwrap();
+        assert!(mx.same_pattern(&ew_add(&a, &b).unwrap()));
+        assert!(mn.same_pattern(&ew_mul(&a, &b).unwrap()));
+    }
+
+    #[test]
+    fn add_with_empty_is_identity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a = gen::rand_uniform(&mut rng, 10, 10, 0.3);
+        let z = CsrMatrix::zeros(10, 10);
+        assert_eq!(ew_add(&a, &z).unwrap(), a);
+        assert_eq!(ew_mul(&a, &z).unwrap().nnz(), 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Exact kernels for the operations covered by the paper's estimators.
+//!
+//! * [`product`] — matrix product (Gustavson SpGEMM) and the pattern-only
+//!   boolean product that defines ground-truth output sparsity under
+//!   assumptions A1/A2.
+//! * [`elementwise`] — element-wise addition and multiplication.
+//! * [`reorg`] — reorganization operations: row-wise reshape, `diag`,
+//!   `rbind`/`cbind`, and the `==0` / `!=0` comparisons.
+//!   (Transpose lives on [`CsrMatrix`](crate::CsrMatrix) itself.)
+
+pub mod agg;
+pub mod elementwise;
+pub mod product;
+pub mod reorg;
+
+pub use agg::{col_sums, row_maxs, row_sums, sum};
+pub use elementwise::{ew_add, ew_max, ew_min, ew_mul};
+pub use product::{bool_matmul, matmul};
+pub use reorg::{cbind, diag_extract, diag_v2m, eq_zero, neq_zero, rbind, reshape};

@@ -1,0 +1,193 @@
+//! Sparse matrix product kernels (Gustavson's algorithm).
+//!
+//! `matmul` computes numeric values; `bool_matmul` computes only the
+//! non-zero pattern, which — under assumptions A1 (no cancellation) and A2
+//! (no NaNs) — has the same pattern as the numeric product and defines the
+//! ground-truth output sparsity the estimators are judged against.
+
+use crate::csr::CsrMatrix;
+use crate::error::{MatrixError, Result};
+
+fn check_dims(op: &'static str, a: &CsrMatrix, b: &CsrMatrix) -> Result<()> {
+    if a.ncols() != b.nrows() {
+        return Err(MatrixError::DimensionMismatch {
+            op,
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    Ok(())
+}
+
+/// Numeric sparse product `C = A B` via Gustavson's row-wise algorithm with a
+/// dense accumulator, `O(flops + m + l)` time.
+///
+/// Exact zeros produced by cancellation are dropped from the output, so the
+/// result always satisfies the CSR invariants.
+pub fn matmul(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    check_dims("matmul", a, b)?;
+    let (m, l) = (a.nrows(), b.ncols());
+    let mut acc = vec![0.0f64; l];
+    let mut touched: Vec<u32> = Vec::new();
+
+    let mut row_ptr = Vec::with_capacity(m + 1);
+    row_ptr.push(0usize);
+    let mut col_idx: Vec<u32> = Vec::new();
+    let mut values: Vec<f64> = Vec::new();
+
+    for i in 0..m {
+        let (a_cols, a_vals) = a.row(i);
+        for (&k, &av) in a_cols.iter().zip(a_vals) {
+            let (b_cols, b_vals) = b.row(k as usize);
+            for (&j, &bv) in b_cols.iter().zip(b_vals) {
+                let cell = &mut acc[j as usize];
+                if *cell == 0.0 {
+                    touched.push(j);
+                }
+                *cell += av * bv;
+            }
+        }
+        touched.sort_unstable();
+        for &j in &touched {
+            let v = acc[j as usize];
+            // `v` may be exactly zero after cancellation or may have been
+            // touched twice and re-zeroed; keep only true non-zeros.
+            if v != 0.0 {
+                col_idx.push(j);
+                values.push(v);
+            }
+            acc[j as usize] = 0.0;
+        }
+        touched.clear();
+        row_ptr.push(col_idx.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(m, l, row_ptr, col_idx, values))
+}
+
+/// Pattern-only boolean product: `C_ij = 1` iff row `i` of `A` and column `j`
+/// of `B` share at least one non-zero position.
+///
+/// This is the ground truth the paper's estimators target (`s_C` of
+/// `(A != 0)(B != 0)`), and is cheaper than `matmul` because each output cell
+/// is set at most once.
+pub fn bool_matmul(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    check_dims("bool_matmul", a, b)?;
+    let (m, l) = (a.nrows(), b.ncols());
+    let mut seen = vec![false; l];
+    let mut touched: Vec<u32> = Vec::new();
+
+    let mut row_ptr = Vec::with_capacity(m + 1);
+    row_ptr.push(0usize);
+    let mut col_idx: Vec<u32> = Vec::new();
+
+    for i in 0..m {
+        let (a_cols, _) = a.row(i);
+        for &k in a_cols {
+            let (b_cols, _) = b.row(k as usize);
+            for &j in b_cols {
+                if !seen[j as usize] {
+                    seen[j as usize] = true;
+                    touched.push(j);
+                }
+            }
+        }
+        touched.sort_unstable();
+        col_idx.extend_from_slice(&touched);
+        for &j in &touched {
+            seen[j as usize] = false;
+        }
+        touched.clear();
+        row_ptr.push(col_idx.len());
+    }
+    let values = vec![1.0; col_idx.len()];
+    Ok(CsrMatrix::from_parts_unchecked(m, l, row_ptr, col_idx, values))
+}
+
+/// Number of scalar multiplications a sparse product would execute:
+/// `Σ_k h^c_A[k] · h^r_B[k]` — the sparsity-aware cost used by the optimizer
+/// of Appendix C.
+pub fn matmul_flops(a: &CsrMatrix, b: &CsrMatrix) -> Result<u64> {
+    check_dims("matmul_flops", a, b)?;
+    let col_counts = crate::stats::col_nnz_counts(a);
+    let mut flops = 0u64;
+    for (k, &ca) in col_counts.iter().enumerate() {
+        flops += ca as u64 * b.row_nnz(k) as u64;
+    }
+    Ok(flops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_product_matches_dense() {
+        let a = CsrMatrix::from_triples(2, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)])
+            .unwrap();
+        let b = CsrMatrix::from_triples(3, 2, vec![(0, 1, 4.0), (1, 0, 5.0), (2, 1, 6.0)])
+            .unwrap();
+        let c = matmul(&a, &b).unwrap();
+        let expect = a.to_dense().matmul(&b.to_dense()).unwrap();
+        assert_eq!(c.to_dense(), expect);
+    }
+
+    #[test]
+    fn dim_mismatch_rejected() {
+        let a = CsrMatrix::zeros(2, 3);
+        let b = CsrMatrix::zeros(2, 3);
+        assert!(matmul(&a, &b).is_err());
+        assert!(bool_matmul(&a, &b).is_err());
+        assert!(matmul_flops(&a, &b).is_err());
+    }
+
+    #[test]
+    fn bool_product_pattern_matches_numeric() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = gen::rand_uniform(&mut rng, 40, 30, 0.1);
+        let b = gen::rand_uniform(&mut rng, 30, 50, 0.15);
+        let c = matmul(&a, &b).unwrap();
+        let cb = bool_matmul(&a, &b).unwrap();
+        // Positive values -> no cancellation -> identical patterns.
+        assert!(cb.same_pattern(&c));
+    }
+
+    #[test]
+    fn cancellation_dropped_from_numeric_product() {
+        // a = [1 1], b = [[1],[-1]] -> product is exactly 0.
+        let a = CsrMatrix::from_triples(1, 2, vec![(0, 0, 1.0), (0, 1, 1.0)]).unwrap();
+        let b = CsrMatrix::from_triples(2, 1, vec![(0, 0, 1.0), (1, 0, -1.0)]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.nnz(), 0);
+        // The boolean product still reports a structural non-zero (A1 view).
+        let cb = bool_matmul(&a, &b).unwrap();
+        assert_eq!(cb.nnz(), 1);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = gen::rand_uniform(&mut rng, 20, 20, 0.2);
+        let i = CsrMatrix::identity(20);
+        assert_eq!(matmul(&a, &i).unwrap(), a);
+        assert_eq!(matmul(&i, &a).unwrap(), a);
+    }
+
+    #[test]
+    fn flops_count_matches_definition() {
+        let a = CsrMatrix::from_triples(2, 2, vec![(0, 0, 1.0), (1, 0, 1.0)]).unwrap();
+        let b = CsrMatrix::from_triples(2, 3, vec![(0, 0, 1.0), (0, 2, 1.0)]).unwrap();
+        // Column 0 of A has 2 nnz, row 0 of B has 2 nnz -> 4 multiplications.
+        assert_eq!(matmul_flops(&a, &b).unwrap(), 4);
+    }
+
+    #[test]
+    fn product_with_empty_matrix() {
+        let a = CsrMatrix::zeros(4, 5);
+        let b = CsrMatrix::zeros(5, 3);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), (4, 3));
+        assert_eq!(c.nnz(), 0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Reorganization operations: reshape, diag, rbind/cbind, `==0` / `!=0`.
+
+use crate::csr::CsrMatrix;
+use crate::error::{MatrixError, Result};
+
+/// Row-wise reshape of an `m x n` matrix into a `k x l` matrix with
+/// `m·n == k·l`: cell `(i, j)` moves to linear position `i·n + j`, which is
+/// re-interpreted as `(p / l, p % l)`.
+pub fn reshape(a: &CsrMatrix, k: usize, l: usize) -> Result<CsrMatrix> {
+    let (m, n) = a.shape();
+    if m.checked_mul(n) != k.checked_mul(l) || k * l == 0 && m * n != 0 {
+        return Err(MatrixError::InvalidReshape {
+            from: (m, n),
+            to: (k, l),
+        });
+    }
+    // Row-major traversal of A visits linear positions in increasing order,
+    // so the output rows/columns come out sorted without extra sorting.
+    let mut row_ptr = Vec::with_capacity(k + 1);
+    let mut col_idx = Vec::with_capacity(a.nnz());
+    let mut values = Vec::with_capacity(a.nnz());
+    row_ptr.push(0usize);
+    let mut cur_row = 0usize;
+    for (i, j, v) in a.iter_triples() {
+        let p = i * n + j;
+        let (r, c) = (p / l, p % l);
+        while cur_row < r {
+            row_ptr.push(col_idx.len());
+            cur_row += 1;
+        }
+        col_idx.push(c as u32);
+        values.push(v);
+    }
+    while cur_row < k {
+        row_ptr.push(col_idx.len());
+        cur_row += 1;
+    }
+    Ok(CsrMatrix::from_parts_unchecked(k, l, row_ptr, col_idx, values))
+}
+
+/// `diag(v)`: places an `m x 1` column vector onto the diagonal of an
+/// `m x m` matrix.
+pub fn diag_v2m(v: &CsrMatrix) -> Result<CsrMatrix> {
+    if v.ncols() != 1 {
+        return Err(MatrixError::ShapeClass("diag_v2m expects a column vector"));
+    }
+    let m = v.nrows();
+    let mut row_ptr = Vec::with_capacity(m + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::with_capacity(v.nnz());
+    let mut values = Vec::with_capacity(v.nnz());
+    for i in 0..m {
+        let (_, vals) = v.row(i);
+        if let Some(&val) = vals.first() {
+            col_idx.push(i as u32);
+            values.push(val);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(m, m, row_ptr, col_idx, values))
+}
+
+/// `diag(A)`: extracts the diagonal of a square matrix as an `m x 1` vector.
+pub fn diag_extract(a: &CsrMatrix) -> Result<CsrMatrix> {
+    if a.nrows() != a.ncols() {
+        return Err(MatrixError::ShapeClass("diag_extract expects a square matrix"));
+    }
+    let m = a.nrows();
+    let mut row_ptr = Vec::with_capacity(m + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    for i in 0..m {
+        let v = a.get(i, i);
+        if v != 0.0 {
+            col_idx.push(0u32);
+            values.push(v);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(m, 1, row_ptr, col_idx, values))
+}
+
+/// Row-wise concatenation `rbind(A, B)` (stack vertically).
+pub fn rbind(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    if a.ncols() != b.ncols() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "rbind",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let m = a.nrows() + b.nrows();
+    let mut row_ptr = Vec::with_capacity(m + 1);
+    row_ptr.extend_from_slice(a.row_ptr());
+    let offset = a.nnz();
+    row_ptr.extend(b.row_ptr()[1..].iter().map(|&p| p + offset));
+    let mut col_idx = Vec::with_capacity(a.nnz() + b.nnz());
+    col_idx.extend_from_slice(a.col_indices());
+    col_idx.extend_from_slice(b.col_indices());
+    let mut values = Vec::with_capacity(a.nnz() + b.nnz());
+    values.extend_from_slice(a.values());
+    values.extend_from_slice(b.values());
+    Ok(CsrMatrix::from_parts_unchecked(
+        m,
+        a.ncols(),
+        row_ptr,
+        col_idx,
+        values,
+    ))
+}
+
+/// Column-wise concatenation `cbind(A, B)` (stack horizontally).
+pub fn cbind(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
+    if a.nrows() != b.nrows() {
+        return Err(MatrixError::DimensionMismatch {
+            op: "cbind",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let n = a.ncols() + b.ncols();
+    let shift = a.ncols() as u32;
+    let mut row_ptr = Vec::with_capacity(a.nrows() + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::with_capacity(a.nnz() + b.nnz());
+    let mut values = Vec::with_capacity(a.nnz() + b.nnz());
+    for i in 0..a.nrows() {
+        let (ac, av) = a.row(i);
+        col_idx.extend_from_slice(ac);
+        values.extend_from_slice(av);
+        let (bc, bv) = b.row(i);
+        col_idx.extend(bc.iter().map(|&c| c + shift));
+        values.extend_from_slice(bv);
+        row_ptr.push(col_idx.len());
+    }
+    Ok(CsrMatrix::from_parts_unchecked(
+        a.nrows(),
+        n,
+        row_ptr,
+        col_idx,
+        values,
+    ))
+}
+
+/// `A != 0`: the 0/1 indicator of the non-zero pattern.
+pub fn neq_zero(a: &CsrMatrix) -> CsrMatrix {
+    a.to_indicator()
+}
+
+/// `A == 0`: the 0/1 indicator of the *zero* pattern (the complement).
+///
+/// The output has `m·n - nnz(A)` non-zeros, i.e. it is typically dense;
+/// use only at benchmark scale.
+pub fn eq_zero(a: &CsrMatrix) -> CsrMatrix {
+    let (m, n) = a.shape();
+    let mut row_ptr = Vec::with_capacity(m + 1);
+    row_ptr.push(0usize);
+    let mut col_idx: Vec<u32> = Vec::with_capacity(m * n - a.nnz());
+    for i in 0..m {
+        let (cols, _) = a.row(i);
+        let mut p = 0usize;
+        for j in 0..n as u32 {
+            if p < cols.len() && cols[p] == j {
+                p += 1;
+            } else {
+                col_idx.push(j);
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    let values = vec![1.0; col_idx.len()];
+    CsrMatrix::from_parts_unchecked(m, n, row_ptr, col_idx, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reshape_preserves_linear_positions() {
+        // 2x6 -> 3x4: position (1, 2) = linear 8 -> (2, 0).
+        let a = CsrMatrix::from_triples(2, 6, vec![(0, 0, 1.0), (1, 2, 2.0), (1, 5, 3.0)])
+            .unwrap();
+        let r = reshape(&a, 3, 4).unwrap();
+        assert_eq!(r.get(0, 0), 1.0);
+        assert_eq!(r.get(2, 0), 2.0);
+        assert_eq!(r.get(2, 3), 3.0);
+        assert_eq!(r.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn reshape_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let a = gen::rand_uniform(&mut rng, 12, 10, 0.2);
+        let r = reshape(&a, 20, 6).unwrap();
+        let back = reshape(&r, 12, 10).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn reshape_bad_dims_rejected() {
+        let a = CsrMatrix::zeros(2, 6);
+        assert!(reshape(&a, 5, 2).is_err());
+    }
+
+    #[test]
+    fn diag_roundtrip() {
+        let v = CsrMatrix::from_triples(4, 1, vec![(0, 0, 1.5), (2, 0, -2.0)]).unwrap();
+        let d = diag_v2m(&v).unwrap();
+        assert_eq!(d.shape(), (4, 4));
+        assert_eq!(d.get(0, 0), 1.5);
+        assert_eq!(d.get(2, 2), -2.0);
+        assert_eq!(d.nnz(), 2);
+        let back = diag_extract(&d).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn diag_shape_checks() {
+        assert!(diag_v2m(&CsrMatrix::zeros(3, 2)).is_err());
+        assert!(diag_extract(&CsrMatrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn rbind_cbind() {
+        let a = CsrMatrix::from_triples(1, 2, vec![(0, 0, 1.0)]).unwrap();
+        let b = CsrMatrix::from_triples(2, 2, vec![(1, 1, 2.0)]).unwrap();
+        let r = rbind(&a, &b).unwrap();
+        assert_eq!(r.shape(), (3, 2));
+        assert_eq!(r.get(0, 0), 1.0);
+        assert_eq!(r.get(2, 1), 2.0);
+
+        let c = cbind(&a, &CsrMatrix::from_triples(1, 3, vec![(0, 2, 9.0)]).unwrap()).unwrap();
+        assert_eq!(c.shape(), (1, 5));
+        assert_eq!(c.get(0, 0), 1.0);
+        assert_eq!(c.get(0, 4), 9.0);
+    }
+
+    #[test]
+    fn bind_shape_checks() {
+        assert!(rbind(&CsrMatrix::zeros(1, 2), &CsrMatrix::zeros(1, 3)).is_err());
+        assert!(cbind(&CsrMatrix::zeros(1, 2), &CsrMatrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn eq_and_neq_zero_partition_cells() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let a = gen::rand_uniform(&mut rng, 9, 11, 0.3);
+        let nz = neq_zero(&a);
+        let z = eq_zero(&a);
+        assert_eq!(nz.nnz() + z.nnz(), 9 * 11);
+        // Patterns are disjoint.
+        let inter = crate::ops::ew_mul(&nz, &z).unwrap();
+        assert_eq!(inter.nnz(), 0);
+    }
+
+    #[test]
+    fn eq_zero_of_empty_is_full() {
+        let z = eq_zero(&CsrMatrix::zeros(3, 4));
+        assert_eq!(z.nnz(), 12);
+        assert!((z.sparsity() - 1.0).abs() < 1e-12);
+    }
+}

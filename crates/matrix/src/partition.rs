@@ -1,0 +1,184 @@
+//! Row-partitioned matrices — the substrate for distributed sketch
+//! construction (the paper's Section 3.1 notes that the MNC sketch "can be
+//! computed via distributed operations and subsequently collected and used
+//! in the driver"; full distributed support is listed as future work).
+//!
+//! A [`RowPartitionedMatrix`] splits a logical matrix into contiguous row
+//! blocks, mimicking the block-partitioned RDDs/DataSets of systems like
+//! SystemML. Sketch construction over the partitions lives in
+//! `mnc_core::distributed`.
+
+use std::sync::Arc;
+
+use crate::csr::CsrMatrix;
+use crate::error::{MatrixError, Result};
+use crate::ops::rbind;
+
+/// A logical matrix stored as contiguous row blocks.
+#[derive(Debug, Clone)]
+pub struct RowPartitionedMatrix {
+    parts: Vec<Arc<CsrMatrix>>,
+    /// Global row offset of each partition (length `parts.len() + 1`).
+    offsets: Vec<usize>,
+    ncols: usize,
+}
+
+impl RowPartitionedMatrix {
+    /// Partitions a matrix into (at most) `nparts` contiguous row blocks.
+    pub fn from_matrix(m: &CsrMatrix, nparts: usize) -> Self {
+        let nparts = nparts.clamp(1, m.nrows().max(1));
+        let rows_per_part = m.nrows().div_ceil(nparts);
+        let mut parts = Vec::new();
+        let mut offsets = vec![0usize];
+        let mut start = 0usize;
+        while start < m.nrows() {
+            let end = (start + rows_per_part).min(m.nrows());
+            let mut triples = Vec::new();
+            for i in start..end {
+                let (cols, vals) = m.row(i);
+                for (&c, &v) in cols.iter().zip(vals) {
+                    triples.push((i - start, c as usize, v));
+                }
+            }
+            let part = CsrMatrix::from_triples(end - start, m.ncols(), triples)
+                .expect("triples from a valid matrix");
+            parts.push(Arc::new(part));
+            offsets.push(end);
+            start = end;
+        }
+        if parts.is_empty() {
+            // Zero-row matrix: a single empty partition keeps invariants.
+            parts.push(Arc::new(CsrMatrix::zeros(0, m.ncols())));
+            offsets.push(0);
+        }
+        RowPartitionedMatrix {
+            parts,
+            offsets,
+            ncols: m.ncols(),
+        }
+    }
+
+    /// Assembles a partitioned matrix from explicit row blocks.
+    pub fn from_parts(parts: Vec<Arc<CsrMatrix>>) -> Result<Self> {
+        if parts.is_empty() {
+            return Err(MatrixError::ShapeClass("at least one partition required"));
+        }
+        let ncols = parts[0].ncols();
+        let mut offsets = vec![0usize];
+        for p in &parts {
+            if p.ncols() != ncols {
+                return Err(MatrixError::DimensionMismatch {
+                    op: "from_parts",
+                    lhs: (offsets.len(), ncols),
+                    rhs: p.shape(),
+                });
+            }
+            offsets.push(offsets.last().unwrap() + p.nrows());
+        }
+        Ok(RowPartitionedMatrix {
+            parts,
+            offsets,
+            ncols,
+        })
+    }
+
+    /// Total (logical) row count.
+    pub fn nrows(&self) -> usize {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Column count (shared by all partitions).
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Total non-zeros across partitions.
+    pub fn nnz(&self) -> usize {
+        self.parts.iter().map(|p| p.nnz()).sum()
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The `i`-th partition.
+    pub fn part(&self, i: usize) -> &Arc<CsrMatrix> {
+        &self.parts[i]
+    }
+
+    /// Global row offset of partition `i`.
+    pub fn offset(&self, i: usize) -> usize {
+        self.offsets[i]
+    }
+
+    /// Iterates `(global_row_offset, partition)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Arc<CsrMatrix>)> {
+        self.offsets.iter().copied().zip(self.parts.iter())
+    }
+
+    /// Materializes the logical matrix (for verification).
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut acc: Option<CsrMatrix> = None;
+        for p in &self.parts {
+            acc = Some(match acc {
+                None => (**p).clone(),
+                Some(a) => rbind(&a, p).expect("partitions share column counts"),
+            });
+        }
+        acc.unwrap_or_else(|| CsrMatrix::zeros(0, self.ncols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::SeedableRng;
+
+    #[test]
+    fn partition_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let m = gen::rand_uniform(&mut rng, 37, 20, 0.15);
+        for nparts in [1, 2, 3, 5, 37, 100] {
+            let pm = RowPartitionedMatrix::from_matrix(&m, nparts);
+            assert_eq!(pm.nrows(), 37);
+            assert_eq!(pm.ncols(), 20);
+            assert_eq!(pm.nnz(), m.nnz());
+            assert!(pm.num_partitions() <= nparts.max(1));
+            assert_eq!(pm.to_csr(), m, "nparts = {nparts}");
+        }
+    }
+
+    #[test]
+    fn offsets_are_cumulative() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let m = gen::rand_uniform(&mut rng, 10, 5, 0.3);
+        let pm = RowPartitionedMatrix::from_matrix(&m, 3);
+        let mut expected = 0usize;
+        for (off, part) in pm.iter() {
+            assert_eq!(off, expected);
+            expected += part.nrows();
+        }
+        assert_eq!(expected, 10);
+    }
+
+    #[test]
+    fn from_parts_validates_columns() {
+        let a = Arc::new(CsrMatrix::zeros(2, 3));
+        let b = Arc::new(CsrMatrix::zeros(2, 4));
+        assert!(RowPartitionedMatrix::from_parts(vec![a.clone(), b]).is_err());
+        assert!(RowPartitionedMatrix::from_parts(vec![]).is_err());
+        let ok = RowPartitionedMatrix::from_parts(vec![a.clone(), a]).unwrap();
+        assert_eq!(ok.nrows(), 4);
+    }
+
+    #[test]
+    fn empty_matrix_partitions() {
+        let m = CsrMatrix::zeros(0, 7);
+        let pm = RowPartitionedMatrix::from_matrix(&m, 4);
+        assert_eq!(pm.nrows(), 0);
+        assert_eq!(pm.ncols(), 7);
+        assert_eq!(pm.to_csr().shape(), (0, 7));
+    }
+}

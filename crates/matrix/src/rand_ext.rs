@@ -1,0 +1,128 @@
+//! Small distribution samplers used by generators and estimators.
+//!
+//! Implemented in-repo (rather than pulling `rand_distr`) because only two
+//! distributions are needed: the exponential distribution (layered-graph
+//! r-vectors, Cohen's estimator) and a Zipf/power-law distribution (skewed
+//! non-zero placement in the SparsEst generators).
+
+use rand::Rng;
+
+/// Samples from the exponential distribution with rate `lambda` via
+/// inversion: `-ln(1-U)/lambda`.
+#[inline]
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    debug_assert!(lambda > 0.0);
+    let u: f64 = rng.gen::<f64>();
+    // `1.0 - u` is in (0, 1], so the logarithm is finite.
+    -(1.0 - u).ln() / lambda
+}
+
+/// A Zipf distribution over `{0, 1, ..., n-1}` with weight
+/// `w(k) ∝ 1/(k+1)^exponent`, sampled by binary search over the CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler; `O(n)` space and time.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point round-off on the last bucket.
+        *cdf.last_mut().unwrap() = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the domain is empty (never: `new` asserts `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..n` (0 is the most likely value).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen::<f64>();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// The probability weight of rank `k`.
+    pub fn weight(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_close_to_inverse_rate() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut rng, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean was {mean}");
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(exponential(&mut rng, 1.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let z = Zipf::new(100, 1.2);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn zipf_weights_sum_to_one() {
+        let z = Zipf::new(64, 1.0);
+        let sum: f64 = (0..64).map(|k| z.weight(k)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(z.len(), 64);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn zipf_domain_respected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let z = Zipf::new(5, 2.0);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Non-zero statistics: the raw material of count-based synopses.
+
+use crate::csr::CsrMatrix;
+
+/// Row and column non-zero count vectors of a matrix, as used throughout the
+/// paper (`h^r = rowSums(A != 0)`, `h^c = colSums(A != 0)`).
+///
+/// Counts are stored as `u32` (4 bytes per dimension entry), matching the
+/// paper's size accounting for the MNC sketch (Section 6.2: `2 · 4 · d` B).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NnzStats {
+    /// Non-zeros per row (`h^r`), length `nrows`.
+    pub row_counts: Vec<u32>,
+    /// Non-zeros per column (`h^c`), length `ncols`.
+    pub col_counts: Vec<u32>,
+}
+
+impl NnzStats {
+    /// Computes both count vectors in a single scan over the non-zeros.
+    pub fn compute(m: &CsrMatrix) -> Self {
+        let mut row_counts = vec![0u32; m.nrows()];
+        let mut col_counts = vec![0u32; m.ncols()];
+        for (i, rc) in row_counts.iter_mut().enumerate() {
+            let (cols, _) = m.row(i);
+            *rc = cols.len() as u32;
+            for &c in cols {
+                col_counts[c as usize] += 1;
+            }
+        }
+        NnzStats {
+            row_counts,
+            col_counts,
+        }
+    }
+
+    /// Total non-zeros (must agree between both vectors).
+    pub fn nnz(&self) -> u64 {
+        self.row_counts.iter().map(|&c| c as u64).sum()
+    }
+}
+
+/// Non-zeros per row as `u32` (one pass over `row_ptr`).
+pub fn row_nnz_counts(m: &CsrMatrix) -> Vec<u32> {
+    (0..m.nrows()).map(|i| m.row_nnz(i) as u32).collect()
+}
+
+/// Non-zeros per column as `u32` (one pass over the non-zeros).
+pub fn col_nnz_counts(m: &CsrMatrix) -> Vec<u32> {
+    let mut counts = vec![0u32; m.ncols()];
+    for &c in m.col_indices() {
+        counts[c as usize] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_pattern() {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        let m = CsrMatrix::from_triples(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)],
+        )
+        .unwrap();
+        let s = NnzStats::compute(&m);
+        assert_eq!(s.row_counts, vec![2, 0, 2]);
+        assert_eq!(s.col_counts, vec![2, 1, 1]);
+        assert_eq!(s.nnz(), 4);
+        assert_eq!(row_nnz_counts(&m), s.row_counts);
+        assert_eq!(col_nnz_counts(&m), s.col_counts);
+    }
+
+    #[test]
+    fn counts_of_empty_matrix() {
+        let m = CsrMatrix::zeros(2, 5);
+        let s = NnzStats::compute(&m);
+        assert_eq!(s.row_counts, vec![0, 0]);
+        assert_eq!(s.col_counts, vec![0; 5]);
+        assert_eq!(s.nnz(), 0);
+    }
+
+    #[test]
+    fn row_and_col_sums_agree() {
+        let m = CsrMatrix::identity(7);
+        let s = NnzStats::compute(&m);
+        let rsum: u64 = s.row_counts.iter().map(|&c| c as u64).sum();
+        let csum: u64 = s.col_counts.iter().map(|&c| c as u64).sum();
+        assert_eq!(rsum, csum);
+        assert_eq!(rsum, m.nnz() as u64);
+    }
+}

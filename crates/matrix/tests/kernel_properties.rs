@@ -1,0 +1,135 @@
+//! Property-based tests of the matrix kernels' algebraic identities.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use mnc_matrix::{gen, io, ops, CsrMatrix};
+
+fn make(rows: usize, cols: usize, s: f64, seed: u64) -> CsrMatrix {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    gen::rand_uniform(&mut rng, rows, cols, s)
+}
+
+fn params() -> impl Strategy<Value = (usize, usize, f64, u64)> {
+    (1usize..25, 1usize..25, 0.0f64..0.6, any::<u64>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Boolean matrix products are associative on patterns (no
+    /// cancellation in boolean semantics).
+    #[test]
+    fn bool_matmul_is_associative(
+        (m, n, s, seed) in params(),
+        k in 1usize..20,
+        l in 1usize..20,
+        s2 in 0.0f64..0.5,
+        s3 in 0.0f64..0.5,
+    ) {
+        let a = make(m, n, s, seed);
+        let b = make(n, k, s2, seed ^ 1);
+        let c = make(k, l, s3, seed ^ 2);
+        let left = ops::bool_matmul(&ops::bool_matmul(&a, &b).unwrap(), &c).unwrap();
+        let right = ops::bool_matmul(&a, &ops::bool_matmul(&b, &c).unwrap()).unwrap();
+        prop_assert!(left.same_pattern(&right));
+    }
+
+    /// Transpose distributes over products: `(A B)ᵀ = Bᵀ Aᵀ` (patterns and
+    /// values).
+    #[test]
+    fn transpose_of_product(
+        (m, n, s, seed) in params(),
+        k in 1usize..20,
+        s2 in 0.0f64..0.5,
+    ) {
+        let a = make(m, n, s, seed);
+        let b = make(n, k, s2, seed ^ 3);
+        let lhs = ops::matmul(&a, &b).unwrap().transpose();
+        let rhs = ops::matmul(&b.transpose(), &a.transpose()).unwrap();
+        prop_assert!(lhs.same_pattern(&rhs));
+        for ((_, _, va), (_, _, vb)) in lhs.iter_triples().zip(rhs.iter_triples()) {
+            prop_assert!((va - vb).abs() < 1e-9);
+        }
+    }
+
+    /// Element-wise operations are commutative.
+    #[test]
+    fn elementwise_commutativity((m, n, s, seed) in params(), s2 in 0.0f64..0.6) {
+        let a = make(m, n, s, seed);
+        let b = make(m, n, s2, seed ^ 4);
+        prop_assert_eq!(ops::ew_add(&a, &b).unwrap(), ops::ew_add(&b, &a).unwrap());
+        prop_assert_eq!(ops::ew_mul(&a, &b).unwrap(), ops::ew_mul(&b, &a).unwrap());
+        prop_assert_eq!(ops::ew_max(&a, &b).unwrap(), ops::ew_max(&b, &a).unwrap());
+        prop_assert_eq!(ops::ew_min(&a, &b).unwrap(), ops::ew_min(&b, &a).unwrap());
+    }
+
+    /// rbind/cbind respect transpose duality: `rbind(A,B)ᵀ = cbind(Aᵀ,Bᵀ)`.
+    #[test]
+    fn bind_transpose_duality(
+        (m, n, s, seed) in params(),
+        m2 in 1usize..20,
+        s2 in 0.0f64..0.6,
+    ) {
+        let a = make(m, n, s, seed);
+        let b = make(m2, n, s2, seed ^ 5);
+        let lhs = ops::rbind(&a, &b).unwrap().transpose();
+        let rhs = ops::cbind(&a.transpose(), &b.transpose()).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// `diag(v)·X` scales rows: pattern of X preserved where v is non-zero.
+    #[test]
+    fn diag_product_scales_rows((m, n, s, seed) in params()) {
+        let x = make(m, n, s, seed);
+        let d = gen::scalar_diag(m.max(1), 2.0);
+        if m > 0 {
+            let y = ops::matmul(&d, &x).unwrap();
+            prop_assert!(y.same_pattern(&x));
+            for ((_, _, vy), (_, _, vx)) in y.iter_triples().zip(x.iter_triples()) {
+                prop_assert!((vy - 2.0 * vx).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// MatrixMarket round-trips any generated matrix.
+    #[test]
+    fn matrix_market_roundtrip((m, n, s, seed) in params()) {
+        let a = make(m, n, s, seed);
+        let mut buf = Vec::new();
+        io::write_matrix_market(&a, &mut buf).unwrap();
+        let back = io::read_matrix_market(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    /// Aggregation identities: `sum = Σ rowSums = Σ colSums`.
+    #[test]
+    fn aggregation_identities((m, n, s, seed) in params()) {
+        let a = make(m, n, s, seed);
+        let total = ops::sum(&a);
+        let by_rows = ops::sum(&ops::row_sums(&a));
+        let by_cols = ops::sum(&ops::col_sums(&a));
+        prop_assert!((total - by_rows).abs() < 1e-9);
+        prop_assert!((total - by_cols).abs() < 1e-9);
+    }
+
+    /// Row-partitioning is lossless for any partition count.
+    #[test]
+    fn partition_roundtrip_property((m, n, s, seed) in params(), parts in 1usize..10) {
+        let a = make(m, n, s, seed);
+        let pm = mnc_matrix::partition::RowPartitionedMatrix::from_matrix(&a, parts);
+        prop_assert_eq!(pm.to_csr(), a);
+    }
+
+    /// Permutations are invertible: `Pᵀ (P X) = X`.
+    #[test]
+    fn permutation_inverse((m, n, s, seed) in params()) {
+        let x = make(m, n, s, seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 6);
+        let p = gen::permutation(&mut rng, m.max(1));
+        if m > 0 {
+            let back = ops::matmul(&p.transpose(), &ops::matmul(&p, &x).unwrap()).unwrap();
+            prop_assert_eq!(back, x);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # mnc-sparsest — the SparsEst benchmark (paper Section 5)
+//!
+//! A benchmark for sparsity estimators over matrix operations and
+//! expressions, consisting of:
+//!
+//! * [`metrics`] — M1 accuracy (the symmetric relative error
+//!   `max(s, ŝ)/min(s, ŝ)`) and M2 timing helpers;
+//! * [`datasets`] — deterministic synthetic substitutes for the paper's
+//!   real datasets (Table 3), scaled down but preserving the structural
+//!   properties each experiment exercises (see `DESIGN.md` for the
+//!   substitution table);
+//! * [`usecases`] — the benchmark use cases: B1.1–B1.5 structured matrix
+//!   products, B2.1–B2.5 real matrix operations, B3.1–B3.5 real matrix
+//!   expressions, each built as an [`mnc_expr::ExprDag`];
+//! * [`runner`] — drives a list of estimators over a use case, computing
+//!   the exact ground truth and each estimator's outcome (estimate,
+//!   `Unsupported` ✗, or out-of-memory ✗);
+//! * [`runtime`] — wall-clock measurement of synopsis construction and
+//!   estimation (Figures 7 and 8).
+
+pub mod datasets;
+pub mod metrics;
+pub mod runner;
+pub mod runtime;
+pub mod usecases;
+
+pub use datasets::Datasets;
+pub use metrics::relative_error;
+pub use runner::{run_case, CaseResult, Outcome};
+pub use usecases::UseCase;

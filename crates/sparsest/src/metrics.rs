@@ -1,0 +1,72 @@
+//! Benchmark metrics (Section 5, "Benchmark Metrics").
+
+/// M1 accuracy: the symmetric relative error
+/// `max(s, ŝ) / min(s, ŝ)`, bounded by `[1, ∞)`.
+///
+/// Unlike the absolute ratio error, it penalizes over- and under-estimation
+/// equally. Conventions for degenerate cases: both (near-)zero → perfect
+/// (1.0); exactly one zero → `∞` (the estimator predicted an empty/non-empty
+/// output that is the opposite).
+pub fn relative_error(truth: f64, estimate: f64) -> f64 {
+    const EPS: f64 = 1e-15;
+    let t = truth.max(0.0);
+    let e = estimate.max(0.0);
+    if t < EPS && e < EPS {
+        return 1.0;
+    }
+    if t < EPS || e < EPS {
+        return f64::INFINITY;
+    }
+    t.max(e) / t.min(e)
+}
+
+/// Additive aggregation over multiple experiments (Section 5): sums the
+/// sparsities (equivalently, non-zeros) and compares the totals —
+/// `max(Σŝ, Σs) / min(Σŝ, Σs)`.
+pub fn aggregate_relative_error(pairs: &[(f64, f64)]) -> f64 {
+    let truth: f64 = pairs.iter().map(|p| p.0).sum();
+    let est: f64 = pairs.iter().map(|p| p.1).sum();
+    relative_error(truth, est)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_estimate_is_one() {
+        assert_eq!(relative_error(0.25, 0.25), 1.0);
+        assert_eq!(relative_error(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn symmetric_in_over_and_under_estimation() {
+        let over = relative_error(0.1, 0.2);
+        let under = relative_error(0.1, 0.05);
+        assert_eq!(over, 2.0);
+        assert_eq!(under, 2.0);
+    }
+
+    #[test]
+    fn zero_mismatch_is_infinite() {
+        assert_eq!(relative_error(0.5, 0.0), f64::INFINITY);
+        assert_eq!(relative_error(0.0, 0.5), f64::INFINITY);
+    }
+
+    #[test]
+    fn bounded_below_by_one() {
+        for (t, e) in [(0.1, 0.9), (1e-8, 1e-3), (0.5, 0.5000001)] {
+            assert!(relative_error(t, e) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn aggregation_sums_before_comparing() {
+        // Individually exact and individually wrong in opposite directions
+        // can cancel under additive aggregation — by design.
+        let err = aggregate_relative_error(&[(0.1, 0.2), (0.2, 0.1)]);
+        assert_eq!(err, 1.0);
+        let err2 = aggregate_relative_error(&[(0.1, 0.2), (0.1, 0.2)]);
+        assert_eq!(err2, 2.0);
+    }
+}

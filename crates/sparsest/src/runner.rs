@@ -1,0 +1,212 @@
+//! Drives estimators over use cases and reports outcomes.
+
+use mnc_estimators::{EstimatorError, SparsityEstimator};
+use mnc_expr::{estimate_root, Evaluator};
+
+use crate::metrics::relative_error;
+use crate::usecases::UseCase;
+
+/// What happened when an estimator ran on a use case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// A sparsity estimate and its relative error against the ground truth.
+    Estimate {
+        /// Estimated sparsity.
+        estimate: f64,
+        /// `max(s, ŝ)/min(s, ŝ)`.
+        relative_error: f64,
+    },
+    /// The estimator does not support an operation in the expression —
+    /// rendered as `✗` (paper figures).
+    Unsupported,
+    /// The synopsis exceeded the memory budget — the paper's bitset
+    /// out-of-memory cases, also rendered as `✗`.
+    TooLarge,
+}
+
+impl Outcome {
+    /// The relative error if an estimate was produced.
+    pub fn error(&self) -> Option<f64> {
+        match self {
+            Outcome::Estimate { relative_error, .. } => Some(*relative_error),
+            _ => None,
+        }
+    }
+}
+
+/// Result of one estimator on one use case (or tracked intermediate).
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Use case id (`"B2.3"`), possibly suffixed with a tracked label
+    /// (`"B3.3/PGG"`).
+    pub case: String,
+    /// Estimator display name.
+    pub estimator: &'static str,
+    /// True output sparsity.
+    pub truth: f64,
+    /// The estimator's outcome.
+    pub outcome: Outcome,
+}
+
+fn classify(err: EstimatorError) -> Outcome {
+    match err {
+        EstimatorError::Unsupported { .. } => Outcome::Unsupported,
+        EstimatorError::SynopsisTooLarge { .. } => Outcome::TooLarge,
+        EstimatorError::Internal(msg) => {
+            // Internal errors on valid DAGs indicate estimator limits (e.g.
+            // a layered graph asked for a non-left-deep product); report
+            // them as unsupported rather than crashing the suite.
+            debug_assert!(false, "internal estimator error: {msg}");
+            Outcome::Unsupported
+        }
+    }
+}
+
+/// Runs the given estimators over the use case root, returning one result
+/// per estimator. The ground truth is the use case's analytic value when
+/// available, otherwise exact evaluation.
+pub fn run_case(case: &UseCase, estimators: &[&dyn SparsityEstimator]) -> Vec<CaseResult> {
+    let truth = match case.known_truth {
+        Some(t) => t,
+        None => Evaluator::new()
+            .sparsity(&case.dag, case.root)
+            .expect("use case DAGs evaluate"),
+    };
+    estimators
+        .iter()
+        .map(|est| {
+            let outcome = match estimate_root(*est, &case.dag, case.root) {
+                Ok(s) => Outcome::Estimate {
+                    estimate: s,
+                    relative_error: relative_error(truth, s),
+                },
+                Err(e) => classify(e),
+            };
+            CaseResult {
+                case: case.id.clone(),
+                estimator: est.name(),
+                truth,
+                outcome,
+            }
+        })
+        .collect()
+}
+
+/// Runs the estimators over every tracked intermediate of a use case
+/// (Figure 13-style reports). Ground truths are evaluated exactly with a
+/// shared cache.
+pub fn run_tracked(case: &UseCase, estimators: &[&dyn SparsityEstimator]) -> Vec<CaseResult> {
+    let mut ev = Evaluator::new();
+    let mut out = Vec::new();
+    for (label, node) in &case.tracked {
+        let truth = ev
+            .sparsity(&case.dag, *node)
+            .expect("use case DAGs evaluate");
+        for est in estimators {
+            let outcome = match estimate_root(*est, &case.dag, *node) {
+                Ok(s) => Outcome::Estimate {
+                    estimate: s,
+                    relative_error: relative_error(truth, s),
+                },
+                Err(e) => classify(e),
+            };
+            out.push(CaseResult {
+                case: format!("{}/{}", case.id, label),
+                estimator: est.name(),
+                truth,
+                outcome,
+            });
+        }
+    }
+    out
+}
+
+/// The paper's Figure 10/11 estimator line-up, in legend order:
+/// MetaWC, MetaAC, Sample, MNC Basic, MNC, DMap, Bitset, LGraph.
+pub fn standard_estimators() -> Vec<Box<dyn SparsityEstimator>> {
+    use mnc_estimators::*;
+    vec![
+        Box::new(MetaWcEstimator),
+        Box::new(MetaAcEstimator),
+        Box::new(BiasedSamplingEstimator::default()),
+        Box::new(MncEstimator::basic()),
+        Box::new(MncEstimator::new()),
+        Box::new(DensityMapEstimator::default()),
+        Box::new(BitsetEstimator::default()),
+        Box::new(LayeredGraphEstimator::default()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Datasets;
+    use crate::usecases::{b1_suite, b2_suite, b3_suite};
+
+    #[test]
+    fn standard_lineup_has_eight_estimators() {
+        let ests = standard_estimators();
+        let names: Vec<_> = ests.iter().map(|e| e.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "MetaWC",
+                "MetaAC",
+                "Sample",
+                "MNC Basic",
+                "MNC",
+                "DMap",
+                "Bitset",
+                "LGraph"
+            ]
+        );
+    }
+
+    #[test]
+    fn b1_full_lineup_runs() {
+        let ests = standard_estimators();
+        let refs: Vec<&dyn SparsityEstimator> = ests.iter().map(|b| b.as_ref()).collect();
+        for case in b1_suite(0.002, 3) {
+            let results = run_case(&case, &refs);
+            assert_eq!(results.len(), 8);
+            // Bitset and MNC are exact on all B1 cases (Section 6.3).
+            for r in &results {
+                if r.estimator == "Bitset" || r.estimator == "MNC" {
+                    let err = r.outcome.error().expect("supported");
+                    assert!(
+                        err < 1.0 + 1e-9,
+                        "{} {} err {err}",
+                        r.case,
+                        r.estimator
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn b2_5_excludes_lgraph() {
+        // Element-wise multiplication does not apply to the layered graph
+        // (Section 6.4) — it must report Unsupported, not crash.
+        let data = Datasets::with_scale(3, 0.01);
+        let case = b2_suite(&data).into_iter().find(|c| c.id == "B2.5").unwrap();
+        let ests = standard_estimators();
+        let refs: Vec<&dyn SparsityEstimator> = ests.iter().map(|b| b.as_ref()).collect();
+        let results = run_case(&case, &refs);
+        let lg = results.iter().find(|r| r.estimator == "LGraph").unwrap();
+        assert_eq!(lg.outcome, Outcome::Unsupported);
+        let mnc = results.iter().find(|r| r.estimator == "MNC").unwrap();
+        assert!(mnc.outcome.error().unwrap() < 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn tracked_intermediates_report_per_label() {
+        let data = Datasets::with_scale(3, 0.02);
+        let case = b3_suite(&data).into_iter().find(|c| c.id == "B3.3").unwrap();
+        let mnc = mnc_estimators::MncEstimator::new();
+        let ests: Vec<&dyn SparsityEstimator> = vec![&mnc];
+        let results = run_tracked(&case, &ests);
+        assert_eq!(results.len(), 4); // PG, PGG, PGGG, PGGGG
+        assert!(results.iter().all(|r| r.case.starts_with("B3.3/")));
+    }
+}

@@ -1,0 +1,107 @@
+//! M2 runtime measurement: synopsis construction and estimation times
+//! (Figures 7 and 8), plus the matrix-multiplication baseline.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mnc_estimators::{OpKind, Result, SparsityEstimator, Synopsis};
+use mnc_matrix::{ops, CsrMatrix};
+
+/// Timed measurement of one estimator on a single matrix product:
+/// construction of both input synopses and estimation, reported separately
+/// (Figures 7(b)/7(c)).
+#[derive(Debug, Clone, Copy)]
+pub struct ProductTiming {
+    /// Input synopsis construction time.
+    pub construction: Duration,
+    /// Estimation time given the synopses.
+    pub estimation: Duration,
+    /// The estimate produced.
+    pub estimate: f64,
+}
+
+impl ProductTiming {
+    /// Total estimation time (M2): construction + estimation.
+    pub fn total(&self) -> Duration {
+        self.construction + self.estimation
+    }
+}
+
+/// Measures construction and estimation for `C = A B` under one estimator.
+pub fn time_product(
+    est: &dyn SparsityEstimator,
+    a: &Arc<CsrMatrix>,
+    b: &Arc<CsrMatrix>,
+) -> Result<ProductTiming> {
+    let t0 = Instant::now();
+    let sa = est.build(a)?;
+    let sb = est.build(b)?;
+    let construction = t0.elapsed();
+    let t1 = Instant::now();
+    let estimate = est.estimate(&OpKind::MatMul, &[&sa, &sb])?;
+    let estimation = t1.elapsed();
+    Ok(ProductTiming {
+        construction,
+        estimation,
+        estimate,
+    })
+}
+
+/// Measures the actual FP64 sparse matrix multiplication — the baseline any
+/// estimator overhead is compared against ("MM" in Figures 7/8).
+pub fn time_matmul(a: &CsrMatrix, b: &CsrMatrix) -> (Duration, f64) {
+    let t0 = Instant::now();
+    let c = ops::matmul(a, b).expect("benchmark shapes agree");
+    (t0.elapsed(), c.sparsity())
+}
+
+/// Repeats a measurement and returns the mean duration of `f`.
+pub fn mean_duration<F: FnMut() -> Duration>(repetitions: usize, mut f: F) -> Duration {
+    assert!(repetitions > 0);
+    let total: Duration = (0..repetitions).map(|_| f()).sum();
+    total / repetitions as u32
+}
+
+/// Builds only the synopses (used to time construction in isolation).
+pub fn build_synopses(
+    est: &dyn SparsityEstimator,
+    mats: &[&Arc<CsrMatrix>],
+) -> Result<Vec<Synopsis>> {
+    mats.iter().map(|m| est.build(m)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_estimators::{MetaAcEstimator, MncEstimator};
+    use mnc_matrix::gen;
+    use rand::SeedableRng;
+
+    #[test]
+    fn timings_are_populated() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a = Arc::new(gen::rand_uniform(&mut rng, 200, 150, 0.05));
+        let b = Arc::new(gen::rand_uniform(&mut rng, 150, 200, 0.05));
+        let t = time_product(&MncEstimator::new(), &a, &b).unwrap();
+        assert!(t.estimate > 0.0);
+        assert!(t.total() >= t.construction);
+        let (mm, s) = time_matmul(&a, &b);
+        assert!(s > 0.0);
+        assert!(mm > Duration::ZERO);
+    }
+
+    #[test]
+    fn mean_duration_averages() {
+        let d = mean_duration(4, || Duration::from_millis(2));
+        assert_eq!(d, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn build_synopses_builds_all() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let a = Arc::new(gen::rand_uniform(&mut rng, 20, 20, 0.2));
+        let b = Arc::new(gen::rand_uniform(&mut rng, 20, 20, 0.2));
+        let syns = build_synopses(&MetaAcEstimator, &[&a, &b]).unwrap();
+        assert_eq!(syns.len(), 2);
+    }
+}

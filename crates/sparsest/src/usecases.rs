@@ -1,0 +1,525 @@
+//! The SparsEst use cases (paper Section 5, Table 2; configurations from
+//! Section 6.3).
+//!
+//! * **B1 Struct** — synthetic matrix products with specific structural
+//!   properties (NLP encoding, scaling, permutation, outer/inner products).
+//! * **B2 Real** — single operations over the dataset substitutes.
+//! * **B3 Chain** — full matrix expressions mixing products, element-wise
+//!   operations, and reorganizations.
+
+use std::sync::Arc;
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use mnc_expr::{ExprDag, NodeId, OpKind};
+use mnc_matrix::rand_ext::Zipf;
+use mnc_matrix::{gen, CooMatrix, CsrMatrix};
+
+use crate::datasets::Datasets;
+
+/// One benchmark use case: an expression DAG with a designated root, plus
+/// optionally tracked intermediates (e.g. the matrix powers of B3.3).
+#[derive(Debug)]
+pub struct UseCase {
+    /// Identifier, e.g. `"B1.1"`.
+    pub id: String,
+    /// Short name, e.g. `"NLP"`.
+    pub name: String,
+    /// The expression.
+    pub dag: ExprDag,
+    /// The root node whose sparsity is benchmarked.
+    pub root: NodeId,
+    /// Labelled intermediates that are also reported (empty for most cases).
+    pub tracked: Vec<(String, NodeId)>,
+    /// Analytically known true output sparsity, when available (lets the
+    /// runner skip materializing huge-but-trivial ground truths like the
+    /// fully dense B1.4 output).
+    pub known_truth: Option<f64>,
+}
+
+impl UseCase {
+    fn simple(id: &str, name: &str, dag: ExprDag, root: NodeId) -> Self {
+        UseCase {
+            id: id.into(),
+            name: name.into(),
+            dag,
+            root,
+            tracked: Vec::new(),
+            known_truth: None,
+        }
+    }
+}
+
+/// Builds the NLP pair of B1.1/Figure 1: a token-sequence matrix `X` with
+/// exactly one non-zero per row (power-law over real tokens, the rest in
+/// the last "unknown" column) and an embedding matrix `W`, dense except an
+/// empty last row.
+pub fn nlp_pair<R: Rng + ?Sized>(
+    rng: &mut R,
+    rows: usize,
+    vocab: usize,
+    emb: usize,
+    known_fraction: f64,
+) -> (CsrMatrix, CsrMatrix) {
+    let zipf = Zipf::new(vocab - 1, 1.1);
+    let mut coo = CooMatrix::with_capacity(rows, vocab, rows);
+    for i in 0..rows {
+        let col = if rng.gen::<f64>() < known_fraction {
+            zipf.sample(rng)
+        } else {
+            vocab - 1
+        };
+        coo.push(i, col, 1.0).expect("in range");
+    }
+    let x = CsrMatrix::from_coo(coo);
+    let mut w_coo = CooMatrix::with_capacity(vocab, emb, (vocab - 1) * emb);
+    for r in 0..vocab - 1 {
+        for c in 0..emb {
+            w_coo.push(r, c, gen::nz_value(rng)).expect("in range");
+        }
+    }
+    (x, CsrMatrix::from_coo(w_coo))
+}
+
+/// Indices of the `k` rows with the most non-zeros (used by the selection
+/// matrices of B3.3/B3.4).
+pub fn top_rows_by_nnz(m: &CsrMatrix, k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..m.nrows()).collect();
+    idx.sort_by_key(|&i| std::cmp::Reverse(m.row_nnz(i)));
+    idx.truncate(k);
+    idx
+}
+
+/// Filters a matrix to the entries with `value > threshold` (used to build
+/// the data-dependent mask `T` of B3.5).
+pub fn filter_gt(m: &CsrMatrix, threshold: f64) -> CsrMatrix {
+    CsrMatrix::from_triples(
+        m.nrows(),
+        m.ncols(),
+        m.iter_triples()
+            .filter(|&(_, _, v)| v > threshold)
+            .map(|(i, j, _)| (i, j, 1.0)),
+    )
+    .expect("indices from a valid matrix")
+}
+
+/// B1 — structured matrix products. `scale` multiplies the paper's base
+/// dimension of 100K (e.g. `scale = 0.1` gives 10K).
+pub fn b1_suite(scale: f64, seed: u64) -> Vec<UseCase> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let d = ((100_000.0 * scale) as usize).max(64);
+    let mut out = Vec::new();
+
+    // B1.1 NLP: X W with exactly one non-zero per X row; the known-token
+    // fraction is the exact output sparsity.
+    {
+        let (x, w) = nlp_pair(&mut rng, d, d, 300.min(d), 0.001);
+        let known_rows = (0..x.nrows())
+            .filter(|&i| {
+                let (cols, _) = x.row(i);
+                (cols[0] as usize) < x.ncols() - 1
+            })
+            .count();
+        let truth = known_rows as f64 / x.nrows() as f64;
+        let mut dag = ExprDag::new();
+        let nx = dag.leaf("X", Arc::new(x));
+        let nw = dag.leaf("W", Arc::new(w));
+        let root = dag.matmul(nx, nw).expect("shapes agree");
+        let mut case = UseCase::simple("B1.1", "NLP", dag, root);
+        case.known_truth = Some(truth);
+        out.push(case);
+    }
+
+    // B1.2 Scale: diag(λ) X — a fully diagonal left operand preserves X.
+    {
+        let x = gen::rand_uniform(&mut rng, d, (d / 50).max(16), 0.01);
+        let sx = x.sparsity();
+        let mut dag = ExprDag::new();
+        let nd = dag.leaf("diag", Arc::new(gen::scalar_diag(d, 2.5)));
+        let nx = dag.leaf("X", Arc::new(x));
+        let root = dag.matmul(nd, nx).expect("shapes agree");
+        let mut case = UseCase::simple("B1.2", "Scale", dag, root);
+        case.known_truth = Some(sx);
+        out.push(case);
+    }
+
+    // B1.3 Perm: table(s1, s2) X — a permutation preserves X's sparsity.
+    {
+        let x = gen::rand_uniform(&mut rng, d, (d / 50).max(16), 0.5);
+        let sx = x.sparsity();
+        let mut dag = ExprDag::new();
+        let np = dag.leaf("P", Arc::new(gen::permutation(&mut rng, d)));
+        let nx = dag.leaf("X", Arc::new(x));
+        let root = dag.matmul(np, nx).expect("shapes agree");
+        let mut case = UseCase::simple("B1.3", "Perm", dag, root);
+        case.known_truth = Some(sx);
+        out.push(case);
+    }
+
+    // B1.4 Outer: C (single dense column) times R (aligned dense row)
+    // yields a fully dense output.
+    {
+        let c = CsrMatrix::from_triples(d, d, (0..d).map(|i| (i, 0usize, 1.0)))
+            .expect("valid triples");
+        let r = CsrMatrix::from_triples(d, d, (0..d).map(|j| (0usize, j, 1.0)))
+            .expect("valid triples");
+        let mut dag = ExprDag::new();
+        let nc = dag.leaf("C", Arc::new(c));
+        let nr = dag.leaf("R", Arc::new(r));
+        let root = dag.matmul(nc, nr).expect("shapes agree");
+        let mut case = UseCase::simple("B1.4", "Outer", dag, root);
+        case.known_truth = Some(1.0);
+        out.push(case);
+    }
+
+    // B1.5 Inner: R C — a single output non-zero.
+    {
+        let r = CsrMatrix::from_triples(d, d, (0..d).map(|j| (0usize, j, 1.0)))
+            .expect("valid triples");
+        let c = CsrMatrix::from_triples(d, d, (0..d).map(|i| (i, 0usize, 1.0)))
+            .expect("valid triples");
+        let mut dag = ExprDag::new();
+        let nr = dag.leaf("R", Arc::new(r));
+        let nc = dag.leaf("C", Arc::new(c));
+        let root = dag.matmul(nr, nc).expect("shapes agree");
+        let mut case = UseCase::simple("B1.5", "Inner", dag, root);
+        case.known_truth = Some(1.0 / (d as f64 * d as f64));
+        out.push(case);
+    }
+    out
+}
+
+/// B2 — real matrix operations over the dataset substitutes.
+pub fn b2_suite(data: &Datasets) -> Vec<UseCase> {
+    let mut out = Vec::new();
+
+    // B2.1 NLP: X W on the abstracts dataset.
+    {
+        let (x, w) = data.aminer_abstracts();
+        let mut dag = ExprDag::new();
+        let nx = dag.leaf("X", Arc::new(x));
+        let nw = dag.leaf("W", Arc::new(w));
+        let root = dag.matmul(nx, nw).expect("shapes agree");
+        out.push(UseCase::simple("B2.1", "NLP", dag, root));
+    }
+
+    // B2.2 Project: X P — extract the ultra-sparse one-hot columns of Cov.
+    {
+        let x = data.covtype();
+        let p = gen::col_projection(54, 14, 40);
+        let mut dag = ExprDag::new();
+        let nx = dag.leaf("X", Arc::new(x));
+        let np = dag.leaf("P", Arc::new(p));
+        let root = dag.matmul(nx, np).expect("shapes agree");
+        out.push(UseCase::simple("B2.2", "Project", dag, root));
+    }
+
+    // B2.3 CoRefG: G Gᵀ — co-reference counting on the citation graph.
+    // The transpose is materialized as an input leaf ("a matrix product of
+    // AMin R with its transposed representation"), so single-product
+    // estimators (sampling, layered graph) apply.
+    {
+        let g = data.aminer_refs();
+        let gt = g.transpose();
+        let mut dag = ExprDag::new();
+        let ng = dag.leaf("G", Arc::new(g));
+        let ngt = dag.leaf("Gt", Arc::new(gt));
+        let root = dag.matmul(ng, ngt).expect("shapes agree");
+        out.push(UseCase::simple("B2.3", "CoRefG", dag, root));
+    }
+
+    // B2.4 EmailG: G G — email network analysis.
+    {
+        let g = data.email();
+        let mut dag = ExprDag::new();
+        let ng = dag.leaf("G", Arc::new(g));
+        let root = dag.matmul(ng, ng).expect("shapes agree");
+        out.push(UseCase::simple("B2.4", "EmailG", dag, root));
+    }
+
+    // B2.5 Mask: M ⊙ X — centre-mask image masking on Mnist.
+    {
+        let x = data.mnist();
+        let m = Datasets::mnist_center_mask(x.nrows());
+        let mut dag = ExprDag::new();
+        let nm = dag.leaf("M", Arc::new(m));
+        let nx = dag.leaf("X", Arc::new(x));
+        let root = dag.ew_mul(nm, nx).expect("shapes agree");
+        out.push(UseCase::simple("B2.5", "Mask", dag, root));
+    }
+    out
+}
+
+/// Sentence length used by the B3.1 reshape (rows merged per sentence).
+pub const B3_1_SENTENCE_LEN: usize = 10;
+
+/// The materialized B3.2 chain `[Sᵀ, Xᵀ, diag(w), X, S, B]` — Figure 15
+/// reports the errors of **all 15 subchains** of these six matrices
+/// ("disregarding the leaf node reorganizations").
+pub fn b3_2_chain(data: &Datasets) -> Vec<(String, Arc<CsrMatrix>)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(data.seed ^ 0xB3);
+    let x = data.mnist();
+    let m = x.nrows();
+    let x = mnc_matrix::ops::cbind(&x, &gen::ones_vector(m)).expect("shapes agree");
+    let n = x.ncols();
+    let s = gen::scale_shift_matrix(&mut rng, n);
+    let w = gen::ones_vector(m);
+    let b = gen::rand_dense(&mut rng, n, 1);
+    let st = s.transpose();
+    let xt = x.transpose();
+    let d = mnc_matrix::ops::diag_v2m(&w).expect("column vector");
+    vec![
+        ("St".into(), Arc::new(st)),
+        ("Xt".into(), Arc::new(xt)),
+        ("diag(w)".into(), Arc::new(d)),
+        ("X".into(), Arc::new(x)),
+        ("S".into(), Arc::new(s)),
+        ("B".into(), Arc::new(b)),
+    ]
+}
+
+/// B3 — real matrix expressions.
+pub fn b3_suite(data: &Datasets) -> Vec<UseCase> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(data.seed ^ 0xB3);
+    let mut out = Vec::new();
+
+    // B3.1 NLP: reshape(X W) — token embeddings to sentence embeddings.
+    {
+        let (x, w) = data.aminer_abstracts();
+        let emb = w.ncols();
+        // Round the token count down to a multiple of the sentence length.
+        let rows = x.nrows() / B3_1_SENTENCE_LEN * B3_1_SENTENCE_LEN;
+        let p = gen::selection_matrix(&(0..rows).collect::<Vec<_>>(), x.nrows());
+        let x = mnc_matrix::ops::matmul(&p, &x).expect("selection shapes agree");
+        let mut dag = ExprDag::new();
+        let nx = dag.leaf("X", Arc::new(x));
+        let nw = dag.leaf("W", Arc::new(w));
+        let xw = dag.matmul(nx, nw).expect("shapes agree");
+        let root = dag
+            .reshape(xw, rows / B3_1_SENTENCE_LEN, emb * B3_1_SENTENCE_LEN)
+            .expect("cell counts agree");
+        out.push(UseCase::simple("B3.1", "NLP", dag, root));
+    }
+
+    // B3.2 S&S: Sᵀ Xᵀ diag(w) X S B — deferred scaling and shifting.
+    {
+        let x = data.mnist();
+        let m = x.nrows();
+        // Append a column of ones (the intercept column).
+        let x = mnc_matrix::ops::cbind(&x, &gen::ones_vector(m)).expect("shapes agree");
+        let n = x.ncols();
+        let s = gen::scale_shift_matrix(&mut rng, n);
+        let w = gen::ones_vector(m);
+        let b = gen::rand_dense(&mut rng, n, 1);
+        let mut dag = ExprDag::new();
+        let nx = dag.leaf("X", Arc::new(x));
+        let ns = dag.leaf("S", Arc::new(s));
+        let nw = dag.leaf("w", Arc::new(w));
+        let nb = dag.leaf("B", Arc::new(b));
+        let st = dag.transpose(ns).expect("shapes agree");
+        let xt = dag.transpose(nx).expect("shapes agree");
+        let dw = dag.op(OpKind::DiagV2M, &[nw]).expect("vector");
+        let p1 = dag.matmul(st, xt).expect("shapes agree");
+        let p2 = dag.matmul(p1, dw).expect("shapes agree");
+        let p3 = dag.matmul(p2, nx).expect("shapes agree");
+        let p4 = dag.matmul(p3, ns).expect("shapes agree");
+        let root = dag.matmul(p4, nb).expect("shapes agree");
+        let mut case = UseCase::simple("B3.2", "S&S", dag, root);
+        case.tracked = vec![
+            ("StXt".into(), p1),
+            ("StXtD".into(), p2),
+            ("StXtDX".into(), p3),
+            ("StXtDXS".into(), p4),
+            ("StXtDXSB".into(), root),
+        ];
+        out.push(case);
+    }
+
+    // B3.3 Graph: P G G G G — transitively referenced papers over 3 hops.
+    {
+        let g = Arc::new(data.aminer_refs());
+        let top = top_rows_by_nnz(&g, 200.min(g.nrows()));
+        let p = gen::selection_matrix(&top, g.nrows());
+        let mut dag = ExprDag::new();
+        let np = dag.leaf("P", Arc::new(p));
+        let ng = dag.leaf("G", Arc::clone(&g));
+        let pg = dag.matmul(np, ng).expect("shapes agree");
+        let pgg = dag.matmul(pg, ng).expect("shapes agree");
+        let pggg = dag.matmul(pgg, ng).expect("shapes agree");
+        let root = dag.matmul(pggg, ng).expect("shapes agree");
+        let mut case = UseCase::simple("B3.3", "Graph", dag, root);
+        case.tracked = vec![
+            ("PG".into(), pg),
+            ("PGG".into(), pgg),
+            ("PGGG".into(), pggg),
+            ("PGGGG".into(), root),
+        ];
+        out.push(case);
+    }
+
+    // B3.4 Rec: (P X != 0) ⊙ (P L Rᵀ) — predicted recommendations for the
+    // known ratings of the most active users.
+    {
+        let x = Arc::new(data.amazon());
+        let (users, items) = x.shape();
+        let rank = 20.min(users).min(items);
+        let top = top_rows_by_nnz(&x, (users / 20).max(10).min(users));
+        let p = gen::selection_matrix(&top, users);
+        let l = gen::rand_uniform(&mut rng, users, rank, 0.95);
+        let r = gen::rand_uniform(&mut rng, items, rank, 0.85);
+        let mut dag = ExprDag::new();
+        let np = dag.leaf("P", Arc::new(p));
+        let nx = dag.leaf("X", x);
+        let nl = dag.leaf("L", Arc::new(l));
+        let nr = dag.leaf("R", Arc::new(r));
+        let px = dag.matmul(np, nx).expect("shapes agree");
+        let mask = dag.op(OpKind::Neq0, &[px]).expect("unary");
+        let pl = dag.matmul(np, nl).expect("shapes agree");
+        let rt = dag.transpose(nr).expect("unary");
+        let plr = dag.matmul(pl, rt).expect("shapes agree");
+        let root = dag.ew_mul(mask, plr).expect("shapes agree");
+        out.push(UseCase::simple("B3.4", "Rec", dag, root));
+    }
+
+    // B3.5 Pred: X ⊙ ((R ⊙ S + T) != 0) — a compound boolean mask selecting
+    // fully black pixels plus a random fraction of the centre area.
+    {
+        let x = Arc::new(data.mnist());
+        let m = x.nrows();
+        let r = Datasets::mnist_center_mask(m);
+        let s = gen::rand_uniform(&mut rng, m, 784, 0.1);
+        let t = filter_gt(&x, 0.9);
+        let mut dag = ExprDag::new();
+        let nx = dag.leaf("X", x);
+        let nr = dag.leaf("R", Arc::new(r));
+        let ns = dag.leaf("S", Arc::new(s));
+        let nt = dag.leaf("T", Arc::new(t));
+        let rs = dag.ew_mul(nr, ns).expect("shapes agree");
+        let rst = dag.ew_add(rs, nt).expect("shapes agree");
+        let mask = dag.op(OpKind::Neq0, &[rst]).expect("unary");
+        let root = dag.ew_mul(nx, mask).expect("shapes agree");
+        out.push(UseCase::simple("B3.5", "Pred", dag, root));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_expr::{estimate_root, Evaluator};
+    use mnc_estimators::{MncEstimator, SparsityEstimator};
+
+    fn small_data() -> Datasets {
+        Datasets::with_scale(11, 0.01)
+    }
+
+    #[test]
+    fn b1_known_truths_match_evaluation() {
+        // At tiny scale the analytic truths must agree with real execution.
+        for case in b1_suite(0.003, 5) {
+            let truth = Evaluator::new().sparsity(&case.dag, case.root).unwrap();
+            let known = case.known_truth.expect("B1 truths are analytic");
+            assert!(
+                (truth - known).abs() < 1e-12,
+                "{}: analytic {known} vs evaluated {truth}",
+                case.id
+            );
+        }
+    }
+
+    #[test]
+    fn b1_mnc_is_exact_everywhere() {
+        // Figure 10: MNC yields exact results for all B1 scenarios.
+        let est = MncEstimator::new();
+        for case in b1_suite(0.003, 6) {
+            let s = estimate_root(&est, &case.dag, case.root).unwrap();
+            let truth = case.known_truth.unwrap();
+            assert!(
+                crate::metrics::relative_error(truth, s) < 1.0 + 1e-9,
+                "{}: est {s} truth {truth}",
+                case.id
+            );
+        }
+    }
+
+    #[test]
+    fn b2_cases_build_and_evaluate() {
+        let data = small_data();
+        for case in b2_suite(&data) {
+            let truth = Evaluator::new().sparsity(&case.dag, case.root).unwrap();
+            assert!(truth > 0.0 && truth <= 1.0, "{}: truth {truth}", case.id);
+        }
+    }
+
+    #[test]
+    fn b2_5_mask_mnc_exact() {
+        // Column-structured mask ⇒ exact MNC estimate (Section 6.4).
+        let data = small_data();
+        let case = b2_suite(&data).into_iter().find(|c| c.id == "B2.5").unwrap();
+        let est = estimate_root(&MncEstimator::new(), &case.dag, case.root).unwrap();
+        let truth = Evaluator::new().sparsity(&case.dag, case.root).unwrap();
+        assert!(
+            (est - truth).abs() < 1e-9,
+            "B2.5: est {est} truth {truth}"
+        );
+    }
+
+    #[test]
+    fn b3_cases_build_and_evaluate() {
+        let data = small_data();
+        for case in b3_suite(&data) {
+            let truth = Evaluator::new().sparsity(&case.dag, case.root).unwrap();
+            assert!(
+                (0.0..=1.0).contains(&truth),
+                "{}: truth {truth}",
+                case.id
+            );
+            // Tracked intermediates evaluate too.
+            let mut ev = Evaluator::new();
+            for (label, node) in &case.tracked {
+                let s = ev.sparsity(&case.dag, *node).unwrap();
+                assert!((0.0..=1.0).contains(&s), "{} {label}: {s}", case.id);
+            }
+        }
+    }
+
+    #[test]
+    fn b3_3_powers_densify() {
+        // Matrix powers are densifying (Section 6.6): sparsity grows along
+        // the chain.
+        let data = Datasets::with_scale(11, 0.05);
+        let case = b3_suite(&data).into_iter().find(|c| c.id == "B3.3").unwrap();
+        let mut ev = Evaluator::new();
+        let s: Vec<f64> = case
+            .tracked
+            .iter()
+            .map(|(_, n)| ev.sparsity(&case.dag, *n).unwrap())
+            .collect();
+        assert!(s.windows(2).all(|w| w[1] >= w[0]), "sparsities {s:?}");
+    }
+
+    #[test]
+    fn top_rows_by_nnz_orders_correctly() {
+        let m = CsrMatrix::from_triples(
+            3,
+            3,
+            vec![(1, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)],
+        )
+        .unwrap();
+        assert_eq!(top_rows_by_nnz(&m, 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn filter_gt_keeps_pattern_subset() {
+        let m = CsrMatrix::from_triples(2, 2, vec![(0, 0, 0.5), (1, 1, 0.95)]).unwrap();
+        let f = filter_gt(&m, 0.9);
+        assert_eq!(f.nnz(), 1);
+        assert_eq!(f.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn mnc_name_sanity() {
+        assert_eq!(MncEstimator::new().name(), "MNC");
+    }
+}

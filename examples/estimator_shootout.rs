@@ -1,0 +1,86 @@
+//! Run every estimator in the repository over one realistic expression and
+//! print estimate, error, synopsis size, and time — a one-screen version of
+//! the paper's evaluation.
+//!
+//! The expression is B3.4-style: `(P X != 0) ⊙ (P L Rᵀ)` — predicted
+//! recommendations for the known ratings of the most active users.
+//!
+//! ```text
+//! cargo run --example estimator_shootout --release
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mnc::estimators::{
+    BiasedSamplingEstimator, BitsetEstimator, DensityMapEstimator, LayeredGraphEstimator,
+    MetaAcEstimator, MetaWcEstimator, MncEstimator, SparsityEstimator,
+    UnbiasedSamplingEstimator,
+};
+use mnc::expr::{estimate_root, Evaluator, ExprDag, OpKind};
+use mnc::matrix::gen;
+use mnc::sparsest::datasets::Datasets;
+use mnc::sparsest::metrics::relative_error;
+use mnc::sparsest::usecases::top_rows_by_nnz;
+use rand::SeedableRng;
+
+fn main() {
+    let data = Datasets::with_scale(0xDA7A, 0.25);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+
+    // Build the recommendation expression.
+    let x = Arc::new(data.amazon());
+    let (users, items) = x.shape();
+    let p = gen::selection_matrix(&top_rows_by_nnz(&x, users / 10), users);
+    let l = gen::rand_uniform(&mut rng, users, 16, 0.95);
+    let r = gen::rand_uniform(&mut rng, items, 16, 0.85);
+
+    let mut dag = ExprDag::new();
+    let np = dag.leaf("P", Arc::new(p));
+    let nx = dag.leaf("X", x);
+    let nl = dag.leaf("L", Arc::new(l));
+    let nr = dag.leaf("R", Arc::new(r));
+    let px = dag.matmul(np, nx).expect("shapes agree");
+    let mask = dag.op(OpKind::Neq0, &[px]).expect("unary");
+    let pl = dag.matmul(np, nl).expect("shapes agree");
+    let rt = dag.transpose(nr).expect("unary");
+    let plr = dag.matmul(pl, rt).expect("shapes agree");
+    let root = dag.ew_mul(mask, plr).expect("shapes agree");
+    println!(
+        "expression: (P X != 0) ⊙ (P L Rᵀ) over {}x{} ratings",
+        users, items
+    );
+
+    let truth = Evaluator::new().sparsity(&dag, root).expect("evaluates");
+    println!("exact output sparsity: {truth:.6}\n");
+
+    let estimators: Vec<Box<dyn SparsityEstimator>> = vec![
+        Box::new(MetaWcEstimator),
+        Box::new(MetaAcEstimator),
+        Box::new(BiasedSamplingEstimator::default()),
+        Box::new(UnbiasedSamplingEstimator::default()),
+        Box::new(MncEstimator::basic()),
+        Box::new(MncEstimator::new()),
+        Box::new(DensityMapEstimator::default()),
+        Box::new(BitsetEstimator::default()),
+        Box::new(LayeredGraphEstimator::default()),
+    ];
+
+    println!(
+        "{:<10} {:>12} {:>10} {:>12}",
+        "estimator", "estimate", "rel.err", "time"
+    );
+    for est in &estimators {
+        let t = Instant::now();
+        match estimate_root(est.as_ref(), &dag, root) {
+            Ok(s) => println!(
+                "{:<10} {:>12.6} {:>10.3} {:>12?}",
+                est.name(),
+                s,
+                relative_error(truth, s),
+                t.elapsed()
+            ),
+            Err(e) => println!("{:<10} {:>12} ({e})", est.name(), "✗"),
+        }
+    }
+}

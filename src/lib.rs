@@ -1,0 +1,55 @@
+//! # mnc — facade crate
+//!
+//! Reproduction of *MNC: Structure-Exploiting Sparsity Estimation for Matrix
+//! Expressions* (Sommer, Boehm, Evfimievski, Reinwald, Haas — SIGMOD 2019).
+//!
+//! This crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`matrix`] — sparse-matrix substrate (formats, exact kernels, seeded
+//!   generators);
+//! * [`core`] — the MNC sketch, its product estimator, and sketch
+//!   propagation for all supported operations;
+//! * [`estimators`] — every baseline estimator from the paper behind a
+//!   common trait (metadata, bitset, density map, sampling, hashing,
+//!   layered graph) plus the MNC adapter;
+//! * [`expr`] — expression DAGs, generic sketch propagation, and the
+//!   sparsity-aware matrix-chain optimizer (Appendix C);
+//! * [`sparsest`] — the SparsEst benchmark (Section 5): use cases, dataset
+//!   substitutes, and accuracy/runtime metrics.
+//!
+//! Beyond the paper's evaluation, the workspace implements its future-work
+//! items: distributed sketch construction over partitioned matrices with a
+//! binary wire format ([`core::build_distributed`], [`core::to_bytes`]),
+//! confidence intervals ([`core::estimate_matmul_ci`]), element-wise
+//! `max`/`min` and diagonal-extraction operations, a dynamic quad-tree
+//! density map ([`estimators::DynamicDensityMapEstimator`]), a DAG-level
+//! chain rewrite pass ([`expr::rewrite_mm_chains`]), and a physical planner
+//! ([`expr::Planner`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mnc::core::MncSketch;
+//! use mnc::matrix::{gen, ops};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let a = gen::rand_uniform(&mut rng, 500, 300, 0.01);
+//! let b = gen::rand_uniform(&mut rng, 300, 400, 0.05);
+//!
+//! // Build MNC sketches (O(nnz + m + n)) and estimate the product sparsity.
+//! let ha = MncSketch::build(&a);
+//! let hb = MncSketch::build(&b);
+//! let estimate = mnc::core::estimate_matmul(&ha, &hb);
+//!
+//! // Compare against the exact output sparsity.
+//! let c = ops::matmul(&a, &b).unwrap();
+//! let err = mnc::sparsest::metrics::relative_error(c.sparsity(), estimate);
+//! assert!(err < 1.5, "relative error was {err}");
+//! ```
+
+pub use mnc_core as core;
+pub use mnc_estimators as estimators;
+pub use mnc_expr as expr;
+pub use mnc_matrix as matrix;
+pub use mnc_sparsest as sparsest;

@@ -1,0 +1,92 @@
+//! Integration test of the "large-scale ML" workflow the paper sketches in
+//! Section 3.1: build sketches distributively on partitions, serialize them
+//! to the driver, deserialize, and use them for compilation decisions —
+//! all without ever shipping the matrices themselves.
+
+use std::sync::Arc;
+
+use mnc::core::{
+    build_distributed, estimate_matmul, estimate_matmul_ci, from_bytes, to_bytes, MncConfig,
+    MncSketch,
+};
+use mnc::matrix::partition::RowPartitionedMatrix;
+use mnc::matrix::{gen, ops};
+use rand::SeedableRng;
+
+#[test]
+fn executor_to_driver_roundtrip_preserves_estimates() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let a = gen::rand_uniform(&mut rng, 300, 200, 0.02);
+    let b = gen::rand_uniform(&mut rng, 200, 250, 0.03);
+
+    // "Executors" build partial sketches; the "driver" collects bytes.
+    let wire_a = to_bytes(&build_distributed(&RowPartitionedMatrix::from_matrix(&a, 6)));
+    let wire_b = to_bytes(&build_distributed(&RowPartitionedMatrix::from_matrix(&b, 3)));
+
+    // Driver-side estimation from deserialized sketches only.
+    let ha = from_bytes(&wire_a).expect("valid sketch bytes");
+    let hb = from_bytes(&wire_b).expect("valid sketch bytes");
+    let est = estimate_matmul(&ha, &hb);
+
+    // Same value as fully local estimation, and close to the truth.
+    let local = estimate_matmul(&MncSketch::build(&a), &MncSketch::build(&b));
+    assert_eq!(est, local);
+    let truth = ops::bool_matmul(&a, &b).unwrap().sparsity();
+    let rel = est.max(truth) / est.min(truth).max(1e-12);
+    assert!(rel < 1.3, "relative error {rel}");
+}
+
+#[test]
+fn confidence_interval_travels_with_the_sketch() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let a = gen::rand_uniform(&mut rng, 120, 100, 0.05);
+    let b = gen::rand_uniform(&mut rng, 100, 150, 0.06);
+    let ha = from_bytes(&to_bytes(&MncSketch::build(&a))).unwrap();
+    let hb = from_bytes(&to_bytes(&MncSketch::build(&b))).unwrap();
+    let ci = estimate_matmul_ci(&ha, &hb, &MncConfig::default(), 0.99);
+    assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+    let truth = ops::bool_matmul(&a, &b).unwrap().sparsity();
+    assert!(
+        ci.covers(truth),
+        "99% interval [{}, {}] missed truth {truth}",
+        ci.lower,
+        ci.upper
+    );
+}
+
+#[test]
+fn partitioned_sketch_of_structured_matrix_keeps_exactness() {
+    // A permutation split over partitions still yields an exact estimate
+    // (the structural metadata survives the distributed merge).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let p = gen::permutation(&mut rng, 128);
+    let x = gen::rand_uniform(&mut rng, 128, 60, 0.1);
+    let hp = build_distributed(&RowPartitionedMatrix::from_matrix(&p, 5));
+    let hx = MncSketch::build(&x);
+    assert_eq!(hp.meta.max_hr, 1);
+    let est = estimate_matmul(&hp, &hx);
+    assert!((est - x.sparsity()).abs() < 1e-12);
+}
+
+#[test]
+fn planner_works_from_deserialized_leaf_sketches() {
+    // The planner consumes synopses built by the estimator; here we verify
+    // the end-to-end story where the DAG is planned in a driver that only
+    // has (deserialized) sketch state available for format decisions.
+    use mnc::estimators::MncEstimator;
+    use mnc::expr::{ExprDag, Format, Planner};
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let counts = vec![1u32; 500];
+    let tokens = gen::rand_with_row_counts(&mut rng, 500, &counts);
+    let emb = gen::rand_dense(&mut rng, 500, 32);
+    let mut dag = ExprDag::new();
+    let s = dag.leaf("S", Arc::new(tokens));
+    let w = dag.leaf("W", Arc::new(emb));
+    let sw = dag.matmul(s, w).unwrap();
+    let plan = Planner::default().plan(&MncEstimator::new(), &dag).unwrap();
+    // One token per row meeting a dense embedding: fully dense output rows,
+    // so the product is dense and must be planned as such.
+    assert_eq!(plan.node(sw).format, Format::Dense);
+    assert!((plan.node(sw).sparsity - 1.0).abs() < 1e-9);
+}

@@ -1,0 +1,198 @@
+//! Cross-crate integration tests: the SparsEst suite at test scale, driving
+//! every estimator through the full pipeline (datasets → DAGs → synopses →
+//! estimates → metrics).
+
+use mnc::estimators::{BitsetEstimator, MncEstimator, SparsityEstimator};
+use mnc::expr::{estimate_root, Evaluator};
+use mnc::sparsest::datasets::Datasets;
+use mnc::sparsest::runner::{run_case, run_tracked, standard_estimators};
+use mnc::sparsest::usecases::{b1_suite, b2_suite, b3_suite};
+use mnc::sparsest::Outcome;
+
+fn refs(ests: &[Box<dyn SparsityEstimator>]) -> Vec<&dyn SparsityEstimator> {
+    ests.iter().map(|b| b.as_ref()).collect()
+}
+
+#[test]
+fn full_b1_suite_with_all_estimators() {
+    let ests = standard_estimators();
+    let refs = refs(&ests);
+    for case in b1_suite(0.004, 17) {
+        let results = run_case(&case, &refs);
+        assert_eq!(results.len(), refs.len(), "{}", case.id);
+        for r in &results {
+            if let Outcome::Estimate {
+                estimate,
+                relative_error,
+            } = &r.outcome
+            {
+                assert!(
+                    (0.0..=1.0).contains(estimate),
+                    "{} {}: estimate {estimate}",
+                    r.case,
+                    r.estimator
+                );
+                assert!(
+                    *relative_error >= 1.0,
+                    "{} {}: error {relative_error}",
+                    r.case,
+                    r.estimator
+                );
+            }
+        }
+        // MNC and Bitset exact on all B1 use cases (paper Section 6.3).
+        for name in ["MNC", "Bitset"] {
+            let r = results.iter().find(|r| r.estimator == name).unwrap();
+            assert!(
+                r.outcome.error().unwrap() < 1.0 + 1e-9,
+                "{} {} not exact",
+                case.id,
+                name
+            );
+        }
+    }
+}
+
+#[test]
+fn full_b2_and_b3_suites_run_clean() {
+    let data = Datasets::with_scale(23, 0.015);
+    let ests = standard_estimators();
+    let refs = refs(&ests);
+    let mut supported = 0usize;
+    for case in b2_suite(&data).iter().chain(b3_suite(&data).iter()) {
+        for r in run_case(case, &refs) {
+            if let Some(err) = r.outcome.error() {
+                supported += 1;
+                assert!(err >= 1.0, "{} {}: {err}", r.case, r.estimator);
+            }
+        }
+    }
+    // Most (case, estimator) pairs must produce estimates.
+    assert!(supported > 50, "only {supported} supported pairs");
+}
+
+#[test]
+fn mnc_beats_naive_metadata_on_structured_cases() {
+    // The headline claim: on structured inputs MNC's error is far below
+    // the metadata estimators'.
+    let ests = standard_estimators();
+    let refs = refs(&ests);
+    for case in b1_suite(0.004, 29) {
+        let results = run_case(&case, &refs);
+        let err_of = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.estimator == name)
+                .and_then(|r| r.outcome.error())
+        };
+        let mnc = err_of("MNC").expect("MNC always applies");
+        for naive in ["MetaAC", "MetaWC"] {
+            if let Some(e) = err_of(naive) {
+                assert!(
+                    mnc <= e + 1e-9,
+                    "{}: MNC {mnc} vs {naive} {e}",
+                    case.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tracked_chain_errors_grow_for_mnc_and_stay_low_for_lgraph() {
+    let data = Datasets::with_scale(31, 0.05);
+    let case = b3_suite(&data)
+        .into_iter()
+        .find(|c| c.id == "B3.3")
+        .unwrap();
+    let mnc = MncEstimator::new();
+    let lg = mnc::estimators::LayeredGraphEstimator::with_rounds(64);
+    let ests: Vec<&dyn SparsityEstimator> = vec![&mnc, &lg];
+    let results = run_tracked(&case, &ests);
+    // First hop: MNC exact (selection matrix product, Theorem 3.1).
+    let first_mnc = results
+        .iter()
+        .find(|r| r.case.ends_with("/PG") && r.estimator == "MNC")
+        .unwrap();
+    assert!(first_mnc.outcome.error().unwrap() < 1.0 + 1e-9);
+    // The layered graph stays below 2x everywhere (paper: near 1).
+    for r in results.iter().filter(|r| r.estimator == "LGraph") {
+        let e = r.outcome.error().unwrap();
+        assert!(e < 2.0, "{}: LGraph error {e}", r.case);
+    }
+}
+
+#[test]
+fn bitset_is_ground_truth_on_every_supported_case() {
+    let data = Datasets::with_scale(37, 0.01);
+    let bitset = BitsetEstimator::default();
+    let ests: Vec<&dyn SparsityEstimator> = vec![&bitset];
+    for case in b2_suite(&data) {
+        let results = run_case(&case, &ests);
+        let err = results[0].outcome.error().expect("bitset applies");
+        assert!(
+            err < 1.0 + 1e-9,
+            "{}: bitset error {err}",
+            case.id
+        );
+    }
+}
+
+#[test]
+fn spatial_predicate_with_max_replacing_or() {
+    // Section 5's spatial-processing remark: `⊙` replaces `∧`, `max`
+    // replaces `∨`. Build X ⊙ ((R ⊙ S max T) != 0) and check that the MNC
+    // estimate matches the variant using `+` (the patterns are identical
+    // under A1) and stays close to the exact result.
+    use mnc::expr::{ExprDag, OpKind};
+    use mnc::matrix::gen;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+    let x = Arc::new(gen::rand_uniform(&mut rng, 60, 40, 0.3));
+    let r = Arc::new(gen::rand_uniform(&mut rng, 60, 40, 0.4));
+    let s = Arc::new(gen::rand_uniform(&mut rng, 60, 40, 0.2));
+    let t = Arc::new(gen::rand_uniform(&mut rng, 60, 40, 0.1));
+
+    let build = |combine: OpKind| {
+        let mut dag = ExprDag::new();
+        let nx = dag.leaf("X", Arc::clone(&x));
+        let nr = dag.leaf("R", Arc::clone(&r));
+        let ns = dag.leaf("S", Arc::clone(&s));
+        let nt = dag.leaf("T", Arc::clone(&t));
+        let rs = dag.ew_mul(nr, ns).unwrap();
+        let rst = dag.op(combine, &[rs, nt]).unwrap();
+        let mask = dag.op(OpKind::Neq0, &[rst]).unwrap();
+        let root = dag.ew_mul(nx, mask).unwrap();
+        (dag, root)
+    };
+
+    let mnc = MncEstimator::new();
+    let (dag_max, root_max) = build(OpKind::EwMax);
+    let (dag_add, root_add) = build(OpKind::EwAdd);
+    let est_max = estimate_root(&mnc, &dag_max, root_max).unwrap();
+    let est_add = estimate_root(&MncEstimator::new(), &dag_add, root_add).unwrap();
+    assert_eq!(est_max, est_add, "max and + are pattern-equivalent under A1");
+
+    let truth = Evaluator::new().sparsity(&dag_max, root_max).unwrap();
+    let rel = est_max.max(truth) / est_max.min(truth).max(1e-12);
+    assert!(rel < 1.3, "relative error {rel}");
+}
+
+#[test]
+fn estimate_root_agrees_with_runner() {
+    let data = Datasets::with_scale(41, 0.01);
+    let case = &b2_suite(&data)[0];
+    let mnc = MncEstimator::new();
+    let direct = estimate_root(&mnc, &case.dag, case.root).unwrap();
+    let ests: Vec<&dyn SparsityEstimator> = vec![&mnc];
+    let via_runner = match &run_case(case, &ests)[0].outcome {
+        Outcome::Estimate { estimate, .. } => *estimate,
+        other => panic!("unexpected outcome {other:?}"),
+    };
+    assert!((direct - via_runner).abs() < 1e-15);
+    // And the runner's truth agrees with direct evaluation.
+    let truth = Evaluator::new().sparsity(&case.dag, case.root).unwrap();
+    assert!((run_case(case, &ests)[0].truth - truth).abs() < 1e-15);
+}
