@@ -10,7 +10,9 @@
 
 use mnc_bench::{banner, env_scale, print_accuracy_matrix};
 use mnc_core::MncConfig;
-use mnc_estimators::{DensityMapEstimator, DynamicDensityMapEstimator, MncEstimator, SparsityEstimator};
+use mnc_estimators::{
+    DensityMapEstimator, DynamicDensityMapEstimator, MncEstimator, SparsityEstimator,
+};
 use mnc_sparsest::datasets::Datasets;
 use mnc_sparsest::runner::{run_case, run_tracked};
 use mnc_sparsest::usecases::{b1_suite, b2_suite, b3_suite};

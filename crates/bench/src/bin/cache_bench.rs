@@ -1,0 +1,131 @@
+//! Demonstrates the `EstimationContext` win on repeated estimation: an
+//! optimizer-style workload keeps re-estimating DAGs built over one shared
+//! set of base matrices (probing rewrites, re-costing plans). Without a
+//! session every walk rebuilds every leaf synopsis; with one, leaves are
+//! built once and intermediates of repeated DAGs come from the cache.
+//!
+//! ```text
+//! MNC_SCALE=1.0 MNC_REPS=20 cargo run --release --bin cache_bench
+//! ```
+//!
+//! Prints wall-clock for the uncached and cached runs, the cache hit rate,
+//! and the session's `EstimationStats`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mnc_bench::{banner, env_reps, env_scale, fmt_duration};
+use mnc_estimators::MncEstimator;
+use mnc_expr::{estimate_root, EstimationContext, ExprDag, NodeId, Planner};
+use mnc_matrix::{gen, CsrMatrix};
+use rand::SeedableRng;
+
+/// The shared base matrices: a product-chain-friendly set with one skewed
+/// ultra-sparse member, as in the chain experiments.
+fn base_matrices(scale: f64) -> Vec<Arc<CsrMatrix>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xCAC4E);
+    let d = (1200.0 * scale).max(40.0) as usize;
+    let sparsities = [0.01, 0.001, 0.02, 0.005];
+    sparsities
+        .iter()
+        .map(|&s| Arc::new(gen::rand_uniform(&mut rng, d, d, s)))
+        .collect()
+}
+
+/// One optimizer probe: a fresh DAG over the shared leaves — alternating
+/// left-deep and right-deep parenthesizations so intermediate synopses
+/// differ across probes while the leaves repeat.
+fn probe_dag(mats: &[Arc<CsrMatrix>], probe: usize) -> (ExprDag, NodeId) {
+    let mut dag = ExprDag::new();
+    let leaves: Vec<NodeId> = mats
+        .iter()
+        .enumerate()
+        .map(|(i, m)| dag.leaf(format!("M{i}"), Arc::clone(m)))
+        .collect();
+    let root = if probe.is_multiple_of(2) {
+        let mut acc = leaves[0];
+        for &l in &leaves[1..] {
+            acc = dag.matmul(acc, l).expect("chain shapes agree");
+        }
+        acc
+    } else {
+        let mut acc = *leaves.last().expect("non-empty");
+        for &l in leaves[..leaves.len() - 1].iter().rev() {
+            acc = dag.matmul(l, acc).expect("chain shapes agree");
+        }
+        acc
+    };
+    (dag, root)
+}
+
+fn main() {
+    let scale = env_scale(1.0);
+    let reps = env_reps(20);
+    banner(
+        "cache",
+        "EstimationContext: repeated estimation with and without a session",
+        &format!("{reps} optimizer probes over 4 shared base matrices, scale {scale}."),
+    );
+
+    let mats = base_matrices(scale);
+    // The probes re-use two DAG structures; estimating each probe with a
+    // session costs at most two propagation walks plus cache lookups.
+    let dags: Vec<(ExprDag, NodeId)> = (0..2).map(|p| probe_dag(&mats, p)).collect();
+
+    // Uncached: every probe builds all leaf synopses from scratch.
+    let t = Instant::now();
+    let mut uncached_sum = 0.0;
+    for rep in 0..reps {
+        let est = MncEstimator::new();
+        let (dag, root) = &dags[rep % dags.len()];
+        uncached_sum += estimate_root(&est, dag, *root).expect("estimate");
+    }
+    let uncached = t.elapsed();
+
+    // Cached: one session across all probes.
+    let t = Instant::now();
+    let mut cached_sum = 0.0;
+    let est = MncEstimator::new();
+    let mut ctx = EstimationContext::new();
+    for rep in 0..reps {
+        let (dag, root) = &dags[rep % dags.len()];
+        cached_sum += ctx.estimate_root(&est, dag, *root).expect("estimate");
+    }
+    let cached = t.elapsed();
+
+    // Planner re-costing rides the same session: plans hit warm synopses.
+    let t = Instant::now();
+    let plan = Planner::default()
+        .plan_with_context(&est, &dags[0].0, &mut ctx)
+        .expect("plan");
+    let plan_time = t.elapsed();
+
+    println!(
+        "uncached: {:>10}   ({} probes, mean estimate {:.3e})",
+        fmt_duration(uncached),
+        reps,
+        uncached_sum / reps as f64
+    );
+    println!(
+        "cached  : {:>10}   ({} probes, mean estimate {:.3e})",
+        fmt_duration(cached),
+        reps,
+        cached_sum / reps as f64
+    );
+    println!(
+        "speedup : {:>9.1}x   hit rate {:.0}%",
+        uncached.as_secs_f64() / cached.as_secs_f64().max(1e-9),
+        ctx.stats().hit_rate() * 100.0
+    );
+    println!(
+        "warm re-plan of probe 0: {} (total estimated FLOPs {:.3e})",
+        fmt_duration(plan_time),
+        plan.total_flops
+    );
+    println!("\nestimation session:\n{}", ctx.stats());
+
+    assert!(
+        ctx.stats().hit_rate() > 0.0,
+        "repeated estimation must hit the cache"
+    );
+}

@@ -43,12 +43,8 @@ fn main() {
     let lgraph = LayeredGraphEstimator::default();
     let estimators: Vec<&dyn SparsityEstimator> = vec![&sample, &mnc, &dmap, &bitset, &lgraph];
 
-    let configs: Vec<(usize, f64)> = vec![
-        (d / 10, 0.1),
-        (d, 0.01),
-        (10 * d, 0.001),
-        (100 * d, 0.0001),
-    ];
+    let configs: Vec<(usize, f64)> =
+        vec![(d / 10, 0.1), (d, 0.01), (10 * d, 0.001), (100 * d, 0.0001)];
 
     let mut total_rows = Vec::new();
     let mut cons_rows = Vec::new();

@@ -6,9 +6,7 @@
 //!       small blocks can separate the Covertype column skew.
 
 use mnc_bench::{banner, env_scale, fmt_err, print_table};
-use mnc_estimators::{
-    DensityMapEstimator, LayeredGraphEstimator, MncEstimator, SparsityEstimator,
-};
+use mnc_estimators::{DensityMapEstimator, LayeredGraphEstimator, MncEstimator, SparsityEstimator};
 use mnc_sparsest::datasets::Datasets;
 use mnc_sparsest::runner::run_case;
 use mnc_sparsest::usecases::b2_suite;

@@ -9,8 +9,7 @@
 
 use mnc_bench::{banner, env_scale, print_accuracy_matrix};
 use mnc_estimators::{
-    DensityMapEstimator, LayeredGraphEstimator, MetaAcEstimator, MncEstimator,
-    SparsityEstimator,
+    DensityMapEstimator, LayeredGraphEstimator, MetaAcEstimator, MncEstimator, SparsityEstimator,
 };
 use mnc_sparsest::datasets::Datasets;
 use mnc_sparsest::runner::run_tracked;

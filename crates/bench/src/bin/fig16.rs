@@ -32,8 +32,8 @@ fn main() {
     };
     // The paper's dimension pattern for n = 20 matrices (21 entries).
     let base = [
-        10, 1_000, 10_000, 10_000, 1_000, 10, 10_000, 1, 10_000, 1_000, 10, 1_000, 10_000,
-        10_000, 1_000, 10, 10_000, 1, 10_000, 1_000, 1,
+        10, 1_000, 10_000, 10_000, 1_000, 10, 10_000, 1, 10_000, 1_000, 10, 1_000, 10_000, 10_000,
+        1_000, 10, 10_000, 1, 10_000, 1_000, 1,
     ];
     let dims: Vec<usize> = base.iter().map(|&d| dim(d)).collect();
     let n = dims.len() - 1;
@@ -111,7 +111,11 @@ fn main() {
         .enumerate()
         .map(|(b, &count)| {
             vec![
-                format!("[{:.0e}, {:.0e})", 10f64.powi(b as i32), 10f64.powi(b as i32 + 1)),
+                format!(
+                    "[{:.0e}, {:.0e})",
+                    10f64.powi(b as i32),
+                    10f64.powi(b as i32 + 1)
+                ),
                 count.to_string(),
             ]
         })

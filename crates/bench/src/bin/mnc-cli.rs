@@ -4,9 +4,15 @@
 //! ```text
 //! mnc-cli sketch <a.mtx>                      # print the MNC sketch summary
 //! mnc-cli estimate <a.mtx> <b.mtx> [--op matmul|ewadd|ewmul|ewmax|ewmin]
-//!                                  [--exact]  # all estimators on one op
+//!                                  [--exact] [--repeat N]
+//!                                             # all estimators on one op
 //! mnc-cli gen <uniform|permutation|nlp> <out.mtx> [rows cols sparsity]
 //! ```
+//!
+//! `estimate` runs inside an estimation session: synopses are cached across
+//! estimators and repeats, and the session's `EstimationStats` (builds,
+//! cache traffic, per-op timings) are printed at the end. `--repeat N`
+//! re-estimates N times to show the cache at work.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -15,9 +21,10 @@ use std::time::Instant;
 use mnc_core::MncSketch;
 use mnc_estimators::{
     BiasedSamplingEstimator, BitsetEstimator, DensityMapEstimator, DynamicDensityMapEstimator,
-    HashEstimator, LayeredGraphEstimator, MetaAcEstimator, MetaWcEstimator, MncEstimator,
-    OpKind, SparsityEstimator, UnbiasedSamplingEstimator,
+    HashEstimator, LayeredGraphEstimator, MetaAcEstimator, MetaWcEstimator, MncEstimator, OpKind,
+    SparsityEstimator, UnbiasedSamplingEstimator,
 };
+use mnc_expr::{EstimationContext, ExprDag};
 use mnc_matrix::io::{read_matrix_market_file, write_matrix_market_file};
 use mnc_matrix::{gen, ops, CsrMatrix};
 use rand::SeedableRng;
@@ -56,16 +63,37 @@ fn cmd_sketch(args: &[String]) -> Result<(), String> {
     let t = Instant::now();
     let h = MncSketch::build(&m);
     let took = t.elapsed();
-    println!("matrix           : {}x{}, nnz {} (sparsity {:.3e})",
-        m.nrows(), m.ncols(), m.nnz(), m.sparsity());
+    println!(
+        "matrix           : {}x{}, nnz {} (sparsity {:.3e})",
+        m.nrows(),
+        m.ncols(),
+        m.nnz(),
+        m.sparsity()
+    );
     println!("construction     : {took:?}");
     println!("sketch size      : {} B", h.size_bytes());
     println!("max(h^r), max(h^c): {} / {}", h.meta.max_hr, h.meta.max_hc);
-    println!("non-empty rows/cols: {} / {}", h.meta.nonempty_rows, h.meta.nonempty_cols);
-    println!("rows/cols with 1 nnz: {} / {}", h.meta.rows_eq_1, h.meta.cols_eq_1);
-    println!("half-full rows/cols: {} / {}", h.meta.half_full_rows, h.meta.half_full_cols);
+    println!(
+        "non-empty rows/cols: {} / {}",
+        h.meta.nonempty_rows, h.meta.nonempty_cols
+    );
+    println!(
+        "rows/cols with 1 nnz: {} / {}",
+        h.meta.rows_eq_1, h.meta.cols_eq_1
+    );
+    println!(
+        "half-full rows/cols: {} / {}",
+        h.meta.half_full_rows, h.meta.half_full_cols
+    );
     println!("fully diagonal   : {}", h.meta.fully_diagonal);
-    println!("extended vectors : {}", if h.her.is_some() { "built" } else { "not needed" });
+    println!(
+        "extended vectors : {}",
+        if h.her.is_some() {
+            "built"
+        } else {
+            "not needed"
+        }
+    );
     if h.meta.max_hr <= 1 {
         println!("note: max(h^r) <= 1 — products with this matrix on the left are estimated EXACTLY (Theorem 3.1)");
     }
@@ -90,6 +118,7 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
     let mut files = Vec::new();
     let mut op = OpKind::MatMul;
     let mut exact = false;
+    let mut repeat = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -97,6 +126,13 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
                 op = parse_op(it.next().ok_or("--op needs a value")?)?;
             }
             "--exact" => exact = true,
+            "--repeat" => {
+                repeat = it
+                    .next()
+                    .ok_or("--repeat needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --repeat value")?;
+            }
             f => files.push(f.to_string()),
         }
     }
@@ -125,12 +161,17 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
     );
     let (rows, cols) = mnc_estimators::OpKind::output_shape(&op, &[a.shape(), b.shape()])
         .map_err(|e| e.to_string())?;
+    let mut dag = ExprDag::new();
+    let na = dag.leaf(files[0].clone(), Arc::clone(&a));
+    let nb = dag.leaf(files[1].clone(), Arc::clone(&b));
+    let root = dag.op(op.clone(), &[na, nb]).map_err(|e| e.to_string())?;
+    let mut ctx = EstimationContext::new();
     for est in &estimators {
         let t = Instant::now();
-        let outcome = est
-            .build(&a)
-            .and_then(|sa| est.build(&b).map(|sb| (sa, sb)))
-            .and_then(|(sa, sb)| est.estimate(&op, &[&sa, &sb]));
+        let mut outcome = ctx.estimate_root(est, &dag, root);
+        for _ in 1..repeat {
+            outcome = ctx.estimate_root(est, &dag, root);
+        }
         match outcome {
             Ok(s) => println!(
                 "{:<10} {:>14.6e} {:>14.0} {:>12?}",
@@ -142,6 +183,7 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
             Err(e) => println!("{:<10} {:>14} ({e})", est.name(), "✗"),
         }
     }
+    println!("\nestimation session:\n{}", ctx.stats());
     if exact {
         let t = Instant::now();
         let c = match op {
@@ -167,8 +209,12 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
 fn cmd_gen(args: &[String]) -> Result<(), String> {
     let kind = args.first().ok_or("gen: missing kind")?;
     let out = args.get(1).ok_or("gen: missing output path")?;
-    let rows: usize = args.get(2).map_or(Ok(1000), |v| v.parse().map_err(|_| "bad rows"))?;
-    let cols: usize = args.get(3).map_or(Ok(rows), |v| v.parse().map_err(|_| "bad cols"))?;
+    let rows: usize = args
+        .get(2)
+        .map_or(Ok(1000), |v| v.parse().map_err(|_| "bad rows"))?;
+    let cols: usize = args
+        .get(3)
+        .map_or(Ok(rows), |v| v.parse().map_err(|_| "bad cols"))?;
     let sparsity: f64 = args
         .get(4)
         .map_or(Ok(0.01), |v| v.parse().map_err(|_| "bad sparsity"))?;

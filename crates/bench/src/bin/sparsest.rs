@@ -5,8 +5,9 @@
 
 use mnc_bench::{banner, env_scale, print_accuracy_matrix};
 use mnc_estimators::{BitsetEstimator, SparsityEstimator};
+use mnc_expr::EstimationContext;
 use mnc_sparsest::datasets::Datasets;
-use mnc_sparsest::runner::{run_case, run_tracked, standard_estimators};
+use mnc_sparsest::runner::{run_case_with_context, run_tracked_with_context, standard_estimators};
 use mnc_sparsest::usecases::{b1_suite, b2_suite, b3_suite};
 
 fn main() {
@@ -21,22 +22,27 @@ fn main() {
     let refs: Vec<&dyn SparsityEstimator> = estimators.iter().map(|b| b.as_ref()).collect();
     let names: Vec<&str> = refs.iter().map(|e| e.name()).collect();
 
+    // One estimation session for the whole suite: B2/B3 cases share dataset
+    // matrices, and tracked-intermediate reports revisit the same DAGs, so
+    // synopses get real reuse across cases.
+    let mut ctx = EstimationContext::new();
     let mut results = Vec::new();
     for case in b1_suite(scale, 42) {
         eprintln!("running {} {} ...", case.id, case.name);
-        results.extend(run_case(&case, &refs));
+        results.extend(run_case_with_context(&case, &refs, &mut ctx));
     }
     let data = Datasets::with_scale(0xDA7A, scale);
     for case in b2_suite(&data) {
         eprintln!("running {} {} ...", case.id, case.name);
-        results.extend(run_case(&case, &refs));
+        results.extend(run_case_with_context(&case, &refs, &mut ctx));
     }
     for case in b3_suite(&data) {
         eprintln!("running {} {} ...", case.id, case.name);
-        results.extend(run_case(&case, &refs));
+        results.extend(run_case_with_context(&case, &refs, &mut ctx));
         if !case.tracked.is_empty() {
-            results.extend(run_tracked(&case, &refs));
+            results.extend(run_tracked_with_context(&case, &refs, &mut ctx));
         }
     }
     print_accuracy_matrix(&results, &names);
+    println!("\nestimation session:\n{}", ctx.stats());
 }

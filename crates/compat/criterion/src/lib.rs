@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` crate covering the subset this
+//! workspace uses: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId::from_parameter`, `Bencher::iter`, and
+//! the `criterion_group!`/`criterion_main!` macros.
+//!
+//! The build environment has no crates.io access, so the workspace patches
+//! `criterion` to this crate. Measurement is intentionally simple — a short
+//! adaptive loop around `Instant` reporting the mean wall-clock per
+//! iteration — with no statistics, plots, or baselines. Good enough to run
+//! `cargo bench` offline and eyeball relative costs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures passed to `iter`.
+pub struct Bencher {
+    /// Target measurement budget per benchmark.
+    budget: Duration,
+    /// Mean time per iteration from the last `iter` call.
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            budget,
+            mean: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Runs the routine repeatedly until the time budget is spent and
+    /// records the mean wall-clock time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up / calibration round.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+
+        let target = (self.budget.as_nanos() / first.as_nanos()).clamp(1, 1000) as u64;
+        let start = Instant::now();
+        for _ in 0..target {
+            std::hint::black_box(routine());
+        }
+        let total = start.elapsed();
+        self.iters = target;
+        self.mean = total / target as u32;
+    }
+}
+
+/// Prevents the optimizer from eliding a value (re-export convenience).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn report(group: Option<&str>, id: &str, b: &Bencher) {
+    let name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    println!(
+        "bench: {name:<48} {:>12.3} µs/iter  ({} iters)",
+        b.mean.as_nanos() as f64 / 1_000.0,
+        b.iters
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(250),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, budget: Duration) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    pub fn benchmark_group<S: Display>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        report(None, &id.id, &b);
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.budget);
+        f(&mut b);
+        report(Some(&self.name), &id.id, &b);
+        self
+    }
+
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.criterion.budget);
+        f(&mut b, input);
+        report(Some(&self.name), &id.id, &b);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function (`fn $name()`), running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("group");
+        g.bench_function(BenchmarkId::from_parameter(3), |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::from_parameter("in"), &41u64, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        g.finish();
+        c.bench_function("plain", |b| b.iter(|| black_box(2) * 2));
+    }
+
+    #[test]
+    fn runs_groups() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        sample_bench(&mut c);
+    }
+}

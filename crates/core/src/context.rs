@@ -1,0 +1,579 @@
+//! Session-level estimation machinery: instrumentation counters, a
+//! byte-budgeted LRU synopsis cache, and parallel sketch construction.
+//!
+//! These are the estimator-agnostic building blocks behind
+//! `mnc_expr::EstimationContext`. They live in the core crate so the cache
+//! and counters can be reused by any synopsis type (the cache is generic —
+//! the expression layer instantiates it over `Synopsis` values sized by
+//! `Synopsis::size_bytes()`), while the parallel builder reuses the
+//! phase-1/phase-2 split proven equivalent in [`crate::distributed`].
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+use std::time::Instant;
+
+use mnc_matrix::CsrMatrix;
+
+use crate::sketch::MncSketch;
+
+// ---------------------------------------------------------------------------
+// Instrumentation
+// ---------------------------------------------------------------------------
+
+/// Per-operation timing bucket inside [`EstimationStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpStat {
+    /// Number of sparsity estimates for this op.
+    pub estimates: u64,
+    /// Total wall-clock nanoseconds spent estimating.
+    pub estimate_ns: u64,
+    /// Number of synopsis propagations for this op.
+    pub propagations: u64,
+    /// Total wall-clock nanoseconds spent propagating.
+    pub propagate_ns: u64,
+}
+
+/// Counters for one estimation session: synopsis builds, cache traffic, and
+/// per-operation estimate/propagate timings.
+///
+/// The `Display` impl renders the compact report printed by `mnc-cli` and
+/// the SparsEst runner.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct EstimationStats {
+    /// Leaf synopses built (cache misses that did real work).
+    pub builds: u64,
+    /// Total wall-clock nanoseconds spent building leaf synopses.
+    pub build_ns: u64,
+    /// Cache lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Cache lookups that missed.
+    pub cache_misses: u64,
+    /// Entries evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Bytes currently resident in the cache.
+    pub bytes_resident: u64,
+    per_op: BTreeMap<&'static str, OpStat>,
+}
+
+impl EstimationStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one leaf-synopsis build taking `ns` nanoseconds.
+    pub fn record_build(&mut self, ns: u64) {
+        self.builds += 1;
+        self.build_ns += ns;
+    }
+
+    /// Records one sparsity estimate for `op` taking `ns` nanoseconds.
+    pub fn record_estimate(&mut self, op: &'static str, ns: u64) {
+        let s = self.per_op.entry(op).or_default();
+        s.estimates += 1;
+        s.estimate_ns += ns;
+    }
+
+    /// Records one synopsis propagation for `op` taking `ns` nanoseconds.
+    pub fn record_propagate(&mut self, op: &'static str, ns: u64) {
+        let s = self.per_op.entry(op).or_default();
+        s.propagations += 1;
+        s.propagate_ns += ns;
+    }
+
+    /// Fraction of cache lookups that hit, or 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Per-op timing buckets in deterministic (name) order.
+    pub fn per_op(&self) -> impl Iterator<Item = (&'static str, &OpStat)> {
+        self.per_op.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Folds another session's counters into this one.
+    pub fn merge(&mut self, other: &EstimationStats) {
+        self.builds += other.builds;
+        self.build_ns += other.build_ns;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.evictions += other.evictions;
+        self.bytes_resident = self.bytes_resident.max(other.bytes_resident);
+        for (op, s) in &other.per_op {
+            let acc = self.per_op.entry(op).or_default();
+            acc.estimates += s.estimates;
+            acc.estimate_ns += s.estimate_ns;
+            acc.propagations += s.propagations;
+            acc.propagate_ns += s.propagate_ns;
+        }
+    }
+}
+
+impl fmt::Display for EstimationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "builds: {} ({:.1} µs)   cache: {} hits / {} misses ({:.0}% hit rate), \
+             {} evictions, {} B resident",
+            self.builds,
+            self.build_ns as f64 / 1_000.0,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate() * 100.0,
+            self.evictions,
+            self.bytes_resident,
+        )?;
+        for (op, s) in &self.per_op {
+            writeln!(
+                f,
+                "  {op:<10} estimate: {:>5} calls {:>10.1} µs   propagate: {:>5} calls {:>10.1} µs",
+                s.estimates,
+                s.estimate_ns as f64 / 1_000.0,
+                s.propagations,
+                s.propagate_ns as f64 / 1_000.0,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Minimal wall-clock timer for feeding [`EstimationStats`]:
+/// `OpTimer::start()` ... `timer.elapsed_ns()`.
+#[derive(Debug, Clone, Copy)]
+pub struct OpTimer {
+    start: Instant,
+}
+
+impl OpTimer {
+    /// Starts the clock.
+    #[allow(clippy::new_without_default)]
+    pub fn start() -> Self {
+        OpTimer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since `start()`, saturated to `u64`.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-budgeted LRU cache
+// ---------------------------------------------------------------------------
+
+struct CacheEntry<V> {
+    value: V,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// A keyed LRU cache with a byte budget instead of an entry-count capacity —
+/// synopsis sizes vary by orders of magnitude (`O(m+n)` MNC sketches vs.
+/// `O(mn)`-bit bitsets), so counting entries would be meaningless.
+///
+/// The caller supplies each entry's size (e.g. `Synopsis::size_bytes()`).
+/// Recency is tracked with a monotone tick; eviction scans for the minimum
+/// tick, which is `O(len)` but the cache holds at most a few hundred
+/// synopses in practice. Values larger than the whole budget are not cached
+/// at all — admitting one would evict everything for a value that can never
+/// be resident alongside anything else.
+pub struct LruSynopsisCache<K, V> {
+    map: HashMap<K, CacheEntry<V>>,
+    byte_budget: usize,
+    bytes: usize,
+    tick: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruSynopsisCache<K, V> {
+    /// Creates a cache that keeps at most `byte_budget` bytes resident.
+    pub fn new(byte_budget: usize) -> Self {
+        LruSynopsisCache {
+            map: HashMap::new(),
+            byte_budget,
+            bytes: 0,
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn byte_budget(&self) -> usize {
+        self.byte_budget
+    }
+
+    /// Bytes currently resident.
+    pub fn bytes_resident(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entries evicted over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            &e.value
+        })
+    }
+
+    /// Whether `key` is cached (without touching recency).
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Inserts `key -> value` accounted as `bytes`, evicting
+    /// least-recently-used entries until the budget holds. Oversized values
+    /// (`bytes > byte_budget`) are silently not cached.
+    pub fn insert(&mut self, key: K, value: V, bytes: usize) {
+        if bytes > self.byte_budget {
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.map.remove(&key) {
+            self.bytes -= old.bytes;
+        }
+        self.bytes += bytes;
+        self.map.insert(
+            key,
+            CacheEntry {
+                value,
+                bytes,
+                last_used: self.tick,
+            },
+        );
+        while self.bytes > self.byte_budget {
+            // The just-inserted entry carries the max tick, so the scan
+            // always finds an older victim first.
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("over budget implies a non-empty cache");
+            if let Some(e) = self.map.remove(&victim) {
+                self.bytes -= e.bytes;
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Drops every entry (lifetime eviction counter is preserved).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.bytes = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel sketch construction
+// ---------------------------------------------------------------------------
+
+/// Phase-1 result for one row chunk: its `h^r` slice, a full-width `h^c`
+/// contribution, and the chunk's diagonal-consistency flag.
+struct Chunk1 {
+    hr: Vec<u32>,
+    hc: Vec<u32>,
+    diagonal_fragment: bool,
+}
+
+fn chunk_phase1(m: &CsrMatrix, lo: usize, hi: usize, ncols: usize) -> Chunk1 {
+    let mut hr = vec![0u32; hi - lo];
+    let mut hc = vec![0u32; ncols];
+    let mut diagonal_fragment = true;
+    for (k, rc) in hr.iter_mut().enumerate() {
+        let i = lo + k;
+        let (cols, _) = m.row(i);
+        *rc = cols.len() as u32;
+        diagonal_fragment &= cols.len() == 1 && cols[0] as usize == i;
+        for &c in cols {
+            hc[c as usize] += 1;
+        }
+    }
+    Chunk1 {
+        hr,
+        hc,
+        diagonal_fragment,
+    }
+}
+
+/// Phase-2 result for one row chunk: its `h^er` slice and a full-width
+/// `h^ec` contribution (needs the merged global `h^c`).
+struct Chunk2 {
+    her: Vec<u32>,
+    hec: Vec<u32>,
+}
+
+fn chunk_phase2(m: &CsrMatrix, lo: usize, hi: usize, global_hc: &[u32]) -> Chunk2 {
+    let mut her = vec![0u32; hi - lo];
+    let mut hec = vec![0u32; global_hc.len()];
+    for (k, er) in her.iter_mut().enumerate() {
+        let (cols, _) = m.row(lo + k);
+        let single_row = cols.len() == 1;
+        for &c in cols {
+            if global_hc[c as usize] == 1 {
+                *er += 1;
+            }
+            if single_row {
+                hec[c as usize] += 1;
+            }
+        }
+    }
+    Chunk2 { her, hec }
+}
+
+/// Contiguous row ranges covering `0..nrows`, at most `threads` of them.
+fn row_chunks(nrows: usize, threads: usize) -> Vec<(usize, usize)> {
+    let chunk = nrows.div_ceil(threads);
+    (0..threads)
+        .map(|t| (t * chunk, ((t + 1) * chunk).min(nrows)))
+        .filter(|(lo, hi)| lo < hi)
+        .collect()
+}
+
+impl MncSketch {
+    /// [`MncSketch::build`] over `threads` scoped worker threads scanning
+    /// disjoint row chunks. Count merging is additive over integers, so the
+    /// result is **bit-identical** to the sequential build (asserted in
+    /// tests and by the serialization round-trip).
+    pub fn build_parallel(m: &CsrMatrix, threads: usize) -> Self {
+        Self::build_parallel_with(m, true, threads)
+    }
+
+    /// Parallel build with the extended vectors optional (MNC Basic).
+    ///
+    /// Mirrors the phase-1 / phase-2 split of
+    /// [`build_distributed`](crate::distributed::build_distributed), but over
+    /// row chunks of one matrix instead of pre-partitioned fragments.
+    pub fn build_parallel_with(m: &CsrMatrix, use_extended: bool, threads: usize) -> Self {
+        let (nrows, ncols) = m.shape();
+        let threads = threads.clamp(1, nrows.max(1));
+        if threads == 1 {
+            return Self::build_with(m, use_extended);
+        }
+        let chunks = row_chunks(nrows, threads);
+
+        // Phase 1: per-chunk counts on scoped threads, merged here.
+        let phase1: Vec<Chunk1> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|&(lo, hi)| scope.spawn(move || chunk_phase1(m, lo, hi, ncols)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("phase 1 worker panicked"))
+                .collect()
+        });
+        let mut hr = Vec::with_capacity(nrows);
+        let mut hc = vec![0u32; ncols];
+        let mut diagonal = nrows == ncols && nrows > 0;
+        for c in &phase1 {
+            hr.extend_from_slice(&c.hr);
+            for (acc, &v) in hc.iter_mut().zip(&c.hc) {
+                *acc += v;
+            }
+            diagonal &= c.diagonal_fragment;
+        }
+
+        let max_hr = hr.iter().copied().max().unwrap_or(0);
+        let max_hc = hc.iter().copied().max().unwrap_or(0);
+
+        // Phase 2: extended vectors against the merged global h^c.
+        let (her, hec) = if use_extended && max_hr > 1 && max_hc > 1 {
+            let hc_ref = &hc;
+            let phase2: Vec<Chunk2> = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|&(lo, hi)| scope.spawn(move || chunk_phase2(m, lo, hi, hc_ref)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("phase 2 worker panicked"))
+                    .collect()
+            });
+            let mut her = Vec::with_capacity(nrows);
+            let mut hec = vec![0u32; ncols];
+            for c in &phase2 {
+                her.extend_from_slice(&c.her);
+                for (acc, &v) in hec.iter_mut().zip(&c.hec) {
+                    *acc += v;
+                }
+            }
+            (Some(her), Some(hec))
+        } else {
+            (None, None)
+        };
+
+        MncSketch::from_vectors(nrows, ncols, hr, hc, her, hec, diagonal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize::{from_bytes, to_bytes};
+    use mnc_matrix::gen;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        let mut r = rng(1);
+        for (rows, cols, s) in [
+            (64usize, 48usize, 0.1f64),
+            (33, 7, 0.4),
+            (7, 96, 0.05),
+            (1, 1, 1.0),
+        ] {
+            let m = gen::rand_uniform(&mut r, rows, cols, s);
+            let seq = MncSketch::build(&m);
+            for threads in [1, 2, 3, 4, 9, 64] {
+                let par = MncSketch::build_parallel(&m, threads);
+                assert_eq!(par, seq, "{rows}x{cols} s={s} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_basic_build_matches_sequential_basic() {
+        let mut r = rng(2);
+        let m = gen::rand_uniform(&mut r, 40, 40, 0.2);
+        let par = MncSketch::build_parallel_with(&m, false, 4);
+        assert_eq!(par, MncSketch::build_with(&m, false));
+        assert!(par.her.is_none());
+    }
+
+    #[test]
+    fn parallel_build_diagonal_flag() {
+        let d = gen::scalar_diag(24, 2.0);
+        assert!(MncSketch::build_parallel(&d, 4).meta.fully_diagonal);
+        let mut r = rng(3);
+        let m = gen::rand_uniform(&mut r, 24, 24, 0.3);
+        assert_eq!(
+            MncSketch::build_parallel(&m, 4).meta.fully_diagonal,
+            MncSketch::build(&m).meta.fully_diagonal
+        );
+    }
+
+    #[test]
+    fn parallel_build_of_empty_and_degenerate_matrices() {
+        let z = CsrMatrix::zeros(0, 5);
+        let h = MncSketch::build_parallel(&z, 8);
+        assert_eq!(h, MncSketch::build(&z));
+        let z = CsrMatrix::zeros(5, 0);
+        assert_eq!(MncSketch::build_parallel(&z, 8), MncSketch::build(&z));
+    }
+
+    #[test]
+    fn parallel_built_sketch_round_trips_through_bytes() {
+        let mut r = rng(4);
+        let m = gen::rand_uniform(&mut r, 50, 30, 0.15);
+        let par = MncSketch::build_parallel(&m, 4);
+        let seq = MncSketch::build(&m);
+        // Bit-identical sketches serialize to identical bytes...
+        assert_eq!(to_bytes(&par), to_bytes(&seq));
+        // ...and the round-trip reproduces the parallel-built sketch.
+        assert_eq!(from_bytes(&to_bytes(&par)).unwrap(), par);
+    }
+
+    #[test]
+    fn lru_respects_byte_budget_and_evicts_least_recent() {
+        let mut cache: LruSynopsisCache<u32, &'static str> = LruSynopsisCache::new(100);
+        cache.insert(1, "a", 40);
+        cache.insert(2, "b", 40);
+        assert_eq!(cache.bytes_resident(), 80);
+        // Touch 1 so 2 becomes the LRU entry.
+        assert_eq!(cache.get(&1), Some(&"a"));
+        cache.insert(3, "c", 40);
+        assert!(cache.contains(&1), "recently used entry must survive");
+        assert!(!cache.contains(&2), "LRU entry must be evicted");
+        assert!(cache.contains(&3));
+        assert_eq!(cache.bytes_resident(), 80);
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn lru_reinsert_replaces_without_double_counting() {
+        let mut cache: LruSynopsisCache<u32, u64> = LruSynopsisCache::new(100);
+        cache.insert(1, 10, 60);
+        cache.insert(1, 11, 30);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes_resident(), 30);
+        assert_eq!(cache.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn lru_skips_oversized_values() {
+        let mut cache: LruSynopsisCache<u32, u64> = LruSynopsisCache::new(50);
+        cache.insert(1, 10, 40);
+        cache.insert(2, 20, 51);
+        assert!(
+            cache.contains(&1),
+            "small entry must not be evicted for an oversized one"
+        );
+        assert!(!cache.contains(&2));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.bytes_resident(), 0);
+    }
+
+    #[test]
+    fn stats_counters_and_display() {
+        let mut s = EstimationStats::new();
+        s.record_build(1_500);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        s.record_estimate("matmul", 2_000);
+        s.record_estimate("matmul", 1_000);
+        s.record_propagate("ew_add", 500);
+        assert_eq!(s.hit_rate(), 0.75);
+        let per_op: Vec<_> = s.per_op().collect();
+        assert_eq!(per_op.len(), 2);
+        assert_eq!(per_op[1].0, "matmul");
+        assert_eq!(per_op[1].1.estimates, 2);
+
+        let mut merged = EstimationStats::new();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.builds, 2);
+        assert_eq!(merged.cache_hits, 6);
+
+        let text = s.to_string();
+        assert!(text.contains("75% hit rate"), "{text}");
+        assert!(text.contains("matmul"), "{text}");
+    }
+
+    #[test]
+    fn op_timer_is_monotone() {
+        let t = OpTimer::start();
+        let a = t.elapsed_ns();
+        let b = t.elapsed_ns();
+        assert!(b >= a);
+    }
+}

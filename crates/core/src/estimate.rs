@@ -36,14 +36,14 @@ pub fn vector_edm(x: &[u32], y: &[u32], p: f64) -> f64 {
 }
 
 fn dot(x: &[u32], y: &[u32]) -> f64 {
-    x.iter()
-        .zip(y)
-        .map(|(&a, &b)| a as f64 * b as f64)
-        .sum()
+    x.iter().zip(y).map(|(&a, &b)| a as f64 * b as f64).sum()
 }
 
 fn sub_sat(x: &[u32], y: &[u32]) -> Vec<u32> {
-    x.iter().zip(y).map(|(&a, &b)| a.saturating_sub(b)).collect()
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| a.saturating_sub(b))
+        .collect()
 }
 
 /// Estimates the output sparsity of `C = A B` from the two sketches with the
@@ -330,10 +330,8 @@ mod tests {
         // product has exactly one non-zero. The upper bound
         // nnz(h^r_A) · nnz(h^c_B) = 1 forces exactness (Fig. 10(f)).
         let n = 100;
-        let r: CsrMatrix =
-            CsrMatrix::from_triples(n, n, (0..n).map(|j| (0usize, j, 1.0))).unwrap();
-        let c: CsrMatrix =
-            CsrMatrix::from_triples(n, n, (0..n).map(|i| (i, 0usize, 1.0))).unwrap();
+        let r: CsrMatrix = CsrMatrix::from_triples(n, n, (0..n).map(|j| (0usize, j, 1.0))).unwrap();
+        let c: CsrMatrix = CsrMatrix::from_triples(n, n, (0..n).map(|i| (i, 0usize, 1.0))).unwrap();
         let est = estimate_matmul(&MncSketch::build(&r), &MncSketch::build(&c));
         assert!((est - 1.0 / (n * n) as f64).abs() < 1e-15);
 
@@ -351,10 +349,8 @@ mod tests {
         // C has a single dense column, R a single aligned dense row: the
         // product is fully dense. max(h^r_C) = 1 ⇒ Theorem 3.1.
         let n = 64;
-        let c: CsrMatrix =
-            CsrMatrix::from_triples(n, n, (0..n).map(|i| (i, 0usize, 1.0))).unwrap();
-        let r: CsrMatrix =
-            CsrMatrix::from_triples(n, n, (0..n).map(|j| (0usize, j, 1.0))).unwrap();
+        let c: CsrMatrix = CsrMatrix::from_triples(n, n, (0..n).map(|i| (i, 0usize, 1.0))).unwrap();
+        let r: CsrMatrix = CsrMatrix::from_triples(n, n, (0..n).map(|j| (0usize, j, 1.0))).unwrap();
         let est = estimate_matmul(&MncSketch::build(&c), &MncSketch::build(&r));
         assert!((est - 1.0).abs() < 1e-15);
     }
@@ -473,10 +469,7 @@ mod tests {
         .unwrap();
         let est = estimate_ew_mul(&MncSketch::build(&mask), &MncSketch::build(&x));
         let truth = ops::ew_mul(&mask, &x).unwrap().sparsity();
-        assert!(
-            (est - truth).abs() < 1e-12,
-            "est {est} vs truth {truth}"
-        );
+        assert!((est - truth).abs() < 1e-12, "est {est} vs truth {truth}");
     }
 
     #[test]

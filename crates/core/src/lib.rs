@@ -27,28 +27,38 @@
 //! *MNC Basic* baseline (no extension vectors, no bounds).
 
 pub mod confidence;
+pub mod context;
 pub mod distributed;
 pub mod estimate;
+pub mod op;
 pub mod propagate;
 pub mod round;
 pub mod serialize;
 pub mod sketch;
 
 pub use confidence::{estimate_matmul_ci, SparsityEstimateCi};
+pub use context::{EstimationStats, LruSynopsisCache, OpStat, OpTimer};
 pub use distributed::{build_distributed, build_distributed_with};
-pub use estimate::{
-    estimate_cbind, estimate_diag_extract, estimate_diag_v2m, estimate_eq_zero,
-    estimate_ew_add, estimate_ew_mul, estimate_matmul, estimate_matmul_with,
-    estimate_neq_zero, estimate_rbind, estimate_reshape, estimate_transpose, vector_edm,
-};
-pub use propagate::{
-    propagate_cbind, propagate_diag_extract, propagate_diag_v2m, propagate_eq_zero, propagate_ew_add,
-    propagate_ew_mul, propagate_matmul, propagate_neq_zero, propagate_rbind,
-    propagate_reshape, propagate_transpose,
-};
+pub use op::{EstimatorError, OpKind};
 pub use round::SplitMix64;
 pub use serialize::{from_bytes, to_bytes, DecodeError};
 pub use sketch::{MncSketch, SketchMeta};
+
+// Legacy per-op free functions, superseded by the op-driven entry points
+// [`MncSketch::estimate`] / [`MncSketch::propagate`] (see [`op`]). They stay
+// exported so existing callers compile, but are hidden from the docs.
+#[doc(hidden)]
+pub use estimate::{
+    estimate_cbind, estimate_diag_extract, estimate_diag_v2m, estimate_eq_zero, estimate_ew_add,
+    estimate_ew_mul, estimate_matmul, estimate_matmul_with, estimate_neq_zero, estimate_rbind,
+    estimate_reshape, estimate_transpose, vector_edm,
+};
+#[doc(hidden)]
+pub use propagate::{
+    propagate_cbind, propagate_diag_extract, propagate_diag_v2m, propagate_eq_zero,
+    propagate_ew_add, propagate_ew_mul, propagate_matmul, propagate_neq_zero, propagate_rbind,
+    propagate_reshape, propagate_transpose,
+};
 
 /// Configuration of the MNC estimator.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -158,26 +158,21 @@ pub fn propagate_diag_v2m(h: &MncSketch) -> MncSketch {
 /// "in a best-effort manner" (Section 4.2): each output row is expected to
 /// hold `h^r_i / n` non-zeros, probabilistically rounded; the single output
 /// column sums the row expectations.
-pub fn propagate_diag_extract(
-    h: &MncSketch,
-    cfg: &MncConfig,
-    rng: &mut SplitMix64,
-) -> MncSketch {
+pub fn propagate_diag_extract(h: &MncSketch, cfg: &MncConfig, rng: &mut SplitMix64) -> MncSketch {
     assert_eq!(h.nrows, h.ncols, "diag extraction expects a square sketch");
     let n = h.ncols as f64;
     let mut total = 0.0f64;
-    let hr: Vec<u32> = h
-        .hr
-        .iter()
-        .map(|&c| {
-            if n == 0.0 {
-                return 0;
-            }
-            let est = c as f64 / n;
-            total += est;
-            round_count(rng, est, cfg.probabilistic_rounding).min(1) as u32
-        })
-        .collect();
+    let hr: Vec<u32> =
+        h.hr.iter()
+            .map(|&c| {
+                if n == 0.0 {
+                    return 0;
+                }
+                let est = c as f64 / n;
+                total += est;
+                round_count(rng, est, cfg.probabilistic_rounding).min(1) as u32
+            })
+            .collect();
     let hc = vec![round_count(rng, total, cfg.probabilistic_rounding).min(h.nrows as u64) as u32];
     MncSketch::from_vectors(h.nrows, 1, hr, hc, None, None, false)
 }
@@ -207,11 +202,10 @@ pub fn propagate_reshape(
     if k > 0 && m.is_multiple_of(k) {
         // Merge t consecutive input rows into each output row.
         let t = m / k;
-        let hr = h
-            .hr
-            .chunks(t)
-            .map(|chunk| chunk.iter().sum::<u32>())
-            .collect();
+        let hr =
+            h.hr.chunks(t)
+                .map(|chunk| chunk.iter().sum::<u32>())
+                .collect();
         // Each output column block sees ~1/t of a source column's count.
         let mut hc = Vec::with_capacity(l);
         for _block in 0..t {

@@ -151,7 +151,15 @@ impl MncSketch {
 
     /// Sketch of an all-zero matrix.
     pub fn empty(nrows: usize, ncols: usize) -> Self {
-        Self::from_vectors(nrows, ncols, vec![0; nrows], vec![0; ncols], None, None, false)
+        Self::from_vectors(
+            nrows,
+            ncols,
+            vec![0; nrows],
+            vec![0; ncols],
+            None,
+            None,
+            false,
+        )
     }
 
     /// Sparsity implied by the sketch, `nnz / (m·n)`.
@@ -189,8 +197,15 @@ impl MncSketch {
     /// extended vectors are materialized, plus the fixed metadata block.
     pub fn size_bytes(&self) -> usize {
         let base = 4 * (self.nrows + self.ncols);
-        let ext = if self.her.is_some() { 4 * self.nrows } else { 0 }
-            + if self.hec.is_some() { 4 * self.ncols } else { 0 };
+        let ext = if self.her.is_some() {
+            4 * self.nrows
+        } else {
+            0
+        } + if self.hec.is_some() {
+            4 * self.ncols
+        } else {
+            0
+        };
         base + ext + std::mem::size_of::<SketchMeta>()
     }
 }
@@ -366,10 +381,7 @@ mod tests {
     fn size_is_linear_in_dimensions() {
         let h = MncSketch::empty(1000, 500);
         // No extended vectors: 4 B per dimension entry plus metadata.
-        assert_eq!(
-            h.size_bytes(),
-            4 * 1500 + std::mem::size_of::<SketchMeta>()
-        );
+        assert_eq!(h.size_bytes(), 4 * 1500 + std::mem::size_of::<SketchMeta>());
         let he = MncSketch::build(&sample());
         assert!(he.size_bytes() > 4 * (5 + 4)); // extended vectors present
     }

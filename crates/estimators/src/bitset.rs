@@ -49,6 +49,34 @@ impl BitsetSynopsis {
         b
     }
 
+    /// Packs the non-zero pattern on `threads` scoped worker threads, each
+    /// filling a disjoint row-chunk of the bit buffer. Bit-identical to
+    /// [`BitsetSynopsis::from_matrix`].
+    pub fn from_matrix_parallel(m: &CsrMatrix, threads: usize) -> Self {
+        let threads = threads.clamp(1, m.nrows().max(1));
+        let mut b = Self::zeros(m.nrows(), m.ncols());
+        let wpr = b.words_per_row;
+        if threads == 1 || wpr == 0 {
+            return Self::from_matrix(m);
+        }
+        let rows_per = m.nrows().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, chunk) in b.bits.chunks_mut(rows_per * wpr).enumerate() {
+                let lo = t * rows_per;
+                scope.spawn(move || {
+                    for k in 0..chunk.len() / wpr {
+                        let (cols, _) = m.row(lo + k);
+                        let base = k * wpr;
+                        for &c in cols {
+                            chunk[base + (c as usize >> 6)] |= 1u64 << (c as usize & 63);
+                        }
+                    }
+                });
+            }
+        });
+        b
+    }
+
     /// Number of rows.
     pub fn nrows(&self) -> usize {
         self.nrows
@@ -114,7 +142,10 @@ pub fn bool_mm(a: &BitsetSynopsis, b: &BitsetSynopsis) -> BitsetSynopsis {
 /// Multi-threaded exact boolean matrix multiply (Appendix B): output rows
 /// are partitioned across `threads` workers.
 pub fn bool_mm_parallel(a: &BitsetSynopsis, b: &BitsetSynopsis, threads: usize) -> BitsetSynopsis {
-    assert_eq!(a.ncols, b.nrows, "bool_mm_parallel: inner dimension mismatch");
+    assert_eq!(
+        a.ncols, b.nrows,
+        "bool_mm_parallel: inner dimension mismatch"
+    );
     let threads = threads.max(1);
     let mut c = BitsetSynopsis::zeros(a.nrows, b.ncols);
     if threads == 1 || a.nrows < threads {
@@ -363,7 +394,10 @@ impl SparsityEstimator for BitsetEstimator {
 
     fn build(&self, m: &Arc<CsrMatrix>) -> Result<Synopsis> {
         self.check_budget(m.nrows(), m.ncols())?;
-        Ok(Synopsis::Bitset(BitsetSynopsis::from_matrix(m)))
+        Ok(Synopsis::Bitset(BitsetSynopsis::from_matrix_parallel(
+            m,
+            self.threads,
+        )))
     }
 
     fn estimate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<f64> {
@@ -402,6 +436,24 @@ mod tests {
     }
 
     #[test]
+    fn parallel_pack_is_bit_identical() {
+        let mut r = rng(11);
+        for (rows, cols, s) in [(40usize, 90usize, 0.1f64), (3, 200, 0.05), (64, 64, 0.3)] {
+            let m = gen::rand_uniform(&mut r, rows, cols, s);
+            let seq = BitsetSynopsis::from_matrix(&m);
+            for threads in [1, 2, 3, 8, 64] {
+                let par = BitsetSynopsis::from_matrix_parallel(&m, threads);
+                assert_eq!(par.bits, seq.bits, "{rows}x{cols} threads={threads}");
+            }
+        }
+        let empty = CsrMatrix::zeros(0, 4);
+        assert_eq!(
+            BitsetSynopsis::from_matrix_parallel(&empty, 4).bits,
+            BitsetSynopsis::from_matrix(&empty).bits
+        );
+    }
+
+    #[test]
     fn bool_mm_is_exact() {
         let mut r = rng(2);
         let a = gen::rand_uniform(&mut r, 30, 40, 0.1);
@@ -418,7 +470,10 @@ mod tests {
         let mut r = rng(3);
         let a = gen::rand_uniform(&mut r, 97, 64, 0.08);
         let b = gen::rand_uniform(&mut r, 64, 83, 0.1);
-        let (ba, bb) = (BitsetSynopsis::from_matrix(&a), BitsetSynopsis::from_matrix(&b));
+        let (ba, bb) = (
+            BitsetSynopsis::from_matrix(&a),
+            BitsetSynopsis::from_matrix(&b),
+        );
         let seq = bool_mm(&ba, &bb);
         for threads in [2, 3, 4, 8] {
             let par = bool_mm_parallel(&ba, &bb, threads);

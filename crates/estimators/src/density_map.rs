@@ -88,9 +88,8 @@ impl DmSynopsis {
         let mut total = 0.0;
         for bi in 0..self.grid_rows {
             for bj in 0..self.grid_cols {
-                total += self.density(bi, bj)
-                    * self.block_rows(bi) as f64
-                    * self.block_cols(bj) as f64;
+                total +=
+                    self.density(bi, bj) * self.block_rows(bi) as f64 * self.block_cols(bj) as f64;
             }
         }
         total
@@ -244,7 +243,12 @@ impl DensityMapEstimator {
                 let mut c = DmSynopsis::zeros(m, m, self.block);
                 for bi in 0..c.grid_rows {
                     let rows = c.block_rows(bi) as f64;
-                    let nnz = a.expected_nnz_in_rect(bi * self.block, bi * self.block + rows as usize, 0, 1);
+                    let nnz = a.expected_nnz_in_rect(
+                        bi * self.block,
+                        bi * self.block + rows as usize,
+                        0,
+                        1,
+                    );
                     let cells = rows * c.block_cols(bi) as f64;
                     c.dens[bi * c.grid_cols + bi] = if cells > 0.0 { nnz / cells } else { 0.0 };
                 }
@@ -260,7 +264,11 @@ impl DensityMapEstimator {
                 for bi in 0..c.grid_rows {
                     let rows = c.block_rows(bi) as f64;
                     let expected = a.density(bi, bi) * rows;
-                    c.dens[bi] = if rows > 0.0 { (expected / rows).min(1.0) } else { 0.0 };
+                    c.dens[bi] = if rows > 0.0 {
+                        (expected / rows).min(1.0)
+                    } else {
+                        0.0
+                    };
                 }
                 c
             }
@@ -329,6 +337,10 @@ impl DensityMapEstimator {
 }
 
 impl SparsityEstimator for DensityMapEstimator {
+    fn cache_key(&self) -> String {
+        format!("{}:block={}", self.name(), self.block)
+    }
+
     fn name(&self) -> &'static str {
         "DMap"
     }
@@ -425,7 +437,9 @@ mod tests {
         let a = gen::rand_uniform(&mut r, 40, 40, 0.2);
         let b = gen::rand_uniform(&mut r, 40, 40, 0.3);
         let e = DensityMapEstimator::with_block(8);
-        let add = e.estimate(&OpKind::EwAdd, &[&syn(&a, 8), &syn(&b, 8)]).unwrap();
+        let add = e
+            .estimate(&OpKind::EwAdd, &[&syn(&a, 8), &syn(&b, 8)])
+            .unwrap();
         let truth = ops::ew_add(&a, &b).unwrap().sparsity();
         assert!((add - truth).abs() < 0.05);
         let z = e.estimate(&OpKind::Eq0, &[&syn(&a, 8)]).unwrap();
@@ -452,11 +466,19 @@ mod tests {
         let a = gen::rand_uniform(&mut r, 19, 30, 0.2); // 19 not a block multiple
         let b = gen::rand_uniform(&mut r, 23, 30, 0.1);
         let e = DensityMapEstimator::with_block(8);
-        let rb = e.propagate(&OpKind::Rbind, &[&syn(&a, 8), &syn(&b, 8)]).unwrap();
+        let rb = e
+            .propagate(&OpKind::Rbind, &[&syn(&a, 8), &syn(&b, 8)])
+            .unwrap();
         let truth = ops::rbind(&a, &b).unwrap();
         assert!((rb.sparsity() - truth.sparsity()).abs() < 1e-9);
         let cb = e
-            .propagate(&OpKind::Cbind, &[&syn(&a, 8), &syn(&gen::rand_uniform(&mut r, 19, 11, 0.3), 8)])
+            .propagate(
+                &OpKind::Cbind,
+                &[
+                    &syn(&a, 8),
+                    &syn(&gen::rand_uniform(&mut r, 19, 11, 0.3), 8),
+                ],
+            )
             .unwrap();
         assert_eq!(cb.shape(), (19, 41));
     }

@@ -256,6 +256,15 @@ impl DynamicDensityMapEstimator {
 }
 
 impl SparsityEstimator for DynamicDensityMapEstimator {
+    fn cache_key(&self) -> String {
+        format!(
+            "{}:leaf={},grid={}",
+            self.name(),
+            self.leaf_capacity,
+            self.max_grid
+        )
+    }
+
     fn name(&self) -> &'static str {
         "DynDMap"
     }
@@ -302,7 +311,11 @@ impl SparsityEstimator for DynamicDensityMapEstimator {
             OpKind::DiagV2M => {
                 let a = self.unwrap(inputs, 0)?;
                 let m = a.shape().0 as f64;
-                Ok(if m == 0.0 { 0.0 } else { a.nnz() as f64 / (m * m) })
+                Ok(if m == 0.0 {
+                    0.0
+                } else {
+                    a.nnz() as f64 / (m * m)
+                })
             }
             OpKind::DiagM2V => {
                 // Sum the expected density of the 1x1 diagonal cells via

@@ -79,6 +79,16 @@ impl HashEstimator {
 }
 
 impl SparsityEstimator for HashEstimator {
+    fn cache_key(&self) -> String {
+        format!(
+            "{}:f={},k={},seed={}",
+            self.name(),
+            self.fraction,
+            self.buffer,
+            self.seed
+        )
+    }
+
     fn name(&self) -> &'static str {
         "Hash"
     }

@@ -169,6 +169,10 @@ impl LayeredGraphEstimator {
 }
 
 impl SparsityEstimator for LayeredGraphEstimator {
+    fn cache_key(&self) -> String {
+        format!("{}:r={},seed={}", self.name(), self.rounds, self.seed)
+    }
+
     fn name(&self) -> &'static str {
         "LGraph"
     }

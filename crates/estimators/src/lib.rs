@@ -33,7 +33,6 @@ pub mod meta;
 pub mod mnc;
 pub mod sampling;
 
-use std::fmt;
 use std::sync::Arc;
 
 use mnc_matrix::CsrMatrix;
@@ -48,157 +47,11 @@ pub use meta::{MetaAcEstimator, MetaWcEstimator};
 pub use mnc::MncEstimator;
 pub use sampling::{BiasedSamplingEstimator, UnbiasedSamplingEstimator};
 
-/// The operations the SparsEst benchmark exercises (paper Sections 3–4).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum OpKind {
-    /// Matrix product `A B`.
-    MatMul,
-    /// Element-wise addition `A + B`.
-    EwAdd,
-    /// Element-wise (Hadamard) multiplication `A ⊙ B`.
-    EwMul,
-    /// Element-wise maximum `max(A, B)` — under assumption A1 its pattern
-    /// is the union, like `EwAdd` (the paper's spatial pattern where `max`
-    /// replaces `∨`).
-    EwMax,
-    /// Element-wise minimum `min(A, B)` — pattern-equivalent to `EwMul`
-    /// under A1.
-    EwMin,
-    /// Transposition `Aᵀ`.
-    Transpose,
-    /// Row-wise reshape to `rows x cols`.
-    Reshape { rows: usize, cols: usize },
-    /// `diag(v)`: column vector onto the diagonal.
-    DiagV2M,
-    /// `diag(A)`: diagonal extraction from a square matrix into an
-    /// `m x 1` vector.
-    DiagM2V,
-    /// Row-wise concatenation.
-    Rbind,
-    /// Column-wise concatenation.
-    Cbind,
-    /// `A != 0` indicator.
-    Neq0,
-    /// `A == 0` indicator.
-    Eq0,
-}
-
-impl OpKind {
-    /// Number of operands the operation consumes.
-    pub fn arity(&self) -> usize {
-        match self {
-            OpKind::MatMul
-            | OpKind::EwAdd
-            | OpKind::EwMul
-            | OpKind::EwMax
-            | OpKind::EwMin
-            | OpKind::Rbind
-            | OpKind::Cbind => 2,
-            _ => 1,
-        }
-    }
-
-    /// Output shape given input shapes; an error for incompatible shapes.
-    pub fn output_shape(
-        &self,
-        inputs: &[(usize, usize)],
-    ) -> Result<(usize, usize)> {
-        let bad = |msg: &str| {
-            Err(EstimatorError::Internal(format!(
-                "{self:?}: incompatible shapes {inputs:?} ({msg})"
-            )))
-        };
-        match self {
-            OpKind::MatMul => {
-                if inputs[0].1 != inputs[1].0 {
-                    return bad("inner dimension");
-                }
-                Ok((inputs[0].0, inputs[1].1))
-            }
-            OpKind::EwAdd | OpKind::EwMul | OpKind::EwMax | OpKind::EwMin => {
-                if inputs[0] != inputs[1] {
-                    return bad("equal shapes required");
-                }
-                Ok(inputs[0])
-            }
-            OpKind::Transpose => Ok((inputs[0].1, inputs[0].0)),
-            OpKind::Reshape { rows, cols } => {
-                if inputs[0].0 * inputs[0].1 != rows * cols {
-                    return bad("cell count");
-                }
-                Ok((*rows, *cols))
-            }
-            OpKind::DiagV2M => {
-                if inputs[0].1 != 1 {
-                    return bad("column vector required");
-                }
-                Ok((inputs[0].0, inputs[0].0))
-            }
-            OpKind::DiagM2V => {
-                if inputs[0].0 != inputs[0].1 {
-                    return bad("square matrix required");
-                }
-                Ok((inputs[0].0, 1))
-            }
-            OpKind::Rbind => {
-                if inputs[0].1 != inputs[1].1 {
-                    return bad("column count");
-                }
-                Ok((inputs[0].0 + inputs[1].0, inputs[0].1))
-            }
-            OpKind::Cbind => {
-                if inputs[0].0 != inputs[1].0 {
-                    return bad("row count");
-                }
-                Ok((inputs[0].0, inputs[0].1 + inputs[1].1))
-            }
-            OpKind::Neq0 | OpKind::Eq0 => Ok(inputs[0]),
-        }
-    }
-}
-
-/// Errors surfaced by estimators.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum EstimatorError {
-    /// The estimator does not support the operation (reported as `✗`).
-    Unsupported {
-        estimator: &'static str,
-        op: String,
-    },
-    /// The synopsis would exceed the configured memory budget — mirrors the
-    /// paper's bitset out-of-memory cases (e.g. ≈8 TB for B2.1).
-    SynopsisTooLarge {
-        estimator: &'static str,
-        bytes: u64,
-        limit: u64,
-    },
-    /// Internal invariant violation (shape mismatch fed from the DAG, ...).
-    Internal(String),
-}
-
-impl fmt::Display for EstimatorError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            EstimatorError::Unsupported { estimator, op } => {
-                write!(f, "{estimator} does not support {op}")
-            }
-            EstimatorError::SynopsisTooLarge {
-                estimator,
-                bytes,
-                limit,
-            } => write!(
-                f,
-                "{estimator} synopsis of {bytes} B exceeds the {limit} B budget"
-            ),
-            EstimatorError::Internal(msg) => write!(f, "internal estimator error: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for EstimatorError {}
-
-/// Result alias for estimator operations.
-pub type Result<T> = std::result::Result<T, EstimatorError>;
+/// The shared operation/error vocabulary. [`OpKind`] and [`EstimatorError`]
+/// moved to [`mnc_core`] (see `mnc_core::op`) so the core sketch and every
+/// estimator speak one language; re-exported here so existing imports keep
+/// compiling unchanged.
+pub use mnc_core::op::{EstimatorError, OpKind, Result};
 
 /// A per-matrix synopsis. One enum instead of trait objects so synopses can
 /// be stored, cloned, and size-accounted uniformly by the benchmark runner.
@@ -264,9 +117,27 @@ impl Synopsis {
             Synopsis::Mnc(s) => s.sketch.size_bytes() as u64,
         }
     }
+
+    /// The non-zero count the synopsis implies for its own matrix — exact
+    /// where the synopsis stores it (MNC, bitset, quad tree), otherwise
+    /// `round(sparsity · m · n)`.
+    pub fn nnz(&self) -> u64 {
+        match self {
+            Synopsis::Mnc(s) => s.sketch.meta.nnz,
+            Synopsis::Bitset(s) => s.count_ones(),
+            Synopsis::QuadTree(s) => s.nnz(),
+            _ => {
+                let (m, n) = self.shape();
+                (self.sparsity() * m as f64 * n as f64).round() as u64
+            }
+        }
+    }
 }
 
 /// The common estimator interface the SparsEst benchmark drives.
+///
+/// The trait is object-safe: the expression layer and the benchmark runner
+/// hold estimators as `Box<dyn SparsityEstimator>`.
 pub trait SparsityEstimator {
     /// Short name used in result tables (matches the paper's legends).
     fn name(&self) -> &'static str;
@@ -285,6 +156,36 @@ pub trait SparsityEstimator {
     /// of Table 1).
     fn supports_chains(&self) -> bool {
         true
+    }
+
+    /// Key distinguishing synopses this estimator builds from those of other
+    /// estimators *and other configurations of the same estimator* — used by
+    /// `mnc_expr::EstimationContext` to key its synopsis cache. Estimators
+    /// with config knobs that change the synopsis (block size, sample
+    /// fraction, MNC basic vs. full, ...) must fold them in here.
+    fn cache_key(&self) -> String {
+        self.name().to_string()
+    }
+}
+
+impl<E: SparsityEstimator + ?Sized> SparsityEstimator for Box<E> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn build(&self, m: &Arc<CsrMatrix>) -> Result<Synopsis> {
+        (**self).build(m)
+    }
+    fn estimate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<f64> {
+        (**self).estimate(op, inputs)
+    }
+    fn propagate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<Synopsis> {
+        (**self).propagate(op, inputs)
+    }
+    fn supports_chains(&self) -> bool {
+        (**self).supports_chains()
+    }
+    fn cache_key(&self) -> String {
+        (**self).cache_key()
     }
 }
 
@@ -351,49 +252,32 @@ mod tests {
         assert!((prob_or(0.5, 0.5) - 0.75).abs() < 1e-12);
     }
 
+    // (The OpKind/EstimatorError tests moved to mnc_core::op alongside the
+    // definitions.)
+
     #[test]
-    fn op_output_shapes() {
-        assert_eq!(
-            OpKind::MatMul.output_shape(&[(2, 3), (3, 5)]).unwrap(),
-            (2, 5)
-        );
-        assert!(OpKind::MatMul.output_shape(&[(2, 3), (4, 5)]).is_err());
-        assert_eq!(OpKind::Transpose.output_shape(&[(2, 3)]).unwrap(), (3, 2));
-        assert_eq!(
-            OpKind::Reshape { rows: 6, cols: 1 }
-                .output_shape(&[(2, 3)])
-                .unwrap(),
-            (6, 1)
-        );
-        assert!(OpKind::Reshape { rows: 4, cols: 2 }
-            .output_shape(&[(2, 3)])
-            .is_err());
-        assert_eq!(
-            OpKind::Rbind.output_shape(&[(2, 3), (4, 3)]).unwrap(),
-            (6, 3)
-        );
-        assert_eq!(
-            OpKind::Cbind.output_shape(&[(2, 3), (2, 4)]).unwrap(),
-            (2, 7)
-        );
-        assert_eq!(OpKind::DiagV2M.output_shape(&[(5, 1)]).unwrap(), (5, 5));
-        assert!(OpKind::DiagV2M.output_shape(&[(5, 2)]).is_err());
+    fn trait_is_object_safe_and_boxed_estimators_delegate() {
+        let boxed: Box<dyn SparsityEstimator> = Box::new(MetaAcEstimator);
+        assert_eq!(boxed.name(), "MetaAC");
+        assert_eq!(boxed.cache_key(), boxed.name());
+        let m = Arc::new(CsrMatrix::identity(4));
+        let syn = boxed.build(&m).unwrap();
+        assert_eq!(syn.shape(), (4, 4));
+        assert_eq!(syn.nnz(), 4);
     }
 
     #[test]
-    fn arity() {
-        assert_eq!(OpKind::MatMul.arity(), 2);
-        assert_eq!(OpKind::Transpose.arity(), 1);
-        assert_eq!(OpKind::Eq0.arity(), 1);
-        assert_eq!(OpKind::Rbind.arity(), 2);
-    }
-
-    #[test]
-    fn error_display() {
-        let e = EstimatorError::Unsupported {
-            estimator: "LGraph",
-            op: "EwMul".into(),
-        };
-        assert_eq!(e.to_string(), "LGraph does not support EwMul");
+    fn synopsis_nnz_is_exact_for_counting_synopses() {
+        let m = Arc::new(
+            CsrMatrix::from_triples(3, 3, vec![(0, 1, 1.0), (2, 0, 2.0), (2, 2, 3.0)]).unwrap(),
+        );
+        for est in [
+            Box::new(MncEstimator::new()) as Box<dyn SparsityEstimator>,
+            Box::new(BitsetEstimator::default()),
+            Box::new(MetaAcEstimator),
+        ] {
+            let syn = est.build(&m).unwrap();
+            assert_eq!(syn.nnz(), 3, "{}", est.name());
+        }
     }
 }

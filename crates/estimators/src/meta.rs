@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use mnc_matrix::CsrMatrix;
 
-use crate::{eac, EstimatorError, OpKind, Result, SparsityEstimator, Synopsis};
+use crate::{eac, OpKind, Result, SparsityEstimator, Synopsis};
 
 /// Shape plus (estimated) non-zero count — the only state the metadata
 /// estimators carry.
@@ -60,11 +60,20 @@ fn meta_of(m: &CsrMatrix) -> MetaSynopsis {
     }
 }
 
-fn unwrap_meta<'a>(name: &'static str, inputs: &[&'a Synopsis], idx: usize) -> Result<&'a MetaSynopsis> {
+fn unwrap_meta<'a>(
+    name: &'static str,
+    inputs: &[&'a Synopsis],
+    idx: usize,
+) -> Result<&'a MetaSynopsis> {
     crate::expect_synopsis!(name, Synopsis::Meta, inputs, idx)
 }
 
-fn estimate(name: &'static str, variant: Variant, op: &OpKind, inputs: &[&Synopsis]) -> Result<f64> {
+fn estimate(
+    name: &'static str,
+    variant: Variant,
+    op: &OpKind,
+    inputs: &[&Synopsis],
+) -> Result<f64> {
     let a = unwrap_meta(name, inputs, 0)?;
     let (sa, m, n) = (a.sparsity(), a.nrows as f64, a.ncols as f64);
     let s = match op {
@@ -137,7 +146,12 @@ fn estimate(name: &'static str, variant: Variant, op: &OpKind, inputs: &[&Synops
     Ok(s.clamp(0.0, 1.0))
 }
 
-fn propagate(name: &'static str, variant: Variant, op: &OpKind, inputs: &[&Synopsis]) -> Result<Synopsis> {
+fn propagate(
+    name: &'static str,
+    variant: Variant,
+    op: &OpKind,
+    inputs: &[&Synopsis],
+) -> Result<Synopsis> {
     let shapes: Vec<(usize, usize)> = inputs.iter().map(|s| s.shape()).collect();
     let (rows, cols) = op.output_shape(&shapes)?;
     let s = estimate(name, variant, op, inputs)?;
@@ -181,16 +195,6 @@ impl SparsityEstimator for MetaWcEstimator {
 
     fn propagate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<Synopsis> {
         propagate(self.name(), Variant::WorstCase, op, inputs)
-    }
-}
-
-impl EstimatorError {
-    /// Convenience constructor used across estimator modules.
-    pub(crate) fn unsupported(estimator: &'static str, op: &OpKind) -> EstimatorError {
-        EstimatorError::Unsupported {
-            estimator,
-            op: format!("{op:?}"),
-        }
     }
 }
 

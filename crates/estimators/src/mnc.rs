@@ -4,13 +4,7 @@
 use std::cell::RefCell;
 use std::sync::Arc;
 
-use mnc_core::{
-    estimate_cbind, estimate_diag_extract, estimate_diag_v2m, estimate_eq_zero, estimate_ew_add, estimate_ew_mul,
-    estimate_matmul_with, estimate_neq_zero, estimate_rbind, estimate_reshape,
-    estimate_transpose, propagate_cbind, propagate_diag_v2m, propagate_eq_zero,
-    propagate_ew_add, propagate_diag_extract, propagate_ew_mul, propagate_matmul, propagate_neq_zero, propagate_rbind,
-    propagate_reshape, propagate_transpose, MncConfig, MncSketch, SplitMix64,
-};
+use mnc_core::{MncConfig, MncSketch, SplitMix64};
 use mnc_matrix::CsrMatrix;
 
 use crate::{OpKind, Result, SparsityEstimator, Synopsis};
@@ -27,6 +21,11 @@ pub struct MncSynopsis {
 pub struct MncEstimator {
     name: &'static str,
     cfg: MncConfig,
+    /// Worker threads for leaf sketch construction (1 = sequential). Kept
+    /// out of [`MncConfig`] on purpose: the parallel build is bit-identical
+    /// to the sequential one, so the thread count must not perturb cache
+    /// keys or results.
+    build_threads: usize,
     /// Internal generator for probabilistic rounding during propagation;
     /// deterministic given the configured seed and call sequence.
     rng: RefCell<SplitMix64>,
@@ -54,8 +53,17 @@ impl MncEstimator {
         MncEstimator {
             name,
             cfg,
+            build_threads: 1,
             rng: RefCell::new(SplitMix64::new(cfg.seed)),
         }
+    }
+
+    /// Builds leaf sketches on `threads` scoped worker threads
+    /// ([`MncSketch::build_parallel_with`]); the result is bit-identical to
+    /// the sequential build.
+    pub fn with_build_threads(mut self, threads: usize) -> Self {
+        self.build_threads = threads.max(1);
+        self
     }
 
     /// The active configuration.
@@ -63,8 +71,15 @@ impl MncEstimator {
         &self.cfg
     }
 
-    fn unwrap<'a>(&self, inputs: &[&'a Synopsis], idx: usize) -> Result<&'a MncSynopsis> {
-        crate::expect_synopsis!("MNC", Synopsis::Mnc, inputs, idx)
+    /// Unwraps every input to its sketch, rejecting foreign synopses.
+    fn sketches<'a>(&self, inputs: &[&'a Synopsis]) -> Result<Vec<&'a MncSketch>> {
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(idx, _)| {
+                crate::expect_synopsis!("MNC", Synopsis::Mnc, inputs, idx).map(|s| &s.sketch)
+            })
+            .collect()
     }
 }
 
@@ -75,64 +90,33 @@ impl SparsityEstimator for MncEstimator {
 
     fn build(&self, m: &Arc<CsrMatrix>) -> Result<Synopsis> {
         Ok(Synopsis::Mnc(MncSynopsis {
-            sketch: MncSketch::build_with(m, self.cfg.use_extended),
+            sketch: MncSketch::build_parallel_with(m, self.cfg.use_extended, self.build_threads),
         }))
     }
 
     fn estimate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<f64> {
-        let a = &self.unwrap(inputs, 0)?.sketch;
-        let s = match op {
-            OpKind::MatMul => {
-                let b = &self.unwrap(inputs, 1)?.sketch;
-                estimate_matmul_with(a, b, &self.cfg)
-            }
-            // Under A1, max is pattern-equivalent to + and min to ⊙.
-            OpKind::EwAdd | OpKind::EwMax => {
-                estimate_ew_add(a, &self.unwrap(inputs, 1)?.sketch)
-            }
-            OpKind::EwMul | OpKind::EwMin => {
-                estimate_ew_mul(a, &self.unwrap(inputs, 1)?.sketch)
-            }
-            OpKind::Transpose => estimate_transpose(a),
-            OpKind::Reshape { .. } => estimate_reshape(a),
-            OpKind::DiagV2M => estimate_diag_v2m(a),
-            OpKind::DiagM2V => estimate_diag_extract(a),
-            OpKind::Rbind => estimate_rbind(a, &self.unwrap(inputs, 1)?.sketch),
-            OpKind::Cbind => estimate_cbind(a, &self.unwrap(inputs, 1)?.sketch),
-            OpKind::Neq0 => estimate_neq_zero(a),
-            OpKind::Eq0 => estimate_eq_zero(a),
-        };
-        Ok(s)
+        MncSketch::estimate_with(op, &self.sketches(inputs)?, &self.cfg)
     }
 
     fn propagate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<Synopsis> {
-        let a = &self.unwrap(inputs, 0)?.sketch;
         let rng = &mut *self.rng.borrow_mut();
-        let sketch = match op {
-            OpKind::MatMul => {
-                propagate_matmul(a, &self.unwrap(inputs, 1)?.sketch, &self.cfg, rng)
-            }
-            OpKind::EwAdd | OpKind::EwMax => {
-                propagate_ew_add(a, &self.unwrap(inputs, 1)?.sketch, &self.cfg, rng)
-            }
-            OpKind::EwMul | OpKind::EwMin => {
-                propagate_ew_mul(a, &self.unwrap(inputs, 1)?.sketch, &self.cfg, rng)
-            }
-            OpKind::Transpose => propagate_transpose(a),
-            OpKind::Reshape { rows, cols } => {
-                propagate_reshape(a, *rows, *cols, &self.cfg, rng)
-            }
-            OpKind::DiagV2M => propagate_diag_v2m(a),
-            OpKind::DiagM2V => propagate_diag_extract(a, &self.cfg, rng),
-            OpKind::Rbind => propagate_rbind(a, &self.unwrap(inputs, 1)?.sketch),
-            OpKind::Cbind => propagate_cbind(a, &self.unwrap(inputs, 1)?.sketch),
-            OpKind::Neq0 => propagate_neq_zero(a),
-            OpKind::Eq0 => propagate_eq_zero(a),
-        };
+        let sketch = MncSketch::propagate_with(op, &self.sketches(inputs)?, &self.cfg, rng)?;
         Ok(Synopsis::Mnc(MncSynopsis { sketch }))
     }
-}
 
+    fn cache_key(&self) -> String {
+        // Synopsis content depends on the extension vectors; rounding knobs
+        // and the seed affect propagated (cached intermediate) sketches.
+        format!(
+            "{}:ext={},bounds={},prob={},seed={}",
+            self.name,
+            self.cfg.use_extended,
+            self.cfg.use_bounds,
+            self.cfg.probabilistic_rounding,
+            self.cfg.seed
+        )
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -289,11 +289,19 @@ impl Default for UnbiasedSamplingEstimator {
     }
 }
 
-fn unwrap<'a>(name: &'static str, inputs: &[&'a Synopsis], idx: usize) -> Result<&'a SampleSynopsis> {
+fn unwrap<'a>(
+    name: &'static str,
+    inputs: &[&'a Synopsis],
+    idx: usize,
+) -> Result<&'a SampleSynopsis> {
     crate::expect_synopsis!(name, Synopsis::Sample, inputs, idx)
 }
 
 impl SparsityEstimator for BiasedSamplingEstimator {
+    fn cache_key(&self) -> String {
+        format!("{}:f={},seed={}", self.name(), self.fraction, self.seed)
+    }
+
     fn name(&self) -> &'static str {
         "Sample"
     }
@@ -359,6 +367,10 @@ impl SparsityEstimator for BiasedSamplingEstimator {
 }
 
 impl SparsityEstimator for UnbiasedSamplingEstimator {
+    fn cache_key(&self) -> String {
+        format!("{}:f={},seed={}", self.name(), self.fraction, self.seed)
+    }
+
     fn name(&self) -> &'static str {
         "SampleUB"
     }
@@ -512,9 +524,7 @@ mod tests {
         let mut r = rng(7);
         let a = gen::rand_uniform(&mut r, 10, 10, 0.2);
         let e = BiasedSamplingEstimator::default();
-        assert!(e
-            .propagate(&OpKind::MatMul, &[&syn(&a), &syn(&a)])
-            .is_err());
+        assert!(e.propagate(&OpKind::MatMul, &[&syn(&a), &syn(&a)]).is_err());
         assert!(!e.supports_chains());
     }
 

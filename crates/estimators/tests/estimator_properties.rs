@@ -7,9 +7,9 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 
 use mnc_estimators::{
-    eac, BiasedSamplingEstimator, BitsetEstimator, DensityMapEstimator,
-    DynamicDensityMapEstimator, LayeredGraphEstimator, MetaAcEstimator, MetaWcEstimator,
-    MncEstimator, OpKind, SparsityEstimator, UnbiasedSamplingEstimator,
+    eac, BiasedSamplingEstimator, BitsetEstimator, DensityMapEstimator, DynamicDensityMapEstimator,
+    LayeredGraphEstimator, MetaAcEstimator, MetaWcEstimator, MncEstimator, OpKind,
+    SparsityEstimator, UnbiasedSamplingEstimator,
 };
 use mnc_matrix::{gen, ops, CsrMatrix};
 
@@ -32,7 +32,8 @@ fn params() -> impl Strategy<Value = (usize, usize, usize, f64, f64, u64)> {
 fn estimate_product(est: &dyn SparsityEstimator, a: &Arc<CsrMatrix>, b: &Arc<CsrMatrix>) -> f64 {
     let sa = est.build(a).expect("build a");
     let sb = est.build(b).expect("build b");
-    est.estimate(&OpKind::MatMul, &[&sa, &sb]).expect("estimate")
+    est.estimate(&OpKind::MatMul, &[&sa, &sb])
+        .expect("estimate")
 }
 
 proptest! {

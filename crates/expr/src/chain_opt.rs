@@ -126,6 +126,32 @@ pub fn sparse_chain_order(sketches: &[MncSketch], cfg: &MncConfig) -> (f64, Plan
     (cost[0][n - 1], extract_plan(&split, 0, n - 1))
 }
 
+/// [`sparse_chain_order`] with leaf sketches drawn from an
+/// [`EstimationContext`](crate::EstimationContext) instead of pre-built by
+/// the caller: repeated chain optimization over overlapping matrix sets
+/// (e.g. scoring many rewrites of one program) builds each sketch once.
+pub fn sparse_chain_order_cached(
+    ctx: &mut crate::session::EstimationContext,
+    est: &mnc_estimators::MncEstimator,
+    mats: &[Arc<CsrMatrix>],
+) -> mnc_estimators::Result<(f64, PlanTree)> {
+    use mnc_estimators::{EstimatorError, Synopsis};
+    let mut sketches = Vec::with_capacity(mats.len());
+    for m in mats {
+        let syn = ctx.leaf_synopsis(est, m)?;
+        match syn.as_ref() {
+            Synopsis::Mnc(s) => sketches.push(s.sketch.clone()),
+            other => {
+                return Err(EstimatorError::Internal(format!(
+                    "sparse_chain_order_cached: MNC estimator produced a non-MNC synopsis {:?}",
+                    other.shape()
+                )))
+            }
+        }
+    }
+    Ok(sparse_chain_order(&sketches, est.config()))
+}
+
 /// Estimated sparse multiplication count of the product of two sketched
 /// operands: `Σ_k h^c_A[k] · h^r_B[k]` (Eq. 17). This is independent of the
 /// output sparsity — it counts FLOPs of a Gustavson-style kernel.

@@ -4,12 +4,16 @@
 //! intermediates are memoized (nodes may be reachable over multiple paths),
 //! and *root* sparsity is estimated directly without materializing the root
 //! synopsis.
+//!
+//! These free functions are one-shot conveniences: each call runs in a
+//! throwaway [`EstimationContext`], so nothing is cached across calls. Hold
+//! a context and call its methods directly to reuse synopses over repeated
+//! estimation.
 
-use std::collections::HashMap;
+use mnc_estimators::{Result, SparsityEstimator};
 
-use mnc_estimators::{Result, SparsityEstimator, Synopsis};
-
-use crate::dag::{ExprDag, ExprNode, NodeId};
+use crate::dag::{ExprDag, NodeId};
+use crate::session::EstimationContext;
 
 /// Estimate for one DAG node.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,17 +32,7 @@ pub fn estimate_root<E: SparsityEstimator + ?Sized>(
     dag: &ExprDag,
     root: NodeId,
 ) -> Result<f64> {
-    let mut memo: HashMap<NodeId, Synopsis> = HashMap::new();
-    match dag.node(root) {
-        ExprNode::Leaf { matrix, .. } => Ok(matrix.sparsity()),
-        ExprNode::Op { op, inputs } => {
-            for &i in inputs {
-                materialize(est, dag, i, &mut memo)?;
-            }
-            let ins: Vec<&Synopsis> = inputs.iter().map(|i| &memo[i]).collect();
-            est.estimate(op, &ins)
-        }
-    }
+    EstimationContext::new().estimate_root(est, dag, root)
 }
 
 /// Estimates the sparsity of *every* operation node in the DAG (used by the
@@ -47,42 +41,7 @@ pub fn estimate_all<E: SparsityEstimator + ?Sized>(
     est: &E,
     dag: &ExprDag,
 ) -> Result<Vec<NodeEstimate>> {
-    let mut memo: HashMap<NodeId, Synopsis> = HashMap::new();
-    let mut out = Vec::new();
-    for (id, node) in dag.iter() {
-        materialize(est, dag, id, &mut memo)?;
-        if matches!(node, ExprNode::Op { .. }) {
-            out.push(NodeEstimate {
-                id,
-                sparsity: memo[&id].sparsity(),
-            });
-        }
-    }
-    Ok(out)
-}
-
-/// Ensures `memo[id]` exists, building/propagating recursively.
-fn materialize<E: SparsityEstimator + ?Sized>(
-    est: &E,
-    dag: &ExprDag,
-    id: NodeId,
-    memo: &mut HashMap<NodeId, Synopsis>,
-) -> Result<()> {
-    if memo.contains_key(&id) {
-        return Ok(());
-    }
-    let syn = match dag.node(id) {
-        ExprNode::Leaf { matrix, .. } => est.build(matrix)?,
-        ExprNode::Op { op, inputs } => {
-            for &i in inputs {
-                materialize(est, dag, i, memo)?;
-            }
-            let ins: Vec<&Synopsis> = inputs.iter().map(|i| &memo[i]).collect();
-            est.propagate(op, &ins)?
-        }
-    };
-    memo.insert(id, syn);
-    Ok(())
+    EstimationContext::new().estimate_all(est, dag)
 }
 
 #[cfg(test)]
@@ -161,7 +120,9 @@ mod tests {
         );
         let w = dag.leaf("W", Arc::new(gen::rand_dense(&mut rng, 40, 30)));
         let xw = dag.matmul(x, w).unwrap();
-        let root = dag.op(OpKind::Reshape { rows: 30, cols: 60 }, &[xw]).unwrap();
+        let root = dag
+            .op(OpKind::Reshape { rows: 30, cols: 60 }, &[xw])
+            .unwrap();
         let truth = Evaluator::new().sparsity(&dag, root).unwrap();
         let mnc = estimate_root(&MncEstimator::new(), &dag, root).unwrap();
         // Single non-zero per row + sparsity-preserving reshape: exact.

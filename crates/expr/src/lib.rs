@@ -26,16 +26,20 @@ pub mod estimate;
 pub mod eval;
 pub mod planner;
 pub mod rewrite;
+pub mod session;
 
 pub use chain_opt::{
     chain_flops_exact, dense_chain_order, plan_cost_sketched, random_plan, sparse_chain_order,
-    PlanTree,
+    sparse_chain_order_cached, PlanTree,
 };
 pub use dag::{ExprDag, ExprNode, NodeId};
 pub use estimate::{estimate_all, estimate_root, NodeEstimate};
 pub use eval::Evaluator;
 pub use planner::{Format, NodePlan, PlanSummary, Planner};
 pub use rewrite::{rewrite_mm_chains, RewriteResult};
+pub use session::{EstimationContext, SynopsisKey};
 
-// Re-exported so downstream crates write `mnc_expr::SparsityEstimator`.
+// Re-exported so downstream crates write `mnc_expr::SparsityEstimator`
+// (and read `mnc_expr::EstimationStats` off a context).
+pub use mnc_core::{EstimationStats, OpStat};
 pub use mnc_estimators::{OpKind, SparsityEstimator, Synopsis};

@@ -18,6 +18,7 @@
 use mnc_estimators::{OpKind, Result, SparsityEstimator, Synopsis};
 
 use crate::dag::{ExprDag, ExprNode, NodeId};
+use crate::session::EstimationContext;
 
 /// Physical representation chosen for a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,21 +104,36 @@ impl Default for Planner {
 
 impl Planner {
     /// Plans the whole DAG under the given estimator: synopses are built
-    /// for leaves and propagated bottom-up (memoized by node id).
+    /// for leaves and propagated bottom-up (memoized by node id). One-shot
+    /// — runs in a throwaway [`EstimationContext`]; use
+    /// [`plan_with_context`](Planner::plan_with_context) to reuse synopses
+    /// across repeated planning (e.g. re-costing after a rewrite).
     pub fn plan<E: SparsityEstimator + ?Sized>(
         &self,
         est: &E,
         dag: &ExprDag,
     ) -> Result<PlanSummary> {
-        let mut synopses: Vec<Synopsis> = Vec::with_capacity(dag.len());
+        self.plan_with_context(est, dag, &mut EstimationContext::new())
+    }
+
+    /// [`plan`](Planner::plan) against a shared estimation session: leaf and
+    /// intermediate synopses come from (and are admitted to) the context's
+    /// cache, and the work is counted in the context's stats.
+    pub fn plan_with_context<E: SparsityEstimator + ?Sized>(
+        &self,
+        est: &E,
+        dag: &ExprDag,
+        ctx: &mut EstimationContext,
+    ) -> Result<PlanSummary> {
+        let synopses = ctx.materialize_all(est, dag)?;
         let mut nodes = Vec::with_capacity(dag.len());
         for (id, node) in dag.iter() {
             let (syn, flops) = match node {
-                ExprNode::Leaf { matrix, .. } => (est.build(matrix)?, 0.0),
+                ExprNode::Leaf { .. } => (&synopses[id], 0.0),
                 ExprNode::Op { op, inputs } => {
-                    let ins: Vec<&Synopsis> = inputs.iter().map(|&i| &synopses[i]).collect();
-                    let flops = estimate_flops(op, &ins);
-                    (est.propagate(op, &ins)?, flops)
+                    let ins: Vec<&Synopsis> =
+                        inputs.iter().map(|&i| synopses[i].as_ref()).collect();
+                    (&synopses[id], estimate_flops(op, &ins))
                 }
             };
             let shape = dag.shape(id);
@@ -131,9 +147,7 @@ impl Planner {
             };
             let memory_bytes = match format {
                 Format::Dense => cells * self.dense_cell_bytes,
-                Format::SparseCsr => {
-                    nnz * self.sparse_entry_bytes + (shape.0 as f64 + 1.0) * 8.0
-                }
+                Format::SparseCsr => nnz * self.sparse_entry_bytes + (shape.0 as f64 + 1.0) * 8.0,
             };
             nodes.push(NodePlan {
                 id,
@@ -144,7 +158,6 @@ impl Planner {
                 memory_bytes,
                 flops,
             });
-            synopses.push(syn);
         }
         let total_memory_bytes = nodes.iter().map(|n| n.memory_bytes).sum();
         let total_flops = nodes.iter().map(|n| n.flops).sum();
@@ -188,9 +201,7 @@ fn estimate_flops(op: &OpKind, inputs: &[&Synopsis]) -> f64 {
         | OpKind::Reshape { .. }
         | OpKind::Neq0
         | OpKind::DiagV2M
-        | OpKind::DiagM2V => {
-            nnz_of(inputs[0])
-        }
+        | OpKind::DiagM2V => nnz_of(inputs[0]),
         OpKind::Eq0 => {
             let (m, n) = inputs[0].shape();
             m as f64 * n as f64 - nnz_of(inputs[0])
@@ -219,9 +230,7 @@ mod tests {
         let ns = dag.leaf("S", Arc::new(sparse));
         let nd = dag.leaf("D", Arc::new(dense));
         let prod = dag.matmul(ns, nd).unwrap();
-        let plan = Planner::default()
-            .plan(&MncEstimator::new(), &dag)
-            .unwrap();
+        let plan = Planner::default().plan(&MncEstimator::new(), &dag).unwrap();
         assert_eq!(plan.node(ns).format, Format::SparseCsr);
         assert_eq!(plan.node(nd).format, Format::Dense);
         // 5% x 90% product over a 50-common-dim: essentially dense.
@@ -236,9 +245,7 @@ mod tests {
         let m = gen::rand_uniform(&mut r, 100, 80, 0.01);
         let mut dag = ExprDag::new();
         let leaf = dag.leaf("A", Arc::new(m.clone()));
-        let plan = Planner::default()
-            .plan(&MncEstimator::new(), &dag)
-            .unwrap();
+        let plan = Planner::default().plan(&MncEstimator::new(), &dag).unwrap();
         let n = plan.node(leaf);
         assert_eq!(n.format, Format::SparseCsr);
         let expect = m.nnz() as f64 * 12.0 + 101.0 * 8.0;
@@ -254,11 +261,37 @@ mod tests {
         let na = dag.leaf("A", Arc::new(a.clone()));
         let nb = dag.leaf("B", Arc::new(b.clone()));
         let prod = dag.matmul(na, nb).unwrap();
-        let plan = Planner::default()
-            .plan(&MncEstimator::new(), &dag)
-            .unwrap();
+        let plan = Planner::default().plan(&MncEstimator::new(), &dag).unwrap();
         let exact = mnc_matrix::ops::product::matmul_flops(&a, &b).unwrap() as f64;
         assert_eq!(plan.node(prod).flops, exact);
+    }
+
+    #[test]
+    fn context_planning_reuses_synopses_and_agrees_with_one_shot() {
+        let mut r = rng(5);
+        let mut dag = ExprDag::new();
+        let a = dag.leaf("A", Arc::new(gen::rand_uniform(&mut r, 30, 40, 0.1)));
+        let b = dag.leaf("B", Arc::new(gen::rand_uniform(&mut r, 40, 20, 0.2)));
+        let prod = dag.matmul(a, b).unwrap();
+        let one_shot = Planner::default().plan(&MncEstimator::new(), &dag).unwrap();
+
+        let mut ctx = EstimationContext::new();
+        let est = MncEstimator::new();
+        let first = Planner::default()
+            .plan_with_context(&est, &dag, &mut ctx)
+            .unwrap();
+        assert_eq!(ctx.stats().cache_hits, 0);
+        let second = Planner::default()
+            .plan_with_context(&est, &dag, &mut ctx)
+            .unwrap();
+        // Second plan: both leaves and the product come from the cache.
+        assert_eq!(ctx.stats().cache_hits, 3);
+        assert_eq!(ctx.stats().builds, 2);
+        for plan in [&first, &second] {
+            assert_eq!(plan.node(prod).sparsity, one_shot.node(prod).sparsity);
+            assert_eq!(plan.node(prod).flops, one_shot.node(prod).flops);
+            assert_eq!(plan.total_memory_bytes, one_shot.total_memory_bytes);
+        }
     }
 
     #[test]
@@ -290,9 +323,7 @@ mod tests {
         let nw = dag.leaf("W", Arc::new(w));
         let prod = dag.matmul(nx, nw).unwrap();
 
-        let mnc_plan = Planner::default()
-            .plan(&MncEstimator::new(), &dag)
-            .unwrap();
+        let mnc_plan = Planner::default().plan(&MncEstimator::new(), &dag).unwrap();
         let meta_plan = Planner::default().plan(&MetaAcEstimator, &dag).unwrap();
         // MetaAC assumes uniformity: nnz(X)=2000, nnz(W) large, common dim
         // 2000 -> predicts a dense-ish output. MNC sees that the occupied

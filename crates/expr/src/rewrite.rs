@@ -17,6 +17,7 @@ use mnc_estimators::{OpKind, Result};
 
 use crate::chain_opt::{sparse_chain_order, PlanTree};
 use crate::dag::{ExprDag, ExprNode, NodeId};
+use crate::session::EstimationContext;
 
 /// Outcome of a rewrite pass.
 #[derive(Debug)]
@@ -46,12 +47,7 @@ fn consumer_counts(dag: &ExprDag) -> Vec<usize> {
 /// Collects the leaves of the maximal product chain rooted at `id`:
 /// a product input is *inlined* into the chain when it is itself a product
 /// with exactly one consumer (so dissolving it is safe).
-fn collect_chain(
-    dag: &ExprDag,
-    id: NodeId,
-    consumers: &[usize],
-    leaves: &mut Vec<NodeId>,
-) {
+fn collect_chain(dag: &ExprDag, id: NodeId, consumers: &[usize], leaves: &mut Vec<NodeId>) {
     match dag.node(id) {
         ExprNode::Op { op, inputs } if matches!(op, OpKind::MatMul) && consumers[id] <= 1 => {
             collect_chain(dag, inputs[0], consumers, leaves);
@@ -65,17 +61,26 @@ fn collect_chain(
 /// sparsity-aware dynamic program over MNC sketches of the chain inputs.
 ///
 /// Chain inputs that are themselves operation nodes get their sketches via
-/// propagation (memoized); leaf inputs use exact sketches.
+/// propagation (memoized); leaf inputs use exact sketches. One-shot — uses
+/// a throwaway [`EstimationContext`]; pass a shared context via
+/// [`rewrite_mm_chains_with_context`] to reuse sketches across passes.
 pub fn rewrite_mm_chains(dag: &ExprDag, cfg: &MncConfig) -> Result<RewriteResult> {
+    rewrite_mm_chains_with_context(dag, cfg, &mut EstimationContext::new())
+}
+
+/// [`rewrite_mm_chains`] against a shared estimation session: chain-input
+/// sketches come from the context's cache.
+pub fn rewrite_mm_chains_with_context(
+    dag: &ExprDag,
+    cfg: &MncConfig,
+    ctx: &mut EstimationContext,
+) -> Result<RewriteResult> {
     let consumers = consumer_counts(dag);
     let mnc = mnc_estimators::MncEstimator::with_config("MNC", *cfg);
 
     let mut out = ExprDag::new();
     let mut node_map: HashMap<NodeId, NodeId> = HashMap::new();
     let mut chains_rewritten = 0usize;
-
-    // Synopsis memo over the *old* DAG for chain-input sketches.
-    let mut synopses: HashMap<NodeId, mnc_estimators::Synopsis> = HashMap::new();
 
     for (id, node) in dag.iter() {
         // Chain-internal products are dissolved lazily: skip nodes that are
@@ -94,11 +99,10 @@ pub fn rewrite_mm_chains(dag: &ExprDag, cfg: &MncConfig) -> Result<RewriteResult
                         chains_rewritten += 1;
                         let sketches: Vec<MncSketch> = leaves
                             .iter()
-                            .map(|&l| sketch_of(&mnc, dag, l, &mut synopses))
+                            .map(|&l| sketch_of(&mnc, dag, l, ctx))
                             .collect::<Result<_>>()?;
                         let (_, plan) = sparse_chain_order(&sketches, cfg);
-                        let new_leaves: Vec<NodeId> =
-                            leaves.iter().map(|l| node_map[l]).collect();
+                        let new_leaves: Vec<NodeId> = leaves.iter().map(|l| node_map[l]).collect();
                         build_plan(&mut out, &plan, &new_leaves)?
                     } else {
                         let ins: Vec<NodeId> = inputs.iter().map(|i| node_map[i]).collect();
@@ -143,38 +147,16 @@ fn is_dissolved(dag: &ExprDag, id: NodeId, consumers: &[usize]) -> bool {
     false
 }
 
-/// MNC sketch of an arbitrary old-DAG node via (memoized) propagation.
+/// MNC sketch of an arbitrary old-DAG node via the context (cached,
+/// memoized propagation).
 fn sketch_of(
     mnc: &mnc_estimators::MncEstimator,
     dag: &ExprDag,
     id: NodeId,
-    memo: &mut HashMap<NodeId, mnc_estimators::Synopsis>,
+    ctx: &mut EstimationContext,
 ) -> Result<MncSketch> {
-    use mnc_estimators::{SparsityEstimator, Synopsis};
-    fn materialize(
-        mnc: &mnc_estimators::MncEstimator,
-        dag: &ExprDag,
-        id: NodeId,
-        memo: &mut HashMap<NodeId, Synopsis>,
-    ) -> Result<()> {
-        if memo.contains_key(&id) {
-            return Ok(());
-        }
-        let syn = match dag.node(id) {
-            ExprNode::Leaf { matrix, .. } => mnc.build(matrix)?,
-            ExprNode::Op { op, inputs } => {
-                for &i in inputs {
-                    materialize(mnc, dag, i, memo)?;
-                }
-                let ins: Vec<&Synopsis> = inputs.iter().map(|i| &memo[i]).collect();
-                mnc.propagate(op, &ins)?
-            }
-        };
-        memo.insert(id, syn);
-        Ok(())
-    }
-    materialize(mnc, dag, id, memo)?;
-    match &memo[&id] {
+    use mnc_estimators::Synopsis;
+    match ctx.node_synopsis(mnc, dag, id)?.as_ref() {
         Synopsis::Mnc(s) => Ok(s.sketch.clone()),
         _ => unreachable!("the MNC estimator only produces MNC synopses"),
     }
@@ -228,7 +210,12 @@ mod tests {
             .map(|(i, (w, &s))| {
                 dag.leaf(
                     format!("M{i}"),
-                    Arc::new(gen::rand_uniform(&mut r, w[0], w[1], s.max(1.0 / (w[0] * w[1]) as f64))),
+                    Arc::new(gen::rand_uniform(
+                        &mut r,
+                        w[0],
+                        w[1],
+                        s.max(1.0 / (w[0] * w[1]) as f64),
+                    )),
                 )
             })
             .collect();

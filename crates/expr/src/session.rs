@@ -1,0 +1,478 @@
+//! Estimation sessions: cached, instrumented synopsis propagation.
+//!
+//! An [`EstimationContext`] wraps the stateless [`SparsityEstimator`] calls
+//! with a byte-budgeted LRU synopsis cache and [`EstimationStats`] counters.
+//! Repeated estimation over the same matrices — the planner re-costing a DAG
+//! after a rewrite, the chain optimizer probing many parenthesizations, a
+//! benchmark sweeping estimators — reuses leaf synopses and propagated
+//! intermediates instead of rebuilding them per call.
+//!
+//! Cache keys combine the estimator's [`cache_key`] (name + config knobs)
+//! with a [`SynopsisKey`]: leaves are identified by matrix pointer identity
+//! plus shape/nnz (an `Arc<CsrMatrix>` is immutable, so pointer identity is
+//! sound; shape and nnz guard against address reuse after a drop), and
+//! intermediates by `(dag id, node id)` — DAGs are append-only, so a node's
+//! content never changes under its id.
+//!
+//! On a cold cache the context performs *exactly* the same build/propagate
+//! sequence as the uncached [`estimate_root`](crate::estimate_root) walk
+//! (depth-first, inputs in order), so estimators with internal RNG streams
+//! (probabilistic rounding in MNC) produce identical results either way —
+//! asserted by the property tests.
+//!
+//! [`cache_key`]: SparsityEstimator::cache_key
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mnc_core::{EstimationStats, LruSynopsisCache, OpTimer};
+use mnc_estimators::{Result, SparsityEstimator, Synopsis};
+use mnc_matrix::CsrMatrix;
+
+use crate::dag::{ExprDag, ExprNode, NodeId};
+use crate::estimate::NodeEstimate;
+
+/// Default cache budget: plenty for sketches (`O(m+n)` each), while bounding
+/// the damage when bitsets or retained samples get cached.
+pub const DEFAULT_BYTE_BUDGET: usize = 64 << 20;
+
+/// What a cached synopsis describes (the estimator-independent half of the
+/// cache key; the estimator half is [`SparsityEstimator::cache_key`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SynopsisKey {
+    /// A base matrix, identified by `Arc` pointer identity. Shape and nnz
+    /// disambiguate a reused allocation address after the original `Arc`
+    /// was dropped.
+    Leaf {
+        /// `Arc::as_ptr` of the matrix.
+        ptr: usize,
+        /// Matrix rows.
+        nrows: usize,
+        /// Matrix columns.
+        ncols: usize,
+        /// Matrix non-zero count.
+        nnz: usize,
+    },
+    /// An intermediate: a node of a specific DAG.
+    Node {
+        /// [`ExprDag::id`] of the owning DAG.
+        dag: u64,
+        /// Node id within that DAG.
+        node: NodeId,
+    },
+}
+
+impl SynopsisKey {
+    /// Key for a base matrix.
+    pub fn leaf(m: &Arc<CsrMatrix>) -> SynopsisKey {
+        SynopsisKey::Leaf {
+            ptr: Arc::as_ptr(m) as usize,
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            nnz: m.nnz(),
+        }
+    }
+
+    /// Key for a DAG node.
+    pub fn node(dag: &ExprDag, id: NodeId) -> SynopsisKey {
+        SynopsisKey::Node {
+            dag: dag.id(),
+            node: id,
+        }
+    }
+}
+
+/// A cached, instrumented estimation session over one or more DAGs.
+///
+/// ```
+/// use mnc_expr::{EstimationContext, ExprDag};
+/// use mnc_estimators::MncEstimator;
+/// use mnc_matrix::CsrMatrix;
+/// use std::sync::Arc;
+///
+/// let mut dag = ExprDag::new();
+/// let a = dag.leaf("A", Arc::new(CsrMatrix::identity(8)));
+/// let b = dag.leaf("B", Arc::new(CsrMatrix::identity(8)));
+/// let c = dag.matmul(a, b).unwrap();
+///
+/// let est = MncEstimator::new();
+/// let mut ctx = EstimationContext::new();
+/// let first = ctx.estimate_root(&est, &dag, c).unwrap();
+/// let second = ctx.estimate_root(&est, &dag, c).unwrap();
+/// assert_eq!(first, second);
+/// assert!(ctx.stats().cache_hits > 0); // leaves came from the cache
+/// ```
+pub struct EstimationContext {
+    cache: LruSynopsisCache<(String, SynopsisKey), Arc<Synopsis>>,
+    stats: EstimationStats,
+}
+
+impl Default for EstimationContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EstimationContext {
+    /// Context with the default byte budget ([`DEFAULT_BYTE_BUDGET`]).
+    pub fn new() -> Self {
+        Self::with_byte_budget(DEFAULT_BYTE_BUDGET)
+    }
+
+    /// Context keeping at most `byte_budget` bytes of synopses resident
+    /// (sized by [`Synopsis::size_bytes`]).
+    pub fn with_byte_budget(byte_budget: usize) -> Self {
+        EstimationContext {
+            cache: LruSynopsisCache::new(byte_budget),
+            stats: EstimationStats::new(),
+        }
+    }
+
+    /// Session counters collected so far.
+    pub fn stats(&self) -> &EstimationStats {
+        &self.stats
+    }
+
+    /// Resets the counters without dropping cached synopses.
+    pub fn reset_stats(&mut self) {
+        let resident = self.stats.bytes_resident;
+        self.stats = EstimationStats::new();
+        self.stats.bytes_resident = resident;
+    }
+
+    /// Drops every cached synopsis (counters are kept).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+        self.stats.bytes_resident = 0;
+    }
+
+    /// Number of synopses currently cached.
+    pub fn cached_synopses(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The synopsis of a base matrix under `est`, cached across calls.
+    /// This is the entry point for non-DAG consumers such as the chain
+    /// optimizer ([`sparse_chain_order_cached`](crate::chain_opt::sparse_chain_order_cached)).
+    pub fn leaf_synopsis<E: SparsityEstimator + ?Sized>(
+        &mut self,
+        est: &E,
+        m: &Arc<CsrMatrix>,
+    ) -> Result<Arc<Synopsis>> {
+        let key = (est.cache_key(), SynopsisKey::leaf(m));
+        if let Some(syn) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            return Ok(Arc::clone(syn));
+        }
+        self.stats.cache_misses += 1;
+        let t = OpTimer::start();
+        let syn = Arc::new(est.build(m)?);
+        self.stats.record_build(t.elapsed_ns());
+        self.admit(key, &syn);
+        Ok(syn)
+    }
+
+    /// The synopsis of any DAG node under `est`: leaf synopses are built,
+    /// intermediates propagated depth-first (inputs in order), everything
+    /// consulted against and admitted to the cache.
+    pub fn node_synopsis<E: SparsityEstimator + ?Sized>(
+        &mut self,
+        est: &E,
+        dag: &ExprDag,
+        id: NodeId,
+    ) -> Result<Arc<Synopsis>> {
+        let mut memo = HashMap::new();
+        self.materialize(est, dag, id, &mut memo)
+    }
+
+    /// Estimates the sparsity of `root`, mirroring the uncached
+    /// [`estimate_root`](crate::estimate_root) contract: leaf roots return
+    /// their exact sparsity, operation roots are *estimated* directly from
+    /// the input synopses (never propagated).
+    pub fn estimate_root<E: SparsityEstimator + ?Sized>(
+        &mut self,
+        est: &E,
+        dag: &ExprDag,
+        root: NodeId,
+    ) -> Result<f64> {
+        match dag.node(root) {
+            ExprNode::Leaf { matrix, .. } => Ok(matrix.sparsity()),
+            ExprNode::Op { op, inputs } => {
+                let mut memo = HashMap::new();
+                for &i in inputs {
+                    self.materialize(est, dag, i, &mut memo)?;
+                }
+                let ins: Vec<&Synopsis> = inputs.iter().map(|i| memo[i].as_ref()).collect();
+                let t = OpTimer::start();
+                let s = est.estimate(op, &ins)?;
+                self.stats.record_estimate(op.name(), t.elapsed_ns());
+                Ok(s)
+            }
+        }
+    }
+
+    /// Estimates the sparsity of every operation node in the DAG, in
+    /// topological order (the cached counterpart of
+    /// [`estimate_all`](crate::estimate_all)).
+    pub fn estimate_all<E: SparsityEstimator + ?Sized>(
+        &mut self,
+        est: &E,
+        dag: &ExprDag,
+    ) -> Result<Vec<NodeEstimate>> {
+        let synopses = self.materialize_all(est, dag)?;
+        Ok(dag
+            .iter()
+            .filter(|(_, node)| matches!(node, ExprNode::Op { .. }))
+            .map(|(id, _)| NodeEstimate {
+                id,
+                sparsity: synopses[id].sparsity(),
+            })
+            .collect())
+    }
+
+    /// Materializes the synopsis of *every* node, returned in topological
+    /// order. Used by [`Planner::plan_with_context`](crate::Planner::plan_with_context),
+    /// which needs all intermediates to cost and format them.
+    pub fn materialize_all<E: SparsityEstimator + ?Sized>(
+        &mut self,
+        est: &E,
+        dag: &ExprDag,
+    ) -> Result<Vec<Arc<Synopsis>>> {
+        let mut memo = HashMap::new();
+        let mut out = Vec::with_capacity(dag.len());
+        for (id, _) in dag.iter() {
+            out.push(self.materialize(est, dag, id, &mut memo)?);
+        }
+        Ok(out)
+    }
+
+    /// Depth-first materialization with a per-walk memo (the memo keeps the
+    /// walk's synopses alive even if the LRU evicts them mid-walk, and keeps
+    /// the build/propagate order identical to the uncached walk).
+    fn materialize<E: SparsityEstimator + ?Sized>(
+        &mut self,
+        est: &E,
+        dag: &ExprDag,
+        id: NodeId,
+        memo: &mut HashMap<NodeId, Arc<Synopsis>>,
+    ) -> Result<Arc<Synopsis>> {
+        if let Some(syn) = memo.get(&id) {
+            return Ok(Arc::clone(syn));
+        }
+        let syn = match dag.node(id) {
+            ExprNode::Leaf { matrix, .. } => self.leaf_synopsis(est, matrix)?,
+            ExprNode::Op { op, inputs } => {
+                let key = (est.cache_key(), SynopsisKey::node(dag, id));
+                if let Some(syn) = self.cache.get(&key) {
+                    self.stats.cache_hits += 1;
+                    Arc::clone(syn)
+                } else {
+                    self.stats.cache_misses += 1;
+                    for &i in inputs {
+                        self.materialize(est, dag, i, memo)?;
+                    }
+                    let ins: Vec<&Synopsis> = inputs.iter().map(|i| memo[i].as_ref()).collect();
+                    let t = OpTimer::start();
+                    let syn = Arc::new(est.propagate(op, &ins)?);
+                    self.stats.record_propagate(op.name(), t.elapsed_ns());
+                    self.admit(key, &syn);
+                    syn
+                }
+            }
+        };
+        memo.insert(id, Arc::clone(&syn));
+        Ok(syn)
+    }
+
+    /// Inserts into the cache and refreshes the cache-derived counters.
+    fn admit(&mut self, key: (String, SynopsisKey), syn: &Arc<Synopsis>) {
+        let bytes = usize::try_from(syn.size_bytes()).unwrap_or(usize::MAX);
+        self.cache.insert(key, Arc::clone(syn), bytes);
+        self.stats.evictions = self.cache.evictions();
+        self.stats.bytes_resident = self.cache.bytes_resident() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_estimators::{BitsetEstimator, MncEstimator, OpKind};
+    use mnc_matrix::gen;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    fn chain_dag(seed: u64) -> (ExprDag, NodeId) {
+        let mut r = rng(seed);
+        let mut dag = ExprDag::new();
+        let a = dag.leaf("A", Arc::new(gen::rand_uniform(&mut r, 40, 30, 0.1)));
+        let b = dag.leaf("B", Arc::new(gen::rand_uniform(&mut r, 30, 50, 0.08)));
+        let c = dag.leaf("C", Arc::new(gen::rand_uniform(&mut r, 50, 20, 0.12)));
+        let ab = dag.matmul(a, b).unwrap();
+        let root = dag.matmul(ab, c).unwrap();
+        (dag, root)
+    }
+
+    #[test]
+    fn cold_context_matches_uncached_estimate() {
+        let (dag, root) = chain_dag(1);
+        for threads in [1, 4] {
+            let uncached = crate::estimate::estimate_root(
+                &MncEstimator::new().with_build_threads(threads),
+                &dag,
+                root,
+            )
+            .unwrap();
+            let mut ctx = EstimationContext::new();
+            let cached = ctx
+                .estimate_root(&MncEstimator::new().with_build_threads(threads), &dag, root)
+                .unwrap();
+            assert_eq!(uncached, cached, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn second_estimate_hits_the_cache_and_agrees() {
+        let (dag, root) = chain_dag(2);
+        let est = MncEstimator::new();
+        let mut ctx = EstimationContext::new();
+        let first = ctx.estimate_root(&est, &dag, root).unwrap();
+        let misses = ctx.stats().cache_misses;
+        assert_eq!(ctx.stats().cache_hits, 0);
+        let second = ctx.estimate_root(&est, &dag, root).unwrap();
+        assert_eq!(first, second);
+        // Second walk: the AB intermediate hits (short-circuiting its
+        // leaves) and the C leaf hits.
+        assert_eq!(ctx.stats().cache_hits, 2);
+        assert_eq!(ctx.stats().cache_misses, misses);
+        assert_eq!(ctx.stats().builds, 3);
+    }
+
+    #[test]
+    fn estimators_do_not_share_cache_entries() {
+        let (dag, root) = chain_dag(3);
+        let mut ctx = EstimationContext::new();
+        ctx.estimate_root(&MncEstimator::new(), &dag, root).unwrap();
+        let misses_after_mnc = ctx.stats().cache_misses;
+        // A different estimator must not see MNC's synopses...
+        ctx.estimate_root(&BitsetEstimator::default(), &dag, root)
+            .unwrap();
+        assert_eq!(ctx.stats().cache_misses, misses_after_mnc * 2);
+        // ...and neither must a differently-configured MNC.
+        ctx.estimate_root(&MncEstimator::basic(), &dag, root)
+            .unwrap();
+        assert_eq!(ctx.stats().cache_misses, misses_after_mnc * 3);
+        // Re-running the originals hits for all three.
+        let hits = ctx.stats().cache_hits;
+        ctx.estimate_root(&MncEstimator::new(), &dag, root).unwrap();
+        assert!(ctx.stats().cache_hits > hits);
+    }
+
+    #[test]
+    fn shared_leaf_is_cached_across_dags() {
+        let mut r = rng(4);
+        let shared = Arc::new(gen::rand_uniform(&mut r, 30, 30, 0.1));
+        let est = MncEstimator::new();
+        let mut ctx = EstimationContext::new();
+
+        let mut dag1 = ExprDag::new();
+        let a = dag1.leaf("A", Arc::clone(&shared));
+        let t = dag1.transpose(a).unwrap();
+        ctx.estimate_root(&est, &dag1, t).unwrap();
+
+        let mut dag2 = ExprDag::new();
+        let a2 = dag2.leaf("A", Arc::clone(&shared));
+        let b2 = dag2.leaf("B", Arc::new(gen::rand_uniform(&mut r, 30, 30, 0.2)));
+        let root2 = dag2.matmul(a2, b2).unwrap();
+        ctx.estimate_root(&est, &dag2, root2).unwrap();
+
+        // The shared Arc'd matrix was built once, hit once; dag2's second
+        // leaf was a fresh build.
+        assert_eq!(ctx.stats().builds, 2);
+        assert_eq!(ctx.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn intermediates_are_keyed_per_dag() {
+        let (dag, root) = chain_dag(5);
+        let clone = dag.clone();
+        assert_ne!(dag.id(), clone.id());
+        let est = MncEstimator::new();
+        let mut ctx = EstimationContext::new();
+        ctx.estimate_root(&est, &dag, root).unwrap();
+        let misses = ctx.stats().cache_misses;
+        ctx.estimate_root(&est, &clone, root).unwrap();
+        // The clone shares leaf Arcs (hits) but not intermediates (misses).
+        assert!(ctx.stats().cache_hits >= 3);
+        assert!(ctx.stats().cache_misses > misses);
+    }
+
+    #[test]
+    fn estimate_all_matches_uncached() {
+        let (dag, _) = chain_dag(6);
+        let uncached = crate::estimate::estimate_all(&MncEstimator::new(), &dag).unwrap();
+        let mut ctx = EstimationContext::new();
+        let cached = ctx.estimate_all(&MncEstimator::new(), &dag).unwrap();
+        assert_eq!(uncached.len(), cached.len());
+        for (u, c) in uncached.iter().zip(&cached) {
+            assert_eq!(u.id, c.id);
+            assert_eq!(u.sparsity, c.sparsity);
+        }
+    }
+
+    #[test]
+    fn tiny_budget_still_estimates_correctly() {
+        let (dag, root) = chain_dag(7);
+        let baseline = crate::estimate::estimate_root(&MncEstimator::new(), &dag, root).unwrap();
+        // A budget too small to hold anything: every walk rebuilds, the
+        // answer must not change.
+        let mut ctx = EstimationContext::with_byte_budget(1);
+        let est = MncEstimator::new();
+        let a = ctx.estimate_root(&est, &dag, root).unwrap();
+        assert_eq!(a, baseline);
+        assert_eq!(ctx.stats().cache_hits, 0);
+        assert_eq!(ctx.cached_synopses(), 0);
+    }
+
+    #[test]
+    fn stats_expose_per_op_timings_and_reset() {
+        let (dag, root) = chain_dag(8);
+        let est = MncEstimator::new();
+        let mut ctx = EstimationContext::new();
+        ctx.estimate_root(&est, &dag, root).unwrap();
+        let matmul = ctx
+            .stats()
+            .per_op()
+            .find(|(op, _)| *op == OpKind::MatMul.name())
+            .map(|(_, s)| *s)
+            .expect("matmul bucket");
+        assert_eq!(matmul.estimates, 1); // root estimated
+        assert_eq!(matmul.propagations, 1); // AB propagated
+        assert!(ctx.stats().bytes_resident > 0);
+
+        ctx.reset_stats();
+        assert_eq!(ctx.stats().builds, 0);
+        assert!(
+            ctx.stats().bytes_resident > 0,
+            "resident bytes survive reset"
+        );
+        ctx.clear_cache();
+        assert_eq!(ctx.stats().bytes_resident, 0);
+        assert_eq!(ctx.cached_synopses(), 0);
+    }
+
+    #[test]
+    fn leaf_root_is_exact_and_free() {
+        let mut r = rng(9);
+        let m = gen::rand_uniform(&mut r, 10, 10, 0.23);
+        let s = m.sparsity();
+        let mut dag = ExprDag::new();
+        let leaf = dag.leaf("A", Arc::new(m));
+        let mut ctx = EstimationContext::new();
+        let est = ctx.estimate_root(&MncEstimator::new(), &dag, leaf).unwrap();
+        assert_eq!(est, s);
+        assert_eq!(ctx.stats().builds, 0, "leaf roots need no synopsis");
+    }
+}

@@ -381,8 +381,12 @@ mod tests {
         // [ 1 0 2 ]
         // [ 0 0 0 ]
         // [ 3 4 0 ]
-        CsrMatrix::from_triples(3, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
-            .unwrap()
+        CsrMatrix::from_triples(
+            3,
+            3,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -412,8 +416,7 @@ mod tests {
 
     #[test]
     fn from_coo_sorts_columns() {
-        let m =
-            CsrMatrix::from_triples(1, 5, vec![(0, 4, 4.0), (0, 1, 1.0), (0, 3, 3.0)]).unwrap();
+        let m = CsrMatrix::from_triples(1, 5, vec![(0, 4, 4.0), (0, 1, 1.0), (0, 3, 3.0)]).unwrap();
         assert_eq!(m.col_indices(), &[1, 3, 4]);
         assert_eq!(m.values(), &[1.0, 3.0, 4.0]);
     }
@@ -491,9 +494,6 @@ mod tests {
     fn iter_triples_row_major() {
         let m = sample();
         let t: Vec<_> = m.iter_triples().collect();
-        assert_eq!(
-            t,
-            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]
-        );
+        assert_eq!(t, vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]);
     }
 }

@@ -188,10 +188,13 @@ pub fn permutation<R: Rng + ?Sized>(rng: &mut R, n: usize) -> CsrMatrix {
 pub fn selection_matrix(rows: &[usize], m: usize) -> CsrMatrix {
     let k = rows.len();
     let row_ptr = (0..=k).collect();
-    let col_idx: Vec<u32> = rows.iter().map(|&r| {
-        assert!(r < m, "selected row out of range");
-        r as u32
-    }).collect();
+    let col_idx: Vec<u32> = rows
+        .iter()
+        .map(|&r| {
+            assert!(r < m, "selected row out of range");
+            r as u32
+        })
+        .collect();
     let values = vec![1.0; k];
     CsrMatrix::from_parts_unchecked(k, m, row_ptr, col_idx, values)
 }

@@ -86,8 +86,8 @@ fn parse<T: std::str::FromStr>(tok: Option<&str>) -> Result<T> {
 
 /// Reads a MatrixMarket file from disk.
 pub fn read_matrix_market_file(path: impl AsRef<Path>) -> Result<CsrMatrix> {
-    let file = std::fs::File::open(path)
-        .map_err(|_| MatrixError::MalformedBuffers("cannot open file"))?;
+    let file =
+        std::fs::File::open(path).map_err(|_| MatrixError::MalformedBuffers("cannot open file"))?;
     read_matrix_market(std::io::BufReader::new(file))
 }
 

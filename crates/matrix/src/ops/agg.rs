@@ -58,7 +58,11 @@ pub fn row_maxs(a: &CsrMatrix) -> CsrMatrix {
     let mut values = Vec::new();
     for i in 0..m {
         let (cols, vals) = a.row(i);
-        let mut mx = if cols.len() < n { 0.0f64 } else { f64::NEG_INFINITY };
+        let mut mx = if cols.len() < n {
+            0.0f64
+        } else {
+            f64::NEG_INFINITY
+        };
         for &v in vals {
             mx = mx.max(v);
         }

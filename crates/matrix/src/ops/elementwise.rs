@@ -55,7 +55,9 @@ pub fn ew_add(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
         }
         row_ptr.push(col_idx.len());
     }
-    Ok(CsrMatrix::from_parts_unchecked(m, n, row_ptr, col_idx, values))
+    Ok(CsrMatrix::from_parts_unchecked(
+        m, n, row_ptr, col_idx, values,
+    ))
 }
 
 /// Element-wise multiplication `C = A ⊙ B` (intersection of patterns).
@@ -88,7 +90,9 @@ pub fn ew_mul(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
         }
         row_ptr.push(col_idx.len());
     }
-    Ok(CsrMatrix::from_parts_unchecked(m, n, row_ptr, col_idx, values))
+    Ok(CsrMatrix::from_parts_unchecked(
+        m, n, row_ptr, col_idx, values,
+    ))
 }
 
 /// Element-wise maximum `C_ij = max(A_ij, B_ij)`, with absent entries
@@ -143,7 +147,9 @@ fn merge_extremum(
         }
         row_ptr.push(col_idx.len());
     }
-    Ok(CsrMatrix::from_parts_unchecked(m, n, row_ptr, col_idx, values))
+    Ok(CsrMatrix::from_parts_unchecked(
+        m, n, row_ptr, col_idx, values,
+    ))
 }
 
 #[cfg(test)]

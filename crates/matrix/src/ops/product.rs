@@ -61,7 +61,9 @@ pub fn matmul(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
         touched.clear();
         row_ptr.push(col_idx.len());
     }
-    Ok(CsrMatrix::from_parts_unchecked(m, l, row_ptr, col_idx, values))
+    Ok(CsrMatrix::from_parts_unchecked(
+        m, l, row_ptr, col_idx, values,
+    ))
 }
 
 /// Pattern-only boolean product: `C_ij = 1` iff row `i` of `A` and column `j`
@@ -100,7 +102,9 @@ pub fn bool_matmul(a: &CsrMatrix, b: &CsrMatrix) -> Result<CsrMatrix> {
         row_ptr.push(col_idx.len());
     }
     let values = vec![1.0; col_idx.len()];
-    Ok(CsrMatrix::from_parts_unchecked(m, l, row_ptr, col_idx, values))
+    Ok(CsrMatrix::from_parts_unchecked(
+        m, l, row_ptr, col_idx, values,
+    ))
 }
 
 /// Number of scalar multiplications a sparse product would execute:
@@ -124,10 +128,8 @@ mod tests {
 
     #[test]
     fn small_product_matches_dense() {
-        let a = CsrMatrix::from_triples(2, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)])
-            .unwrap();
-        let b = CsrMatrix::from_triples(3, 2, vec![(0, 1, 4.0), (1, 0, 5.0), (2, 1, 6.0)])
-            .unwrap();
+        let a = CsrMatrix::from_triples(2, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
+        let b = CsrMatrix::from_triples(3, 2, vec![(0, 1, 4.0), (1, 0, 5.0), (2, 1, 6.0)]).unwrap();
         let c = matmul(&a, &b).unwrap();
         let expect = a.to_dense().matmul(&b.to_dense()).unwrap();
         assert_eq!(c.to_dense(), expect);

@@ -35,7 +35,9 @@ pub fn reshape(a: &CsrMatrix, k: usize, l: usize) -> Result<CsrMatrix> {
         row_ptr.push(col_idx.len());
         cur_row += 1;
     }
-    Ok(CsrMatrix::from_parts_unchecked(k, l, row_ptr, col_idx, values))
+    Ok(CsrMatrix::from_parts_unchecked(
+        k, l, row_ptr, col_idx, values,
+    ))
 }
 
 /// `diag(v)`: places an `m x 1` column vector onto the diagonal of an
@@ -57,13 +59,17 @@ pub fn diag_v2m(v: &CsrMatrix) -> Result<CsrMatrix> {
         }
         row_ptr.push(col_idx.len());
     }
-    Ok(CsrMatrix::from_parts_unchecked(m, m, row_ptr, col_idx, values))
+    Ok(CsrMatrix::from_parts_unchecked(
+        m, m, row_ptr, col_idx, values,
+    ))
 }
 
 /// `diag(A)`: extracts the diagonal of a square matrix as an `m x 1` vector.
 pub fn diag_extract(a: &CsrMatrix) -> Result<CsrMatrix> {
     if a.nrows() != a.ncols() {
-        return Err(MatrixError::ShapeClass("diag_extract expects a square matrix"));
+        return Err(MatrixError::ShapeClass(
+            "diag_extract expects a square matrix",
+        ));
     }
     let m = a.nrows();
     let mut row_ptr = Vec::with_capacity(m + 1);
@@ -78,7 +84,9 @@ pub fn diag_extract(a: &CsrMatrix) -> Result<CsrMatrix> {
         }
         row_ptr.push(col_idx.len());
     }
-    Ok(CsrMatrix::from_parts_unchecked(m, 1, row_ptr, col_idx, values))
+    Ok(CsrMatrix::from_parts_unchecked(
+        m, 1, row_ptr, col_idx, values,
+    ))
 }
 
 /// Row-wise concatenation `rbind(A, B)` (stack vertically).
@@ -182,8 +190,7 @@ mod tests {
     #[test]
     fn reshape_preserves_linear_positions() {
         // 2x6 -> 3x4: position (1, 2) = linear 8 -> (2, 0).
-        let a = CsrMatrix::from_triples(2, 6, vec![(0, 0, 1.0), (1, 2, 2.0), (1, 5, 3.0)])
-            .unwrap();
+        let a = CsrMatrix::from_triples(2, 6, vec![(0, 0, 1.0), (1, 2, 2.0), (1, 5, 3.0)]).unwrap();
         let r = reshape(&a, 3, 4).unwrap();
         assert_eq!(r.get(0, 0), 1.0);
         assert_eq!(r.get(2, 0), 2.0);
@@ -233,7 +240,11 @@ mod tests {
         assert_eq!(r.get(0, 0), 1.0);
         assert_eq!(r.get(2, 1), 2.0);
 
-        let c = cbind(&a, &CsrMatrix::from_triples(1, 3, vec![(0, 2, 9.0)]).unwrap()).unwrap();
+        let c = cbind(
+            &a,
+            &CsrMatrix::from_triples(1, 3, vec![(0, 2, 9.0)]).unwrap(),
+        )
+        .unwrap();
         assert_eq!(c.shape(), (1, 5));
         assert_eq!(c.get(0, 0), 1.0);
         assert_eq!(c.get(0, 4), 9.0);

@@ -125,8 +125,10 @@ impl Datasets {
             for j in 0..10 {
                 coo.push(i, j, gen::nz_value(&mut rng)).expect("in range");
             }
-            coo.push(i, 10 + zipf4.sample(&mut rng), 1.0).expect("in range");
-            coo.push(i, 14 + zipf40.sample(&mut rng), 1.0).expect("in range");
+            coo.push(i, 10 + zipf4.sample(&mut rng), 1.0)
+                .expect("in range");
+            coo.push(i, 14 + zipf40.sample(&mut rng), 1.0)
+                .expect("in range");
         }
         CsrMatrix::from_coo(coo)
     }

@@ -1,7 +1,7 @@
 //! Drives estimators over use cases and reports outcomes.
 
 use mnc_estimators::{EstimatorError, SparsityEstimator};
-use mnc_expr::{estimate_root, Evaluator};
+use mnc_expr::{estimate_root, EstimationContext, Evaluator};
 
 use crate::metrics::relative_error;
 use crate::usecases::UseCase;
@@ -64,31 +64,30 @@ fn classify(err: EstimatorError) -> Outcome {
 
 /// Runs the given estimators over the use case root, returning one result
 /// per estimator. The ground truth is the use case's analytic value when
-/// available, otherwise exact evaluation.
+/// available, otherwise exact evaluation. One-shot: each estimate runs in a
+/// throwaway session — see [`run_case_with_context`] to share synopses and
+/// collect [`mnc_expr::EstimationStats`] across cases.
 pub fn run_case(case: &UseCase, estimators: &[&dyn SparsityEstimator]) -> Vec<CaseResult> {
-    let truth = match case.known_truth {
-        Some(t) => t,
-        None => Evaluator::new()
-            .sparsity(&case.dag, case.root)
-            .expect("use case DAGs evaluate"),
-    };
+    let truth = case_truth(case);
     estimators
         .iter()
-        .map(|est| {
-            let outcome = match estimate_root(*est, &case.dag, case.root) {
-                Ok(s) => Outcome::Estimate {
-                    estimate: s,
-                    relative_error: relative_error(truth, s),
-                },
-                Err(e) => classify(e),
-            };
-            CaseResult {
-                case: case.id.clone(),
-                estimator: est.name(),
-                truth,
-                outcome,
-            }
-        })
+        .map(|est| one_result(case, &case.id, case.root, truth, *est, None))
+        .collect()
+}
+
+/// [`run_case`] against a shared estimation session: leaf synopses (the
+/// dominant cost for dataset-backed cases reusing the same matrices) come
+/// from the context's cache, and the work is recorded in the context's
+/// stats.
+pub fn run_case_with_context(
+    case: &UseCase,
+    estimators: &[&dyn SparsityEstimator],
+    ctx: &mut EstimationContext,
+) -> Vec<CaseResult> {
+    let truth = case_truth(case);
+    estimators
+        .iter()
+        .map(|est| one_result(case, &case.id, case.root, truth, *est, Some(ctx)))
         .collect()
 }
 
@@ -96,29 +95,78 @@ pub fn run_case(case: &UseCase, estimators: &[&dyn SparsityEstimator]) -> Vec<Ca
 /// (Figure 13-style reports). Ground truths are evaluated exactly with a
 /// shared cache.
 pub fn run_tracked(case: &UseCase, estimators: &[&dyn SparsityEstimator]) -> Vec<CaseResult> {
+    run_tracked_inner(case, estimators, None)
+}
+
+/// [`run_tracked`] against a shared estimation session.
+pub fn run_tracked_with_context(
+    case: &UseCase,
+    estimators: &[&dyn SparsityEstimator],
+    ctx: &mut EstimationContext,
+) -> Vec<CaseResult> {
+    run_tracked_inner(case, estimators, Some(ctx))
+}
+
+fn run_tracked_inner(
+    case: &UseCase,
+    estimators: &[&dyn SparsityEstimator],
+    mut ctx: Option<&mut EstimationContext>,
+) -> Vec<CaseResult> {
     let mut ev = Evaluator::new();
     let mut out = Vec::new();
     for (label, node) in &case.tracked {
         let truth = ev
             .sparsity(&case.dag, *node)
             .expect("use case DAGs evaluate");
+        let id = format!("{}/{}", case.id, label);
         for est in estimators {
-            let outcome = match estimate_root(*est, &case.dag, *node) {
-                Ok(s) => Outcome::Estimate {
-                    estimate: s,
-                    relative_error: relative_error(truth, s),
-                },
-                Err(e) => classify(e),
-            };
-            out.push(CaseResult {
-                case: format!("{}/{}", case.id, label),
-                estimator: est.name(),
+            out.push(one_result(
+                case,
+                &id,
+                *node,
                 truth,
-                outcome,
-            });
+                *est,
+                ctx.as_deref_mut(),
+            ));
         }
     }
     out
+}
+
+fn case_truth(case: &UseCase) -> f64 {
+    match case.known_truth {
+        Some(t) => t,
+        None => Evaluator::new()
+            .sparsity(&case.dag, case.root)
+            .expect("use case DAGs evaluate"),
+    }
+}
+
+fn one_result(
+    case: &UseCase,
+    id: &str,
+    node: mnc_expr::NodeId,
+    truth: f64,
+    est: &dyn SparsityEstimator,
+    ctx: Option<&mut EstimationContext>,
+) -> CaseResult {
+    let estimate = match ctx {
+        Some(ctx) => ctx.estimate_root(est, &case.dag, node),
+        None => estimate_root(est, &case.dag, node),
+    };
+    let outcome = match estimate {
+        Ok(s) => Outcome::Estimate {
+            estimate: s,
+            relative_error: relative_error(truth, s),
+        },
+        Err(e) => classify(e),
+    };
+    CaseResult {
+        case: id.to_string(),
+        estimator: est.name(),
+        truth,
+        outcome,
+    }
 }
 
 /// The paper's Figure 10/11 estimator line-up, in legend order:
@@ -173,12 +221,7 @@ mod tests {
             for r in &results {
                 if r.estimator == "Bitset" || r.estimator == "MNC" {
                     let err = r.outcome.error().expect("supported");
-                    assert!(
-                        err < 1.0 + 1e-9,
-                        "{} {} err {err}",
-                        r.case,
-                        r.estimator
-                    );
+                    assert!(err < 1.0 + 1e-9, "{} {} err {err}", r.case, r.estimator);
                 }
             }
         }
@@ -189,7 +232,10 @@ mod tests {
         // Element-wise multiplication does not apply to the layered graph
         // (Section 6.4) — it must report Unsupported, not crash.
         let data = Datasets::with_scale(3, 0.01);
-        let case = b2_suite(&data).into_iter().find(|c| c.id == "B2.5").unwrap();
+        let case = b2_suite(&data)
+            .into_iter()
+            .find(|c| c.id == "B2.5")
+            .unwrap();
         let ests = standard_estimators();
         let refs: Vec<&dyn SparsityEstimator> = ests.iter().map(|b| b.as_ref()).collect();
         let results = run_case(&case, &refs);
@@ -202,7 +248,10 @@ mod tests {
     #[test]
     fn tracked_intermediates_report_per_label() {
         let data = Datasets::with_scale(3, 0.02);
-        let case = b3_suite(&data).into_iter().find(|c| c.id == "B3.3").unwrap();
+        let case = b3_suite(&data)
+            .into_iter()
+            .find(|c| c.id == "B3.3")
+            .unwrap();
         let mnc = mnc_estimators::MncEstimator::new();
         let ests: Vec<&dyn SparsityEstimator> = vec![&mnc];
         let results = run_tracked(&case, &ests);

@@ -160,10 +160,10 @@ pub fn b1_suite(scale: f64, seed: u64) -> Vec<UseCase> {
     // B1.4 Outer: C (single dense column) times R (aligned dense row)
     // yields a fully dense output.
     {
-        let c = CsrMatrix::from_triples(d, d, (0..d).map(|i| (i, 0usize, 1.0)))
-            .expect("valid triples");
-        let r = CsrMatrix::from_triples(d, d, (0..d).map(|j| (0usize, j, 1.0)))
-            .expect("valid triples");
+        let c =
+            CsrMatrix::from_triples(d, d, (0..d).map(|i| (i, 0usize, 1.0))).expect("valid triples");
+        let r =
+            CsrMatrix::from_triples(d, d, (0..d).map(|j| (0usize, j, 1.0))).expect("valid triples");
         let mut dag = ExprDag::new();
         let nc = dag.leaf("C", Arc::new(c));
         let nr = dag.leaf("R", Arc::new(r));
@@ -175,10 +175,10 @@ pub fn b1_suite(scale: f64, seed: u64) -> Vec<UseCase> {
 
     // B1.5 Inner: R C — a single output non-zero.
     {
-        let r = CsrMatrix::from_triples(d, d, (0..d).map(|j| (0usize, j, 1.0)))
-            .expect("valid triples");
-        let c = CsrMatrix::from_triples(d, d, (0..d).map(|i| (i, 0usize, 1.0)))
-            .expect("valid triples");
+        let r =
+            CsrMatrix::from_triples(d, d, (0..d).map(|j| (0usize, j, 1.0))).expect("valid triples");
+        let c =
+            CsrMatrix::from_triples(d, d, (0..d).map(|i| (i, 0usize, 1.0))).expect("valid triples");
         let mut dag = ExprDag::new();
         let nr = dag.leaf("R", Arc::new(r));
         let nc = dag.leaf("C", Arc::new(c));
@@ -407,8 +407,8 @@ pub fn b3_suite(data: &Datasets) -> Vec<UseCase> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mnc_expr::{estimate_root, Evaluator};
     use mnc_estimators::{MncEstimator, SparsityEstimator};
+    use mnc_expr::{estimate_root, Evaluator};
 
     fn small_data() -> Datasets {
         Datasets::with_scale(11, 0.01)
@@ -456,13 +456,13 @@ mod tests {
     fn b2_5_mask_mnc_exact() {
         // Column-structured mask ⇒ exact MNC estimate (Section 6.4).
         let data = small_data();
-        let case = b2_suite(&data).into_iter().find(|c| c.id == "B2.5").unwrap();
+        let case = b2_suite(&data)
+            .into_iter()
+            .find(|c| c.id == "B2.5")
+            .unwrap();
         let est = estimate_root(&MncEstimator::new(), &case.dag, case.root).unwrap();
         let truth = Evaluator::new().sparsity(&case.dag, case.root).unwrap();
-        assert!(
-            (est - truth).abs() < 1e-9,
-            "B2.5: est {est} truth {truth}"
-        );
+        assert!((est - truth).abs() < 1e-9, "B2.5: est {est} truth {truth}");
     }
 
     #[test]
@@ -470,11 +470,7 @@ mod tests {
         let data = small_data();
         for case in b3_suite(&data) {
             let truth = Evaluator::new().sparsity(&case.dag, case.root).unwrap();
-            assert!(
-                (0.0..=1.0).contains(&truth),
-                "{}: truth {truth}",
-                case.id
-            );
+            assert!((0.0..=1.0).contains(&truth), "{}: truth {truth}", case.id);
             // Tracked intermediates evaluate too.
             let mut ev = Evaluator::new();
             for (label, node) in &case.tracked {
@@ -489,7 +485,10 @@ mod tests {
         // Matrix powers are densifying (Section 6.6): sparsity grows along
         // the chain.
         let data = Datasets::with_scale(11, 0.05);
-        let case = b3_suite(&data).into_iter().find(|c| c.id == "B3.3").unwrap();
+        let case = b3_suite(&data)
+            .into_iter()
+            .find(|c| c.id == "B3.3")
+            .unwrap();
         let mut ev = Evaluator::new();
         let s: Vec<f64> = case
             .tracked
@@ -501,12 +500,7 @@ mod tests {
 
     #[test]
     fn top_rows_by_nnz_orders_correctly() {
-        let m = CsrMatrix::from_triples(
-            3,
-            3,
-            vec![(1, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)],
-        )
-        .unwrap();
+        let m = CsrMatrix::from_triples(3, 3, vec![(1, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]).unwrap();
         assert_eq!(top_rows_by_nnz(&m, 2), vec![1, 2]);
     }
 

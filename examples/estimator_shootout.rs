@@ -14,8 +14,7 @@ use std::time::Instant;
 
 use mnc::estimators::{
     BiasedSamplingEstimator, BitsetEstimator, DensityMapEstimator, LayeredGraphEstimator,
-    MetaAcEstimator, MetaWcEstimator, MncEstimator, SparsityEstimator,
-    UnbiasedSamplingEstimator,
+    MetaAcEstimator, MetaWcEstimator, MncEstimator, SparsityEstimator, UnbiasedSamplingEstimator,
 };
 use mnc::expr::{estimate_root, Evaluator, ExprDag, OpKind};
 use mnc::matrix::gen;

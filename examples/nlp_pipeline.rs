@@ -54,8 +54,11 @@ fn main() {
     let est_nnz = est * rows as f64 * cols as f64;
     let sparse_bytes = est_nnz * 12.0; // 4 B column index + 8 B value
     let dense_bytes = rows as f64 * cols as f64 * 8.0;
-    println!("\nMNC estimate    : s = {est:.4} (~{:.1} MB sparse vs {:.1} MB dense)",
-        sparse_bytes / 1e6, dense_bytes / 1e6);
+    println!(
+        "\nMNC estimate    : s = {est:.4} (~{:.1} MB sparse vs {:.1} MB dense)",
+        sparse_bytes / 1e6,
+        dense_bytes / 1e6
+    );
     println!("MetaAC estimate : s = {naive:.4}");
     println!(
         "allocation      : {}",

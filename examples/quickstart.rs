@@ -54,7 +54,10 @@ fn main() {
     let p = gen::permutation(&mut rng, 5_000);
     let hp = MncSketch::build(&p);
     let est = estimate_matmul(&hp, &ha_like(&a));
-    println!("\npermutation x A: estimated s = {est:.6} (exact: {:.6})", a.sparsity());
+    println!(
+        "\npermutation x A: estimated s = {est:.6} (exact: {:.6})",
+        a.sparsity()
+    );
 }
 
 /// Rebuild A's sketch (helper to keep the example flow linear).

@@ -15,7 +15,14 @@ fn chain(seed: u64, dims: &[usize], sparsities: &[f64]) -> Vec<Arc<CsrMatrix>> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     dims.windows(2)
         .zip(sparsities)
-        .map(|(w, &s)| Arc::new(gen::rand_uniform(&mut rng, w[0], w[1], s.max(1.0 / (w[0] * w[1]) as f64))))
+        .map(|(w, &s)| {
+            Arc::new(gen::rand_uniform(
+                &mut rng,
+                w[0],
+                w[1],
+                s.max(1.0 / (w[0] * w[1]) as f64),
+            ))
+        })
         .collect()
 }
 

@@ -7,9 +7,7 @@ use std::sync::Arc;
 
 use mnc::core::MncConfig;
 use mnc::estimators::{MetaAcEstimator, MncEstimator};
-use mnc::expr::{
-    estimate_root, rewrite_mm_chains, Evaluator, ExprDag, ExprNode, NodeId, Planner,
-};
+use mnc::expr::{estimate_root, rewrite_mm_chains, Evaluator, ExprDag, ExprNode, NodeId, Planner};
 use mnc::matrix::{gen, CsrMatrix};
 use rand::SeedableRng;
 

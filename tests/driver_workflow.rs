@@ -20,8 +20,12 @@ fn executor_to_driver_roundtrip_preserves_estimates() {
     let b = gen::rand_uniform(&mut rng, 200, 250, 0.03);
 
     // "Executors" build partial sketches; the "driver" collects bytes.
-    let wire_a = to_bytes(&build_distributed(&RowPartitionedMatrix::from_matrix(&a, 6)));
-    let wire_b = to_bytes(&build_distributed(&RowPartitionedMatrix::from_matrix(&b, 3)));
+    let wire_a = to_bytes(&build_distributed(&RowPartitionedMatrix::from_matrix(
+        &a, 6,
+    )));
+    let wire_b = to_bytes(&build_distributed(&RowPartitionedMatrix::from_matrix(
+        &b, 3,
+    )));
 
     // Driver-side estimation from deserialized sketches only.
     let ha = from_bytes(&wire_a).expect("valid sketch bytes");

@@ -88,11 +88,7 @@ fn mnc_beats_naive_metadata_on_structured_cases() {
         let mnc = err_of("MNC").expect("MNC always applies");
         for naive in ["MetaAC", "MetaWC"] {
             if let Some(e) = err_of(naive) {
-                assert!(
-                    mnc <= e + 1e-9,
-                    "{}: MNC {mnc} vs {naive} {e}",
-                    case.id
-                );
+                assert!(mnc <= e + 1e-9, "{}: MNC {mnc} vs {naive} {e}", case.id);
             }
         }
     }
@@ -130,11 +126,7 @@ fn bitset_is_ground_truth_on_every_supported_case() {
     for case in b2_suite(&data) {
         let results = run_case(&case, &ests);
         let err = results[0].outcome.error().expect("bitset applies");
-        assert!(
-            err < 1.0 + 1e-9,
-            "{}: bitset error {err}",
-            case.id
-        );
+        assert!(err < 1.0 + 1e-9, "{}: bitset error {err}", case.id);
     }
 }
 
@@ -173,7 +165,10 @@ fn spatial_predicate_with_max_replacing_or() {
     let (dag_add, root_add) = build(OpKind::EwAdd);
     let est_max = estimate_root(&mnc, &dag_max, root_max).unwrap();
     let est_add = estimate_root(&MncEstimator::new(), &dag_add, root_add).unwrap();
-    assert_eq!(est_max, est_add, "max and + are pattern-equivalent under A1");
+    assert_eq!(
+        est_max, est_add,
+        "max and + are pattern-equivalent under A1"
+    );
 
     let truth = Evaluator::new().sparsity(&dag_max, root_max).unwrap();
     let rel = est_max.max(truth) / est_max.min(truth).max(1e-12);

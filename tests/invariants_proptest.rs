@@ -195,6 +195,74 @@ proptest! {
         prop_assert!((total as f64 - target).abs() < 6.0 * sigma + 1.0);
     }
 
+    /// Parallel sketch construction is bit-identical to the sequential
+    /// build for any matrix and worker count.
+    #[test]
+    fn parallel_sketch_build_is_bit_identical(
+        (m, n, s, seed) in matrix_params(),
+        threads in 1usize..9,
+    ) {
+        let a = make(m, n, s, seed);
+        prop_assert_eq!(MncSketch::build_parallel(&a, threads), MncSketch::build(&a));
+    }
+
+    /// Estimating through a cached `EstimationContext` returns exactly the
+    /// uncached estimates on random DAGs — cold (first walk mirrors the
+    /// uncached build/propagate order, so probabilistic-rounding RNG
+    /// streams line up under fresh same-seed estimators) and warm (cached
+    /// synopses feed a deterministic root estimate).
+    #[test]
+    fn cached_context_estimates_equal_uncached(
+        n in 2usize..16,
+        nleaves in 2usize..5,
+        nops in 1usize..7,
+        s in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        use mnc::estimators::MncEstimator;
+        use mnc::expr::{estimate_all, estimate_root, EstimationContext, ExprDag};
+
+        // Random DAG over square matrices (every op shape-checks).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut dag = ExprDag::new();
+        let mut ids = Vec::new();
+        for i in 0..nleaves {
+            ids.push(dag.leaf(format!("L{i}"), Arc::new(gen::rand_uniform(&mut rng, n, n, s))));
+        }
+        let mut pick = SplitMix64::new(seed ^ 0xD1CE);
+        for _ in 0..nops {
+            let a = ids[(pick.next_u64() as usize) % ids.len()];
+            let b = ids[(pick.next_u64() as usize) % ids.len()];
+            ids.push(match pick.next_u64() % 4 {
+                0 => dag.matmul(a, b).unwrap(),
+                1 => dag.ew_add(a, b).unwrap(),
+                2 => dag.ew_mul(a, b).unwrap(),
+                _ => dag.transpose(a).unwrap(),
+            });
+        }
+        let root = *ids.last().unwrap();
+
+        let uncached = estimate_root(&MncEstimator::new(), &dag, root).unwrap();
+        let mut ctx = EstimationContext::new();
+        let est = MncEstimator::new();
+        let cold = ctx.estimate_root(&est, &dag, root).unwrap();
+        let warm = ctx.estimate_root(&est, &dag, root).unwrap();
+        prop_assert_eq!(uncached, cold);
+        prop_assert_eq!(cold, warm);
+        prop_assert!(ctx.stats().cache_hits > 0, "warm walk must hit the cache");
+
+        // And node-by-node over the whole DAG.
+        let all_uncached = estimate_all(&MncEstimator::new(), &dag).unwrap();
+        let all_cached = EstimationContext::new()
+            .estimate_all(&MncEstimator::new(), &dag)
+            .unwrap();
+        prop_assert_eq!(all_uncached.len(), all_cached.len());
+        for (u, c) in all_uncached.iter().zip(&all_cached) {
+            prop_assert_eq!(u.id, c.id);
+            prop_assert_eq!(u.sparsity, c.sparsity);
+        }
+    }
+
     /// MNC sketch propagation over a product keeps the implied nnz within
     /// the estimate's mass (no runaway counts).
     #[test]
