@@ -38,8 +38,10 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage:\n  mnc-cli sketch <a.mtx>\n  mnc-cli estimate <a.mtx> \
-                 <b.mtx> [--op matmul|ewadd|ewmul|ewmax|ewmin] [--exact]\n  \
-                 mnc-cli gen <uniform|permutation|nlp> <out.mtx> [rows cols sparsity]"
+                 <b.mtx> [--op matmul|ewadd|ewmul|ewmax|ewmin] [--exact] [--repeat N]\n    \
+                 {}\n  \
+                 mnc-cli gen <uniform|permutation|nlp> <out.mtx> [rows cols sparsity]",
+                mnc_bench::OBS_USAGE
             );
             return ExitCode::from(2);
         }
@@ -115,6 +117,7 @@ fn parse_op(name: &str) -> Result<OpKind, String> {
 }
 
 fn cmd_estimate(args: &[String]) -> Result<(), String> {
+    let (obs, args) = mnc_bench::ObsArgs::parse(args)?;
     let mut files = Vec::new();
     let mut op = OpKind::MatMul;
     let mut exact = false;
@@ -165,7 +168,7 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
     let na = dag.leaf(files[0].clone(), Arc::clone(&a));
     let nb = dag.leaf(files[1].clone(), Arc::clone(&b));
     let root = dag.op(op.clone(), &[na, nb]).map_err(|e| e.to_string())?;
-    let mut ctx = EstimationContext::new();
+    let mut ctx = EstimationContext::new().with_recorder(obs.recorder());
     for est in &estimators {
         let t = Instant::now();
         let mut outcome = ctx.estimate_root(est, &dag, root);
@@ -184,6 +187,7 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
         }
     }
     println!("\nestimation session:\n{}", ctx.stats());
+    obs.emit(ctx.recorder())?;
     if exact {
         let t = Instant::now();
         let c = match op {

@@ -2,15 +2,37 @@
 //! tracked intermediates) across the standard estimator line-up. This is
 //! the aggregate behind Figures 10, 11, 13, and 14 — run the individual
 //! `figNN` binaries for the paper-faithful subsets and reference values.
+//!
+//! The run doubles as an accuracy-regression gate: every B1 estimate is
+//! checked against the per-case error thresholds in
+//! `crates/sparsest/data/b1_thresholds.tsv`, and any violation exits
+//! non-zero. Observability flags (`--trace`, `--metrics`, `--obs-format`)
+//! additionally export the run's spans, metrics, and accuracy telemetry.
 
-use mnc_bench::{banner, env_scale, print_accuracy_matrix};
+use std::process::ExitCode;
+
+use mnc_bench::{banner, env_scale, print_accuracy_matrix, ObsArgs, OBS_USAGE};
 use mnc_estimators::{BitsetEstimator, SparsityEstimator};
-use mnc_expr::EstimationContext;
+use mnc_expr::{EstimationContext, Recorder};
 use mnc_sparsest::datasets::Datasets;
 use mnc_sparsest::runner::{run_case_with_context, run_tracked_with_context, standard_estimators};
 use mnc_sparsest::usecases::{b1_suite, b2_suite, b3_suite};
+use mnc_sparsest::{b1_thresholds, check_thresholds};
 
-fn main() {
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (obs, rest) = match ObsArgs::parse(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\nusage: sparsest {OBS_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if !rest.is_empty() {
+        eprintln!("unknown arguments: {rest:?}\nusage: sparsest {OBS_USAGE}");
+        return ExitCode::from(2);
+    }
+
     let scale = env_scale(0.1);
     banner(
         "SparsEst",
@@ -22,10 +44,15 @@ fn main() {
     let refs: Vec<&dyn SparsityEstimator> = estimators.iter().map(|b| b.as_ref()).collect();
     let names: Vec<&str> = refs.iter().map(|e| e.name()).collect();
 
+    // The recorder is always on here: the B1 accuracy-regression gate below
+    // consumes the accuracy telemetry, so the suite always collects it. The
+    // observability flags only control whether spans/metrics get exported.
+    let rec = Recorder::enabled();
+
     // One estimation session for the whole suite: B2/B3 cases share dataset
     // matrices, and tracked-intermediate reports revisit the same DAGs, so
     // synopses get real reuse across cases.
-    let mut ctx = EstimationContext::new();
+    let mut ctx = EstimationContext::new().with_recorder(rec.clone());
     let mut results = Vec::new();
     for case in b1_suite(scale, 42) {
         eprintln!("running {} {} ...", case.id, case.name);
@@ -45,4 +72,31 @@ fn main() {
     }
     print_accuracy_matrix(&results, &names);
     println!("\nestimation session:\n{}", ctx.stats());
+
+    if obs.enabled() {
+        if let Err(e) = obs.emit(&rec) {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let accuracy = rec.accuracy();
+    let violations = check_thresholds(&accuracy, &b1_thresholds());
+    if violations.is_empty() {
+        eprintln!(
+            "accuracy regression check: OK ({} telemetry records against {} thresholds)",
+            accuracy.len(),
+            b1_thresholds().len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("accuracy regression: {v}");
+        }
+        eprintln!(
+            "accuracy regression check: FAILED ({} violation(s))",
+            violations.len()
+        );
+        ExitCode::FAILURE
+    }
 }

@@ -8,10 +8,14 @@
 //! seconds to minutes; set `MNC_SCALE` (a factor in `(0, 1]`) to shrink or
 //! grow them. `EXPERIMENTS.md` records the scale each reported run used.
 
+pub mod obs;
+
 use std::time::Duration;
 
 use mnc_sparsest::runner::CaseResult;
 use mnc_sparsest::Outcome;
+
+pub use obs::{ObsArgs, OBS_USAGE};
 
 /// Reads the `MNC_SCALE` environment variable, defaulting to `default`.
 pub fn env_scale(default: f64) -> f64 {

@@ -1,0 +1,155 @@
+//! Shared observability flags for the benchmark binaries:
+//!
+//! ```text
+//! --trace <file>          write a Chrome trace_event JSON (chrome://tracing,
+//!                         Perfetto) of every span in the run
+//! --metrics <file>        write the metrics/accuracy report to a file
+//! --obs-format <fmt>      table | jsonl | chrome — format of the report
+//!                         (stdout when no --metrics file is given)
+//! ```
+//!
+//! Any of the three flags switches the run's recorder on; without them the
+//! binaries keep the zero-overhead disabled recorder.
+
+use std::io::Write as _;
+
+use mnc_obs::{ObsFormat, Recorder};
+
+/// Parsed observability flags.
+#[derive(Debug, Clone, Default)]
+pub struct ObsArgs {
+    /// `--trace <file>`: Chrome trace output path.
+    pub trace: Option<String>,
+    /// `--metrics <file>`: report output path.
+    pub metrics: Option<String>,
+    /// `--obs-format <fmt>` (default `table`).
+    pub format: ObsFormat,
+    /// Whether `--obs-format` was given explicitly (an explicit format with
+    /// no `--metrics` file sends the report to stdout).
+    pub format_explicit: bool,
+}
+
+/// Usage lines for the three flags, for the binaries' help text.
+pub const OBS_USAGE: &str = "[--trace <file>] [--metrics <file>] [--obs-format table|jsonl|chrome]";
+
+impl ObsArgs {
+    /// Extracts the observability flags from `args`, returning the parsed
+    /// flags and the remaining (unconsumed) arguments.
+    pub fn parse(args: &[String]) -> Result<(ObsArgs, Vec<String>), String> {
+        let mut parsed = ObsArgs::default();
+        let mut rest = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--trace" => {
+                    parsed.trace = Some(it.next().ok_or("--trace needs a file path")?.clone());
+                }
+                "--metrics" => {
+                    parsed.metrics = Some(it.next().ok_or("--metrics needs a file path")?.clone());
+                }
+                "--obs-format" => {
+                    parsed.format = it
+                        .next()
+                        .ok_or("--obs-format needs a value")?
+                        .parse::<ObsFormat>()?;
+                    parsed.format_explicit = true;
+                }
+                _ => rest.push(a.clone()),
+            }
+        }
+        Ok((parsed, rest))
+    }
+
+    /// Whether any flag asked for observability output.
+    pub fn enabled(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some() || self.format_explicit
+    }
+
+    /// A recorder matching the flags: enabled when any output was requested,
+    /// otherwise the zero-overhead disabled recorder.
+    pub fn recorder(&self) -> Recorder {
+        if self.enabled() {
+            Recorder::enabled()
+        } else {
+            Recorder::disabled()
+        }
+    }
+
+    /// Writes the requested outputs from the recorder: the Chrome trace to
+    /// `--trace`, the report (in `--obs-format`) to `--metrics` or stdout.
+    /// A no-op for a disabled recorder.
+    pub fn emit(&self, rec: &Recorder) -> Result<(), String> {
+        if !rec.is_enabled() {
+            return Ok(());
+        }
+        let report = rec.report();
+        if let Some(path) = &self.trace {
+            std::fs::write(path, report.to_chrome_trace()).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote Chrome trace to {path} (open in chrome://tracing or ui.perfetto.dev)");
+        }
+        let rendered = report.render(self.format);
+        if let Some(path) = &self.metrics {
+            std::fs::write(path, &rendered).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {:?} report to {path}", self.format);
+        } else if self.format_explicit {
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            out.write_all(rendered.as_bytes())
+                .and_then(|()| {
+                    if rendered.ends_with('\n') {
+                        Ok(())
+                    } else {
+                        writeln!(out)
+                    }
+                })
+                .map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_extracts_flags_and_keeps_the_rest() {
+        let (obs, rest) = ObsArgs::parse(&s(&[
+            "a.mtx",
+            "--trace",
+            "t.json",
+            "--op",
+            "matmul",
+            "--obs-format",
+            "jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(obs.trace.as_deref(), Some("t.json"));
+        assert_eq!(obs.format, ObsFormat::Jsonl);
+        assert!(obs.format_explicit);
+        assert!(obs.enabled());
+        assert!(obs.recorder().is_enabled());
+        assert_eq!(rest, s(&["a.mtx", "--op", "matmul"]));
+    }
+
+    #[test]
+    fn no_flags_means_disabled_recorder() {
+        let (obs, rest) = ObsArgs::parse(&s(&["x", "y"])).unwrap();
+        assert!(!obs.enabled());
+        assert!(!obs.recorder().is_enabled());
+        assert_eq!(rest.len(), 2);
+        // emit on a disabled recorder is a no-op.
+        obs.emit(&Recorder::disabled()).unwrap();
+    }
+
+    #[test]
+    fn parse_rejects_missing_values_and_bad_formats() {
+        assert!(ObsArgs::parse(&s(&["--trace"])).is_err());
+        assert!(ObsArgs::parse(&s(&["--metrics"])).is_err());
+        assert!(ObsArgs::parse(&s(&["--obs-format", "xml"])).is_err());
+    }
+}

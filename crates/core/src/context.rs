@@ -14,6 +14,7 @@ use std::hash::Hash;
 use std::time::Instant;
 
 use mnc_matrix::CsrMatrix;
+use mnc_obs::LatencyHisto;
 
 use crate::sketch::MncSketch;
 
@@ -22,7 +23,7 @@ use crate::sketch::MncSketch;
 // ---------------------------------------------------------------------------
 
 /// Per-operation timing bucket inside [`EstimationStats`].
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct OpStat {
     /// Number of sparsity estimates for this op.
     pub estimates: u64,
@@ -32,6 +33,10 @@ pub struct OpStat {
     pub propagations: u64,
     /// Total wall-clock nanoseconds spent propagating.
     pub propagate_ns: u64,
+    /// Log₂ histogram of per-call estimate latencies.
+    pub estimate_histo: LatencyHisto,
+    /// Log₂ histogram of per-call propagate latencies.
+    pub propagate_histo: LatencyHisto,
 }
 
 /// Counters for one estimation session: synopsis builds, cache traffic, and
@@ -53,6 +58,8 @@ pub struct EstimationStats {
     pub evictions: u64,
     /// Bytes currently resident in the cache.
     pub bytes_resident: u64,
+    /// Log₂ histogram of per-call leaf-synopsis build latencies.
+    pub build_histo: LatencyHisto,
     per_op: BTreeMap<&'static str, OpStat>,
 }
 
@@ -66,6 +73,7 @@ impl EstimationStats {
     pub fn record_build(&mut self, ns: u64) {
         self.builds += 1;
         self.build_ns += ns;
+        self.build_histo.record(ns);
     }
 
     /// Records one sparsity estimate for `op` taking `ns` nanoseconds.
@@ -73,6 +81,7 @@ impl EstimationStats {
         let s = self.per_op.entry(op).or_default();
         s.estimates += 1;
         s.estimate_ns += ns;
+        s.estimate_histo.record(ns);
     }
 
     /// Records one synopsis propagation for `op` taking `ns` nanoseconds.
@@ -80,6 +89,7 @@ impl EstimationStats {
         let s = self.per_op.entry(op).or_default();
         s.propagations += 1;
         s.propagate_ns += ns;
+        s.propagate_histo.record(ns);
     }
 
     /// Fraction of cache lookups that hit, or 0 when nothing was looked up.
@@ -98,6 +108,11 @@ impl EstimationStats {
     }
 
     /// Folds another session's counters into this one.
+    ///
+    /// Latency histograms merge bucket-wise, so quantiles reported after a
+    /// merge are computed over the union of both sessions' observations —
+    /// not an average of per-session quantiles (which would understate tail
+    /// latency whenever one session is slower than the other).
     pub fn merge(&mut self, other: &EstimationStats) {
         self.builds += other.builds;
         self.build_ns += other.build_ns;
@@ -105,14 +120,30 @@ impl EstimationStats {
         self.cache_misses += other.cache_misses;
         self.evictions += other.evictions;
         self.bytes_resident = self.bytes_resident.max(other.bytes_resident);
+        self.build_histo.merge(&other.build_histo);
         for (op, s) in &other.per_op {
             let acc = self.per_op.entry(op).or_default();
             acc.estimates += s.estimates;
             acc.estimate_ns += s.estimate_ns;
             acc.propagations += s.propagations;
             acc.propagate_ns += s.propagate_ns;
+            acc.estimate_histo.merge(&s.estimate_histo);
+            acc.propagate_histo.merge(&s.propagate_histo);
         }
     }
+}
+
+/// `p50/p95/max` rendering helper for one histogram, in µs.
+fn fmt_quantiles(h: &LatencyHisto) -> String {
+    if h.count() == 0 {
+        return String::from("-");
+    }
+    format!(
+        "p50 {:.1} / p95 {:.1} / max {:.1} µs",
+        h.quantile(0.5) as f64 / 1_000.0,
+        h.quantile(0.95) as f64 / 1_000.0,
+        h.max() as f64 / 1_000.0,
+    )
 }
 
 impl fmt::Display for EstimationStats {
@@ -129,6 +160,9 @@ impl fmt::Display for EstimationStats {
             self.evictions,
             self.bytes_resident,
         )?;
+        if self.build_histo.count() > 0 {
+            writeln!(f, "  build latency: {}", fmt_quantiles(&self.build_histo))?;
+        }
         for (op, s) in &self.per_op {
             writeln!(
                 f,
@@ -138,6 +172,22 @@ impl fmt::Display for EstimationStats {
                 s.propagations,
                 s.propagate_ns as f64 / 1_000.0,
             )?;
+            if s.estimate_histo.count() > 0 {
+                writeln!(
+                    f,
+                    "  {:<10}   estimate {}",
+                    "",
+                    fmt_quantiles(&s.estimate_histo)
+                )?;
+            }
+            if s.propagate_histo.count() > 0 {
+                writeln!(
+                    f,
+                    "  {:<10}  propagate {}",
+                    "",
+                    fmt_quantiles(&s.propagate_histo)
+                )?;
+            }
         }
         Ok(())
     }
@@ -563,10 +613,39 @@ mod tests {
         merged.merge(&s);
         assert_eq!(merged.builds, 2);
         assert_eq!(merged.cache_hits, 6);
+        assert_eq!(merged.build_histo.count(), 2);
+        assert_eq!(merged.per_op["matmul"].estimate_histo.count(), 4);
 
         let text = s.to_string();
         assert!(text.contains("75% hit rate"), "{text}");
         assert!(text.contains("matmul"), "{text}");
+        assert!(text.contains("p95"), "{text}");
+    }
+
+    #[test]
+    fn merged_quantiles_come_from_the_union_not_a_mean_of_means() {
+        // Session A: 99 fast estimates; session B: one slow estimate. A
+        // mean-of-per-session-p95s would report ~half the slow latency; the
+        // bucket-additive merge must keep p95 in the fast range while max is
+        // exact.
+        let mut a = EstimationStats::new();
+        for _ in 0..99 {
+            a.record_estimate("matmul", 10);
+        }
+        let mut b = EstimationStats::new();
+        b.record_estimate("matmul", 1_000_000);
+        let mut merged = EstimationStats::new();
+        merged.merge(&a);
+        merged.merge(&b);
+        let m = &merged
+            .per_op()
+            .find(|(op, _)| *op == "matmul")
+            .unwrap()
+            .1
+            .estimate_histo;
+        assert_eq!(m.count(), 100);
+        assert!(m.quantile(0.95) <= 15, "p95 {}", m.quantile(0.95));
+        assert_eq!(m.max(), 1_000_000);
     }
 
     #[test]

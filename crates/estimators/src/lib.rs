@@ -28,6 +28,7 @@ pub mod bitset;
 pub mod density_map;
 pub mod dynamic_density_map;
 pub mod hashing;
+pub mod instrument;
 pub mod layered_graph;
 pub mod meta;
 pub mod mnc;
@@ -42,6 +43,7 @@ pub use bitset::BitsetEstimator;
 pub use density_map::DensityMapEstimator;
 pub use dynamic_density_map::DynamicDensityMapEstimator;
 pub use hashing::HashEstimator;
+pub use instrument::InstrumentedEstimator;
 pub use layered_graph::LayeredGraphEstimator;
 pub use meta::{MetaAcEstimator, MetaWcEstimator};
 pub use mnc::MncEstimator;

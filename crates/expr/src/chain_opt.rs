@@ -136,6 +136,7 @@ pub fn sparse_chain_order_cached(
     mats: &[Arc<CsrMatrix>],
 ) -> mnc_estimators::Result<(f64, PlanTree)> {
     use mnc_estimators::{EstimatorError, Synopsis};
+    let _span = ctx.recorder().span("chain_opt").op("matmul");
     let mut sketches = Vec::with_capacity(mats.len());
     for m in mats {
         let syn = ctx.leaf_synopsis(est, m)?;

@@ -36,10 +36,13 @@ pub use dag::{ExprDag, ExprNode, NodeId};
 pub use estimate::{estimate_all, estimate_root, NodeEstimate};
 pub use eval::Evaluator;
 pub use planner::{Format, NodePlan, PlanSummary, Planner};
-pub use rewrite::{rewrite_mm_chains, RewriteResult};
+pub use rewrite::{rewrite_mm_chains, rewrite_mm_chains_with_context, RewriteResult};
 pub use session::{EstimationContext, SynopsisKey};
 
 // Re-exported so downstream crates write `mnc_expr::SparsityEstimator`
 // (and read `mnc_expr::EstimationStats` off a context).
 pub use mnc_core::{EstimationStats, OpStat};
 pub use mnc_estimators::{OpKind, SparsityEstimator, Synopsis};
+// Observability: attach a `Recorder` via `EstimationContext::with_recorder`,
+// export with `Recorder::report()`.
+pub use mnc_obs::{ObsFormat, Recorder, Report};

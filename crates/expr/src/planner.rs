@@ -125,6 +125,7 @@ impl Planner {
         dag: &ExprDag,
         ctx: &mut EstimationContext,
     ) -> Result<PlanSummary> {
+        let _span = ctx.recorder().span("plan").op(est.name());
         let synopses = ctx.materialize_all(est, dag)?;
         let mut nodes = Vec::with_capacity(dag.len());
         for (id, node) in dag.iter() {

@@ -75,6 +75,7 @@ pub fn rewrite_mm_chains_with_context(
     cfg: &MncConfig,
     ctx: &mut EstimationContext,
 ) -> Result<RewriteResult> {
+    let span = ctx.recorder().span("rewrite").op("matmul");
     let consumers = consumer_counts(dag);
     let mnc = mnc_estimators::MncEstimator::with_config("MNC", *cfg);
 
@@ -116,6 +117,7 @@ pub fn rewrite_mm_chains_with_context(
         };
         node_map.insert(id, new_id);
     }
+    drop(span);
     Ok(RewriteResult {
         dag: out,
         node_map,

@@ -28,6 +28,7 @@ use std::sync::Arc;
 use mnc_core::{EstimationStats, LruSynopsisCache, OpTimer};
 use mnc_estimators::{Result, SparsityEstimator, Synopsis};
 use mnc_matrix::CsrMatrix;
+use mnc_obs::{Counter, Gauge, Histogram, Recorder};
 
 use crate::dag::{ExprDag, ExprNode, NodeId};
 use crate::estimate::NodeEstimate;
@@ -105,6 +106,16 @@ impl SynopsisKey {
 pub struct EstimationContext {
     cache: LruSynopsisCache<(String, SynopsisKey), Arc<Synopsis>>,
     stats: EstimationStats,
+    rec: Recorder,
+    // Metric handles are resolved once per context (registry lookups take a
+    // mutex) and are no-ops when the recorder is disabled.
+    m_hit: Counter,
+    m_miss: Counter,
+    m_evict: Counter,
+    g_resident: Gauge,
+    h_build: Histogram,
+    h_estimate: Histogram,
+    h_propagate: Histogram,
 }
 
 impl Default for EstimationContext {
@@ -125,7 +136,40 @@ impl EstimationContext {
         EstimationContext {
             cache: LruSynopsisCache::new(byte_budget),
             stats: EstimationStats::new(),
+            rec: Recorder::disabled(),
+            m_hit: Counter::noop(),
+            m_miss: Counter::noop(),
+            m_evict: Counter::noop(),
+            g_resident: Gauge::noop(),
+            h_build: Histogram::noop(),
+            h_estimate: Histogram::noop(),
+            h_propagate: Histogram::noop(),
         }
+    }
+
+    /// Attaches an observability [`Recorder`]: every build, estimate, and
+    /// propagate in this session becomes a span, and the cache feeds the
+    /// recorder's metrics registry (`cache.hit`/`cache.miss`/
+    /// `cache.evictions` counters, `cache.bytes_resident` gauge,
+    /// `session.*_ns` latency histograms). A disabled recorder restores the
+    /// zero-overhead path.
+    pub fn with_recorder(mut self, rec: Recorder) -> Self {
+        self.m_hit = rec.counter("cache.hit");
+        self.m_miss = rec.counter("cache.miss");
+        self.m_evict = rec.counter("cache.evictions");
+        self.g_resident = rec.gauge("cache.bytes_resident");
+        self.h_build = rec.histogram("session.build_ns");
+        self.h_estimate = rec.histogram("session.estimate_ns");
+        self.h_propagate = rec.histogram("session.propagate_ns");
+        self.rec = rec;
+        self
+    }
+
+    /// The session's recorder (disabled unless [`with_recorder`] was used).
+    ///
+    /// [`with_recorder`]: EstimationContext::with_recorder
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 
     /// Session counters collected so far.
@@ -144,6 +188,7 @@ impl EstimationContext {
     pub fn clear_cache(&mut self) {
         self.cache.clear();
         self.stats.bytes_resident = 0;
+        self.g_resident.set(0);
     }
 
     /// Number of synopses currently cached.
@@ -162,12 +207,22 @@ impl EstimationContext {
         let key = (est.cache_key(), SynopsisKey::leaf(m));
         if let Some(syn) = self.cache.get(&key) {
             self.stats.cache_hits += 1;
+            self.m_hit.incr();
             return Ok(Arc::clone(syn));
         }
         self.stats.cache_misses += 1;
+        self.m_miss.incr();
+        let mut span = self.rec.span("build").op(est.name()).nnz_in(m.nnz() as u64);
         let t = OpTimer::start();
         let syn = Arc::new(est.build(m)?);
-        self.stats.record_build(t.elapsed_ns());
+        let ns = t.elapsed_ns();
+        self.stats.record_build(ns);
+        self.h_build.record(ns);
+        if self.rec.is_enabled() {
+            span.set_nnz_out(syn.nnz());
+            span.set_bytes(syn.size_bytes());
+        }
+        drop(span);
         self.admit(key, &syn);
         Ok(syn)
     }
@@ -203,9 +258,18 @@ impl EstimationContext {
                     self.materialize(est, dag, i, &mut memo)?;
                 }
                 let ins: Vec<&Synopsis> = inputs.iter().map(|i| memo[i].as_ref()).collect();
+                let mut span = self.rec.span("estimate").op(op.name());
+                if self.rec.is_enabled() {
+                    // Synopsis::nnz() is not free for every synopsis type
+                    // (bitsets count bits), so only pay for it when tracing.
+                    span = span.nnz_in(ins.iter().map(|s| s.nnz()).sum());
+                }
                 let t = OpTimer::start();
                 let s = est.estimate(op, &ins)?;
-                self.stats.record_estimate(op.name(), t.elapsed_ns());
+                let ns = t.elapsed_ns();
+                drop(span);
+                self.stats.record_estimate(op.name(), ns);
+                self.h_estimate.record(ns);
                 Ok(s)
             }
         }
@@ -265,16 +329,29 @@ impl EstimationContext {
                 let key = (est.cache_key(), SynopsisKey::node(dag, id));
                 if let Some(syn) = self.cache.get(&key) {
                     self.stats.cache_hits += 1;
+                    self.m_hit.incr();
                     Arc::clone(syn)
                 } else {
                     self.stats.cache_misses += 1;
+                    self.m_miss.incr();
                     for &i in inputs {
                         self.materialize(est, dag, i, memo)?;
                     }
                     let ins: Vec<&Synopsis> = inputs.iter().map(|i| memo[i].as_ref()).collect();
+                    let mut span = self.rec.span("propagate").op(op.name());
+                    if self.rec.is_enabled() {
+                        span = span.nnz_in(ins.iter().map(|s| s.nnz()).sum());
+                    }
                     let t = OpTimer::start();
                     let syn = Arc::new(est.propagate(op, &ins)?);
-                    self.stats.record_propagate(op.name(), t.elapsed_ns());
+                    let ns = t.elapsed_ns();
+                    self.stats.record_propagate(op.name(), ns);
+                    self.h_propagate.record(ns);
+                    if self.rec.is_enabled() {
+                        span.set_nnz_out(syn.nnz());
+                        span.set_bytes(syn.size_bytes());
+                    }
+                    drop(span);
                     self.admit(key, &syn);
                     syn
                 }
@@ -288,8 +365,13 @@ impl EstimationContext {
     fn admit(&mut self, key: (String, SynopsisKey), syn: &Arc<Synopsis>) {
         let bytes = usize::try_from(syn.size_bytes()).unwrap_or(usize::MAX);
         self.cache.insert(key, Arc::clone(syn), bytes);
+        let evicted = self.cache.evictions() - self.stats.evictions;
+        if evicted > 0 {
+            self.m_evict.add(evicted);
+        }
         self.stats.evictions = self.cache.evictions();
         self.stats.bytes_resident = self.cache.bytes_resident() as u64;
+        self.g_resident.set(self.stats.bytes_resident as i64);
     }
 }
 
@@ -446,7 +528,7 @@ mod tests {
             .stats()
             .per_op()
             .find(|(op, _)| *op == OpKind::MatMul.name())
-            .map(|(_, s)| *s)
+            .map(|(_, s)| s.clone())
             .expect("matmul bucket");
         assert_eq!(matmul.estimates, 1); // root estimated
         assert_eq!(matmul.propagations, 1); // AB propagated
@@ -461,6 +543,49 @@ mod tests {
         ctx.clear_cache();
         assert_eq!(ctx.stats().bytes_resident, 0);
         assert_eq!(ctx.cached_synopses(), 0);
+    }
+
+    #[test]
+    fn recorder_attached_session_traces_without_changing_results() {
+        let (dag, root) = chain_dag(10);
+
+        // Fresh estimator per walk: MNC's probabilistic rounding stream
+        // advances per propagate, so sharing one instance would diverge for
+        // reasons unrelated to tracing.
+        let mut plain = EstimationContext::new();
+        let baseline = plain
+            .estimate_root(&MncEstimator::new(), &dag, root)
+            .unwrap();
+
+        let est = MncEstimator::new();
+        let rec = Recorder::enabled();
+        let mut traced = EstimationContext::new().with_recorder(rec.clone());
+        let s = traced.estimate_root(&est, &dag, root).unwrap();
+        assert_eq!(s.to_bits(), baseline.to_bits(), "tracing must not perturb");
+
+        // Cold walk: 3 builds, 1 propagate (AB), 1 root estimate.
+        let spans = rec.spans();
+        assert_eq!(spans.iter().filter(|s| s.name == "build").count(), 3);
+        assert_eq!(spans.iter().filter(|s| s.name == "propagate").count(), 1);
+        assert_eq!(spans.iter().filter(|s| s.name == "estimate").count(), 1);
+        let prop = spans.iter().find(|s| s.name == "propagate").unwrap();
+        assert_eq!(prop.op.as_deref(), Some("matmul"));
+        assert!(prop.synopsis_bytes.is_some());
+
+        // Registry mirrors the session stats.
+        let snap = rec.registry().unwrap().snapshot();
+        assert_eq!(snap.counters["cache.miss"], traced.stats().cache_misses);
+        assert_eq!(snap.histograms["session.build_ns"].count(), 3);
+        assert_eq!(
+            snap.gauges["cache.bytes_resident"],
+            traced.stats().bytes_resident as i64
+        );
+
+        // Warm walk adds hits to both views.
+        traced.estimate_root(&est, &dag, root).unwrap();
+        let snap = rec.registry().unwrap().snapshot();
+        assert_eq!(snap.counters["cache.hit"], traced.stats().cache_hits);
+        assert!(snap.counters["cache.hit"] > 0);
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Property-based guarantee that observability is purely passive: attaching
+//! a recorder to an estimation session (or wrapping an estimator in
+//! `InstrumentedEstimator`) never changes any estimate, bit for bit.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use mnc_estimators::{BitsetEstimator, InstrumentedEstimator, MncEstimator, OpKind};
+use mnc_expr::{EstimationContext, ExprDag, NodeId, Recorder};
+use mnc_matrix::{gen, CsrMatrix};
+
+fn make(rows: usize, cols: usize, s: f64, seed: u64) -> Arc<CsrMatrix> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Arc::new(gen::rand_uniform(&mut rng, rows, cols, s))
+}
+
+/// A random expression over `k` square matrices of dimension `d`: fold the
+/// leaves together with ops picked by `op_bits`, so every generated DAG is
+/// shape-valid.
+fn random_dag(d: usize, sparsities: &[f64], op_bits: u64, seed: u64) -> (ExprDag, NodeId) {
+    let mut dag = ExprDag::new();
+    let leaves: Vec<NodeId> = sparsities
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let m = make(d, d, s, seed.wrapping_add(i as u64));
+            dag.leaf(format!("L{i}"), m)
+        })
+        .collect();
+    let mut acc = leaves[0];
+    for (i, &l) in leaves[1..].iter().enumerate() {
+        let op = match (op_bits >> (2 * i)) & 0b11 {
+            0 => OpKind::MatMul,
+            1 => OpKind::EwAdd,
+            2 => OpKind::EwMul,
+            _ => OpKind::EwMax,
+        };
+        acc = dag.op(op, &[acc, l]).expect("square shapes always agree");
+    }
+    (dag, acc)
+}
+
+// The vendored proptest stub has no `collection::vec`; draw up to five
+// sparsities as a tuple and truncate to `k` leaves.
+type Params = (usize, usize, (f64, f64, f64, f64, f64), u64, u64);
+
+fn params() -> impl Strategy<Value = Params> {
+    (
+        4usize..40,
+        2usize..6,
+        (
+            0.0f64..0.6,
+            0.0f64..0.6,
+            0.0f64..0.6,
+            0.0f64..0.6,
+            0.0f64..0.6,
+        ),
+        any::<u64>(),
+        any::<u64>(),
+    )
+}
+
+fn sparsity_vec(k: usize, s: (f64, f64, f64, f64, f64)) -> Vec<f64> {
+    let all = [s.0, s.1, s.2, s.3, s.4];
+    all[..k].to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Recorder on, recorder off, and no recorder at all produce
+    /// bit-identical estimates. Fresh `MncEstimator` instances per session
+    /// keep the probabilistic-rounding RNG streams aligned, so any
+    /// divergence would be the recorder's fault.
+    #[test]
+    fn tracing_never_changes_estimates((d, k, raw, op_bits, seed) in params()) {
+        let sparsities = sparsity_vec(k, raw);
+        let (dag, root) = random_dag(d, &sparsities, op_bits, seed);
+
+        let mut plain_ctx = EstimationContext::new();
+        let plain = plain_ctx
+            .estimate_root(&MncEstimator::new(), &dag, root)
+            .expect("plain estimate");
+
+        let rec = Recorder::enabled();
+        let mut traced_ctx = EstimationContext::new().with_recorder(rec.clone());
+        let traced = traced_ctx
+            .estimate_root(&MncEstimator::new(), &dag, root)
+            .expect("traced estimate");
+
+        let mut off_ctx = EstimationContext::new().with_recorder(Recorder::disabled());
+        let off = off_ctx
+            .estimate_root(&MncEstimator::new(), &dag, root)
+            .expect("disabled-recorder estimate");
+
+        prop_assert_eq!(plain.to_bits(), traced.to_bits(),
+            "enabled recorder perturbed the estimate");
+        prop_assert_eq!(plain.to_bits(), off.to_bits(),
+            "disabled recorder perturbed the estimate");
+        // The traced session must actually have observed the walk.
+        prop_assert!(rec.span_count() > 0, "enabled recorder saw no spans");
+    }
+
+    /// `InstrumentedEstimator` is transparent: wrapped and bare estimators
+    /// agree bit for bit, with tracing on or off.
+    #[test]
+    fn instrumented_estimator_is_transparent((d, k, raw, op_bits, seed) in params()) {
+        let sparsities = sparsity_vec(k, raw);
+        let (dag, root) = random_dag(d, &sparsities, op_bits, seed);
+
+        let mut bare_ctx = EstimationContext::new();
+        let bare = bare_ctx
+            .estimate_root(&BitsetEstimator::default(), &dag, root)
+            .expect("bare estimate");
+
+        for rec in [Recorder::enabled(), Recorder::disabled()] {
+            let est = InstrumentedEstimator::new(BitsetEstimator::default(), rec);
+            let mut ctx = EstimationContext::new();
+            let wrapped = ctx.estimate_root(&est, &dag, root).expect("wrapped estimate");
+            prop_assert_eq!(bare.to_bits(), wrapped.to_bits(),
+                "InstrumentedEstimator changed the estimate");
+        }
+    }
+}

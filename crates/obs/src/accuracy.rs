@@ -1,0 +1,152 @@
+//! Accuracy telemetry: estimated-vs-actual sparsity records, emitted
+//! wherever ground truth is available (the SparsEst runner, eval paths),
+//! plus per-estimator summaries for reports.
+
+use std::collections::BTreeMap;
+
+/// One estimated-vs-actual observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyRecord {
+    /// Use-case or site label (`"B1.1"`, `"B3.3/PGG"`), possibly empty.
+    pub case: String,
+    /// Root operation estimated (`"matmul"`, `"leaf"`).
+    pub op: String,
+    /// Estimator display name (`"MNC"`).
+    pub estimator: String,
+    /// The estimator's output sparsity.
+    pub estimated_sparsity: f64,
+    /// Ground-truth output sparsity.
+    pub actual_sparsity: f64,
+    /// Symmetric relative error `max(s, ŝ)/min(s, ŝ)` (≥ 1, `INF` when
+    /// exactly one side is zero, 1 when both are).
+    pub relative_error: f64,
+    /// Emission time in ns since the recorder epoch (stamped by the
+    /// recorder when left at 0).
+    pub ts_ns: u64,
+}
+
+impl AccuracyRecord {
+    /// Builds a record, computing the symmetric relative error with the
+    /// SparsEst conventions (both near-zero → 1, exactly one zero → `INF`).
+    pub fn new(
+        case: impl Into<String>,
+        op: impl Into<String>,
+        estimator: impl Into<String>,
+        estimated_sparsity: f64,
+        actual_sparsity: f64,
+    ) -> AccuracyRecord {
+        AccuracyRecord {
+            case: case.into(),
+            op: op.into(),
+            estimator: estimator.into(),
+            estimated_sparsity,
+            actual_sparsity,
+            relative_error: symmetric_relative_error(actual_sparsity, estimated_sparsity),
+            ts_ns: 0,
+        }
+    }
+}
+
+/// The SparsEst M1 metric: `max(s, ŝ)/min(s, ŝ)`, with both-zero → 1 and
+/// one-zero → `INF`. (Duplicated from `mnc-sparsest` so the dependency-free
+/// telemetry layer can stamp records on its own; the runner passes its own
+/// value through unchanged.)
+pub fn symmetric_relative_error(truth: f64, estimate: f64) -> f64 {
+    const EPS: f64 = 1e-15;
+    let t = truth.max(0.0);
+    let e = estimate.max(0.0);
+    if t < EPS && e < EPS {
+        return 1.0;
+    }
+    if t < EPS || e < EPS {
+        return f64::INFINITY;
+    }
+    t.max(e) / t.min(e)
+}
+
+/// Per-estimator aggregate over a batch of records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracySummary {
+    /// Estimator display name.
+    pub estimator: String,
+    /// Number of records.
+    pub count: usize,
+    /// Records with non-finite relative error (zero/non-zero mismatches).
+    pub infinite: usize,
+    /// Geometric mean of the finite relative errors (the natural average
+    /// for a ratio metric; 0 when no finite records).
+    pub geo_mean_error: f64,
+    /// Worst finite relative error and the case it came from.
+    pub worst: Option<(String, f64)>,
+}
+
+/// Groups records by estimator (sorted by name) and aggregates.
+pub fn summarize(records: &[AccuracyRecord]) -> Vec<AccuracySummary> {
+    let mut by_est: BTreeMap<&str, Vec<&AccuracyRecord>> = BTreeMap::new();
+    for r in records {
+        by_est.entry(&r.estimator).or_default().push(r);
+    }
+    by_est
+        .into_iter()
+        .map(|(est, rs)| {
+            let finite: Vec<&&AccuracyRecord> =
+                rs.iter().filter(|r| r.relative_error.is_finite()).collect();
+            let geo_mean_error = if finite.is_empty() {
+                0.0
+            } else {
+                let log_sum: f64 = finite.iter().map(|r| r.relative_error.ln()).sum();
+                (log_sum / finite.len() as f64).exp()
+            };
+            let worst = finite
+                .iter()
+                .max_by(|a, b| {
+                    a.relative_error
+                        .partial_cmp(&b.relative_error)
+                        .expect("finite errors compare")
+                })
+                .map(|r| (r.case.clone(), r.relative_error));
+            AccuracySummary {
+                estimator: est.to_string(),
+                count: rs.len(),
+                infinite: rs.len() - finite.len(),
+                geo_mean_error,
+                worst,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_conventions() {
+        assert_eq!(symmetric_relative_error(0.0, 0.0), 1.0);
+        assert_eq!(symmetric_relative_error(0.5, 0.0), f64::INFINITY);
+        assert_eq!(symmetric_relative_error(0.0, 0.5), f64::INFINITY);
+        assert_eq!(symmetric_relative_error(0.1, 0.2), 2.0);
+        assert_eq!(symmetric_relative_error(0.2, 0.1), 2.0);
+    }
+
+    #[test]
+    fn summaries_group_and_aggregate() {
+        let records = vec![
+            AccuracyRecord::new("B1.1", "matmul", "MNC", 0.1, 0.1),
+            AccuracyRecord::new("B1.2", "matmul", "MNC", 0.2, 0.1),
+            AccuracyRecord::new("B1.1", "matmul", "Sample", 0.0, 0.1),
+        ];
+        let sums = summarize(&records);
+        assert_eq!(sums.len(), 2);
+        let mnc = sums.iter().find(|s| s.estimator == "MNC").unwrap();
+        assert_eq!(mnc.count, 2);
+        assert_eq!(mnc.infinite, 0);
+        // Geometric mean of {1, 2} = sqrt(2).
+        assert!((mnc.geo_mean_error - 2f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mnc.worst.as_ref().unwrap().0, "B1.2");
+        let sample = sums.iter().find(|s| s.estimator == "Sample").unwrap();
+        assert_eq!(sample.infinite, 1);
+        assert_eq!(sample.geo_mean_error, 0.0);
+        assert!(sample.worst.is_none());
+    }
+}

@@ -20,11 +20,13 @@
 
 pub mod datasets;
 pub mod metrics;
+pub mod regression;
 pub mod runner;
 pub mod runtime;
 pub mod usecases;
 
 pub use datasets::Datasets;
 pub use metrics::relative_error;
+pub use regression::{b1_thresholds, check_thresholds, Threshold, Violation};
 pub use runner::{run_case, CaseResult, Outcome};
 pub use usecases::UseCase;

@@ -1,0 +1,165 @@
+//! Accuracy-regression gating: per-case relative-error thresholds checked
+//! against the session's accuracy telemetry.
+//!
+//! The thresholds ship as a TSV file checked into the crate
+//! (`data/b1_thresholds.tsv`); the `sparsest` binary evaluates them against
+//! the [`AccuracyRecord`]s collected by the benchmark run and exits non-zero
+//! on any violation, turning estimator accuracy into a CI-enforceable
+//! property instead of a number somebody has to eyeball.
+
+use mnc_obs::AccuracyRecord;
+
+/// One `(case, estimator)` accuracy bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Threshold {
+    /// Use-case id, e.g. `"B1.3"`.
+    pub case: String,
+    /// Estimator display name, e.g. `"MNC"`.
+    pub estimator: String,
+    /// Maximum allowed symmetric relative error (≥ 1.0; 1.0 means exact).
+    pub max_error: f64,
+}
+
+/// A threshold exceeded by a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// The bound that was broken.
+    pub threshold: Threshold,
+    /// The observed relative error (`INF` for zero/non-zero mismatches).
+    pub observed: f64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} / {}: relative error {:.6} exceeds threshold {:.6}",
+            self.threshold.case, self.threshold.estimator, self.observed, self.threshold.max_error
+        )
+    }
+}
+
+/// Parses threshold lines (`case <TAB> estimator <TAB> max_error`); `#`
+/// comments and blank lines are skipped. Malformed lines are an error — a
+/// silently dropped threshold would pass CI while checking nothing.
+pub fn parse_thresholds(text: &str) -> Result<Vec<Threshold>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 3 {
+            return Err(format!(
+                "thresholds line {}: expected 3 tab-separated fields, got {}",
+                lineno + 1,
+                fields.len()
+            ));
+        }
+        let max_error: f64 = fields[2]
+            .trim()
+            .parse()
+            .map_err(|e| format!("thresholds line {}: bad max_error: {e}", lineno + 1))?;
+        if max_error < 1.0 || max_error.is_nan() {
+            return Err(format!(
+                "thresholds line {}: max_error {max_error} must be >= 1.0",
+                lineno + 1
+            ));
+        }
+        out.push(Threshold {
+            case: fields[0].trim().to_string(),
+            estimator: fields[1].trim().to_string(),
+            max_error,
+        });
+    }
+    Ok(out)
+}
+
+/// The checked-in B1 thresholds (`data/b1_thresholds.tsv`).
+pub fn b1_thresholds() -> Vec<Threshold> {
+    parse_thresholds(include_str!("../data/b1_thresholds.tsv"))
+        .expect("checked-in threshold file parses")
+}
+
+/// Checks accuracy telemetry against thresholds. Every record whose
+/// `(case, estimator)` matches a threshold is gated — a non-finite error
+/// (zero/non-zero sparsity mismatch) always violates. Thresholds whose
+/// pairing produced no record are ignored (the benchmark may run a subset
+/// of cases or estimators).
+pub fn check_thresholds(records: &[AccuracyRecord], thresholds: &[Threshold]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for t in thresholds {
+        for r in records {
+            if r.case == t.case && r.estimator == t.estimator {
+                let bad = !r.relative_error.is_finite() || r.relative_error > t.max_error;
+                if bad {
+                    violations.push(Violation {
+                        threshold: t.clone(),
+                        observed: r.relative_error,
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(case: &str, est: &str, err: f64) -> AccuracyRecord {
+        AccuracyRecord {
+            case: case.into(),
+            op: "matmul".into(),
+            estimator: est.into(),
+            estimated_sparsity: 0.1,
+            actual_sparsity: 0.1,
+            relative_error: err,
+            ts_ns: 0,
+        }
+    }
+
+    #[test]
+    fn checked_in_thresholds_parse_and_cover_all_b1_cases_for_mnc() {
+        let ts = b1_thresholds();
+        for case in ["B1.1", "B1.2", "B1.3", "B1.4", "B1.5"] {
+            assert!(
+                ts.iter().any(|t| t.case == case && t.estimator == "MNC"),
+                "missing MNC threshold for {case}"
+            );
+        }
+        assert!(ts.iter().all(|t| t.max_error >= 1.0));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_thresholds("B1.1\tMNC").is_err());
+        assert!(parse_thresholds("B1.1\tMNC\tnot-a-number").is_err());
+        assert!(parse_thresholds("B1.1\tMNC\t0.5").is_err(), "below 1.0");
+        let ok = parse_thresholds("# comment\n\nB1.1\tMNC\t1.25\n").unwrap();
+        assert_eq!(ok.len(), 1);
+        assert_eq!(ok[0].max_error, 1.25);
+    }
+
+    #[test]
+    fn violations_flag_exceeded_and_infinite_errors_only() {
+        let thresholds = parse_thresholds("B1.1\tMNC\t1.05\nB1.2\tMNC\t1.05").unwrap();
+        let records = vec![
+            record("B1.1", "MNC", 1.0),           // within bound
+            record("B1.2", "MNC", 2.0),           // exceeds
+            record("B1.1", "Sample", 50.0),       // no threshold -> ignored
+            record("B1.9", "MNC", 99.0),          // unknown case -> ignored
+            record("B1.1", "MNC", f64::INFINITY), // always violates
+        ];
+        let v = check_thresholds(&records, &thresholds);
+        assert_eq!(v.len(), 2);
+        assert!(v
+            .iter()
+            .any(|x| x.threshold.case == "B1.2" && x.observed == 2.0));
+        assert!(v.iter().any(|x| x.observed.is_infinite()));
+        let msg = v[0].to_string();
+        assert!(msg.contains("exceeds threshold"), "{msg}");
+    }
+}

@@ -1,7 +1,8 @@
 //! Drives estimators over use cases and reports outcomes.
 
 use mnc_estimators::{EstimatorError, SparsityEstimator};
-use mnc_expr::{estimate_root, EstimationContext, Evaluator};
+use mnc_expr::{estimate_root, EstimationContext, Evaluator, ExprNode};
+use mnc_obs::AccuracyRecord;
 
 use crate::metrics::relative_error;
 use crate::usecases::UseCase;
@@ -150,9 +151,15 @@ fn one_result(
     est: &dyn SparsityEstimator,
     ctx: Option<&mut EstimationContext>,
 ) -> CaseResult {
-    let estimate = match ctx {
-        Some(ctx) => ctx.estimate_root(est, &case.dag, node),
-        None => estimate_root(est, &case.dag, node),
+    let (estimate, recorder) = match ctx {
+        Some(ctx) => (
+            ctx.estimate_root(est, &case.dag, node),
+            ctx.recorder().clone(),
+        ),
+        None => (
+            estimate_root(est, &case.dag, node),
+            mnc_obs::Recorder::disabled(),
+        ),
     };
     let outcome = match estimate {
         Ok(s) => Outcome::Estimate {
@@ -161,6 +168,30 @@ fn one_result(
         },
         Err(e) => classify(e),
     };
+    // Accuracy telemetry: ground truth is available here, so every produced
+    // estimate becomes one accuracy record on the session's recorder. The
+    // relative error is passed through from the benchmark's own M1 metric.
+    if recorder.is_enabled() {
+        if let Outcome::Estimate {
+            estimate,
+            relative_error,
+        } = &outcome
+        {
+            let op = match case.dag.node(node) {
+                ExprNode::Op { op, .. } => op.name(),
+                ExprNode::Leaf { .. } => "leaf",
+            };
+            recorder.record_accuracy(AccuracyRecord {
+                case: id.to_string(),
+                op: op.to_string(),
+                estimator: est.name().to_string(),
+                estimated_sparsity: *estimate,
+                actual_sparsity: truth,
+                relative_error: *relative_error,
+                ts_ns: 0,
+            });
+        }
+    }
     CaseResult {
         case: id.to_string(),
         estimator: est.name(),

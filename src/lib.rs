@@ -15,7 +15,10 @@
 //! * [`expr`] — expression DAGs, generic sketch propagation, and the
 //!   sparsity-aware matrix-chain optimizer (Appendix C);
 //! * [`sparsest`] — the SparsEst benchmark (Section 5): use cases, dataset
-//!   substitutes, and accuracy/runtime metrics.
+//!   substitutes, and accuracy/runtime metrics;
+//! * [`obs`] — zero-dependency observability: hierarchical spans, a
+//!   metrics registry, accuracy telemetry, and exporters (human table,
+//!   JSONL, Chrome `trace_event` JSON for Perfetto).
 //!
 //! Beyond the paper's evaluation, the workspace implements its future-work
 //! items: distributed sketch construction over partitioned matrices with a
@@ -52,4 +55,5 @@ pub use mnc_core as core;
 pub use mnc_estimators as estimators;
 pub use mnc_expr as expr;
 pub use mnc_matrix as matrix;
+pub use mnc_obs as obs;
 pub use mnc_sparsest as sparsest;
