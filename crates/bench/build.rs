@@ -1,0 +1,34 @@
+//! Captures the environment fingerprint at compile time: the workspace has
+//! no build dependencies, so rustc version and git sha are shelled out here
+//! and handed to the crate as env vars (`EnvInfo` reads them).
+
+use std::process::Command;
+
+fn capture(cmd: &str, args: &[&str]) -> String {
+    Command::new(cmd)
+        .args(args)
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() {
+    let rustc = std::env::var("RUSTC").unwrap_or_else(|_| "rustc".to_string());
+    println!(
+        "cargo:rustc-env=MNC_RUSTC_VERSION={}",
+        capture(&rustc, &["--version"])
+    );
+    println!(
+        "cargo:rustc-env=MNC_GIT_SHA={}",
+        capture("git", &["rev-parse", "--short=12", "HEAD"])
+    );
+    // Re-run when HEAD moves so the sha stays honest.
+    let dir = capture("git", &["rev-parse", "--git-dir"]);
+    if dir != "unknown" {
+        println!("cargo:rerun-if-changed={dir}/HEAD");
+    }
+}

@@ -23,7 +23,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mnc_bench::{env_reps, env_scale, fmt_duration, ObsArgs, OBS_USAGE};
+use mnc_bench::{env_reps, env_scale, fmt_duration, EnvInfo, ObsArgs, OBS_USAGE};
 use mnc_estimators::MncEstimator;
 use mnc_expr::{estimate_root, EstimationContext, ExprDag, NodeId, Planner, Recorder};
 use mnc_matrix::{gen, CsrMatrix};
@@ -307,7 +307,8 @@ fn main() -> ExitCode {
     // Stable-schema JSON record on stdout. Field set is append-only: tools
     // may rely on every field below existing in all future versions.
     println!(
-        "{{\"schema\": \"mnc.cache_bench.v1\", {}, \"reps\": {}, {}, {}, {}, {}, \"synopses_built\": {}, \"cache_hits\": {}, \"cache_misses\": {}, {}, {}, {}}}",
+        "{{\"schema\": \"mnc.cache_bench.v1\", \"env\": {}, {}, \"reps\": {}, {}, {}, {}, {}, \"synopses_built\": {}, \"cache_hits\": {}, \"cache_misses\": {}, {}, {}, {}}}",
+        EnvInfo::capture(scale, reps).to_json(),
         json_field("scale", scale),
         reps,
         json_field("uncached_s", uncached.as_secs_f64()),

@@ -1,0 +1,139 @@
+//! `mnc-perf` — the perf/memory trajectory harness.
+//!
+//! Runs the fixed suite from [`mnc_bench::perf`] and writes the
+//! stable-schema `BENCH_MNC.json` record: per-workload latency quantiles
+//! aggregated from `mnc-obs` spans, measured synopsis heap bytes for every
+//! estimator, per-estimator accuracy summaries, and the environment
+//! fingerprint. A per-phase time-attribution table goes to stderr.
+//!
+//! ```text
+//! MNC_SCALE=0.1 MNC_REPS=3 cargo run --release --bin mnc-perf
+//! mnc-perf --baseline BENCH_MNC.json      # regression gate (non-zero exit)
+//! mnc-perf --out -                        # record to stdout instead
+//! ```
+//!
+//! `MNC_PERF_INJECT=latency=100` (or `memory=`, `accuracy=`, `infinite=`)
+//! deliberately corrupts the metrics after collection, so CI can prove the
+//! baseline gate actually fails — see `perf::apply_injection`.
+//!
+//! Build with `--features alloc-track` to add per-workload allocation
+//! totals and the process peak to the record (bit-identical estimates, just
+//! more columns).
+
+use std::process::ExitCode;
+
+use mnc_bench::perf::{apply_injection, compare_to_baseline, render_json, run_suite};
+use mnc_bench::{env_reps, env_scale, ObsArgs, OBS_USAGE};
+
+fn usage() -> String {
+    format!("usage: mnc-perf [--out <file|->] [--baseline <file>] {OBS_USAGE}")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (obs, rest) = match ObsArgs::parse(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let mut out_path = "BENCH_MNC.json".to_string();
+    let mut baseline: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("error: --out needs a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline = Some(p.clone()),
+                None => {
+                    eprintln!("error: --baseline needs a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let scale = env_scale(1.0);
+    let reps = env_reps(5);
+    eprintln!("================================================================");
+    eprintln!("mnc-perf — fixed suite: estimators / chain / cache / sparsest-b1");
+    eprintln!("scale {scale}, {reps} reps; record schema mnc.perf.v1");
+    eprintln!("================================================================");
+
+    let (mut report, rec) = run_suite(scale, reps);
+
+    if let Ok(spec) = std::env::var("MNC_PERF_INJECT") {
+        match apply_injection(&mut report.metrics, &spec) {
+            Ok(applied) => {
+                for line in applied {
+                    eprintln!("MNC_PERF_INJECT: {line}");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: MNC_PERF_INJECT: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    eprintln!("\nper-phase time attribution (self time, from the span tree):");
+    eprint!("{}", report.attribution);
+
+    // Optional --trace / --metrics / --obs-format output from the suite's
+    // recorder (Chrome trace, Prometheus exposition, ...).
+    if let Err(e) = obs.emit(&rec) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let json = render_json(&report);
+    if out_path == "-" {
+        print!("{json}");
+    } else if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: {out_path}: {e}");
+        return ExitCode::FAILURE;
+    } else {
+        eprintln!("\nwrote {} metrics to {out_path}", report.metrics.len());
+    }
+
+    if let Some(path) = baseline {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match compare_to_baseline(&report, &text) {
+            Ok(regressions) if regressions.is_empty() => {
+                eprintln!("baseline compare vs {path}: OK (no gated metric regressed)");
+            }
+            Ok(regressions) => {
+                eprintln!(
+                    "baseline compare vs {path}: {} regression(s):",
+                    regressions.len()
+                );
+                for r in &regressions {
+                    eprintln!("  REGRESSION {r}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("error: baseline compare vs {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

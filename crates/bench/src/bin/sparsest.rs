@@ -3,11 +3,13 @@
 //! the aggregate behind Figures 10, 11, 13, and 14 — run the individual
 //! `figNN` binaries for the paper-faithful subsets and reference values.
 //!
-//! The run doubles as an accuracy-regression gate: every B1 estimate is
-//! checked against the per-case error thresholds in
-//! `crates/sparsest/data/b1_thresholds.tsv`, and any violation exits
-//! non-zero. Observability flags (`--trace`, `--metrics`, `--obs-format`)
-//! additionally export the run's spans, metrics, and accuracy telemetry.
+//! The run doubles as an accuracy-regression gate: every B1, B2, and B3
+//! estimate is checked against the per-case error thresholds in
+//! `crates/sparsest/data/b{1,2,3}_thresholds.tsv` (the B2/B3 bounds are
+//! seeded from errors measured at `MNC_SCALE=0.1`, the CI scale), and any
+//! violation exits non-zero. Observability flags (`--trace`, `--metrics`,
+//! `--obs-format`) additionally export the run's spans, metrics, and
+//! accuracy telemetry.
 
 use std::process::ExitCode;
 
@@ -17,7 +19,7 @@ use mnc_expr::{EstimationContext, Recorder};
 use mnc_sparsest::datasets::Datasets;
 use mnc_sparsest::runner::{run_case_with_context, run_tracked_with_context, standard_estimators};
 use mnc_sparsest::usecases::{b1_suite, b2_suite, b3_suite};
-use mnc_sparsest::{b1_thresholds, check_thresholds};
+use mnc_sparsest::{b1_thresholds, b2_thresholds, b3_thresholds, check_thresholds};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -81,12 +83,15 @@ fn main() -> ExitCode {
     }
 
     let accuracy = rec.accuracy();
-    let violations = check_thresholds(&accuracy, &b1_thresholds());
+    let mut thresholds = b1_thresholds();
+    thresholds.extend(b2_thresholds());
+    thresholds.extend(b3_thresholds());
+    let violations = check_thresholds(&accuracy, &thresholds);
     if violations.is_empty() {
         eprintln!(
             "accuracy regression check: OK ({} telemetry records against {} thresholds)",
             accuracy.len(),
-            b1_thresholds().len()
+            thresholds.len()
         );
         ExitCode::SUCCESS
     } else {

@@ -1,0 +1,88 @@
+//! The environment fingerprint shared by every JSON-emitting benchmark
+//! (`cache_bench`, `mnc-perf`): enough context to judge whether two records
+//! are comparable. EXPERIMENTS.md's 1-thread-container caveat becomes
+//! machine-readable through `cpus`.
+
+use mnc_obs::export::json_escape;
+
+/// Environment fingerprint embedded in benchmark JSON records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvInfo {
+    /// Logical CPUs visible to the process.
+    pub cpus: usize,
+    /// `rustc --version` of the compiler that built the binary.
+    pub rustc: String,
+    /// Git sha the binary was built from (`unknown` outside a checkout).
+    pub git_sha: String,
+    /// Target triple baked in at compile time.
+    pub os: String,
+    /// `MNC_SCALE` knob the run used.
+    pub scale: f64,
+    /// `MNC_REPS` knob the run used.
+    pub reps: usize,
+    /// Whether the binary was built with allocation tracking.
+    pub alloc_track: bool,
+}
+
+impl EnvInfo {
+    /// Captures the fingerprint for a run with the given scale knobs.
+    pub fn capture(scale: f64, reps: usize) -> EnvInfo {
+        EnvInfo {
+            cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            rustc: env!("MNC_RUSTC_VERSION").to_string(),
+            git_sha: env!("MNC_GIT_SHA").to_string(),
+            os: format!("{}-{}", std::env::consts::OS, std::env::consts::ARCH),
+            scale,
+            reps,
+            alloc_track: mnc_obs::alloc::tracking_active(),
+        }
+    }
+
+    /// The fingerprint as a JSON object (stable field set, append-only).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"cpus\": {}, \"rustc\": \"{}\", \"git_sha\": \"{}\", \
+             \"os\": \"{}\", \"scale\": {}, \"reps\": {}, \"alloc_track\": {}}}",
+            self.cpus,
+            json_escape(&self.rustc),
+            json_escape(&self.git_sha),
+            json_escape(&self.os),
+            self.scale,
+            self.reps,
+            self.alloc_track
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_fills_every_field() {
+        let env = EnvInfo::capture(0.5, 3);
+        assert!(env.cpus >= 1);
+        assert!(!env.rustc.is_empty());
+        assert!(!env.git_sha.is_empty());
+        assert!(env.os.contains('-'));
+        assert_eq!(env.scale, 0.5);
+        assert_eq!(env.reps, 3);
+    }
+
+    #[test]
+    fn json_has_the_stable_fields() {
+        let j = EnvInfo::capture(1.0, 20).to_json();
+        for key in [
+            "\"cpus\"",
+            "\"rustc\"",
+            "\"git_sha\"",
+            "\"os\"",
+            "\"scale\"",
+            "\"reps\"",
+            "\"alloc_track\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

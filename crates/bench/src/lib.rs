@@ -8,13 +8,17 @@
 //! seconds to minutes; set `MNC_SCALE` (a factor in `(0, 1]`) to shrink or
 //! grow them. `EXPERIMENTS.md` records the scale each reported run used.
 
+pub mod env_info;
+pub mod json;
 pub mod obs;
+pub mod perf;
 
 use std::time::Duration;
 
 use mnc_sparsest::runner::CaseResult;
 use mnc_sparsest::Outcome;
 
+pub use env_info::EnvInfo;
 pub use obs::{ObsArgs, OBS_USAGE};
 
 /// Reads the `MNC_SCALE` environment variable, defaulting to `default`.

@@ -4,8 +4,8 @@
 //! --trace <file>          write a Chrome trace_event JSON (chrome://tracing,
 //!                         Perfetto) of every span in the run
 //! --metrics <file>        write the metrics/accuracy report to a file
-//! --obs-format <fmt>      table | jsonl | chrome — format of the report
-//!                         (stdout when no --metrics file is given)
+//! --obs-format <fmt>      table | jsonl | chrome | prom — format of the
+//!                         report (stdout when no --metrics file is given)
 //! ```
 //!
 //! Any of the three flags switches the run's recorder on; without them the
@@ -30,7 +30,8 @@ pub struct ObsArgs {
 }
 
 /// Usage lines for the three flags, for the binaries' help text.
-pub const OBS_USAGE: &str = "[--trace <file>] [--metrics <file>] [--obs-format table|jsonl|chrome]";
+pub const OBS_USAGE: &str =
+    "[--trace <file>] [--metrics <file>] [--obs-format table|jsonl|chrome|prom]";
 
 impl ObsArgs {
     /// Extracts the observability flags from `args`, returning the parsed

@@ -1,0 +1,803 @@
+//! The `mnc-perf` suite: a fixed benchmark-and-profiling workload whose
+//! results land in a stable-schema JSON record (`"schema": "mnc.perf.v1"`,
+//! written to `BENCH_MNC.json`) so perf, memory, and accuracy can be
+//! tracked *as a trajectory* across commits instead of one-off figure runs.
+//!
+//! Four workloads, each enclosed in a `"workload"` span on a shared
+//! [`Recorder`]:
+//!
+//! 1. **estimators** — per-estimator synopsis construction + single-op
+//!    estimation across sparsities and shapes (Figures 8/14 territory);
+//! 2. **chain** — sketch propagation down a product chain (Figure 12);
+//! 3. **cache** — an [`EstimationContext`] optimizer-probe workload, cached
+//!    vs uncached;
+//! 4. **sparsest/b1** — the B1 accuracy sweep feeding per-estimator error
+//!    summaries.
+//!
+//! Latency quantiles are aggregated from the recorder's spans (the same
+//! records the Chrome trace shows), synopsis memory comes from
+//! [`Synopsis::heap_bytes`], per-workload allocation totals from the
+//! feature-gated counting allocator, and the environment fingerprint from
+//! [`EnvInfo`]. [`compare_to_baseline`] re-reads a checked-in record and
+//! gates each metric class with noise-tolerant thresholds — the CI
+//! regression gate behind `mnc-perf --baseline BENCH_MNC.json`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mnc_estimators::{
+    BiasedSamplingEstimator, BitsetEstimator, DensityMapEstimator, DynamicDensityMapEstimator,
+    HashEstimator, LayeredGraphEstimator, MetaAcEstimator, MncEstimator, OpKind, SparsityEstimator,
+    Synopsis,
+};
+use mnc_expr::{estimate_root, EstimationContext, ExprDag, NodeId, Recorder};
+use mnc_matrix::{gen, CsrMatrix};
+use mnc_obs::accuracy::{summarize, AccuracySummary};
+use mnc_obs::export::json_f64;
+use mnc_obs::AccuracyRecord;
+use mnc_sparsest::runner::{run_case, standard_estimators};
+use mnc_sparsest::usecases::b1_suite;
+use mnc_sparsest::Outcome;
+use rand::SeedableRng;
+
+use crate::env_info::EnvInfo;
+use crate::json::{parse, JsonValue};
+
+/// Schema tag of the JSON record. The field set under it is append-only.
+pub const SCHEMA: &str = "mnc.perf.v1";
+
+/// One completed suite run: the flat metric map, per-estimator accuracy
+/// summaries, the environment fingerprint, and the rendered time-attribution
+/// table.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Environment fingerprint of the run.
+    pub env: EnvInfo,
+    /// Flat metric map. The *suffix* determines how the baseline compare
+    /// gates a metric — see [`classify`].
+    pub metrics: BTreeMap<String, f64>,
+    /// Per-estimator accuracy summaries from the B1 sweep.
+    pub accuracy: Vec<AccuracySummary>,
+    /// Per-phase self-time attribution table (stderr, not part of the JSON).
+    pub attribution: String,
+}
+
+/// Metric names may not contain spaces (estimator display names do).
+fn slug(name: &str) -> String {
+    name.replace(' ', "_")
+}
+
+/// Nearest-rank quantile over an already-sorted sample.
+fn quantile_ns(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)] as f64
+}
+
+/// The synopsis-bearing estimator line-up the perf suite drives: one of
+/// each synopsis family (Table 1), MNC last.
+fn lineup() -> Vec<Box<dyn SparsityEstimator>> {
+    vec![
+        Box::new(MetaAcEstimator),
+        Box::new(BitsetEstimator::default()),
+        Box::new(DensityMapEstimator::default()),
+        Box::new(DynamicDensityMapEstimator::default()),
+        Box::new(BiasedSamplingEstimator::default()),
+        Box::new(HashEstimator::default()),
+        Box::new(LayeredGraphEstimator::default()),
+        Box::new(MncEstimator::new()),
+    ]
+}
+
+/// Workload 1: per-estimator build + matmul estimation across sparsities
+/// and shapes, plus the measured synopsis footprint on the reference
+/// matrix.
+fn estimator_workload(rec: &Recorder, d: usize, reps: usize, metrics: &mut BTreeMap<String, f64>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBE2C);
+    let square: Vec<Arc<CsrMatrix>> = [0.001, 0.01, 0.05]
+        .iter()
+        .map(|&s| Arc::new(gen::rand_uniform(&mut rng, d, d, s)))
+        .collect();
+    let tall = Arc::new(gen::rand_uniform(&mut rng, d, d.div_ceil(2), 0.01));
+    for est in lineup() {
+        let _w = rec
+            .span("workload")
+            .op(format!("estimators/{}", est.name()));
+        for _ in 0..reps {
+            for m in square.iter().chain(std::iter::once(&tall)) {
+                let g = rec.span("build").op(est.name()).nnz_in(m.nnz() as u64);
+                let syn = est.build(m);
+                drop(g);
+                let Ok(syn) = syn else { continue };
+                if m.nrows() == m.ncols() {
+                    let _g = rec.span("estimate").op(est.name());
+                    let _ = est.estimate(&OpKind::MatMul, &[&syn, &syn]);
+                }
+            }
+        }
+        // Footprint on the 1%-dense reference matrix: measured retained
+        // heap next to the logical accounting, both memory-gated.
+        if let Ok(syn) = est.build(&square[1]) {
+            let key = slug(est.name());
+            metrics.insert(
+                format!("synopsis.{key}.heap_bytes"),
+                syn.heap_bytes() as f64,
+            );
+            metrics.insert(
+                format!("synopsis.{key}.size_bytes"),
+                syn.size_bytes() as f64,
+            );
+        }
+    }
+}
+
+/// Workload 2: synopsis propagation down a 4-matrix product chain for the
+/// estimators that support chains natively.
+fn chain_workload(rec: &Recorder, d: usize, reps: usize) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xC4A1);
+    let mats: Vec<Arc<CsrMatrix>> = [0.01, 0.005, 0.02, 0.01]
+        .iter()
+        .map(|&s| Arc::new(gen::rand_uniform(&mut rng, d, d, s)))
+        .collect();
+    let ests: Vec<Box<dyn SparsityEstimator>> = vec![
+        Box::new(MncEstimator::new()),
+        Box::new(DensityMapEstimator::default()),
+        Box::new(BitsetEstimator::default()),
+    ];
+    for est in ests {
+        let _w = rec.span("workload").op(format!("chain/{}", est.name()));
+        for _ in 0..reps {
+            let synopses: Vec<Synopsis> = mats.iter().filter_map(|m| est.build(m).ok()).collect();
+            if synopses.len() != mats.len() {
+                continue;
+            }
+            let mut acc = synopses[0].clone();
+            for s in &synopses[1..] {
+                let mut g = rec.span("propagate").op(est.name());
+                match est.propagate(&OpKind::MatMul, &[&acc, s]) {
+                    Ok(next) => {
+                        g.set_bytes(next.heap_bytes());
+                        acc = next;
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+}
+
+/// Builds one optimizer probe over the shared leaves: alternating left- and
+/// right-deep parenthesizations, as in `cache_bench`.
+fn probe_dag(mats: &[Arc<CsrMatrix>], probe: usize) -> (ExprDag, NodeId) {
+    let mut dag = ExprDag::new();
+    let leaves: Vec<NodeId> = mats
+        .iter()
+        .enumerate()
+        .map(|(i, m)| dag.leaf(format!("M{i}"), Arc::clone(m)))
+        .collect();
+    let root = if probe.is_multiple_of(2) {
+        let mut acc = leaves[0];
+        for &l in &leaves[1..] {
+            acc = dag.matmul(acc, l).expect("chain shapes agree");
+        }
+        acc
+    } else {
+        let mut acc = *leaves.last().expect("non-empty");
+        for &l in leaves[..leaves.len() - 1].iter().rev() {
+            acc = dag.matmul(l, acc).expect("chain shapes agree");
+        }
+        acc
+    };
+    (dag, root)
+}
+
+/// Workload 3: the `EstimationContext` cache workload — repeated probes over
+/// shared leaves with a session vs without one.
+fn cache_workload(rec: &Recorder, d: usize, reps: usize, metrics: &mut BTreeMap<String, f64>) {
+    let _w = rec.span("workload").op("cache");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xCAC4E);
+    let mats: Vec<Arc<CsrMatrix>> = [0.01, 0.001, 0.02, 0.005]
+        .iter()
+        .map(|&s| Arc::new(gen::rand_uniform(&mut rng, d, d, s)))
+        .collect();
+    let dags: Vec<(ExprDag, NodeId)> = (0..2).map(|p| probe_dag(&mats, p)).collect();
+    let est = MncEstimator::new();
+    let probes = reps.max(2) * 4;
+
+    let t = Instant::now();
+    let mut ctx = EstimationContext::new().with_recorder(rec.clone());
+    for probe in 0..probes {
+        let (dag, root) = &dags[probe % dags.len()];
+        ctx.estimate_root(&est, dag, *root).expect("estimate");
+    }
+    metrics.insert(
+        "cache.cached_total_ns".into(),
+        t.elapsed().as_nanos() as f64,
+    );
+
+    let t = Instant::now();
+    for probe in 0..probes {
+        let (dag, root) = &dags[probe % dags.len()];
+        estimate_root(&est, dag, *root).expect("estimate");
+    }
+    metrics.insert(
+        "cache.uncached_total_ns".into(),
+        t.elapsed().as_nanos() as f64,
+    );
+
+    let stats = ctx.stats();
+    metrics.insert("cache.hit_rate".into(), stats.hit_rate());
+    metrics.insert("cache.builds".into(), stats.builds as f64);
+    metrics.insert("cache.hits".into(), stats.cache_hits as f64);
+    metrics.insert("cache.misses".into(), stats.cache_misses as f64);
+}
+
+/// Workload 4: the SparsEst B1 accuracy sweep over the standard estimator
+/// line-up, summarized per estimator.
+fn accuracy_workload(
+    rec: &Recorder,
+    scale: f64,
+    metrics: &mut BTreeMap<String, f64>,
+) -> Vec<AccuracySummary> {
+    let _w = rec.span("workload").op("sparsest/b1");
+    let cases = b1_suite(scale, 42);
+    let ests = standard_estimators();
+    let refs: Vec<&dyn SparsityEstimator> = ests.iter().map(|b| b.as_ref()).collect();
+    let mut records = Vec::new();
+    for case in &cases {
+        for r in run_case(case, &refs) {
+            if let Outcome::Estimate { estimate, .. } = r.outcome {
+                records.push(AccuracyRecord::new(
+                    r.case,
+                    "root",
+                    r.estimator,
+                    estimate,
+                    r.truth,
+                ));
+            }
+        }
+    }
+    let summaries = summarize(&records);
+    for s in &summaries {
+        let key = slug(&s.estimator);
+        metrics.insert(format!("accuracy.{key}.geo_mean_error"), s.geo_mean_error);
+        metrics.insert(format!("accuracy.{key}.infinite"), s.infinite as f64);
+        metrics.insert(format!("accuracy.{key}.count"), s.count as f64);
+    }
+    summaries
+}
+
+/// Runs the fixed suite at the given scale knobs and returns the report
+/// plus the recorder (for `--trace` / `--metrics` emission by the binary).
+pub fn run_suite(scale: f64, reps: usize) -> (PerfReport, Recorder) {
+    let rec = Recorder::enabled();
+    let t0 = Instant::now();
+    let mut metrics = BTreeMap::new();
+
+    let d_est = ((600.0 * scale) as usize).max(40);
+    let d_chain = ((400.0 * scale) as usize).max(40);
+    estimator_workload(&rec, d_est, reps, &mut metrics);
+    chain_workload(&rec, d_chain, reps);
+    cache_workload(&rec, d_est, reps, &mut metrics);
+    let accuracy = accuracy_workload(&rec, scale, &mut metrics);
+    metrics.insert("suite.total_ns".into(), t0.elapsed().as_nanos() as f64);
+
+    // Latency quantiles aggregated from the recorder's spans — the same
+    // records the Chrome trace and attribution table are built from.
+    let spans = rec.spans();
+    let mut groups: BTreeMap<(&str, String), Vec<u64>> = BTreeMap::new();
+    for s in &spans {
+        if matches!(s.name, "build" | "estimate" | "propagate") {
+            if let Some(op) = &s.op {
+                groups
+                    .entry((s.name, op.clone()))
+                    .or_default()
+                    .push(s.dur_ns);
+            }
+        }
+    }
+    for ((name, op), mut durs) in groups {
+        durs.sort_unstable();
+        let key = slug(&op);
+        metrics.insert(format!("{name}.{key}.p50_ns"), quantile_ns(&durs, 0.50));
+        metrics.insert(format!("{name}.{key}.p95_ns"), quantile_ns(&durs, 0.95));
+        metrics.insert(format!("{name}.{key}.max_ns"), *durs.last().unwrap() as f64);
+    }
+
+    // Per-workload wall time and (on alloc-track builds) gross allocation.
+    for s in &spans {
+        if s.name != "workload" {
+            continue;
+        }
+        let Some(op) = &s.op else { continue };
+        let key = slug(op);
+        *metrics
+            .entry(format!("workload.{key}.total_ns"))
+            .or_insert(0.0) += s.dur_ns as f64;
+        if let Some(bytes) = s.alloc_bytes {
+            *metrics
+                .entry(format!("workload.{key}.alloc_bytes"))
+                .or_insert(0.0) += bytes as f64;
+        }
+    }
+    if mnc_obs::alloc::tracking_active() {
+        metrics.insert(
+            "alloc.peak_bytes".into(),
+            mnc_obs::alloc::peak_bytes() as f64,
+        );
+    }
+
+    let attribution = mnc_obs::render_attribution(&spans);
+    let env = EnvInfo::capture(scale, reps);
+    (
+        PerfReport {
+            env,
+            metrics,
+            accuracy,
+            attribution,
+        },
+        rec,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// JSON record
+// ---------------------------------------------------------------------------
+
+/// Renders the stable-schema JSON record (multi-line, so checked-in
+/// baselines diff reviewably).
+pub fn render_json(report: &PerfReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!("  \"env\": {},\n", report.env.to_json()));
+    out.push_str("  \"metrics\": {\n");
+    let mut first = true;
+    for (k, v) in &report.metrics {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!("    \"{k}\": {}", json_f64(*v)));
+    }
+    out.push_str("\n  },\n");
+    out.push_str("  \"accuracy\": [\n");
+    for (i, s) in report.accuracy.iter().enumerate() {
+        let (worst_case, worst_error) = match &s.worst {
+            Some((case, err)) => (
+                format!("\"{}\"", mnc_obs::export::json_escape(case)),
+                json_f64(*err),
+            ),
+            None => ("null".to_string(), "null".to_string()),
+        };
+        out.push_str(&format!(
+            "    {{\"estimator\": \"{}\", \"count\": {}, \"infinite\": {}, \
+             \"geo_mean_error\": {}, \"worst_case\": {}, \"worst_error\": {}}}{}\n",
+            mnc_obs::export::json_escape(&s.estimator),
+            s.count,
+            s.infinite,
+            json_f64(s.geo_mean_error),
+            worst_case,
+            worst_error,
+            if i + 1 == report.accuracy.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Baseline comparison
+// ---------------------------------------------------------------------------
+
+/// How the baseline compare gates a metric, decided by its name suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// `*_ns`: wall-clock — noisy, wide multiplicative band plus absolute
+    /// slack (containers, frequency scaling).
+    Latency,
+    /// `*_bytes`: memory — deterministic up to allocator rounding.
+    Memory,
+    /// `*.geo_mean_error`: accuracy ratio — deterministic given the seed,
+    /// small band for numeric drift.
+    AccuracyError,
+    /// `*.infinite`: exact zero/non-zero mismatch counts — must not grow.
+    ExactCount,
+    /// Everything else: recorded, never gated.
+    Info,
+}
+
+/// Classifies a metric name by suffix.
+pub fn classify(key: &str) -> MetricClass {
+    if key.ends_with("_ns") {
+        MetricClass::Latency
+    } else if key.ends_with("_bytes") {
+        MetricClass::Memory
+    } else if key.ends_with(".geo_mean_error") {
+        MetricClass::AccuracyError
+    } else if key.ends_with(".infinite") {
+        MetricClass::ExactCount
+    } else {
+        MetricClass::Info
+    }
+}
+
+/// One gated metric that exceeded its threshold (or disappeared).
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Metric name.
+    pub metric: String,
+    /// The class whose threshold was applied.
+    pub class: MetricClass,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value (`NaN` when the metric vanished).
+    pub current: f64,
+    /// The threshold the current value had to stay under.
+    pub limit: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.current.is_nan() {
+            write!(
+                f,
+                "{}: missing from the current run (baseline {:.6e})",
+                self.metric, self.baseline
+            )
+        } else {
+            write!(
+                f,
+                "{}: {:.6e} exceeds limit {:.6e} ({:?} over baseline {:.6e})",
+                self.metric, self.current, self.limit, self.class, self.baseline
+            )
+        }
+    }
+}
+
+/// The per-class threshold above the baseline value. Latency gets a 5x
+/// band plus 200µs absolute slack (shared runners); memory 1.25x plus one
+/// 4 KiB page; accuracy 1.25x plus 0.01; exact counts must not increase.
+fn limit_for(class: MetricClass, baseline: f64) -> f64 {
+    match class {
+        MetricClass::Latency => baseline * 5.0 + 200_000.0,
+        MetricClass::Memory => baseline * 1.25 + 4096.0,
+        MetricClass::AccuracyError => baseline * 1.25 + 0.01,
+        MetricClass::ExactCount => baseline,
+        MetricClass::Info => f64::INFINITY,
+    }
+}
+
+/// Gates every classified baseline metric against the current run. A gated
+/// metric missing from the current run counts as a regression (silent
+/// coverage loss); metrics new in the current run are fine.
+pub fn compare_metrics(
+    current: &BTreeMap<String, f64>,
+    baseline: &BTreeMap<String, f64>,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for (key, &base) in baseline {
+        let class = classify(key);
+        if class == MetricClass::Info {
+            continue;
+        }
+        let limit = limit_for(class, base);
+        match current.get(key) {
+            None => out.push(Regression {
+                metric: key.clone(),
+                class,
+                baseline: base,
+                current: f64::NAN,
+                limit,
+            }),
+            Some(&cur) if cur > limit => out.push(Regression {
+                metric: key.clone(),
+                class,
+                baseline: base,
+                current: cur,
+                limit,
+            }),
+            Some(_) => {}
+        }
+    }
+    out
+}
+
+fn baseline_env_f64(env: &JsonValue, key: &str) -> Result<f64, String> {
+    env.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("baseline env has no numeric `{key}`"))
+}
+
+/// Parses a checked-in `BENCH_MNC.json` and gates the current report
+/// against it. Refuses (with `Err`) when the records are not comparable:
+/// wrong schema, or different scale/reps/alloc-track knobs — comparing
+/// across knobs would turn every threshold into noise.
+pub fn compare_to_baseline(
+    report: &PerfReport,
+    baseline_json: &str,
+) -> Result<Vec<Regression>, String> {
+    let doc = parse(baseline_json).map_err(|e| format!("baseline does not parse: {e}"))?;
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or("baseline has no `schema` field")?;
+    if schema != SCHEMA {
+        return Err(format!("baseline schema `{schema}`, expected `{SCHEMA}`"));
+    }
+    let env = doc.get("env").ok_or("baseline has no `env` field")?;
+    let scale = baseline_env_f64(env, "scale")?;
+    let reps = baseline_env_f64(env, "reps")?;
+    if (scale - report.env.scale).abs() > 1e-9 || reps as usize != report.env.reps {
+        return Err(format!(
+            "baseline ran at scale {scale} / reps {reps}, current at scale {} / reps {} — \
+             re-run with matching MNC_SCALE/MNC_REPS",
+            report.env.scale, report.env.reps
+        ));
+    }
+    let base_track = matches!(env.get("alloc_track"), Some(JsonValue::Bool(true)));
+    if base_track != report.env.alloc_track {
+        return Err(format!(
+            "baseline alloc_track={base_track}, current {} — allocation metrics only \
+             compare across identical feature sets",
+            report.env.alloc_track
+        ));
+    }
+    let base_metrics: BTreeMap<String, f64> = doc
+        .get("metrics")
+        .and_then(JsonValue::as_object)
+        .ok_or("baseline has no `metrics` object")?
+        .iter()
+        .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+        .collect();
+    Ok(compare_metrics(&report.metrics, &base_metrics))
+}
+
+// ---------------------------------------------------------------------------
+// Deliberate regression injection (CI self-test)
+// ---------------------------------------------------------------------------
+
+/// Applies a `MNC_PERF_INJECT` spec to the metric map, e.g.
+/// `latency=100` or `memory=10,infinite=3`: `latency`/`memory`/`accuracy`
+/// multiply every metric of that class by the factor, `infinite` adds the
+/// value to every exact-count metric. Exists so CI can prove the baseline
+/// gate actually fails on a regression.
+pub fn apply_injection(
+    metrics: &mut BTreeMap<String, f64>,
+    spec: &str,
+) -> Result<Vec<String>, String> {
+    let mut applied = Vec::new();
+    for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+        let (name, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad inject spec `{part}` (expected class=value)"))?;
+        let factor: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad inject value `{value}`"))?;
+        let class = match name.trim() {
+            "latency" => MetricClass::Latency,
+            "memory" => MetricClass::Memory,
+            "accuracy" => MetricClass::AccuracyError,
+            "infinite" => MetricClass::ExactCount,
+            other => return Err(format!("unknown inject class `{other}`")),
+        };
+        let mut touched = 0usize;
+        for (key, v) in metrics.iter_mut() {
+            if classify(key) == class {
+                if class == MetricClass::ExactCount {
+                    *v += factor;
+                } else {
+                    *v *= factor;
+                }
+                touched += 1;
+            }
+        }
+        applied.push(format!(
+            "injected {class:?} {}{factor} into {touched} metrics",
+            if class == MetricClass::ExactCount {
+                "+"
+            } else {
+                "x"
+            }
+        ));
+    }
+    Ok(applied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> PerfReport {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("build.MNC.p50_ns".to_string(), 1000.0);
+        metrics.insert("synopsis.MNC.heap_bytes".to_string(), 2560.0);
+        metrics.insert("accuracy.MNC.geo_mean_error".to_string(), 1.05);
+        metrics.insert("accuracy.MNC.infinite".to_string(), 0.0);
+        metrics.insert("cache.hit_rate".to_string(), 0.9);
+        PerfReport {
+            env: EnvInfo::capture(0.1, 2),
+            metrics,
+            accuracy: vec![AccuracySummary {
+                estimator: "MNC".to_string(),
+                count: 5,
+                infinite: 0,
+                geo_mean_error: 1.05,
+                worst: Some(("B1.1".to_string(), 1.3)),
+            }],
+            attribution: String::new(),
+        }
+    }
+
+    #[test]
+    fn classification_follows_the_suffix() {
+        assert_eq!(classify("build.MNC.p50_ns"), MetricClass::Latency);
+        assert_eq!(classify("synopsis.Bitset.heap_bytes"), MetricClass::Memory);
+        assert_eq!(classify("workload.cache.alloc_bytes"), MetricClass::Memory);
+        assert_eq!(
+            classify("accuracy.MNC.geo_mean_error"),
+            MetricClass::AccuracyError
+        );
+        assert_eq!(classify("accuracy.MNC.infinite"), MetricClass::ExactCount);
+        assert_eq!(classify("cache.hit_rate"), MetricClass::Info);
+    }
+
+    #[test]
+    fn identical_runs_pass_the_gate() {
+        let report = tiny_report();
+        let baseline = render_json(&report);
+        let regs = compare_to_baseline(&report, &baseline).unwrap();
+        assert!(regs.is_empty(), "identical run regressed: {regs:?}");
+    }
+
+    #[test]
+    fn injected_latency_regression_is_caught() {
+        let report = tiny_report();
+        let baseline = render_json(&report);
+        let mut bad = report.clone();
+        let applied = apply_injection(&mut bad.metrics, "latency=1000").unwrap();
+        assert_eq!(applied.len(), 1);
+        let regs = compare_to_baseline(&bad, &baseline).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "build.MNC.p50_ns");
+        assert_eq!(regs[0].class, MetricClass::Latency);
+        assert!(regs[0].to_string().contains("exceeds limit"));
+    }
+
+    #[test]
+    fn injected_infinite_count_is_caught() {
+        let report = tiny_report();
+        let baseline = render_json(&report);
+        let mut bad = report.clone();
+        apply_injection(&mut bad.metrics, "infinite=1").unwrap();
+        let regs = compare_to_baseline(&bad, &baseline).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "accuracy.MNC.infinite");
+    }
+
+    #[test]
+    fn small_jitter_stays_under_the_thresholds() {
+        let report = tiny_report();
+        let baseline = render_json(&report);
+        let mut jittered = report.clone();
+        for (key, v) in jittered.metrics.iter_mut() {
+            match classify(key) {
+                MetricClass::Latency => *v *= 3.0,
+                MetricClass::Memory => *v *= 1.1,
+                MetricClass::AccuracyError => *v *= 1.01,
+                _ => {}
+            }
+        }
+        let regs = compare_to_baseline(&jittered, &baseline).unwrap();
+        assert!(regs.is_empty(), "jitter flagged: {regs:?}");
+    }
+
+    #[test]
+    fn vanished_gated_metric_is_a_regression() {
+        let report = tiny_report();
+        let baseline = render_json(&report);
+        let mut stripped = report.clone();
+        stripped.metrics.remove("synopsis.MNC.heap_bytes");
+        let regs = compare_to_baseline(&stripped, &baseline).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].current.is_nan());
+        assert!(regs[0].to_string().contains("missing"));
+    }
+
+    #[test]
+    fn info_metrics_are_never_gated() {
+        let report = tiny_report();
+        let baseline = render_json(&report);
+        let mut drifted = report.clone();
+        drifted.metrics.insert("cache.hit_rate".to_string(), 0.0);
+        assert!(compare_to_baseline(&drifted, &baseline).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mismatched_knobs_refuse_to_compare() {
+        let report = tiny_report();
+        let baseline = render_json(&report);
+        let mut other_scale = report.clone();
+        other_scale.env.scale = 0.5;
+        assert!(compare_to_baseline(&other_scale, &baseline)
+            .unwrap_err()
+            .contains("MNC_SCALE"));
+        let mut other_track = report.clone();
+        other_track.env.alloc_track = !report.env.alloc_track;
+        assert!(compare_to_baseline(&other_track, &baseline)
+            .unwrap_err()
+            .contains("alloc_track"));
+    }
+
+    #[test]
+    fn record_round_trips_through_the_parser() {
+        let report = tiny_report();
+        let doc = parse(&render_json(&report)).unwrap();
+        assert_eq!(doc.get("schema").and_then(JsonValue::as_str), Some(SCHEMA));
+        let metrics = doc.get("metrics").and_then(JsonValue::as_object).unwrap();
+        assert_eq!(metrics.len(), report.metrics.len());
+        for (k, v) in &report.metrics {
+            assert_eq!(metrics[k].as_f64(), Some(*v), "metric {k}");
+        }
+        let acc = match doc.get("accuracy") {
+            Some(JsonValue::Array(items)) => items,
+            other => panic!("expected accuracy array, got {other:?}"),
+        };
+        assert_eq!(
+            acc[0].get("estimator").and_then(JsonValue::as_str),
+            Some("MNC")
+        );
+        assert_eq!(
+            acc[0].get("worst_case").and_then(JsonValue::as_str),
+            Some("B1.1")
+        );
+    }
+
+    #[test]
+    fn bad_inject_specs_are_rejected() {
+        let mut m = BTreeMap::new();
+        assert!(apply_injection(&mut m, "latency").is_err());
+        assert!(apply_injection(&mut m, "latency=abc").is_err());
+        assert!(apply_injection(&mut m, "turbo=2").is_err());
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let durs: Vec<u64> = (1..=99).collect();
+        assert_eq!(quantile_ns(&durs, 0.5), 50.0);
+        assert_eq!(quantile_ns(&durs, 0.95), 94.0);
+        assert_eq!(quantile_ns(&[], 0.5), 0.0);
+    }
+
+    /// End-to-end smoke: the tiny-scale suite produces the schema's pillars —
+    /// latency quantiles from spans, measured heap for every estimator in
+    /// the line-up, accuracy summaries, and a self-consistent JSON record.
+    #[test]
+    fn suite_smoke_run_covers_the_schema() {
+        let (report, rec) = run_suite(0.05, 1);
+        assert!(rec.is_enabled());
+        for est in lineup() {
+            let key = format!("synopsis.{}.heap_bytes", slug(est.name()));
+            assert!(report.metrics.contains_key(&key), "missing {key}");
+        }
+        assert!(report.metrics.contains_key("build.MNC.p50_ns"));
+        assert!(report.metrics.contains_key("cache.cached_total_ns"));
+        assert!(report
+            .metrics
+            .keys()
+            .any(|k| k.starts_with("workload.") && k.ends_with(".total_ns")));
+        assert!(!report.accuracy.is_empty());
+        assert!(report.attribution.contains("workload"));
+        // The run gates cleanly against its own record.
+        let json = render_json(&report);
+        assert!(compare_to_baseline(&report, &json).unwrap().is_empty());
+    }
+}

@@ -208,6 +208,16 @@ impl MncSketch {
         };
         base + ext + std::mem::size_of::<SketchMeta>()
     }
+
+    /// Measured heap bytes retained by the count vectors (capacities, not
+    /// lengths). The metadata block lives inline and is excluded.
+    pub fn heap_bytes(&self) -> u64 {
+        let vec_bytes = |v: &Option<Vec<u32>>| v.as_ref().map_or(0, |v| v.capacity() * 4);
+        (self.hr.capacity() * 4
+            + self.hc.capacity() * 4
+            + vec_bytes(&self.her)
+            + vec_bytes(&self.hec)) as u64
+    }
 }
 
 fn compute_meta(

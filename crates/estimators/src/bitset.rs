@@ -123,6 +123,11 @@ impl BitsetSynopsis {
         (self.bits.len() * 8) as u64
     }
 
+    /// Measured heap bytes retained by the bit buffer (capacity-based).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.bits.capacity() * 8) as u64
+    }
+
     /// Analytical size in bytes for an `m x n` bit matrix.
     pub fn analytic_size_bytes(nrows: u64, ncols: u64) -> u64 {
         nrows * ncols.div_ceil(64) * 8

@@ -110,6 +110,11 @@ impl DmSynopsis {
         (self.dens.len() * 8) as u64
     }
 
+    /// Measured heap bytes retained by the density grid (capacity-based).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.dens.capacity() * 8) as u64
+    }
+
     /// Analytical size in bytes for an `m x n` map with block size `b`.
     pub fn analytic_size_bytes(nrows: u64, ncols: u64, block: u64) -> u64 {
         nrows.div_ceil(block) * ncols.div_ceil(block) * 8

@@ -137,6 +137,15 @@ impl QuadRegion {
             Node::Split { children } => children.iter().map(|c| c.leaf_count()).sum(),
         }
     }
+
+    fn region_count(&self) -> usize {
+        match &self.node {
+            Node::Leaf { .. } => 1,
+            Node::Split { children } => {
+                1 + children.iter().map(|c| c.region_count()).sum::<usize>()
+            }
+        }
+    }
 }
 
 /// Quad-tree density synopsis.
@@ -199,6 +208,12 @@ impl QuadTreeSynopsis {
     /// Measured synopsis size: ~48 B per region node.
     pub fn size_bytes(&self) -> u64 {
         (self.leaves() * std::mem::size_of::<QuadRegion>()) as u64
+    }
+
+    /// Measured heap bytes: every region except the inline root lives in a
+    /// boxed 4-child array, so the heap holds `region_count - 1` regions.
+    pub fn heap_bytes(&self) -> u64 {
+        ((self.root.region_count() - 1) * std::mem::size_of::<QuadRegion>()) as u64
     }
 
     /// Expected non-zeros inside a cell rectangle.

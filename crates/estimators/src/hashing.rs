@@ -40,6 +40,14 @@ impl HashSynopsis {
     pub fn size_bytes(&self) -> u64 {
         (self.transpose.nnz() * (8 + 4) + (self.transpose.nrows() + 1) * 8) as u64
     }
+
+    /// Measured heap bytes retained: base matrix plus transpose, each
+    /// attributed fully (shared `Arc` payloads count for every holder).
+    pub fn heap_bytes(&self) -> u64 {
+        2 * std::mem::size_of::<CsrMatrix>() as u64
+            + self.matrix.heap_bytes()
+            + self.transpose.heap_bytes()
+    }
 }
 
 /// 64-bit mix used as the (pairwise-independent in practice) hash family.

@@ -68,6 +68,17 @@ impl LgSynopsis {
         rvec_bytes + edges
     }
 
+    /// Measured heap bytes retained: r-vector buffer (capacity-based) plus
+    /// the full leaf pattern when held (shared `Arc` payloads count for
+    /// every holder).
+    pub fn heap_bytes(&self) -> u64 {
+        let rvec_bytes = (self.col_rvecs.capacity() * 4) as u64;
+        let pattern = self.pattern.as_ref().map_or(0, |p| {
+            std::mem::size_of::<CsrMatrix>() as u64 + p.heap_bytes()
+        });
+        rvec_bytes + pattern
+    }
+
     fn rvec(&self, j: usize) -> &[f32] {
         &self.col_rvecs[j * self.rounds..(j + 1) * self.rounds]
     }

@@ -25,6 +25,12 @@ pub struct MetaSynopsis {
 }
 
 impl MetaSynopsis {
+    /// Measured heap bytes: the metadata synopsis is plain-old-data, so
+    /// there are none (Table 1's `O(1)` space).
+    pub fn heap_bytes(&self) -> u64 {
+        0
+    }
+
     /// Sparsity implied by the synopsis.
     pub fn sparsity(&self) -> f64 {
         let cells = self.nrows as f64 * self.ncols as f64;

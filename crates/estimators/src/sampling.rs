@@ -61,6 +61,15 @@ impl SampleSynopsis {
         std::mem::size_of::<Self>() as u64
     }
 
+    /// Measured heap bytes *retained* by the synopsis: the full base-matrix
+    /// payload when the leaf handle is held (shared `Arc` payloads are
+    /// attributed to every holder), 0 for propagated intermediates.
+    pub fn heap_bytes(&self) -> u64 {
+        self.matrix.as_ref().map_or(0, |m| {
+            std::mem::size_of::<CsrMatrix>() as u64 + m.heap_bytes()
+        })
+    }
+
     /// Non-zeros in column `k`: exact (binary search per row) when the
     /// matrix is available, `nnz / ncols` (uniform assumption, Appendix A)
     /// otherwise.

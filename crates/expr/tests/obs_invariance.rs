@@ -67,6 +67,28 @@ fn sparsity_vec(k: usize, s: (f64, f64, f64, f64, f64)) -> Vec<f64> {
     all[..k].to_vec()
 }
 
+/// Golden pin across build configurations: this fixed traced workload must
+/// produce these exact bits in *every* build — in particular with and
+/// without the `alloc-track` counting allocator (CI runs the test under
+/// both feature sets). A differing value here means a feature changed an
+/// estimate, which observability must never do.
+#[test]
+fn estimates_are_bit_stable_across_build_configurations() {
+    let (dag, root) = random_dag(24, &[0.1, 0.3, 0.05], 0b0110, 7);
+    let mut ctx = EstimationContext::new().with_recorder(Recorder::enabled());
+    let traced = ctx
+        .estimate_root(&MncEstimator::new(), &dag, root)
+        .expect("estimate");
+    assert_eq!(
+        traced.to_bits(),
+        0x3fb6cdfa1d6cdfa1u64, // 0.08908045977011493
+        "pinned estimate drifted (alloc-track={}): got {} = {:#018x}",
+        mnc_obs::alloc::tracking_active(),
+        traced,
+        traced.to_bits()
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -99,8 +121,36 @@ proptest! {
             "enabled recorder perturbed the estimate");
         prop_assert_eq!(plain.to_bits(), off.to_bits(),
             "disabled recorder perturbed the estimate");
-        // The traced session must actually have observed the walk.
-        prop_assert!(rec.span_count() > 0, "enabled recorder saw no spans");
+        // The traced session must actually have observed the walk, and its
+        // spans carry allocation deltas exactly when the build tracks them
+        // (`--features mnc-obs/alloc-track`) — never otherwise.
+        let spans = rec.spans();
+        prop_assert!(!spans.is_empty(), "enabled recorder saw no spans");
+        let tracked = mnc_obs::alloc::tracking_active();
+        prop_assert!(
+            spans.iter().all(|s| s.alloc_bytes.is_some() == tracked
+                && s.alloc_net.is_some() == tracked),
+            "span allocation stamping disagrees with the alloc-track feature"
+        );
+    }
+
+    /// The counting global allocator is bit-invariant: estimates under a
+    /// traced session match the plain session inside *this* build, whatever
+    /// its feature set. Cross-build identity is pinned by
+    /// `estimates_are_bit_stable_across_build_configurations` below.
+    #[test]
+    fn alloc_tracking_never_changes_estimates((d, k, raw, op_bits, seed) in params()) {
+        let sparsities = sparsity_vec(k, raw);
+        let (dag, root) = random_dag(d, &sparsities, op_bits, seed);
+        let mut plain_ctx = EstimationContext::new();
+        let plain = plain_ctx
+            .estimate_root(&BitsetEstimator::default(), &dag, root)
+            .expect("plain estimate");
+        let mut traced_ctx = EstimationContext::new().with_recorder(Recorder::enabled());
+        let traced = traced_ctx
+            .estimate_root(&BitsetEstimator::default(), &dag, root)
+            .expect("traced estimate");
+        prop_assert_eq!(plain.to_bits(), traced.to_bits());
     }
 
     /// `InstrumentedEstimator` is transparent: wrapped and bare estimators

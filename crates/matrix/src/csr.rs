@@ -242,6 +242,14 @@ impl CsrMatrix {
         self.values.len()
     }
 
+    /// Measured heap bytes retained by the matrix buffers (capacities, not
+    /// lengths — this is what the allocator actually holds).
+    pub fn heap_bytes(&self) -> u64 {
+        (self.row_ptr.capacity() * std::mem::size_of::<usize>()
+            + self.col_idx.capacity() * std::mem::size_of::<u32>()
+            + self.values.capacity() * std::mem::size_of::<f64>()) as u64
+    }
+
     /// Sparsity `s_A = nnz(A) / (m·n)`; 0 for degenerate empty shapes.
     pub fn sparsity(&self) -> f64 {
         let cells = self.nrows as f64 * self.ncols as f64;

@@ -1,0 +1,177 @@
+//! Time attribution: "where the microseconds go", computed from the span
+//! tree.
+//!
+//! A span's *total* time includes everything nested under it, so summing
+//! totals across a tree double-counts. Attribution instead charges each span
+//! its **self time** — duration minus the duration of its direct children —
+//! and aggregates by `(name, op)`. Self times over one tree sum to the
+//! root's wall clock (modulo clock jitter), so the rendered percentages
+//! answer the question the flat table cannot: which *phase* actually spends
+//! the time, not which phase merely encloses it.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::span::SpanRecord;
+
+/// Aggregated attribution for one `(name, op)` group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributionRow {
+    /// Span name (`"build"`, `"estimate"`, ...).
+    pub name: String,
+    /// Operation/estimator label, empty when unlabeled.
+    pub op: String,
+    /// Spans in the group.
+    pub count: u64,
+    /// Total (inclusive) nanoseconds.
+    pub total_ns: u64,
+    /// Self (exclusive) nanoseconds: total minus direct children.
+    pub self_ns: u64,
+    /// Gross bytes allocated in the group's spans (tracked builds only).
+    pub alloc_bytes: u64,
+}
+
+/// Computes per-`(name, op)` attribution rows, sorted by descending self
+/// time. Children whose recorded duration exceeds the parent's (clock
+/// jitter on very short spans) saturate the parent's self time at 0 instead
+/// of going negative.
+pub fn attribute(spans: &[SpanRecord]) -> Vec<AttributionRow> {
+    let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
+    for s in spans {
+        if s.parent != 0 {
+            *child_ns.entry(s.parent).or_default() += s.dur_ns;
+        }
+    }
+    let mut groups: BTreeMap<(String, String), AttributionRow> = BTreeMap::new();
+    for s in spans {
+        let self_ns = s
+            .dur_ns
+            .saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
+        let row = groups
+            .entry((s.name.to_string(), s.op.clone().unwrap_or_default()))
+            .or_insert_with(|| AttributionRow {
+                name: s.name.to_string(),
+                op: s.op.clone().unwrap_or_default(),
+                count: 0,
+                total_ns: 0,
+                self_ns: 0,
+                alloc_bytes: 0,
+            });
+        row.count += 1;
+        row.total_ns += s.dur_ns;
+        row.self_ns += self_ns;
+        row.alloc_bytes += s.alloc_bytes.unwrap_or(0);
+    }
+    let mut rows: Vec<AttributionRow> = groups.into_values().collect();
+    rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+    rows
+}
+
+/// Renders the attribution table. Percentages are of the summed self time
+/// (= the wall clock actually attributed).
+pub fn render_attribution(spans: &[SpanRecord]) -> String {
+    let rows = attribute(spans);
+    let total_self: u64 = rows.iter().map(|r| r.self_ns).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:<14} {:>7} {:>12} {:>12} {:>6} {:>12}",
+        "phase", "op", "count", "total µs", "self µs", "self%", "alloc KiB"
+    );
+    for r in &rows {
+        let pct = if total_self == 0 {
+            0.0
+        } else {
+            100.0 * r.self_ns as f64 / total_self as f64
+        };
+        let _ = writeln!(
+            out,
+            "{:<14} {:<14} {:>7} {:>12.1} {:>12.1} {:>5.1}% {:>12.1}",
+            r.name,
+            if r.op.is_empty() { "-" } else { &r.op },
+            r.count,
+            r.total_ns as f64 / 1e3,
+            r.self_ns as f64 / 1e3,
+            pct,
+            r.alloc_bytes as f64 / 1024.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: u64, name: &'static str, op: Option<&str>, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name,
+            op: op.map(String::from),
+            thread: 0,
+            start_ns: id * 10,
+            dur_ns,
+            nnz_in: None,
+            nnz_out: None,
+            synopsis_bytes: None,
+            alloc_net: None,
+            alloc_bytes: None,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        // root(100) -> child(60) -> leaf(25): self = 40 / 35 / 25.
+        let spans = vec![
+            span(1, 0, "root", None, 100),
+            span(2, 1, "child", None, 60),
+            span(3, 2, "leaf", None, 25),
+        ];
+        let rows = attribute(&spans);
+        let find = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+        assert_eq!(find("root").self_ns, 40);
+        assert_eq!(find("child").self_ns, 35);
+        assert_eq!(find("leaf").self_ns, 25);
+        // Self times re-assemble the root's wall clock.
+        assert_eq!(rows.iter().map(|r| r.self_ns).sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn groups_by_name_and_op_and_sorts_by_self_time() {
+        let spans = vec![
+            span(1, 0, "build", Some("MNC"), 10),
+            span(2, 0, "build", Some("MNC"), 30),
+            span(3, 0, "build", Some("Bitset"), 5),
+            span(4, 0, "estimate", Some("MNC"), 100),
+        ];
+        let rows = attribute(&spans);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].name, "estimate");
+        assert_eq!(rows[1].op, "MNC");
+        assert_eq!(rows[1].count, 2);
+        assert_eq!(rows[1].total_ns, 40);
+    }
+
+    #[test]
+    fn jittered_child_saturates_instead_of_underflowing() {
+        let spans = vec![span(1, 0, "root", None, 10), span(2, 1, "child", None, 15)];
+        let rows = attribute(&spans);
+        let root = rows.iter().find(|r| r.name == "root").unwrap();
+        assert_eq!(root.self_ns, 0);
+    }
+
+    #[test]
+    fn render_includes_percentages() {
+        let spans = vec![
+            span(1, 0, "root", Some("chain"), 100),
+            span(2, 1, "step", None, 75),
+        ];
+        let table = render_attribution(&spans);
+        assert!(table.contains("self%"));
+        assert!(table.contains("75.0%"));
+        assert!(table.contains("25.0%"));
+        // Empty input still renders a header.
+        assert!(render_attribution(&[]).contains("phase"));
+    }
+}

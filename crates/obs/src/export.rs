@@ -1,4 +1,4 @@
-//! Exporters: one [`Report`] snapshot, three renderings.
+//! Exporters: one [`Report`] snapshot, four renderings.
 //!
 //! * [`Report::render_table`] — the human summary printed by CLIs;
 //! * [`Report::to_jsonl`] — one JSON object per line (`span`, `counter`,
@@ -7,7 +7,9 @@
 //! * [`Report::to_chrome_trace`] — Chrome `trace_event` JSON (`"X"`
 //!   complete events on per-thread tracks, `"i"` instants for accuracy
 //!   records, `"C"` counters), loadable in `chrome://tracing` and
-//!   [Perfetto](https://ui.perfetto.dev).
+//!   [Perfetto](https://ui.perfetto.dev);
+//! * [`ObsFormat::Prometheus`] — the metrics snapshot in Prometheus text
+//!   exposition format (see [`crate::prometheus`]).
 //!
 //! JSON is hand-rolled (the workspace is offline and dependency-free):
 //! strings are escaped per RFC 8259, non-finite floats — legal in our
@@ -31,6 +33,8 @@ pub enum ObsFormat {
     Jsonl,
     /// Chrome `trace_event` JSON.
     Chrome,
+    /// Prometheus text exposition format (metrics only).
+    Prometheus,
 }
 
 impl std::str::FromStr for ObsFormat {
@@ -40,8 +44,9 @@ impl std::str::FromStr for ObsFormat {
             "table" => Ok(ObsFormat::Table),
             "jsonl" => Ok(ObsFormat::Jsonl),
             "chrome" => Ok(ObsFormat::Chrome),
+            "prom" | "prometheus" => Ok(ObsFormat::Prometheus),
             other => Err(format!(
-                "unknown obs format `{other}` (expected table|jsonl|chrome)"
+                "unknown obs format `{other}` (expected table|jsonl|chrome|prometheus)"
             )),
         }
     }
@@ -107,6 +112,12 @@ fn span_args_json(s: &SpanRecord) -> String {
     }
     if let Some(v) = s.synopsis_bytes {
         fields.push(format!("\"synopsis_bytes\":{v}"));
+    }
+    if let Some(v) = s.alloc_net {
+        fields.push(format!("\"alloc_net\":{v}"));
+    }
+    if let Some(v) = s.alloc_bytes {
+        fields.push(format!("\"alloc_bytes\":{v}"));
     }
     format!("{{{}}}", fields.join(","))
 }
@@ -322,12 +333,21 @@ impl Report {
         out
     }
 
+    /// Per-phase time attribution ("where the microseconds go") from the
+    /// span tree: self time per `(name, op)` group, descending.
+    pub fn render_attribution(&self) -> String {
+        crate::attribution::render_attribution(&self.spans)
+    }
+
     /// Renders in the requested format.
     pub fn render(&self, format: ObsFormat) -> String {
         match format {
             ObsFormat::Table => self.render_table(),
             ObsFormat::Jsonl => self.to_jsonl(),
             ObsFormat::Chrome => self.to_chrome_trace(),
+            ObsFormat::Prometheus => {
+                crate::prometheus::render_prometheus(&self.metrics, "mnc_", &[])
+            }
         }
     }
 }
@@ -367,6 +387,11 @@ mod tests {
         assert_eq!("table".parse::<ObsFormat>().unwrap(), ObsFormat::Table);
         assert_eq!("jsonl".parse::<ObsFormat>().unwrap(), ObsFormat::Jsonl);
         assert_eq!("chrome".parse::<ObsFormat>().unwrap(), ObsFormat::Chrome);
+        assert_eq!(
+            "prometheus".parse::<ObsFormat>().unwrap(),
+            ObsFormat::Prometheus
+        );
+        assert_eq!("prom".parse::<ObsFormat>().unwrap(), ObsFormat::Prometheus);
         assert!("xml".parse::<ObsFormat>().is_err());
     }
 

@@ -45,13 +45,19 @@
 //! ```
 
 pub mod accuracy;
+pub mod alloc;
+pub mod attribution;
 pub mod export;
 pub mod metrics;
+pub mod prometheus;
 pub mod span;
 
 pub use accuracy::AccuracyRecord;
+pub use alloc::{AllocDelta, AllocScope, AllocSnapshot};
+pub use attribution::{attribute, render_attribution, AttributionRow};
 pub use export::{ObsFormat, Report};
 pub use metrics::{Counter, Gauge, Histogram, LatencyHisto, MetricSnapshot, MetricsRegistry};
+pub use prometheus::render_prometheus;
 pub use span::{SpanGuard, SpanRecord};
 
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};

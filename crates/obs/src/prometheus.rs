@@ -1,0 +1,261 @@
+//! Prometheus text-format exposition for [`MetricSnapshot`] — the fourth
+//! exporter next to the human table, JSONL, and Chrome trace.
+//!
+//! Rendering follows the [text exposition format 0.0.4]: one `# TYPE` line
+//! per metric, counters suffixed `_total`, histograms exposed as cumulative
+//! `_bucket{le="..."}` series with `_sum`/`_count`. Metric names are
+//! sanitized to the `[a-zA-Z_:][a-zA-Z0-9_:]*` grammar (the registry uses
+//! dotted names like `cache.hit`), and label values are escaped per the
+//! spec (`\\`, `\"`, `\n`).
+//!
+//! The same [`MetricsRegistry`](crate::metrics::MetricsRegistry) a session
+//! records into can therefore be scraped by a future serving layer without
+//! any re-instrumentation: render the snapshot on each scrape.
+//!
+//! [text exposition format 0.0.4]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Write as _;
+
+use crate::metrics::{bucket_upper_bound, LatencyHisto, MetricSnapshot, NBUCKETS};
+
+/// Sanitizes a registry metric name into the Prometheus grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: every invalid character becomes `_`, and a
+/// leading digit gets a `_` prefix.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let valid =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if valid {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a `{k="v",...}` label block (empty string for no labels).
+fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_metric_name(k), escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Like [`label_block`] but with an extra `le` label appended (histogram
+/// bucket lines).
+fn label_block_with_le(labels: &[(&str, &str)], le: &str) -> String {
+    let mut inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_metric_name(k), escape_label_value(v)))
+        .collect();
+    inner.push(format!("le=\"{le}\""));
+    format!("{{{}}}", inner.join(","))
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &[(&str, &str)], h: &LatencyHisto) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    // Cumulative counts over the log₂ buckets; empty buckets are elided
+    // (cumulativeness is preserved — `le` bounds stay increasing), the
+    // mandatory `+Inf` bucket always closes the series.
+    let mut cum = 0u64;
+    for k in 0..NBUCKETS {
+        let c = h.buckets()[k];
+        if c == 0 {
+            continue;
+        }
+        cum += c;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cum}",
+            label_block_with_le(labels, &bucket_upper_bound(k).to_string())
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{name}_bucket{} {}",
+        label_block_with_le(labels, "+Inf"),
+        h.count()
+    );
+    let _ = writeln!(out, "{name}_sum{} {}", label_block(labels), h.sum());
+    let _ = writeln!(out, "{name}_count{} {}", label_block(labels), h.count());
+}
+
+/// Renders a snapshot in the Prometheus text exposition format. `prefix` is
+/// prepended to every (sanitized) metric name; `labels` are attached to
+/// every sample.
+pub fn render_prometheus(snap: &MetricSnapshot, prefix: &str, labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    let lb = label_block(labels);
+    for (name, v) in &snap.counters {
+        let mut n = format!("{prefix}{}", sanitize_metric_name(name));
+        // Counters conventionally end in `_total`.
+        if !n.ends_with("_total") {
+            n.push_str("_total");
+        }
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n}{lb} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = format!("{prefix}{}", sanitize_metric_name(name));
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n}{lb} {v}");
+    }
+    for (name, h) in &snap.histograms {
+        let n = format!("{prefix}{}", sanitize_metric_name(name));
+        render_histogram(&mut out, &n, labels, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_snapshot() -> MetricSnapshot {
+        let reg = MetricsRegistry::new();
+        reg.counter("cache.hit").add(7);
+        reg.gauge("cache.bytes_resident").set(-12);
+        let h = reg.histogram("estimate_ns");
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        h.record(900);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn name_sanitization() {
+        assert_eq!(sanitize_metric_name("cache.hit"), "cache_hit");
+        assert_eq!(sanitize_metric_name("b2/MNC err"), "b2_MNC_err");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("ok_name:x9"), "ok_name:x9");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(sanitize_metric_name("µs"), "_s");
+    }
+
+    #[test]
+    fn label_value_escaping() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let block = label_block(&[("run id", "x\"1\"")]);
+        assert_eq!(block, "{run_id=\"x\\\"1\\\"\"}");
+    }
+
+    #[test]
+    fn counters_are_total_suffixed_and_monotone_across_snapshots() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("cache.hit");
+        c.add(3);
+        let first = render_prometheus(&reg.snapshot(), "mnc_", &[]);
+        assert!(first.contains("# TYPE mnc_cache_hit_total counter"));
+        assert!(first.contains("mnc_cache_hit_total 3"));
+        c.add(2);
+        let second = render_prometheus(&reg.snapshot(), "mnc_", &[]);
+        let value = |s: &str| -> u64 {
+            s.lines()
+                .find(|l| l.starts_with("mnc_cache_hit_total "))
+                .and_then(|l| l.split(' ').nth(1))
+                .and_then(|v| v.parse().ok())
+                .expect("counter sample present")
+        };
+        assert!(value(&second) > value(&first), "counter went backwards");
+        assert_eq!(value(&second), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_close_with_inf() {
+        let text = render_prometheus(&sample_snapshot(), "mnc_", &[]);
+        let bucket_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("mnc_estimate_ns_bucket"))
+            .collect();
+        assert!(bucket_lines.len() >= 2);
+        // Cumulative counts must be non-decreasing, ending at the total.
+        let counts: Vec<u64> = bucket_lines
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert_eq!(*counts.last().unwrap(), 4);
+        assert!(bucket_lines.last().unwrap().contains("le=\"+Inf\""));
+        // `le` bounds (excluding +Inf) strictly increase.
+        let les: Vec<u64> = bucket_lines
+            .iter()
+            .filter(|l| !l.contains("+Inf"))
+            .map(|l| {
+                let start = l.find("le=\"").unwrap() + 4;
+                let end = l[start..].find('"').unwrap() + start;
+                l[start..end].parse().unwrap()
+            })
+            .collect();
+        assert!(les.windows(2).all(|w| w[0] < w[1]), "{les:?}");
+        assert!(text.contains("mnc_estimate_ns_sum 906"));
+        assert!(text.contains("mnc_estimate_ns_count 4"));
+    }
+
+    #[test]
+    fn golden_output_line_by_line() {
+        let text = render_prometheus(&sample_snapshot(), "mnc_", &[("suite", "perf")]);
+        let expected = [
+            "# TYPE mnc_cache_hit_total counter",
+            "mnc_cache_hit_total{suite=\"perf\"} 7",
+            "# TYPE mnc_cache_bytes_resident gauge",
+            "mnc_cache_bytes_resident{suite=\"perf\"} -12",
+            "# TYPE mnc_estimate_ns histogram",
+            "mnc_estimate_ns_bucket{suite=\"perf\",le=\"0\"} 1",
+            "mnc_estimate_ns_bucket{suite=\"perf\",le=\"3\"} 3",
+            "mnc_estimate_ns_bucket{suite=\"perf\",le=\"1023\"} 4",
+            "mnc_estimate_ns_bucket{suite=\"perf\",le=\"+Inf\"} 4",
+            "mnc_estimate_ns_sum{suite=\"perf\"} 906",
+            "mnc_estimate_ns_count{suite=\"perf\"} 4",
+        ];
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), expected.len(), "{text}");
+        for (got, want) in lines.iter().zip(expected.iter()) {
+            assert_eq!(got, want);
+        }
+        // Every sample line parses as `name{labels} value`.
+        for line in lines.iter().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+            assert!(series.contains("{suite=\"perf\""), "missing label: {line}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(
+            render_prometheus(&MetricSnapshot::default(), "mnc_", &[]),
+            ""
+        );
+    }
+}

@@ -39,6 +39,11 @@ pub struct SpanRecord {
     pub nnz_out: Option<u64>,
     /// Bytes of the synopsis built/propagated, when known.
     pub synopsis_bytes: Option<u64>,
+    /// Net live-heap change over the span (allocation tracking builds only).
+    pub alloc_net: Option<i64>,
+    /// Gross bytes allocated inside the span (allocation tracking builds
+    /// only).
+    pub alloc_bytes: Option<u64>,
 }
 
 static THREAD_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -64,6 +69,9 @@ pub struct SpanGuard {
     record: Option<SpanRecord>,
     /// Thread-local state to restore on drop.
     saved: (u64, u64),
+    /// Allocation counters at open (alloc-track builds only; the branch on
+    /// [`crate::alloc::tracking_active`] is a compile-time constant).
+    alloc0: Option<crate::alloc::AllocScope>,
 }
 
 impl SpanGuard {
@@ -74,6 +82,7 @@ impl SpanGuard {
                 start: None,
                 record: None,
                 saved: (0, 0),
+                alloc0: None,
             };
         };
         let id = shared.next_span_id.fetch_add(1, Ordering::Relaxed);
@@ -94,10 +103,17 @@ impl SpanGuard {
                 nnz_in: None,
                 nnz_out: None,
                 synopsis_bytes: None,
+                alloc_net: None,
+                alloc_bytes: None,
             }),
             shared: Some(shared),
             start: Some(now),
             saved,
+            alloc0: if crate::alloc::tracking_active() {
+                Some(crate::alloc::AllocScope::start())
+            } else {
+                None
+            },
         }
     }
 
@@ -168,6 +184,11 @@ impl Drop for SpanGuard {
         };
         CURRENT_SPAN.with(|c| c.set(self.saved));
         record.dur_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Some(scope) = &self.alloc0 {
+            let delta = scope.measure();
+            record.alloc_net = Some(delta.net_bytes);
+            record.alloc_bytes = Some(delta.gross_bytes);
+        }
         shared.spans.push(record);
     }
 }
@@ -203,6 +224,23 @@ mod tests {
         let s = &rec.spans()[0];
         assert_eq!(s.nnz_out, Some(99));
         assert_eq!(s.synopsis_bytes, Some(1024));
+    }
+
+    #[test]
+    fn alloc_deltas_follow_the_feature_gate() {
+        let rec = Recorder::enabled();
+        {
+            let _g = rec.span("allocating");
+            let _kept: Vec<u64> = vec![0; 2048];
+        }
+        let s = &rec.spans()[0];
+        if crate::alloc::tracking_active() {
+            assert!(s.alloc_bytes.expect("tracked builds stamp gross bytes") >= 2048 * 8);
+            assert!(s.alloc_net.is_some());
+        } else {
+            assert_eq!(s.alloc_bytes, None, "untracked builds stamp nothing");
+            assert_eq!(s.alloc_net, None);
+        }
     }
 
     #[test]

@@ -27,6 +27,8 @@ pub mod usecases;
 
 pub use datasets::Datasets;
 pub use metrics::relative_error;
-pub use regression::{b1_thresholds, check_thresholds, Threshold, Violation};
+pub use regression::{
+    b1_thresholds, b2_thresholds, b3_thresholds, check_thresholds, Threshold, Violation,
+};
 pub use runner::{run_case, CaseResult, Outcome};
 pub use usecases::UseCase;

@@ -82,6 +82,20 @@ pub fn b1_thresholds() -> Vec<Threshold> {
         .expect("checked-in threshold file parses")
 }
 
+/// The checked-in B2 thresholds (`data/b2_thresholds.tsv`), seeded from
+/// errors measured at `MNC_SCALE=0.1` — the scale CI runs the suite at.
+pub fn b2_thresholds() -> Vec<Threshold> {
+    parse_thresholds(include_str!("../data/b2_thresholds.tsv"))
+        .expect("checked-in threshold file parses")
+}
+
+/// The checked-in B3 thresholds (`data/b3_thresholds.tsv`), seeded from
+/// errors measured at `MNC_SCALE=0.1` — the scale CI runs the suite at.
+pub fn b3_thresholds() -> Vec<Threshold> {
+    parse_thresholds(include_str!("../data/b3_thresholds.tsv"))
+        .expect("checked-in threshold file parses")
+}
+
 /// Checks accuracy telemetry against thresholds. Every record whose
 /// `(case, estimator)` matches a threshold is gated — a non-finite error
 /// (zero/non-zero sparsity mismatch) always violates. Thresholds whose
@@ -131,6 +145,26 @@ mod tests {
             );
         }
         assert!(ts.iter().all(|t| t.max_error >= 1.0));
+    }
+
+    #[test]
+    fn checked_in_b2_b3_thresholds_parse_and_gate_mnc_and_bitset() {
+        for (thresholds, cases) in [
+            (b2_thresholds(), ["B2.1", "B2.2", "B2.3", "B2.4", "B2.5"]),
+            (b3_thresholds(), ["B3.1", "B3.2", "B3.3", "B3.4", "B3.5"]),
+        ] {
+            for case in cases {
+                for est in ["MNC", "Bitset"] {
+                    assert!(
+                        thresholds
+                            .iter()
+                            .any(|t| t.case == case && t.estimator == est),
+                        "missing {est} threshold for {case}"
+                    );
+                }
+            }
+            assert!(thresholds.iter().all(|t| t.max_error >= 1.0));
+        }
     }
 
     #[test]
