@@ -1,0 +1,89 @@
+//! Criterion benches comparing every kernel against its scalar reference —
+//! the allocation-free fused paths vs. the original collect()-chain loops —
+//! so kernel regressions are visible outside the `mnc-perf --baseline` gate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mnc_kernels::{scalar, ScratchArena};
+
+fn counts(seed: u64, len: usize, max: u32) -> Vec<u32> {
+    let mut s = seed;
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as u32) % (max + 1)
+        })
+        .collect()
+}
+
+fn words(seed: u64, len: usize) -> Vec<u64> {
+    let mut s = seed;
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s
+        })
+        .collect()
+}
+
+fn bench_dot(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dot");
+    for &len in &[256usize, 4096, 65536] {
+        let x = counts(1, len, 1000);
+        let y = counts(2, len, 1000);
+        g.bench_with_input(BenchmarkId::new("scalar", len), &len, |b, _| {
+            b.iter(|| scalar::dot_u32(&x, &y));
+        });
+        g.bench_with_input(BenchmarkId::new("kernel", len), &len, |b, _| {
+            b.iter(|| mnc_kernels::dot_u32(&x, &y));
+        });
+    }
+    g.finish();
+}
+
+fn bench_combinators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("combine");
+    let len = 4096;
+    let x = counts(3, len, 1000);
+    let y = counts(4, len, 1000);
+    g.bench_function("zip_add/scalar_collect_plus_meta", |b| {
+        b.iter(|| {
+            let v = scalar::zip_add(&x, &y);
+            scalar::meta_scan(&v, 500)
+        });
+    });
+    let mut arena = ScratchArena::new();
+    let mut out = arena.take_u32(len);
+    g.bench_function("zip_add/kernel_fused", |b| {
+        b.iter(|| mnc_kernels::zip_add_into(&x, &y, 500, &mut out));
+    });
+    g.bench_function("scale_round/scalar_collect", |b| {
+        b.iter(|| scalar::scale_round(&x, 1e5, 1000, |v| v.round() as u64));
+    });
+    g.bench_function("scale_round/kernel_fused", |b| {
+        b.iter(|| {
+            mnc_kernels::scale_round_into(&x, 1e5, 1000, 500, |v| v.round() as u64, &mut out)
+        });
+    });
+    g.finish();
+}
+
+fn bench_popcount(c: &mut Criterion) {
+    let mut g = c.benchmark_group("popcount");
+    for &len in &[512usize, 16384] {
+        let w = words(5, len);
+        g.bench_with_input(BenchmarkId::new("scalar", len), &len, |b, _| {
+            b.iter(|| scalar::popcount(&w));
+        });
+        g.bench_with_input(BenchmarkId::new("kernel", len), &len, |b, _| {
+            b.iter(|| mnc_kernels::popcount(&w));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dot, bench_combinators, bench_popcount);
+criterion_main!(benches);

@@ -3,15 +3,18 @@
 //! written to `BENCH_MNC.json`) so perf, memory, and accuracy can be
 //! tracked *as a trajectory* across commits instead of one-off figure runs.
 //!
-//! Four workloads, each enclosed in a `"workload"` span on a shared
+//! Five workloads, each enclosed in a `"workload"` span on a shared
 //! [`Recorder`]:
 //!
 //! 1. **estimators** — per-estimator synopsis construction + single-op
 //!    estimation across sparsities and shapes (Figures 8/14 territory);
 //! 2. **chain** — sketch propagation down a product chain (Figure 12);
-//! 3. **cache** — an [`EstimationContext`] optimizer-probe workload, cached
+//! 3. **kernels** — scalar-vs-kernel microbenchmarks of the `mnc-kernels`
+//!    hot paths (`kernel.*` metrics: latency-gated p50s plus informational
+//!    speedup ratios);
+//! 4. **cache** — an [`EstimationContext`] optimizer-probe workload, cached
 //!    vs uncached;
-//! 4. **sparsest/b1** — the B1 accuracy sweep feeding per-estimator error
+//! 5. **sparsest/b1** — the B1 accuracy sweep feeding per-estimator error
 //!    summaries.
 //!
 //! Latency quantiles are aggregated from the recorder's spans (the same
@@ -23,8 +26,11 @@
 //! regression gate behind `mnc-perf --baseline BENCH_MNC.json`.
 
 use std::collections::BTreeMap;
+use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
+
+use mnc_kernels::{scalar, ScratchArena};
 
 use mnc_estimators::{
     BiasedSamplingEstimator, BitsetEstimator, DensityMapEstimator, DynamicDensityMapEstimator,
@@ -169,6 +175,163 @@ fn chain_workload(rec: &Recorder, d: usize, reps: usize) {
     }
 }
 
+/// Deterministic count vector for the kernel workload (no `rand`
+/// dependency on the hot path; LCG keeps runs reproducible).
+fn lcg_counts(seed: u64, len: usize, max: u32) -> Vec<u32> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as u32) % (max + 1)
+        })
+        .collect()
+}
+
+/// Median per-iteration nanoseconds over `samples` batched samples of
+/// `inner` iterations each (batching lifts cheap kernels above timer
+/// granularity; the median rejects scheduler outliers).
+fn batched_p50_ns(samples: usize, inner: usize, mut f: impl FnMut()) -> f64 {
+    let mut durs = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..inner {
+            f();
+        }
+        durs.push(t.elapsed().as_nanos() as u64 / inner as u64);
+    }
+    durs.sort_unstable();
+    quantile_ns(&durs, 0.5)
+}
+
+/// Workload 5: scalar-vs-kernel microbenchmarks of the hot-path primitives
+/// introduced by `mnc-kernels` — the sketch dot product, the `bool_mm`
+/// four-row OR fold, and a chain-opt DP step (the sketch dot products that
+/// price every split of an eight-matrix chain plus one scaled propagation of
+/// the winning cell, with arena-leased, recycled outputs on the kernel
+/// side). Emits `kernel.<name>.{scalar_p50_ns, kernel_p50_ns}`
+/// (latency-gated) and the ungated `kernel.<name>.speedup` ratio.
+fn kernel_workload(rec: &Recorder, scale: f64, metrics: &mut BTreeMap<String, f64>) {
+    let _w = rec.span("workload").op("kernels");
+    let len = ((20_000.0 * scale) as usize).max(2048);
+    let x = lcg_counts(1, len, 1000);
+    let y = lcg_counts(2, len, 1000);
+    let (samples, inner) = (31, (1 << 16) / len.min(1 << 16) + 4);
+    let mut record = |name: &str, scalar_ns: f64, kernel_ns: f64| {
+        metrics.insert(format!("kernel.{name}.scalar_p50_ns"), scalar_ns);
+        metrics.insert(format!("kernel.{name}.kernel_p50_ns"), kernel_ns);
+        metrics.insert(
+            format!("kernel.{name}.speedup"),
+            scalar_ns / kernel_ns.max(1.0),
+        );
+    };
+
+    record(
+        "dot",
+        batched_p50_ns(samples, inner, || {
+            black_box(scalar::dot_u32(black_box(&x), black_box(&y)));
+        }),
+        batched_p50_ns(samples, inner, || {
+            black_box(mnc_kernels::dot_u32(black_box(&x), black_box(&y)));
+        }),
+    );
+
+    // The `bool_mm` inner loop: OR four synopsis rows into the output row —
+    // one row at a time (the original accumulation) against the batched
+    // single-pass `or4_into` fold. Identical bits either way (OR is
+    // associative and commutative).
+    let rows: Vec<Vec<u64>> = (0..4)
+        .map(|i| {
+            lcg_counts(5 + i, len, u32::MAX - 1)
+                .iter()
+                .zip(lcg_counts(9 + i, len, u32::MAX - 1).iter())
+                .map(|(&a, &b)| (a as u64) << 32 | b as u64)
+                .collect()
+        })
+        .collect();
+    let mut dst = vec![0u64; len];
+    record(
+        "bool_mm_or",
+        batched_p50_ns(samples, inner, || {
+            dst.fill(0);
+            for r in &rows {
+                scalar::or_into(&mut dst, r);
+            }
+            black_box(&dst);
+        }),
+        batched_p50_ns(samples, inner, || {
+            dst.fill(0);
+            mnc_kernels::or4_into(&mut dst, &rows[0], &rows[1], &rows[2], &rows[3]);
+            black_box(&dst);
+        }),
+    );
+
+    // Chain-opt DP probe: price every split of a six-sketch matmul chain
+    // via sketch dot products, then propagate the winning cell once —
+    // scale both count vectors and derive their metadata. The scalar side
+    // is the pre-kernel shape: clone the two memoized sketches (the old
+    // clone-then-propagate DP cell), sequential f64 dots, allocating scale,
+    // separate metadata scans. The kernel side propagates from borrows via
+    // the integer dot and the fused scale-with-metadata, writing into
+    // arena-recycled buffers. Counts are mostly zero, as the sketches of
+    // sparse matrices are. Deterministic rounding keeps both sides
+    // comparable (no RNG stream to advance).
+    let vecs: Vec<Vec<u32>> = (0..8)
+        .map(|i| {
+            let mut v = lcg_counts(20 + i, len, 1000);
+            v.iter_mut()
+                .for_each(|c| *c = if *c % 8 == 0 { *c } else { 0 });
+            v
+        })
+        .collect();
+    let half = (len / 2) as u32;
+    let cap = len as u64;
+    let round = |v: f64| v.round() as u64;
+    let n = vecs.len();
+    let splits = ((n * n * n - n) / 6) as f64;
+    let scalar_ns = batched_p50_ns(samples, inner.div_ceil(4), || {
+        let mut acc = 0.0;
+        for span in 2..=n {
+            for i in 0..=n - span {
+                for k in i..i + span - 1 {
+                    acc += scalar::dot_u32(&vecs[i], &vecs[k + 1]);
+                }
+            }
+        }
+        let (left, right) = (
+            (vecs[0].clone(), vecs[1].clone()),
+            (vecs[2].clone(), vecs[3].clone()),
+        );
+        let target = acc / splits;
+        let hr = scalar::scale_round(&left.0, target, cap, round);
+        let row_meta = scalar::meta_scan(&hr, half);
+        let hc = scalar::scale_round(&right.1, target, cap, round);
+        let col_meta = scalar::meta_scan(&hc, half);
+        black_box((acc, left, right, hr, hc, row_meta, col_meta));
+    });
+    let mut arena = ScratchArena::new();
+    let kernel_ns = batched_p50_ns(samples, inner.div_ceil(4), || {
+        let mut acc = 0.0;
+        for span in 2..=n {
+            for i in 0..=n - span {
+                for k in i..i + span - 1 {
+                    acc += mnc_kernels::dot_u32(&vecs[i], &vecs[k + 1]);
+                }
+            }
+        }
+        let target = acc / splits;
+        let mut hr = arena.take_u32_spare();
+        let row_meta = mnc_kernels::scale_round_into(&vecs[0], target, cap, half, round, &mut hr);
+        let mut hc = arena.take_u32_spare();
+        let col_meta = mnc_kernels::scale_round_into(&vecs[3], target, cap, half, round, &mut hc);
+        black_box((acc, &hr, &hc, row_meta, col_meta));
+        arena.put_u32(hr);
+        arena.put_u32(hc);
+    });
+    record("propagation_chain", scalar_ns, kernel_ns);
+}
+
 /// Builds one optimizer probe over the shared leaves: alternating left- and
 /// right-deep parenthesizations, as in `cache_bench`.
 fn probe_dag(mats: &[Arc<CsrMatrix>], probe: usize) -> (ExprDag, NodeId) {
@@ -281,6 +444,7 @@ pub fn run_suite(scale: f64, reps: usize) -> (PerfReport, Recorder) {
     let d_chain = ((400.0 * scale) as usize).max(40);
     estimator_workload(&rec, d_est, reps, &mut metrics);
     chain_workload(&rec, d_chain, reps);
+    kernel_workload(&rec, scale, &mut metrics);
     cache_workload(&rec, d_est, reps, &mut metrics);
     let accuracy = accuracy_workload(&rec, scale, &mut metrics);
     metrics.insert("suite.total_ns".into(), t0.elapsed().as_nanos() as f64);
@@ -648,6 +812,11 @@ mod tests {
         );
         assert_eq!(classify("accuracy.MNC.infinite"), MetricClass::ExactCount);
         assert_eq!(classify("cache.hit_rate"), MetricClass::Info);
+        // Kernel microbench latencies are gated; the speedup ratio is
+        // informational (it is the *quotient* of two gated metrics).
+        assert_eq!(classify("kernel.dot.kernel_p50_ns"), MetricClass::Latency);
+        assert_eq!(classify("kernel.dot.scalar_p50_ns"), MetricClass::Latency);
+        assert_eq!(classify("kernel.dot.speedup"), MetricClass::Info);
     }
 
     #[test]
@@ -790,6 +959,12 @@ mod tests {
         }
         assert!(report.metrics.contains_key("build.MNC.p50_ns"));
         assert!(report.metrics.contains_key("cache.cached_total_ns"));
+        for name in ["dot", "bool_mm_or", "propagation_chain"] {
+            for stat in ["scalar_p50_ns", "kernel_p50_ns", "speedup"] {
+                let key = format!("kernel.{name}.{stat}");
+                assert!(report.metrics.contains_key(&key), "missing {key}");
+            }
+        }
         assert!(report
             .metrics
             .keys()

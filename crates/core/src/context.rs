@@ -13,6 +13,7 @@ use std::fmt;
 use std::hash::Hash;
 use std::time::Instant;
 
+use mnc_kernels::row_chunks;
 use mnc_matrix::CsrMatrix;
 use mnc_obs::LatencyHisto;
 
@@ -393,15 +394,6 @@ fn chunk_phase2(m: &CsrMatrix, lo: usize, hi: usize, global_hc: &[u32]) -> Chunk
         }
     }
     Chunk2 { her, hec }
-}
-
-/// Contiguous row ranges covering `0..nrows`, at most `threads` of them.
-fn row_chunks(nrows: usize, threads: usize) -> Vec<(usize, usize)> {
-    let chunk = nrows.div_ceil(threads);
-    (0..threads)
-        .map(|t| (t * chunk, ((t + 1) * chunk).min(nrows)))
-        .filter(|(lo, hi)| lo < hi)
-        .collect()
 }
 
 impl MncSketch {

@@ -7,6 +7,7 @@
 
 use crate::sketch::MncSketch;
 use crate::MncConfig;
+use mnc_kernels::{dot_u32, sub_sat_into, ScratchArena};
 
 /// Density-map-like estimator over two aligned count vectors (the fallback
 /// of Algorithm 1, lines 7/10):
@@ -16,34 +17,11 @@ use crate::MncConfig;
 /// which treats each rank-1 term `x_k · y_k` as independently scattering
 /// non-zeros over `p` candidate output cells. Computed in log-space for
 /// numerical stability; returns a fraction in `[0, 1]` of the `p` cells.
+///
+/// Delegates to the unrolled kernel, which is bit-identical to the scalar
+/// formulation for all inputs (see [`mnc_kernels::vector_edm`]).
 pub fn vector_edm(x: &[u32], y: &[u32], p: f64) -> f64 {
-    debug_assert_eq!(x.len(), y.len());
-    if p <= 0.0 {
-        return 0.0;
-    }
-    let mut log_zero = 0.0f64;
-    for (&xi, &yi) in x.iter().zip(y) {
-        if xi == 0 || yi == 0 {
-            continue;
-        }
-        let v = (xi as f64 * yi as f64) / p;
-        if v >= 1.0 {
-            return 1.0;
-        }
-        log_zero += (-v).ln_1p();
-    }
-    1.0 - log_zero.exp()
-}
-
-fn dot(x: &[u32], y: &[u32]) -> f64 {
-    x.iter().zip(y).map(|(&a, &b)| a as f64 * b as f64).sum()
-}
-
-fn sub_sat(x: &[u32], y: &[u32]) -> Vec<u32> {
-    x.iter()
-        .zip(y)
-        .map(|(&a, &b)| a.saturating_sub(b))
-        .collect()
+    mnc_kernels::vector_edm(x, y, p)
 }
 
 /// Estimates the output sparsity of `C = A B` from the two sketches with the
@@ -69,6 +47,19 @@ pub fn estimate_matmul(ha: &MncSketch, hb: &MncSketch) -> f64 {
 /// `O(n)` time in the common dimension. Panics if the sketch shapes are not
 /// compatible (programmer error — callers validate user input).
 pub fn estimate_matmul_with(ha: &MncSketch, hb: &MncSketch, cfg: &MncConfig) -> f64 {
+    estimate_matmul_in(ha, hb, cfg, &mut ScratchArena::new())
+}
+
+/// [`estimate_matmul_with`] with caller-provided scratch: the extended-count
+/// temporaries of Algorithm 1 are leased from `arena` instead of freshly
+/// allocated, so repeated estimation (DAG propagation, chain optimization)
+/// runs allocation-free in steady state. Bit-identical to the plain variant.
+pub fn estimate_matmul_in(
+    ha: &MncSketch,
+    hb: &MncSketch,
+    cfg: &MncConfig,
+    arena: &mut ScratchArena,
+) -> f64 {
     assert_eq!(
         ha.ncols, hb.nrows,
         "matmul sketch estimation: inner dimensions must agree"
@@ -83,36 +74,46 @@ pub fn estimate_matmul_with(ha: &MncSketch, hb: &MncSketch, cfg: &MncConfig) -> 
         // Theorem 3.1: the boolean product decomposes into a *disjoint*
         // union of outer products, so the dot product of the count vectors
         // is exact.
-        dot(&ha.hc, &hb.hr)
+        dot_u32(&ha.hc, &hb.hr)
     } else if cfg.use_extended && (ha.hec.is_some() || hb.her.is_some()) {
         // Extended counts (Eq. 8): split into an exactly-known fraction and
         // a generic remainder over a reduced output size (Alg. 1, line 6).
-        let zeros_a;
-        let hec_a: &[u32] = match &ha.hec {
-            Some(v) => v,
-            None => {
-                zeros_a = vec![0u32; ha.ncols];
-                &zeros_a
+        // A missing extended vector acts as all-zeros: its exact term is 0
+        // and the remainder degenerates to the base count vector, so no
+        // zero-filled temporary is materialized at all.
+        let mut rest_c_buf: Option<Vec<u32>> = None;
+        let exact_c = match &ha.hec {
+            Some(hec_a) => {
+                let mut buf = arena.take_u32_spare();
+                sub_sat_into(&ha.hc, hec_a, &mut buf);
+                rest_c_buf = Some(buf);
+                dot_u32(hec_a, &hb.hr)
             }
+            None => 0.0,
         };
-        let zeros_b;
-        let her_b: &[u32] = match &hb.her {
-            Some(v) => v,
-            None => {
-                zeros_b = vec![0u32; hb.nrows];
-                &zeros_b
+        let rest_c: &[u32] = rest_c_buf.as_deref().unwrap_or(&ha.hc);
+        let mut rest_r_buf: Option<Vec<u32>> = None;
+        let exact_r = match &hb.her {
+            Some(her_b) => {
+                let mut buf = arena.take_u32_spare();
+                sub_sat_into(&hb.hr, her_b, &mut buf);
+                rest_r_buf = Some(buf);
+                dot_u32(rest_c, her_b)
             }
+            None => 0.0,
         };
-        let rest_c = sub_sat(&ha.hc, hec_a);
-        let exact = dot(hec_a, &hb.hr) + dot(&rest_c, her_b);
-        let rest_r = sub_sat(&hb.hr, her_b);
+        let rest_r: &[u32] = rest_r_buf.as_deref().unwrap_or(&hb.hr);
+        let exact = exact_c + exact_r;
         let p = if cfg.use_bounds {
             (ha.meta.nonempty_rows - ha.meta.rows_eq_1) as f64
                 * (hb.meta.nonempty_cols - hb.meta.cols_eq_1) as f64
         } else {
             cells
         };
-        exact + vector_edm(&rest_c, &rest_r, p) * p
+        let est = exact + vector_edm(rest_c, rest_r, p) * p;
+        arena.put_u32_opt(rest_c_buf);
+        arena.put_u32_opt(rest_r_buf);
+        est
     } else {
         // Generic fallback over column/row counts (Alg. 1, lines 9-10).
         let p = if cfg.use_bounds {
@@ -211,7 +212,7 @@ pub(crate) fn lambda_cols(ha: &MncSketch, hb: &MncSketch) -> f64 {
     if denom == 0.0 {
         0.0
     } else {
-        dot(&ha.hc, &hb.hc) / denom
+        dot_u32(&ha.hc, &hb.hc) / denom
     }
 }
 
@@ -221,7 +222,7 @@ pub(crate) fn lambda_rows(ha: &MncSketch, hb: &MncSketch) -> f64 {
     if denom == 0.0 {
         0.0
     } else {
-        dot(&ha.hr, &hb.hr) / denom
+        dot_u32(&ha.hr, &hb.hr) / denom
     }
 }
 

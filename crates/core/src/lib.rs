@@ -44,20 +44,25 @@ pub use round::SplitMix64;
 pub use serialize::{from_bytes, to_bytes, DecodeError};
 pub use sketch::{MncSketch, SketchMeta};
 
+// The kernel scratch arena is part of the core propagation API surface
+// (`MncSketch::propagate_in`, the `propagate_*_in` free functions), so
+// downstream crates get it without naming `mnc-kernels` directly.
+pub use mnc_kernels::ScratchArena;
+
 // Legacy per-op free functions, superseded by the op-driven entry points
 // [`MncSketch::estimate`] / [`MncSketch::propagate`] (see [`op`]). They stay
 // exported so existing callers compile, but are hidden from the docs.
 #[doc(hidden)]
 pub use estimate::{
     estimate_cbind, estimate_diag_extract, estimate_diag_v2m, estimate_eq_zero, estimate_ew_add,
-    estimate_ew_mul, estimate_matmul, estimate_matmul_with, estimate_neq_zero, estimate_rbind,
-    estimate_reshape, estimate_transpose, vector_edm,
+    estimate_ew_mul, estimate_matmul, estimate_matmul_in, estimate_matmul_with, estimate_neq_zero,
+    estimate_rbind, estimate_reshape, estimate_transpose, vector_edm,
 };
 #[doc(hidden)]
 pub use propagate::{
     propagate_cbind, propagate_diag_extract, propagate_diag_v2m, propagate_eq_zero,
-    propagate_ew_add, propagate_ew_mul, propagate_matmul, propagate_neq_zero, propagate_rbind,
-    propagate_reshape, propagate_transpose,
+    propagate_ew_add, propagate_ew_mul, propagate_matmul, propagate_matmul_in, propagate_neq_zero,
+    propagate_rbind, propagate_reshape, propagate_transpose,
 };
 
 /// Configuration of the MNC estimator.

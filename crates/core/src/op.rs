@@ -18,13 +18,14 @@ use crate::estimate::{
     estimate_transpose,
 };
 use crate::propagate::{
-    propagate_cbind, propagate_diag_extract, propagate_diag_v2m, propagate_eq_zero,
-    propagate_ew_add, propagate_ew_mul, propagate_matmul, propagate_neq_zero, propagate_rbind,
-    propagate_reshape, propagate_transpose,
+    propagate_cbind_in, propagate_diag_extract_in, propagate_diag_v2m, propagate_eq_zero_in,
+    propagate_ew_add_in, propagate_ew_mul_in, propagate_matmul_in, propagate_neq_zero,
+    propagate_rbind_in, propagate_reshape_in, propagate_transpose,
 };
 use crate::round::SplitMix64;
 use crate::sketch::MncSketch;
 use crate::MncConfig;
+use mnc_kernels::ScratchArena;
 
 /// The operations the SparsEst benchmark exercises (paper Sections 3–4).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -276,20 +277,36 @@ impl MncSketch {
         cfg: &MncConfig,
         rng: &mut SplitMix64,
     ) -> Result<MncSketch> {
+        Self::propagate_in(op, inputs, cfg, rng, &mut ScratchArena::new())
+    }
+
+    /// [`MncSketch::propagate_with`] with caller-provided scratch: every
+    /// output count vector and extended-count temporary is leased from
+    /// `arena`, so repeated propagation over a DAG runs allocation-free in
+    /// steady state. Bit-identical to the plain variant.
+    pub fn propagate_in(
+        op: &OpKind,
+        inputs: &[&MncSketch],
+        cfg: &MncConfig,
+        rng: &mut SplitMix64,
+        arena: &mut ScratchArena,
+    ) -> Result<MncSketch> {
         validate(op, inputs)?;
         let a = inputs[0];
         Ok(match op {
-            OpKind::MatMul => propagate_matmul(a, inputs[1], cfg, rng),
-            OpKind::EwAdd | OpKind::EwMax => propagate_ew_add(a, inputs[1], cfg, rng),
-            OpKind::EwMul | OpKind::EwMin => propagate_ew_mul(a, inputs[1], cfg, rng),
+            OpKind::MatMul => propagate_matmul_in(a, inputs[1], cfg, rng, arena),
+            OpKind::EwAdd | OpKind::EwMax => propagate_ew_add_in(a, inputs[1], cfg, rng, arena),
+            OpKind::EwMul | OpKind::EwMin => propagate_ew_mul_in(a, inputs[1], cfg, rng, arena),
             OpKind::Transpose => propagate_transpose(a),
-            OpKind::Reshape { rows, cols } => propagate_reshape(a, *rows, *cols, cfg, rng),
+            OpKind::Reshape { rows, cols } => {
+                propagate_reshape_in(a, *rows, *cols, cfg, rng, arena)
+            }
             OpKind::DiagV2M => propagate_diag_v2m(a),
-            OpKind::DiagM2V => propagate_diag_extract(a, cfg, rng),
-            OpKind::Rbind => propagate_rbind(a, inputs[1]),
-            OpKind::Cbind => propagate_cbind(a, inputs[1]),
+            OpKind::DiagM2V => propagate_diag_extract_in(a, cfg, rng, arena),
+            OpKind::Rbind => propagate_rbind_in(a, inputs[1], arena),
+            OpKind::Cbind => propagate_cbind_in(a, inputs[1], arena),
             OpKind::Neq0 => propagate_neq_zero(a),
-            OpKind::Eq0 => propagate_eq_zero(a),
+            OpKind::Eq0 => propagate_eq_zero_in(a, arena),
         })
     }
 
@@ -461,7 +478,7 @@ mod tests {
         let mut r2 = SplitMix64::new(cfg.seed);
         let via_op =
             MncSketch::propagate_with(&OpKind::MatMul, &[&ha, &hb], &cfg, &mut r1).unwrap();
-        let direct = propagate_matmul(&ha, &hb, &cfg, &mut r2);
+        let direct = crate::propagate::propagate_matmul(&ha, &hb, &cfg, &mut r2);
         assert_eq!(via_op, direct);
     }
 

@@ -8,16 +8,22 @@
 //! intermediates.
 
 use crate::estimate::{
-    estimate_eq_zero, estimate_ew_add, estimate_ew_mul, estimate_matmul_with, lambda_cols,
+    estimate_eq_zero, estimate_ew_add, estimate_ew_mul, estimate_matmul_in, lambda_cols,
     lambda_rows,
 };
 use crate::round::{round_count, SplitMix64};
-use crate::sketch::MncSketch;
+use crate::sketch::{col_half_threshold, row_half_threshold, MncSketch};
 use crate::MncConfig;
+use mnc_kernels::{
+    complement_into, concat_meta_into, scale_round_into, sum_u32, zip_add_into, ScratchArena,
+    VecMeta,
+};
 
 /// Scales `counts` so that they sum to `target`, rounding each entry
 /// (probabilistically when configured) and capping at `cap` (a count can
-/// never exceed the opposite dimension).
+/// never exceed the opposite dimension). Test-only reference wrapper — the
+/// hot paths call [`scale_round_into`] directly with an arena-leased buffer.
+#[cfg(test)]
 fn scale_counts(
     counts: &[u32],
     target: f64,
@@ -25,21 +31,16 @@ fn scale_counts(
     rng: &mut SplitMix64,
     probabilistic: bool,
 ) -> Vec<u32> {
-    let sum: f64 = counts.iter().map(|&c| c as f64).sum();
-    if sum <= 0.0 || target <= 0.0 {
-        return vec![0; counts.len()];
-    }
-    let factor = target / sum;
-    counts
-        .iter()
-        .map(|&c| {
-            if c == 0 {
-                0
-            } else {
-                round_count(rng, c as f64 * factor, probabilistic).min(cap) as u32
-            }
-        })
-        .collect()
+    let mut out = Vec::new();
+    scale_round_into(
+        counts,
+        target,
+        cap,
+        0,
+        |x| round_count(rng, x, probabilistic),
+        &mut out,
+    );
+    out
 }
 
 /// Propagates sketches over `C = A B` (Section 3.3, Eq. 11–12).
@@ -55,6 +56,19 @@ pub fn propagate_matmul(
     cfg: &MncConfig,
     rng: &mut SplitMix64,
 ) -> MncSketch {
+    propagate_matmul_in(ha, hb, cfg, rng, &mut ScratchArena::new())
+}
+
+/// [`propagate_matmul`] with caller-provided scratch — output count vectors
+/// are leased from `arena` and their metadata is recomputed in the same
+/// fused scaling pass. Bit-identical to the plain variant.
+pub fn propagate_matmul_in(
+    ha: &MncSketch,
+    hb: &MncSketch,
+    cfg: &MncConfig,
+    rng: &mut SplitMix64,
+    arena: &mut ScratchArena,
+) -> MncSketch {
     assert_eq!(ha.ncols, hb.nrows, "matmul propagation: shape mismatch");
     // Eq. 12: multiplication with a fully diagonal square matrix preserves
     // the other operand's structure exactly.
@@ -65,16 +79,53 @@ pub fn propagate_matmul(
         return hb.clone();
     }
     let (m, l) = (ha.nrows, hb.ncols);
-    let s_c = estimate_matmul_with(ha, hb, cfg);
+    let s_c = estimate_matmul_in(ha, hb, cfg, arena);
     let target = s_c * m as f64 * l as f64;
-    let hr = scale_counts(&ha.hr, target, l as u64, rng, cfg.probabilistic_rounding);
-    let hc = scale_counts(&hb.hc, target, m as u64, rng, cfg.probabilistic_rounding);
-    MncSketch::from_vectors(m, l, hr, hc, None, None, false)
+    let prob = cfg.probabilistic_rounding;
+    let mut hr = arena.take_u32_spare();
+    let row_meta = scale_round_into(
+        &ha.hr,
+        target,
+        l as u64,
+        row_half_threshold(l),
+        |x| round_count(rng, x, prob),
+        &mut hr,
+    );
+    let mut hc = arena.take_u32_spare();
+    let col_meta = scale_round_into(
+        &hb.hc,
+        target,
+        m as u64,
+        col_half_threshold(m),
+        |x| round_count(rng, x, prob),
+        &mut hc,
+    );
+    MncSketch::from_vectors_with_meta(m, l, hr, hc, None, None, false, row_meta, col_meta)
 }
 
 /// Transpose: mirror all components exactly (Eq. 14).
+///
+/// The output metadata is the input's with the row/column halves swapped —
+/// the half-full thresholds swap along with the dimensions — except `nnz`,
+/// which is authoritative from the *output* row counts (= the input column
+/// counts, whose sum can differ by rounding noise on propagated sketches)
+/// and is recomputed with one kernel pass.
 pub fn propagate_transpose(h: &MncSketch) -> MncSketch {
-    MncSketch::from_vectors(
+    let row_meta = VecMeta {
+        sum: sum_u32(&h.hc),
+        max: h.meta.max_hc,
+        nonempty: h.meta.nonempty_cols,
+        eq1: h.meta.cols_eq_1,
+        over_half: h.meta.half_full_cols,
+    };
+    let col_meta = VecMeta {
+        sum: h.meta.nnz,
+        max: h.meta.max_hr,
+        nonempty: h.meta.nonempty_rows,
+        eq1: h.meta.rows_eq_1,
+        over_half: h.meta.half_full_rows,
+    };
+    MncSketch::from_vectors_with_meta(
         h.ncols,
         h.nrows,
         h.hc.clone(),
@@ -82,6 +133,8 @@ pub fn propagate_transpose(h: &MncSketch) -> MncSketch {
         h.hec.clone(),
         h.her.clone(),
         h.meta.fully_diagonal,
+        row_meta,
+        col_meta,
     )
 }
 
@@ -93,11 +146,20 @@ pub fn propagate_neq_zero(h: &MncSketch) -> MncSketch {
 /// `A == 0`: complement counts, `h^r_C = n - h^r_A`, `h^c_C = m - h^c_A`;
 /// extension vectors are dropped (Eq. 14).
 pub fn propagate_eq_zero(h: &MncSketch) -> MncSketch {
+    propagate_eq_zero_in(h, &mut ScratchArena::new())
+}
+
+/// [`propagate_eq_zero`] with caller-provided scratch.
+pub fn propagate_eq_zero_in(h: &MncSketch, arena: &mut ScratchArena) -> MncSketch {
     let n = h.ncols as u32;
     let m = h.nrows as u32;
-    let hr = h.hr.iter().map(|&c| n - c).collect();
-    let hc = h.hc.iter().map(|&c| m - c).collect();
-    let out = MncSketch::from_vectors(h.nrows, h.ncols, hr, hc, None, None, false);
+    let mut hr = arena.take_u32_spare();
+    let row_meta = complement_into(&h.hr, n, row_half_threshold(h.ncols), &mut hr);
+    let mut hc = arena.take_u32_spare();
+    let col_meta = complement_into(&h.hc, m, col_half_threshold(h.nrows), &mut hc);
+    let out = MncSketch::from_vectors_with_meta(
+        h.nrows, h.ncols, hr, hc, None, None, false, row_meta, col_meta,
+    );
     debug_assert!(
         (out.sparsity() - estimate_eq_zero(h)).abs() < 1e-9,
         "complement sketch must agree with the scalar estimate"
@@ -109,30 +171,54 @@ pub fn propagate_eq_zero(h: &MncSketch) -> MncSketch {
 /// `h^ec` adds exactly (single-non-zero rows are unaffected by stacking);
 /// `h^er` cannot be preserved (a column's total count changes) — Eq. 14.
 pub fn propagate_rbind(ha: &MncSketch, hb: &MncSketch) -> MncSketch {
+    propagate_rbind_in(ha, hb, &mut ScratchArena::new())
+}
+
+/// [`propagate_rbind`] with caller-provided scratch.
+pub fn propagate_rbind_in(ha: &MncSketch, hb: &MncSketch, arena: &mut ScratchArena) -> MncSketch {
     assert_eq!(ha.ncols, hb.ncols, "rbind propagation: shape mismatch");
-    let mut hr = Vec::with_capacity(ha.nrows + hb.nrows);
-    hr.extend_from_slice(&ha.hr);
-    hr.extend_from_slice(&hb.hr);
-    let hc = ha.hc.iter().zip(&hb.hc).map(|(&a, &b)| a + b).collect();
-    let hec = match (ha.effective_hec(), hb.effective_hec()) {
-        (Some(a), Some(b)) => Some(a.iter().zip(&b).map(|(&x, &y)| x + y).collect()),
+    let nrows = ha.nrows + hb.nrows;
+    let mut hr = arena.take_u32_spare();
+    let row_meta = concat_meta_into(&ha.hr, &hb.hr, row_half_threshold(ha.ncols), &mut hr);
+    let mut hc = arena.take_u32_spare();
+    let col_meta = zip_add_into(&ha.hc, &hb.hc, col_half_threshold(nrows), &mut hc);
+    let hec = match (ha.effective_hec_slice(), hb.effective_hec_slice()) {
+        (Some(a), Some(b)) => {
+            let mut buf = arena.take_u32_spare();
+            zip_add_into(a, b, 0, &mut buf);
+            Some(buf)
+        }
         _ => None,
     };
-    MncSketch::from_vectors(ha.nrows + hb.nrows, ha.ncols, hr, hc, None, hec, false)
+    MncSketch::from_vectors_with_meta(
+        nrows, ha.ncols, hr, hc, None, hec, false, row_meta, col_meta,
+    )
 }
 
 /// `cbind(A, B)`: symmetric to [`propagate_rbind`].
 pub fn propagate_cbind(ha: &MncSketch, hb: &MncSketch) -> MncSketch {
+    propagate_cbind_in(ha, hb, &mut ScratchArena::new())
+}
+
+/// [`propagate_cbind`] with caller-provided scratch.
+pub fn propagate_cbind_in(ha: &MncSketch, hb: &MncSketch, arena: &mut ScratchArena) -> MncSketch {
     assert_eq!(ha.nrows, hb.nrows, "cbind propagation: shape mismatch");
-    let hr = ha.hr.iter().zip(&hb.hr).map(|(&a, &b)| a + b).collect();
-    let mut hc = Vec::with_capacity(ha.ncols + hb.ncols);
-    hc.extend_from_slice(&ha.hc);
-    hc.extend_from_slice(&hb.hc);
-    let her = match (ha.effective_her(), hb.effective_her()) {
-        (Some(a), Some(b)) => Some(a.iter().zip(&b).map(|(&x, &y)| x + y).collect()),
+    let ncols = ha.ncols + hb.ncols;
+    let mut hr = arena.take_u32_spare();
+    let row_meta = zip_add_into(&ha.hr, &hb.hr, row_half_threshold(ncols), &mut hr);
+    let mut hc = arena.take_u32_spare();
+    let col_meta = concat_meta_into(&ha.hc, &hb.hc, col_half_threshold(ha.nrows), &mut hc);
+    let her = match (ha.effective_her_slice(), hb.effective_her_slice()) {
+        (Some(a), Some(b)) => {
+            let mut buf = arena.take_u32_spare();
+            zip_add_into(a, b, 0, &mut buf);
+            Some(buf)
+        }
         _ => None,
     };
-    MncSketch::from_vectors(ha.nrows, ha.ncols + hb.ncols, hr, hc, her, None, false)
+    MncSketch::from_vectors_with_meta(
+        ha.nrows, ncols, hr, hc, her, None, false, row_meta, col_meta,
+    )
 }
 
 /// `diag(v)` for an `m x 1` vector: all four count vectors equal the
@@ -159,20 +245,28 @@ pub fn propagate_diag_v2m(h: &MncSketch) -> MncSketch {
 /// hold `h^r_i / n` non-zeros, probabilistically rounded; the single output
 /// column sums the row expectations.
 pub fn propagate_diag_extract(h: &MncSketch, cfg: &MncConfig, rng: &mut SplitMix64) -> MncSketch {
+    propagate_diag_extract_in(h, cfg, rng, &mut ScratchArena::new())
+}
+
+/// [`propagate_diag_extract`] with caller-provided scratch.
+pub fn propagate_diag_extract_in(
+    h: &MncSketch,
+    cfg: &MncConfig,
+    rng: &mut SplitMix64,
+    arena: &mut ScratchArena,
+) -> MncSketch {
     assert_eq!(h.nrows, h.ncols, "diag extraction expects a square sketch");
     let n = h.ncols as f64;
     let mut total = 0.0f64;
-    let hr: Vec<u32> =
-        h.hr.iter()
-            .map(|&c| {
-                if n == 0.0 {
-                    return 0;
-                }
-                let est = c as f64 / n;
-                total += est;
-                round_count(rng, est, cfg.probabilistic_rounding).min(1) as u32
-            })
-            .collect();
+    let mut hr = arena.take_u32(h.nrows);
+    for (o, &c) in hr.iter_mut().zip(&h.hr) {
+        if n == 0.0 {
+            continue;
+        }
+        let est = c as f64 / n;
+        total += est;
+        *o = round_count(rng, est, cfg.probabilistic_rounding).min(1) as u32;
+    }
     let hc = vec![round_count(rng, total, cfg.probabilistic_rounding).min(h.nrows as u64) as u32];
     MncSketch::from_vectors(h.nrows, 1, hr, hc, None, None, false)
 }
@@ -193,6 +287,18 @@ pub fn propagate_reshape(
     cfg: &MncConfig,
     rng: &mut SplitMix64,
 ) -> MncSketch {
+    propagate_reshape_in(h, k, l, cfg, rng, &mut ScratchArena::new())
+}
+
+/// [`propagate_reshape`] with caller-provided scratch.
+pub fn propagate_reshape_in(
+    h: &MncSketch,
+    k: usize,
+    l: usize,
+    cfg: &MncConfig,
+    rng: &mut SplitMix64,
+    arena: &mut ScratchArena,
+) -> MncSketch {
     let (m, n) = (h.nrows, h.ncols);
     assert_eq!(m * n, k * l, "reshape propagation: cell count mismatch");
     if k == m {
@@ -202,16 +308,18 @@ pub fn propagate_reshape(
     if k > 0 && m.is_multiple_of(k) {
         // Merge t consecutive input rows into each output row.
         let t = m / k;
-        let hr =
-            h.hr.chunks(t)
-                .map(|chunk| chunk.iter().sum::<u32>())
-                .collect();
+        let mut hr = arena.take_u32(k);
+        for (o, chunk) in hr.iter_mut().zip(h.hr.chunks(t)) {
+            *o = chunk.iter().sum::<u32>();
+        }
         // Each output column block sees ~1/t of a source column's count.
-        let mut hc = Vec::with_capacity(l);
+        let mut hc = arena.take_u32(l);
+        let mut out = hc.iter_mut();
         for _block in 0..t {
             for &c in &h.hc {
                 let est = c as f64 / t as f64;
-                hc.push(round_count(rng, est, cfg.probabilistic_rounding).min(k as u64) as u32);
+                *out.next().expect("l = t * n") =
+                    round_count(rng, est, cfg.probabilistic_rounding).min(k as u64) as u32;
             }
         }
         return MncSketch::from_vectors(k, l, hr, hc, None, None, false);
@@ -219,27 +327,31 @@ pub fn propagate_reshape(
     if m > 0 && k.is_multiple_of(m) {
         // Split each input row into t output rows.
         let t = k / m;
-        let mut hr = Vec::with_capacity(k);
+        let mut hr = arena.take_u32(k);
+        let mut out = hr.iter_mut();
         for &c in &h.hr {
             for _ in 0..t {
                 let est = c as f64 / t as f64;
-                hr.push(round_count(rng, est, cfg.probabilistic_rounding).min(l as u64) as u32);
+                *out.next().expect("k = t * m") =
+                    round_count(rng, est, cfg.probabilistic_rounding).min(l as u64) as u32;
             }
         }
         // Output column j accumulates input columns j, j+l, j+2l, ... exactly.
-        let mut hc = vec![0u32; l];
+        let mut hc = arena.take_u32(l);
         for (j, &c) in h.hc.iter().enumerate() {
             hc[j % l] += c;
         }
         return MncSketch::from_vectors(k, l, hr, hc, None, None, false);
     }
     // Non-aligned fallback: uniform redistribution.
-    let hr = (0..k)
-        .map(|_| round_count(rng, nnz / k as f64, cfg.probabilistic_rounding).min(l as u64) as u32)
-        .collect();
-    let hc = (0..l)
-        .map(|_| round_count(rng, nnz / l as f64, cfg.probabilistic_rounding).min(k as u64) as u32)
-        .collect();
+    let mut hr = arena.take_u32(k);
+    for o in hr.iter_mut() {
+        *o = round_count(rng, nnz / k as f64, cfg.probabilistic_rounding).min(l as u64) as u32;
+    }
+    let mut hc = arena.take_u32(l);
+    for o in hc.iter_mut() {
+        *o = round_count(rng, nnz / l as f64, cfg.probabilistic_rounding).min(k as u64) as u32;
+    }
     MncSketch::from_vectors(k, l, hr, hc, None, None, false)
 }
 
@@ -251,6 +363,17 @@ pub fn propagate_ew_add(
     cfg: &MncConfig,
     rng: &mut SplitMix64,
 ) -> MncSketch {
+    propagate_ew_add_in(ha, hb, cfg, rng, &mut ScratchArena::new())
+}
+
+/// [`propagate_ew_add`] with caller-provided scratch.
+pub fn propagate_ew_add_in(
+    ha: &MncSketch,
+    hb: &MncSketch,
+    cfg: &MncConfig,
+    rng: &mut SplitMix64,
+    arena: &mut ScratchArena,
+) -> MncSketch {
     assert_eq!(
         (ha.nrows, ha.ncols),
         (hb.nrows, hb.ncols),
@@ -258,26 +381,18 @@ pub fn propagate_ew_add(
     );
     let lc = lambda_cols(ha, hb);
     let lr = lambda_rows(ha, hb);
-    let hr = ha
-        .hr
-        .iter()
-        .zip(&hb.hr)
-        .map(|(&a, &b)| {
-            let (a, b) = (a as f64, b as f64);
-            let est = a + b - a * b * lc;
-            round_count(rng, est, cfg.probabilistic_rounding).min(ha.ncols as u64) as u32
-        })
-        .collect();
-    let hc = ha
-        .hc
-        .iter()
-        .zip(&hb.hc)
-        .map(|(&a, &b)| {
-            let (a, b) = (a as f64, b as f64);
-            let est = a + b - a * b * lr;
-            round_count(rng, est, cfg.probabilistic_rounding).min(ha.nrows as u64) as u32
-        })
-        .collect();
+    let mut hr = arena.take_u32(ha.nrows);
+    for ((o, &a), &b) in hr.iter_mut().zip(&ha.hr).zip(&hb.hr) {
+        let (a, b) = (a as f64, b as f64);
+        let est = a + b - a * b * lc;
+        *o = round_count(rng, est, cfg.probabilistic_rounding).min(ha.ncols as u64) as u32;
+    }
+    let mut hc = arena.take_u32(ha.ncols);
+    for ((o, &a), &b) in hc.iter_mut().zip(&ha.hc).zip(&hb.hc) {
+        let (a, b) = (a as f64, b as f64);
+        let est = a + b - a * b * lr;
+        *o = round_count(rng, est, cfg.probabilistic_rounding).min(ha.nrows as u64) as u32;
+    }
     let out = MncSketch::from_vectors(ha.nrows, ha.ncols, hr, hc, None, None, false);
     debug_assert!(estimate_ew_add(ha, hb).is_finite());
     out
@@ -290,6 +405,17 @@ pub fn propagate_ew_mul(
     cfg: &MncConfig,
     rng: &mut SplitMix64,
 ) -> MncSketch {
+    propagate_ew_mul_in(ha, hb, cfg, rng, &mut ScratchArena::new())
+}
+
+/// [`propagate_ew_mul`] with caller-provided scratch.
+pub fn propagate_ew_mul_in(
+    ha: &MncSketch,
+    hb: &MncSketch,
+    cfg: &MncConfig,
+    rng: &mut SplitMix64,
+    arena: &mut ScratchArena,
+) -> MncSketch {
     assert_eq!(
         (ha.nrows, ha.ncols),
         (hb.nrows, hb.ncols),
@@ -297,24 +423,16 @@ pub fn propagate_ew_mul(
     );
     let lc = lambda_cols(ha, hb);
     let lr = lambda_rows(ha, hb);
-    let hr = ha
-        .hr
-        .iter()
-        .zip(&hb.hr)
-        .map(|(&a, &b)| {
-            let est = a as f64 * b as f64 * lc;
-            round_count(rng, est, cfg.probabilistic_rounding).min(ha.ncols as u64) as u32
-        })
-        .collect();
-    let hc = ha
-        .hc
-        .iter()
-        .zip(&hb.hc)
-        .map(|(&a, &b)| {
-            let est = a as f64 * b as f64 * lr;
-            round_count(rng, est, cfg.probabilistic_rounding).min(ha.nrows as u64) as u32
-        })
-        .collect();
+    let mut hr = arena.take_u32(ha.nrows);
+    for ((o, &a), &b) in hr.iter_mut().zip(&ha.hr).zip(&hb.hr) {
+        let est = a as f64 * b as f64 * lc;
+        *o = round_count(rng, est, cfg.probabilistic_rounding).min(ha.ncols as u64) as u32;
+    }
+    let mut hc = arena.take_u32(ha.ncols);
+    for ((o, &a), &b) in hc.iter_mut().zip(&ha.hc).zip(&hb.hc) {
+        let est = a as f64 * b as f64 * lr;
+        *o = round_count(rng, est, cfg.probabilistic_rounding).min(ha.nrows as u64) as u32;
+    }
     let out = MncSketch::from_vectors(ha.nrows, ha.ncols, hr, hc, None, None, false);
     debug_assert!(estimate_ew_mul(ha, hb).is_finite());
     out

@@ -1,5 +1,6 @@
 //! The MNC sketch data structure and its construction (Section 3.1).
 
+use mnc_kernels::VecMeta;
 use mnc_matrix::CsrMatrix;
 
 /// Summary statistics kept alongside the count vectors (Section 3.1,
@@ -149,6 +150,43 @@ impl MncSketch {
         }
     }
 
+    /// Assembles a sketch from count vectors whose per-vector statistics were
+    /// already produced by a fused kernel pass ([`mnc_kernels::VecMeta`]),
+    /// skipping the metadata rescan of [`MncSketch::from_vectors`].
+    ///
+    /// The caller must have computed `row_meta`/`col_meta` with the matching
+    /// half-full thresholds (`ncols / 2` for rows, `nrows / 2` for columns).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_vectors_with_meta(
+        nrows: usize,
+        ncols: usize,
+        hr: Vec<u32>,
+        hc: Vec<u32>,
+        her: Option<Vec<u32>>,
+        hec: Option<Vec<u32>>,
+        fully_diagonal: bool,
+        row_meta: VecMeta,
+        col_meta: VecMeta,
+    ) -> Self {
+        debug_assert_eq!(hr.len(), nrows);
+        debug_assert_eq!(hc.len(), ncols);
+        let meta = meta_from_scans(row_meta, col_meta, fully_diagonal);
+        debug_assert_eq!(
+            meta,
+            compute_meta(&hr, &hc, nrows, ncols, fully_diagonal),
+            "fused VecMeta must agree with a fresh metadata scan"
+        );
+        MncSketch {
+            nrows,
+            ncols,
+            hr,
+            hc,
+            her,
+            hec,
+            meta,
+        }
+    }
+
     /// Sketch of an all-zero matrix.
     pub fn empty(nrows: usize, ncols: usize) -> Self {
         Self::from_vectors(
@@ -176,21 +214,43 @@ impl MncSketch {
     /// at most one non-zero, *every* stored entry lies in a single-non-zero
     /// column, so `h^er = h^r`.
     pub fn effective_her(&self) -> Option<Vec<u32>> {
-        if self.meta.max_hc <= 1 {
-            Some(self.hr.clone())
-        } else {
-            self.her.clone()
-        }
+        self.effective_her_slice().map(<[u32]>::to_vec)
     }
 
     /// `h^ec` with the degenerate case materialized (`max(h^r) ≤ 1` ⇒
     /// `h^ec = h^c`).
     pub fn effective_hec(&self) -> Option<Vec<u32>> {
-        if self.meta.max_hr <= 1 {
-            Some(self.hc.clone())
+        self.effective_hec_slice().map(<[u32]>::to_vec)
+    }
+
+    /// Borrowing variant of [`MncSketch::effective_her`] — the hot paths use
+    /// this to avoid cloning a count vector per propagation step.
+    pub fn effective_her_slice(&self) -> Option<&[u32]> {
+        if self.meta.max_hc <= 1 {
+            Some(&self.hr)
         } else {
-            self.hec.clone()
+            self.her.as_deref()
         }
+    }
+
+    /// Borrowing variant of [`MncSketch::effective_hec`].
+    pub fn effective_hec_slice(&self) -> Option<&[u32]> {
+        if self.meta.max_hr <= 1 {
+            Some(&self.hc)
+        } else {
+            self.hec.as_deref()
+        }
+    }
+
+    /// Consumes the sketch, returning its count-vector buffers to `arena` so
+    /// the next propagation step can lease them back. Chain drivers call this
+    /// on each retired intermediate: once the pool holds one generation of
+    /// buffers, the whole chain runs allocation-free.
+    pub fn recycle_into(self, arena: &mut mnc_kernels::ScratchArena) {
+        arena.put_u32(self.hr);
+        arena.put_u32(self.hc);
+        arena.put_u32_opt(self.her);
+        arena.put_u32_opt(self.hec);
     }
 
     /// Synopsis size in bytes: 4 B per count entry (`u32`), doubled when the
@@ -220,6 +280,39 @@ impl MncSketch {
     }
 }
 
+/// Half-full thresholds: rows are half-full w.r.t. the number of columns and
+/// vice versa (Theorem 3.2 compares against the common dimension).
+pub(crate) fn row_half_threshold(ncols: usize) -> u32 {
+    ncols as u32 / 2
+}
+
+pub(crate) fn col_half_threshold(nrows: usize) -> u32 {
+    nrows as u32 / 2
+}
+
+/// Folds two fused-kernel vector scans into the sketch metadata. The row sum
+/// is authoritative for `nnz`: matrix-built sketches have equal sums, while
+/// propagated sketches may disagree by rounding noise (documented in
+/// `SketchMeta::nnz`).
+pub(crate) fn meta_from_scans(
+    row_meta: VecMeta,
+    col_meta: VecMeta,
+    fully_diagonal: bool,
+) -> SketchMeta {
+    SketchMeta {
+        nnz: row_meta.sum,
+        max_hr: row_meta.max,
+        max_hc: col_meta.max,
+        nonempty_rows: row_meta.nonempty,
+        nonempty_cols: col_meta.nonempty,
+        half_full_rows: row_meta.over_half,
+        half_full_cols: col_meta.over_half,
+        rows_eq_1: row_meta.eq1,
+        cols_eq_1: col_meta.eq1,
+        fully_diagonal,
+    }
+}
+
 fn compute_meta(
     hr: &[u32],
     hc: &[u32],
@@ -227,34 +320,9 @@ fn compute_meta(
     ncols: usize,
     fully_diagonal: bool,
 ) -> SketchMeta {
-    let mut meta = SketchMeta {
-        fully_diagonal,
-        ..SketchMeta::default()
-    };
-    // Half-full thresholds: rows are half-full w.r.t. the number of columns
-    // and vice versa (Theorem 3.2 compares against the common dimension).
-    let row_threshold = ncols as u32 / 2;
-    let col_threshold = nrows as u32 / 2;
-    for &c in hr {
-        meta.nnz += c as u64;
-        meta.max_hr = meta.max_hr.max(c);
-        meta.nonempty_rows += usize::from(c > 0);
-        meta.rows_eq_1 += usize::from(c == 1);
-        meta.half_full_rows += usize::from(c > row_threshold);
-    }
-    let mut col_nnz = 0u64;
-    for &c in hc {
-        col_nnz += c as u64;
-        meta.max_hc = meta.max_hc.max(c);
-        meta.nonempty_cols += usize::from(c > 0);
-        meta.cols_eq_1 += usize::from(c == 1);
-        meta.half_full_cols += usize::from(c > col_threshold);
-    }
-    // For matrix-built sketches both sums are the non-zero count; propagated
-    // sketches may disagree by rounding noise, in which case the row sum is
-    // authoritative (documented in `SketchMeta::nnz`).
-    let _ = col_nnz;
-    meta
+    let row_meta = mnc_kernels::meta_scan(hr, row_half_threshold(ncols));
+    let col_meta = mnc_kernels::meta_scan(hc, col_half_threshold(nrows));
+    meta_from_scans(row_meta, col_meta, fully_diagonal)
 }
 
 #[cfg(test)]

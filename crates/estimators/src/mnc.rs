@@ -4,7 +4,7 @@
 use std::cell::RefCell;
 use std::sync::Arc;
 
-use mnc_core::{MncConfig, MncSketch, SplitMix64};
+use mnc_core::{MncConfig, MncSketch, ScratchArena, SplitMix64};
 use mnc_matrix::CsrMatrix;
 
 use crate::{OpKind, Result, SparsityEstimator, Synopsis};
@@ -29,6 +29,13 @@ pub struct MncEstimator {
     /// Internal generator for probabilistic rounding during propagation;
     /// deterministic given the configured seed and call sequence.
     rng: RefCell<SplitMix64>,
+    /// Route propagation through the persistent scratch arena below. Kept
+    /// out of [`MncConfig`] and the cache key because the arena-backed path
+    /// is bit-identical to the allocating one.
+    use_arena: bool,
+    /// Persistent pool of count-vector buffers reused across `propagate`
+    /// calls (see [`mnc_core::ScratchArena`]).
+    scratch: RefCell<ScratchArena>,
 }
 
 impl Default for MncEstimator {
@@ -55,7 +62,18 @@ impl MncEstimator {
             cfg,
             build_threads: 1,
             rng: RefCell::new(SplitMix64::new(cfg.seed)),
+            use_arena: true,
+            scratch: RefCell::new(ScratchArena::new()),
         }
+    }
+
+    /// Toggles the internal scratch arena (on by default). Estimates and
+    /// propagated sketches are bit-identical either way; turning it off
+    /// forces a fresh allocation per count vector, which the invariance
+    /// tests and the allocation-tracking benchmarks exploit.
+    pub fn with_arena(mut self, on: bool) -> Self {
+        self.use_arena = on;
+        self
     }
 
     /// Builds leaf sketches on `threads` scoped worker threads
@@ -100,7 +118,24 @@ impl SparsityEstimator for MncEstimator {
 
     fn propagate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<Synopsis> {
         let rng = &mut *self.rng.borrow_mut();
-        let sketch = MncSketch::propagate_with(op, &self.sketches(inputs)?, &self.cfg, rng)?;
+        let sketches = self.sketches(inputs)?;
+        let sketch = if self.use_arena {
+            let arena = &mut *self.scratch.borrow_mut();
+            MncSketch::propagate_in(op, &sketches, &self.cfg, rng, arena)?
+        } else {
+            MncSketch::propagate_with(op, &sketches, &self.cfg, rng)?
+        };
+        Ok(Synopsis::Mnc(MncSynopsis { sketch }))
+    }
+
+    fn propagate_scratch(
+        &self,
+        op: &OpKind,
+        inputs: &[&Synopsis],
+        arena: &mut ScratchArena,
+    ) -> Result<Synopsis> {
+        let rng = &mut *self.rng.borrow_mut();
+        let sketch = MncSketch::propagate_in(op, &self.sketches(inputs)?, &self.cfg, rng, arena)?;
         Ok(Synopsis::Mnc(MncSynopsis { sketch }))
     }
 
@@ -213,6 +248,32 @@ mod tests {
         // And the estimates track the exact kernels.
         let t_max = ops::ew_max(&a, &b).unwrap().sparsity();
         assert!((max - t_max).abs() < 0.06, "max {max} truth {t_max}");
+    }
+
+    #[test]
+    fn arena_on_and_off_propagate_bit_identically() {
+        let mut r = rng(6);
+        let a = gen::rand_uniform(&mut r, 40, 30, 0.12);
+        let b = gen::rand_uniform(&mut r, 30, 40, 0.09);
+        // Chain a few ops so the arena's pooled buffers actually get reused
+        // (later ops lease what earlier intermediates released).
+        let run = |e: &MncEstimator| -> MncSketch {
+            let mut cur = e
+                .propagate(&OpKind::MatMul, &[&syn(e, &a), &syn(e, &b)])
+                .unwrap();
+            for op in [OpKind::Transpose, OpKind::Eq0, OpKind::Neq0] {
+                cur = e.propagate(&op, &[&cur]).unwrap();
+            }
+            let Synopsis::Mnc(s) = e.propagate(&OpKind::MatMul, &[&cur, &syn(e, &a)]).unwrap()
+            else {
+                panic!("expected MNC synopsis");
+            };
+            s.sketch
+        };
+        assert_eq!(
+            run(&MncEstimator::new()),
+            run(&MncEstimator::new().with_arena(false))
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use mnc_core::{propagate_matmul, MncConfig, MncSketch, SplitMix64};
+use mnc_core::{propagate_matmul_in, MncConfig, MncSketch, ScratchArena, SplitMix64};
 use mnc_matrix::{ops, CsrMatrix};
 
 /// A binary parenthesization of a matrix chain; leaves are chain positions.
@@ -96,6 +96,7 @@ pub fn sparse_chain_order(sketches: &[MncSketch], cfg: &MncConfig) -> (f64, Plan
     let n = sketches.len();
     assert!(n >= 1, "need at least one matrix");
     let mut rng = SplitMix64::new(cfg.seed ^ 0xC4A1_0000);
+    let mut arena = ScratchArena::new();
     let mut cost = vec![vec![0.0f64; n]; n];
     let mut split = vec![vec![0usize; n]; n];
     // E[i][j]: sketch of the optimal plan for the subchain i..=j.
@@ -118,9 +119,14 @@ pub fn sparse_chain_order(sketches: &[MncSketch], cfg: &MncConfig) -> (f64, Plan
                 }
             }
             split[i][j] = best_k;
-            let left = sketch[i][best_k].clone().expect("filled");
-            let right = sketch[best_k + 1][j].clone().expect("filled");
-            sketch[i][j] = Some(propagate_matmul(&left, &right, cfg, &mut rng));
+            // Propagate straight from the memo table (no clones); the
+            // output's count vectors are leased from the scratch arena.
+            let out = {
+                let left = sketch[i][best_k].as_ref().expect("filled");
+                let right = sketch[best_k + 1][j].as_ref().expect("filled");
+                propagate_matmul_in(left, right, cfg, &mut rng, &mut arena)
+            };
+            sketch[i][j] = Some(out);
         }
     }
     (cost[0][n - 1], extract_plan(&split, 0, n - 1))
@@ -158,10 +164,10 @@ pub fn sparse_chain_order_cached(
 /// output sparsity — it counts FLOPs of a Gustavson-style kernel.
 pub fn sketch_dot(a: &MncSketch, b: &MncSketch) -> f64 {
     debug_assert_eq!(a.ncols, b.nrows, "sketch_dot shape mismatch");
-    a.hc.iter()
-        .zip(&b.hr)
-        .map(|(&x, &y)| x as f64 * y as f64)
-        .sum()
+    // Unrolled integer-accumulating kernel: exact (single final rounding)
+    // wherever the sequential f64 sum was, and bit-identical to it while
+    // partial sums stay below 2^53.
+    mnc_kernels::dot_u32(&a.hc, &b.hr)
 }
 
 fn extract_plan(split: &[Vec<usize>], i: usize, j: usize) -> PlanTree {
@@ -180,24 +186,30 @@ fn extract_plan(split: &[Vec<usize>], i: usize, j: usize) -> PlanTree {
 /// (used to score the Figure 16 random plans without executing them).
 pub fn plan_cost_sketched(sketches: &[MncSketch], plan: &PlanTree, cfg: &MncConfig) -> f64 {
     let mut rng = SplitMix64::new(cfg.seed ^ 0x9A9A_0001);
+    let mut arena = ScratchArena::new();
     fn go(
         sketches: &[MncSketch],
         plan: &PlanTree,
         cfg: &MncConfig,
         rng: &mut SplitMix64,
+        arena: &mut ScratchArena,
     ) -> (MncSketch, f64) {
         match plan {
             PlanTree::Leaf(i) => (sketches[*i].clone(), 0.0),
             PlanTree::Node(l, r) => {
-                let (sl, cl) = go(sketches, l, cfg, rng);
-                let (sr, cr) = go(sketches, r, cfg, rng);
+                let (sl, cl) = go(sketches, l, cfg, rng, arena);
+                let (sr, cr) = go(sketches, r, cfg, rng, arena);
                 let cost = cl + cr + sketch_dot(&sl, &sr);
-                let out = propagate_matmul(&sl, &sr, cfg, rng);
+                let out = propagate_matmul_in(&sl, &sr, cfg, rng, arena);
+                // The consumed operands refill the arena, so deep plans
+                // reach a zero-allocation steady state.
+                sl.recycle_into(arena);
+                sr.recycle_into(arena);
                 (out, cost)
             }
         }
     }
-    go(sketches, plan, cfg, &mut rng).1
+    go(sketches, plan, cfg, &mut rng, &mut arena).1
 }
 
 /// Exact total multiplication count of a plan, materializing every

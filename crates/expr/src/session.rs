@@ -25,7 +25,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use mnc_core::{EstimationStats, LruSynopsisCache, OpTimer};
+use mnc_core::{EstimationStats, LruSynopsisCache, OpTimer, ScratchArena};
 use mnc_estimators::{Result, SparsityEstimator, Synopsis};
 use mnc_matrix::CsrMatrix;
 use mnc_obs::{Counter, Gauge, Histogram, Recorder};
@@ -104,8 +104,16 @@ impl SynopsisKey {
 /// assert!(ctx.stats().cache_hits > 0); // leaves came from the cache
 /// ```
 pub struct EstimationContext {
-    cache: LruSynopsisCache<(String, SynopsisKey), Arc<Synopsis>>,
+    cache: LruSynopsisCache<(Arc<str>, SynopsisKey), Arc<Synopsis>>,
     stats: EstimationStats,
+    /// Pooled count-vector buffers handed to [`SparsityEstimator::propagate_scratch`]
+    /// so repeated DAG propagation runs allocation-free in steady state.
+    arena: ScratchArena,
+    /// Routes propagation through the arena (on by default); results are
+    /// bit-identical either way — see `tests/obs_invariance.rs`.
+    use_arena: bool,
+    /// Reused per-walk memo map (cleared, not reallocated, between walks).
+    memo_scratch: HashMap<NodeId, Arc<Synopsis>>,
     rec: Recorder,
     // Metric handles are resolved once per context (registry lookups take a
     // mutex) and are no-ops when the recorder is disabled.
@@ -136,6 +144,9 @@ impl EstimationContext {
         EstimationContext {
             cache: LruSynopsisCache::new(byte_budget),
             stats: EstimationStats::new(),
+            arena: ScratchArena::new(),
+            use_arena: true,
+            memo_scratch: HashMap::new(),
             rec: Recorder::disabled(),
             m_hit: Counter::noop(),
             m_miss: Counter::noop(),
@@ -163,6 +174,19 @@ impl EstimationContext {
         self.h_propagate = rec.histogram("session.propagate_ns");
         self.rec = rec;
         self
+    }
+
+    /// Toggles the propagation scratch arena (on by default). Arena-backed
+    /// propagation is bit-identical to the allocating path; turning it off
+    /// is for A/B allocation measurements and invariance tests.
+    pub fn with_arena(mut self, on: bool) -> Self {
+        self.use_arena = on;
+        self
+    }
+
+    /// The session's scratch arena (lease/reuse counters for telemetry).
+    pub fn arena(&self) -> &ScratchArena {
+        &self.arena
     }
 
     /// The session's recorder (disabled unless [`with_recorder`] was used).
@@ -204,7 +228,20 @@ impl EstimationContext {
         est: &E,
         m: &Arc<CsrMatrix>,
     ) -> Result<Arc<Synopsis>> {
-        let key = (est.cache_key(), SynopsisKey::leaf(m));
+        let ekey: Arc<str> = est.cache_key().into();
+        self.leaf_synopsis_keyed(est, m, &ekey)
+    }
+
+    /// [`leaf_synopsis`](Self::leaf_synopsis) with the estimator half of the
+    /// cache key pre-computed — walks format the key string once and clone
+    /// the `Arc` per node instead of re-formatting per lookup.
+    fn leaf_synopsis_keyed<E: SparsityEstimator + ?Sized>(
+        &mut self,
+        est: &E,
+        m: &Arc<CsrMatrix>,
+        ekey: &Arc<str>,
+    ) -> Result<Arc<Synopsis>> {
+        let key = (Arc::clone(ekey), SynopsisKey::leaf(m));
         if let Some(syn) = self.cache.get(&key) {
             self.stats.cache_hits += 1;
             self.m_hit.incr();
@@ -236,8 +273,11 @@ impl EstimationContext {
         dag: &ExprDag,
         id: NodeId,
     ) -> Result<Arc<Synopsis>> {
-        let mut memo = HashMap::new();
-        self.materialize(est, dag, id, &mut memo)
+        let ekey: Arc<str> = est.cache_key().into();
+        let mut memo = self.take_memo();
+        let out = self.materialize(est, dag, id, &ekey, &mut memo);
+        self.restore_memo(memo);
+        out
     }
 
     /// Estimates the sparsity of `root`, mirroring the uncached
@@ -253,24 +293,31 @@ impl EstimationContext {
         match dag.node(root) {
             ExprNode::Leaf { matrix, .. } => Ok(matrix.sparsity()),
             ExprNode::Op { op, inputs } => {
-                let mut memo = HashMap::new();
-                for &i in inputs {
-                    self.materialize(est, dag, i, &mut memo)?;
-                }
-                let ins: Vec<&Synopsis> = inputs.iter().map(|i| memo[i].as_ref()).collect();
-                let mut span = self.rec.span("estimate").op(op.name());
-                if self.rec.is_enabled() {
-                    // Synopsis::nnz() is not free for every synopsis type
-                    // (bitsets count bits), so only pay for it when tracing.
-                    span = span.nnz_in(ins.iter().map(|s| s.nnz()).sum());
-                }
-                let t = OpTimer::start();
-                let s = est.estimate(op, &ins)?;
-                let ns = t.elapsed_ns();
-                drop(span);
-                self.stats.record_estimate(op.name(), ns);
-                self.h_estimate.record(ns);
-                Ok(s)
+                let ekey: Arc<str> = est.cache_key().into();
+                let mut memo = self.take_memo();
+                let mut walk = || -> Result<f64> {
+                    for &i in inputs {
+                        self.materialize(est, dag, i, &ekey, &mut memo)?;
+                    }
+                    let ins = GatheredIns::gather(inputs, &memo);
+                    let ins = ins.as_slice();
+                    let mut span = self.rec.span("estimate").op(op.name());
+                    if self.rec.is_enabled() {
+                        // Synopsis::nnz() is not free for every synopsis type
+                        // (bitsets count bits), so only pay for it when tracing.
+                        span = span.nnz_in(ins.iter().map(|s| s.nnz()).sum());
+                    }
+                    let t = OpTimer::start();
+                    let s = est.estimate(op, ins)?;
+                    let ns = t.elapsed_ns();
+                    drop(span);
+                    self.stats.record_estimate(op.name(), ns);
+                    self.h_estimate.record(ns);
+                    Ok(s)
+                };
+                let out = walk();
+                self.restore_memo(memo);
+                out
             }
         }
     }
@@ -302,12 +349,30 @@ impl EstimationContext {
         est: &E,
         dag: &ExprDag,
     ) -> Result<Vec<Arc<Synopsis>>> {
-        let mut memo = HashMap::new();
+        let ekey: Arc<str> = est.cache_key().into();
+        let mut memo = self.take_memo();
         let mut out = Vec::with_capacity(dag.len());
-        for (id, _) in dag.iter() {
-            out.push(self.materialize(est, dag, id, &mut memo)?);
-        }
-        Ok(out)
+        let mut walk = || -> Result<()> {
+            for (id, _) in dag.iter() {
+                out.push(self.materialize(est, dag, id, &ekey, &mut memo)?);
+            }
+            Ok(())
+        };
+        let res = walk();
+        self.restore_memo(memo);
+        res.map(|()| out)
+    }
+
+    /// Takes the reusable per-walk memo out of the context (cleared).
+    fn take_memo(&mut self) -> HashMap<NodeId, Arc<Synopsis>> {
+        let mut memo = std::mem::take(&mut self.memo_scratch);
+        memo.clear();
+        memo
+    }
+
+    /// Returns the per-walk memo so the next walk reuses its table.
+    fn restore_memo(&mut self, memo: HashMap<NodeId, Arc<Synopsis>>) {
+        self.memo_scratch = memo;
     }
 
     /// Depth-first materialization with a per-walk memo (the memo keeps the
@@ -318,15 +383,16 @@ impl EstimationContext {
         est: &E,
         dag: &ExprDag,
         id: NodeId,
+        ekey: &Arc<str>,
         memo: &mut HashMap<NodeId, Arc<Synopsis>>,
     ) -> Result<Arc<Synopsis>> {
         if let Some(syn) = memo.get(&id) {
             return Ok(Arc::clone(syn));
         }
         let syn = match dag.node(id) {
-            ExprNode::Leaf { matrix, .. } => self.leaf_synopsis(est, matrix)?,
+            ExprNode::Leaf { matrix, .. } => self.leaf_synopsis_keyed(est, matrix, ekey)?,
             ExprNode::Op { op, inputs } => {
-                let key = (est.cache_key(), SynopsisKey::node(dag, id));
+                let key = (Arc::clone(ekey), SynopsisKey::node(dag, id));
                 if let Some(syn) = self.cache.get(&key) {
                     self.stats.cache_hits += 1;
                     self.m_hit.incr();
@@ -335,15 +401,20 @@ impl EstimationContext {
                     self.stats.cache_misses += 1;
                     self.m_miss.incr();
                     for &i in inputs {
-                        self.materialize(est, dag, i, memo)?;
+                        self.materialize(est, dag, i, ekey, memo)?;
                     }
-                    let ins: Vec<&Synopsis> = inputs.iter().map(|i| memo[i].as_ref()).collect();
+                    let ins = GatheredIns::gather(inputs, memo);
+                    let ins = ins.as_slice();
                     let mut span = self.rec.span("propagate").op(op.name());
                     if self.rec.is_enabled() {
                         span = span.nnz_in(ins.iter().map(|s| s.nnz()).sum());
                     }
                     let t = OpTimer::start();
-                    let syn = Arc::new(est.propagate(op, &ins)?);
+                    let syn = Arc::new(if self.use_arena {
+                        est.propagate_scratch(op, ins, &mut self.arena)?
+                    } else {
+                        est.propagate(op, ins)?
+                    });
                     let ns = t.elapsed_ns();
                     self.stats.record_propagate(op.name(), ns);
                     self.h_propagate.record(ns);
@@ -362,7 +433,7 @@ impl EstimationContext {
     }
 
     /// Inserts into the cache and refreshes the cache-derived counters.
-    fn admit(&mut self, key: (String, SynopsisKey), syn: &Arc<Synopsis>) {
+    fn admit(&mut self, key: (Arc<str>, SynopsisKey), syn: &Arc<Synopsis>) {
         let bytes = usize::try_from(syn.size_bytes()).unwrap_or(usize::MAX);
         self.cache.insert(key, Arc::clone(syn), bytes);
         let evicted = self.cache.evictions() - self.stats.evictions;
@@ -372,6 +443,33 @@ impl EstimationContext {
         self.stats.evictions = self.cache.evictions();
         self.stats.bytes_resident = self.cache.bytes_resident() as u64;
         self.g_resident.set(self.stats.bytes_resident as i64);
+    }
+}
+
+/// Input synopses of an op node, gathered without a heap allocation for the
+/// unary/binary cases (every op in [`mnc_core::OpKind`] today).
+enum GatheredIns<'a> {
+    Inline([&'a Synopsis; 2], usize),
+    Heap(Vec<&'a Synopsis>),
+}
+
+impl<'a> GatheredIns<'a> {
+    fn gather(inputs: &[NodeId], memo: &'a HashMap<NodeId, Arc<Synopsis>>) -> GatheredIns<'a> {
+        match *inputs {
+            [a] => {
+                let s = memo[&a].as_ref();
+                GatheredIns::Inline([s, s], 1)
+            }
+            [a, b] => GatheredIns::Inline([memo[&a].as_ref(), memo[&b].as_ref()], 2),
+            _ => GatheredIns::Heap(inputs.iter().map(|i| memo[i].as_ref()).collect()),
+        }
+    }
+
+    fn as_slice(&self) -> &[&'a Synopsis] {
+        match self {
+            GatheredIns::Inline(arr, n) => &arr[..*n],
+            GatheredIns::Heap(v) => v,
+        }
     }
 }
 

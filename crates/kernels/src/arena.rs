@@ -1,0 +1,169 @@
+//! A pool of reusable count-vector buffers.
+//!
+//! Sketch propagation allocates the same handful of `O(m + n)` vectors per
+//! operation — output count vectors plus the extended-count temporaries of
+//! Algorithm 1. A [`ScratchArena`] leases zero-filled buffers and takes them
+//! back, so a DAG propagation chain reaches a steady state where no call
+//! touches the allocator: the arena's capacity high-water mark is the
+//! largest vector ever leased, and span-stamped alloc deltas (the
+//! `alloc-track` feature of `mnc-obs`) verify the chain runs allocation-free.
+//!
+//! ## Lifetime rules
+//!
+//! * `take_*` returns a buffer of exactly the requested length, zero-filled;
+//!   `take_*_spare` returns a cleared length-zero buffer for callers that
+//!   fill it themselves (the `*_into` combinators).
+//! * `put_*` returns a buffer to the pool; length/contents are irrelevant
+//!   (the next lease clears it). Buffers moved into long-lived results (e.g.
+//!   cached sketches) are simply *not* returned — the pool refills on its
+//!   own from later `put_*` calls.
+//! * The pool is bounded ([`ScratchArena::MAX_POOLED`] per element type);
+//!   excess buffers are dropped, so an arena never pins more than a bounded
+//!   multiple of the largest working set.
+
+/// Reusable buffer pool for `u32` count vectors and `u64` word/product rows.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    u32_bufs: Vec<Vec<u32>>,
+    u64_bufs: Vec<Vec<u64>>,
+    leases: u64,
+    reuses: u64,
+}
+
+impl ScratchArena {
+    /// Maximum buffers retained per element type.
+    pub const MAX_POOLED: usize = 64;
+
+    /// An empty arena. Does not allocate until the first lease.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Leases a zero-filled `u32` buffer of length `len`.
+    pub fn take_u32(&mut self, len: usize) -> Vec<u32> {
+        self.leases += 1;
+        match self.u32_bufs.pop() {
+            Some(mut v) => {
+                self.reuses += 1;
+                v.clear();
+                v.resize(len, 0);
+                v
+            }
+            None => vec![0; len],
+        }
+    }
+
+    /// Leases a cleared, length-zero buffer (capacity retained from prior
+    /// uses) — for outputs handed straight to the `*_into` combinators,
+    /// which clear and fill the buffer themselves. Skips the zero-fill pass
+    /// [`ScratchArena::take_u32`] pays.
+    pub fn take_u32_spare(&mut self) -> Vec<u32> {
+        self.leases += 1;
+        match self.u32_bufs.pop() {
+            Some(mut v) => {
+                self.reuses += 1;
+                v.clear();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Returns a `u32` buffer to the pool.
+    pub fn put_u32(&mut self, v: Vec<u32>) {
+        if self.u32_bufs.len() < Self::MAX_POOLED {
+            self.u32_bufs.push(v);
+        }
+    }
+
+    /// Returns an optional `u32` buffer to the pool.
+    pub fn put_u32_opt(&mut self, v: Option<Vec<u32>>) {
+        if let Some(v) = v {
+            self.put_u32(v);
+        }
+    }
+
+    /// Leases a zero-filled `u64` buffer of length `len`.
+    pub fn take_u64(&mut self, len: usize) -> Vec<u64> {
+        self.leases += 1;
+        match self.u64_bufs.pop() {
+            Some(mut v) => {
+                self.reuses += 1;
+                v.clear();
+                v.resize(len, 0);
+                v
+            }
+            None => vec![0; len],
+        }
+    }
+
+    /// Returns a `u64` buffer to the pool.
+    pub fn put_u64(&mut self, v: Vec<u64>) {
+        if self.u64_bufs.len() < Self::MAX_POOLED {
+            self.u64_bufs.push(v);
+        }
+    }
+
+    /// Leases a `u32` buffer initialized as a copy of `src`.
+    pub fn take_u32_copy(&mut self, src: &[u32]) -> Vec<u32> {
+        let mut v = self.take_u32(src.len());
+        v.copy_from_slice(src);
+        v
+    }
+
+    /// Total buffer leases served.
+    pub fn leases(&self) -> u64 {
+        self.leases
+    }
+
+    /// Fraction of leases served from the pool (steady-state → 1.0).
+    pub fn reuse_rate(&self) -> f64 {
+        if self.leases == 0 {
+            0.0
+        } else {
+            self.reuses as f64 / self.leases as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leased_buffers_are_zero_filled_and_reused() {
+        let mut a = ScratchArena::new();
+        let mut v = a.take_u32(8);
+        v[3] = 7;
+        let p = v.as_ptr();
+        a.put_u32(v);
+        let v2 = a.take_u32(5);
+        assert_eq!(v2, vec![0; 5], "recycled buffer must be cleared");
+        assert_eq!(v2.as_ptr(), p, "buffer must come from the pool");
+        assert_eq!(a.leases(), 2);
+        assert!((a.reuse_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut a = ScratchArena::new();
+        for _ in 0..ScratchArena::MAX_POOLED + 10 {
+            a.put_u32(Vec::new());
+        }
+        assert_eq!(a.u32_bufs.len(), ScratchArena::MAX_POOLED);
+    }
+
+    #[test]
+    fn u64_pool_and_copy_lease() {
+        let mut a = ScratchArena::new();
+        let w = a.take_u64(4);
+        assert_eq!(w, vec![0u64; 4]);
+        a.put_u64(w);
+        assert_eq!(a.take_u64(2), vec![0u64; 2]);
+        let c = a.take_u32_copy(&[1, 2, 3]);
+        assert_eq!(c, vec![1, 2, 3]);
+        a.put_u32_opt(Some(c));
+        a.put_u32_opt(None);
+        assert_eq!(a.u32_bufs.len(), 1);
+    }
+}

@@ -1,0 +1,54 @@
+//! The shared row-chunking helper for scoped-thread parallel scans.
+//!
+//! Parallel sketch construction (Appendix B), the distributed merge, and the
+//! multi-threaded boolean matrix multiply all split `0..nrows` into
+//! contiguous per-thread ranges. This is the one implementation they share.
+
+/// Splits `0..nrows` into at most `parts` contiguous `(lo, hi)` ranges.
+///
+/// All ranges are non-empty, cover `0..nrows` exactly, and — except possibly
+/// the last — have the same length `ceil(nrows / parts)`, so the ranges also
+/// line up with `chunks`/`chunks_mut` of that size over row-major storage.
+/// Returns an empty vector when `nrows == 0`.
+pub fn row_chunks(nrows: usize, parts: usize) -> Vec<(usize, usize)> {
+    if nrows == 0 {
+        return Vec::new();
+    }
+    let per = nrows.div_ceil(parts.max(1));
+    (0..nrows)
+        .step_by(per)
+        .map(|lo| (lo, (lo + per).min(nrows)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_exactly_and_are_never_empty() {
+        for nrows in 0..65usize {
+            for parts in [1, 2, 3, 4, 7, 8, 64, 100] {
+                let chunks = row_chunks(nrows, parts);
+                assert!(chunks.len() <= parts.max(1));
+                let mut next = 0;
+                for &(lo, hi) in &chunks {
+                    assert_eq!(lo, next, "gap before {lo} (n={nrows}, p={parts})");
+                    assert!(hi > lo, "empty chunk (n={nrows}, p={parts})");
+                    next = hi;
+                }
+                assert_eq!(next, nrows, "coverage (n={nrows}, p={parts})");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_sizes_except_last() {
+        let chunks = row_chunks(10, 4);
+        assert_eq!(chunks, vec![(0, 3), (3, 6), (6, 9), (9, 10)]);
+        assert!(row_chunks(0, 4).is_empty());
+        assert_eq!(row_chunks(5, 1), vec![(0, 5)]);
+        // parts = 0 degrades to a single chunk rather than panicking.
+        assert_eq!(row_chunks(5, 0), vec![(0, 5)]);
+    }
+}

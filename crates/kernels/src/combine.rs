@@ -1,0 +1,249 @@
+//! Fused count-vector combinators.
+//!
+//! Each combinator writes into a caller-provided buffer (typically leased
+//! from a [`crate::ScratchArena`]) instead of `collect()`ing a fresh `Vec`,
+//! and recomputes the per-vector summary statistics **in the same pass** —
+//! the output never needs the separate metadata scan `compute_meta` used to
+//! perform.
+
+use crate::dot::sum_u32;
+
+/// Single-pass summary of one count vector: exactly the per-vector half of
+/// `mnc_core`'s `SketchMeta` (Section 3.1 summary statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VecMeta {
+    /// `Σ v` — total count.
+    pub sum: u64,
+    /// `max(v)`.
+    pub max: u32,
+    /// `|v > 0|` — non-empty entries.
+    pub nonempty: usize,
+    /// `|v = 1|` — entries with exactly one non-zero.
+    pub eq1: usize,
+    /// `|v > half|` — entries above the half-full threshold.
+    pub over_half: usize,
+}
+
+impl VecMeta {
+    #[inline]
+    fn accum(&mut self, v: u32, half: u32) {
+        self.sum += v as u64;
+        self.max = self.max.max(v);
+        self.nonempty += usize::from(v > 0);
+        self.eq1 += usize::from(v == 1);
+        self.over_half += usize::from(v > half);
+    }
+}
+
+/// Scans an existing vector — the kernel counterpart of the `compute_meta`
+/// loop, shared by sketch construction.
+pub fn meta_scan(v: &[u32], half: u32) -> VecMeta {
+    let mut meta = VecMeta::default();
+    for &c in v {
+        meta.accum(c, half);
+    }
+    meta
+}
+
+/// `out = x + y` element-wise, with fused metadata (threshold `half`).
+pub fn zip_add_into(x: &[u32], y: &[u32], half: u32, out: &mut Vec<u32>) -> VecMeta {
+    debug_assert_eq!(x.len(), y.len());
+    out.clear();
+    let mut meta = VecMeta::default();
+    out.extend(x.iter().zip(y).map(|(&a, &b)| {
+        let v = a + b;
+        meta.accum(v, half);
+        v
+    }));
+    meta
+}
+
+/// `out = concat(x, y)`, with fused metadata — the rbind/cbind
+/// concatenation half.
+pub fn concat_meta_into(x: &[u32], y: &[u32], half: u32, out: &mut Vec<u32>) -> VecMeta {
+    out.clear();
+    out.reserve(x.len() + y.len());
+    out.extend_from_slice(x);
+    out.extend_from_slice(y);
+    let mut meta = VecMeta::default();
+    for &v in out.iter() {
+        meta.accum(v, half);
+    }
+    meta
+}
+
+/// `out = x ⊖ y` (saturating subtract) — temporaries of the extended-count
+/// estimator, no metadata needed.
+pub fn sub_sat_into(x: &[u32], y: &[u32], out: &mut Vec<u32>) {
+    debug_assert_eq!(x.len(), y.len());
+    out.clear();
+    out.extend(x.iter().zip(y).map(|(&a, &b)| a.saturating_sub(b)));
+}
+
+/// `out = bound - x` element-wise, with fused metadata — the `A == 0`
+/// complement rule (Eq. 14). Requires `x[i] <= bound` (counts never exceed
+/// the opposite dimension), matching the original unchecked subtraction.
+pub fn complement_into(x: &[u32], bound: u32, half: u32, out: &mut Vec<u32>) -> VecMeta {
+    out.clear();
+    let mut meta = VecMeta::default();
+    out.extend(x.iter().map(|&c| {
+        let v = bound - c;
+        meta.accum(v, half);
+        v
+    }));
+    meta
+}
+
+/// `out = min(x, y)` element-wise, with fused metadata.
+pub fn zip_min_into(x: &[u32], y: &[u32], half: u32, out: &mut Vec<u32>) -> VecMeta {
+    debug_assert_eq!(x.len(), y.len());
+    out.clear();
+    let mut meta = VecMeta::default();
+    out.extend(x.iter().zip(y).map(|(&a, &b)| {
+        let v = a.min(b);
+        meta.accum(v, half);
+        v
+    }));
+    meta
+}
+
+/// `out = max(x, y)` element-wise, with fused metadata.
+pub fn zip_max_into(x: &[u32], y: &[u32], half: u32, out: &mut Vec<u32>) -> VecMeta {
+    debug_assert_eq!(x.len(), y.len());
+    out.clear();
+    let mut meta = VecMeta::default();
+    out.extend(x.iter().zip(y).map(|(&a, &b)| {
+        let v = a.max(b);
+        meta.accum(v, half);
+        v
+    }));
+    meta
+}
+
+/// Scales `counts` to sum to `target`, rounding each entry through the
+/// caller's `round` (probabilistic or deterministic) and capping at `cap` —
+/// the propagation scaling rule of Section 3.3, with fused metadata.
+///
+/// Bit-identity with [`crate::scalar::scale_round`]: the integer sum equals
+/// the sequential `f64` sum exactly (counts sum below `2^53`), zero entries
+/// are skipped **without consuming a rounding decision**, and the
+/// per-element expression `round(c · factor).min(cap) as u32` is evaluated
+/// in the original order.
+pub fn scale_round_into(
+    counts: &[u32],
+    target: f64,
+    cap: u64,
+    half: u32,
+    mut round: impl FnMut(f64) -> u64,
+    out: &mut Vec<u32>,
+) -> VecMeta {
+    out.clear();
+    let sum = sum_u32(counts);
+    if sum == 0 || target <= 0.0 {
+        out.resize(counts.len(), 0);
+        return VecMeta::default();
+    }
+    let factor = target / sum as f64;
+    let mut meta = VecMeta::default();
+    out.extend(counts.iter().map(|&c| {
+        let v = if c == 0 {
+            0
+        } else {
+            round(c as f64 * factor).min(cap) as u32
+        };
+        meta.accum(v, half);
+        v
+    }));
+    meta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar;
+
+    #[test]
+    fn fused_meta_equals_separate_scan() {
+        let x: Vec<u32> = (0..53).map(|i| (i * 5) % 17).collect();
+        let y: Vec<u32> = (0..53).map(|i| (i * 3 + 1) % 11).collect();
+        let mut out = Vec::new();
+        let meta = zip_add_into(&x, &y, 8, &mut out);
+        assert_eq!(out, scalar::zip_add(&x, &y));
+        assert_eq!(meta, scalar::meta_scan(&out, 8));
+        assert_eq!(meta, meta_scan(&out, 8));
+    }
+
+    #[test]
+    fn concat_covers_both_inputs() {
+        let mut out = Vec::new();
+        let meta = concat_meta_into(&[1, 0, 2], &[3, 1], 1, &mut out);
+        assert_eq!(out, vec![1, 0, 2, 3, 1]);
+        assert_eq!(meta.sum, 7);
+        assert_eq!(meta.nonempty, 4);
+        assert_eq!(meta.eq1, 2);
+        assert_eq!(meta.over_half, 2);
+    }
+
+    #[test]
+    fn sub_sat_and_complement_match_scalar() {
+        let x = [5u32, 2, 9, 0];
+        let y = [3u32, 4, 9, 1];
+        let mut out = Vec::new();
+        sub_sat_into(&x, &y, &mut out);
+        assert_eq!(out, scalar::sub_sat(&x, &y));
+        let meta = complement_into(&x, 10, 5, &mut out);
+        assert_eq!(out, scalar::complement(&x, 10));
+        assert_eq!(meta, scalar::meta_scan(&out, 5));
+    }
+
+    #[test]
+    fn min_max_match_scalar() {
+        let x = [5u32, 2, 9, 0];
+        let y = [3u32, 4, 9, 1];
+        let mut out = Vec::new();
+        zip_min_into(&x, &y, 3, &mut out);
+        assert_eq!(out, scalar::zip_min(&x, &y));
+        zip_max_into(&x, &y, 3, &mut out);
+        assert_eq!(out, scalar::zip_max(&x, &y));
+    }
+
+    #[test]
+    fn scale_round_preserves_rounding_call_sequence() {
+        let counts = [0u32, 3, 0, 7, 1];
+        // Record every value handed to the rounding hook: zeros must be
+        // skipped, everything else seen in order.
+        let mut seen_k = Vec::new();
+        let mut seen_s = Vec::new();
+        let mut out = Vec::new();
+        let meta = scale_round_into(
+            &counts,
+            5.5,
+            4,
+            2,
+            |v| {
+                seen_k.push(v);
+                v.round() as u64
+            },
+            &mut out,
+        );
+        let reference = scalar::scale_round(&counts, 5.5, 4, |v| {
+            seen_s.push(v);
+            v.round() as u64
+        });
+        assert_eq!(out, reference);
+        assert_eq!(seen_k, seen_s);
+        assert_eq!(seen_k.len(), 3, "zero counts must not consume a decision");
+        assert_eq!(meta, scalar::meta_scan(&out, 2));
+    }
+
+    #[test]
+    fn scale_round_zero_sum_or_target_is_all_zeros() {
+        let mut out = vec![9u32; 3];
+        let meta = scale_round_into(&[0, 0, 0], 5.0, 4, 1, |_| panic!("no draws"), &mut out);
+        assert_eq!(out, vec![0, 0, 0]);
+        assert_eq!(meta, VecMeta::default());
+        let meta = scale_round_into(&[1, 2], 0.0, 4, 1, |_| panic!("no draws"), &mut out);
+        assert_eq!(out, vec![0, 0]);
+        assert_eq!(meta, VecMeta::default());
+    }
+}

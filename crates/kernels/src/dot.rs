@@ -1,0 +1,115 @@
+//! Dot-product and fraction-product kernels over `u32` count vectors.
+
+/// Dot product of two count vectors, returned as `f64`.
+///
+/// Products and partial sums are accumulated in `u64` across four
+/// independent lanes (integer addition is associative, so the unrolled
+/// order is exact), then converted to `f64` once. Bit-identical to
+/// [`crate::scalar::dot_u32`] while every sequential partial sum stays below
+/// `2^53` — which holds whenever `Σ x_k · y_k < 2^53`, i.e. for any realistic
+/// sketch (the sum is the boolean FLOP count of a matrix product).
+pub fn dot_u32(x: &[u32], y: &[u32]) -> f64 {
+    let n = x.len().min(y.len());
+    let (x, y) = (&x[..n], &y[..n]);
+    let mut acc = [0u64; 4];
+    let mut cx = x.chunks_exact(4);
+    let mut cy = y.chunks_exact(4);
+    for (a, b) in (&mut cx).zip(&mut cy) {
+        acc[0] += a[0] as u64 * b[0] as u64;
+        acc[1] += a[1] as u64 * b[1] as u64;
+        acc[2] += a[2] as u64 * b[2] as u64;
+        acc[3] += a[3] as u64 * b[3] as u64;
+    }
+    let mut total = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (&a, &b) in cx.remainder().iter().zip(cy.remainder()) {
+        total += a as u64 * b as u64;
+    }
+    total as f64
+}
+
+/// Exact integer sum of a count vector. `sum_u32(v) as f64` is bit-identical
+/// to the sequential `f64` accumulation of [`crate::scalar::sum_u32`] while
+/// the sum stays below `2^53`.
+pub fn sum_u32(v: &[u32]) -> u64 {
+    let mut acc = [0u64; 4];
+    let mut chunks = v.chunks_exact(4);
+    for c in &mut chunks {
+        acc[0] += c[0] as u64;
+        acc[1] += c[1] as u64;
+        acc[2] += c[2] as u64;
+        acc[3] += c[3] as u64;
+    }
+    let mut total = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for &c in chunks.remainder() {
+        total += c as u64;
+    }
+    total
+}
+
+/// Density-map-like fraction product over two aligned count vectors (the
+/// Algorithm 1 fallback) — see `mnc_core::estimate::vector_edm` for the
+/// formula.
+///
+/// Per-element products are formed in `u64`; `(x·y) as f64` rounds the exact
+/// integer product once, exactly like `x as f64 * y as f64`, so this is
+/// bit-identical to [`crate::scalar::vector_edm`] for **all** inputs. The
+/// `ln_1p` accumulation keeps its original sequential order (floating-point
+/// addition is not reassociated).
+pub fn vector_edm(x: &[u32], y: &[u32], p: f64) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    if p <= 0.0 {
+        return 0.0;
+    }
+    let mut log_zero = 0.0f64;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let prod = xi as u64 * yi as u64;
+        if prod == 0 {
+            continue;
+        }
+        let v = prod as f64 / p;
+        if v >= 1.0 {
+            return 1.0;
+        }
+        log_zero += (-v).ln_1p();
+    }
+    1.0 - log_zero.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar;
+
+    #[test]
+    fn dot_matches_scalar_on_small_vectors() {
+        let x: Vec<u32> = (0..37).map(|i| (i * 7 + 3) % 50).collect();
+        let y: Vec<u32> = (0..37).map(|i| (i * 13 + 1) % 50).collect();
+        assert_eq!(dot_u32(&x, &y).to_bits(), scalar::dot_u32(&x, &y).to_bits());
+        assert_eq!(dot_u32(&[], &[]), 0.0);
+        assert_eq!(dot_u32(&[3], &[4]), 12.0);
+    }
+
+    #[test]
+    fn sum_matches_scalar() {
+        let v: Vec<u32> = (0..101).map(|i| i * 3).collect();
+        assert_eq!(
+            (sum_u32(&v) as f64).to_bits(),
+            scalar::sum_u32(&v).to_bits()
+        );
+        assert_eq!(sum_u32(&[]), 0);
+    }
+
+    #[test]
+    fn edm_matches_scalar_including_early_return() {
+        let x = [3u32, 0, 5, 2];
+        let y = [2u32, 7, 1, 9];
+        assert_eq!(
+            vector_edm(&x, &y, 100.0).to_bits(),
+            scalar::vector_edm(&x, &y, 100.0).to_bits()
+        );
+        // Saturated term: both return exactly 1.0.
+        assert_eq!(vector_edm(&[10], &[10], 50.0), 1.0);
+        assert_eq!(vector_edm(&[], &[], 10.0), 0.0);
+        assert_eq!(vector_edm(&[1], &[1], 0.0), 0.0);
+    }
+}

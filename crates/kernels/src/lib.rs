@@ -1,0 +1,43 @@
+//! # mnc-kernels — vectorized hot-path primitives for MNC sketches
+//!
+//! The sketch operations of the paper (Sections 3.2–3.3) are `O(m + n)`
+//! passes over `u32` count vectors and `u64` bit rows. This crate collects
+//! those inner loops as free-standing kernels so every caller — matmul
+//! estimation, sketch propagation, the chain-optimizer DP, and the bitset
+//! boolean product — shares one implementation that the compiler can
+//! autovectorize, plus a [`ScratchArena`] of reusable buffers so propagation
+//! chains run allocation-free in steady state.
+//!
+//! ## Bit-identity contract
+//!
+//! Every kernel is **bit-identical** to its scalar reference in [`scalar`]
+//! (property-tested in `tests/bit_identity.rs`, in debug and release). The
+//! trick is integer accumulation: `u32` products and sums are computed in
+//! `u64`, where addition is associative, so chunked/unrolled evaluation
+//! orders cannot drift. The final integer is converted to `f64` once —
+//! exactly the value a sequential `f64` accumulation produces while partial
+//! sums stay below `2^53` (guaranteed for count vectors: entries are bounded
+//! by matrix dimensions, sums by FLOP counts of realistic workloads).
+//! Floating-point-transcendental loops ([`vector_edm`]) keep their original
+//! sequential evaluation order and only replace the per-element product with
+//! the (identically rounded) integer form.
+//!
+//! Dispatch is a plain function call — no feature flags are required for
+//! correctness, and `#[cfg(target_arch)]` specializations may be layered in
+//! later without changing any caller.
+
+pub mod arena;
+pub mod chunk;
+pub mod combine;
+pub mod dot;
+pub mod scalar;
+pub mod words;
+
+pub use arena::ScratchArena;
+pub use chunk::row_chunks;
+pub use combine::{
+    complement_into, concat_meta_into, meta_scan, scale_round_into, sub_sat_into, zip_add_into,
+    zip_max_into, zip_min_into, VecMeta,
+};
+pub use dot::{dot_u32, sum_u32, vector_edm};
+pub use words::{and_into, and_popcount, or4_into, or_into, popcount};

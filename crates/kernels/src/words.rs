@@ -1,0 +1,102 @@
+//! Word-parallel bitset kernels: row OR/AND and popcount over `u64` words.
+//!
+//! OR and AND are associative and commutative per word, and popcount is an
+//! integer sum, so every batching/unrolling order below is bit-identical to
+//! the one-word-at-a-time scalar loops in [`crate::scalar`].
+
+/// Popcount over a word slice, accumulated across four lanes.
+pub fn popcount(words: &[u64]) -> u64 {
+    let mut acc = [0u64; 4];
+    let mut chunks = words.chunks_exact(4);
+    for c in &mut chunks {
+        acc[0] += c[0].count_ones() as u64;
+        acc[1] += c[1].count_ones() as u64;
+        acc[2] += c[2].count_ones() as u64;
+        acc[3] += c[3].count_ones() as u64;
+    }
+    let mut total = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for &w in chunks.remainder() {
+        total += w.count_ones() as u64;
+    }
+    total
+}
+
+/// `dst |= src` word-wise.
+pub fn or_into(dst: &mut [u64], src: &[u64]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d |= s;
+    }
+}
+
+/// `dst &= src` word-wise.
+pub fn and_into(dst: &mut [u64], src: &[u64]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d &= s;
+    }
+}
+
+/// `dst |= a | b | c | e` — four source rows folded in a single pass over
+/// `dst`, quartering the destination traffic of the `bool_mm` inner loop
+/// when a left-operand row is dense.
+pub fn or4_into(dst: &mut [u64], a: &[u64], b: &[u64], c: &[u64], e: &[u64]) {
+    for ((((d, &wa), &wb), &wc), &we) in dst.iter_mut().zip(a).zip(b).zip(c).zip(e) {
+        *d |= (wa | wb) | (wc | we);
+    }
+}
+
+/// Popcount of `a & b` without materializing the intersection.
+pub fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
+    let n = a.len().min(b.len());
+    let mut total = 0u64;
+    for (&wa, &wb) in a[..n].iter().zip(&b[..n]) {
+        total += (wa & wb).count_ones() as u64;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar;
+
+    fn words(seed: u64, n: usize) -> Vec<u64> {
+        let mut s = seed;
+        (0..n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn popcount_matches_scalar() {
+        for n in [0, 1, 3, 4, 7, 64, 129] {
+            let w = words(n as u64 + 1, n);
+            assert_eq!(popcount(&w), scalar::popcount(&w));
+        }
+    }
+
+    #[test]
+    fn or4_equals_sequential_ors() {
+        let n = 37;
+        let mut dst = words(1, n);
+        let mut expect = dst.clone();
+        let (a, b, c, e) = (words(2, n), words(3, n), words(4, n), words(5, n));
+        or4_into(&mut dst, &a, &b, &c, &e);
+        for src in [&a, &b, &c, &e] {
+            scalar::or_into(&mut expect, src);
+        }
+        assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn and_popcount_matches_materialized() {
+        let (a, b) = (words(6, 50), words(7, 50));
+        let mut m = a.clone();
+        and_into(&mut m, &b);
+        assert_eq!(and_popcount(&a, &b), scalar::popcount(&m));
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests: every kernel is bit-identical to its scalar reference.
+//!
+//! CI runs these in debug **and** `--release` — autovectorization only
+//! happens in release builds, so the release run is the one that would
+//! catch a kernel whose vectorized evaluation order drifts.
+
+use proptest::prelude::*;
+
+use mnc_kernels::{scalar, ScratchArena, VecMeta};
+
+/// Deterministic vector generator (the vendored proptest subset has no
+/// `collection::vec` strategy): values in `0..=max`, so proptest shrinks
+/// only over `(len, seed, max)`.
+fn gen_vec(seed: u64, len: usize, max: u32) -> Vec<u32> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as u32) % (max + 1)
+        })
+        .collect()
+}
+
+fn gen_words(seed: u64, len: usize) -> Vec<u64> {
+    let mut s = seed ^ 0xD6E8_FEB8_6659_FD93;
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            s
+        })
+        .collect()
+}
+
+/// `(len, seed, max)` with values small enough that every sequential `f64`
+/// partial sum of products is an exact integer (`len · max² < 2^53`), the
+/// regime where the scalar reference itself is exact.
+fn params() -> impl Strategy<Value = (usize, u64, u32)> {
+    (0usize..1500, any::<u64>(), 1u32..100_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dot_is_bit_identical((len, seed, max) in params()) {
+        let x = gen_vec(seed, len, max);
+        let y = gen_vec(seed ^ 1, len, max);
+        prop_assert_eq!(
+            mnc_kernels::dot_u32(&x, &y).to_bits(),
+            scalar::dot_u32(&x, &y).to_bits()
+        );
+    }
+
+    #[test]
+    fn sum_is_bit_identical((len, seed, max) in params()) {
+        let v = gen_vec(seed, len, max);
+        prop_assert_eq!(
+            (mnc_kernels::sum_u32(&v) as f64).to_bits(),
+            scalar::sum_u32(&v).to_bits()
+        );
+    }
+
+    #[test]
+    fn vector_edm_is_bit_identical((len, seed, max) in params()) {
+        let x = gen_vec(seed, len, max);
+        let y = gen_vec(seed ^ 2, len, max);
+        // Several magnitudes of p: tiny p exercises the early return,
+        // huge p the log-space accumulation.
+        for p in [0.5, 1e3, 1e9, 1e15] {
+            prop_assert_eq!(
+                mnc_kernels::vector_edm(&x, &y, p).to_bits(),
+                scalar::vector_edm(&x, &y, p).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn combinators_match_scalar_and_fused_meta((len, seed, max) in params()) {
+        let x = gen_vec(seed, len, max);
+        let y = gen_vec(seed ^ 3, len, max);
+        let half = max / 2;
+        let mut arena = ScratchArena::new();
+        let mut out = arena.take_u32(0);
+
+        let meta = mnc_kernels::zip_add_into(&x, &y, half, &mut out);
+        prop_assert_eq!(&out, &scalar::zip_add(&x, &y));
+        prop_assert_eq!(meta, scalar::meta_scan(&out, half));
+
+        let meta = mnc_kernels::zip_min_into(&x, &y, half, &mut out);
+        prop_assert_eq!(&out, &scalar::zip_min(&x, &y));
+        prop_assert_eq!(meta, scalar::meta_scan(&out, half));
+
+        let meta = mnc_kernels::zip_max_into(&x, &y, half, &mut out);
+        prop_assert_eq!(&out, &scalar::zip_max(&x, &y));
+        prop_assert_eq!(meta, scalar::meta_scan(&out, half));
+
+        mnc_kernels::sub_sat_into(&x, &y, &mut out);
+        prop_assert_eq!(&out, &scalar::sub_sat(&x, &y));
+
+        let meta = mnc_kernels::complement_into(&x, max, half, &mut out);
+        prop_assert_eq!(&out, &scalar::complement(&x, max));
+        prop_assert_eq!(meta, scalar::meta_scan(&out, half));
+
+        let meta = mnc_kernels::concat_meta_into(&x, &y, half, &mut out);
+        prop_assert_eq!(meta, scalar::meta_scan(&out, half));
+        prop_assert_eq!(&out[..len], &x[..]);
+        prop_assert_eq!(&out[len..], &y[..]);
+        arena.put_u32(out);
+    }
+
+    #[test]
+    fn scale_round_matches_scalar_with_identical_draw_sequence(
+        (len, seed, max) in params(),
+        target in 0.0f64..1e6,
+        cap in 1u64..1000,
+    ) {
+        let counts = gen_vec(seed, len, max);
+        // A stateful "RNG": every call mutates it, so any divergence in the
+        // call sequence (count or order) changes all later results.
+        let mut state_k = seed;
+        let mut state_s = seed;
+        let draw = |state: &mut u64, v: f64| {
+            *state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            v.floor() as u64 + (*state >> 63)
+        };
+        let mut out = Vec::new();
+        let meta = mnc_kernels::scale_round_into(
+            &counts, target, cap, max / 2, |v| draw(&mut state_k, v), &mut out,
+        );
+        let reference = scalar::scale_round(&counts, target, cap, |v| draw(&mut state_s, v));
+        prop_assert_eq!(&out, &reference);
+        prop_assert_eq!(state_k, state_s, "rounding draw sequences diverged");
+        prop_assert_eq!(meta, scalar::meta_scan(&out, max / 2));
+    }
+
+    #[test]
+    fn word_kernels_match_scalar((len, seed, _max) in params()) {
+        let len = len % 200;
+        let a = gen_words(seed, len);
+        let b = gen_words(seed ^ 4, len);
+        prop_assert_eq!(mnc_kernels::popcount(&a), scalar::popcount(&a));
+
+        let mut dst_k = a.clone();
+        let mut dst_s = a.clone();
+        mnc_kernels::or_into(&mut dst_k, &b);
+        scalar::or_into(&mut dst_s, &b);
+        prop_assert_eq!(&dst_k, &dst_s);
+
+        let mut anded = a.clone();
+        mnc_kernels::and_into(&mut anded, &b);
+        prop_assert_eq!(
+            mnc_kernels::and_popcount(&a, &b),
+            scalar::popcount(&anded)
+        );
+
+        let (c, d) = (gen_words(seed ^ 5, len), gen_words(seed ^ 6, len));
+        let mut dst4 = a.clone();
+        mnc_kernels::or4_into(&mut dst4, &b, &c, &d, &a);
+        let mut expect = a.clone();
+        for src in [&b, &c, &d, &a] {
+            scalar::or_into(&mut expect, src);
+        }
+        prop_assert_eq!(&dst4, &expect);
+    }
+
+    #[test]
+    fn meta_scan_matches_scalar((len, seed, max) in params()) {
+        let v = gen_vec(seed, len, max);
+        for half in [0, 1, max / 2, max] {
+            let got: VecMeta = mnc_kernels::meta_scan(&v, half);
+            prop_assert_eq!(got, scalar::meta_scan(&v, half));
+        }
+    }
+}

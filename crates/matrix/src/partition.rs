@@ -10,6 +10,8 @@
 
 use std::sync::Arc;
 
+use mnc_kernels::row_chunks;
+
 use crate::csr::CsrMatrix;
 use crate::error::{MatrixError, Result};
 use crate::ops::rbind;
@@ -27,12 +29,9 @@ impl RowPartitionedMatrix {
     /// Partitions a matrix into (at most) `nparts` contiguous row blocks.
     pub fn from_matrix(m: &CsrMatrix, nparts: usize) -> Self {
         let nparts = nparts.clamp(1, m.nrows().max(1));
-        let rows_per_part = m.nrows().div_ceil(nparts);
         let mut parts = Vec::new();
         let mut offsets = vec![0usize];
-        let mut start = 0usize;
-        while start < m.nrows() {
-            let end = (start + rows_per_part).min(m.nrows());
+        for (start, end) in row_chunks(m.nrows(), nparts) {
             let mut triples = Vec::new();
             for i in start..end {
                 let (cols, vals) = m.row(i);
@@ -44,7 +43,6 @@ impl RowPartitionedMatrix {
                 .expect("triples from a valid matrix");
             parts.push(Arc::new(part));
             offsets.push(end);
-            start = end;
         }
         if parts.is_empty() {
             // Zero-row matrix: a single empty partition keeps invariants.
