@@ -168,7 +168,11 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
     let na = dag.leaf(files[0].clone(), Arc::clone(&a));
     let nb = dag.leaf(files[1].clone(), Arc::clone(&b));
     let root = dag.op(op.clone(), &[na, nb]).map_err(|e| e.to_string())?;
+    let server = obs.serve()?;
     let mut ctx = EstimationContext::new().with_recorder(obs.recorder());
+    if let Some(srv) = &server {
+        srv.install(ctx.recorder());
+    }
     for est in &estimators {
         let t = Instant::now();
         let mut outcome = ctx.estimate_root(est, &dag, root);
@@ -206,6 +210,9 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
             c.nnz(),
             t.elapsed()
         );
+    }
+    if let Some(srv) = server {
+        srv.finish();
     }
     Ok(())
 }

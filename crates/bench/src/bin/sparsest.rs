@@ -47,9 +47,22 @@ fn main() -> ExitCode {
     let names: Vec<&str> = refs.iter().map(|e| e.name()).collect();
 
     // The recorder is always on here: the B1 accuracy-regression gate below
-    // consumes the accuracy telemetry, so the suite always collects it. The
-    // observability flags only control whether spans/metrics get exported.
+    // consumes the accuracy telemetry, so the suite always collects it
+    // (unbounded — a bounded ring would truncate the records the gate
+    // needs). The observability flags only control whether spans/metrics
+    // get exported; `--serve-obs` additionally taps the same recorder for
+    // live scrapes while the suite runs.
     let rec = Recorder::enabled();
+    let server = match obs.serve() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(srv) = &server {
+        srv.install(&rec);
+    }
 
     // One estimation session for the whole suite: B2/B3 cases share dataset
     // matrices, and tracked-intermediate reports revisit the same DAGs, so
@@ -80,6 +93,10 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
+    }
+
+    if let Some(srv) = server {
+        srv.finish();
     }
 
     let accuracy = rec.accuracy();

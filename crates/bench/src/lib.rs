@@ -19,7 +19,7 @@ use mnc_sparsest::runner::CaseResult;
 use mnc_sparsest::Outcome;
 
 pub use env_info::EnvInfo;
-pub use obs::{ObsArgs, OBS_USAGE};
+pub use obs::{ObsArgs, ObsServer, OBS_USAGE};
 
 /// Reads the `MNC_SCALE` environment variable, defaulting to `default`.
 pub fn env_scale(default: f64) -> f64 {

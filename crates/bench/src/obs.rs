@@ -10,10 +10,22 @@
 //!
 //! Any of the three flags switches the run's recorder on; without them the
 //! binaries keep the zero-overhead disabled recorder.
+//!
+//! Live observability (the `mnc-obsd` daemon) rides the same parser:
+//!
+//! ```text
+//! --serve-obs <addr>      serve GET /metrics /healthz /flight /attribution
+//!                         on <addr> (use 127.0.0.1:0 for an OS-assigned
+//!                         port, printed to stderr)
+//! --flight-capacity <n>   flight-ring slots per stream (default 1024)
+//! --serve-linger <secs>   keep the endpoint up for <secs> after the work
+//!                         finishes (CI smoke tests, manual curls)
+//! ```
 
 use std::io::Write as _;
 
 use mnc_obs::{ObsFormat, Recorder};
+use mnc_obsd::{ObsDaemon, ObsdConfig, ServerHandle};
 
 /// Parsed observability flags.
 #[derive(Debug, Clone, Default)]
@@ -27,17 +39,30 @@ pub struct ObsArgs {
     /// Whether `--obs-format` was given explicitly (an explicit format with
     /// no `--metrics` file sends the report to stdout).
     pub format_explicit: bool,
+    /// `--serve-obs <addr>`: bind the live telemetry endpoint here.
+    pub serve_obs: Option<String>,
+    /// `--flight-capacity <n>` (default [`DEFAULT_FLIGHT_CAPACITY`]).
+    pub flight_capacity: usize,
+    /// `--serve-linger <secs>`: keep serving this long after the work.
+    pub serve_linger: Option<u64>,
 }
 
-/// Usage lines for the three flags, for the binaries' help text.
-pub const OBS_USAGE: &str =
-    "[--trace <file>] [--metrics <file>] [--obs-format table|jsonl|chrome|prom]";
+/// Default `--flight-capacity`.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1024;
+
+/// Usage lines for the observability flags, for the binaries' help text.
+pub const OBS_USAGE: &str = "[--trace <file>] [--metrics <file>] \
+     [--obs-format table|jsonl|chrome|prom]\n    \
+     [--serve-obs <addr>] [--flight-capacity <n>] [--serve-linger <secs>]";
 
 impl ObsArgs {
     /// Extracts the observability flags from `args`, returning the parsed
     /// flags and the remaining (unconsumed) arguments.
     pub fn parse(args: &[String]) -> Result<(ObsArgs, Vec<String>), String> {
-        let mut parsed = ObsArgs::default();
+        let mut parsed = ObsArgs {
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            ..ObsArgs::default()
+        };
         let mut rest = Vec::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -55,25 +80,80 @@ impl ObsArgs {
                         .parse::<ObsFormat>()?;
                     parsed.format_explicit = true;
                 }
+                "--serve-obs" => {
+                    parsed.serve_obs =
+                        Some(it.next().ok_or("--serve-obs needs an address")?.clone());
+                }
+                "--flight-capacity" => {
+                    parsed.flight_capacity = it
+                        .next()
+                        .ok_or("--flight-capacity needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --flight-capacity value")?;
+                }
+                "--serve-linger" => {
+                    parsed.serve_linger = Some(
+                        it.next()
+                            .ok_or("--serve-linger needs a value in seconds")?
+                            .parse()
+                            .map_err(|_| "bad --serve-linger value")?,
+                    );
+                }
                 _ => rest.push(a.clone()),
             }
         }
         Ok((parsed, rest))
     }
 
-    /// Whether any flag asked for observability output.
+    /// Whether any flag asked for observability output (report files or a
+    /// live endpoint).
     pub fn enabled(&self) -> bool {
-        self.trace.is_some() || self.metrics.is_some() || self.format_explicit
+        self.trace.is_some()
+            || self.metrics.is_some()
+            || self.format_explicit
+            || self.serve_obs.is_some()
     }
 
-    /// A recorder matching the flags: enabled when any output was requested,
-    /// otherwise the zero-overhead disabled recorder.
+    /// A recorder matching the flags: a full (unbounded) recorder when a
+    /// report output was requested, a **bounded** one when only
+    /// `--serve-obs` asked for live telemetry (service mode — span storage
+    /// must not grow without limit), and the zero-overhead disabled
+    /// recorder otherwise.
     pub fn recorder(&self) -> Recorder {
-        if self.enabled() {
+        if self.trace.is_some() || self.metrics.is_some() || self.format_explicit {
             Recorder::enabled()
+        } else if self.serve_obs.is_some() {
+            Recorder::enabled_with_capacity(self.flight_capacity)
         } else {
             Recorder::disabled()
         }
+    }
+
+    /// Starts the live telemetry endpoint when `--serve-obs` was given:
+    /// builds an [`ObsDaemon`] (flight capacity from `--flight-capacity`),
+    /// binds the address, and prints the resolved address to stderr (with
+    /// `:0` binds this is how scripts learn the port). Returns `None`
+    /// without the flag.
+    pub fn serve(&self) -> Result<Option<ObsServer>, String> {
+        let Some(addr) = &self.serve_obs else {
+            return Ok(None);
+        };
+        let daemon = ObsDaemon::new(ObsdConfig {
+            flight_capacity: self.flight_capacity.max(1),
+            ..ObsdConfig::default()
+        });
+        let handle = daemon
+            .serve(addr)
+            .map_err(|e| format!("--serve-obs {addr}: {e}"))?;
+        eprintln!(
+            "obsd: serving on http://{} (/metrics /healthz /flight /attribution)",
+            handle.local_addr()
+        );
+        Ok(Some(ObsServer {
+            daemon,
+            handle,
+            linger_secs: self.serve_linger,
+        }))
     }
 
     /// Writes the requested outputs from the recorder: the Chrome trace to
@@ -106,6 +186,43 @@ impl ObsArgs {
                 .map_err(|e| e.to_string())?;
         }
         Ok(())
+    }
+}
+
+/// A running live-telemetry endpoint (`--serve-obs`): the daemon plus its
+/// HTTP server handle.
+pub struct ObsServer {
+    daemon: ObsDaemon,
+    handle: ServerHandle,
+    linger_secs: Option<u64>,
+}
+
+impl ObsServer {
+    /// The daemon, for installing onto recorders and inspecting state.
+    pub fn daemon(&self) -> &ObsDaemon {
+        &self.daemon
+    }
+
+    /// The bound address (port resolved for `:0` binds).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.handle.local_addr()
+    }
+
+    /// Wires a recorder's streams and registry into the daemon (see
+    /// [`ObsDaemon::install`]).
+    pub fn install(&self, rec: &Recorder) -> bool {
+        self.daemon.install(rec)
+    }
+
+    /// Finishes the serving phase: honors `--serve-linger` (so smoke tests
+    /// and humans can still curl the endpoints after the work is done),
+    /// then shuts the server down.
+    pub fn finish(mut self) {
+        if let Some(secs) = self.linger_secs {
+            eprintln!("obsd: work done; serving for {secs}s more (--serve-linger)");
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+        }
+        self.handle.shutdown();
     }
 }
 
@@ -152,5 +269,47 @@ mod tests {
         assert!(ObsArgs::parse(&s(&["--trace"])).is_err());
         assert!(ObsArgs::parse(&s(&["--metrics"])).is_err());
         assert!(ObsArgs::parse(&s(&["--obs-format", "xml"])).is_err());
+        assert!(ObsArgs::parse(&s(&["--serve-obs"])).is_err());
+        assert!(ObsArgs::parse(&s(&["--flight-capacity", "many"])).is_err());
+        assert!(ObsArgs::parse(&s(&["--serve-linger", "-1"])).is_err());
+    }
+
+    #[test]
+    fn serve_flags_select_a_bounded_recorder_and_start_the_endpoint() {
+        let (obs, rest) = ObsArgs::parse(&s(&[
+            "a.mtx",
+            "--serve-obs",
+            "127.0.0.1:0",
+            "--flight-capacity",
+            "16",
+        ]))
+        .unwrap();
+        assert_eq!(rest, s(&["a.mtx"]));
+        assert!(obs.enabled());
+        // Service mode without report flags: bounded storage.
+        let rec = obs.recorder();
+        assert_eq!(rec.ring_capacity(), Some(16));
+        // With a report flag too, the unbounded recorder wins.
+        let (both, _) =
+            ObsArgs::parse(&s(&["--serve-obs", "127.0.0.1:0", "--obs-format", "jsonl"])).unwrap();
+        assert_eq!(both.recorder().ring_capacity(), None);
+        assert!(both.recorder().is_enabled());
+
+        // The endpoint comes up and answers /healthz.
+        let server = obs.serve().unwrap().expect("flag set");
+        assert!(server.install(&rec));
+        let addr = server.local_addr();
+        use std::io::{Read as _, Write as _};
+        let mut c = std::net::TcpStream::connect(addr).unwrap();
+        c.write_all(b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        c.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        server.finish();
+
+        // No flag, no server.
+        let (none, _) = ObsArgs::parse(&s(&["x"])).unwrap();
+        assert!(none.serve().unwrap().is_none());
     }
 }

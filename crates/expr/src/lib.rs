@@ -46,3 +46,4 @@ pub use mnc_estimators::{OpKind, SparsityEstimator, Synopsis};
 // Observability: attach a `Recorder` via `EstimationContext::with_recorder`,
 // export with `Recorder::report()`.
 pub use mnc_obs::{ObsFormat, Recorder, Report};
+pub use mnc_obsd::{ObsDaemon, ObsdConfig};

@@ -176,6 +176,31 @@ impl EstimationContext {
         self
     }
 
+    /// Wires this session into a live telemetry daemon (`mnc-obsd`): the
+    /// session recorder's span and accuracy streams feed the daemon's
+    /// flight recorder and drift monitor, and its metrics registry joins
+    /// the `/metrics` aggregation (snapshotted periodically by the
+    /// daemon's server ticker, freshly on every scrape).
+    ///
+    /// A session without a recorder gets a **bounded** one (ring capacity
+    /// = the daemon's flight capacity) — the right default for the
+    /// long-running services obsd exists for, where unbounded span storage
+    /// would grow without limit. Call
+    /// [`with_recorder`](Self::with_recorder) first to choose a different
+    /// recorder (e.g. an unbounded one for a batch run that also wants
+    /// live scrapes).
+    pub fn with_obsd(mut self, daemon: &mnc_obsd::ObsDaemon) -> Self {
+        if !self.rec.is_enabled() {
+            let bounded = Recorder::enabled_with_capacity(daemon.flight().capacity());
+            self = self.with_recorder(bounded);
+        }
+        daemon.install(&self.rec);
+        // Seed the daemon's cached snapshot so a scrape racing session
+        // startup already sees this source.
+        daemon.refresh();
+        self
+    }
+
     /// Toggles the propagation scratch arena (on by default). Arena-backed
     /// propagation is bit-identical to the allocating path; turning it off
     /// is for A/B allocation measurements and invariance tests.
@@ -684,6 +709,42 @@ mod tests {
         let snap = rec.registry().unwrap().snapshot();
         assert_eq!(snap.counters["cache.hit"], traced.stats().cache_hits);
         assert!(snap.counters["cache.hit"] > 0);
+    }
+
+    #[test]
+    fn with_obsd_wires_the_session_into_the_daemon() {
+        use mnc_obsd::{ObsDaemon, ObsdConfig};
+
+        let daemon = ObsDaemon::new(ObsdConfig {
+            flight_capacity: 32,
+            ..ObsdConfig::default()
+        });
+        // No recorder yet: with_obsd installs a bounded one sized like the
+        // flight ring.
+        let mut ctx = EstimationContext::new().with_obsd(&daemon);
+        assert!(ctx.recorder().is_enabled());
+        assert_eq!(ctx.recorder().ring_capacity(), Some(32));
+        assert!(ctx.recorder().has_sink());
+
+        let mut r = rng(11);
+        let mut dag = ExprDag::new();
+        let a = dag.leaf("A", Arc::new(gen::rand_uniform(&mut r, 16, 16, 0.2)));
+        let b = dag.leaf("B", Arc::new(gen::rand_uniform(&mut r, 16, 16, 0.2)));
+        let root = dag.matmul(a, b).unwrap();
+        ctx.estimate_root(&MncEstimator::new(), &dag, root).unwrap();
+
+        // The estimation spans landed in the daemon's flight ring and the
+        // session registry reached the aggregated metrics.
+        assert!(daemon.flight().span_len() > 0);
+        assert!(daemon.metrics_text().contains("mnc_session_build_ns_count"));
+
+        // A pre-attached recorder is reused, not replaced.
+        let rec = Recorder::enabled();
+        let ctx2 = EstimationContext::new()
+            .with_recorder(rec.clone())
+            .with_obsd(&daemon);
+        assert!(ctx2.recorder().same_as(&rec));
+        assert_eq!(ctx2.recorder().ring_capacity(), None);
     }
 
     #[test]

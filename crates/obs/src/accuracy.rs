@@ -51,6 +51,27 @@ impl AccuracyRecord {
 /// one-zero → `INF`. (Duplicated from `mnc-sparsest` so the dependency-free
 /// telemetry layer can stamp records on its own; the runner passes its own
 /// value through unchanged.)
+///
+/// # Totality contract (pinned)
+///
+/// The obsd drift monitor folds this value into an online EWMA, so the
+/// function must be **total over all `f64` inputs** and never `NaN`:
+///
+/// * result is always `>= 1.0`; a perfect estimate yields exactly `1.0`;
+/// * `truth = 0, estimate = 0` (both below `EPS = 1e-15`, the zero
+///   threshold for a sparsity in `[0, 1]`) yields **`1.0`, finite** — a
+///   correctly-predicted empty output is a perfect estimate, not an error;
+/// * exactly one side zero yields **`+INF`**, never `NaN` — the ratio is
+///   genuinely unbounded, and consumers must branch on
+///   [`f64::is_finite`] (the summaries count these separately, the drift
+///   monitor clamps them to its configured ceiling);
+/// * negative inputs clamp to 0 and `NaN` inputs are treated as 0 (both
+///   via [`f64::max`], whose IEEE-754 semantics return the non-NaN
+///   operand) — garbage upstream degrades to the zero conventions above
+///   instead of poisoning every downstream aggregate with `NaN`.
+///
+/// These cases are locked by `relative_error_is_total_and_never_nan`
+/// below; `mnc-sparsest` pins its duplicate to the same table.
 pub fn symmetric_relative_error(truth: f64, estimate: f64) -> f64 {
     const EPS: f64 = 1e-15;
     let t = truth.max(0.0);
@@ -60,6 +81,11 @@ pub fn symmetric_relative_error(truth: f64, estimate: f64) -> f64 {
     }
     if t < EPS || e < EPS {
         return f64::INFINITY;
+    }
+    if t == e {
+        // Exact agreement is 1.0 without a division; this also keeps the
+        // out-of-domain pair (INF, INF) from producing INF/INF = NaN.
+        return 1.0;
     }
     t.max(e) / t.min(e)
 }
@@ -127,6 +153,47 @@ mod tests {
         assert_eq!(symmetric_relative_error(0.0, 0.5), f64::INFINITY);
         assert_eq!(symmetric_relative_error(0.1, 0.2), 2.0);
         assert_eq!(symmetric_relative_error(0.2, 0.1), 2.0);
+    }
+
+    /// Pins the totality contract the drift monitor depends on: every
+    /// `f64` input pair maps to a non-NaN value `>= 1`, with both-zero
+    /// finite (`1.0`) and one-zero infinite.
+    #[test]
+    fn relative_error_is_total_and_never_nan() {
+        // Both sides zero (or sub-threshold): perfect, finite.
+        assert_eq!(symmetric_relative_error(0.0, 0.0), 1.0);
+        assert_eq!(symmetric_relative_error(1e-16, 1e-16), 1.0);
+        // Negative garbage clamps to zero.
+        assert_eq!(symmetric_relative_error(-0.3, -1.0), 1.0);
+        assert_eq!(symmetric_relative_error(-0.3, 0.5), f64::INFINITY);
+        // NaN inputs degrade to the zero conventions, never propagate.
+        assert_eq!(symmetric_relative_error(f64::NAN, f64::NAN), 1.0);
+        assert_eq!(symmetric_relative_error(f64::NAN, 0.5), f64::INFINITY);
+        assert_eq!(symmetric_relative_error(0.5, f64::NAN), f64::INFINITY);
+        // Infinite inputs stay total (ratio of INF to finite is INF).
+        assert_eq!(symmetric_relative_error(f64::INFINITY, 0.5), f64::INFINITY);
+        // Exhaustive sweep over a grid of awkward values: never NaN,
+        // always >= 1.
+        let vals = [
+            f64::NAN,
+            f64::NEG_INFINITY,
+            -1.0,
+            -1e-300,
+            0.0,
+            1e-16,
+            1e-15,
+            1e-8,
+            0.5,
+            1.0,
+            f64::INFINITY,
+        ];
+        for &t in &vals {
+            for &e in &vals {
+                let r = symmetric_relative_error(t, e);
+                assert!(!r.is_nan(), "NaN for ({t}, {e})");
+                assert!(r >= 1.0, "{r} < 1 for ({t}, {e})");
+            }
+        }
     }
 
     #[test]

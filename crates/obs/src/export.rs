@@ -99,6 +99,45 @@ pub fn json_f64(v: f64) -> String {
     }
 }
 
+/// The one `SpanRecord → JSON` serializer: every exporter of span events —
+/// [`Report::to_jsonl`] here, the `mnc-obsd` flight-recorder dump — renders
+/// through this function, so a new span payload field can never silently
+/// diverge between exporters. Returns one `{"type":"span",...}` object
+/// without a trailing newline.
+pub fn span_json(s: &SpanRecord) -> String {
+    format!(
+        "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":\"{}\",\
+         \"thread\":{},\"start_ns\":{},\"dur_ns\":{},\"args\":{}}}",
+        s.id,
+        s.parent,
+        json_escape(s.name),
+        s.thread,
+        s.start_ns,
+        s.dur_ns,
+        span_args_json(s)
+    )
+}
+
+/// The one `AccuracyRecord → JSON` serializer (see [`span_json`]); non-
+/// finite relative errors serialize as `null` beside `"finite":false`.
+/// Returns one `{"type":"accuracy",...}` object without a trailing newline.
+pub fn accuracy_json(a: &AccuracyRecord) -> String {
+    format!(
+        "{{\"type\":\"accuracy\",\"case\":\"{}\",\"op\":\"{}\",\
+         \"estimator\":\"{}\",\"estimated_sparsity\":{},\
+         \"actual_sparsity\":{},\"relative_error\":{},\
+         \"finite\":{},\"ts_ns\":{}}}",
+        json_escape(&a.case),
+        json_escape(&a.op),
+        json_escape(&a.estimator),
+        json_f64(a.estimated_sparsity),
+        json_f64(a.actual_sparsity),
+        json_f64(a.relative_error),
+        a.relative_error.is_finite(),
+        a.ts_ns
+    )
+}
+
 fn span_args_json(s: &SpanRecord) -> String {
     let mut fields = Vec::new();
     if let Some(op) = &s.op {
@@ -141,18 +180,7 @@ impl Report {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for s in &self.spans {
-            let _ = writeln!(
-                out,
-                "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":\"{}\",\
-                 \"thread\":{},\"start_ns\":{},\"dur_ns\":{},\"args\":{}}}",
-                s.id,
-                s.parent,
-                json_escape(s.name),
-                s.thread,
-                s.start_ns,
-                s.dur_ns,
-                span_args_json(s)
-            );
+            let _ = writeln!(out, "{}", span_json(s));
         }
         for (name, v) in &self.metrics.counters {
             let _ = writeln!(
@@ -177,21 +205,7 @@ impl Report {
             );
         }
         for a in &self.accuracy {
-            let _ = writeln!(
-                out,
-                "{{\"type\":\"accuracy\",\"case\":\"{}\",\"op\":\"{}\",\
-                 \"estimator\":\"{}\",\"estimated_sparsity\":{},\
-                 \"actual_sparsity\":{},\"relative_error\":{},\
-                 \"finite\":{},\"ts_ns\":{}}}",
-                json_escape(&a.case),
-                json_escape(&a.op),
-                json_escape(&a.estimator),
-                json_f64(a.estimated_sparsity),
-                json_f64(a.actual_sparsity),
-                json_f64(a.relative_error),
-                a.relative_error.is_finite(),
-                a.ts_ns
-            );
+            let _ = writeln!(out, "{}", accuracy_json(a));
         }
         out
     }

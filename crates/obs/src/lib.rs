@@ -50,6 +50,7 @@ pub mod attribution;
 pub mod export;
 pub mod metrics;
 pub mod prometheus;
+pub mod ring;
 pub mod span;
 
 pub use accuracy::AccuracyRecord;
@@ -58,11 +59,25 @@ pub use attribution::{attribute, render_attribution, AttributionRow};
 pub use export::{ObsFormat, Report};
 pub use metrics::{Counter, Gauge, Histogram, LatencyHisto, MetricSnapshot, MetricsRegistry};
 pub use prometheus::render_prometheus;
+pub use ring::RecordRing;
 pub use span::{SpanGuard, SpanRecord};
 
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+
+/// A live tap on the record streams of an enabled [`Recorder`]: every
+/// finished span and every accuracy record is offered to the sink *before*
+/// it reaches the recorder's own storage. This is the feed for always-on
+/// telemetry services (`mnc-obsd`'s flight recorder and accuracy-drift
+/// monitor) — implementations must be cheap and non-blocking, they run on
+/// the estimation hot path.
+pub trait RecordSink: Send + Sync + 'static {
+    /// Called with each finished span.
+    fn on_span(&self, _span: &SpanRecord) {}
+    /// Called with each accuracy record (after `ts_ns` stamping).
+    fn on_accuracy(&self, _rec: &AccuracyRecord) {}
+}
 
 // ---------------------------------------------------------------------------
 // Lock-free record list (Treiber stack)
@@ -152,6 +167,55 @@ impl<T> Drop for LockFreeList<T> {
 }
 
 // ---------------------------------------------------------------------------
+// Record storage: unbounded (batch) or ring-bounded (services)
+// ---------------------------------------------------------------------------
+
+/// Backing storage for one record stream. Batch runs keep every record
+/// (the append-only list); long-running services cap retention with a
+/// [`RecordRing`] so memory stays O(capacity) forever.
+pub(crate) enum RecordStore<T> {
+    Unbounded(LockFreeList<T>),
+    Bounded(RecordRing<T>),
+}
+
+impl<T: Clone + Send> RecordStore<T> {
+    fn new(capacity: Option<usize>) -> Self {
+        match capacity {
+            Some(cap) => RecordStore::Bounded(RecordRing::new(cap)),
+            None => RecordStore::Unbounded(LockFreeList::new()),
+        }
+    }
+
+    fn push(&self, value: T) {
+        match self {
+            RecordStore::Unbounded(list) => list.push(value),
+            RecordStore::Bounded(ring) => {
+                ring.push(value);
+            }
+        }
+    }
+
+    /// Retained records, oldest first.
+    fn collect(&self) -> Vec<T> {
+        match self {
+            RecordStore::Unbounded(list) => {
+                let mut v = list.collect();
+                v.reverse(); // the list is newest-first
+                v
+            }
+            RecordStore::Bounded(ring) => ring.collect(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            RecordStore::Unbounded(list) => list.len(),
+            RecordStore::Bounded(ring) => ring.len(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Recorder
 // ---------------------------------------------------------------------------
 
@@ -163,9 +227,13 @@ pub(crate) struct RecorderShared {
     pub(crate) token: u64,
     pub(crate) epoch: Instant,
     pub(crate) next_span_id: AtomicU64,
-    pub(crate) spans: LockFreeList<SpanRecord>,
-    pub(crate) accuracy: LockFreeList<AccuracyRecord>,
+    pub(crate) spans: RecordStore<SpanRecord>,
+    pub(crate) accuracy: RecordStore<AccuracyRecord>,
     pub(crate) registry: MetricsRegistry,
+    /// Ring capacity when bounded (`None` = keep everything).
+    pub(crate) capacity: Option<usize>,
+    /// Optional live tap, set once (see [`Recorder::set_sink`]).
+    pub(crate) sink: OnceLock<Arc<dyn RecordSink>>,
 }
 
 /// The entry point: a cheap, cloneable handle that is either enabled (shared
@@ -178,16 +246,34 @@ pub struct Recorder {
 
 impl Recorder {
     /// A recorder that records: spans, metrics, and accuracy telemetry all
-    /// collect into shared, thread-safe state.
+    /// collect into shared, thread-safe state. Storage is unbounded — right
+    /// for batch runs that export a full report at the end; long-running
+    /// services should use [`Recorder::enabled_with_capacity`].
     pub fn enabled() -> Recorder {
+        Self::build(None)
+    }
+
+    /// A recorder whose span and accuracy storage is a fixed-capacity
+    /// overwrite ring ([`RecordRing`]): the most recent `capacity` records
+    /// of each stream are retained in O(capacity) memory, forever. This is
+    /// the mode for long-running services, where the unbounded recorder
+    /// would grow without limit. Metrics are unaffected (the registry is
+    /// bounded by its name set by construction).
+    pub fn enabled_with_capacity(capacity: usize) -> Recorder {
+        Self::build(Some(capacity.max(1)))
+    }
+
+    fn build(capacity: Option<usize>) -> Recorder {
         Recorder {
             inner: Some(Arc::new(RecorderShared {
                 token: RECORDER_TOKENS.fetch_add(1, Ordering::Relaxed),
                 epoch: Instant::now(),
                 next_span_id: AtomicU64::new(1),
-                spans: LockFreeList::new(),
-                accuracy: LockFreeList::new(),
+                spans: RecordStore::new(capacity),
+                accuracy: RecordStore::new(capacity),
                 registry: MetricsRegistry::new(),
+                capacity,
+                sink: OnceLock::new(),
             })),
         }
     }
@@ -201,6 +287,28 @@ impl Recorder {
     /// Whether this recorder collects anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The span/accuracy ring capacity, or `None` for an unbounded (or
+    /// disabled) recorder.
+    pub fn ring_capacity(&self) -> Option<usize> {
+        self.inner.as_ref().and_then(|s| s.capacity)
+    }
+
+    /// Installs a live [`RecordSink`] tap: every finished span and accuracy
+    /// record is offered to the sink before it reaches storage. The sink
+    /// can be set **once** per recorder; returns `false` when the recorder
+    /// is disabled or a sink is already installed.
+    pub fn set_sink(&self, sink: Arc<dyn RecordSink>) -> bool {
+        match &self.inner {
+            Some(s) => s.sink.set(sink).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Whether a [`RecordSink`] is installed.
+    pub fn has_sink(&self) -> bool {
+        self.inner.as_ref().is_some_and(|s| s.sink.get().is_some())
     }
 
     /// Two handles to the same underlying recorder?
@@ -226,11 +334,15 @@ impl Recorder {
     }
 
     /// Records one accuracy observation (no-op when disabled). The record's
-    /// `ts_ns` is stamped with the recorder clock if left at 0.
+    /// `ts_ns` is stamped with the recorder clock if left at 0, and an
+    /// installed [`RecordSink`] sees the record before storage.
     pub fn record_accuracy(&self, mut rec: AccuracyRecord) {
         if let Some(shared) = &self.inner {
             if rec.ts_ns == 0 {
                 rec.ts_ns = self.elapsed_ns();
+            }
+            if let Some(sink) = shared.sink.get() {
+                sink.on_accuracy(&rec);
             }
             shared.accuracy.push(rec);
         }
@@ -265,7 +377,8 @@ impl Recorder {
         self.inner.as_deref().map(|s| &s.registry)
     }
 
-    /// All finished spans, in start order.
+    /// All retained finished spans, in start order (the newest `capacity`
+    /// for a bounded recorder).
     pub fn spans(&self) -> Vec<SpanRecord> {
         match &self.inner {
             Some(s) => {
@@ -277,19 +390,15 @@ impl Recorder {
         }
     }
 
-    /// Number of finished spans (cheap-ish; walks the list).
+    /// Number of retained finished spans (cheap-ish; walks the list).
     pub fn span_count(&self) -> usize {
         self.inner.as_ref().map_or(0, |s| s.spans.len())
     }
 
-    /// All accuracy records, in emission order.
+    /// All retained accuracy records, in emission order.
     pub fn accuracy(&self) -> Vec<AccuracyRecord> {
         match &self.inner {
-            Some(s) => {
-                let mut v = s.accuracy.collect();
-                v.reverse(); // list is newest-first
-                v
-            }
+            Some(s) => s.accuracy.collect(),
             None => Vec::new(),
         }
     }
@@ -438,6 +547,77 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 4000, "no push may be lost or duplicated");
+    }
+
+    #[test]
+    fn bounded_recorder_retains_the_newest_spans() {
+        let rec = Recorder::enabled_with_capacity(8);
+        assert_eq!(rec.ring_capacity(), Some(8));
+        for i in 0..100u64 {
+            let _g = span!(rec, "work", nnz_in = i);
+        }
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 8, "ring caps retention");
+        // Span ids are 1-based and monotone: the retained ones are 93..=100.
+        assert!(spans.iter().all(|s| s.id > 92), "{spans:?}");
+        assert_eq!(rec.span_count(), 8);
+        // Accuracy is bounded by the same capacity.
+        for i in 0..20 {
+            rec.record_accuracy(AccuracyRecord::new(
+                format!("c{i}"),
+                "matmul",
+                "MNC",
+                0.1,
+                0.1,
+            ));
+        }
+        let acc = rec.accuracy();
+        assert_eq!(acc.len(), 8);
+        assert_eq!(acc.last().unwrap().case, "c19", "newest records retained");
+        // Unbounded recorders report no capacity.
+        assert_eq!(Recorder::enabled().ring_capacity(), None);
+        assert_eq!(Recorder::disabled().ring_capacity(), None);
+    }
+
+    #[test]
+    fn sink_sees_spans_and_accuracy_before_storage() {
+        use std::sync::atomic::AtomicUsize;
+
+        #[derive(Default)]
+        struct CountingSink {
+            spans: AtomicUsize,
+            accuracy: AtomicUsize,
+        }
+        impl RecordSink for CountingSink {
+            fn on_span(&self, span: &SpanRecord) {
+                assert!(span.dur_ns > 0 || span.start_ns > 0 || span.id > 0);
+                self.spans.fetch_add(1, Ordering::Relaxed);
+            }
+            fn on_accuracy(&self, rec: &AccuracyRecord) {
+                assert!(rec.ts_ns > 0, "sink runs after ts stamping");
+                self.accuracy.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let rec = Recorder::enabled();
+        assert!(!rec.has_sink());
+        let sink = Arc::new(CountingSink::default());
+        assert!(rec.set_sink(Arc::clone(&sink) as Arc<dyn RecordSink>));
+        assert!(rec.has_sink());
+        // Second install is rejected (set-once semantics).
+        assert!(!rec.set_sink(Arc::new(CountingSink::default())));
+        {
+            let _a = rec.span("estimate");
+            let _b = rec.span("build");
+        }
+        rec.record_accuracy(AccuracyRecord::new("B1.1", "matmul", "MNC", 0.5, 0.25));
+        assert_eq!(sink.spans.load(Ordering::Relaxed), 2);
+        assert_eq!(sink.accuracy.load(Ordering::Relaxed), 1);
+        // The recorder's own storage still has everything.
+        assert_eq!(rec.spans().len(), 2);
+        assert_eq!(rec.accuracy().len(), 1);
+        // A disabled recorder rejects sinks.
+        assert!(!Recorder::disabled().set_sink(Arc::new(CountingSink::default())));
     }
 
     #[test]

@@ -281,6 +281,22 @@ impl MetricSnapshot {
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
+
+    /// Merges another snapshot in: counters and gauges add, histograms
+    /// merge bucket-wise (see [`LatencyHisto::merge`]). Used by multi-source
+    /// exporters (the obsd `/metrics` endpoint aggregates the session
+    /// registry with the daemon's service registry).
+    pub fn merge(&mut self, other: &MetricSnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            *self.gauges.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
 }
 
 /// A named metric registry. Per-session registries hang off
@@ -441,6 +457,26 @@ mod tests {
         assert_eq!(snap.histograms["lat"].count(), 1);
         assert!(!snap.is_empty());
         assert!(MetricSnapshot::default().is_empty());
+    }
+
+    #[test]
+    fn snapshot_merge_adds_scalars_and_unions_histograms() {
+        let a_reg = MetricsRegistry::new();
+        a_reg.counter("hits").add(3);
+        a_reg.gauge("bytes").set(10);
+        a_reg.histogram("lat").record(8);
+        let b_reg = MetricsRegistry::new();
+        b_reg.counter("hits").add(4);
+        b_reg.counter("misses").add(1);
+        b_reg.gauge("bytes").set(-2);
+        b_reg.histogram("lat").record(64);
+        let mut merged = a_reg.snapshot();
+        merged.merge(&b_reg.snapshot());
+        assert_eq!(merged.counters["hits"], 7);
+        assert_eq!(merged.counters["misses"], 1);
+        assert_eq!(merged.gauges["bytes"], 8);
+        assert_eq!(merged.histograms["lat"].count(), 2);
+        assert_eq!(merged.histograms["lat"].max(), 64);
     }
 
     #[test]

@@ -189,6 +189,9 @@ impl Drop for SpanGuard {
             record.alloc_net = Some(delta.net_bytes);
             record.alloc_bytes = Some(delta.gross_bytes);
         }
+        if let Some(sink) = shared.sink.get() {
+            sink.on_span(&record);
+        }
         shared.spans.push(record);
     }
 }

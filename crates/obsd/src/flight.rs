@@ -1,0 +1,169 @@
+//! The flight recorder: the most recent N spans and accuracy records,
+//! always, in O(N) memory.
+//!
+//! Built on [`RecordRing`] (two rings, one per stream), fed live from the
+//! recorder's [`RecordSink`](mnc_obs::RecordSink) tap. Pushing into a ring
+//! at capacity allocates nothing for payload-free spans — records move into
+//! pre-allocated slots, the overwritten record drops in place — so the
+//! recorder can stay on in a service forever (the `flight_alloc`
+//! integration test proves this with allocation counters).
+//!
+//! The dump is JSONL through the *shared* serializers in
+//! [`mnc_obs::export`] ([`span_json`], [`accuracy_json`]): a new span
+//! payload field lands in `Report::to_jsonl` and the flight dump at once,
+//! by construction.
+
+use mnc_obs::export::{accuracy_json, span_json};
+use mnc_obs::{AccuracyRecord, RecordRing, SpanRecord};
+
+/// Fixed-capacity retention of the most recent spans and accuracy records.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    spans: RecordRing<SpanRecord>,
+    accuracy: RecordRing<AccuracyRecord>,
+}
+
+impl FlightRecorder {
+    /// A flight recorder retaining the most recent `capacity` records of
+    /// each stream (minimum 1). All memory is allocated here.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            spans: RecordRing::new(capacity),
+            accuracy: RecordRing::new(capacity),
+        }
+    }
+
+    /// The per-stream slot count.
+    pub fn capacity(&self) -> usize {
+        self.spans.capacity()
+    }
+
+    /// Records a finished span (clones into the ring; the clone is
+    /// allocation-free for spans without an `op` label).
+    pub fn record_span(&self, span: &SpanRecord) {
+        self.spans.push(span.clone());
+    }
+
+    /// Records an accuracy observation.
+    pub fn record_accuracy(&self, rec: &AccuracyRecord) {
+        self.accuracy.push(rec.clone());
+    }
+
+    /// Total spans ever offered (monotone, includes overwritten ones).
+    pub fn spans_pushed(&self) -> u64 {
+        self.spans.pushed()
+    }
+
+    /// Total accuracy records ever offered (monotone).
+    pub fn accuracy_pushed(&self) -> u64 {
+        self.accuracy.pushed()
+    }
+
+    /// Records abandoned under ring contention (expected 0).
+    pub fn dropped(&self) -> u64 {
+        self.spans.dropped() + self.accuracy.dropped()
+    }
+
+    /// Retained spans, oldest first.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let mut v = self.spans.collect();
+        v.sort_by_key(|s| (s.start_ns, s.id));
+        v
+    }
+
+    /// Retained span count.
+    pub fn span_len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Retained accuracy records, oldest first.
+    pub fn accuracy(&self) -> Vec<AccuracyRecord> {
+        self.accuracy.collect()
+    }
+
+    /// Retained accuracy-record count.
+    pub fn accuracy_len(&self) -> usize {
+        self.accuracy.len()
+    }
+
+    /// The postmortem dump: every retained span then every retained
+    /// accuracy record, one JSON object per line, rendered by the shared
+    /// serializers in [`mnc_obs::export`].
+    pub fn dump_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in self.spans() {
+            out.push_str(&span_json(&s));
+            out.push('\n');
+        }
+        for a in self.accuracy() {
+            out.push_str(&accuracy_json(&a));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, start_ns: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent: 0,
+            name: "estimate",
+            op: None,
+            thread: 0,
+            start_ns,
+            dur_ns: 10,
+            nnz_in: Some(id),
+            nnz_out: None,
+            synopsis_bytes: None,
+            alloc_net: None,
+            alloc_bytes: None,
+        }
+    }
+
+    #[test]
+    fn retains_the_newest_of_both_streams() {
+        let f = FlightRecorder::new(4);
+        for i in 0..10 {
+            f.record_span(&span(i + 1, i * 100));
+            f.record_accuracy(&AccuracyRecord::new(
+                format!("c{i}"),
+                "matmul",
+                "MNC",
+                0.1,
+                0.1,
+            ));
+        }
+        let spans = f.spans();
+        assert_eq!(spans.len(), 4);
+        assert!(spans.iter().all(|s| s.id > 6));
+        assert_eq!(f.accuracy_len(), 4);
+        assert_eq!(f.accuracy().last().unwrap().case, "c9");
+        assert_eq!(f.spans_pushed(), 10);
+        assert_eq!(f.dropped(), 0);
+    }
+
+    #[test]
+    fn dump_uses_the_shared_serializers() {
+        let f = FlightRecorder::new(8);
+        let s = span(1, 5);
+        f.record_span(&s);
+        let a = AccuracyRecord::new("B1.1", "matmul", "MNC", 0.1, 0.2);
+        f.record_accuracy(&a);
+        let dump = f.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Byte-identical to the canonical serializers — the same functions
+        // `Report::to_jsonl` renders through.
+        assert_eq!(lines[0], span_json(&s));
+        assert_eq!(lines[1], accuracy_json(&a));
+    }
+
+    #[test]
+    fn empty_dump_is_empty() {
+        assert_eq!(FlightRecorder::new(4).dump_jsonl(), "");
+    }
+}

@@ -1,0 +1,273 @@
+//! The embedded HTTP endpoint: a dependency-free `std::net::TcpListener`
+//! server on background threads.
+//!
+//! Scope is deliberately tiny — enough HTTP/1.1 for a Prometheus scraper,
+//! a load balancer's health probe, and `curl`:
+//!
+//! | route          | body                                         | status |
+//! |----------------|----------------------------------------------|--------|
+//! | `/metrics`     | aggregated Prometheus text (0.0.4)           | 200 |
+//! | `/healthz`     | `OK` or `DEGRADED` + per-series reasons      | 200 / 503 |
+//! | `/flight`      | flight-ring JSONL dump                       | 200 |
+//! | `/attribution` | per-phase self-time table                    | 200 |
+//!
+//! Anything that is not a well-formed `GET <path> HTTP/1.x` request line is
+//! answered `400`; a well-formed non-GET gets `405`; an unknown path `404`.
+//! Connections are handled one thread each (scrape traffic is a handful of
+//! requests per second at most), `Connection: close` semantics throughout.
+//!
+//! Shutdown is cooperative: the accept loop checks a stop flag after every
+//! accept, and [`ServerHandle::shutdown`] wakes a blocked accept with a
+//! self-connect. A ticker thread refreshes the daemon's cached metric
+//! snapshot every 250 ms while the server runs (the "periodic registry
+//! snapshot" — postmortems and slow scrapers see near-current aggregates).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::{Health, ObsDaemon};
+
+/// Maximum accepted request head (request line + headers).
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Per-connection socket timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+/// Cached-snapshot refresh period.
+const TICK: Duration = Duration::from_millis(250);
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address — with `:0` binds, this is where the OS-assigned
+    /// port is read back.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes the accept loop, and joins both background
+    /// threads. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake a blocked `accept` so the loop observes the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.ticker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ServerHandle({})", self.addr)
+    }
+}
+
+/// Binds `addr` and serves the daemon's endpoints on background threads.
+pub fn serve(daemon: ObsDaemon, addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let accept = {
+        let stop = Arc::clone(&stop);
+        let daemon = daemon.clone();
+        std::thread::Builder::new()
+            .name("mnc-obsd-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let daemon = daemon.clone();
+                    // Thread-per-connection: scrape traffic is sparse, and
+                    // a stuck client must not stall the next probe.
+                    let _ = std::thread::Builder::new()
+                        .name("mnc-obsd-conn".into())
+                        .spawn(move || handle_connection(stream, &daemon));
+                }
+            })?
+    };
+
+    let ticker = {
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("mnc-obsd-tick".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    daemon.refresh();
+                    std::thread::sleep(TICK);
+                }
+            })?
+    };
+
+    Ok(ServerHandle {
+        addr: local,
+        stop,
+        accept: Some(accept),
+        ticker: Some(ticker),
+    })
+}
+
+fn handle_connection(mut stream: TcpStream, daemon: &ObsDaemon) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let (status, content_type, body) = match read_request(&mut stream) {
+        Ok(head) => respond(&head, daemon),
+        Err(_) => bad_request(),
+    };
+    let _ = write_response(&mut stream, status, content_type, &body);
+}
+
+/// Reads until the end of the request head (`\r\n\r\n`) or the size limit.
+fn read_request(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    String::from_utf8(buf).map_err(|_| std::io::Error::other("non-utf8 request"))
+}
+
+/// Routes one request head to `(status line, content type, body)`.
+fn respond(head: &str, daemon: &ObsDaemon) -> (&'static str, &'static str, String) {
+    let Some((method, path)) = parse_request_line(head) else {
+        return bad_request();
+    };
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".into(),
+        );
+    }
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            daemon.metrics_text(),
+        ),
+        "/healthz" => match daemon.health() {
+            Health::Ok => ("200 OK", "text/plain; charset=utf-8", "OK\n".into()),
+            Health::Degraded(reasons) => (
+                "503 Service Unavailable",
+                "text/plain; charset=utf-8",
+                format!("DEGRADED\n{}\n", reasons.join("\n")),
+            ),
+        },
+        "/flight" => (
+            "200 OK",
+            "application/jsonl; charset=utf-8",
+            daemon.flight_jsonl(),
+        ),
+        "/attribution" => (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            daemon.attribution_text(),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".into(),
+        ),
+    }
+}
+
+fn bad_request() -> (&'static str, &'static str, String) {
+    (
+        "400 Bad Request",
+        "text/plain; charset=utf-8",
+        "bad request\n".into(),
+    )
+}
+
+/// Parses `GET /path HTTP/1.x` into `(method, path-sans-query)`; `None`
+/// for anything malformed.
+fn parse_request_line(head: &str) -> Option<(&str, &str)> {
+    let line = head.lines().next()?;
+    let mut parts = line.split(' ');
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if parts.next().is_some()
+        || method.is_empty()
+        || !method.chars().all(|c| c.is_ascii_uppercase())
+        || !target.starts_with('/')
+        || !version.starts_with("HTTP/1.")
+    {
+        return None;
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    Some((method, path))
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parsing() {
+        assert_eq!(
+            parse_request_line("GET /metrics HTTP/1.1\r\n"),
+            Some(("GET", "/metrics"))
+        );
+        assert_eq!(
+            parse_request_line("GET /metrics?x=1 HTTP/1.0\r\nHost: a\r\n\r\n"),
+            Some(("GET", "/metrics"))
+        );
+        assert_eq!(
+            parse_request_line("POST /metrics HTTP/1.1\r\n"),
+            Some(("POST", "/metrics"))
+        );
+        // Malformed shapes.
+        assert_eq!(parse_request_line(""), None);
+        assert_eq!(parse_request_line("NOT-HTTP\r\n"), None);
+        assert_eq!(parse_request_line("GET /x SPDY/3\r\n"), None);
+        assert_eq!(parse_request_line("GET metrics HTTP/1.1\r\n"), None);
+        assert_eq!(parse_request_line("get /x HTTP/1.1\r\n"), None);
+        assert_eq!(parse_request_line("GET /x HTTP/1.1 extra\r\n"), None);
+    }
+}

@@ -1,0 +1,380 @@
+//! # mnc-obsd — live telemetry for long-running estimation services
+//!
+//! PR 2's `mnc-obs` is batch-oriented: spans, metrics, and accuracy records
+//! surface *after* a run, via CLI flags. This crate turns that layer into
+//! production telemetry with three always-on, low-overhead subsystems
+//! behind one handle, [`ObsDaemon`]:
+//!
+//! * **flight recorder** ([`flight`]) — the most recent N spans and
+//!   accuracy records in O(N) memory, fed live from the recorder's
+//!   [`RecordSink`] tap, dumpable on demand and automatically from a panic
+//!   hook for postmortems;
+//! * **accuracy-drift monitor** ([`drift`]) — per-`(estimator, op)` online
+//!   EWMA + windowed quantiles of the symmetric relative error, tripping a
+//!   degraded-health state and a `drift_alerts_total` counter when error
+//!   drifts past configured ceilings;
+//! * **embedded HTTP endpoint** ([`http`]) — a dependency-free
+//!   `std::net::TcpListener` server on a background thread serving
+//!   `GET /metrics` (Prometheus text), `/healthz` (drift-aware
+//!   OK/DEGRADED), `/flight` (JSONL ring dump), and `/attribution`.
+//!
+//! ```no_run
+//! use mnc_obs::Recorder;
+//! use mnc_obsd::{ObsDaemon, ObsdConfig};
+//!
+//! let daemon = ObsDaemon::new(ObsdConfig::default());
+//! let rec = Recorder::enabled_with_capacity(4096);
+//! daemon.install(&rec);                       // live span/accuracy tap
+//! let server = daemon.serve("127.0.0.1:0").unwrap();
+//! println!("scrape http://{}/metrics", server.local_addr());
+//! ```
+
+pub mod drift;
+pub mod flight;
+pub mod http;
+
+pub use drift::{DriftConfig, DriftMonitor, Health, SeriesStats};
+pub use flight::FlightRecorder;
+pub use http::ServerHandle;
+
+use std::sync::{Arc, Mutex};
+
+use mnc_obs::{
+    render_attribution, render_prometheus, AccuracyRecord, MetricSnapshot, RecordSink, Recorder,
+    SpanRecord,
+};
+
+/// Configuration for one daemon.
+#[derive(Debug, Clone)]
+pub struct ObsdConfig {
+    /// Per-stream flight-ring capacity (spans and accuracy records each).
+    pub flight_capacity: usize,
+    /// Drift-monitor thresholds.
+    pub drift: DriftConfig,
+}
+
+impl Default for ObsdConfig {
+    fn default() -> Self {
+        ObsdConfig {
+            flight_capacity: 1024,
+            drift: DriftConfig::default(),
+        }
+    }
+}
+
+/// Shared daemon state; also the [`RecordSink`] installed on source
+/// recorders (both callbacks run on the estimation hot path and do one
+/// ring push / one short-mutex fold each).
+struct DaemonShared {
+    flight: FlightRecorder,
+    drift: DriftMonitor,
+    /// Source recorders whose registries `/metrics` aggregates. Holding
+    /// clones keeps the registries alive for scrapes that outlive the
+    /// session.
+    sources: Mutex<Vec<Recorder>>,
+    /// The latest merged snapshot (refreshed periodically by the HTTP
+    /// ticker and on every scrape) — also what a panic dump would see.
+    cached: Mutex<MetricSnapshot>,
+}
+
+impl RecordSink for DaemonShared {
+    fn on_span(&self, span: &SpanRecord) {
+        self.flight.record_span(span);
+    }
+
+    fn on_accuracy(&self, rec: &AccuracyRecord) {
+        self.flight.record_accuracy(rec);
+        self.drift.observe(rec);
+    }
+}
+
+/// The live-telemetry daemon: a cheap, cloneable handle over the flight
+/// recorder, drift monitor, and metric aggregation. Serve it over HTTP
+/// with [`ObsDaemon::serve`].
+#[derive(Clone)]
+pub struct ObsDaemon {
+    shared: Arc<DaemonShared>,
+}
+
+impl ObsDaemon {
+    /// A daemon with the given configuration. Nothing is observed until a
+    /// recorder is [`install`](ObsDaemon::install)ed.
+    pub fn new(config: ObsdConfig) -> Self {
+        ObsDaemon {
+            shared: Arc::new(DaemonShared {
+                flight: FlightRecorder::new(config.flight_capacity),
+                drift: DriftMonitor::new(config.drift),
+                sources: Mutex::new(Vec::new()),
+                cached: Mutex::new(MetricSnapshot::default()),
+            }),
+        }
+    }
+
+    /// Wires a recorder into the daemon: its metrics registry joins the
+    /// `/metrics` aggregation and its span/accuracy streams feed the
+    /// flight recorder and drift monitor via the recorder's
+    /// [`RecordSink`] tap. Installing the same recorder twice is a no-op
+    /// (sources are deduplicated by identity), so `--serve-obs` wiring and
+    /// `EstimationContext::with_obsd` compose without double counting.
+    ///
+    /// Returns whether the live tap was installed — `false` for a disabled
+    /// recorder or one that already has a different sink (its registry is
+    /// still aggregated).
+    pub fn install(&self, rec: &Recorder) -> bool {
+        if rec.is_enabled() {
+            let mut sources = self.shared.sources.lock().expect("sources poisoned");
+            if !sources.iter().any(|s| s.same_as(rec)) {
+                sources.push(rec.clone());
+            }
+        }
+        rec.set_sink(Arc::clone(&self.shared) as Arc<dyn RecordSink>)
+    }
+
+    /// The flight recorder.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.shared.flight
+    }
+
+    /// The drift monitor.
+    pub fn drift(&self) -> &DriftMonitor {
+        &self.shared.drift
+    }
+
+    /// The drift-aware health verdict (`/healthz`).
+    pub fn health(&self) -> Health {
+        self.shared.drift.status()
+    }
+
+    /// Number of installed source recorders.
+    pub fn source_count(&self) -> usize {
+        self.shared.sources.lock().expect("sources poisoned").len()
+    }
+
+    /// Service-health metrics the daemon contributes beside the aggregated
+    /// session registries: the alert counter, flight-ring counters and
+    /// retention gauges, and the degraded flag as a 0/1 gauge.
+    fn service_snapshot(&self) -> MetricSnapshot {
+        let mut snap = MetricSnapshot::default();
+        snap.counters
+            .insert("obsd.drift_alerts".into(), self.shared.drift.alerts());
+        snap.counters.insert(
+            "obsd.flight.spans_pushed".into(),
+            self.shared.flight.spans_pushed(),
+        );
+        snap.counters.insert(
+            "obsd.flight.accuracy_pushed".into(),
+            self.shared.flight.accuracy_pushed(),
+        );
+        snap.counters
+            .insert("obsd.flight.dropped".into(), self.shared.flight.dropped());
+        snap.gauges.insert(
+            "obsd.flight.spans_retained".into(),
+            self.shared.flight.span_len() as i64,
+        );
+        snap.gauges.insert(
+            "obsd.flight.accuracy_retained".into(),
+            self.shared.flight.accuracy_len() as i64,
+        );
+        snap.gauges.insert(
+            "obsd.degraded".into(),
+            i64::from(self.shared.drift.is_degraded()),
+        );
+        snap.gauges
+            .insert("obsd.sources".into(), self.source_count() as i64);
+        snap
+    }
+
+    /// Re-merges the service metrics with every source registry into the
+    /// cached snapshot. Called on every scrape and periodically by the
+    /// HTTP server's ticker (so the cache stays near-current even when
+    /// nobody scrapes).
+    pub fn refresh(&self) {
+        let mut merged = self.service_snapshot();
+        {
+            let sources = self.shared.sources.lock().expect("sources poisoned");
+            for rec in sources.iter() {
+                if let Some(reg) = rec.registry() {
+                    merged.merge(&reg.snapshot());
+                }
+            }
+        }
+        *self.shared.cached.lock().expect("cached poisoned") = merged;
+    }
+
+    /// The `/metrics` body: a fresh merge of the service metrics and every
+    /// source registry, rendered in Prometheus text exposition format with
+    /// the `mnc_` prefix (the drift counter appears as
+    /// `mnc_obsd_drift_alerts_total`).
+    pub fn metrics_text(&self) -> String {
+        self.refresh();
+        let snap = self.shared.cached.lock().expect("cached poisoned").clone();
+        render_prometheus(&snap, "mnc_", &[])
+    }
+
+    /// The `/flight` body: the flight recorder's JSONL dump.
+    pub fn flight_jsonl(&self) -> String {
+        self.shared.flight.dump_jsonl()
+    }
+
+    /// The `/attribution` body: per-phase self-time attribution over the
+    /// retained flight spans.
+    pub fn attribution_text(&self) -> String {
+        render_attribution(&self.shared.flight.spans())
+    }
+
+    /// Writes the flight dump to `path` (postmortems; see
+    /// [`install_panic_hook`](ObsDaemon::install_panic_hook)).
+    pub fn dump_flight_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.flight_jsonl())
+    }
+
+    /// Installs a process-wide panic hook that writes the flight dump to
+    /// `path` before delegating to the previous hook — a crashing service
+    /// leaves its last N spans and accuracy records behind for the
+    /// postmortem. Dump errors inside the hook are swallowed (a failing
+    /// dump must not turn a panic into an abort).
+    pub fn install_panic_hook(&self, path: std::path::PathBuf) {
+        let daemon = self.clone();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let _ = daemon.dump_flight_to(&path);
+            prev(info);
+        }));
+    }
+
+    /// Starts the embedded HTTP server on `addr` (use port 0 for an
+    /// OS-assigned port; read it back from
+    /// [`ServerHandle::local_addr`]). The server runs on background
+    /// threads until the handle is shut down or dropped.
+    pub fn serve(&self, addr: &str) -> std::io::Result<ServerHandle> {
+        http::serve(self.clone(), addr)
+    }
+}
+
+impl std::fmt::Debug for ObsDaemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ObsDaemon(flight {:?}, alerts {}, sources {})",
+            self.shared.flight,
+            self.shared.drift.alerts(),
+            self.source_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnc_obs::span;
+
+    fn small() -> ObsdConfig {
+        ObsdConfig {
+            flight_capacity: 8,
+            drift: DriftConfig {
+                min_samples: 4,
+                window: 8,
+                ..DriftConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn install_taps_the_record_streams() {
+        let daemon = ObsDaemon::new(small());
+        let rec = Recorder::enabled();
+        assert!(daemon.install(&rec));
+        {
+            let _g = span!(rec, "estimate", op = "matmul");
+        }
+        rec.record_accuracy(AccuracyRecord::new("B1.1", "matmul", "MNC", 0.1, 0.1));
+        assert_eq!(daemon.flight().span_len(), 1);
+        assert_eq!(daemon.flight().accuracy_len(), 1);
+        assert_eq!(daemon.drift().stats().len(), 1);
+    }
+
+    #[test]
+    fn install_is_idempotent_per_recorder() {
+        let daemon = ObsDaemon::new(small());
+        let rec = Recorder::enabled();
+        assert!(daemon.install(&rec));
+        // Second install: already the sink, already a source.
+        assert!(!daemon.install(&rec.clone()));
+        assert_eq!(daemon.source_count(), 1);
+        // A disabled recorder contributes nothing.
+        assert!(!daemon.install(&Recorder::disabled()));
+        assert_eq!(daemon.source_count(), 1);
+        // A second live recorder joins as its own source.
+        let rec2 = Recorder::enabled();
+        assert!(daemon.install(&rec2));
+        assert_eq!(daemon.source_count(), 2);
+    }
+
+    #[test]
+    fn metrics_text_aggregates_sources_and_service_counters() {
+        let daemon = ObsDaemon::new(small());
+        let a = Recorder::enabled();
+        let b = Recorder::enabled();
+        daemon.install(&a);
+        daemon.install(&b);
+        a.counter("cache.hit").add(3);
+        b.counter("cache.hit").add(4);
+        let text = daemon.metrics_text();
+        assert!(text.contains("mnc_cache_hit_total 7"), "{text}");
+        assert!(text.contains("mnc_obsd_drift_alerts_total 0"), "{text}");
+        assert!(text.contains("mnc_obsd_sources 2"), "{text}");
+    }
+
+    #[test]
+    fn health_follows_the_drift_monitor() {
+        let daemon = ObsDaemon::new(small());
+        let rec = Recorder::enabled();
+        daemon.install(&rec);
+        assert!(daemon.health().is_ok());
+        for i in 0..20 {
+            rec.record_accuracy(AccuracyRecord::new(
+                format!("c{i}"),
+                "matmul",
+                "Sample",
+                0.9,
+                0.05,
+            ));
+        }
+        assert!(!daemon.health().is_ok());
+        let text = daemon.metrics_text();
+        assert!(text.contains("mnc_obsd_drift_alerts_total 1"), "{text}");
+        assert!(text.contains("mnc_obsd_degraded 1"), "{text}");
+    }
+
+    #[test]
+    fn flight_dump_and_attribution_render_from_the_rings() {
+        let daemon = ObsDaemon::new(small());
+        let rec = Recorder::enabled();
+        daemon.install(&rec);
+        {
+            let _outer = span!(rec, "estimate", op = "matmul");
+            let _inner = span!(rec, "build");
+        }
+        let dump = daemon.flight_jsonl();
+        assert_eq!(dump.lines().count(), 2);
+        assert!(dump.contains("\"type\":\"span\""));
+        let attr = daemon.attribution_text();
+        assert!(attr.contains("estimate"), "{attr}");
+    }
+
+    #[test]
+    fn dump_flight_to_writes_the_jsonl() {
+        let daemon = ObsDaemon::new(small());
+        let rec = Recorder::enabled();
+        daemon.install(&rec);
+        {
+            let _g = span!(rec, "estimate");
+        }
+        let path = std::env::temp_dir().join(format!("mnc-obsd-dump-{}.jsonl", std::process::id()));
+        daemon.dump_flight_to(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(body, daemon.flight_jsonl());
+        assert!(body.contains("\"name\":\"estimate\""));
+    }
+}

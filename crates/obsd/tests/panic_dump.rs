@@ -1,0 +1,45 @@
+//! Exercises the postmortem path: the daemon's panic hook writes the
+//! flight-ring JSONL dump before the default hook runs, so a crashing
+//! service leaves its last N spans and accuracy records behind.
+//!
+//! Lives in its own integration binary: the panic hook is process-global.
+
+use mnc_obs::{span, AccuracyRecord, Recorder};
+use mnc_obsd::{ObsDaemon, ObsdConfig};
+
+#[test]
+fn panic_hook_writes_the_flight_dump() {
+    let daemon = ObsDaemon::new(ObsdConfig {
+        flight_capacity: 32,
+        ..ObsdConfig::default()
+    });
+    let rec = Recorder::enabled();
+    daemon.install(&rec);
+    {
+        let _g = span!(rec, "estimate", op = "matmul");
+    }
+    rec.record_accuracy(AccuracyRecord::new("B1.1", "matmul", "MNC", 0.1, 0.2));
+
+    let path =
+        std::env::temp_dir().join(format!("mnc-obsd-panic-dump-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    daemon.install_panic_hook(path.clone());
+
+    // Panic on a scratch thread: the hook runs there, the test survives.
+    let result = std::thread::Builder::new()
+        .name("crasher".into())
+        .spawn(|| panic!("synthetic crash for the postmortem test"))
+        .unwrap()
+        .join();
+    assert!(result.is_err(), "the thread must actually panic");
+
+    let dump = std::fs::read_to_string(&path).expect("panic hook wrote the dump");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(dump, daemon.flight_jsonl(), "dump is the canonical JSONL");
+    assert!(dump.contains("\"type\":\"span\""), "{dump}");
+    assert!(dump.contains("\"type\":\"accuracy\""), "{dump}");
+
+    // Restore the default hook so later panics in this binary (if any)
+    // print normally without re-dumping.
+    let _ = std::panic::take_hook();
+}

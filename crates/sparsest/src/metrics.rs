@@ -7,6 +7,11 @@
 /// equally. Conventions for degenerate cases: both (near-)zero → perfect
 /// (1.0); exactly one zero → `∞` (the estimator predicted an empty/non-empty
 /// output that is the opposite).
+///
+/// Total over all `f64` inputs and never `NaN` (negative and `NaN` inputs
+/// degrade to the zero conventions) — the same pinned contract as
+/// `mnc_obs::symmetric_relative_error`, which the obsd drift monitor
+/// consumes; keep the two implementations in lockstep.
 pub fn relative_error(truth: f64, estimate: f64) -> f64 {
     const EPS: f64 = 1e-15;
     let t = truth.max(0.0);
@@ -16,6 +21,11 @@ pub fn relative_error(truth: f64, estimate: f64) -> f64 {
     }
     if t < EPS || e < EPS {
         return f64::INFINITY;
+    }
+    if t == e {
+        // Exact agreement without a division; also keeps the out-of-domain
+        // pair (INF, INF) from producing INF/INF = NaN.
+        return 1.0;
     }
     t.max(e) / t.min(e)
 }
@@ -57,6 +67,33 @@ mod tests {
     fn bounded_below_by_one() {
         for (t, e) in [(0.1, 0.9), (1e-8, 1e-3), (0.5, 0.5000001)] {
             assert!(relative_error(t, e) >= 1.0);
+        }
+    }
+
+    /// Mirrors `mnc_obs::symmetric_relative_error`'s totality pin: every
+    /// `f64` input pair maps to a non-NaN value `>= 1`.
+    #[test]
+    fn total_and_never_nan() {
+        assert_eq!(relative_error(-0.3, -1.0), 1.0);
+        assert_eq!(relative_error(f64::NAN, f64::NAN), 1.0);
+        assert_eq!(relative_error(f64::NAN, 0.5), f64::INFINITY);
+        let vals = [
+            f64::NAN,
+            f64::NEG_INFINITY,
+            -1.0,
+            0.0,
+            1e-16,
+            1e-8,
+            0.5,
+            1.0,
+            f64::INFINITY,
+        ];
+        for &t in &vals {
+            for &e in &vals {
+                let r = relative_error(t, e);
+                assert!(!r.is_nan(), "NaN for ({t}, {e})");
+                assert!(r >= 1.0, "{r} < 1 for ({t}, {e})");
+            }
         }
     }
 
