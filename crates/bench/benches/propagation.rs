@@ -3,7 +3,8 @@
 //! these, not construction).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mnc_core::{propagate_matmul, MncConfig, MncSketch, SplitMix64};
+use mnc_core::propagate::propagate_matmul;
+use mnc_core::{MncConfig, MncSketch, SplitMix64};
 use mnc_expr::{dense_chain_order, plan_cost_sketched, random_plan, sparse_chain_order, PlanTree};
 use mnc_matrix::gen;
 use rand::SeedableRng;
@@ -32,7 +33,7 @@ fn bench_estimate_vs_propagate(c: &mut Criterion) {
     let s = sketches(2, 2048, 0.05);
     let cfg = MncConfig::default();
     c.bench_function("estimate_only_2k", |b| {
-        b.iter(|| mnc_core::estimate_matmul_with(&s[0], &s[1], &cfg));
+        b.iter(|| mnc_core::estimate::estimate_matmul_with(&s[0], &s[1], &cfg));
     });
 }
 

@@ -4,15 +4,26 @@
 //! ```text
 //! mnc-cli sketch <a.mtx>                      # print the MNC sketch summary
 //! mnc-cli estimate <a.mtx> <b.mtx> [--op matmul|ewadd|ewmul|ewmax|ewmin]
-//!                                  [--exact] [--repeat N]
+//!                                  [--exact] [--repeat N] [--json]
 //!                                             # all estimators on one op
 //! mnc-cli gen <uniform|permutation|nlp> <out.mtx> [rows cols sparsity]
+//! mnc-cli catalog add <dir> <a.mtx> [--name NAME]   # build + persist sketch
+//! mnc-cli catalog list <dir>                  # list persisted sketches
+//! mnc-cli serve --catalog <dir> [--addr HOST:PORT] [--workers N] [--queue N]
 //! ```
 //!
 //! `estimate` runs inside an estimation session: synopses are cached across
 //! estimators and repeats, and the session's `EstimationStats` (builds,
 //! cache traffic, per-op timings) are printed at the end. `--repeat N`
-//! re-estimates N times to show the cache at work.
+//! re-estimates N times to show the cache at work. `--json` emits one
+//! machine-readable line with full-precision (shortest round-trip)
+//! estimates instead of the table — CI diffs these bits against the
+//! `mnc-served` HTTP answers.
+//!
+//! `catalog add` / `catalog list` manage an `mnc-served` synopsis catalog
+//! directory offline: sketches added here are served after a daemon start
+//! without any rebuild. `serve` runs the daemon in-process (same flags as
+//! the standalone `mnc-served` binary).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -35,12 +46,18 @@ fn main() -> ExitCode {
         Some("sketch") => cmd_sketch(&args[1..]),
         Some("estimate") => cmd_estimate(&args[1..]),
         Some("gen") => cmd_gen(&args[1..]),
+        Some("catalog") => cmd_catalog(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  mnc-cli sketch <a.mtx>\n  mnc-cli estimate <a.mtx> \
-                 <b.mtx> [--op matmul|ewadd|ewmul|ewmax|ewmin] [--exact] [--repeat N]\n    \
+                 <b.mtx> [--op matmul|ewadd|ewmul|ewmax|ewmin] [--exact] [--repeat N] [--json]\n    \
                  {}\n  \
-                 mnc-cli gen <uniform|permutation|nlp> <out.mtx> [rows cols sparsity]",
+                 mnc-cli gen <uniform|permutation|nlp> <out.mtx> [rows cols sparsity]\n  \
+                 mnc-cli catalog add <dir> <a.mtx> [--name NAME]\n  \
+                 mnc-cli catalog list <dir>\n  \
+                 mnc-cli serve --catalog <dir> [--addr HOST:PORT] [--workers N] [--queue N]\n    \
+                 [--max-body BYTES] [--flight-capacity N]",
                 mnc_bench::OBS_USAGE
             );
             return ExitCode::from(2);
@@ -116,11 +133,23 @@ fn parse_op(name: &str) -> Result<OpKind, String> {
     })
 }
 
+fn op_token(op: &OpKind) -> &'static str {
+    match op {
+        OpKind::MatMul => "matmul",
+        OpKind::EwAdd => "ewadd",
+        OpKind::EwMul => "ewmul",
+        OpKind::EwMax => "ewmax",
+        OpKind::EwMin => "ewmin",
+        _ => "op",
+    }
+}
+
 fn cmd_estimate(args: &[String]) -> Result<(), String> {
     let (obs, args) = mnc_bench::ObsArgs::parse(args)?;
     let mut files = Vec::new();
     let mut op = OpKind::MatMul;
     let mut exact = false;
+    let mut json = false;
     let mut repeat = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -129,6 +158,7 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
                 op = parse_op(it.next().ok_or("--op needs a value")?)?;
             }
             "--exact" => exact = true,
+            "--json" => json = true,
             "--repeat" => {
                 repeat = it
                     .next()
@@ -158,10 +188,12 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
         Box::new(BitsetEstimator::default()),
         Box::new(LayeredGraphEstimator::default()),
     ];
-    println!(
-        "{:<10} {:>14} {:>14} {:>12}",
-        "estimator", "estimate s_C", "est. nnz", "time"
-    );
+    if !json {
+        println!(
+            "{:<10} {:>14} {:>14} {:>12}",
+            "estimator", "estimate s_C", "est. nnz", "time"
+        );
+    }
     let (rows, cols) = mnc_estimators::OpKind::output_shape(&op, &[a.shape(), b.shape()])
         .map_err(|e| e.to_string())?;
     let mut dag = ExprDag::new();
@@ -173,11 +205,16 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
     if let Some(srv) = &server {
         srv.install(ctx.recorder());
     }
+    let mut json_estimates = Vec::new();
     for est in &estimators {
         let t = Instant::now();
         let mut outcome = ctx.estimate_root(est, &dag, root);
         for _ in 1..repeat {
             outcome = ctx.estimate_root(est, &dag, root);
+        }
+        if json {
+            json_estimates.push((est.name(), outcome.ok()));
+            continue;
         }
         match outcome {
             Ok(s) => println!(
@@ -190,9 +227,11 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
             Err(e) => println!("{:<10} {:>14} ({e})", est.name(), "✗"),
         }
     }
-    println!("\nestimation session:\n{}", ctx.stats());
+    if !json {
+        println!("\nestimation session:\n{}", ctx.stats());
+    }
     obs.emit(ctx.recorder())?;
-    if exact {
+    let exact_result = if exact {
         let t = Instant::now();
         let c = match op {
             OpKind::MatMul => ops::bool_matmul(&a, &b),
@@ -203,18 +242,172 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
             _ => unreachable!("parse_op only yields the above"),
         }
         .map_err(|e| e.to_string())?;
-        println!(
-            "{:<10} {:>14.6e} {:>14} {:>12?}",
-            "EXACT",
-            c.sparsity(),
-            c.nnz(),
-            t.elapsed()
+        if !json {
+            println!(
+                "{:<10} {:>14.6e} {:>14} {:>12?}",
+                "EXACT",
+                c.sparsity(),
+                c.nnz(),
+                t.elapsed()
+            );
+        }
+        Some(c.sparsity())
+    } else {
+        None
+    };
+    if json {
+        // One machine-readable line, full precision: `json_f64` is the
+        // shortest round-trip rendering, so the bits survive a parse —
+        // this is what CI diffs against the `mnc-served` HTTP answer.
+        use mnc_obs::export::{json_escape, json_f64};
+        let ests = json_estimates
+            .iter()
+            .map(|(name, s)| {
+                let value = s.map_or_else(|| "null".into(), json_f64);
+                format!("\"{}\":{}", json_escape(name), value)
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut line = format!(
+            "{{\"files\":[\"{}\",\"{}\"],\"op\":\"{}\",\"shape\":[{rows},{cols}],\"estimates\":{{{ests}}}",
+            json_escape(&files[0]),
+            json_escape(&files[1]),
+            op_token(&op),
         );
+        if let Some(s) = exact_result {
+            line.push_str(&format!(",\"exact\":{}", json_f64(s)));
+        }
+        line.push('}');
+        println!("{line}");
     }
     if let Some(srv) = server {
         srv.finish();
     }
     Ok(())
+}
+
+fn cmd_catalog(args: &[String]) -> Result<(), String> {
+    use mnc_served::SynopsisCatalog;
+    match args.first().map(String::as_str) {
+        Some("add") => {
+            let dir = args.get(1).ok_or("catalog add: missing <dir>")?;
+            let file = args.get(2).ok_or("catalog add: missing <a.mtx>")?;
+            let mut name: Option<String> = None;
+            let mut it = args[3..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--name" => name = Some(it.next().ok_or("--name needs a value")?.clone()),
+                    other => return Err(format!("catalog add: unknown argument `{other}`")),
+                }
+            }
+            let name = name.unwrap_or_else(|| {
+                std::path::Path::new(file)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("matrix")
+                    .to_string()
+            });
+            let m = load(file)?;
+            let sketch = Arc::new(MncSketch::build(&m));
+            let mut cat = SynopsisCatalog::open(dir).map_err(|e| e.to_string())?;
+            let entry = cat
+                .put(&name, Arc::clone(&sketch), true)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{}",
+                mnc_served::proto::matrix_meta_json(&name, &sketch, entry.file_bytes)
+            );
+            Ok(())
+        }
+        Some("list") => {
+            let dir = args.get(1).ok_or("catalog list: missing <dir>")?;
+            let cat = SynopsisCatalog::open(dir).map_err(|e| e.to_string())?;
+            println!(
+                "{:<24} {:>10} {:>10} {:>12} {:>12} {:>10}",
+                "name", "rows", "cols", "nnz", "sparsity", "bytes"
+            );
+            for (name, entry) in cat.iter() {
+                println!(
+                    "{:<24} {:>10} {:>10} {:>12} {:>12.3e} {:>10}",
+                    name,
+                    entry.sketch.nrows,
+                    entry.sketch.ncols,
+                    entry.sketch.meta.nnz,
+                    entry.sketch.sparsity(),
+                    entry.file_bytes
+                );
+            }
+            for q in cat.quarantined() {
+                eprintln!("warning: quarantined undecodable entry `{q}`");
+            }
+            Ok(())
+        }
+        _ => Err(
+            "usage: mnc-cli catalog add <dir> <a.mtx> [--name NAME] | catalog list <dir>".into(),
+        ),
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use mnc_served::{serve_with, EstimationService, ServeOptions, ServedConfig};
+    let mut catalog: Option<String> = None;
+    let mut addr = "127.0.0.1:9419".to_string();
+    let mut workers = 4usize;
+    let mut queue = 8usize;
+    let mut max_body = 4usize << 20;
+    let mut flight_capacity = 1024usize;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--catalog" => catalog = Some(value("--catalog")?.clone()),
+            "--addr" => addr = value("--addr")?.clone(),
+            "--workers" => {
+                workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers: not a number")?
+            }
+            "--queue" => {
+                queue = value("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue: not a number")?
+            }
+            "--max-body" => {
+                max_body = value("--max-body")?
+                    .parse()
+                    .map_err(|_| "--max-body: not a number")?
+            }
+            "--flight-capacity" => {
+                flight_capacity = value("--flight-capacity")?
+                    .parse()
+                    .map_err(|_| "--flight-capacity: not a number")?
+            }
+            other => return Err(format!("serve: unknown flag `{other}`")),
+        }
+    }
+    let catalog = catalog.ok_or("serve: --catalog is required")?;
+    let mut cfg = ServedConfig::new(&catalog);
+    cfg.workers = workers;
+    cfg.queue = queue;
+    cfg.flight_capacity = flight_capacity;
+    let service = EstimationService::new(cfg).map_err(|e| e.to_string())?;
+    let handle = serve_with(
+        service,
+        addr.as_str(),
+        ServeOptions {
+            max_body_bytes: max_body,
+        },
+    )
+    .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "mnc-cli serve: listening on http://{} (catalog {catalog})",
+        handle.local_addr()
+    );
+    loop {
+        std::thread::park();
+    }
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {

@@ -14,12 +14,46 @@
 use std::process::ExitCode;
 
 use mnc_bench::{banner, env_scale, print_accuracy_matrix, ObsArgs, OBS_USAGE};
+use mnc_core::MncSketch;
 use mnc_estimators::{BitsetEstimator, SparsityEstimator};
-use mnc_expr::{EstimationContext, Recorder};
+use mnc_expr::{EstimationContext, ExprNode, Recorder};
 use mnc_sparsest::datasets::Datasets;
 use mnc_sparsest::runner::{run_case_with_context, run_tracked_with_context, standard_estimators};
-use mnc_sparsest::usecases::{b1_suite, b2_suite, b3_suite};
+use mnc_sparsest::usecases::{b1_suite, b2_suite, b3_suite, UseCase};
 use mnc_sparsest::{b1_thresholds, b2_thresholds, b3_thresholds, check_thresholds};
+
+/// Persists the MNC sketch of every B1 leaf matrix into an `mnc-served`
+/// synopsis catalog at `dir`, named `<case-id>.<leaf>` (invalid name bytes
+/// mapped to `_`). A daemon started with `--catalog <dir>` then serves
+/// estimates over the suite's inputs without rebuilding a single sketch.
+fn save_b1_sketches(dir: &str, cases: &[UseCase]) -> Result<(), String> {
+    let mut catalog = mnc_served::SynopsisCatalog::open(dir).map_err(|e| e.to_string())?;
+    let mut saved = 0usize;
+    for case in cases {
+        for (_, node) in case.dag.iter() {
+            let ExprNode::Leaf { name, matrix } = node else {
+                continue;
+            };
+            let entry_name: String = format!("{}.{}", case.id, name)
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            let sketch = std::sync::Arc::new(MncSketch::build(matrix));
+            catalog
+                .put(&entry_name, sketch, true)
+                .map_err(|e| e.to_string())?;
+            saved += 1;
+        }
+    }
+    eprintln!("saved {saved} leaf sketch(es) to catalog {dir}");
+    Ok(())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,9 +64,24 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if !rest.is_empty() {
-        eprintln!("unknown arguments: {rest:?}\nusage: sparsest {OBS_USAGE}");
-        return ExitCode::from(2);
+    let mut save_sketches: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--save-sketches" => match it.next() {
+                Some(dir) => save_sketches = Some(dir.clone()),
+                None => {
+                    eprintln!("error: --save-sketches needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown argument: {other}\nusage: sparsest [--save-sketches <dir>] {OBS_USAGE}"
+                );
+                return ExitCode::from(2);
+            }
+        }
     }
 
     let scale = env_scale(0.1);
@@ -69,9 +118,16 @@ fn main() -> ExitCode {
     // synopses get real reuse across cases.
     let mut ctx = EstimationContext::new().with_recorder(rec.clone());
     let mut results = Vec::new();
-    for case in b1_suite(scale, 42) {
+    let b1_cases = b1_suite(scale, 42);
+    if let Some(dir) = &save_sketches {
+        if let Err(e) = save_b1_sketches(dir, &b1_cases) {
+            eprintln!("error: --save-sketches: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    for case in &b1_cases {
         eprintln!("running {} {} ...", case.id, case.name);
-        results.extend(run_case_with_context(&case, &refs, &mut ctx));
+        results.extend(run_case_with_context(case, &refs, &mut ctx));
     }
     let data = Datasets::with_scale(0xDA7A, scale);
     for case in b2_suite(&data) {

@@ -9,9 +9,12 @@
 //! grow them. `EXPERIMENTS.md` records the scale each reported run used.
 
 pub mod env_info;
-pub mod json;
+// The JSON parser moved to `mnc-obs` so the serving daemon and the
+// benchmark harness read the same dialect; re-exported for existing users.
+pub use mnc_obs::json;
 pub mod obs;
 pub mod perf;
+pub mod served_load;
 
 use std::time::Duration;
 

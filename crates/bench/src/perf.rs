@@ -433,6 +433,21 @@ fn accuracy_workload(
     summaries
 }
 
+/// Workload 6: the `mnc-served` concurrent-client load — full HTTP round
+/// trips against an in-process service over a throwaway catalog. The
+/// latency quantiles are service-path end-to-end (routing + admission +
+/// session cache + walk), gated like every other `*_ns` metric.
+fn served_workload(rec: &Recorder, scale: f64, reps: usize, metrics: &mut BTreeMap<String, f64>) {
+    let _w = rec.span("workload").op("served/load");
+    let clients = 4;
+    let requests = (10 * reps).max(5);
+    let report = crate::served_load::run_load(scale, clients, requests);
+    metrics.insert("served.estimate.p50_ns".into(), report.p50_ns);
+    metrics.insert("served.estimate.p99_ns".into(), report.p99_ns);
+    metrics.insert("served.requests_ok".into(), report.ok as f64);
+    metrics.insert("served.requests_err".into(), report.errors as f64);
+}
+
 /// Runs the fixed suite at the given scale knobs and returns the report
 /// plus the recorder (for `--trace` / `--metrics` emission by the binary).
 pub fn run_suite(scale: f64, reps: usize) -> (PerfReport, Recorder) {
@@ -447,6 +462,7 @@ pub fn run_suite(scale: f64, reps: usize) -> (PerfReport, Recorder) {
     kernel_workload(&rec, scale, &mut metrics);
     cache_workload(&rec, d_est, reps, &mut metrics);
     let accuracy = accuracy_workload(&rec, scale, &mut metrics);
+    served_workload(&rec, scale, reps, &mut metrics);
     metrics.insert("suite.total_ns".into(), t0.elapsed().as_nanos() as f64);
 
     // Latency quantiles aggregated from the recorder's spans — the same

@@ -1,0 +1,170 @@
+//! Concurrent-client load harness for `mnc-served`.
+//!
+//! Starts an [`EstimationService`](mnc_served::EstimationService) on an
+//! ephemeral loopback port over a throwaway catalog, ingests a small matrix
+//! chain over HTTP, then drives `clients` threads issuing `POST
+//! /v1/estimate` in a closed loop. Every request's wall latency is
+//! collected; the p50/p99 land in the `mnc-perf` record as gated
+//! `served.estimate.*_ns` metrics, so a regression in the service path —
+//! routing, admission, session locking, the walk — trips the same CI gate
+//! as a kernel regression.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use mnc_matrix::{gen, CsrMatrix};
+use mnc_served::{serve_with, EstimationService, ServeOptions, ServedConfig};
+use rand::SeedableRng;
+
+/// Aggregated result of one load run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadReport {
+    /// Median request latency (nanoseconds, full HTTP round trip).
+    pub p50_ns: f64,
+    /// 99th-percentile request latency.
+    pub p99_ns: f64,
+    /// Requests completed with HTTP 200.
+    pub ok: u64,
+    /// Requests answered with any other status (including 429 sheds).
+    pub errors: u64,
+}
+
+/// Minimal blocking HTTP exchange; returns the status code.
+fn roundtrip(addr: &str, method: &str, path: &str, body: &[u8]) -> std::io::Result<u16> {
+    let mut stream = TcpStream::connect(addr)?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: perf\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let head = std::str::from_utf8(&raw)
+        .ok()
+        .and_then(|t| t.lines().next())
+        .unwrap_or("");
+    head.split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))
+}
+
+fn csr_json(m: &CsrMatrix) -> String {
+    let ptr = m
+        .row_ptr()
+        .iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let idx = m
+        .col_indices()
+        .iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"nrows\":{},\"ncols\":{},\"row_ptr\":[{}],\"col_idx\":[{}]}}",
+        m.nrows(),
+        m.ncols(),
+        ptr,
+        idx
+    )
+}
+
+/// Runs the load: `clients` concurrent sessions, `requests` estimates each,
+/// over a `(A B) C` chain sized by `scale`.
+pub fn run_load(scale: f64, clients: usize, requests: usize) -> LoadReport {
+    let d = ((200.0 * scale) as usize).max(20);
+    let dir = std::env::temp_dir().join(format!("mnc-perf-served-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut cfg = ServedConfig::new(&dir);
+    cfg.workers = clients.max(1);
+    cfg.queue = clients * 2;
+    let service = EstimationService::new(cfg).expect("served: open catalog");
+    let handle =
+        serve_with(service, "127.0.0.1:0", ServeOptions::default()).expect("served: bind loopback");
+    let addr = handle.local_addr().to_string();
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5E2D);
+    let a = gen::rand_uniform(&mut rng, d, d, 0.05);
+    let b = gen::rand_uniform(&mut rng, d, d, 0.05);
+    let c = gen::rand_uniform(&mut rng, d, d, 0.05);
+    for (name, m) in [("A", &a), ("B", &b), ("C", &c)] {
+        let status = roundtrip(
+            &addr,
+            "PUT",
+            &format!("/v1/matrices/{name}"),
+            csr_json(m).as_bytes(),
+        )
+        .expect("served: ingest");
+        assert_eq!(status, 201, "served: ingest {name} failed");
+    }
+
+    let results: Vec<(Vec<u64>, u64, u64)> = std::thread::scope(|scope| {
+        let addr: &str = &addr;
+        (0..clients)
+            .map(|cid| {
+                scope.spawn(move || {
+                    let req = format!(
+                        r#"{{"client":"load-{cid}","dag":[{{"leaf":"A"}},{{"leaf":"B"}},{{"leaf":"C"}},
+                        {{"op":"matmul","inputs":[0,1]}},{{"op":"matmul","inputs":[3,2]}}]}}"#
+                    );
+                    let mut lat = Vec::with_capacity(requests);
+                    let (mut ok, mut errors) = (0u64, 0u64);
+                    for _ in 0..requests {
+                        let t = Instant::now();
+                        match roundtrip(addr, "POST", "/v1/estimate", req.as_bytes()) {
+                            Ok(200) => {
+                                lat.push(t.elapsed().as_nanos() as u64);
+                                ok += 1;
+                            }
+                            _ => errors += 1,
+                        }
+                    }
+                    (lat, ok, errors)
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("load client"))
+            .collect()
+    });
+    drop(handle);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut lat: Vec<u64> = results
+        .iter()
+        .flat_map(|(l, _, _)| l.iter().copied())
+        .collect();
+    lat.sort_unstable();
+    let q = |q: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        let idx = ((lat.len() - 1) as f64 * q).round() as usize;
+        lat[idx.min(lat.len() - 1)] as f64
+    };
+    LoadReport {
+        p50_ns: q(0.50),
+        p99_ns: q(0.99),
+        ok: results.iter().map(|(_, ok, _)| ok).sum(),
+        errors: results.iter().map(|(_, _, e)| e).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_load_run_completes_cleanly() {
+        let report = run_load(0.1, 2, 5);
+        assert_eq!(report.ok, 10);
+        assert_eq!(report.errors, 0);
+        assert!(report.p50_ns > 0.0);
+        assert!(report.p99_ns >= report.p50_ns);
+    }
+}

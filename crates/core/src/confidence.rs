@@ -22,7 +22,7 @@ use crate::MncConfig;
 /// A sparsity estimate with a confidence interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SparsityEstimateCi {
-    /// Point estimate (identical to [`crate::estimate_matmul_with`]).
+    /// Point estimate (identical to [`crate::estimate::estimate_matmul_with`]).
     pub estimate: f64,
     /// Lower interval bound.
     pub lower: f64,

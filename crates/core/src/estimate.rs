@@ -28,7 +28,8 @@ pub fn vector_edm(x: &[u32], y: &[u32], p: f64) -> f64 {
 /// default configuration (full MNC: extended counts + bounds).
 ///
 /// ```
-/// use mnc_core::{estimate_matmul, MncSketch};
+/// use mnc_core::estimate::estimate_matmul;
+/// use mnc_core::MncSketch;
 /// use mnc_matrix::CsrMatrix;
 ///
 /// // A permutation-like left operand: one non-zero per row, so the

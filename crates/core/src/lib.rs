@@ -49,21 +49,11 @@ pub use sketch::{MncSketch, SketchMeta};
 // downstream crates get it without naming `mnc-kernels` directly.
 pub use mnc_kernels::ScratchArena;
 
-// Legacy per-op free functions, superseded by the op-driven entry points
-// [`MncSketch::estimate`] / [`MncSketch::propagate`] (see [`op`]). They stay
-// exported so existing callers compile, but are hidden from the docs.
-#[doc(hidden)]
-pub use estimate::{
-    estimate_cbind, estimate_diag_extract, estimate_diag_v2m, estimate_eq_zero, estimate_ew_add,
-    estimate_ew_mul, estimate_matmul, estimate_matmul_in, estimate_matmul_with, estimate_neq_zero,
-    estimate_rbind, estimate_reshape, estimate_transpose, vector_edm,
-};
-#[doc(hidden)]
-pub use propagate::{
-    propagate_cbind, propagate_diag_extract, propagate_diag_v2m, propagate_eq_zero,
-    propagate_ew_add, propagate_ew_mul, propagate_matmul, propagate_matmul_in, propagate_neq_zero,
-    propagate_rbind, propagate_reshape, propagate_transpose,
-};
+// The legacy per-op free functions are no longer re-exported at the crate
+// root: [`MncSketch::estimate`] / [`MncSketch::propagate`] (see [`op`]) are
+// the public vocabulary. Specialized callers (benchmarks, the chain
+// optimizer's zero-alloc inner loop) reach the per-op kernels through
+// their defining modules, e.g. `mnc_core::propagate::propagate_matmul_in`.
 
 /// Configuration of the MNC estimator.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -101,58 +101,81 @@ impl OpKind {
     /// incompatible shapes (a malformed DAG must not panic).
     pub fn output_shape(&self, inputs: &[(usize, usize)]) -> Result<(usize, usize)> {
         if inputs.len() != self.arity() {
-            return Err(EstimatorError::Internal(format!(
-                "{self:?}: expected {} input(s), got {}",
-                self.arity(),
-                inputs.len()
-            )));
+            return Err(EstimatorError::arity(self, inputs.len()));
         }
-        let bad = |msg: &str| {
-            Err(EstimatorError::Internal(format!(
-                "{self:?}: incompatible shapes {inputs:?} ({msg})"
-            )))
-        };
         match self {
             OpKind::MatMul => {
                 if inputs[0].1 != inputs[1].0 {
-                    return bad("inner dimension");
+                    return Err(EstimatorError::dims(
+                        self,
+                        inputs[0],
+                        inputs[1],
+                        "inner dimension",
+                    ));
                 }
                 Ok((inputs[0].0, inputs[1].1))
             }
             OpKind::EwAdd | OpKind::EwMul | OpKind::EwMax | OpKind::EwMin => {
                 if inputs[0] != inputs[1] {
-                    return bad("equal shapes required");
+                    return Err(EstimatorError::dims(
+                        self,
+                        inputs[0],
+                        inputs[1],
+                        "equal shapes required",
+                    ));
                 }
                 Ok(inputs[0])
             }
             OpKind::Transpose => Ok((inputs[0].1, inputs[0].0)),
             OpKind::Reshape { rows, cols } => {
                 if inputs[0].0 * inputs[0].1 != rows * cols {
-                    return bad("cell count");
+                    return Err(EstimatorError::shape(
+                        self,
+                        inputs[0],
+                        "cell count must be conserved",
+                    ));
                 }
                 Ok((*rows, *cols))
             }
             OpKind::DiagV2M => {
                 if inputs[0].1 != 1 {
-                    return bad("column vector required");
+                    return Err(EstimatorError::shape(
+                        self,
+                        inputs[0],
+                        "column vector required",
+                    ));
                 }
                 Ok((inputs[0].0, inputs[0].0))
             }
             OpKind::DiagM2V => {
                 if inputs[0].0 != inputs[0].1 {
-                    return bad("square matrix required");
+                    return Err(EstimatorError::shape(
+                        self,
+                        inputs[0],
+                        "square matrix required",
+                    ));
                 }
                 Ok((inputs[0].0, 1))
             }
             OpKind::Rbind => {
                 if inputs[0].1 != inputs[1].1 {
-                    return bad("column count");
+                    return Err(EstimatorError::dims(
+                        self,
+                        inputs[0],
+                        inputs[1],
+                        "column count",
+                    ));
                 }
                 Ok((inputs[0].0 + inputs[1].0, inputs[0].1))
             }
             OpKind::Cbind => {
                 if inputs[0].0 != inputs[1].0 {
-                    return bad("row count");
+                    return Err(EstimatorError::dims(
+                        self,
+                        inputs[0],
+                        inputs[1],
+                        "row count",
+                    ));
                 }
                 Ok((inputs[0].0, inputs[0].1 + inputs[1].1))
             }
@@ -173,7 +196,30 @@ pub enum EstimatorError {
         bytes: u64,
         limit: u64,
     },
-    /// Internal invariant violation (shape mismatch fed from the DAG, ...).
+    /// Wrong operand count for an operation (a malformed DAG or request).
+    ArityMismatch {
+        op: &'static str,
+        expected: usize,
+        got: usize,
+    },
+    /// Two operand shapes that must agree do not (matmul inner dimension,
+    /// element-wise equal shapes, rbind/cbind aligned counts).
+    DimensionMismatch {
+        op: &'static str,
+        lhs: (usize, usize),
+        rhs: (usize, usize),
+        requirement: &'static str,
+    },
+    /// A single operand's shape violates the operation's requirement
+    /// (diag wants a column vector or square input, reshape must conserve
+    /// the cell count).
+    ShapeInvalid {
+        op: &'static str,
+        shape: (usize, usize),
+        requirement: &'static str,
+    },
+    /// Internal invariant violation (wrong synopsis variant handed to an
+    /// estimator, ...) — conditions no well-formed input can trigger.
     Internal(String),
 }
 
@@ -183,6 +229,40 @@ impl EstimatorError {
         EstimatorError::Unsupported {
             estimator,
             op: format!("{op:?}"),
+        }
+    }
+
+    /// Convenience constructor: wrong operand count for `op`.
+    pub fn arity(op: &OpKind, got: usize) -> EstimatorError {
+        EstimatorError::ArityMismatch {
+            op: op.name(),
+            expected: op.arity(),
+            got,
+        }
+    }
+
+    /// Convenience constructor: two operand shapes that must agree do not.
+    pub fn dims(
+        op: &OpKind,
+        lhs: (usize, usize),
+        rhs: (usize, usize),
+        requirement: &'static str,
+    ) -> EstimatorError {
+        EstimatorError::DimensionMismatch {
+            op: op.name(),
+            lhs,
+            rhs,
+            requirement,
+        }
+    }
+
+    /// Convenience constructor: a single operand shape violates `op`'s
+    /// requirement.
+    pub fn shape(op: &OpKind, shape: (usize, usize), requirement: &'static str) -> EstimatorError {
+        EstimatorError::ShapeInvalid {
+            op: op.name(),
+            shape,
+            requirement,
         }
     }
 }
@@ -200,6 +280,28 @@ impl fmt::Display for EstimatorError {
             } => write!(
                 f,
                 "{estimator} synopsis of {bytes} B exceeds the {limit} B budget"
+            ),
+            EstimatorError::ArityMismatch { op, expected, got } => {
+                write!(f, "{op}: expected {expected} input(s), got {got}")
+            }
+            EstimatorError::DimensionMismatch {
+                op,
+                lhs,
+                rhs,
+                requirement,
+            } => write!(
+                f,
+                "{op}: operand shapes {}x{} and {}x{} are incompatible ({requirement})",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            EstimatorError::ShapeInvalid {
+                op,
+                shape,
+                requirement,
+            } => write!(
+                f,
+                "{op}: operand shape {}x{} is invalid ({requirement})",
+                shape.0, shape.1
             ),
             EstimatorError::Internal(msg) => write!(f, "internal estimator error: {msg}"),
         }
@@ -415,7 +517,14 @@ mod tests {
             OpKind::Cbind,
         ] {
             assert!(
-                matches!(op.output_shape(&[(2, 3)]), Err(EstimatorError::Internal(_))),
+                matches!(
+                    op.output_shape(&[(2, 3)]),
+                    Err(EstimatorError::ArityMismatch {
+                        expected: 2,
+                        got: 1,
+                        ..
+                    })
+                ),
                 "{op:?} must reject a single input"
             );
             assert!(op.output_shape(&[]).is_err());

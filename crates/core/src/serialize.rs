@@ -41,6 +41,9 @@ pub enum DecodeError {
     BadMagic(u32),
     /// Unsupported format version.
     BadVersion(u16),
+    /// Flag bits this version does not define — a corrupt or
+    /// newer-than-supported sketch.
+    UnknownFlags(u16),
     /// Declared sizes exceed the buffer.
     LengthMismatch,
 }
@@ -51,6 +54,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "buffer truncated"),
             DecodeError::BadMagic(m) => write!(f, "bad magic 0x{m:08x}"),
             DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::UnknownFlags(x) => write!(f, "unknown flag bits 0x{x:04x}"),
             DecodeError::LengthMismatch => write!(f, "declared lengths exceed the buffer"),
         }
     }
@@ -114,19 +118,28 @@ pub fn from_bytes(buf: &[u8]) -> Result<MncSketch, DecodeError> {
         return Err(DecodeError::BadVersion(version));
     }
     let flags = u16::from_le_bytes(buf[6..8].try_into().expect("sliced"));
-    let nrows = u64::from_le_bytes(buf[8..16].try_into().expect("sliced")) as usize;
-    let ncols = u64::from_le_bytes(buf[16..24].try_into().expect("sliced")) as usize;
+    if flags & !(FLAG_HER | FLAG_HEC | FLAG_DIAG) != 0 {
+        return Err(DecodeError::UnknownFlags(
+            flags & !(FLAG_HER | FLAG_HEC | FLAG_DIAG),
+        ));
+    }
+    let nrows64 = u64::from_le_bytes(buf[8..16].try_into().expect("sliced"));
+    let ncols64 = u64::from_le_bytes(buf[16..24].try_into().expect("sliced"));
 
-    let mut expected = nrows + ncols;
+    // Hostile buffers can declare dimensions near u64::MAX; sizing in u128
+    // keeps the length check exact instead of overflowing.
+    let mut expected: u128 = nrows64 as u128 + ncols64 as u128;
     if flags & FLAG_HER != 0 {
-        expected += nrows;
+        expected += nrows64 as u128;
     }
     if flags & FLAG_HEC != 0 {
-        expected += ncols;
+        expected += ncols64 as u128;
     }
-    if buf.len() != 24 + 4 * expected {
+    if buf.len() as u128 != 24 + 4 * expected {
         return Err(DecodeError::LengthMismatch);
     }
+    let nrows = nrows64 as usize;
+    let ncols = ncols64 as usize;
 
     let mut offset = 24usize;
     let mut read_counts = |n: usize| -> Vec<u32> {

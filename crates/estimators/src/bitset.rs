@@ -334,7 +334,11 @@ impl BitsetEstimator {
             }
             OpKind::Reshape { rows, cols } => {
                 if a.nrows * a.ncols != rows * cols {
-                    return Err(EstimatorError::Internal("reshape cell count".into()));
+                    return Err(EstimatorError::shape(
+                        op,
+                        (a.nrows, a.ncols),
+                        "cell count must be conserved",
+                    ));
                 }
                 let mut c = BitsetSynopsis::zeros(*rows, *cols);
                 for i in 0..a.nrows {
@@ -352,7 +356,11 @@ impl BitsetEstimator {
             }
             OpKind::DiagV2M => {
                 if a.ncols != 1 {
-                    return Err(EstimatorError::Internal("diag expects vector".into()));
+                    return Err(EstimatorError::shape(
+                        op,
+                        (a.nrows, a.ncols),
+                        "column vector required",
+                    ));
                 }
                 self.check_budget(a.nrows, a.nrows)?;
                 let mut c = BitsetSynopsis::zeros(a.nrows, a.nrows);
@@ -365,7 +373,11 @@ impl BitsetEstimator {
             }
             OpKind::DiagM2V => {
                 if a.nrows != a.ncols {
-                    return Err(EstimatorError::Internal("diag expects square".into()));
+                    return Err(EstimatorError::shape(
+                        op,
+                        (a.nrows, a.ncols),
+                        "square matrix required",
+                    ));
                 }
                 let mut c = BitsetSynopsis::zeros(a.nrows, 1);
                 for i in 0..a.nrows {

@@ -188,7 +188,12 @@ impl DensityMapEstimator {
             OpKind::MatMul => {
                 let b = self.unwrap(inputs, 1)?;
                 if a.ncols != b.nrows {
-                    return Err(EstimatorError::Internal("matmul inner dim".into()));
+                    return Err(EstimatorError::dims(
+                        op,
+                        (a.nrows, a.ncols),
+                        (b.nrows, b.ncols),
+                        "inner dimension",
+                    ));
                 }
                 // Eq. 4: dmC_ij = ⊕_k E_ac(dmA_ik, dmB_kj) with the actual
                 // inner block width as the exponent.
@@ -242,7 +247,11 @@ impl DensityMapEstimator {
             }
             OpKind::DiagV2M => {
                 if a.ncols != 1 {
-                    return Err(EstimatorError::Internal("diag expects vector".into()));
+                    return Err(EstimatorError::shape(
+                        op,
+                        (a.nrows, a.ncols),
+                        "column vector required",
+                    ));
                 }
                 let m = a.nrows;
                 let mut c = DmSynopsis::zeros(m, m, self.block);
@@ -261,7 +270,11 @@ impl DensityMapEstimator {
             }
             OpKind::DiagM2V => {
                 if a.nrows != a.ncols {
-                    return Err(EstimatorError::Internal("diag expects square".into()));
+                    return Err(EstimatorError::shape(
+                        op,
+                        (a.nrows, a.ncols),
+                        "square matrix required",
+                    ));
                 }
                 // Each diagonal block (bi, bi) contributes its density times
                 // its diagonal length.

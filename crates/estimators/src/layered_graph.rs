@@ -143,7 +143,12 @@ impl LayeredGraphEstimator {
             )
         })?;
         if a.ncols != pattern.nrows() {
-            return Err(EstimatorError::Internal("LGraph: inner dimension".into()));
+            return Err(EstimatorError::dims(
+                &OpKind::MatMul,
+                (a.nrows, a.ncols),
+                (pattern.nrows(), pattern.ncols()),
+                "inner dimension",
+            ));
         }
         let l = pattern.ncols();
         let rounds = self.rounds;

@@ -194,7 +194,11 @@ mod tests {
         let est = e
             .estimate(&OpKind::MatMul, &[&syn(&e, &a), &syn(&e, &b)])
             .unwrap();
-        let core = mnc_core::estimate_matmul(&MncSketch::build(&a), &MncSketch::build(&b));
+        let core = MncSketch::estimate(
+            &OpKind::MatMul,
+            &[&MncSketch::build(&a), &MncSketch::build(&b)],
+        )
+        .unwrap();
         assert!((est - core).abs() < 1e-15);
     }
 

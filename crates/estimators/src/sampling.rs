@@ -524,7 +524,7 @@ mod tests {
         let est = e.estimate(&OpKind::MatMul, &[&syn(&a), &syn(&b)]).unwrap();
         let ca = mnc_matrix::stats::col_nnz_counts(&a);
         let rb = mnc_matrix::stats::row_nnz_counts(&b);
-        let expect = mnc_core::vector_edm(&ca, &rb, 900.0);
+        let expect = mnc_core::estimate::vector_edm(&ca, &rb, 900.0);
         assert!((est - expect).abs() < 1e-12);
     }
 

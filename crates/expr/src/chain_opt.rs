@@ -16,7 +16,8 @@
 use std::fmt;
 use std::sync::Arc;
 
-use mnc_core::{propagate_matmul_in, MncConfig, MncSketch, ScratchArena, SplitMix64};
+use mnc_core::propagate::propagate_matmul_in;
+use mnc_core::{MncConfig, MncSketch, ScratchArena, SplitMix64};
 use mnc_matrix::{ops, CsrMatrix};
 
 /// A binary parenthesization of a matrix chain; leaves are chain positions.

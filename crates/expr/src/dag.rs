@@ -133,11 +133,7 @@ impl ExprDag {
     /// Adds an operation node, validating arity and shapes.
     pub fn op(&mut self, op: OpKind, inputs: &[NodeId]) -> Result<NodeId, EstimatorError> {
         if inputs.len() != op.arity() {
-            return Err(EstimatorError::Internal(format!(
-                "{op:?} expects {} inputs, got {}",
-                op.arity(),
-                inputs.len()
-            )));
+            return Err(EstimatorError::arity(&op, inputs.len()));
         }
         for &i in inputs {
             if i >= self.nodes.len() {

@@ -27,6 +27,7 @@ pub mod eval;
 pub mod planner;
 pub mod rewrite;
 pub mod session;
+pub mod sessions;
 
 pub use chain_opt::{
     chain_flops_exact, dense_chain_order, plan_cost_sketched, random_plan, sparse_chain_order,
@@ -38,6 +39,7 @@ pub use eval::Evaluator;
 pub use planner::{Format, NodePlan, PlanSummary, Planner};
 pub use rewrite::{rewrite_mm_chains, rewrite_mm_chains_with_context, RewriteResult};
 pub use session::{EstimationContext, SynopsisKey};
+pub use sessions::{SessionPool, SessionPoolConfig, SessionPoolStats};
 
 // Re-exported so downstream crates write `mnc_expr::SparsityEstimator`
 // (and read `mnc_expr::EstimationStats` off a context).

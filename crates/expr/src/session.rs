@@ -61,6 +61,13 @@ pub enum SynopsisKey {
         /// Node id within that DAG.
         node: NodeId,
     },
+    /// A synopsis registered under an external name — the key used by
+    /// services whose leaves live in a catalog rather than in-process
+    /// `Arc<CsrMatrix>` memory (`mnc-served`'s named matrices).
+    Named {
+        /// Catalog name of the synopsis.
+        name: Arc<str>,
+    },
 }
 
 impl SynopsisKey {
@@ -80,6 +87,11 @@ impl SynopsisKey {
             dag: dag.id(),
             node: id,
         }
+    }
+
+    /// Key for a named (catalog) synopsis.
+    pub fn named(name: &str) -> SynopsisKey {
+        SynopsisKey::Named { name: name.into() }
     }
 }
 
@@ -277,6 +289,44 @@ impl EstimationContext {
         let mut span = self.rec.span("build").op(est.name()).nnz_in(m.nnz() as u64);
         let t = OpTimer::start();
         let syn = Arc::new(est.build(m)?);
+        let ns = t.elapsed_ns();
+        self.stats.record_build(ns);
+        self.h_build.record(ns);
+        if self.rec.is_enabled() {
+            span.set_nnz_out(syn.nnz());
+            span.set_bytes(syn.size_bytes());
+        }
+        drop(span);
+        self.admit(key, &syn);
+        Ok(syn)
+    }
+
+    /// The synopsis registered under an external `name` for `est`, loading
+    /// it through `load` on a miss. This is the leaf entry point for
+    /// services whose matrices live in a persistent catalog: the session
+    /// keeps hot decoded synopses resident (LRU, byte-budgeted) while cold
+    /// ones are re-loaded on demand — never re-*built* from a matrix.
+    ///
+    /// Loads are timed into the session's build statistics (a load is the
+    /// catalog path's analogue of a build) under a `"load"` span.
+    pub fn named_synopsis<E: SparsityEstimator + ?Sized>(
+        &mut self,
+        est: &E,
+        name: &str,
+        load: impl FnOnce() -> Result<Synopsis>,
+    ) -> Result<Arc<Synopsis>> {
+        let ekey: Arc<str> = est.cache_key().into();
+        let key = (ekey, SynopsisKey::named(name));
+        if let Some(syn) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            self.m_hit.incr();
+            return Ok(Arc::clone(syn));
+        }
+        self.stats.cache_misses += 1;
+        self.m_miss.incr();
+        let mut span = self.rec.span("load").op(est.name());
+        let t = OpTimer::start();
+        let syn = Arc::new(load()?);
         let ns = t.elapsed_ns();
         self.stats.record_build(ns);
         self.h_build.record(ns);
@@ -745,6 +795,41 @@ mod tests {
             .with_obsd(&daemon);
         assert!(ctx2.recorder().same_as(&rec));
         assert_eq!(ctx2.recorder().ring_capacity(), None);
+    }
+
+    #[test]
+    fn named_synopses_cache_per_estimator_and_reload_on_miss() {
+        let mut r = rng(12);
+        let m = Arc::new(gen::rand_uniform(&mut r, 24, 18, 0.15));
+        let est = MncEstimator::new();
+        let basic = MncEstimator::basic();
+        let mut ctx = EstimationContext::new();
+
+        let loads = std::cell::Cell::new(0u32);
+        let load = |e: &MncEstimator| {
+            loads.set(loads.get() + 1);
+            e.build(&m)
+        };
+
+        let s1 = ctx.named_synopsis(&est, "A", || load(&est)).unwrap();
+        let s2 = ctx.named_synopsis(&est, "A", || load(&est)).unwrap();
+        assert_eq!(loads.get(), 1, "second lookup must hit the cache");
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert_eq!(ctx.stats().cache_hits, 1);
+
+        // A differently-configured estimator gets its own entry...
+        ctx.named_synopsis(&basic, "A", || load(&basic)).unwrap();
+        assert_eq!(loads.get(), 2);
+        // ...and a different name under the first estimator loads again.
+        ctx.named_synopsis(&est, "B", || load(&est)).unwrap();
+        assert_eq!(loads.get(), 3);
+
+        // Named entries obey the byte budget like every other synopsis.
+        let mut tiny = EstimationContext::with_byte_budget(1);
+        tiny.named_synopsis(&est, "A", || est.build(&m)).unwrap();
+        tiny.named_synopsis(&est, "A", || est.build(&m)).unwrap();
+        assert_eq!(tiny.stats().cache_hits, 0);
+        assert_eq!(tiny.stats().cache_misses, 2);
     }
 
     #[test]

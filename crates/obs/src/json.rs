@@ -1,7 +1,8 @@
-//! A minimal recursive-descent JSON parser — just enough to read
-//! `BENCH_MNC.json` baselines back in (the workspace is offline and
-//! dependency-free, so no serde). Accepts strict RFC 8259 JSON; numbers
-//! parse as `f64`, which is lossless for everything the benchmark emits.
+//! A minimal recursive-descent JSON parser — just enough for the two
+//! dependency-free consumers in the workspace: `mnc-bench` reading
+//! `BENCH_MNC.json` baselines back in, and `mnc-served` parsing `/v1`
+//! request bodies. Accepts strict RFC 8259 JSON; numbers parse as `f64`,
+//! which is lossless for everything both emit.
 
 use std::collections::BTreeMap;
 
@@ -241,7 +242,7 @@ mod tests {
 
     #[test]
     fn round_trips_the_obs_escapes() {
-        use mnc_obs::export::json_escape;
+        use crate::export::json_escape;
         let original = "a\"b\\c\nd\te\u{1}f";
         let doc = format!("{{\"s\": \"{}\"}}", json_escape(original));
         let v = parse(&doc).unwrap();

@@ -48,6 +48,7 @@ pub mod accuracy;
 pub mod alloc;
 pub mod attribution;
 pub mod export;
+pub mod json;
 pub mod metrics;
 pub mod prometheus;
 pub mod ring;

@@ -1,26 +1,28 @@
-//! The embedded HTTP endpoint: a dependency-free `std::net::TcpListener`
+//! The embedded HTTP server: a dependency-free `std::net::TcpListener`
 //! server on background threads.
 //!
-//! Scope is deliberately tiny — enough HTTP/1.1 for a Prometheus scraper,
-//! a load balancer's health probe, and `curl`:
+//! Historically this served GET-only telemetry (`/metrics`, `/healthz`,
+//! `/flight`, `/attribution`); it now exposes a small generic
+//! method+body dispatch layer — [`Request`], [`Response`], [`Handler`],
+//! [`serve_with`] — that `mnc-served` mounts its `/v1` estimation API on,
+//! while the telemetry plane ([`serve`]) is one particular [`Handler`].
 //!
-//! | route          | body                                         | status |
-//! |----------------|----------------------------------------------|--------|
-//! | `/metrics`     | aggregated Prometheus text (0.0.4)           | 200 |
-//! | `/healthz`     | `OK` or `DEGRADED` + per-series reasons      | 200 / 503 |
-//! | `/flight`      | flight-ring JSONL dump                       | 200 |
-//! | `/attribution` | per-phase self-time table                    | 200 |
+//! Scope stays deliberately tiny — enough HTTP/1.1 for a Prometheus
+//! scraper, a load balancer's health probe, `curl`, and the `/v1` service
+//! clients:
 //!
-//! Anything that is not a well-formed `GET <path> HTTP/1.x` request line is
-//! answered `400`; a well-formed non-GET gets `405`; an unknown path `404`.
-//! Connections are handled one thread each (scrape traffic is a handful of
-//! requests per second at most), `Connection: close` semantics throughout.
+//! * request line + headers are capped at [`MAX_REQUEST_BYTES`];
+//! * bodies are read per `Content-Length` (no chunked encoding), capped by
+//!   [`ServeOptions::max_body_bytes`] — an oversized body is answered
+//!   `413` without draining it;
+//! * one thread per connection, `Connection: close` semantics throughout.
 //!
 //! Shutdown is cooperative: the accept loop checks a stop flag after every
 //! accept, and [`ServerHandle::shutdown`] wakes a blocked accept with a
-//! self-connect. A ticker thread refreshes the daemon's cached metric
-//! snapshot every 250 ms while the server runs (the "periodic registry
-//! snapshot" — postmortems and slow scrapers see near-current aggregates).
+//! self-connect. A ticker thread invokes [`Handler::tick`] every 250 ms
+//! while the server runs — the telemetry handler refreshes the daemon's
+//! cached metric snapshot there (the "periodic registry snapshot" —
+//! postmortems and slow scrapers see near-current aggregates).
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -32,11 +34,121 @@ use std::time::Duration;
 use crate::{Health, ObsDaemon};
 
 /// Maximum accepted request head (request line + headers).
-const MAX_REQUEST_BYTES: usize = 8 * 1024;
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
 /// Per-connection socket timeout.
 const IO_TIMEOUT: Duration = Duration::from_secs(5);
-/// Cached-snapshot refresh period.
+/// Handler tick period.
 const TICK: Duration = Duration::from_millis(250);
+
+/// A parsed HTTP request: method, path (query stripped), headers, body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `PUT`, ...).
+    pub method: String,
+    /// Request path without the query string.
+    pub path: String,
+    /// Header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value under `name`, ASCII-case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An HTTP response: status code, content type, extra headers, body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (reason phrase derived from it on the wire).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers (e.g. `Retry-After`), written verbatim.
+    pub headers: Vec<(&'static str, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Adds an extra header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
+    }
+}
+
+/// Reason phrases for the status codes the workspace emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A request handler mounted on [`serve_with`]. Handlers run on
+/// per-connection threads, so they must be `Send + Sync`.
+pub trait Handler: Send + Sync + 'static {
+    /// Produces the response for one request.
+    fn handle(&self, req: &Request) -> Response;
+
+    /// Invoked every 250 ms from the server's ticker thread while the
+    /// server runs; the default does nothing.
+    fn tick(&self) {}
+}
+
+/// Server knobs for [`serve_with`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Largest accepted request body; anything larger is answered `413`
+    /// without reading it in.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            // Telemetry traffic has no bodies; services raise this.
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
 
 /// A running server. Dropping the handle shuts the server down.
 pub struct ServerHandle {
@@ -82,15 +194,21 @@ impl std::fmt::Debug for ServerHandle {
     }
 }
 
-/// Binds `addr` and serves the daemon's endpoints on background threads.
-pub fn serve(daemon: ObsDaemon, addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
+/// Binds `addr` and dispatches requests to `handler` on background
+/// threads — the generic face of the server.
+pub fn serve_with(
+    handler: Arc<dyn Handler>,
+    addr: impl ToSocketAddrs,
+    opts: ServeOptions,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
 
     let accept = {
         let stop = Arc::clone(&stop);
-        let daemon = daemon.clone();
+        let handler = Arc::clone(&handler);
+        let opts = opts.clone();
         std::thread::Builder::new()
             .name("mnc-obsd-accept".into())
             .spawn(move || {
@@ -99,12 +217,13 @@ pub fn serve(daemon: ObsDaemon, addr: impl ToSocketAddrs) -> std::io::Result<Ser
                         break;
                     }
                     let Ok(stream) = conn else { continue };
-                    let daemon = daemon.clone();
-                    // Thread-per-connection: scrape traffic is sparse, and
+                    let handler = Arc::clone(&handler);
+                    let opts = opts.clone();
+                    // Thread-per-connection: request traffic is modest, and
                     // a stuck client must not stall the next probe.
                     let _ = std::thread::Builder::new()
                         .name("mnc-obsd-conn".into())
-                        .spawn(move || handle_connection(stream, &daemon));
+                        .spawn(move || handle_connection(stream, handler.as_ref(), &opts));
                 }
             })?
     };
@@ -115,7 +234,7 @@ pub fn serve(daemon: ObsDaemon, addr: impl ToSocketAddrs) -> std::io::Result<Ser
             .name("mnc-obsd-tick".into())
             .spawn(move || {
                 while !stop.load(Ordering::Acquire) {
-                    daemon.refresh();
+                    handler.tick();
                     std::thread::sleep(TICK);
                 }
             })?
@@ -129,83 +248,152 @@ pub fn serve(daemon: ObsDaemon, addr: impl ToSocketAddrs) -> std::io::Result<Ser
     })
 }
 
-fn handle_connection(mut stream: TcpStream, daemon: &ObsDaemon) {
+/// The telemetry handler: GET-only routes over an [`ObsDaemon`], refreshing
+/// its cached snapshot on every tick.
+struct TelemetryHandler {
+    daemon: ObsDaemon,
+}
+
+impl Handler for TelemetryHandler {
+    fn handle(&self, req: &Request) -> Response {
+        if req.method != "GET" {
+            return Response::text(405, "method not allowed\n");
+        }
+        telemetry_response(&self.daemon, &req.path)
+            .unwrap_or_else(|| Response::text(404, "not found\n"))
+    }
+
+    fn tick(&self) {
+        self.daemon.refresh();
+    }
+}
+
+/// Routes one path to the daemon's telemetry plane; `None` for unknown
+/// paths. Shared by the plain telemetry server and `mnc-served`, which
+/// mounts these routes next to its `/v1` API as its health plane.
+pub fn telemetry_response(daemon: &ObsDaemon, path: &str) -> Option<Response> {
+    Some(match path {
+        "/metrics" => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            headers: Vec::new(),
+            body: daemon.metrics_text().into_bytes(),
+        },
+        "/healthz" => match daemon.health() {
+            Health::Ok => Response::text(200, "OK\n"),
+            Health::Degraded(reasons) => {
+                Response::text(503, format!("DEGRADED\n{}\n", reasons.join("\n")))
+            }
+        },
+        "/flight" => Response {
+            status: 200,
+            content_type: "application/jsonl; charset=utf-8",
+            headers: Vec::new(),
+            body: daemon.flight_jsonl().into_bytes(),
+        },
+        "/attribution" => Response::text(200, daemon.attribution_text()),
+        _ => return None,
+    })
+}
+
+/// Binds `addr` and serves the daemon's telemetry endpoints on background
+/// threads.
+pub fn serve(daemon: ObsDaemon, addr: impl ToSocketAddrs) -> std::io::Result<ServerHandle> {
+    serve_with(
+        Arc::new(TelemetryHandler { daemon }),
+        addr,
+        ServeOptions::default(),
+    )
+}
+
+fn handle_connection(mut stream: TcpStream, handler: &dyn Handler, opts: &ServeOptions) {
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let (status, content_type, body) = match read_request(&mut stream) {
-        Ok(head) => respond(&head, daemon),
-        Err(_) => bad_request(),
+    let resp = match read_request(&mut stream, opts) {
+        Ok(Some(req)) => handler.handle(&req),
+        Ok(None) => Response::text(400, "bad request\n"),
+        Err(ReadError::BodyTooLarge) => Response::text(413, "request body too large\n"),
+        Err(ReadError::Io) => Response::text(400, "bad request\n"),
     };
-    let _ = write_response(&mut stream, status, content_type, &body);
+    let _ = write_response(&mut stream, &resp);
 }
 
-/// Reads until the end of the request head (`\r\n\r\n`) or the size limit.
-fn read_request(stream: &mut TcpStream) -> std::io::Result<String> {
+enum ReadError {
+    Io,
+    BodyTooLarge,
+}
+
+impl From<std::io::Error> for ReadError {
+    fn from(_: std::io::Error) -> Self {
+        ReadError::Io
+    }
+}
+
+/// Reads and parses one request: head until `\r\n\r\n` (bounded), then the
+/// body per `Content-Length` (bounded). `Ok(None)` means malformed.
+fn read_request(stream: &mut TcpStream, opts: &ServeOptions) -> Result<Option<Request>, ReadError> {
     let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    loop {
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() >= MAX_REQUEST_BYTES {
+            return Ok(None);
+        }
         let n = stream.read(&mut chunk)?;
         if n == 0 {
-            break;
+            return Ok(None);
         }
         buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
-            break;
-        }
-    }
-    String::from_utf8(buf).map_err(|_| std::io::Error::other("non-utf8 request"))
-}
-
-/// Routes one request head to `(status line, content type, body)`.
-fn respond(head: &str, daemon: &ObsDaemon) -> (&'static str, &'static str, String) {
-    let Some((method, path)) = parse_request_line(head) else {
-        return bad_request();
     };
-    if method != "GET" {
-        return (
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "method not allowed\n".into(),
-        );
+
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return Ok(None),
+    };
+    let Some((method, path)) = parse_request_line(head) else {
+        return Ok(None);
+    };
+    let headers: Vec<(String, String)> = head
+        .lines()
+        .skip(1)
+        .filter_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            Some((name.trim().to_string(), value.trim().to_string()))
+        })
+        .collect();
+    let req_line = (method.to_string(), path.to_string());
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > opts.max_body_bytes {
+        return Err(ReadError::BodyTooLarge);
     }
-    match path {
-        "/metrics" => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            daemon.metrics_text(),
-        ),
-        "/healthz" => match daemon.health() {
-            Health::Ok => ("200 OK", "text/plain; charset=utf-8", "OK\n".into()),
-            Health::Degraded(reasons) => (
-                "503 Service Unavailable",
-                "text/plain; charset=utf-8",
-                format!("DEGRADED\n{}\n", reasons.join("\n")),
-            ),
-        },
-        "/flight" => (
-            "200 OK",
-            "application/jsonl; charset=utf-8",
-            daemon.flight_jsonl(),
-        ),
-        "/attribution" => (
-            "200 OK",
-            "text/plain; charset=utf-8",
-            daemon.attribution_text(),
-        ),
-        _ => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found\n".into(),
-        ),
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(None); // client hung up mid-body
+        }
+        body.extend_from_slice(&chunk[..n]);
     }
+    body.truncate(content_length);
+
+    Ok(Some(Request {
+        method: req_line.0,
+        path: req_line.1,
+        headers,
+        body,
+    }))
 }
 
-fn bad_request() -> (&'static str, &'static str, String) {
-    (
-        "400 Bad Request",
-        "text/plain; charset=utf-8",
-        "bad request\n".into(),
-    )
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
 /// Parses `GET /path HTTP/1.x` into `(method, path-sans-query)`; `None`
@@ -228,19 +416,23 @@ fn parse_request_line(head: &str) -> Option<(&str, &str)> {
     Some((method, path))
 }
 
-fn write_response(
-    stream: &mut TcpStream,
-    status: &str,
-    content_type: &str,
-    body: &str,
-) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
     );
+    for (name, value) in &resp.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
     stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.write_all(&resp.body)?;
     stream.flush()
 }
 
@@ -269,5 +461,67 @@ mod tests {
         assert_eq!(parse_request_line("GET metrics HTTP/1.1\r\n"), None);
         assert_eq!(parse_request_line("get /x HTTP/1.1\r\n"), None);
         assert_eq!(parse_request_line("GET /x HTTP/1.1 extra\r\n"), None);
+    }
+
+    #[test]
+    fn response_constructors_and_reasons() {
+        let r = Response::json(429, "{}").with_header("Retry-After", "1");
+        assert_eq!(r.status, 429);
+        assert_eq!(reason(r.status), "Too Many Requests");
+        assert_eq!(r.headers, vec![("Retry-After", "1".to_string())]);
+        assert_eq!(reason(201), "Created");
+        assert_eq!(reason(418), "Unknown");
+    }
+
+    struct Echo;
+    impl Handler for Echo {
+        fn handle(&self, req: &Request) -> Response {
+            Response::text(
+                200,
+                format!(
+                    "{} {} {}B ct={}",
+                    req.method,
+                    req.path,
+                    req.body.len(),
+                    req.header("Content-Type").unwrap_or("-")
+                ),
+            )
+        }
+    }
+
+    fn roundtrip(addr: SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn generic_handler_sees_method_and_body() {
+        let mut h = serve_with(
+            Arc::new(Echo),
+            "127.0.0.1:0",
+            ServeOptions { max_body_bytes: 64 },
+        )
+        .unwrap();
+        let addr = h.local_addr();
+
+        let out = roundtrip(
+            addr,
+            "PUT /v1/matrices/a HTTP/1.1\r\nContent-Type: text/x-mm\r\nContent-Length: 5\r\n\r\nhello",
+        );
+        assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+        assert!(out.contains("PUT /v1/matrices/a 5B ct=text/x-mm"), "{out}");
+
+        // Body over the limit: 413 without reading it.
+        let out = roundtrip(addr, "PUT /big HTTP/1.1\r\nContent-Length: 100000\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 413 "), "{out}");
+
+        // Malformed request line: 400.
+        let out = roundtrip(addr, "garbage\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 400 "), "{out}");
+
+        h.shutdown();
     }
 }

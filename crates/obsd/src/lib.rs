@@ -35,7 +35,9 @@ pub mod http;
 
 pub use drift::{DriftConfig, DriftMonitor, Health, SeriesStats};
 pub use flight::FlightRecorder;
-pub use http::ServerHandle;
+pub use http::{
+    serve_with, telemetry_response, Handler, Request, Response, ServeOptions, ServerHandle,
+};
 
 use std::sync::{Arc, Mutex};
 

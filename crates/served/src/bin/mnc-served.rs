@@ -1,0 +1,124 @@
+//! `mnc-served` — the standalone estimation daemon.
+//!
+//! ```text
+//! mnc-served --catalog <dir> [--addr 127.0.0.1:9419] [--workers 4]
+//!            [--queue 8] [--max-body 4194304] [--flight-capacity 1024]
+//! ```
+//!
+//! Serves the `/v1` estimation API plus the telemetry health plane on one
+//! listener. The catalog directory persists ingested sketches across
+//! restarts; a bounce re-serves them without rebuilding.
+
+use std::process::ExitCode;
+
+use mnc_served::{serve_with, EstimationService, ServeOptions, ServedConfig};
+
+const USAGE: &str = "usage: mnc-served --catalog <dir> [--addr HOST:PORT] [--workers N] \
+                     [--queue N] [--max-body BYTES] [--flight-capacity N]";
+
+struct Args {
+    addr: String,
+    max_body: usize,
+    cfg: ServedConfig,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut catalog: Option<String> = None;
+    let mut addr = "127.0.0.1:9419".to_string();
+    let mut workers = 4usize;
+    let mut queue = 8usize;
+    let mut max_body = 4 << 20;
+    let mut flight_capacity = 1024usize;
+
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--catalog" => catalog = Some(value("--catalog")?.clone()),
+            "--addr" => addr = value("--addr")?.clone(),
+            "--workers" => {
+                workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers: not a number".to_string())?
+            }
+            "--queue" => {
+                queue = value("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue: not a number".to_string())?
+            }
+            "--max-body" => {
+                max_body = value("--max-body")?
+                    .parse()
+                    .map_err(|_| "--max-body: not a number".to_string())?
+            }
+            "--flight-capacity" => {
+                flight_capacity = value("--flight-capacity")?
+                    .parse()
+                    .map_err(|_| "--flight-capacity: not a number".to_string())?
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    let catalog = catalog.ok_or_else(|| format!("--catalog is required\n{USAGE}"))?;
+    let mut cfg = ServedConfig::new(catalog);
+    cfg.workers = workers;
+    cfg.queue = queue;
+    cfg.flight_capacity = flight_capacity;
+    // Test hook: hold each estimate inside its admission permit for a fixed
+    // delay, so saturation tests can trigger 429 sheds deterministically
+    // instead of racing microsecond-fast estimates.
+    if let Some(ms) = std::env::var("MNC_SERVED_DEBUG_DELAY_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        cfg.debug_estimate_delay = Some(std::time::Duration::from_millis(ms));
+    }
+    Ok(Args {
+        addr,
+        max_body,
+        cfg,
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let catalog_dir = args.cfg.catalog_dir.clone();
+    let service = match EstimationService::new(args.cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let handle = match serve_with(
+        service.clone(),
+        args.addr.as_str(),
+        ServeOptions {
+            max_body_bytes: args.max_body,
+        },
+    ) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "mnc-served listening on http://{} (catalog {})",
+        handle.local_addr(),
+        catalog_dir.display()
+    );
+    // Serve until killed; the accept loop lives in background threads.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,181 @@
+//! The service error vocabulary and its single HTTP status mapping.
+//!
+//! Every `/v1` handler returns `Result<Response, ServiceError>`; the
+//! dispatcher converts failures through [`ServiceError::into_response`] so
+//! one table — not scattered handler code — decides which condition maps to
+//! which status code.
+
+use mnc_core::serialize::DecodeError;
+use mnc_core::EstimatorError;
+use mnc_obs::export::json_escape;
+use mnc_obsd::Response;
+
+/// Everything that can go wrong serving a `/v1` request.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Malformed request: bad JSON, bad DAG, invalid name, bad sketch
+    /// bytes, unknown operation (`400`).
+    BadRequest(String),
+    /// A referenced matrix is not in the catalog (`404`).
+    UnknownMatrix(String),
+    /// No route for the path (`404`).
+    NotFound,
+    /// The requested method is not supported on the path (`405`).
+    MethodNotAllowed,
+    /// Request payload exceeds a configured limit (`413`).
+    TooLarge(String),
+    /// Admission control rejected the request; retry after the hinted
+    /// number of seconds (`429`).
+    Busy {
+        /// `Retry-After` hint in seconds.
+        retry_after_secs: u64,
+    },
+    /// The catalog directory is unusable — I/O failure writing or removing
+    /// a sketch (`503`: the caller can retry once the disk recovers).
+    Degraded(String),
+    /// An estimator failure. Known-condition variants (arity, dimensions,
+    /// shape, unsupported op) are the client's fault (`400`); synopsis size
+    /// limits map to `413`; anything else is a server bug (`500`).
+    Estimator(EstimatorError),
+}
+
+impl From<EstimatorError> for ServiceError {
+    fn from(e: EstimatorError) -> Self {
+        ServiceError::Estimator(e)
+    }
+}
+
+impl From<DecodeError> for ServiceError {
+    fn from(e: DecodeError) -> Self {
+        ServiceError::BadRequest(format!("sketch bytes: {e}"))
+    }
+}
+
+impl ServiceError {
+    /// The HTTP status code for this error.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServiceError::BadRequest(_) => 400,
+            ServiceError::UnknownMatrix(_) | ServiceError::NotFound => 404,
+            ServiceError::MethodNotAllowed => 405,
+            ServiceError::TooLarge(_) => 413,
+            ServiceError::Busy { .. } => 429,
+            ServiceError::Degraded(_) => 503,
+            ServiceError::Estimator(e) => match e {
+                EstimatorError::ArityMismatch { .. }
+                | EstimatorError::DimensionMismatch { .. }
+                | EstimatorError::ShapeInvalid { .. }
+                | EstimatorError::Unsupported { .. } => 400,
+                EstimatorError::SynopsisTooLarge { .. } => 413,
+                EstimatorError::Internal(_) => 500,
+            },
+        }
+    }
+
+    /// Short machine-readable error class, stable across messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceError::BadRequest(_) => "bad_request",
+            ServiceError::UnknownMatrix(_) => "unknown_matrix",
+            ServiceError::NotFound => "not_found",
+            ServiceError::MethodNotAllowed => "method_not_allowed",
+            ServiceError::TooLarge(_) => "too_large",
+            ServiceError::Busy { .. } => "busy",
+            ServiceError::Degraded(_) => "degraded",
+            ServiceError::Estimator(_) => "estimator",
+        }
+    }
+
+    /// Human-readable detail line.
+    pub fn detail(&self) -> String {
+        match self {
+            ServiceError::BadRequest(m) => m.clone(),
+            ServiceError::UnknownMatrix(n) => format!("matrix `{n}` is not in the catalog"),
+            ServiceError::NotFound => "no such resource".to_string(),
+            ServiceError::MethodNotAllowed => "method not allowed on this path".to_string(),
+            ServiceError::TooLarge(m) => m.clone(),
+            ServiceError::Busy { retry_after_secs } => {
+                format!("service saturated; retry after {retry_after_secs}s")
+            }
+            ServiceError::Degraded(m) => format!("catalog degraded: {m}"),
+            ServiceError::Estimator(e) => e.to_string(),
+        }
+    }
+
+    /// Renders the error as the service's uniform JSON error body, adding
+    /// `Retry-After` on `429`.
+    pub fn into_response(self) -> Response {
+        let body = format!(
+            "{{\"error\":\"{}\",\"detail\":\"{}\"}}",
+            self.kind(),
+            json_escape(&self.detail())
+        );
+        let resp = Response::json(self.status(), body);
+        match self {
+            ServiceError::Busy { retry_after_secs } => {
+                resp.with_header("Retry-After", retry_after_secs.to_string())
+            }
+            _ => resp,
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.detail(), self.kind())
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_mapping_is_complete() {
+        assert_eq!(ServiceError::BadRequest("x".into()).status(), 400);
+        assert_eq!(ServiceError::UnknownMatrix("A".into()).status(), 404);
+        assert_eq!(ServiceError::NotFound.status(), 404);
+        assert_eq!(ServiceError::MethodNotAllowed.status(), 405);
+        assert_eq!(ServiceError::TooLarge("x".into()).status(), 413);
+        assert_eq!(
+            ServiceError::Busy {
+                retry_after_secs: 1
+            }
+            .status(),
+            429
+        );
+        assert_eq!(ServiceError::Degraded("disk".into()).status(), 503);
+    }
+
+    #[test]
+    fn estimator_errors_split_client_vs_server() {
+        use mnc_core::OpKind;
+        let client: ServiceError = EstimatorError::arity(&OpKind::MatMul, 1).into();
+        assert_eq!(client.status(), 400);
+        let server: ServiceError = EstimatorError::Internal("bug".into()).into();
+        assert_eq!(server.status(), 500);
+    }
+
+    #[test]
+    fn busy_response_carries_retry_after() {
+        let resp = ServiceError::Busy {
+            retry_after_secs: 2,
+        }
+        .into_response();
+        assert_eq!(resp.status, 429);
+        assert!(resp
+            .headers
+            .iter()
+            .any(|(n, v)| *n == "Retry-After" && v == "2"));
+    }
+
+    #[test]
+    fn error_bodies_are_valid_json() {
+        let resp = ServiceError::BadRequest("quote \" and \\ slash".into()).into_response();
+        let body = String::from_utf8(resp.body).unwrap();
+        let v = mnc_obs::json::parse(&body).unwrap();
+        assert_eq!(v.get("error").and_then(|e| e.as_str()), Some("bad_request"));
+    }
+}

@@ -1,0 +1,55 @@
+//! # mnc-served — the versioned estimation service
+//!
+//! A request/response daemon over the MNC estimator: clients ingest named
+//! matrices (or pre-built sketches) once, then estimate sparsity for
+//! operations and small expression DAGs over them — over HTTP, with the
+//! same bit-exact numbers the in-process library produces.
+//!
+//! The pieces:
+//!
+//! * [`catalog`] — the **persistent synopsis catalog**: named sketches in
+//!   the MNCS wire format under a directory, written atomically, reloaded
+//!   on restart so a daemon bounce never rebuilds a sketch;
+//! * [`walk`] — the request-DAG estimation walk, mirroring
+//!   `EstimationContext::estimate_root` order exactly (the bit-identity
+//!   contract);
+//! * [`proto`] — `/v1` JSON parsing/rendering (full-precision floats via
+//!   shortest round-trip formatting);
+//! * [`gate`] — the bounded worker pool's admission control (`429` +
+//!   `Retry-After` under saturation);
+//! * [`service`] — the [`Handler`](mnc_obsd::Handler) tying it together,
+//!   with per-client sessions ([`mnc_expr::SessionPool`]) and the PR-5
+//!   telemetry endpoints mounted as the health plane.
+//!
+//! ## Endpoints
+//!
+//! | Method & path | Purpose |
+//! |---|---|
+//! | `PUT /v1/matrices/{name}` | ingest CSR JSON (builds the sketch) or raw MNCS bytes |
+//! | `GET /v1/matrices` | list catalog entries |
+//! | `GET /v1/matrices/{name}` | one entry's metadata |
+//! | `GET /v1/matrices/{name}/sketch` | export MNCS bytes |
+//! | `DELETE /v1/matrices/{name}` | drop an entry |
+//! | `POST /v1/estimate` | estimate an op or DAG over named matrices |
+//! | `GET /v1/status` | service counters |
+//! | `GET /healthz`, `/metrics`, `/flight`, `/attribution` | health plane |
+//!
+//! Run the daemon with the `mnc-served` binary; see the repository README
+//! for a quickstart.
+
+pub mod catalog;
+pub mod error;
+pub mod gate;
+pub mod proto;
+pub mod service;
+pub mod walk;
+
+pub use catalog::{validate_name, CatalogEntry, SynopsisCatalog};
+pub use error::ServiceError;
+pub use gate::AdmissionGate;
+pub use proto::EstimateRequest;
+pub use service::{EstimationService, ServedConfig};
+pub use walk::{DagSpec, EstimateOutcome, NodeSpec, MAX_DAG_NODES};
+
+// Server plumbing re-exported so embedders need only this crate.
+pub use mnc_obsd::{serve_with, ServeOptions, ServerHandle};

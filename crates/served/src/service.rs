@@ -1,0 +1,350 @@
+//! The `/v1` request handler.
+//!
+//! [`EstimationService`] mounts three planes on one listener:
+//!
+//! * **data plane** — `PUT/GET/DELETE /v1/matrices...` maintaining the
+//!   persistent [`SynopsisCatalog`];
+//! * **compute plane** — `POST /v1/estimate`, admission-controlled by an
+//!   [`AdmissionGate`] and executed against per-client
+//!   [`SessionPool`](mnc_expr::SessionPool) sessions;
+//! * **health plane** — the PR-5 telemetry endpoints (`/healthz`,
+//!   `/metrics`, `/flight`, `/attribution`) served from the embedded
+//!   [`ObsDaemon`]; every session created by the pool is wired into it.
+//!
+//! Locking discipline: the catalog and the session pool sit behind separate
+//! mutexes, taken one at a time and never across the propagation work —
+//! leaf synopses are resolved under the locks, the (expensive) walk runs
+//! lock-free under its admission permit.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mnc_core::serialize::from_bytes;
+use mnc_core::MncSketch;
+use mnc_estimators::mnc::MncSynopsis;
+use mnc_estimators::{MncEstimator, SparsityEstimator, Synopsis};
+use mnc_expr::{SessionPool, SessionPoolConfig};
+use mnc_obsd::{telemetry_response, Handler, ObsDaemon, ObsdConfig, Request, Response};
+
+use crate::catalog::{validate_name, SynopsisCatalog};
+use crate::error::ServiceError;
+use crate::gate::AdmissionGate;
+use crate::proto;
+use crate::walk::{self, NodeSpec};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServedConfig {
+    /// Directory holding the persistent synopsis catalog.
+    pub catalog_dir: PathBuf,
+    /// Concurrent compute slots.
+    pub workers: usize,
+    /// Bounded wait queue beyond the compute slots.
+    pub queue: usize,
+    /// Per-client session policy.
+    pub sessions: SessionPoolConfig,
+    /// Flight-ring capacity of the embedded telemetry daemon.
+    pub flight_capacity: usize,
+    /// Test hook: hold each admitted estimate's compute slot for this long
+    /// before working, making saturation deterministic to provoke.
+    pub debug_estimate_delay: Option<Duration>,
+}
+
+impl ServedConfig {
+    /// Defaults rooted at `catalog_dir`: 4 workers, queue of 8.
+    pub fn new(catalog_dir: impl Into<PathBuf>) -> Self {
+        ServedConfig {
+            catalog_dir: catalog_dir.into(),
+            workers: 4,
+            queue: 8,
+            sessions: SessionPoolConfig::default(),
+            flight_capacity: 1024,
+            debug_estimate_delay: None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    estimates: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// The versioned estimation service. Mount with
+/// [`mnc_obsd::serve_with`].
+pub struct EstimationService {
+    catalog: Mutex<SynopsisCatalog>,
+    sessions: Mutex<SessionPool>,
+    gate: AdmissionGate,
+    daemon: ObsDaemon,
+    counters: Counters,
+    started: Instant,
+    delay: Option<Duration>,
+}
+
+impl EstimationService {
+    /// Opens the catalog and assembles the service.
+    pub fn new(cfg: ServedConfig) -> Result<Arc<Self>, ServiceError> {
+        let catalog = SynopsisCatalog::open(&cfg.catalog_dir)?;
+        let daemon = ObsDaemon::new(ObsdConfig {
+            flight_capacity: cfg.flight_capacity,
+            ..ObsdConfig::default()
+        });
+        Ok(Arc::new(EstimationService {
+            catalog: Mutex::new(catalog),
+            sessions: Mutex::new(SessionPool::new(cfg.sessions)),
+            gate: AdmissionGate::new(cfg.workers, cfg.queue),
+            daemon,
+            counters: Counters::default(),
+            started: Instant::now(),
+            delay: cfg.debug_estimate_delay,
+        }))
+    }
+
+    /// The embedded telemetry daemon (for panic hooks, external installs).
+    pub fn daemon(&self) -> &ObsDaemon {
+        &self.daemon
+    }
+
+    /// Sketches built from raw matrix data since the catalog was opened —
+    /// the restart test's star witness: after a bounce it must stay 0.
+    pub fn rebuilds(&self) -> u64 {
+        self.catalog.lock().expect("catalog poisoned").rebuilds()
+    }
+
+    fn route(&self, req: &Request) -> Result<Response, ServiceError> {
+        // Health plane first: these paths predate /v1 and stay unversioned
+        // so existing telemetry scrapers keep working.
+        if req.method == "GET" {
+            if let Some(resp) = telemetry_response(&self.daemon, &req.path) {
+                return Ok(resp);
+            }
+        }
+
+        let rest = req.path.strip_prefix("/v1").ok_or(ServiceError::NotFound)?;
+        match (req.method.as_str(), rest) {
+            ("GET", "/status") => Ok(self.status()),
+            ("GET", "/matrices") => Ok(self.list_matrices()),
+            ("POST", "/estimate") => self.estimate(&req.body),
+            (method, path) => {
+                let name = path
+                    .strip_prefix("/matrices/")
+                    .ok_or(ServiceError::NotFound)?;
+                if let Some(stem) = name.strip_suffix("/sketch") {
+                    return match method {
+                        "GET" => self.export_sketch(stem),
+                        _ => Err(ServiceError::MethodNotAllowed),
+                    };
+                }
+                match method {
+                    "PUT" => self.put_matrix(name, req),
+                    "GET" => self.get_matrix(name),
+                    "DELETE" => self.delete_matrix(name),
+                    _ => Err(ServiceError::MethodNotAllowed),
+                }
+            }
+        }
+    }
+
+    fn status(&self) -> Response {
+        let (n_matrices, rebuilds, quarantined) = {
+            let cat = self.catalog.lock().expect("catalog poisoned");
+            (cat.len(), cat.rebuilds(), cat.quarantined().len())
+        };
+        let (active_sessions, pstats) = {
+            let pool = self.sessions.lock().expect("sessions poisoned");
+            (pool.len(), pool.stats())
+        };
+        let body = format!(
+            "{{\"uptime_secs\":{},\"requests\":{},\"estimates\":{},\"rejected\":{},\
+             \"errors\":{},\"matrices\":{},\"rebuilds\":{},\"quarantined\":{},\
+             \"workers\":{},\"queue\":{},\"active\":{},\
+             \"sessions\":{{\"active\":{},\"created\":{},\"evicted_idle\":{},\
+             \"evicted_lru\":{}}}}}",
+            self.started.elapsed().as_secs(),
+            self.counters.requests.load(Ordering::Relaxed),
+            self.counters.estimates.load(Ordering::Relaxed),
+            self.counters.rejected.load(Ordering::Relaxed),
+            self.counters.errors.load(Ordering::Relaxed),
+            n_matrices,
+            rebuilds,
+            quarantined,
+            self.gate.workers(),
+            self.gate.queue(),
+            self.gate.active(),
+            active_sessions,
+            pstats.created,
+            pstats.evicted_idle,
+            pstats.evicted_lru,
+        );
+        Response::json(200, body)
+    }
+
+    fn list_matrices(&self) -> Response {
+        let cat = self.catalog.lock().expect("catalog poisoned");
+        let items: Vec<String> = cat
+            .iter()
+            .map(|(name, e)| proto::matrix_meta_json(name, &e.sketch, e.file_bytes))
+            .collect();
+        Response::json(
+            200,
+            format!(
+                "{{\"matrices\":[{}],\"rebuilds\":{}}}",
+                items.join(","),
+                cat.rebuilds()
+            ),
+        )
+    }
+
+    fn put_matrix(&self, name: &str, req: &Request) -> Result<Response, ServiceError> {
+        validate_name(name)?;
+        let is_binary = req
+            .header("content-type")
+            .is_some_and(|ct| ct.starts_with("application/octet-stream"));
+        let (sketch, built) = if is_binary {
+            // Pre-built sketch: decode, never build.
+            (Arc::new(from_bytes(&req.body)?), false)
+        } else {
+            // Raw CSR: building a sketch is compute — it goes through the
+            // admission gate like any estimate.
+            let matrix = Arc::new(proto::parse_csr_body(&req.body)?);
+            let _permit = self.admit()?;
+            let est = MncEstimator::new();
+            let syn = est.build(&matrix)?;
+            let Synopsis::Mnc(s) = syn else {
+                return Err(ServiceError::Estimator(mnc_core::EstimatorError::Internal(
+                    "MNC estimator built a foreign synopsis".into(),
+                )));
+            };
+            (Arc::new(s.sketch), true)
+        };
+        let body = {
+            let mut cat = self.catalog.lock().expect("catalog poisoned");
+            let entry = cat.put(name, sketch, built)?;
+            proto::matrix_meta_json(name, &entry.sketch, entry.file_bytes)
+        };
+        // The name may be re-bound to different data: drop every session so
+        // no cached synopsis survives under the stale name.
+        self.sessions.lock().expect("sessions poisoned").clear();
+        Ok(Response::json(201, body))
+    }
+
+    fn get_matrix(&self, name: &str) -> Result<Response, ServiceError> {
+        let cat = self.catalog.lock().expect("catalog poisoned");
+        let entry = cat
+            .get(name)
+            .ok_or_else(|| ServiceError::UnknownMatrix(name.to_string()))?;
+        Ok(Response::json(
+            200,
+            proto::matrix_meta_json(name, &entry.sketch, entry.file_bytes),
+        ))
+    }
+
+    fn export_sketch(&self, name: &str) -> Result<Response, ServiceError> {
+        let cat = self.catalog.lock().expect("catalog poisoned");
+        let bytes = cat
+            .bytes(name)
+            .ok_or_else(|| ServiceError::UnknownMatrix(name.to_string()))?;
+        Ok(Response {
+            status: 200,
+            content_type: "application/octet-stream",
+            headers: Vec::new(),
+            body: bytes,
+        })
+    }
+
+    fn delete_matrix(&self, name: &str) -> Result<Response, ServiceError> {
+        let removed = self
+            .catalog
+            .lock()
+            .expect("catalog poisoned")
+            .remove(name)?;
+        if !removed {
+            return Err(ServiceError::UnknownMatrix(name.to_string()));
+        }
+        self.sessions.lock().expect("sessions poisoned").clear();
+        Ok(Response::text(204, ""))
+    }
+
+    fn estimate(&self, body: &[u8]) -> Result<Response, ServiceError> {
+        let req = proto::parse_estimate_request(body)?;
+
+        // Admission before any compute. The permit spans leaf resolution
+        // and the walk.
+        let _permit = self.admit()?;
+        if let Some(delay) = self.delay {
+            std::thread::sleep(delay);
+        }
+
+        // Fresh estimator per request: propagation consumes its RNG, and a
+        // fresh sequence per walk makes answers independent of request
+        // interleaving — and bit-identical to a cold in-process context.
+        let est = MncEstimator::new();
+
+        // Resolve catalog sketches (catalog lock only).
+        let mut raw: Vec<Option<Arc<MncSketch>>> = vec![None; req.dag.nodes.len()];
+        {
+            let cat = self.catalog.lock().expect("catalog poisoned");
+            for (i, node) in req.dag.nodes.iter().enumerate() {
+                if let NodeSpec::Leaf(name) = node {
+                    raw[i] = Some(
+                        cat.sketch(name)
+                            .ok_or_else(|| ServiceError::UnknownMatrix(name.clone()))?,
+                    );
+                }
+            }
+        }
+
+        // Wrap them as session-cached synopses (session lock only).
+        let daemon = self.daemon.clone();
+        let mut leaves: Vec<Option<Arc<Synopsis>>> = vec![None; req.dag.nodes.len()];
+        {
+            let mut pool = self.sessions.lock().expect("sessions poisoned");
+            let ctx =
+                pool.session_init_at(&req.client, Instant::now(), |ctx| ctx.with_obsd(&daemon));
+            for (i, node) in req.dag.nodes.iter().enumerate() {
+                if let NodeSpec::Leaf(name) = node {
+                    let sketch = raw[i].as_ref().expect("resolved above");
+                    let syn = ctx.named_synopsis(&est, name, || {
+                        Ok(Synopsis::Mnc(MncSynopsis {
+                            sketch: (**sketch).clone(),
+                        }))
+                    })?;
+                    leaves[i] = Some(syn);
+                }
+            }
+        }
+
+        // The walk itself runs without any service lock.
+        let out = walk::estimate_dag(&est, &req.dag, &leaves, req.include_sketch)?;
+        self.counters.estimates.fetch_add(1, Ordering::Relaxed);
+        Ok(Response::json(200, proto::estimate_json(&out)))
+    }
+
+    fn admit(&self) -> Result<crate::gate::Permit<'_>, ServiceError> {
+        self.gate.admit().inspect_err(|_| {
+            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        })
+    }
+}
+
+impl Handler for EstimationService {
+    fn handle(&self, req: &Request) -> Response {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.route(req).unwrap_or_else(|e| {
+            if e.status() >= 400 && e.status() != 429 {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            e.into_response()
+        })
+    }
+
+    fn tick(&self) {
+        self.sessions.lock().expect("sessions poisoned").sweep();
+        self.daemon.refresh();
+    }
+}

@@ -1,0 +1,398 @@
+//! End-to-end tests over a live listener: ingest → estimate bit-identity,
+//! restart-without-rebuild, saturation shedding, and the error surface.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mnc_estimators::MncEstimator;
+use mnc_expr::{EstimationContext, ExprDag};
+use mnc_matrix::{gen, CsrMatrix};
+use mnc_served::{serve_with, EstimationService, ServeOptions, ServedConfig, ServerHandle};
+use rand::SeedableRng;
+
+/// One HTTP exchange against `addr`; returns (status, headers, body).
+fn http(
+    addr: &str,
+    method: &str,
+    path: &str,
+    content_type: Option<&str>,
+    body: &[u8],
+) -> (u16, HashMap<String, String>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: test\r\n");
+    if let Some(ct) = content_type {
+        head.push_str(&format!("Content-Type: {ct}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    // The server may answer (413) and close before the body is fully
+    // written; tolerate the resulting EPIPE and still read the response.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body);
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head");
+    let head = std::str::from_utf8(&raw[..split]).expect("utf8 head");
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status");
+    let headers: HashMap<String, String> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, raw[split + 4..].to_vec())
+}
+
+fn json_body(raw: &[u8]) -> mnc_obs::json::JsonValue {
+    mnc_obs::json::parse(std::str::from_utf8(raw).expect("utf8 body")).expect("json body")
+}
+
+fn csr_json(m: &CsrMatrix) -> String {
+    let fmt_usize = |xs: &[usize]| {
+        xs.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let cols = m
+        .col_indices()
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"nrows\":{},\"ncols\":{},\"row_ptr\":[{}],\"col_idx\":[{}]}}",
+        m.nrows(),
+        m.ncols(),
+        fmt_usize(m.row_ptr()),
+        cols
+    )
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mnc-served-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn start(cfg: ServedConfig) -> (Arc<EstimationService>, ServerHandle, String) {
+    let service = EstimationService::new(cfg).expect("service");
+    let handle = serve_with(service.clone(), "127.0.0.1:0", ServeOptions::default()).expect("bind");
+    let addr = handle.local_addr().to_string();
+    (service, handle, addr)
+}
+
+/// Test matrices: a pattern-only chain A(50x40) B(40x60) C(60x30).
+fn chain_matrices() -> (Arc<CsrMatrix>, Arc<CsrMatrix>, Arc<CsrMatrix>) {
+    let mut r = rand::rngs::StdRng::seed_from_u64(0xE2E);
+    (
+        Arc::new(gen::rand_uniform(&mut r, 50, 40, 0.08).to_indicator()),
+        Arc::new(gen::rand_uniform(&mut r, 40, 60, 0.12).to_indicator()),
+        Arc::new(gen::rand_uniform(&mut r, 60, 30, 0.1).to_indicator()),
+    )
+}
+
+fn put_chain(addr: &str, a: &CsrMatrix, b: &CsrMatrix, c: &CsrMatrix) {
+    for (name, m) in [("A", a), ("B", b), ("C", c)] {
+        let (status, _, body) = http(
+            addr,
+            "PUT",
+            &format!("/v1/matrices/{name}"),
+            None,
+            csr_json(m).as_bytes(),
+        );
+        assert_eq!(status, 201, "{}", String::from_utf8_lossy(&body));
+    }
+}
+
+/// The library answer for (A B) C through a cold context — what every HTTP
+/// estimate below must reproduce bit-for-bit.
+fn library_chain_answer(a: &Arc<CsrMatrix>, b: &Arc<CsrMatrix>, c: &Arc<CsrMatrix>) -> f64 {
+    let mut dag = ExprDag::new();
+    let la = dag.leaf("A", Arc::clone(a));
+    let lb = dag.leaf("B", Arc::clone(b));
+    let lc = dag.leaf("C", Arc::clone(c));
+    let ab = dag.matmul(la, lb).unwrap();
+    let root = dag.matmul(ab, lc).unwrap();
+    EstimationContext::new()
+        .estimate_root(&MncEstimator::new(), &dag, root)
+        .unwrap()
+}
+
+const CHAIN_DAG: &str = r#"{"dag":[{"leaf":"A"},{"leaf":"B"},{"leaf":"C"},
+    {"op":"matmul","inputs":[0,1]},{"op":"matmul","inputs":[3,2]}]}"#;
+
+#[test]
+fn estimate_over_http_is_bit_identical_to_library() {
+    let dir = tmpdir("bitident");
+    let (_svc, _handle, addr) = start(ServedConfig::new(&dir));
+    let (a, b, c) = chain_matrices();
+    put_chain(&addr, &a, &b, &c);
+
+    let expected = library_chain_answer(&a, &b, &c);
+
+    let (status, _, body) = http(&addr, "POST", "/v1/estimate", None, CHAIN_DAG.as_bytes());
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let v = json_body(&body);
+    let got = v.get("sparsity").and_then(|s| s.as_f64()).unwrap();
+    assert_eq!(
+        got.to_bits(),
+        expected.to_bits(),
+        "HTTP answer must be bit-identical to the in-process context"
+    );
+
+    // Warm-cache repeat (same session) answers the same bits.
+    let (_, _, body2) = http(&addr, "POST", "/v1/estimate", None, CHAIN_DAG.as_bytes());
+    assert_eq!(body2, body);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_estimates_all_agree() {
+    let dir = tmpdir("concurrent");
+    let mut cfg = ServedConfig::new(&dir);
+    cfg.workers = 4;
+    cfg.queue = 32;
+    let (_svc, _handle, addr) = start(cfg);
+    let (a, b, c) = chain_matrices();
+    put_chain(&addr, &a, &b, &c);
+    let expected = library_chain_answer(&a, &b, &c);
+
+    let answers: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        let addr = &addr;
+        (0..16)
+            .map(|i| {
+                scope.spawn(move || {
+                    // Distinct clients, same expression.
+                    let req = format!(
+                        r#"{{"client":"c{i}","dag":[{{"leaf":"A"}},{{"leaf":"B"}},{{"leaf":"C"}},
+                        {{"op":"matmul","inputs":[0,1]}},{{"op":"matmul","inputs":[3,2]}}]}}"#
+                    );
+                    let (status, _, body) =
+                        http(addr, "POST", "/v1/estimate", None, req.as_bytes());
+                    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+                    body
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    for body in &answers {
+        let got = json_body(body)
+            .get("sparsity")
+            .and_then(|s| s.as_f64())
+            .unwrap();
+        assert_eq!(got.to_bits(), expected.to_bits());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restart_serves_from_catalog_without_rebuilding() {
+    let dir = tmpdir("restart");
+    let (a, b, c) = chain_matrices();
+    let expected = library_chain_answer(&a, &b, &c);
+
+    let first_answer = {
+        let (svc, mut handle, addr) = start(ServedConfig::new(&dir));
+        put_chain(&addr, &a, &b, &c);
+        assert_eq!(svc.rebuilds(), 3, "three CSR ingests build three sketches");
+        let (status, _, body) = http(&addr, "POST", "/v1/estimate", None, CHAIN_DAG.as_bytes());
+        assert_eq!(status, 200);
+        handle.shutdown();
+        body
+    };
+
+    // Bounce: a fresh service over the same directory.
+    let (svc, _handle, addr) = start(ServedConfig::new(&dir));
+    assert_eq!(svc.rebuilds(), 0, "restart must not rebuild any sketch");
+
+    let (status, _, listing) = http(&addr, "GET", "/v1/matrices", None, b"");
+    assert_eq!(status, 200);
+    let v = json_body(&listing);
+    assert_eq!(v.get("rebuilds").and_then(|r| r.as_f64()), Some(0.0));
+
+    let (status, _, body) = http(&addr, "POST", "/v1/estimate", None, CHAIN_DAG.as_bytes());
+    assert_eq!(status, 200);
+    assert_eq!(body, first_answer, "post-restart answers must be identical");
+    let got = json_body(&body)
+        .get("sparsity")
+        .and_then(|s| s.as_f64())
+        .unwrap();
+    assert_eq!(got.to_bits(), expected.to_bits());
+    assert_eq!(svc.rebuilds(), 0, "estimates must not trigger rebuilds");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sketch_ingest_and_export_roundtrip() {
+    let dir = tmpdir("sketchio");
+    let (_svc, _handle, addr) = start(ServedConfig::new(&dir));
+    let (a, _, _) = chain_matrices();
+    let bytes = mnc_core::to_bytes(&mnc_core::MncSketch::build(&a));
+
+    // Ingest pre-built sketch bytes: no build happens.
+    let (status, _, body) = http(
+        &addr,
+        "PUT",
+        "/v1/matrices/A",
+        Some("application/octet-stream"),
+        &bytes,
+    );
+    assert_eq!(status, 201, "{}", String::from_utf8_lossy(&body));
+    let v = json_body(&body);
+    assert_eq!(v.get("nnz").and_then(|x| x.as_f64()), Some(a.nnz() as f64));
+
+    let (status, _, status_body) = http(&addr, "GET", "/v1/status", None, b"");
+    assert_eq!(status, 200);
+    let sv = json_body(&status_body);
+    assert_eq!(sv.get("rebuilds").and_then(|x| x.as_f64()), Some(0.0));
+
+    // Export returns the exact bytes back.
+    let (status, headers, exported) = http(&addr, "GET", "/v1/matrices/A/sketch", None, b"");
+    assert_eq!(status, 200);
+    assert!(headers["content-type"].starts_with("application/octet-stream"));
+    assert_eq!(exported, bytes);
+
+    // A leaf-only estimate over the ingested sketch is exact.
+    let (status, _, body) = http(
+        &addr,
+        "POST",
+        "/v1/estimate",
+        None,
+        br#"{"dag":[{"leaf":"A"}],"include_sketch":true}"#,
+    );
+    assert_eq!(status, 200);
+    let v = json_body(&body);
+    let got = v.get("sparsity").and_then(|s| s.as_f64()).unwrap();
+    assert_eq!(got.to_bits(), a.sparsity().to_bits());
+    let hex = v.get("sketch_hex").and_then(|s| s.as_str()).unwrap();
+    assert_eq!(hex.len(), bytes.len() * 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn saturation_sheds_load_with_429_and_retry_after() {
+    let dir = tmpdir("saturate");
+    let mut cfg = ServedConfig::new(&dir);
+    cfg.workers = 1;
+    cfg.queue = 0;
+    cfg.debug_estimate_delay = Some(Duration::from_millis(400));
+    let (_svc, _handle, addr) = start(cfg);
+    let (a, b, c) = chain_matrices();
+    // PUTs go through the same gate; delay applies to estimates only, so
+    // they are fine.
+    put_chain(&addr, &a, &b, &c);
+
+    let shorthand = br#"{"op":"matmul","inputs":["A","B"]}"#;
+    let occupant = {
+        let addr = addr.clone();
+        std::thread::spawn(move || http(&addr, "POST", "/v1/estimate", None, shorthand))
+    };
+    // Let the occupant take the single slot, then overflow it.
+    std::thread::sleep(Duration::from_millis(150));
+    let (status, headers, _) = http(&addr, "POST", "/v1/estimate", None, shorthand);
+    assert_eq!(status, 429, "saturated service must shed load");
+    assert_eq!(headers.get("retry-after").map(String::as_str), Some("1"));
+
+    let (status, _, _) = occupant.join().unwrap();
+    assert_eq!(status, 200, "the admitted request still completes");
+
+    // With the slot free again, requests are admitted again.
+    let (status, _, _) = http(&addr, "POST", "/v1/estimate", None, shorthand);
+    assert_eq!(status, 200);
+
+    let (_, _, status_body) = http(&addr, "GET", "/v1/status", None, b"");
+    let v = json_body(&status_body);
+    assert!(
+        v.get("rejected").and_then(|x| x.as_f64()).unwrap() >= 1.0,
+        "rejections must be counted"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn error_surface_maps_to_statuses() {
+    let dir = tmpdir("errors");
+    let (_svc, _handle, addr) = start(ServedConfig::new(&dir));
+    let (a, b, _) = chain_matrices();
+    put_chain(&addr, &a, &b, &a);
+
+    // 404: unknown matrix in an estimate; unknown catalog entry; bad path.
+    let (status, _, body) = http(
+        &addr,
+        "POST",
+        "/v1/estimate",
+        None,
+        br#"{"op":"matmul","inputs":["A","nope"]}"#,
+    );
+    assert_eq!(status, 404);
+    assert_eq!(
+        json_body(&body).get("error").and_then(|e| e.as_str()),
+        Some("unknown_matrix")
+    );
+    assert_eq!(http(&addr, "GET", "/v1/matrices/nope", None, b"").0, 404);
+    assert_eq!(http(&addr, "GET", "/v1/nothing", None, b"").0, 404);
+    assert_eq!(http(&addr, "DELETE", "/v1/matrices/nope", None, b"").0, 404);
+
+    // 400: bad JSON, bad name, dimension mismatch (B:40x60 times B).
+    assert_eq!(http(&addr, "POST", "/v1/estimate", None, b"garbage").0, 400);
+    assert_eq!(http(&addr, "PUT", "/v1/matrices/.bad", None, b"{}").0, 400);
+    let (status, _, body) = http(
+        &addr,
+        "POST",
+        "/v1/estimate",
+        None,
+        br#"{"op":"matmul","inputs":["B","B"]}"#,
+    );
+    assert_eq!(status, 400, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(
+        json_body(&body).get("error").and_then(|e| e.as_str()),
+        Some("estimator")
+    );
+
+    // 405: unsupported method on a known path.
+    assert_eq!(http(&addr, "POST", "/v1/matrices/A", None, b"{}").0, 405);
+
+    // 204: delete then miss.
+    assert_eq!(http(&addr, "DELETE", "/v1/matrices/C", None, b"").0, 204);
+    assert_eq!(http(&addr, "GET", "/v1/matrices/C", None, b"").0, 404);
+
+    // Health plane is mounted on the same listener.
+    let (status, _, metrics) = http(&addr, "GET", "/metrics", None, b"");
+    assert_eq!(status, 200);
+    assert!(!metrics.is_empty());
+    assert_eq!(http(&addr, "GET", "/healthz", None, b"").0, 200);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oversized_bodies_are_rejected_before_compute() {
+    let dir = tmpdir("toolarge");
+    let service = EstimationService::new(ServedConfig::new(&dir)).expect("service");
+    let handle = serve_with(
+        service,
+        "127.0.0.1:0",
+        ServeOptions {
+            max_body_bytes: 1024,
+        },
+    )
+    .expect("bind");
+    let addr = handle.local_addr().to_string();
+    let big = vec![b'x'; 4096];
+    let (status, _, _) = http(&addr, "PUT", "/v1/matrices/A", None, &big);
+    assert_eq!(status, 413);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -53,11 +53,12 @@ fn classify(err: EstimatorError) -> Outcome {
     match err {
         EstimatorError::Unsupported { .. } => Outcome::Unsupported,
         EstimatorError::SynopsisTooLarge { .. } => Outcome::TooLarge,
-        EstimatorError::Internal(msg) => {
-            // Internal errors on valid DAGs indicate estimator limits (e.g.
-            // a layered graph asked for a non-left-deep product); report
-            // them as unsupported rather than crashing the suite.
-            debug_assert!(false, "internal estimator error: {msg}");
+        other => {
+            // Internal or shape errors on valid DAGs indicate estimator
+            // limits (e.g. a layered graph asked for a non-left-deep
+            // product); report them as unsupported rather than crashing
+            // the suite.
+            debug_assert!(false, "estimator error on a valid DAG: {other}");
             Outcome::Unsupported
         }
     }

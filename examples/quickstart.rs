@@ -5,7 +5,7 @@
 //! cargo run --example quickstart --release
 //! ```
 
-use mnc::core::{estimate_matmul, MncSketch};
+use mnc::core::{MncSketch, OpKind};
 use mnc::matrix::{gen, ops};
 use mnc::sparsest::metrics::relative_error;
 use rand::SeedableRng;
@@ -33,7 +33,7 @@ fn main() {
 
     // Estimation is O(n) in the common dimension.
     let t = std::time::Instant::now();
-    let estimate = estimate_matmul(&ha, &hb);
+    let estimate = MncSketch::estimate(&OpKind::MatMul, &[&ha, &hb]).expect("shapes agree");
     println!("estimated s_C = {estimate:.6}  (in {:?})", t.elapsed());
 
     // Ground truth via an actual sparse product.
@@ -53,7 +53,7 @@ fn main() {
     // row on the left operand triggers Theorem 3.1.
     let p = gen::permutation(&mut rng, 5_000);
     let hp = MncSketch::build(&p);
-    let est = estimate_matmul(&hp, &ha_like(&a));
+    let est = MncSketch::estimate(&OpKind::MatMul, &[&hp, &ha_like(&a)]).expect("shapes agree");
     println!(
         "\npermutation x A: estimated s = {est:.6} (exact: {:.6})",
         a.sparsity()

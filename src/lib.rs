@@ -32,7 +32,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use mnc::core::MncSketch;
+//! use mnc::core::{MncSketch, OpKind};
 //! use mnc::matrix::{gen, ops};
 //! use rand::SeedableRng;
 //!
@@ -43,7 +43,7 @@
 //! // Build MNC sketches (O(nnz + m + n)) and estimate the product sparsity.
 //! let ha = MncSketch::build(&a);
 //! let hb = MncSketch::build(&b);
-//! let estimate = mnc::core::estimate_matmul(&ha, &hb);
+//! let estimate = MncSketch::estimate(&OpKind::MatMul, &[&ha, &hb]).unwrap();
 //!
 //! // Compare against the exact output sparsity.
 //! let c = ops::matmul(&a, &b).unwrap();
@@ -56,4 +56,5 @@ pub use mnc_estimators as estimators;
 pub use mnc_expr as expr;
 pub use mnc_matrix as matrix;
 pub use mnc_obs as obs;
+pub use mnc_served as served;
 pub use mnc_sparsest as sparsest;

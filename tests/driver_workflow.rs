@@ -6,8 +6,7 @@
 use std::sync::Arc;
 
 use mnc::core::{
-    build_distributed, estimate_matmul, estimate_matmul_ci, from_bytes, to_bytes, MncConfig,
-    MncSketch,
+    build_distributed, estimate_matmul_ci, from_bytes, to_bytes, MncConfig, MncSketch, OpKind,
 };
 use mnc::matrix::partition::RowPartitionedMatrix;
 use mnc::matrix::{gen, ops};
@@ -30,10 +29,14 @@ fn executor_to_driver_roundtrip_preserves_estimates() {
     // Driver-side estimation from deserialized sketches only.
     let ha = from_bytes(&wire_a).expect("valid sketch bytes");
     let hb = from_bytes(&wire_b).expect("valid sketch bytes");
-    let est = estimate_matmul(&ha, &hb);
+    let est = MncSketch::estimate(&OpKind::MatMul, &[&ha, &hb]).unwrap();
 
     // Same value as fully local estimation, and close to the truth.
-    let local = estimate_matmul(&MncSketch::build(&a), &MncSketch::build(&b));
+    let local = MncSketch::estimate(
+        &OpKind::MatMul,
+        &[&MncSketch::build(&a), &MncSketch::build(&b)],
+    )
+    .unwrap();
     assert_eq!(est, local);
     let truth = ops::bool_matmul(&a, &b).unwrap().sparsity();
     let rel = est.max(truth) / est.min(truth).max(1e-12);
@@ -68,7 +71,7 @@ fn partitioned_sketch_of_structured_matrix_keeps_exactness() {
     let hp = build_distributed(&RowPartitionedMatrix::from_matrix(&p, 5));
     let hx = MncSketch::build(&x);
     assert_eq!(hp.meta.max_hr, 1);
-    let est = estimate_matmul(&hp, &hx);
+    let est = MncSketch::estimate(&OpKind::MatMul, &[&hp, &hx]).unwrap();
     assert!((est - x.sparsity()).abs() < 1e-12);
 }
 

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use mnc::core::{estimate_matmul, estimate_matmul_with, MncConfig, MncSketch, SplitMix64};
+use mnc::core::{MncConfig, MncSketch, SplitMix64};
 use mnc::estimators::{BitsetEstimator, OpKind, SparsityEstimator};
 use mnc::matrix::{gen, ops, CsrMatrix};
 use rand::SeedableRng;
@@ -71,7 +71,7 @@ proptest! {
         let b = make(inner, cols, s, seed ^ 1);
         let (ha, hb) = (MncSketch::build(&a), MncSketch::build(&b));
         prop_assert!(ha.meta.max_hr <= 1);
-        let est = estimate_matmul(&ha, &hb);
+        let est = MncSketch::estimate(&OpKind::MatMul, &[&ha, &hb]).unwrap();
         let truth = ops::bool_matmul(&a, &b).unwrap().sparsity();
         prop_assert!((est - truth).abs() < 1e-12, "est {} truth {}", est, truth);
     }
@@ -93,7 +93,7 @@ proptest! {
         let truth = ops::bool_matmul(&a, &b).unwrap().sparsity();
         prop_assert!(lower <= truth + 1e-12);
         prop_assert!(truth <= upper + 1e-12);
-        let est = estimate_matmul(&ha, &hb);
+        let est = MncSketch::estimate(&OpKind::MatMul, &[&ha, &hb]).unwrap();
         prop_assert!(est >= lower - 1e-12 && est <= upper + 1e-12);
     }
 
@@ -109,7 +109,7 @@ proptest! {
         let b = make(n, cols, s2, seed ^ 3);
         let (ha, hb) = (MncSketch::build(&a), MncSketch::build(&b));
         for cfg in [MncConfig::default(), MncConfig::basic()] {
-            let est = estimate_matmul_with(&ha, &hb, &cfg);
+            let est = MncSketch::estimate_with(&OpKind::MatMul, &[&ha, &hb], &cfg).unwrap();
             prop_assert!((0.0..=1.0).contains(&est), "cfg {:?} -> {}", cfg, est);
         }
     }
@@ -276,8 +276,8 @@ proptest! {
         let (ha, hb) = (MncSketch::build(&a), MncSketch::build(&b));
         let cfg = MncConfig::default();
         let mut rng = SplitMix64::new(9);
-        let hc = mnc::core::propagate_matmul(&ha, &hb, &cfg, &mut rng);
-        let est = estimate_matmul(&ha, &hb) * (m * cols) as f64;
+        let hc = MncSketch::propagate_with(&OpKind::MatMul, &[&ha, &hb], &cfg, &mut rng).unwrap();
+        let est = MncSketch::estimate(&OpKind::MatMul, &[&ha, &hb]).unwrap() * (m * cols) as f64;
         let got: f64 = hc.hr.iter().map(|&c| c as f64).sum();
         // Rounding noise is bounded by one per entry.
         prop_assert!((got - est).abs() <= m as f64 + est * 0.5 + 1.0);
