@@ -10,6 +10,7 @@
 //! mnc-cli catalog add <dir> <a.mtx> [--name NAME]   # build + persist sketch
 //! mnc-cli catalog list <dir>                  # list persisted sketches
 //! mnc-cli serve --catalog <dir> [--addr HOST:PORT] [--workers N] [--queue N]
+//!                               [--slow-threshold MS] [--access-log PATH]
 //! ```
 //!
 //! `estimate` runs inside an estimation session: synopses are cached across
@@ -57,7 +58,7 @@ fn main() -> ExitCode {
                  mnc-cli catalog add <dir> <a.mtx> [--name NAME]\n  \
                  mnc-cli catalog list <dir>\n  \
                  mnc-cli serve --catalog <dir> [--addr HOST:PORT] [--workers N] [--queue N]\n    \
-                 [--max-body BYTES] [--flight-capacity N]",
+                 [--max-body BYTES] [--flight-capacity N] [--slow-threshold MS] [--access-log PATH]",
                 mnc_bench::OBS_USAGE
             );
             return ExitCode::from(2);
@@ -356,6 +357,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut queue = 8usize;
     let mut max_body = 4usize << 20;
     let mut flight_capacity = 1024usize;
+    let mut slow_threshold_ms: Option<u64> = None;
+    let mut access_log: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -384,6 +387,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "--flight-capacity: not a number")?
             }
+            "--slow-threshold" => {
+                slow_threshold_ms = Some(
+                    value("--slow-threshold")?
+                        .parse()
+                        .map_err(|_| "--slow-threshold: not a number (ms)")?,
+                )
+            }
+            "--access-log" => access_log = Some(value("--access-log")?.clone()),
             other => return Err(format!("serve: unknown flag `{other}`")),
         }
     }
@@ -392,6 +403,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     cfg.workers = workers;
     cfg.queue = queue;
     cfg.flight_capacity = flight_capacity;
+    if let Some(ms) = slow_threshold_ms {
+        cfg.slow_threshold = std::time::Duration::from_millis(ms);
+    }
+    cfg.access_log = access_log.map(std::path::PathBuf::from);
     let service = EstimationService::new(cfg).map_err(|e| e.to_string())?;
     let handle = serve_with(
         service,

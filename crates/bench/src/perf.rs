@@ -444,6 +444,12 @@ fn served_workload(rec: &Recorder, scale: f64, reps: usize, metrics: &mut BTreeM
     let report = crate::served_load::run_load(scale, clients, requests);
     metrics.insert("served.estimate.p50_ns".into(), report.p50_ns);
     metrics.insert("served.estimate.p99_ns".into(), report.p99_ns);
+    // The trace plane's service-side latency split: queue wait (admission
+    // gate) vs actual service time. A scheduling regression shows up in the
+    // first, a compute regression in the second.
+    metrics.insert("served.queue_wait.p99_ns".into(), report.queue_wait_p99_ns);
+    metrics.insert("served.service.p50_ns".into(), report.service_p50_ns);
+    metrics.insert("served.service.p99_ns".into(), report.service_p99_ns);
     metrics.insert("served.requests_ok".into(), report.ok as f64);
     metrics.insert("served.requests_err".into(), report.errors as f64);
 }

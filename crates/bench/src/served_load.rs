@@ -24,6 +24,15 @@ pub struct LoadReport {
     pub p50_ns: f64,
     /// 99th-percentile request latency.
     pub p99_ns: f64,
+    /// Median admission-queue wait, measured service-side by the trace
+    /// plane (0 on the uncontended fast path).
+    pub queue_wait_p50_ns: f64,
+    /// 99th-percentile admission-queue wait.
+    pub queue_wait_p99_ns: f64,
+    /// Median service time (request total minus queue wait), service-side.
+    pub service_p50_ns: f64,
+    /// 99th-percentile service time.
+    pub service_p99_ns: f64,
     /// Requests completed with HTTP 200.
     pub ok: u64,
     /// Requests answered with any other status (including 429 sheds).
@@ -84,8 +93,8 @@ pub fn run_load(scale: f64, clients: usize, requests: usize) -> LoadReport {
     cfg.workers = clients.max(1);
     cfg.queue = clients * 2;
     let service = EstimationService::new(cfg).expect("served: open catalog");
-    let handle =
-        serve_with(service, "127.0.0.1:0", ServeOptions::default()).expect("served: bind loopback");
+    let handle = serve_with(service.clone(), "127.0.0.1:0", ServeOptions::default())
+        .expect("served: bind loopback");
     let addr = handle.local_addr().to_string();
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(0x5E2D);
@@ -132,6 +141,25 @@ pub fn run_load(scale: f64, clients: usize, requests: usize) -> LoadReport {
             .map(|h| h.join().expect("load client"))
             .collect()
     });
+    // Service-side latency split: the trace plane's RED histograms separate
+    // time queued at the admission gate from time actually serving.
+    let (qw, sv) = {
+        let snap = service
+            .trace_plane()
+            .metrics_snapshot()
+            .expect("tracing is on by default");
+        let histo_quantiles = |name: &str| -> (f64, f64) {
+            snap.histograms
+                .get(name)
+                .map(|h| (h.quantile(0.50) as f64, h.quantile(0.99) as f64))
+                .unwrap_or((0.0, 0.0))
+        };
+        (
+            histo_quantiles("served.queue_wait_ns{endpoint=/v1/estimate}"),
+            histo_quantiles("served.service_ns{endpoint=/v1/estimate}"),
+        )
+    };
+    drop(service);
     drop(handle);
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -150,6 +178,10 @@ pub fn run_load(scale: f64, clients: usize, requests: usize) -> LoadReport {
     LoadReport {
         p50_ns: q(0.50),
         p99_ns: q(0.99),
+        queue_wait_p50_ns: qw.0,
+        queue_wait_p99_ns: qw.1,
+        service_p50_ns: sv.0,
+        service_p99_ns: sv.1,
         ok: results.iter().map(|(_, ok, _)| ok).sum(),
         errors: results.iter().map(|(_, _, e)| e).sum(),
     }
@@ -166,5 +198,11 @@ mod tests {
         assert_eq!(report.errors, 0);
         assert!(report.p50_ns > 0.0);
         assert!(report.p99_ns >= report.p50_ns);
+        // Service-side split: service time is real work (positive) and the
+        // split can never exceed the full client round trip.
+        assert!(report.service_p50_ns > 0.0);
+        assert!(report.service_p99_ns >= report.service_p50_ns);
+        assert!(report.queue_wait_p99_ns >= report.queue_wait_p50_ns);
+        assert!(report.service_p50_ns <= report.p99_ns);
     }
 }

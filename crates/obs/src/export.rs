@@ -158,6 +158,9 @@ fn span_args_json(s: &SpanRecord) -> String {
     if let Some(v) = s.alloc_bytes {
         fields.push(format!("\"alloc_bytes\":{v}"));
     }
+    if let Some(t) = s.trace {
+        fields.push(format!("\"trace\":\"{}\"", t.to_hex()));
+    }
     format!("{{{}}}", fields.join(","))
 }
 

@@ -51,6 +51,7 @@ pub mod export;
 pub mod json;
 pub mod metrics;
 pub mod prometheus;
+pub mod request;
 pub mod ring;
 pub mod span;
 
@@ -60,6 +61,7 @@ pub use attribution::{attribute, render_attribution, AttributionRow};
 pub use export::{ObsFormat, Report};
 pub use metrics::{Counter, Gauge, Histogram, LatencyHisto, MetricSnapshot, MetricsRegistry};
 pub use prometheus::render_prometheus;
+pub use request::{parse_traceparent, RequestContext, RequestSpan, TraceId};
 pub use ring::RecordRing;
 pub use span::{SpanGuard, SpanRecord};
 

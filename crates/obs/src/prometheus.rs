@@ -57,6 +57,49 @@ pub fn escape_label_value(v: &str) -> String {
     out
 }
 
+/// Splits a registry name carrying encoded labels — `base{k=v,k=v}` — into
+/// the base name and its label pairs. The registry itself is label-unaware
+/// (a labeled series is just a distinct name), so this is where per-series
+/// labels such as `served.requests{endpoint=/v1/estimate,method=POST}`
+/// become real Prometheus labels. A name without a well-formed trailing
+/// block is returned whole with no labels (and the sanitizer then mangles
+/// any stray braces, as before).
+pub fn split_labeled_name(name: &str) -> (&str, Vec<(&str, &str)>) {
+    let Some(open) = name.find('{') else {
+        return (name, Vec::new());
+    };
+    let Some(stripped) = name.strip_suffix('}') else {
+        return (name, Vec::new());
+    };
+    let base = &name[..open];
+    let inner = &stripped[open + 1..];
+    if base.is_empty() {
+        return (name, Vec::new());
+    }
+    let mut labels = Vec::new();
+    if inner.is_empty() {
+        return (base, labels);
+    }
+    for pair in inner.split(',') {
+        match pair.split_once('=') {
+            Some((k, v)) if !k.is_empty() => labels.push((k, v)),
+            _ => return (name, Vec::new()),
+        }
+    }
+    (base, labels)
+}
+
+/// Global labels followed by the series' own encoded labels, as one block.
+fn merged_label_block(global: &[(&str, &str)], encoded: &[(&str, &str)]) -> String {
+    if encoded.is_empty() {
+        return label_block(global);
+    }
+    let mut all: Vec<(&str, &str)> = Vec::with_capacity(global.len() + encoded.len());
+    all.extend_from_slice(global);
+    all.extend_from_slice(encoded);
+    label_block(&all)
+}
+
 /// Renders a `{k="v",...}` label block (empty string for no labels).
 fn label_block(labels: &[(&str, &str)]) -> String {
     if labels.is_empty() {
@@ -81,7 +124,6 @@ fn label_block_with_le(labels: &[(&str, &str)], le: &str) -> String {
 }
 
 fn render_histogram(out: &mut String, name: &str, labels: &[(&str, &str)], h: &LatencyHisto) {
-    let _ = writeln!(out, "# TYPE {name} histogram");
     // Cumulative counts over the log₂ buckets; empty buckets are elided
     // (cumulativeness is preserved — `le` bounds stay increasing), the
     // mandatory `+Inf` bucket always closes the series.
@@ -110,27 +152,47 @@ fn render_histogram(out: &mut String, name: &str, labels: &[(&str, &str)], h: &L
 
 /// Renders a snapshot in the Prometheus text exposition format. `prefix` is
 /// prepended to every (sanitized) metric name; `labels` are attached to
-/// every sample.
+/// every sample. Registry names of the form `base{k=v,...}` become labeled
+/// series of `base` (see [`split_labeled_name`]); their `# TYPE` line is
+/// emitted once per base name (the snapshot's BTreeMap ordering keeps a
+/// base's series adjacent).
 pub fn render_prometheus(snap: &MetricSnapshot, prefix: &str, labels: &[(&str, &str)]) -> String {
     let mut out = String::new();
-    let lb = label_block(labels);
+    let mut last_type: Option<String> = None;
+    let mut type_line = |out: &mut String, n: &str, kind: &str| {
+        if last_type.as_deref() != Some(n) {
+            let _ = writeln!(out, "# TYPE {n} {kind}");
+            last_type = Some(n.to_string());
+        }
+    };
     for (name, v) in &snap.counters {
-        let mut n = format!("{prefix}{}", sanitize_metric_name(name));
+        let (base, encoded) = split_labeled_name(name);
+        let mut n = format!("{prefix}{}", sanitize_metric_name(base));
         // Counters conventionally end in `_total`.
         if !n.ends_with("_total") {
             n.push_str("_total");
         }
-        let _ = writeln!(out, "# TYPE {n} counter");
-        let _ = writeln!(out, "{n}{lb} {v}");
+        type_line(&mut out, &n, "counter");
+        let _ = writeln!(out, "{n}{} {v}", merged_label_block(labels, &encoded));
     }
     for (name, v) in &snap.gauges {
-        let n = format!("{prefix}{}", sanitize_metric_name(name));
-        let _ = writeln!(out, "# TYPE {n} gauge");
-        let _ = writeln!(out, "{n}{lb} {v}");
+        let (base, encoded) = split_labeled_name(name);
+        let n = format!("{prefix}{}", sanitize_metric_name(base));
+        type_line(&mut out, &n, "gauge");
+        let _ = writeln!(out, "{n}{} {v}", merged_label_block(labels, &encoded));
     }
     for (name, h) in &snap.histograms {
-        let n = format!("{prefix}{}", sanitize_metric_name(name));
-        render_histogram(&mut out, &n, labels, h);
+        let (base, encoded) = split_labeled_name(name);
+        let n = format!("{prefix}{}", sanitize_metric_name(base));
+        type_line(&mut out, &n, "histogram");
+        if encoded.is_empty() {
+            render_histogram(&mut out, &n, labels, h);
+        } else {
+            let mut all: Vec<(&str, &str)> = Vec::with_capacity(labels.len() + encoded.len());
+            all.extend_from_slice(labels);
+            all.extend_from_slice(&encoded);
+            render_histogram(&mut out, &n, &all, h);
+        }
     }
     out
 }
@@ -249,6 +311,70 @@ mod tests {
             assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
             assert!(series.contains("{suite=\"perf\""), "missing label: {line}");
         }
+    }
+
+    #[test]
+    fn labeled_name_splitting() {
+        assert_eq!(
+            split_labeled_name("served.requests{endpoint=/v1/estimate,method=POST,status=200}"),
+            (
+                "served.requests",
+                vec![
+                    ("endpoint", "/v1/estimate"),
+                    ("method", "POST"),
+                    ("status", "200")
+                ]
+            )
+        );
+        assert_eq!(split_labeled_name("plain.name"), ("plain.name", vec![]));
+        assert_eq!(split_labeled_name("empty{}"), ("empty", vec![]));
+        // Malformed blocks stay part of the name (then get sanitized).
+        assert_eq!(split_labeled_name("bad{novalue}"), ("bad{novalue}", vec![]));
+        assert_eq!(split_labeled_name("bad{=v}"), ("bad{=v}", vec![]));
+        assert_eq!(split_labeled_name("{k=v}"), ("{k=v}", vec![]));
+        assert_eq!(split_labeled_name("open{k=v"), ("open{k=v", vec![]));
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_line() {
+        let reg = MetricsRegistry::new();
+        reg.counter("served.requests{endpoint=/v1/estimate,method=POST,status=200}")
+            .add(5);
+        reg.counter("served.requests{endpoint=/v1/status,method=GET,status=200}")
+            .add(2);
+        reg.histogram("served.service_ns{endpoint=/v1/estimate}")
+            .record(800);
+        let text = render_prometheus(&reg.snapshot(), "mnc_", &[]);
+        let type_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE")).collect();
+        assert_eq!(
+            type_lines,
+            vec![
+                "# TYPE mnc_served_requests_total counter",
+                "# TYPE mnc_served_service_ns histogram"
+            ],
+            "{text}"
+        );
+        assert!(text.contains(
+            "mnc_served_requests_total{endpoint=\"/v1/estimate\",method=\"POST\",status=\"200\"} 5"
+        ));
+        assert!(text.contains(
+            "mnc_served_requests_total{endpoint=\"/v1/status\",method=\"GET\",status=\"200\"} 2"
+        ));
+        assert!(
+            text.contains("mnc_served_service_ns_bucket{endpoint=\"/v1/estimate\",le=\"+Inf\"} 1")
+        );
+        assert!(text.contains("mnc_served_service_ns_sum{endpoint=\"/v1/estimate\"} 800"));
+    }
+
+    #[test]
+    fn labeled_series_merge_with_global_labels() {
+        let reg = MetricsRegistry::new();
+        reg.counter("served.requests{endpoint=/v1/estimate}").add(1);
+        let text = render_prometheus(&reg.snapshot(), "mnc_", &[("suite", "perf")]);
+        assert!(
+            text.contains("mnc_served_requests_total{suite=\"perf\",endpoint=\"/v1/estimate\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]

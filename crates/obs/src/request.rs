@@ -1,0 +1,684 @@
+//! Request-scoped tracing: W3C trace IDs and a bounded, pooled per-request
+//! span buffer.
+//!
+//! A service front-end owns one [`RequestContext`] per worker (pooled and
+//! reused, so steady-state requests allocate nothing) and drives it through
+//! the request lifecycle: [`RequestContext::reset`] at admission parses or
+//! generates the trace ID, [`RequestContext::enter`]/[`RequestContext::exit`]
+//! bracket the coarse stages (admission, catalog load, DAG walk,
+//! serialization), and [`RequestContext::finish`] stamps the total. While a
+//! context is active it installs its [`TraceId`] in a thread-local that
+//! [`SpanGuard`](crate::SpanGuard) picks up, so *recorder* spans opened
+//! anywhere below the request (session estimators, kernels) carry the same
+//! trace ID into the flight recorder — the whole tree is attributable to one
+//! request.
+//!
+//! Trace IDs follow the W3C Trace Context `traceparent` wire format
+//! (`version-traceid-spanid-flags`, lowercase hex). Parsing is hostile-safe:
+//! truncated, oversized, non-hex, wrong-version, or all-zero inputs yield
+//! `None` and the caller generates a fresh ID — a malformed header can never
+//! fail a request.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::span::SpanRecord;
+
+// ---------------------------------------------------------------------------
+// TraceId
+// ---------------------------------------------------------------------------
+
+/// A 128-bit W3C trace ID. `Copy`, so span records can carry it without
+/// allocating (the flight recorder's zero-allocation-per-span guarantee
+/// survives tracing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(pub [u8; 16]);
+
+const HEX: &[u8; 16] = b"0123456789abcdef";
+
+impl TraceId {
+    /// The invalid all-zero ID (the W3C spec forbids it on the wire).
+    pub const ZERO: TraceId = TraceId([0; 16]);
+
+    /// Whether this is the forbidden all-zero ID.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0; 16]
+    }
+
+    /// Writes the 32-char lowercase-hex form into a caller-owned buffer
+    /// (no allocation).
+    pub fn write_hex(&self, out: &mut [u8; 32]) {
+        for (i, b) in self.0.iter().enumerate() {
+            out[2 * i] = HEX[usize::from(b >> 4)];
+            out[2 * i + 1] = HEX[usize::from(b & 0xf)];
+        }
+    }
+
+    /// The 32-char lowercase-hex form (allocates; prefer [`write_hex`] on
+    /// hot paths).
+    ///
+    /// [`write_hex`]: TraceId::write_hex
+    pub fn to_hex(&self) -> String {
+        let mut buf = [0u8; 32];
+        self.write_hex(&mut buf);
+        String::from_utf8_lossy(&buf).into_owned()
+    }
+
+    /// Parses exactly 32 lowercase hex chars; `None` otherwise (uppercase
+    /// is rejected — the W3C wire format is lowercase-only).
+    pub fn from_hex(s: &str) -> Option<TraceId> {
+        let bytes = s.as_bytes();
+        if bytes.len() != 32 {
+            return None;
+        }
+        let mut out = [0u8; 16];
+        for (i, pair) in bytes.chunks_exact(2).enumerate() {
+            out[i] = (hex_val(pair[0])? << 4) | hex_val(pair[1])?;
+        }
+        Some(TraceId(out))
+    }
+
+    /// Generates a fresh process-unique trace ID (seeded from wall clock,
+    /// pid, and ASLR; mixed through splitmix64 with a monotone counter).
+    /// Never returns the all-zero ID.
+    pub fn generate() -> TraceId {
+        static SEED: OnceLock<u64> = OnceLock::new();
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let seed = *SEED.get_or_init(|| {
+            let t = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| u64::try_from(d.as_nanos() & u128::from(u64::MAX)).unwrap_or(0))
+                .unwrap_or(0);
+            let pid = u64::from(std::process::id());
+            let aslr = &COUNTER as *const AtomicU64 as u64;
+            splitmix64(t ^ pid.rotate_left(32) ^ aslr)
+        });
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let hi = splitmix64(seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let lo = splitmix64(hi ^ n ^ 0xD1B5_4A32_D192_ED03);
+        let mut b = [0u8; 16];
+        b[..8].copy_from_slice(&hi.to_be_bytes());
+        b[8..].copy_from_slice(&lo.to_be_bytes());
+        if b == [0; 16] {
+            b[15] = 1;
+        }
+        TraceId(b)
+    }
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        _ => None,
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn is_lower_hex(s: &str) -> bool {
+    !s.is_empty()
+        && s.bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+/// Longest `traceparent` value we bother parsing. The W3C version-00 format
+/// is exactly 55 chars; future versions may append `-`-separated fields, but
+/// anything past this cap is garbage and is ignored wholesale.
+const MAX_TRACEPARENT_LEN: usize = 256;
+
+/// Parses a W3C `traceparent` header value, returning the trace ID or `None`
+/// for anything malformed. Total function: no input panics or errors —
+/// hostile headers simply mean a fresh ID gets generated downstream.
+///
+/// Accepted shape: `vv-tttttttttttttttttttttttttttttttt-pppppppppppppppp-ff`
+/// with lowercase hex only, version `vv != "ff"`, and non-zero trace and
+/// parent-span IDs. Version `00` must have exactly those four fields;
+/// unknown future versions may carry extra `-`-separated suffix fields.
+pub fn parse_traceparent(value: &str) -> Option<TraceId> {
+    if value.len() > MAX_TRACEPARENT_LEN {
+        return None;
+    }
+    let mut parts = value.split('-');
+    let version = parts.next()?;
+    let trace = parts.next()?;
+    let parent = parts.next()?;
+    let flags = parts.next()?;
+    if version.len() != 2 || !is_lower_hex(version) || version == "ff" {
+        return None;
+    }
+    // Version 00 is exactly four fields; later versions may append more.
+    if version == "00" && parts.next().is_some() {
+        return None;
+    }
+    if parent.len() != 16 || !is_lower_hex(parent) || parent.bytes().all(|b| b == b'0') {
+        return None;
+    }
+    if flags.len() != 2 || !is_lower_hex(flags) {
+        return None;
+    }
+    let id = TraceId::from_hex(trace)?;
+    if id.is_zero() {
+        return None;
+    }
+    Some(id)
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local trace propagation
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// The trace ID of the request being served on this thread, if any.
+    /// Installed by [`RequestContext::reset`], restored by
+    /// [`RequestContext::finish`], and read by `SpanGuard::open` so recorder
+    /// spans inherit the request's identity.
+    static CURRENT_TRACE: Cell<Option<TraceId>> = const { Cell::new(None) };
+}
+
+/// The trace ID active on this thread (set by a live [`RequestContext`]).
+pub fn current_trace() -> Option<TraceId> {
+    CURRENT_TRACE.with(Cell::get)
+}
+
+/// Installs `trace` as this thread's active trace ID, returning the previous
+/// value so callers can restore it. Prefer [`RequestContext`], which does
+/// the save/restore dance for you.
+pub fn set_current_trace(trace: Option<TraceId>) -> Option<TraceId> {
+    CURRENT_TRACE.with(|c| c.replace(trace))
+}
+
+// ---------------------------------------------------------------------------
+// RequestContext
+// ---------------------------------------------------------------------------
+
+/// One stage of a request, relative to the request's own clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestSpan {
+    /// Static stage name (`"admission"`, `"walk"`, ...).
+    pub name: &'static str,
+    /// 1-based index of the enclosing stage, or 0 for top level.
+    pub parent: u32,
+    /// Start offset from the request's start, in nanoseconds.
+    pub start_ns: u64,
+    /// Stage duration in nanoseconds (stamped at [`RequestContext::exit`]).
+    pub dur_ns: u64,
+}
+
+/// A pooled, bounded per-request trace: the trace ID plus a capped buffer of
+/// stage spans. All storage is retained across [`reset`] calls, so a reused
+/// context serves requests without allocating.
+///
+/// [`reset`]: RequestContext::reset
+#[derive(Debug)]
+pub struct RequestContext {
+    active: bool,
+    trace: TraceId,
+    hex: [u8; 32],
+    t0: Instant,
+    spans: Vec<RequestSpan>,
+    stack: Vec<u32>,
+    cap: usize,
+    dropped: u64,
+    queue_wait_ns: u64,
+    total_ns: u64,
+    prev_trace: Option<TraceId>,
+}
+
+impl RequestContext {
+    /// A context whose span buffer holds at most `cap` stages per request
+    /// (further [`enter`] calls count as dropped). Buffers are allocated up
+    /// front; the context is inactive until [`reset`].
+    ///
+    /// [`enter`]: RequestContext::enter
+    /// [`reset`]: RequestContext::reset
+    pub fn new(cap: usize) -> RequestContext {
+        let cap = cap.clamp(1, 4096);
+        RequestContext {
+            active: false,
+            trace: TraceId::ZERO,
+            hex: [b'0'; 32],
+            t0: Instant::now(),
+            spans: Vec::with_capacity(cap),
+            stack: Vec::with_capacity(16),
+            cap,
+            dropped: 0,
+            queue_wait_ns: 0,
+            total_ns: 0,
+            prev_trace: None,
+        }
+    }
+
+    /// Arms the context for a new request: clears the span buffer (keeping
+    /// its capacity), adopts the trace ID from `traceparent` (or generates a
+    /// fresh one when the header is absent or malformed), starts the request
+    /// clock, and installs the trace ID in the thread-local for recorder
+    /// spans to inherit.
+    pub fn reset(&mut self, traceparent: Option<&str>) {
+        self.spans.clear();
+        self.stack.clear();
+        self.dropped = 0;
+        self.queue_wait_ns = 0;
+        self.total_ns = 0;
+        self.trace = traceparent
+            .and_then(parse_traceparent)
+            .unwrap_or_else(TraceId::generate);
+        self.trace.write_hex(&mut self.hex);
+        self.t0 = Instant::now();
+        self.prev_trace = set_current_trace(Some(self.trace));
+        self.active = true;
+    }
+
+    /// Arms the context as a no-op: every call is a branch and nothing else
+    /// (no clock reads, no trace generation). For services running with
+    /// tracing disabled.
+    pub fn reset_disabled(&mut self) {
+        self.spans.clear();
+        self.stack.clear();
+        self.dropped = 0;
+        self.queue_wait_ns = 0;
+        self.total_ns = 0;
+        self.active = false;
+    }
+
+    /// Whether this context is recording the current request.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// The request's trace ID (zero before the first
+    /// [`reset`](RequestContext::reset)).
+    pub fn trace(&self) -> TraceId {
+        self.trace
+    }
+
+    /// The trace ID as 32 lowercase hex chars, borrowed from the context's
+    /// own buffer (no allocation).
+    pub fn trace_hex(&self) -> &str {
+        // The buffer only ever holds ASCII hex digits.
+        std::str::from_utf8(&self.hex).unwrap_or("00000000000000000000000000000000")
+    }
+
+    /// Opens a stage span, returning a token for [`exit`]. Returns 0 (a
+    /// no-op token) when inactive or when the buffer is full — in the latter
+    /// case the drop is counted.
+    ///
+    /// [`exit`]: RequestContext::exit
+    pub fn enter(&mut self, name: &'static str) -> u32 {
+        if !self.active {
+            return 0;
+        }
+        let now = self.elapsed_ns();
+        self.open_at(name, now)
+    }
+
+    /// Closes the stage opened by `token`, stamping its duration. Also
+    /// closes any deeper stages still open (so early returns via `?` leave
+    /// no dangling stage). Token 0 is a no-op.
+    pub fn exit(&mut self, token: u32) {
+        if !self.active || token == 0 {
+            return;
+        }
+        let now = self.elapsed_ns();
+        self.close_at(token, now);
+    }
+
+    /// Closes the stage opened by `token` and opens the next one at the
+    /// same instant — **one** clock read where an `exit` + `enter` pair
+    /// would take two. Back-to-back stages are the common case on a service
+    /// hot path, and clock reads are the plane's dominant per-request cost.
+    /// A zero `token` only opens. Returns the new stage's token.
+    pub fn transition(&mut self, token: u32, name: &'static str) -> u32 {
+        if !self.active {
+            return 0;
+        }
+        let now = self.elapsed_ns();
+        if token != 0 {
+            self.close_at(token, now);
+        }
+        self.open_at(name, now)
+    }
+
+    fn open_at(&mut self, name: &'static str, now: u64) -> u32 {
+        if self.spans.len() >= self.cap {
+            self.dropped += 1;
+            return 0;
+        }
+        let parent = self.stack.last().copied().unwrap_or(0);
+        self.spans.push(RequestSpan {
+            name,
+            parent,
+            start_ns: now,
+            dur_ns: 0,
+        });
+        let token = u32::try_from(self.spans.len()).unwrap_or(u32::MAX);
+        self.stack.push(token);
+        token
+    }
+
+    fn close_at(&mut self, token: u32, now: u64) {
+        while let Some(top) = self.stack.pop() {
+            if let Some(span) = self.spans.get_mut(top as usize - 1) {
+                span.dur_ns = now.saturating_sub(span.start_ns);
+            }
+            if top == token {
+                return;
+            }
+        }
+    }
+
+    /// Records how long the request waited in the admission queue.
+    pub fn set_queue_wait(&mut self, ns: u64) {
+        self.queue_wait_ns = ns;
+    }
+
+    /// Admission-queue wait recorded for this request.
+    pub fn queue_wait_ns(&self) -> u64 {
+        self.queue_wait_ns
+    }
+
+    /// Ends the request: closes stages left open, stamps the total duration,
+    /// and restores the thread-local trace ID. Returns the total request
+    /// nanoseconds (0 when the context was inactive). The span buffer stays
+    /// readable until the next [`reset`](RequestContext::reset).
+    pub fn finish(&mut self) -> u64 {
+        if !self.active {
+            return 0;
+        }
+        let now = self.elapsed_ns();
+        while let Some(top) = self.stack.pop() {
+            if let Some(span) = self.spans.get_mut(top as usize - 1) {
+                span.dur_ns = now.saturating_sub(span.start_ns);
+            }
+        }
+        self.total_ns = now;
+        set_current_trace(self.prev_trace.take());
+        self.active = false;
+        self.total_ns
+    }
+
+    /// Total request duration stamped by [`finish`](RequestContext::finish).
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns
+    }
+
+    /// Service time: total minus admission-queue wait.
+    pub fn service_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(self.queue_wait_ns)
+    }
+
+    /// The recorded stage spans, in open order.
+    pub fn spans(&self) -> &[RequestSpan] {
+        &self.spans
+    }
+
+    /// Stages dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Nanoseconds since [`reset`](RequestContext::reset).
+    fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Converts the stage tree into [`SpanRecord`]s for the flight recorder
+    /// and the Chrome/JSONL exporters: a synthetic root span named
+    /// `"request"` (labelled `op`, duration = total) plus one child per
+    /// stage. IDs are `first_id..`; `start_ns` offsets are shifted by
+    /// `epoch_offset_ns` to land on the destination recorder's clock.
+    pub fn to_span_records(
+        &self,
+        first_id: u64,
+        epoch_offset_ns: u64,
+        op: &str,
+    ) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.spans.len() + 1);
+        out.push(SpanRecord {
+            id: first_id,
+            parent: 0,
+            name: "request",
+            op: Some(op.to_string()),
+            thread: 0,
+            start_ns: epoch_offset_ns,
+            dur_ns: self.total_ns,
+            nnz_in: None,
+            nnz_out: None,
+            synopsis_bytes: None,
+            alloc_net: None,
+            alloc_bytes: None,
+            trace: Some(self.trace),
+        });
+        for (i, s) in self.spans.iter().enumerate() {
+            out.push(SpanRecord {
+                id: first_id + 1 + i as u64,
+                parent: if s.parent == 0 {
+                    first_id
+                } else {
+                    first_id + u64::from(s.parent)
+                },
+                name: s.name,
+                op: None,
+                thread: 0,
+                start_ns: epoch_offset_ns.saturating_add(s.start_ns),
+                dur_ns: s.dur_ns,
+                nnz_in: None,
+                nnz_out: None,
+                synopsis_bytes: None,
+                alloc_net: None,
+                alloc_bytes: None,
+                trace: Some(self.trace),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_id_hex_round_trips() {
+        let id = TraceId::generate();
+        assert!(!id.is_zero());
+        let hex = id.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert!(is_lower_hex(&hex));
+        assert_eq!(TraceId::from_hex(&hex), Some(id));
+        let mut buf = [0u8; 32];
+        id.write_hex(&mut buf);
+        assert_eq!(std::str::from_utf8(&buf).unwrap(), hex);
+    }
+
+    #[test]
+    fn generated_ids_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            assert!(seen.insert(TraceId::generate()), "collision");
+        }
+    }
+
+    #[test]
+    fn traceparent_happy_path() {
+        let id = parse_traceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+            .expect("valid header");
+        assert_eq!(id.to_hex(), "0af7651916cd43dd8448eb211c80319c");
+        // Future version with extra fields is accepted.
+        assert!(
+            parse_traceparent("01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra")
+                .is_some()
+        );
+    }
+
+    #[test]
+    fn traceparent_hostile_inputs_are_rejected() {
+        let cases: &[&str] = &[
+            "",
+            "00",
+            "00-0af7651916cd43dd8448eb211c80319c", // truncated
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331", // no flags
+            "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // version ff
+            "0-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // short version
+            "00-0AF7651916CD43DD8448EB211C80319C-b7ad6b7169203331-01", // uppercase
+            "00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace
+            "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01", // zero parent
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0g", // non-hex flags
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra", // v00 extra
+            "zz-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // non-hex version
+        ];
+        for c in cases {
+            assert_eq!(parse_traceparent(c), None, "should reject {c:?}");
+        }
+        let oversized = "0".repeat(MAX_TRACEPARENT_LEN + 1);
+        assert_eq!(parse_traceparent(&oversized), None);
+    }
+
+    #[test]
+    fn context_records_nested_stages() {
+        let mut ctx = RequestContext::new(64);
+        ctx.reset(None);
+        assert!(ctx.is_active());
+        assert_eq!(current_trace(), Some(ctx.trace()));
+        let outer = ctx.enter("estimate");
+        let inner = ctx.enter("walk");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        ctx.exit(inner);
+        ctx.exit(outer);
+        let total = ctx.finish();
+        assert!(!ctx.is_active());
+        assert_eq!(current_trace(), None);
+        assert!(total >= 1_000_000);
+        let spans = ctx.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "estimate");
+        assert_eq!(spans[0].parent, 0);
+        assert_eq!(spans[1].name, "walk");
+        assert_eq!(spans[1].parent, 1);
+        assert!(spans[0].dur_ns >= spans[1].dur_ns);
+    }
+
+    #[test]
+    fn transition_shares_the_boundary_timestamp() {
+        let mut ctx = RequestContext::new(8);
+        ctx.reset(None);
+        let t = ctx.enter("parse");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let t = ctx.transition(t, "walk");
+        let t = ctx.transition(t, "serialize");
+        ctx.exit(t);
+        ctx.finish();
+        let spans = ctx.spans();
+        assert_eq!(spans.len(), 3);
+        // Adjacent stages meet exactly: end of one IS the start of the next,
+        // so stage durations tile the request with no gaps at boundaries.
+        assert_eq!(spans[0].start_ns + spans[0].dur_ns, spans[1].start_ns);
+        assert_eq!(spans[1].start_ns + spans[1].dur_ns, spans[2].start_ns);
+        assert!(spans.iter().all(|s| s.parent == 0), "siblings, not nested");
+        assert!(spans[0].dur_ns >= 1_000_000);
+        // From a zero token, transition degrades to a plain enter.
+        let mut ctx = RequestContext::new(8);
+        ctx.reset(None);
+        let t = ctx.transition(0, "first");
+        assert_eq!(t, 1);
+        ctx.exit(t);
+        ctx.finish();
+        assert_eq!(ctx.spans().len(), 1);
+        // Inactive contexts still hand out the no-op token.
+        let mut off = RequestContext::new(8);
+        off.reset_disabled();
+        assert_eq!(off.transition(0, "x"), 0);
+    }
+
+    #[test]
+    fn finish_closes_dangling_stages_and_restores_trace() {
+        let prev = TraceId::generate();
+        set_current_trace(Some(prev));
+        let mut ctx = RequestContext::new(8);
+        ctx.reset(Some(
+            "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+        ));
+        assert_eq!(ctx.trace_hex(), "0af7651916cd43dd8448eb211c80319c");
+        let _open = ctx.enter("admission"); // never exited: early return path
+        ctx.finish();
+        assert!(ctx.spans()[0].dur_ns <= ctx.total_ns());
+        assert_eq!(current_trace(), Some(prev), "outer trace restored");
+        set_current_trace(None);
+    }
+
+    #[test]
+    fn buffer_cap_counts_drops() {
+        let mut ctx = RequestContext::new(2);
+        ctx.reset(None);
+        let a = ctx.enter("a");
+        ctx.exit(a);
+        let b = ctx.enter("b");
+        ctx.exit(b);
+        let c = ctx.enter("c");
+        assert_eq!(c, 0, "full buffer hands out the no-op token");
+        ctx.exit(c);
+        ctx.finish();
+        assert_eq!(ctx.spans().len(), 2);
+        assert_eq!(ctx.dropped(), 1);
+    }
+
+    #[test]
+    fn reset_reuses_buffers_without_reallocating() {
+        let mut ctx = RequestContext::new(16);
+        ctx.reset(None);
+        for _ in 0..16 {
+            let t = ctx.enter("stage");
+            ctx.exit(t);
+        }
+        ctx.finish();
+        let cap_before = ctx.spans.capacity();
+        ctx.reset(None);
+        let t = ctx.enter("stage");
+        ctx.exit(t);
+        ctx.finish();
+        assert_eq!(ctx.spans.capacity(), cap_before, "capacity retained");
+        assert_eq!(ctx.spans().len(), 1);
+    }
+
+    #[test]
+    fn inactive_context_is_free() {
+        let mut ctx = RequestContext::new(8);
+        ctx.reset_disabled();
+        let t = ctx.enter("stage");
+        assert_eq!(t, 0);
+        ctx.exit(t);
+        assert_eq!(ctx.finish(), 0);
+        assert!(ctx.spans().is_empty());
+    }
+
+    #[test]
+    fn span_records_form_a_rooted_tree() {
+        let mut ctx = RequestContext::new(8);
+        ctx.reset(None);
+        let a = ctx.enter("admission");
+        ctx.exit(a);
+        let w = ctx.enter("walk");
+        let p = ctx.enter("propagate");
+        ctx.exit(p);
+        ctx.exit(w);
+        ctx.finish();
+        let recs = ctx.to_span_records(100, 5_000, "/v1/estimate");
+        assert_eq!(recs.len(), 4);
+        assert_eq!(recs[0].name, "request");
+        assert_eq!(recs[0].id, 100);
+        assert_eq!(recs[0].op.as_deref(), Some("/v1/estimate"));
+        assert_eq!(recs[0].dur_ns, ctx.total_ns());
+        assert_eq!(recs[1].parent, 100);
+        assert_eq!(recs[2].parent, 100);
+        assert_eq!(recs[3].parent, recs[2].id, "propagate nests under walk");
+        assert!(recs.iter().all(|r| r.trace == Some(ctx.trace())));
+        assert!(recs.iter().all(|r| r.start_ns >= 5_000));
+    }
+}

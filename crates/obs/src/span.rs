@@ -44,6 +44,10 @@ pub struct SpanRecord {
     /// Gross bytes allocated inside the span (allocation tracking builds
     /// only).
     pub alloc_bytes: Option<u64>,
+    /// Trace ID of the request this span belongs to, inherited from the
+    /// thread's active [`RequestContext`](crate::RequestContext). `Copy`,
+    /// so carrying it keeps span clones allocation-free.
+    pub trace: Option<crate::request::TraceId>,
 }
 
 static THREAD_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -105,6 +109,7 @@ impl SpanGuard {
                 synopsis_bytes: None,
                 alloc_net: None,
                 alloc_bytes: None,
+                trace: crate::request::current_trace(),
             }),
             shared: Some(shared),
             start: Some(now),

@@ -121,6 +121,7 @@ mod tests {
             synopsis_bytes: None,
             alloc_net: None,
             alloc_bytes: None,
+            trace: None,
         }
     }
 

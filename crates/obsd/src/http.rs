@@ -40,13 +40,15 @@ const IO_TIMEOUT: Duration = Duration::from_secs(5);
 /// Handler tick period.
 const TICK: Duration = Duration::from_millis(250);
 
-/// A parsed HTTP request: method, path (query stripped), headers, body.
+/// A parsed HTTP request: method, path, query string, headers, body.
 #[derive(Debug, Clone)]
 pub struct Request {
     /// Uppercase method token (`GET`, `PUT`, ...).
     pub method: String,
     /// Request path without the query string.
     pub path: String,
+    /// Raw query string (without the `?`; empty when absent).
+    pub query: String,
     /// Header `(name, value)` pairs in arrival order.
     pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` said otherwise).
@@ -60,6 +62,16 @@ impl Request {
             .iter()
             .find(|(n, _)| n.eq_ignore_ascii_case(name))
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Value of query parameter `name` (`k=v` pairs split on `&`; no
+    /// percent-decoding — the workspace's parameters are plain tokens).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .split('&')
+            .filter_map(|pair| pair.split_once('='))
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v)
     }
 }
 
@@ -352,7 +364,7 @@ fn read_request(stream: &mut TcpStream, opts: &ServeOptions) -> Result<Option<Re
         Ok(h) => h,
         Err(_) => return Ok(None),
     };
-    let Some((method, path)) = parse_request_line(head) else {
+    let Some((method, path, query)) = parse_request_line(head) else {
         return Ok(None);
     };
     let headers: Vec<(String, String)> = head
@@ -363,7 +375,7 @@ fn read_request(stream: &mut TcpStream, opts: &ServeOptions) -> Result<Option<Re
             Some((name.trim().to_string(), value.trim().to_string()))
         })
         .collect();
-    let req_line = (method.to_string(), path.to_string());
+    let req_line = (method.to_string(), path.to_string(), query.to_string());
 
     let content_length = headers
         .iter()
@@ -387,6 +399,7 @@ fn read_request(stream: &mut TcpStream, opts: &ServeOptions) -> Result<Option<Re
     Ok(Some(Request {
         method: req_line.0,
         path: req_line.1,
+        query: req_line.2,
         headers,
         body,
     }))
@@ -396,9 +409,9 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// Parses `GET /path HTTP/1.x` into `(method, path-sans-query)`; `None`
-/// for anything malformed.
-fn parse_request_line(head: &str) -> Option<(&str, &str)> {
+/// Parses `GET /path?query HTTP/1.x` into `(method, path, query)` (query
+/// empty when absent); `None` for anything malformed.
+fn parse_request_line(head: &str) -> Option<(&str, &str, &str)> {
     let line = head.lines().next()?;
     let mut parts = line.split(' ');
     let method = parts.next()?;
@@ -412,8 +425,11 @@ fn parse_request_line(head: &str) -> Option<(&str, &str)> {
     {
         return None;
     }
-    let path = target.split('?').next().unwrap_or(target);
-    Some((method, path))
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    Some((method, path, query))
 }
 
 fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
@@ -444,15 +460,15 @@ mod tests {
     fn request_line_parsing() {
         assert_eq!(
             parse_request_line("GET /metrics HTTP/1.1\r\n"),
-            Some(("GET", "/metrics"))
+            Some(("GET", "/metrics", ""))
         );
         assert_eq!(
             parse_request_line("GET /metrics?x=1 HTTP/1.0\r\nHost: a\r\n\r\n"),
-            Some(("GET", "/metrics"))
+            Some(("GET", "/metrics", "x=1"))
         );
         assert_eq!(
             parse_request_line("POST /metrics HTTP/1.1\r\n"),
-            Some(("POST", "/metrics"))
+            Some(("POST", "/metrics", ""))
         );
         // Malformed shapes.
         assert_eq!(parse_request_line(""), None);
@@ -461,6 +477,25 @@ mod tests {
         assert_eq!(parse_request_line("GET metrics HTTP/1.1\r\n"), None);
         assert_eq!(parse_request_line("get /x HTTP/1.1\r\n"), None);
         assert_eq!(parse_request_line("GET /x HTTP/1.1 extra\r\n"), None);
+    }
+
+    #[test]
+    fn query_params_are_split_on_ampersands() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/v1/debug/requests".into(),
+            query: "format=chrome&limit=5".into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(req.query_param("format"), Some("chrome"));
+        assert_eq!(req.query_param("limit"), Some("5"));
+        assert_eq!(req.query_param("missing"), None);
+        let bare = Request {
+            query: String::new(),
+            ..req.clone()
+        };
+        assert_eq!(bare.query_param("format"), None);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! mnc-served --catalog <dir> [--addr 127.0.0.1:9419] [--workers 4]
 //!            [--queue 8] [--max-body 4194304] [--flight-capacity 1024]
+//!            [--slow-threshold MS] [--access-log PATH] [--no-tracing]
 //! ```
 //!
 //! Serves the `/v1` estimation API plus the telemetry health plane on one
@@ -14,7 +15,8 @@ use std::process::ExitCode;
 use mnc_served::{serve_with, EstimationService, ServeOptions, ServedConfig};
 
 const USAGE: &str = "usage: mnc-served --catalog <dir> [--addr HOST:PORT] [--workers N] \
-                     [--queue N] [--max-body BYTES] [--flight-capacity N]";
+                     [--queue N] [--max-body BYTES] [--flight-capacity N] \
+                     [--slow-threshold MS] [--access-log PATH] [--no-tracing]";
 
 struct Args {
     addr: String,
@@ -29,6 +31,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut queue = 8usize;
     let mut max_body = 4 << 20;
     let mut flight_capacity = 1024usize;
+    let mut slow_threshold_ms: Option<u64> = None;
+    let mut access_log: Option<String> = None;
+    let mut tracing = true;
 
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -58,6 +63,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--flight-capacity: not a number".to_string())?
             }
+            "--slow-threshold" => {
+                slow_threshold_ms = Some(
+                    value("--slow-threshold")?
+                        .parse()
+                        .map_err(|_| "--slow-threshold: not a number (milliseconds)".to_string())?,
+                )
+            }
+            "--access-log" => access_log = Some(value("--access-log")?.clone()),
+            "--no-tracing" => tracing = false,
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -66,6 +80,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     cfg.workers = workers;
     cfg.queue = queue;
     cfg.flight_capacity = flight_capacity;
+    cfg.tracing = tracing;
+    if let Some(ms) = slow_threshold_ms {
+        cfg.slow_threshold = std::time::Duration::from_millis(ms);
+    }
+    cfg.access_log = access_log.map(std::path::PathBuf::from);
     // Test hook: hold each estimate inside its admission permit for a fixed
     // delay, so saturation tests can trigger 429 sheds deterministically
     // instead of racing microsecond-fast estimates.

@@ -7,11 +7,9 @@
 //! instead of piling latency onto every in-flight request.
 
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 use crate::error::ServiceError;
-
-/// Retry hint handed to rejected clients.
-const RETRY_AFTER_SECS: u64 = 1;
 
 #[derive(Debug, Default)]
 struct GateState {
@@ -44,31 +42,46 @@ impl AdmissionGate {
     }
 
     /// Acquires a compute slot, waiting in the bounded queue if necessary.
-    /// Returns [`ServiceError::Busy`] when both the slots and the queue are
-    /// full. The permit releases its slot on drop.
-    pub fn admit(&self) -> Result<Permit<'_>, ServiceError> {
+    /// Returns [`ServiceError::Busy`] carrying `retry_after_secs` (the
+    /// caller's measured hint — recent p99 service time) when both the
+    /// slots and the queue are full. The permit releases its slot on drop
+    /// and reports how long the request queued: the fast path takes no
+    /// clock reading at all, so uncontended admissions report exactly 0.
+    pub fn admit(&self, retry_after_secs: u64) -> Result<Permit<'_>, ServiceError> {
         let mut st = self.state.lock().expect("gate poisoned");
         if st.active < self.workers {
             st.active += 1;
-            return Ok(Permit { gate: self });
-        }
-        if st.waiting >= self.queue {
-            return Err(ServiceError::Busy {
-                retry_after_secs: RETRY_AFTER_SECS,
+            return Ok(Permit {
+                gate: self,
+                queue_wait_ns: 0,
             });
         }
+        if st.waiting >= self.queue {
+            return Err(ServiceError::Busy { retry_after_secs });
+        }
+        let enqueued = Instant::now();
         st.waiting += 1;
         while st.active >= self.workers {
             st = self.freed.wait(st).expect("gate poisoned");
         }
         st.waiting -= 1;
         st.active += 1;
-        Ok(Permit { gate: self })
+        let queue_wait_ns = u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        Ok(Permit {
+            gate: self,
+            queue_wait_ns,
+        })
     }
 
     /// Requests currently computing.
     pub fn active(&self) -> usize {
         self.state.lock().expect("gate poisoned").active
+    }
+
+    /// Requests currently blocked in the wait queue (the live queue-depth
+    /// gauge reads this).
+    pub fn waiting(&self) -> usize {
+        self.state.lock().expect("gate poisoned").waiting
     }
 
     /// Configured compute slots.
@@ -93,6 +106,15 @@ impl AdmissionGate {
 #[derive(Debug)]
 pub struct Permit<'a> {
     gate: &'a AdmissionGate,
+    queue_wait_ns: u64,
+}
+
+impl Permit<'_> {
+    /// Time spent enqueued before the slot was granted (0 on the
+    /// uncontended fast path).
+    pub fn queue_wait_ns(&self) -> u64 {
+        self.queue_wait_ns
+    }
 }
 
 impl Drop for Permit<'_> {
@@ -111,45 +133,63 @@ mod tests {
     #[test]
     fn slots_are_granted_and_released() {
         let gate = AdmissionGate::new(2, 0);
-        let p1 = gate.admit().unwrap();
-        let p2 = gate.admit().unwrap();
+        let p1 = gate.admit(1).unwrap();
+        let p2 = gate.admit(1).unwrap();
         assert_eq!(gate.active(), 2);
-        assert!(matches!(gate.admit(), Err(ServiceError::Busy { .. })));
+        assert!(matches!(gate.admit(1), Err(ServiceError::Busy { .. })));
         drop(p1);
-        let _p3 = gate.admit().unwrap();
-        assert!(matches!(gate.admit(), Err(ServiceError::Busy { .. })));
+        let _p3 = gate.admit(1).unwrap();
+        assert!(matches!(gate.admit(1), Err(ServiceError::Busy { .. })));
         drop(p2);
         assert_eq!(gate.active(), 1);
     }
 
     #[test]
-    fn queue_admits_after_release() {
+    fn queue_admits_after_release_and_measures_the_wait() {
         let gate = Arc::new(AdmissionGate::new(1, 1));
-        let p = gate.admit().unwrap();
+        let p = gate.admit(1).unwrap();
+        assert_eq!(p.queue_wait_ns(), 0, "fast path never reads the clock");
         let ran = Arc::new(AtomicUsize::new(0));
         let waiter = {
             let gate = Arc::clone(&gate);
             let ran = Arc::clone(&ran);
             std::thread::spawn(move || {
-                let _p = gate.admit().unwrap();
+                let p = gate.admit(1).unwrap();
+                assert!(
+                    p.queue_wait_ns() >= 25_000_000,
+                    "queued ≥50ms but measured {}ns",
+                    p.queue_wait_ns()
+                );
                 ran.fetch_add(1, Ordering::SeqCst);
             })
         };
         // Give the waiter time to enqueue, then verify overflow is shed.
         std::thread::sleep(Duration::from_millis(50));
-        assert!(matches!(gate.admit(), Err(ServiceError::Busy { .. })));
+        assert_eq!(gate.waiting(), 1);
+        assert!(matches!(gate.admit(1), Err(ServiceError::Busy { .. })));
         assert_eq!(ran.load(Ordering::SeqCst), 0, "waiter must still be queued");
         drop(p);
         waiter.join().unwrap();
         assert_eq!(ran.load(Ordering::SeqCst), 1);
         assert_eq!(gate.active(), 0);
+        assert_eq!(gate.waiting(), 0);
+    }
+
+    #[test]
+    fn busy_carries_the_callers_retry_hint() {
+        let gate = AdmissionGate::new(1, 0);
+        let _p = gate.admit(1).unwrap();
+        match gate.admit(7) {
+            Err(ServiceError::Busy { retry_after_secs }) => assert_eq!(retry_after_secs, 7),
+            other => panic!("expected Busy, got {other:?}"),
+        };
     }
 
     #[test]
     fn workers_clamped_to_one() {
         let gate = AdmissionGate::new(0, 0);
         assert_eq!(gate.workers(), 1);
-        let _p = gate.admit().unwrap();
-        assert!(gate.admit().is_err());
+        let _p = gate.admit(1).unwrap();
+        assert!(gate.admit(1).is_err());
     }
 }

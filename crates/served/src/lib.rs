@@ -16,7 +16,12 @@
 //! * [`proto`] — `/v1` JSON parsing/rendering (full-precision floats via
 //!   shortest round-trip formatting);
 //! * [`gate`] — the bounded worker pool's admission control (`429` +
-//!   `Retry-After` under saturation);
+//!   `Retry-After` under saturation, the hint tracking the measured recent
+//!   p99 service time);
+//! * [`trace`] — the request-scoped tracing plane: W3C trace IDs on every
+//!   response (`x-mnc-trace-id`), per-endpoint RED metrics with the latency
+//!   split into queue wait vs service time, and tail-sampled slow-request
+//!   capture behind `GET /v1/debug/requests`;
 //! * [`service`] — the [`Handler`](mnc_obsd::Handler) tying it together,
 //!   with per-client sessions ([`mnc_expr::SessionPool`]) and the PR-5
 //!   telemetry endpoints mounted as the health plane.
@@ -32,6 +37,7 @@
 //! | `DELETE /v1/matrices/{name}` | drop an entry |
 //! | `POST /v1/estimate` | estimate an op or DAG over named matrices |
 //! | `GET /v1/status` | service counters |
+//! | `GET /v1/debug/requests` | tail-captured slow/error requests (JSONL, `?format=chrome`) |
 //! | `GET /healthz`, `/metrics`, `/flight`, `/attribution` | health plane |
 //!
 //! Run the daemon with the `mnc-served` binary; see the repository README
@@ -42,6 +48,7 @@ pub mod error;
 pub mod gate;
 pub mod proto;
 pub mod service;
+pub mod trace;
 pub mod walk;
 
 pub use catalog::{validate_name, CatalogEntry, SynopsisCatalog};
@@ -49,6 +56,7 @@ pub use error::ServiceError;
 pub use gate::AdmissionGate;
 pub use proto::EstimateRequest;
 pub use service::{EstimationService, ServedConfig};
+pub use trace::{endpoint_of, retry_after_from_p99, CapturedRequest, TracePlane};
 pub use walk::{DagSpec, EstimateOutcome, NodeSpec, MAX_DAG_NODES};
 
 // Server plumbing re-exported so embedders need only this crate.

@@ -26,12 +26,14 @@ use mnc_core::MncSketch;
 use mnc_estimators::mnc::MncSynopsis;
 use mnc_estimators::{MncEstimator, SparsityEstimator, Synopsis};
 use mnc_expr::{SessionPool, SessionPoolConfig};
+use mnc_obs::RequestContext;
 use mnc_obsd::{telemetry_response, Handler, ObsDaemon, ObsdConfig, Request, Response};
 
 use crate::catalog::{validate_name, SynopsisCatalog};
 use crate::error::ServiceError;
 use crate::gate::AdmissionGate;
 use crate::proto;
+use crate::trace::{endpoint_of, TracePlane};
 use crate::walk::{self, NodeSpec};
 
 /// Service configuration.
@@ -47,13 +49,24 @@ pub struct ServedConfig {
     pub sessions: SessionPoolConfig,
     /// Flight-ring capacity of the embedded telemetry daemon.
     pub flight_capacity: usize,
+    /// Request-scoped tracing plane on/off (trace IDs, RED metrics, tail
+    /// capture). Estimates are bit-identical either way.
+    pub tracing: bool,
+    /// Requests slower than this are tail-captured into the flight recorder,
+    /// the `/v1/debug/requests` ring, and the access log.
+    pub slow_threshold: Duration,
+    /// How many captured requests `/v1/debug/requests` retains.
+    pub capture_capacity: usize,
+    /// Optional JSONL access log receiving every tail-captured request.
+    pub access_log: Option<PathBuf>,
     /// Test hook: hold each admitted estimate's compute slot for this long
     /// before working, making saturation deterministic to provoke.
     pub debug_estimate_delay: Option<Duration>,
 }
 
 impl ServedConfig {
-    /// Defaults rooted at `catalog_dir`: 4 workers, queue of 8.
+    /// Defaults rooted at `catalog_dir`: 4 workers, queue of 8, tracing on
+    /// with a 250 ms slow threshold.
     pub fn new(catalog_dir: impl Into<PathBuf>) -> Self {
         ServedConfig {
             catalog_dir: catalog_dir.into(),
@@ -61,6 +74,10 @@ impl ServedConfig {
             queue: 8,
             sessions: SessionPoolConfig::default(),
             flight_capacity: 1024,
+            tracing: true,
+            slow_threshold: Duration::from_millis(250),
+            capture_capacity: 64,
+            access_log: None,
             debug_estimate_delay: None,
         }
     }
@@ -81,6 +98,7 @@ pub struct EstimationService {
     sessions: Mutex<SessionPool>,
     gate: AdmissionGate,
     daemon: ObsDaemon,
+    trace: TracePlane,
     counters: Counters,
     started: Instant,
     delay: Option<Duration>,
@@ -94,11 +112,13 @@ impl EstimationService {
             flight_capacity: cfg.flight_capacity,
             ..ObsdConfig::default()
         });
+        let trace = TracePlane::new(&cfg, &daemon)?;
         Ok(Arc::new(EstimationService {
             catalog: Mutex::new(catalog),
             sessions: Mutex::new(SessionPool::new(cfg.sessions)),
             gate: AdmissionGate::new(cfg.workers, cfg.queue),
             daemon,
+            trace,
             counters: Counters::default(),
             started: Instant::now(),
             delay: cfg.debug_estimate_delay,
@@ -110,13 +130,18 @@ impl EstimationService {
         &self.daemon
     }
 
+    /// The request-scoped tracing plane (RED metrics, tail capture).
+    pub fn trace_plane(&self) -> &TracePlane {
+        &self.trace
+    }
+
     /// Sketches built from raw matrix data since the catalog was opened —
     /// the restart test's star witness: after a bounce it must stay 0.
     pub fn rebuilds(&self) -> u64 {
         self.catalog.lock().expect("catalog poisoned").rebuilds()
     }
 
-    fn route(&self, req: &Request) -> Result<Response, ServiceError> {
+    fn route(&self, req: &Request, ctx: &mut RequestContext) -> Result<Response, ServiceError> {
         // Health plane first: these paths predate /v1 and stay unversioned
         // so existing telemetry scrapers keep working.
         if req.method == "GET" {
@@ -129,7 +154,8 @@ impl EstimationService {
         match (req.method.as_str(), rest) {
             ("GET", "/status") => Ok(self.status()),
             ("GET", "/matrices") => Ok(self.list_matrices()),
-            ("POST", "/estimate") => self.estimate(&req.body),
+            ("GET", "/debug/requests") => Ok(self.trace.debug_requests(req.query_param("format"))),
+            ("POST", "/estimate") => self.estimate(&req.body, ctx),
             (method, path) => {
                 let name = path
                     .strip_prefix("/matrices/")
@@ -141,7 +167,7 @@ impl EstimationService {
                     };
                 }
                 match method {
-                    "PUT" => self.put_matrix(name, req),
+                    "PUT" => self.put_matrix(name, req, ctx),
                     "GET" => self.get_matrix(name),
                     "DELETE" => self.delete_matrix(name),
                     _ => Err(ServiceError::MethodNotAllowed),
@@ -200,7 +226,12 @@ impl EstimationService {
         )
     }
 
-    fn put_matrix(&self, name: &str, req: &Request) -> Result<Response, ServiceError> {
+    fn put_matrix(
+        &self,
+        name: &str,
+        req: &Request,
+        ctx: &mut RequestContext,
+    ) -> Result<Response, ServiceError> {
         validate_name(name)?;
         let is_binary = req
             .header("content-type")
@@ -211,10 +242,16 @@ impl EstimationService {
         } else {
             // Raw CSR: building a sketch is compute — it goes through the
             // admission gate like any estimate.
+            let t = ctx.enter("parse");
             let matrix = Arc::new(proto::parse_csr_body(&req.body)?);
-            let _permit = self.admit()?;
+            let t = ctx.transition(t, "admission");
+            let permit = self.admit()?;
+            ctx.set_queue_wait(permit.queue_wait_ns());
+            let t = ctx.transition(t, "build");
             let est = MncEstimator::new();
             let syn = est.build(&matrix)?;
+            ctx.exit(t);
+            drop(permit);
             let Synopsis::Mnc(s) = syn else {
                 return Err(ServiceError::Estimator(mnc_core::EstimatorError::Internal(
                     "MNC estimator built a foreign synopsis".into(),
@@ -270,13 +307,19 @@ impl EstimationService {
         Ok(Response::text(204, ""))
     }
 
-    fn estimate(&self, body: &[u8]) -> Result<Response, ServiceError> {
+    fn estimate(&self, body: &[u8], ctx: &mut RequestContext) -> Result<Response, ServiceError> {
+        // Stage boundaries use `transition`, not exit+enter pairs: the
+        // stages are contiguous, so one clock read serves both sides.
+        let t = ctx.enter("parse");
         let req = proto::parse_estimate_request(body)?;
 
         // Admission before any compute. The permit spans leaf resolution
         // and the walk.
-        let _permit = self.admit()?;
+        let mut t = ctx.transition(t, "admission");
+        let permit = self.admit()?;
+        ctx.set_queue_wait(permit.queue_wait_ns());
         if let Some(delay) = self.delay {
+            t = ctx.transition(t, "debug_delay");
             std::thread::sleep(delay);
         }
 
@@ -286,6 +329,7 @@ impl EstimationService {
         let est = MncEstimator::new();
 
         // Resolve catalog sketches (catalog lock only).
+        let t = ctx.transition(t, "catalog");
         let mut raw: Vec<Option<Arc<MncSketch>>> = vec![None; req.dag.nodes.len()];
         {
             let cat = self.catalog.lock().expect("catalog poisoned");
@@ -298,18 +342,18 @@ impl EstimationService {
                 }
             }
         }
-
         // Wrap them as session-cached synopses (session lock only).
+        let t = ctx.transition(t, "session");
         let daemon = self.daemon.clone();
         let mut leaves: Vec<Option<Arc<Synopsis>>> = vec![None; req.dag.nodes.len()];
         {
             let mut pool = self.sessions.lock().expect("sessions poisoned");
-            let ctx =
+            let sctx =
                 pool.session_init_at(&req.client, Instant::now(), |ctx| ctx.with_obsd(&daemon));
             for (i, node) in req.dag.nodes.iter().enumerate() {
                 if let NodeSpec::Leaf(name) = node {
                     let sketch = raw[i].as_ref().expect("resolved above");
-                    let syn = ctx.named_synopsis(&est, name, || {
+                    let syn = sctx.named_synopsis(&est, name, || {
                         Ok(Synopsis::Mnc(MncSynopsis {
                             sketch: (**sketch).clone(),
                         }))
@@ -318,33 +362,50 @@ impl EstimationService {
                 }
             }
         }
-
         // The walk itself runs without any service lock.
+        let t = ctx.transition(t, "walk");
         let out = walk::estimate_dag(&est, &req.dag, &leaves, req.include_sketch)?;
         self.counters.estimates.fetch_add(1, Ordering::Relaxed);
-        Ok(Response::json(200, proto::estimate_json(&out)))
+        let t = ctx.transition(t, "serialize");
+        let resp = Response::json(200, proto::estimate_json(&out));
+        ctx.exit(t);
+        Ok(resp)
     }
 
     fn admit(&self) -> Result<crate::gate::Permit<'_>, ServiceError> {
-        self.gate.admit().inspect_err(|_| {
-            self.counters.rejected.fetch_add(1, Ordering::Relaxed);
-        })
+        self.gate
+            .admit(self.trace.retry_after_secs())
+            .inspect_err(|_| {
+                self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            })
     }
 }
 
 impl Handler for EstimationService {
     fn handle(&self, req: &Request) -> Response {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        self.route(req).unwrap_or_else(|e| {
+        let mut ctx = self.trace.acquire(req.header("traceparent"));
+        let endpoint = endpoint_of(&req.path);
+        let mut resp = self.route(req, &mut ctx).unwrap_or_else(|e| {
             if e.status() >= 400 && e.status() != 429 {
                 self.counters.errors.fetch_add(1, Ordering::Relaxed);
             }
             e.into_response()
-        })
+        });
+        self.trace
+            .complete(&mut ctx, &req.method, endpoint, resp.status);
+        if self.trace.enabled() {
+            // Every response names its trace, whether client-supplied via
+            // `traceparent` or freshly generated.
+            resp = resp.with_header("x-mnc-trace-id", ctx.trace_hex().to_string());
+        }
+        self.trace.release(ctx);
+        resp
     }
 
     fn tick(&self) {
         self.sessions.lock().expect("sessions poisoned").sweep();
+        self.trace.tick(&self.gate);
         self.daemon.refresh();
     }
 }

@@ -14,6 +14,39 @@ use mnc_matrix::{gen, CsrMatrix};
 use mnc_served::{serve_with, EstimationService, ServeOptions, ServedConfig, ServerHandle};
 use rand::SeedableRng;
 
+/// One raw HTTP exchange: writes `head` + `body`, reads the full response.
+/// The server may answer (413) and close before the body is fully written;
+/// that close can surface client-side as EPIPE on write — tolerated — or,
+/// under load, as ECONNRESET that discards the buffered response, in which
+/// case the whole exchange is retried (the requests here are idempotent).
+fn exchange(addr: &str, head: &str, body: &[u8]) -> (u16, HashMap<String, String>, Vec<u8>) {
+    for _attempt in 0..8 {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let _ = stream.write_all(head.as_bytes());
+        let _ = stream.write_all(body);
+        let mut raw = Vec::new();
+        if stream.read_to_end(&mut raw).is_err() {
+            continue;
+        }
+        let Some(split) = raw.windows(4).position(|w| w == b"\r\n\r\n") else {
+            continue;
+        };
+        let head = std::str::from_utf8(&raw[..split]).expect("utf8 head");
+        let mut lines = head.lines();
+        let status: u16 = lines
+            .next()
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|s| s.parse().ok())
+            .expect("status");
+        let headers: HashMap<String, String> = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        return (status, headers, raw[split + 4..].to_vec());
+    }
+    panic!("no complete response after 8 attempts");
+}
+
 /// One HTTP exchange against `addr`; returns (status, headers, body).
 fn http(
     addr: &str,
@@ -22,34 +55,12 @@ fn http(
     content_type: Option<&str>,
     body: &[u8],
 ) -> (u16, HashMap<String, String>, Vec<u8>) {
-    let mut stream = TcpStream::connect(addr).expect("connect");
     let mut head = format!("{method} {path} HTTP/1.1\r\nHost: test\r\n");
     if let Some(ct) = content_type {
         head.push_str(&format!("Content-Type: {ct}\r\n"));
     }
     head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
-    // The server may answer (413) and close before the body is fully
-    // written; tolerate the resulting EPIPE and still read the response.
-    let _ = stream.write_all(head.as_bytes());
-    let _ = stream.write_all(body);
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw).expect("read response");
-    let split = raw
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .expect("response head");
-    let head = std::str::from_utf8(&raw[..split]).expect("utf8 head");
-    let mut lines = head.lines();
-    let status: u16 = lines
-        .next()
-        .and_then(|l| l.split_whitespace().nth(1))
-        .and_then(|s| s.parse().ok())
-        .expect("status");
-    let headers: HashMap<String, String> = lines
-        .filter_map(|l| l.split_once(':'))
-        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
-        .collect();
-    (status, headers, raw[split + 4..].to_vec())
+    exchange(addr, &head, body)
 }
 
 fn json_body(raw: &[u8]) -> mnc_obs::json::JsonValue {
@@ -305,7 +316,14 @@ fn saturation_sheds_load_with_429_and_retry_after() {
     std::thread::sleep(Duration::from_millis(150));
     let (status, headers, _) = http(&addr, "POST", "/v1/estimate", None, shorthand);
     assert_eq!(status, 429, "saturated service must shed load");
-    assert_eq!(headers.get("retry-after").map(String::as_str), Some("1"));
+    // The hint is the measured recent p99 service time, rounded up to whole
+    // seconds with a 1s floor — so it is always a positive integer.
+    let retry_after: u64 = headers
+        .get("retry-after")
+        .expect("429 must carry Retry-After")
+        .parse()
+        .expect("Retry-After must be integral seconds");
+    assert!(retry_after >= 1, "hint floors at 1s, got {retry_after}");
 
     let (status, _, _) = occupant.join().unwrap();
     assert_eq!(status, 200, "the admitted request still completes");
@@ -375,6 +393,229 @@ fn error_surface_maps_to_statuses() {
     assert_eq!(status, 200);
     assert!(!metrics.is_empty());
     assert_eq!(http(&addr, "GET", "/healthz", None, b"").0, 200);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Like [`http`] but with an extra request header.
+fn http_with_header(
+    addr: &str,
+    method: &str,
+    path: &str,
+    header: (&str, &str),
+    body: &[u8],
+) -> (u16, HashMap<String, String>, Vec<u8>) {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\n{}: {}\r\nContent-Length: {}\r\n\r\n",
+        header.0,
+        header.1,
+        body.len()
+    );
+    exchange(addr, &head, body)
+}
+
+fn assert_trace_id(headers: &HashMap<String, String>, what: &str) -> String {
+    let id = headers
+        .get("x-mnc-trace-id")
+        .unwrap_or_else(|| panic!("{what}: response must carry x-mnc-trace-id"));
+    assert_eq!(id.len(), 32, "{what}: trace id must be 32 hex chars: {id}");
+    assert!(
+        id.bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b)),
+        "{what}: trace id must be lowercase hex: {id}"
+    );
+    id.clone()
+}
+
+#[test]
+fn every_endpoint_echoes_a_trace_id() {
+    let dir = tmpdir("traceecho");
+    let (_svc, _handle, addr) = start(ServedConfig::new(&dir));
+    let (a, b, c) = chain_matrices();
+    put_chain(&addr, &a, &b, &c);
+
+    let calls: [(&str, &str, &[u8]); 10] = [
+        ("GET", "/v1/status", b""),
+        ("GET", "/v1/matrices", b""),
+        ("GET", "/v1/matrices/A", b""),
+        ("GET", "/v1/matrices/A/sketch", b""),
+        ("POST", "/v1/estimate", CHAIN_DAG.as_bytes()),
+        ("GET", "/v1/debug/requests", b""),
+        ("GET", "/metrics", b""),
+        ("GET", "/healthz", b""),
+        ("GET", "/v1/nope", b""), // even 404s are traced
+        ("DELETE", "/v1/matrices/C", b""),
+    ];
+    for (method, path, body) in calls {
+        let (_, headers, _) = http(&addr, method, path, None, body);
+        assert_trace_id(&headers, &format!("{method} {path}"));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn client_traceparent_is_adopted_and_hostile_ones_are_replaced() {
+    let dir = tmpdir("traceparent");
+    let (_svc, _handle, addr) = start(ServedConfig::new(&dir));
+
+    // A valid W3C traceparent: the service adopts the trace-id field.
+    let want = "4bf92f3577b34da6a3ce929d0e0e4736";
+    let tp = format!("00-{want}-00f067aa0ba902b7-01");
+    let (status, headers, _) =
+        http_with_header(&addr, "GET", "/v1/status", ("traceparent", &tp), b"");
+    assert_eq!(status, 200);
+    assert_eq!(assert_trace_id(&headers, "valid traceparent"), want);
+
+    // Hostile values are ignored: fresh ID, never an error.
+    for hostile in [
+        "garbage",
+        "00-4bf92f3577b34da6a3ce929d0e0e4736", // truncated
+        "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // version ff
+        "00-ZZf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // non-hex
+        "00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero id
+    ] {
+        let (status, headers, _) =
+            http_with_header(&addr, "GET", "/v1/status", ("traceparent", hostile), b"");
+        assert_eq!(status, 200, "hostile traceparent must not fail requests");
+        let got = assert_trace_id(&headers, "hostile traceparent");
+        assert_ne!(got, want, "hostile header must not leak a stale adoption");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_requests_are_tail_captured_with_attributable_span_trees() {
+    let dir = tmpdir("tailcapture");
+    let log_path = dir.join("access.jsonl");
+    let mut cfg = ServedConfig::new(&dir);
+    cfg.slow_threshold = Duration::from_millis(50);
+    cfg.debug_estimate_delay = Some(Duration::from_millis(150));
+    cfg.access_log = Some(log_path.clone());
+    let (_svc, _handle, addr) = start(cfg);
+    let (a, b, c) = chain_matrices();
+    put_chain(&addr, &a, &b, &c);
+
+    let (status, headers, _) = http(&addr, "POST", "/v1/estimate", None, CHAIN_DAG.as_bytes());
+    assert_eq!(status, 200);
+    let trace_id = assert_trace_id(&headers, "slow estimate");
+
+    // The slow request must appear in the debug ring, attributed to its
+    // trace ID, with the full stage tree.
+    let (status, headers, body) = http(&addr, "GET", "/v1/debug/requests", None, b"");
+    assert_eq!(status, 200);
+    assert!(headers["content-type"].starts_with("application/jsonl"));
+    let text = String::from_utf8(body).unwrap();
+    let line = text
+        .lines()
+        .find(|l| l.contains(&trace_id))
+        .unwrap_or_else(|| panic!("trace {trace_id} not captured in:\n{text}"));
+    let v = mnc_obs::json::parse(line).expect("captured line is json");
+    assert_eq!(v.get("reason").and_then(|r| r.as_str()), Some("slow"));
+    assert_eq!(
+        v.get("endpoint").and_then(|e| e.as_str()),
+        Some("/v1/estimate")
+    );
+    let service_ns = v.get("service_ns").and_then(|x| x.as_f64()).unwrap();
+    assert!(
+        service_ns >= 150_000_000.0,
+        "the debug delay is inside service time"
+    );
+
+    // Span-tree accounting: a `request` root whose children (the stages,
+    // admission → walk → serialize) cover the service time within 5%.
+    let mnc_obs::json::JsonValue::Array(spans) = v.get("spans").unwrap() else {
+        panic!("captured request must embed its span tree");
+    };
+    let root = &spans[0];
+    assert_eq!(root.get("name").and_then(|n| n.as_str()), Some("request"));
+    let root_id = root.get("id").and_then(|x| x.as_f64()).unwrap();
+    let names: Vec<&str> = spans[1..]
+        .iter()
+        .map(|s| s.get("name").and_then(|n| n.as_str()).unwrap())
+        .collect();
+    for stage in [
+        "parse",
+        "admission",
+        "debug_delay",
+        "catalog",
+        "session",
+        "walk",
+        "serialize",
+    ] {
+        assert!(names.contains(&stage), "missing stage {stage} in {names:?}");
+    }
+    let mut child_sum = 0.0;
+    for s in &spans[1..] {
+        assert_eq!(s.get("parent").and_then(|x| x.as_f64()), Some(root_id));
+        child_sum += s.get("dur_ns").and_then(|x| x.as_f64()).unwrap();
+    }
+    let drift = (child_sum - service_ns).abs() / service_ns;
+    assert!(
+        drift <= 0.05,
+        "stage durations ({child_sum}ns) must cover service time \
+         ({service_ns}ns) within 5%, drift {drift:.4}"
+    );
+
+    // The same line landed in the access log.
+    let logged = std::fs::read_to_string(&log_path).expect("access log written");
+    assert!(
+        logged.contains(&trace_id),
+        "access log must carry the trace"
+    );
+
+    // The ring also exports as a Chrome trace for Perfetto.
+    let (status, _, chrome) = http(&addr, "GET", "/v1/debug/requests?format=chrome", None, b"");
+    assert_eq!(status, 200);
+    let chrome = String::from_utf8(chrome).unwrap();
+    assert!(chrome.contains("traceEvents") && chrome.contains("request"));
+
+    // And the RED metrics on /metrics reflect the request.
+    let (_, _, metrics) = http(&addr, "GET", "/metrics", None, b"");
+    let metrics = String::from_utf8(metrics).unwrap();
+    assert!(
+        metrics.contains("mnc_served_requests_total{")
+            && metrics.contains("endpoint=\"/v1/estimate\"")
+            && metrics.contains("method=\"POST\"")
+            && metrics.contains("status=\"200\""),
+        "RED counter missing from /metrics:\n{metrics}"
+    );
+    assert!(
+        metrics.contains("mnc_served_queue_wait_ns") && metrics.contains("mnc_served_service_ns"),
+        "latency split histograms missing from /metrics"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tracing_off_is_bit_identical_and_headerless() {
+    let (a, b, c) = chain_matrices();
+
+    let traced_body = {
+        let dir = tmpdir("traceon");
+        let (_svc, _handle, addr) = start(ServedConfig::new(&dir));
+        put_chain(&addr, &a, &b, &c);
+        let (status, headers, body) =
+            http(&addr, "POST", "/v1/estimate", None, CHAIN_DAG.as_bytes());
+        assert_eq!(status, 200);
+        assert_trace_id(&headers, "tracing on");
+        let _ = std::fs::remove_dir_all(&dir);
+        body
+    };
+
+    let dir = tmpdir("traceoff");
+    let mut cfg = ServedConfig::new(&dir);
+    cfg.tracing = false;
+    let (_svc, _handle, addr) = start(cfg);
+    put_chain(&addr, &a, &b, &c);
+    let (status, headers, body) = http(&addr, "POST", "/v1/estimate", None, CHAIN_DAG.as_bytes());
+    assert_eq!(status, 200);
+    assert!(
+        !headers.contains_key("x-mnc-trace-id"),
+        "tracing off must not stamp trace headers"
+    );
+    assert_eq!(
+        body, traced_body,
+        "estimates must be byte-identical with tracing on and off"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -1,0 +1,160 @@
+//! Hostile-input coverage for the `traceparent` request header — the trace
+//! plane's attacker-reachable surface. The contract under attack: a
+//! malformed, truncated, oversized, or otherwise hostile header is
+//! *ignored* (the request proceeds under a fresh, valid trace ID) and can
+//! never turn into a 500 or a panic. Sits alongside the MNCS
+//! `serialize_hostile` suite as the service's second parser fuzz wall.
+
+use proptest::prelude::*;
+
+use mnc_obs::parse_traceparent;
+use mnc_obsd::{Handler, Request};
+use mnc_served::{EstimationService, ServedConfig};
+
+fn is_lower_hex(s: &str) -> bool {
+    s.bytes()
+        .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+/// A 16-byte trace id from two generator words, forced non-zero.
+fn id_bytes(hi: u64, lo: u64) -> [u8; 16] {
+    let mut id = [0u8; 16];
+    id[..8].copy_from_slice(&hi.to_be_bytes());
+    id[8..].copy_from_slice(&(lo | 1).to_be_bytes());
+    id
+}
+
+/// A well-formed v00 traceparent for a given 16-byte trace id.
+fn valid_traceparent(id: [u8; 16]) -> String {
+    let hex: String = id.iter().map(|b| format!("{b:02x}")).collect();
+    format!("00-{hex}-00f067aa0ba902b7-01")
+}
+
+/// In-process service + request plumbing (no TCP: each proptest case is one
+/// direct `Handler::handle` call).
+fn service_for(tag: &str) -> std::sync::Arc<EstimationService> {
+    let dir = std::env::temp_dir().join(format!("mnc-tp-hostile-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    EstimationService::new(ServedConfig::new(&dir)).expect("service")
+}
+
+fn status_request(traceparent: &str) -> Request {
+    Request {
+        method: "GET".into(),
+        path: "/v1/status".into(),
+        query: String::new(),
+        headers: vec![("traceparent".into(), traceparent.into())],
+        body: Vec::new(),
+    }
+}
+
+fn trace_header(resp: &mnc_obsd::Response) -> Option<String> {
+    resp.headers
+        .iter()
+        .find(|(n, _)| n.eq_ignore_ascii_case("x-mnc-trace-id"))
+        .map(|(_, v)| v.clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Baseline: every well-formed non-zero traceparent is adopted exactly.
+    #[test]
+    fn valid_headers_are_adopted(hi in any::<u64>(), lo in any::<u64>()) {
+        let tp = valid_traceparent(id_bytes(hi, lo));
+        let parsed = parse_traceparent(&tp).expect("valid traceparent parses");
+        prop_assert_eq!(parsed.to_hex(), tp[3..35].to_string());
+    }
+
+    /// Every strict prefix of a valid header is rejected — v00 requires all
+    /// four fields, fully.
+    #[test]
+    fn truncated_headers_are_ignored(hi in any::<u64>(), lo in any::<u64>(), cut in 0usize..55) {
+        let tp = valid_traceparent(id_bytes(hi, lo));
+        prop_assert!(cut < tp.len());
+        prop_assert!(parse_traceparent(&tp[..cut]).is_none());
+    }
+
+    /// Single-byte mutations anywhere in the header never panic, and any
+    /// mutation that still parses yields a well-formed non-zero ID.
+    #[test]
+    fn mutated_headers_never_panic(
+        hi in any::<u64>(),
+        lo in any::<u64>(),
+        pos in 0usize..55,
+        byte in any::<u8>(),
+    ) {
+        let mut tp = valid_traceparent(id_bytes(hi, lo)).into_bytes();
+        tp[pos] = byte;
+        if let Ok(s) = std::str::from_utf8(&tp) {
+            if let Some(t) = parse_traceparent(s) {
+                prop_assert!(!t.is_zero());
+                prop_assert_eq!(t.to_hex().len(), 32);
+            }
+        }
+    }
+
+    /// Arbitrary garbage — including oversized headers — parses to `None`
+    /// or a valid ID; it never panics. Lengths beyond the 256-byte cap are
+    /// rejected outright. Drawn from a traceparent-flavored alphabet so
+    /// near-misses (hex runs, dashes) are common, not vanishing.
+    #[test]
+    fn arbitrary_garbage_is_safe(seed in any::<u64>(), len in 0usize..400) {
+        const ALPHABET: &[u8] = b"0123456789abcdefABCDEF-xzZ \x00\x7f~";
+        let mut state = seed | 1;
+        let s: String = (0..len)
+            .map(|_| {
+                // splitmix-style scramble; deterministic per case.
+                state = state.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+                ALPHABET[(state >> 32) as usize % ALPHABET.len()] as char
+            })
+            .collect();
+        let parsed = parse_traceparent(&s);
+        if s.len() > 256 {
+            prop_assert!(parsed.is_none(), "oversized header must be rejected");
+        }
+        if let Some(t) = parsed {
+            prop_assert!(!t.is_zero());
+        }
+    }
+}
+
+#[test]
+fn hostile_headers_never_500_and_always_yield_fresh_ids() {
+    let svc = service_for("service");
+    let hostile: &[&str] = &[
+        "",
+        "-",
+        "----",
+        "00",
+        "00-",
+        "00-4bf92f3577b34da6a3ce929d0e0e4736", // truncated
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7", // no flags
+        "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // version ff
+        "0-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // short version
+        "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase
+        "00-zzf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // non-hex
+        "00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero id
+        "00-4bf92f3577b34da6a3ce929d0e0e47367-0f067aa0ba902b7-01", // 33-char id
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span
+        "\u{202e}00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+    ];
+    let oversized = "00-".to_string() + &"a".repeat(4096);
+    let mut cases: Vec<&str> = hostile.to_vec();
+    cases.push(&oversized);
+
+    let mut seen = std::collections::HashSet::new();
+    for tp in cases {
+        let resp = svc.handle(&status_request(tp));
+        assert_eq!(
+            resp.status, 200,
+            "hostile traceparent {tp:?} must not fail the request"
+        );
+        let id = trace_header(&resp)
+            .unwrap_or_else(|| panic!("response for {tp:?} must carry x-mnc-trace-id"));
+        assert_eq!(id.len(), 32, "fresh id must be 32 hex chars");
+        assert!(is_lower_hex(&id), "fresh id must be lowercase hex: {id}");
+        assert_ne!(id, "4bf92f3577b34da6a3ce929d0e0e4736", "must not adopt");
+        assert!(seen.insert(id), "fresh ids must be distinct per request");
+    }
+}
