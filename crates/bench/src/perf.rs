@@ -452,6 +452,17 @@ fn served_workload(rec: &Recorder, scale: f64, reps: usize, metrics: &mut BTreeM
     metrics.insert("served.service.p99_ns".into(), report.service_p99_ns);
     metrics.insert("served.requests_ok".into(), report.ok as f64);
     metrics.insert("served.requests_err".into(), report.errors as f64);
+    // The shadow plane runs at rate 1.0 during the load: the drop rate is
+    // the shed fraction of the bounded background queue (informational —
+    // shedding is the design, not a regression), and the shadow p99 is the
+    // off-thread alternate-estimator latency, gated like any `*_ns`.
+    metrics.insert("served.shadow.sampled".into(), report.shadow_sampled as f64);
+    metrics.insert(
+        "served.shadow.completed".into(),
+        report.shadow_completed as f64,
+    );
+    metrics.insert("served.shadow.drop_rate".into(), report.shadow_drop_rate);
+    metrics.insert("served.shadow.p99_ns".into(), report.shadow_p99_ns);
 }
 
 /// Runs the fixed suite at the given scale knobs and returns the report

@@ -37,6 +37,18 @@ pub struct LoadReport {
     pub ok: u64,
     /// Requests answered with any other status (including 429 sheds).
     pub errors: u64,
+    /// Requests sampled by the shadow plane (the run drives rate 1.0, so
+    /// this should match `ok`).
+    pub shadow_sampled: u64,
+    /// Shadow jobs fully processed by the background workers.
+    pub shadow_completed: u64,
+    /// Shadow jobs shed by the bounded queue under load.
+    pub shadow_dropped: u64,
+    /// Fraction of sampled shadow jobs that were shed (0 when none sampled).
+    pub shadow_drop_rate: f64,
+    /// 99th-percentile background shadow-run latency (worst across the
+    /// alternate estimators; informational, off the request path).
+    pub shadow_p99_ns: f64,
 }
 
 /// Minimal blocking HTTP exchange; returns the status code.
@@ -92,6 +104,10 @@ pub fn run_load(scale: f64, clients: usize, requests: usize) -> LoadReport {
     let mut cfg = ServedConfig::new(&dir);
     cfg.workers = clients.max(1);
     cfg.queue = clients * 2;
+    // Shadow every request: the load run measures the worst case for the
+    // isolation contract (sampling on the hot path, shed rate under
+    // contention) and feeds `served.shadow.*` into the perf record.
+    cfg.shadow_rate = 1.0;
     let service = EstimationService::new(cfg).expect("served: open catalog");
     let handle = serve_with(service.clone(), "127.0.0.1:0", ServeOptions::default())
         .expect("served: bind loopback");
@@ -159,6 +175,24 @@ pub fn run_load(scale: f64, clients: usize, requests: usize) -> LoadReport {
             histo_quantiles("served.service_ns{endpoint=/v1/estimate}"),
         )
     };
+    // Shadow scoreboard: let the background workers finish the queued jobs
+    // (the drain is test/bench support — production never waits), then read
+    // the counters and the worst per-estimator latency p99.
+    let shadow = service.shadow_plane();
+    shadow.drain();
+    let (sh_sampled, sh_completed, sh_dropped) =
+        (shadow.sampled(), shadow.completed(), shadow.dropped());
+    let sh_p99 = shadow
+        .metrics_snapshot()
+        .map(|snap| {
+            snap.histograms
+                .iter()
+                .filter(|(name, _)| name.starts_with("shadow.latency_ns"))
+                .map(|(_, h)| h.quantile(0.99))
+                .max()
+                .unwrap_or(0)
+        })
+        .unwrap_or(0) as f64;
     drop(service);
     drop(handle);
     let _ = std::fs::remove_dir_all(&dir);
@@ -184,6 +218,15 @@ pub fn run_load(scale: f64, clients: usize, requests: usize) -> LoadReport {
         service_p99_ns: sv.1,
         ok: results.iter().map(|(_, ok, _)| ok).sum(),
         errors: results.iter().map(|(_, _, e)| e).sum(),
+        shadow_sampled: sh_sampled,
+        shadow_completed: sh_completed,
+        shadow_dropped: sh_dropped,
+        shadow_drop_rate: if sh_sampled == 0 {
+            0.0
+        } else {
+            sh_dropped as f64 / sh_sampled as f64
+        },
+        shadow_p99_ns: sh_p99,
     }
 }
 
@@ -204,5 +247,16 @@ mod tests {
         assert!(report.service_p99_ns >= report.service_p50_ns);
         assert!(report.queue_wait_p99_ns >= report.queue_wait_p50_ns);
         assert!(report.service_p50_ns <= report.p99_ns);
+        // The shadow plane sampled every 200 and accounted for each job —
+        // completed plus shed, never lost.
+        assert_eq!(report.shadow_sampled, report.ok);
+        assert_eq!(
+            report.shadow_completed + report.shadow_dropped,
+            report.shadow_sampled
+        );
+        assert!((0.0..=1.0).contains(&report.shadow_drop_rate));
+        if report.shadow_completed > 0 {
+            assert!(report.shadow_p99_ns > 0.0);
+        }
     }
 }

@@ -144,6 +144,32 @@ impl BitsetSynopsis {
     pub fn analytic_size_bytes(nrows: u64, ncols: u64) -> u64 {
         nrows * ncols.div_ceil(64) * 8
     }
+
+    /// The raw packed words, row-major, `ncols.div_ceil(64)` words per row.
+    /// Exposed for external serialization (the served catalog's shadow
+    /// sidecars persist bitsets verbatim).
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Reconstructs a synopsis from its shape and packed words (the inverse
+    /// of [`BitsetSynopsis::words`]). The cached popcount is recomputed, so
+    /// the result is valid regardless of where the words came from. Returns
+    /// `None` when the word count does not match the shape.
+    pub fn from_words(nrows: usize, ncols: usize, bits: Vec<u64>) -> Option<Self> {
+        let words_per_row = ncols.div_ceil(64);
+        if bits.len() != nrows * words_per_row {
+            return None;
+        }
+        let ones = popcount(&bits);
+        Some(BitsetSynopsis {
+            nrows,
+            ncols,
+            words_per_row,
+            bits,
+            ones,
+        })
+    }
 }
 
 /// Exact boolean matrix multiply `bC = bA bB`: row `i` of the output is the

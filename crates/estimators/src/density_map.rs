@@ -120,6 +120,40 @@ impl DmSynopsis {
         nrows.div_ceil(block) * ncols.div_ceil(block) * 8
     }
 
+    /// The row-major grid of block sparsities. Exposed for external
+    /// serialization (the served catalog's shadow sidecars persist density
+    /// maps verbatim).
+    pub fn densities(&self) -> &[f64] {
+        &self.dens
+    }
+
+    /// Reconstructs a map from its shape, block size, and density grid (the
+    /// inverse of [`DmSynopsis::densities`]). Returns `None` when the grid
+    /// length does not match the shape, or `block` is zero.
+    pub fn from_densities(
+        nrows: usize,
+        ncols: usize,
+        block: usize,
+        dens: Vec<f64>,
+    ) -> Option<Self> {
+        if block == 0 {
+            return None;
+        }
+        let grid_rows = nrows.div_ceil(block).max(usize::from(nrows == 0));
+        let grid_cols = ncols.div_ceil(block).max(usize::from(ncols == 0));
+        if dens.len() != grid_rows * grid_cols {
+            return None;
+        }
+        Some(DmSynopsis {
+            nrows,
+            ncols,
+            block,
+            grid_rows,
+            grid_cols,
+            dens,
+        })
+    }
+
     /// Sets the block density at grid position `(bi, bj)` (used by the
     /// dynamic density map's resampling).
     pub fn set_density(&mut self, bi: usize, bj: usize, d: f64) {

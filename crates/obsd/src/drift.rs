@@ -394,6 +394,101 @@ mod tests {
     }
 
     #[test]
+    fn recovery_boundary_sits_at_recovery_factor_times_ceiling() {
+        // alpha = 1 makes the EWMA equal the last observation and window = 1
+        // makes p95 equal it too, so the hysteresis band can be probed with
+        // single observations: ceiling 2.0, recovery at 0.8 × 2.0 = 1.6.
+        let m = DriftMonitor::new(DriftConfig {
+            ewma_alpha: 1.0,
+            window: 1,
+            min_samples: 1,
+            ..DriftConfig::default()
+        });
+        m.observe_error("MNC", "matmul", 3.0);
+        assert!(m.is_degraded(), "3.0 > ceiling 2.0 must trip");
+        // Inside the hysteresis band (1.6, 2.0]: below the trip ceiling but
+        // above the recovery line — stays degraded, no flapping.
+        m.observe_error("MNC", "matmul", 1.61);
+        assert!(
+            m.is_degraded(),
+            "1.61 > 0.8×2.0 is inside the band: {:?}",
+            m.stats()
+        );
+        assert_eq!(m.alerts(), 1, "staying degraded is not a new alert");
+        // Below the recovery line: healthy again.
+        m.observe_error("MNC", "matmul", 1.59);
+        assert!(!m.is_degraded(), "1.59 < 1.6 must recover: {:?}", m.stats());
+        // And the band is one-sided: re-entering it from below does NOT
+        // re-trip (only crossing the full ceiling does).
+        m.observe_error("MNC", "matmul", 1.9);
+        assert!(!m.is_degraded(), "1.9 < ceiling must not trip from healthy");
+        assert_eq!(m.alerts(), 1);
+        m.observe_error("MNC", "matmul", 2.1);
+        assert!(m.is_degraded());
+        assert_eq!(m.alerts(), 2, "crossing the ceiling again is a new alert");
+    }
+
+    #[test]
+    fn exactly_min_samples_observations_may_trip_but_one_fewer_never_does() {
+        let cfg = fast_cfg(); // min_samples: 4
+        let m = DriftMonitor::new(cfg.clone());
+        for _ in 0..(cfg.min_samples - 1) {
+            m.observe_error("MNC", "matmul", 1000.0);
+        }
+        assert!(
+            !m.is_degraded(),
+            "min_samples - 1 huge errors stay cold-start guarded"
+        );
+        assert_eq!(m.alerts(), 0);
+        m.observe_error("MNC", "matmul", 1000.0);
+        assert!(m.is_degraded(), "the min_samples-th observation trips");
+        assert_eq!(m.alerts(), 1);
+    }
+
+    #[test]
+    fn infinite_clamp_bounds_the_ewma_and_decays_back_out() {
+        let m = DriftMonitor::new(DriftConfig {
+            min_samples: 1,
+            window: 4,
+            ..DriftConfig::default()
+        });
+        m.observe_error("MNC", "matmul", f64::INFINITY);
+        let s = &m.stats()[0];
+        assert_eq!(s.infinite, 1);
+        // The clamp caps the seeded EWMA at exactly the configured value
+        // (modulo the ln/exp roundtrip), not at infinity.
+        let clamp = m.config().infinite_clamp;
+        assert!(
+            (s.geo_ewma - clamp).abs() / clamp < 1e-12,
+            "geo EWMA {} must seed at the clamp {clamp}",
+            s.geo_ewma
+        );
+        assert!(m.is_degraded());
+        // Perfect observations decay the geometric EWMA multiplicatively:
+        // after k steps the EWMA is clamp^((1-α)^k), so it falls below the
+        // recovery line in bounded time even from a clamped-infinite seed.
+        let mut steps = 0;
+        while m.is_degraded() && steps < 500 {
+            m.observe_error("MNC", "matmul", 1.0);
+            steps += 1;
+        }
+        assert!(
+            !m.is_degraded(),
+            "clamped INF must decay out: {:?}",
+            m.stats()
+        );
+        // ln(ln(recovery)/ln(clamp)) / ln(1-α): ≈ 60 steps for the defaults;
+        // the window (4 samples of 1.0) clears far sooner.
+        let expected = ((0.8f64 * 2.0).ln() / clamp.ln()).ln() / (1.0f64 - 0.2).ln();
+        assert!(
+            (steps as f64) <= expected.ceil() + 4.0,
+            "decay took {steps} steps, analytic bound {expected:.1}"
+        );
+        let s = &m.stats()[0];
+        assert_eq!(s.infinite, 1, "the infinite count is not decayed");
+    }
+
+    #[test]
     fn observes_records_via_the_accuracy_channel_shape() {
         let m = DriftMonitor::new(fast_cfg());
         for i in 0..20 {

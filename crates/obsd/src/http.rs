@@ -321,18 +321,39 @@ pub fn serve(daemon: ObsDaemon, addr: impl ToSocketAddrs) -> std::io::Result<Ser
 fn handle_connection(mut stream: TcpStream, handler: &dyn Handler, opts: &ServeOptions) {
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let resp = match read_request(&mut stream, opts) {
-        Ok(Some(req)) => handler.handle(&req),
-        Ok(None) => Response::text(400, "bad request\n"),
-        Err(ReadError::BodyTooLarge) => Response::text(413, "request body too large\n"),
-        Err(ReadError::Io) => Response::text(400, "bad request\n"),
+    let (resp, drain) = match read_request(&mut stream, opts) {
+        Ok(Some(req)) => (handler.handle(&req), 0),
+        Ok(None) => (Response::text(400, "bad request\n"), 0),
+        // The oversized body was refused unread; its declared remainder must
+        // still be drained (bounded) after the response, or closing with
+        // unread bytes in the receive buffer sends an RST that can destroy
+        // the buffered `413` before the client reads it.
+        Err(ReadError::BodyTooLarge(rest)) => (
+            Response::text(413, "request body too large\n"),
+            rest.min(MAX_DRAIN_BYTES),
+        ),
+        Err(ReadError::Io) => (Response::text(400, "bad request\n"), 0),
     };
     let _ = write_response(&mut stream, &resp);
+    let mut remaining = drain;
+    let mut chunk = [0u8; 4096];
+    while remaining > 0 {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => remaining = remaining.saturating_sub(n),
+        }
+    }
 }
+
+/// Most bytes drained (not stored) from a refused oversized body before the
+/// connection is closed anyway; clients still mid-send past this see a reset.
+const MAX_DRAIN_BYTES: usize = 8 << 20;
 
 enum ReadError {
     Io,
-    BodyTooLarge,
+    /// Body over the limit; carries the declared bytes not yet read, so the
+    /// connection can drain exactly that much without blocking on more.
+    BodyTooLarge(usize),
 }
 
 impl From<std::io::Error> for ReadError {
@@ -383,7 +404,10 @@ fn read_request(stream: &mut TcpStream, opts: &ServeOptions) -> Result<Option<Re
         .and_then(|(_, v)| v.parse::<usize>().ok())
         .unwrap_or(0);
     if content_length > opts.max_body_bytes {
-        return Err(ReadError::BodyTooLarge);
+        let already = buf.len() - (head_end + 4);
+        return Err(ReadError::BodyTooLarge(
+            content_length.saturating_sub(already),
+        ));
     }
 
     let mut body = buf[head_end + 4..].to_vec();

@@ -183,6 +183,31 @@ impl ObsDaemon {
         );
         snap.gauges
             .insert("obsd.sources".into(), self.source_count() as i64);
+        // The drift monitor's live per-(estimator, op) statistics, exported
+        // as labeled gauges (milli-scaled: a geo-EWMA of 1.234 reads 1234).
+        // Cardinality is bounded by the estimator × op vocabulary.
+        for s in self.shared.drift.stats() {
+            let milli = |v: f64| (v * 1000.0).min(i64::MAX as f64) as i64;
+            let labels = format!("{{estimator={},op={}}}", s.estimator, s.op);
+            snap.gauges.insert(
+                format!("obsd.drift.geo_ewma_milli{labels}"),
+                milli(s.geo_ewma),
+            );
+            snap.gauges
+                .insert(format!("obsd.drift.p95_milli{labels}"), milli(s.p95));
+            snap.gauges.insert(
+                format!("obsd.drift.samples{labels}"),
+                i64::try_from(s.count).unwrap_or(i64::MAX),
+            );
+            snap.gauges.insert(
+                format!("obsd.drift.infinite{labels}"),
+                i64::try_from(s.infinite).unwrap_or(i64::MAX),
+            );
+            snap.gauges.insert(
+                format!("obsd.drift.degraded{labels}"),
+                i64::from(s.degraded),
+            );
+        }
         snap
     }
 
@@ -325,6 +350,32 @@ mod tests {
         assert!(text.contains("mnc_cache_hit_total 7"), "{text}");
         assert!(text.contains("mnc_obsd_drift_alerts_total 0"), "{text}");
         assert!(text.contains("mnc_obsd_sources 2"), "{text}");
+    }
+
+    #[test]
+    fn drift_series_export_as_labeled_gauges() {
+        let daemon = ObsDaemon::new(small());
+        let rec = Recorder::enabled();
+        daemon.install(&rec);
+        for _ in 0..6 {
+            rec.record_accuracy(AccuracyRecord::new("c", "matmul", "MNC", 0.105, 0.1));
+            rec.record_accuracy(AccuracyRecord::new("c", "ew_add", "DMap", 0.9, 0.1));
+        }
+        let text = daemon.metrics_text();
+        // p95 comes straight from the window (no ln/exp roundtrip), so its
+        // milli value is exact; the geo-EWMA lines are asserted by presence.
+        for needle in [
+            "mnc_obsd_drift_geo_ewma_milli{estimator=\"MNC\",op=\"matmul\"} ",
+            "mnc_obsd_drift_geo_ewma_milli{estimator=\"DMap\",op=\"ew_add\"} ",
+            "mnc_obsd_drift_p95_milli{estimator=\"MNC\",op=\"matmul\"} 1049",
+            "mnc_obsd_drift_p95_milli{estimator=\"DMap\",op=\"ew_add\"} 9000",
+            "mnc_obsd_drift_samples{estimator=\"MNC\",op=\"matmul\"} 6",
+            "mnc_obsd_drift_degraded{estimator=\"DMap\",op=\"ew_add\"} 1",
+            "mnc_obsd_drift_degraded{estimator=\"MNC\",op=\"matmul\"} 0",
+            "mnc_obsd_drift_infinite{estimator=\"MNC\",op=\"matmul\"} 0",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! mnc-served --catalog <dir> [--addr 127.0.0.1:9419] [--workers 4]
 //!            [--queue 8] [--max-body 4194304] [--flight-capacity 1024]
 //!            [--slow-threshold MS] [--access-log PATH] [--no-tracing]
+//!            [--shadow-rate FRACTION] [--retain-csr]
 //! ```
 //!
 //! Serves the `/v1` estimation API plus the telemetry health plane on one
@@ -16,7 +17,8 @@ use mnc_served::{serve_with, EstimationService, ServeOptions, ServedConfig};
 
 const USAGE: &str = "usage: mnc-served --catalog <dir> [--addr HOST:PORT] [--workers N] \
                      [--queue N] [--max-body BYTES] [--flight-capacity N] \
-                     [--slow-threshold MS] [--access-log PATH] [--no-tracing]";
+                     [--slow-threshold MS] [--access-log PATH] [--no-tracing] \
+                     [--shadow-rate FRACTION] [--retain-csr]";
 
 struct Args {
     addr: String,
@@ -34,6 +36,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut slow_threshold_ms: Option<u64> = None;
     let mut access_log: Option<String> = None;
     let mut tracing = true;
+    let mut shadow_rate = 0.0f64;
+    let mut retain_csr = false;
 
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -72,6 +76,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--access-log" => access_log = Some(value("--access-log")?.clone()),
             "--no-tracing" => tracing = false,
+            "--shadow-rate" => {
+                shadow_rate = value("--shadow-rate")?
+                    .parse()
+                    .map_err(|_| "--shadow-rate: not a number".to_string())?;
+                if !(0.0..=1.0).contains(&shadow_rate) {
+                    return Err("--shadow-rate must be in [0, 1]".to_string());
+                }
+            }
+            "--retain-csr" => retain_csr = true,
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -85,6 +98,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         cfg.slow_threshold = std::time::Duration::from_millis(ms);
     }
     cfg.access_log = access_log.map(std::path::PathBuf::from);
+    cfg.shadow_rate = shadow_rate;
+    cfg.retain_csr = retain_csr;
     // Test hook: hold each estimate inside its admission permit for a fixed
     // delay, so saturation tests can trigger 429 sheds deterministically
     // instead of racing microsecond-fast estimates.

@@ -31,9 +31,12 @@ use mnc_core::serialize::{from_bytes, to_bytes};
 use mnc_core::MncSketch;
 
 use crate::error::ServiceError;
+use crate::sidecar::{self, ShadowSidecar};
 
 /// File extension for catalog entries.
 const EXT: &str = "mncs";
+/// File extension for shadow sidecars (alternate synopses + optional CSR).
+const SIDECAR_EXT: &str = "mncx";
 /// Extension suffix for in-flight writes.
 const TMP_SUFFIX: &str = ".tmp";
 /// Extension suffix for quarantined (undecodable) entries.
@@ -66,6 +69,10 @@ pub struct CatalogEntry {
     pub sketch: Arc<MncSketch>,
     /// Serialized size on disk in bytes.
     pub file_bytes: u64,
+    /// Shadow sidecar (alternate synopses + optional retained CSR), present
+    /// only for entries ingested from raw CSR data. Octet-stream ingests
+    /// have no raw data, so they carry none.
+    pub shadow: Option<Arc<ShadowSidecar>>,
 }
 
 /// A directory of named, persistent MNC sketches with an in-memory index.
@@ -91,6 +98,7 @@ impl SynopsisCatalog {
             .map_err(|e| ServiceError::Degraded(format!("create {}: {e}", dir.display())))?;
         let mut entries = BTreeMap::new();
         let mut quarantined = Vec::new();
+        let mut sidecars: Vec<(String, PathBuf)> = Vec::new();
         let listing = fs::read_dir(&dir)
             .map_err(|e| ServiceError::Degraded(format!("read {}: {e}", dir.display())))?;
         for item in listing.flatten() {
@@ -102,6 +110,14 @@ impl SynopsisCatalog {
                 // A crash mid-write; the rename never happened, so the
                 // durable state is simply "entry absent".
                 let _ = fs::remove_file(&path);
+                continue;
+            }
+            if let Some(stem) = fname.strip_suffix(&format!(".{SIDECAR_EXT}")) {
+                if validate_name(stem).is_ok() {
+                    // Decoded in a second pass, once the primary entries are
+                    // known: a sidecar only makes sense next to its sketch.
+                    sidecars.push((stem.to_string(), path));
+                }
                 continue;
             }
             let Some(stem) = fname.strip_suffix(&format!(".{EXT}")) else {
@@ -123,6 +139,7 @@ impl SynopsisCatalog {
                         CatalogEntry {
                             sketch: Arc::new(sketch),
                             file_bytes,
+                            shadow: None,
                         },
                     );
                 }
@@ -131,6 +148,27 @@ impl SynopsisCatalog {
                     quarantine.set_file_name(format!("{fname}{CORRUPT_SUFFIX}"));
                     let _ = fs::rename(&path, &quarantine);
                     quarantined.push(stem.to_string());
+                }
+            }
+        }
+        // Second pass: attach shadow sidecars to their entries. Orphans
+        // (sidecar without a sketch) are removed — their entry is gone, so
+        // the alternate synopses describe nothing. Undecodable sidecars are
+        // quarantined like sketches, listed under their full file name so
+        // they never shadow a `.mncs` quarantine of the same stem.
+        for (stem, path) in sidecars {
+            let Some(entry) = entries.get_mut(&stem) else {
+                let _ = fs::remove_file(&path);
+                continue;
+            };
+            match fs::read(&path).ok().and_then(|b| sidecar::decode(&b)) {
+                Some(shadow) => entry.shadow = Some(Arc::new(shadow)),
+                None => {
+                    let mut quarantine = path.clone();
+                    let fname = format!("{stem}.{SIDECAR_EXT}");
+                    quarantine.set_file_name(format!("{fname}{CORRUPT_SUFFIX}"));
+                    let _ = fs::rename(&path, &quarantine);
+                    quarantined.push(fname);
                 }
             }
         }
@@ -167,12 +205,47 @@ impl SynopsisCatalog {
         if built {
             self.rebuilds += 1;
         }
+        // The new sketch replaces whatever was there; a sidecar built from
+        // the *old* raw data would silently describe the wrong matrix.
+        let _ = fs::remove_file(self.sidecar_path(name));
         let entry = CatalogEntry {
             sketch,
             file_bytes: bytes.len() as u64,
+            shadow: None,
         };
         self.entries.insert(name.to_string(), entry);
         Ok(&self.entries[name])
+    }
+
+    /// Stores `name` like [`Self::put`] (raw-data build, so `built == true`)
+    /// and persists the shadow sidecar next to it with the same tmp + rename
+    /// discipline, so a restart restores both without rebuilding either.
+    pub fn put_with_shadow(
+        &mut self,
+        name: &str,
+        sketch: Arc<MncSketch>,
+        shadow: ShadowSidecar,
+    ) -> Result<&CatalogEntry, ServiceError> {
+        self.put(name, sketch, true)?;
+        let bytes = sidecar::encode(&shadow);
+        let final_path = self.sidecar_path(name);
+        let tmp_path = self.dir.join(format!("{name}.{SIDECAR_EXT}{TMP_SUFFIX}"));
+        fs::write(&tmp_path, &bytes)
+            .and_then(|()| fs::rename(&tmp_path, &final_path))
+            .map_err(|e| ServiceError::Degraded(format!("persist {name} sidecar: {e}")))?;
+        let entry = self.entries.get_mut(name).expect("just inserted");
+        entry.shadow = Some(Arc::new(shadow));
+        Ok(&self.entries[name])
+    }
+
+    /// The shadow sidecar under `name`, if one was ingested or restored.
+    pub fn shadow(&self, name: &str) -> Option<Arc<ShadowSidecar>> {
+        self.entries.get(name).and_then(|e| e.shadow.clone())
+    }
+
+    /// Number of entries carrying a shadow sidecar.
+    pub fn shadow_count(&self) -> usize {
+        self.entries.values().filter(|e| e.shadow.is_some()).count()
     }
 
     /// The entry under `name`, if present.
@@ -196,6 +269,7 @@ impl SynopsisCatalog {
         if self.entries.remove(name).is_none() {
             return Ok(false);
         }
+        let _ = fs::remove_file(self.sidecar_path(name));
         match fs::remove_file(self.entry_path(name)) {
             Ok(()) => Ok(true),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(true),
@@ -230,6 +304,10 @@ impl SynopsisCatalog {
 
     fn entry_path(&self, name: &str) -> PathBuf {
         self.dir.join(format!("{name}.{EXT}"))
+    }
+
+    fn sidecar_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.{SIDECAR_EXT}"))
     }
 }
 
@@ -333,6 +411,90 @@ mod tests {
         let again = SynopsisCatalog::open(&dir).unwrap();
         assert_eq!(again.len(), 1);
         assert!(again.quarantined().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shadow_sidecar_persists_and_reopens() {
+        let dir = tmpdir("sidecar");
+        let mut r = rand::rngs::StdRng::seed_from_u64(40);
+        let m = Arc::new(gen::rand_uniform(&mut r, 30, 24, 0.1));
+        {
+            let mut cat = SynopsisCatalog::open(&dir).unwrap();
+            let sk = Arc::new(MncSketch::build(&m));
+            cat.put_with_shadow("A", sk, ShadowSidecar::build(&m, true))
+                .unwrap();
+            assert_eq!(cat.shadow_count(), 1);
+        }
+        assert!(dir.join("A.mncx").exists());
+        let cat = SynopsisCatalog::open(&dir).unwrap();
+        assert_eq!(cat.rebuilds(), 0, "sidecar reload must not rebuild");
+        let shadow = cat.shadow("A").expect("sidecar restored");
+        assert_eq!(shadow.bitset.count_ones(), m.nnz() as u64);
+        assert_eq!(shadow.csr.as_ref().unwrap().nnz(), m.nnz());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plain_put_clears_stale_sidecar() {
+        let dir = tmpdir("sidecar-stale");
+        let mut r = rand::rngs::StdRng::seed_from_u64(41);
+        let m = Arc::new(gen::rand_uniform(&mut r, 30, 24, 0.1));
+        let mut cat = SynopsisCatalog::open(&dir).unwrap();
+        cat.put_with_shadow(
+            "A",
+            Arc::new(MncSketch::build(&m)),
+            ShadowSidecar::build(&m, false),
+        )
+        .unwrap();
+        assert!(dir.join("A.mncx").exists());
+        // A pre-serialized re-ingest has no raw data: the old sidecar would
+        // describe the wrong matrix and must go.
+        cat.put("A", sketch(42), false).unwrap();
+        assert!(cat.shadow("A").is_none());
+        assert!(!dir.join("A.mncx").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_deletes_sidecar_and_orphans_are_swept() {
+        let dir = tmpdir("sidecar-orphan");
+        let mut r = rand::rngs::StdRng::seed_from_u64(43);
+        let m = Arc::new(gen::rand_uniform(&mut r, 20, 20, 0.2));
+        let mut cat = SynopsisCatalog::open(&dir).unwrap();
+        cat.put_with_shadow(
+            "A",
+            Arc::new(MncSketch::build(&m)),
+            ShadowSidecar::build(&m, false),
+        )
+        .unwrap();
+        assert!(cat.remove("A").unwrap());
+        assert!(!dir.join("A.mncx").exists());
+        // Plant an orphan sidecar with no matching sketch: open sweeps it.
+        fs::write(
+            dir.join("ghost.mncx"),
+            crate::sidecar::encode(&ShadowSidecar::build(&m, false)),
+        )
+        .unwrap();
+        let cat = SynopsisCatalog::open(&dir).unwrap();
+        assert_eq!(cat.shadow_count(), 0);
+        assert!(!dir.join("ghost.mncx").exists(), "orphan must be swept");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_sidecar_is_quarantined_entry_survives() {
+        let dir = tmpdir("sidecar-corrupt");
+        {
+            let mut cat = SynopsisCatalog::open(&dir).unwrap();
+            cat.put("A", sketch(44), false).unwrap();
+        }
+        fs::write(dir.join("A.mncx"), b"definitely not a sidecar").unwrap();
+        let cat = SynopsisCatalog::open(&dir).unwrap();
+        assert!(cat.get("A").is_some(), "primary entry must survive");
+        assert!(cat.shadow("A").is_none());
+        assert_eq!(cat.quarantined(), ["A.mncx"]);
+        assert!(dir.join("A.mncx.corrupt").exists());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -22,6 +22,13 @@
 //!   response (`x-mnc-trace-id`), per-endpoint RED metrics with the latency
 //!   split into queue wait vs service time, and tail-sampled slow-request
 //!   capture behind `GET /v1/debug/requests`;
+//! * [`sidecar`] + [`shadow`] — the **shadow estimation plane**: alternate
+//!   synopses (DMap, Bitset) persisted next to each catalog entry, and a
+//!   bounded background worker that re-runs a sampled fraction of estimates
+//!   through the alternate estimators, recording cross-estimator divergence
+//!   (and true error where retained CSR gives exact ground truth) into the
+//!   accuracy channel, `/metrics`, and `GET /v1/debug/shadow` — never the
+//!   hot path;
 //! * [`service`] — the [`Handler`](mnc_obsd::Handler) tying it together,
 //!   with per-client sessions ([`mnc_expr::SessionPool`]) and the PR-5
 //!   telemetry endpoints mounted as the health plane.
@@ -38,6 +45,7 @@
 //! | `POST /v1/estimate` | estimate an op or DAG over named matrices |
 //! | `GET /v1/status` | service counters |
 //! | `GET /v1/debug/requests` | tail-captured slow/error requests (JSONL, `?format=chrome`) |
+//! | `GET /v1/debug/shadow` | worst cross-estimator divergence exemplars (JSONL) |
 //! | `GET /healthz`, `/metrics`, `/flight`, `/attribution` | health plane |
 //!
 //! Run the daemon with the `mnc-served` binary; see the repository README
@@ -48,6 +56,8 @@ pub mod error;
 pub mod gate;
 pub mod proto;
 pub mod service;
+pub mod shadow;
+pub mod sidecar;
 pub mod trace;
 pub mod walk;
 
@@ -56,6 +66,8 @@ pub use error::ServiceError;
 pub use gate::AdmissionGate;
 pub use proto::EstimateRequest;
 pub use service::{EstimationService, ServedConfig};
+pub use shadow::{ShadowExemplar, ShadowPlane};
+pub use sidecar::ShadowSidecar;
 pub use trace::{endpoint_of, retry_after_from_p99, CapturedRequest, TracePlane};
 pub use walk::{DagSpec, EstimateOutcome, NodeSpec, MAX_DAG_NODES};
 

@@ -33,6 +33,8 @@ use crate::catalog::{validate_name, SynopsisCatalog};
 use crate::error::ServiceError;
 use crate::gate::AdmissionGate;
 use crate::proto;
+use crate::shadow::ShadowPlane;
+use crate::sidecar::ShadowSidecar;
 use crate::trace::{endpoint_of, TracePlane};
 use crate::walk::{self, NodeSpec};
 
@@ -59,6 +61,13 @@ pub struct ServedConfig {
     pub capture_capacity: usize,
     /// Optional JSONL access log receiving every tail-captured request.
     pub access_log: Option<PathBuf>,
+    /// Fraction of `POST /v1/estimate` requests re-run through the
+    /// alternate estimators on the shadow plane (0.0 disables the plane
+    /// entirely). Primary responses are byte-identical at any rate.
+    pub shadow_rate: f64,
+    /// Retain raw CSR data inside shadow sidecars, letting the shadow plane
+    /// compute exact ground truth for single-op estimates.
+    pub retain_csr: bool,
     /// Test hook: hold each admitted estimate's compute slot for this long
     /// before working, making saturation deterministic to provoke.
     pub debug_estimate_delay: Option<Duration>,
@@ -78,6 +87,8 @@ impl ServedConfig {
             slow_threshold: Duration::from_millis(250),
             capture_capacity: 64,
             access_log: None,
+            shadow_rate: 0.0,
+            retain_csr: false,
             debug_estimate_delay: None,
         }
     }
@@ -99,6 +110,8 @@ pub struct EstimationService {
     gate: AdmissionGate,
     daemon: ObsDaemon,
     trace: TracePlane,
+    shadow: ShadowPlane,
+    retain_csr: bool,
     counters: Counters,
     started: Instant,
     delay: Option<Duration>,
@@ -113,12 +126,15 @@ impl EstimationService {
             ..ObsdConfig::default()
         });
         let trace = TracePlane::new(&cfg, &daemon)?;
+        let shadow = ShadowPlane::new(&cfg, &daemon);
         Ok(Arc::new(EstimationService {
             catalog: Mutex::new(catalog),
             sessions: Mutex::new(SessionPool::new(cfg.sessions)),
             gate: AdmissionGate::new(cfg.workers, cfg.queue),
             daemon,
             trace,
+            shadow,
+            retain_csr: cfg.retain_csr,
             counters: Counters::default(),
             started: Instant::now(),
             delay: cfg.debug_estimate_delay,
@@ -133,6 +149,11 @@ impl EstimationService {
     /// The request-scoped tracing plane (RED metrics, tail capture).
     pub fn trace_plane(&self) -> &TracePlane {
         &self.trace
+    }
+
+    /// The shadow estimation plane (alternate-estimator divergence).
+    pub fn shadow_plane(&self) -> &ShadowPlane {
+        &self.shadow
     }
 
     /// Sketches built from raw matrix data since the catalog was opened —
@@ -155,6 +176,7 @@ impl EstimationService {
             ("GET", "/status") => Ok(self.status()),
             ("GET", "/matrices") => Ok(self.list_matrices()),
             ("GET", "/debug/requests") => Ok(self.trace.debug_requests(req.query_param("format"))),
+            ("GET", "/debug/shadow") => Ok(self.shadow.debug_shadow()),
             ("POST", "/estimate") => self.estimate(&req.body, ctx),
             (method, path) => {
                 let name = path
@@ -177,9 +199,14 @@ impl EstimationService {
     }
 
     fn status(&self) -> Response {
-        let (n_matrices, rebuilds, quarantined) = {
+        let (n_matrices, rebuilds, quarantined, sidecars) = {
             let cat = self.catalog.lock().expect("catalog poisoned");
-            (cat.len(), cat.rebuilds(), cat.quarantined().len())
+            (
+                cat.len(),
+                cat.rebuilds(),
+                cat.quarantined().len(),
+                cat.shadow_count(),
+            )
         };
         let (active_sessions, pstats) = {
             let pool = self.sessions.lock().expect("sessions poisoned");
@@ -190,7 +217,10 @@ impl EstimationService {
              \"errors\":{},\"matrices\":{},\"rebuilds\":{},\"quarantined\":{},\
              \"workers\":{},\"queue\":{},\"active\":{},\
              \"sessions\":{{\"active\":{},\"created\":{},\"evicted_idle\":{},\
-             \"evicted_lru\":{}}}}}",
+             \"evicted_lru\":{}}},\
+             \"tracing\":{{\"enabled\":{},\"captured\":{},\"retry_after_secs\":{}}},\
+             \"shadow\":{{\"enabled\":{},\"sampled\":{},\"completed\":{},\
+             \"dropped\":{},\"queue_depth\":{},\"sidecars\":{}}}}}",
             self.started.elapsed().as_secs(),
             self.counters.requests.load(Ordering::Relaxed),
             self.counters.estimates.load(Ordering::Relaxed),
@@ -206,6 +236,15 @@ impl EstimationService {
             pstats.created,
             pstats.evicted_idle,
             pstats.evicted_lru,
+            self.trace.enabled(),
+            self.trace.captured_total(),
+            self.trace.retry_after_secs(),
+            self.shadow.enabled(),
+            self.shadow.sampled(),
+            self.shadow.completed(),
+            self.shadow.dropped(),
+            self.shadow.queue_depth(),
+            sidecars,
         );
         Response::json(200, body)
     }
@@ -236,9 +275,10 @@ impl EstimationService {
         let is_binary = req
             .header("content-type")
             .is_some_and(|ct| ct.starts_with("application/octet-stream"));
-        let (sketch, built) = if is_binary {
-            // Pre-built sketch: decode, never build.
-            (Arc::new(from_bytes(&req.body)?), false)
+        let (sketch, sidecar): (_, Option<ShadowSidecar>) = if is_binary {
+            // Pre-built sketch: decode, never build. No raw data means no
+            // shadow sidecar — the shadow plane skips these leaves.
+            (Arc::new(from_bytes(&req.body)?), None)
         } else {
             // Raw CSR: building a sketch is compute — it goes through the
             // admission gate like any estimate.
@@ -257,11 +297,18 @@ impl EstimationService {
                     "MNC estimator built a foreign synopsis".into(),
                 )));
             };
-            (Arc::new(s.sketch), true)
+            // Alternate synopses are always built at ingest time —
+            // whatever today's shadow rate, a later restart with shadowing
+            // enabled must never rebuild them.
+            let sidecar = ShadowSidecar::build(&matrix, self.retain_csr);
+            (Arc::new(s.sketch), Some(sidecar))
         };
         let body = {
             let mut cat = self.catalog.lock().expect("catalog poisoned");
-            let entry = cat.put(name, sketch, built)?;
+            let entry = match sidecar {
+                Some(sc) => cat.put_with_shadow(name, sketch, sc)?,
+                None => cat.put(name, sketch, false)?,
+            };
             proto::matrix_meta_json(name, &entry.sketch, entry.file_bytes)
         };
         // The name may be re-bound to different data: drop every session so
@@ -369,6 +416,24 @@ impl EstimationService {
         let t = ctx.transition(t, "serialize");
         let resp = Response::json(200, proto::estimate_json(&out));
         ctx.exit(t);
+        // Shadow sampling happens strictly after the response body exists:
+        // the decision is one atomic + hash (zero-alloc, see the plane
+        // docs), and even a sampled request only clones inputs for the
+        // background queue — the bytes above are already final.
+        if self.shadow.should_sample() {
+            self.shadow
+                .submit(ctx.trace_hex(), &req.dag, out.sparsity, &raw, || {
+                    let cat = self.catalog.lock().expect("catalog poisoned");
+                    req.dag
+                        .nodes
+                        .iter()
+                        .map(|n| match n {
+                            NodeSpec::Leaf(name) => cat.shadow(name),
+                            NodeSpec::Op { .. } => None,
+                        })
+                        .collect()
+                });
+        }
         Ok(resp)
     }
 

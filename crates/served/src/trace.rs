@@ -43,13 +43,14 @@ use crate::service::ServedConfig;
 
 /// Normalized endpoint labels: bounded cardinality no matter what clients
 /// put on the wire (matrix names collapse into `{name}`).
-const ENDPOINTS: [&str; 11] = [
+const ENDPOINTS: [&str; 12] = [
     "/v1/estimate",
     "/v1/status",
     "/v1/matrices",
     "/v1/matrices/{name}",
     "/v1/matrices/{name}/sketch",
     "/v1/debug/requests",
+    "/v1/debug/shadow",
     "/metrics",
     "/healthz",
     "/flight",
@@ -70,10 +71,11 @@ pub fn endpoint_of(path: &str) -> (usize, &'static str) {
         "/v1/status" => 1,
         "/v1/matrices" => 2,
         "/v1/debug/requests" => 5,
-        "/metrics" => 6,
-        "/healthz" => 7,
-        "/flight" => 8,
-        "/attribution" => 9,
+        "/v1/debug/shadow" => 6,
+        "/metrics" => 7,
+        "/healthz" => 8,
+        "/flight" => 9,
+        "/attribution" => 10,
         p => match p.strip_prefix("/v1/matrices/") {
             Some(rest) if !rest.is_empty() => {
                 if rest.ends_with("/sketch") {
@@ -82,7 +84,7 @@ pub fn endpoint_of(path: &str) -> (usize, &'static str) {
                     3
                 }
             }
-            _ => 10,
+            _ => 11,
         },
     };
     (idx, ENDPOINTS[idx])
@@ -507,11 +509,12 @@ mod tests {
             (4, "/v1/matrices/{name}/sketch")
         );
         assert_eq!(endpoint_of("/v1/debug/requests"), (5, "/v1/debug/requests"));
-        assert_eq!(endpoint_of("/metrics"), (6, "/metrics"));
-        assert_eq!(endpoint_of("/healthz"), (7, "/healthz"));
-        assert_eq!(endpoint_of("/nope"), (10, "other"));
-        assert_eq!(endpoint_of("/v1/matrices/"), (10, "other"));
-        assert_eq!(endpoint_of("/v1/unknown"), (10, "other"));
+        assert_eq!(endpoint_of("/v1/debug/shadow"), (6, "/v1/debug/shadow"));
+        assert_eq!(endpoint_of("/metrics"), (7, "/metrics"));
+        assert_eq!(endpoint_of("/healthz"), (8, "/healthz"));
+        assert_eq!(endpoint_of("/nope"), (11, "other"));
+        assert_eq!(endpoint_of("/v1/matrices/"), (11, "other"));
+        assert_eq!(endpoint_of("/v1/unknown"), (11, "other"));
     }
 
     #[test]

@@ -620,6 +620,173 @@ fn tracing_off_is_bit_identical_and_headerless() {
 }
 
 #[test]
+fn shadowing_on_is_byte_identical_to_shadowing_off() {
+    let (a, b, c) = chain_matrices();
+
+    let plain_body = {
+        let dir = tmpdir("shadowoff");
+        let (_svc, _handle, addr) = start(ServedConfig::new(&dir));
+        put_chain(&addr, &a, &b, &c);
+        let (status, _, body) = http(&addr, "POST", "/v1/estimate", None, CHAIN_DAG.as_bytes());
+        assert_eq!(status, 200);
+        let _ = std::fs::remove_dir_all(&dir);
+        body
+    };
+
+    let dir = tmpdir("shadowon");
+    let mut cfg = ServedConfig::new(&dir);
+    cfg.shadow_rate = 1.0;
+    cfg.retain_csr = true;
+    let (svc, _handle, addr) = start(cfg);
+    put_chain(&addr, &a, &b, &c);
+    for _ in 0..4 {
+        let (status, _, body) = http(&addr, "POST", "/v1/estimate", None, CHAIN_DAG.as_bytes());
+        assert_eq!(status, 200);
+        assert_eq!(
+            body, plain_body,
+            "estimates must be byte-identical with shadowing on and off"
+        );
+    }
+    svc.shadow_plane().drain();
+    assert_eq!(
+        svc.shadow_plane().sampled(),
+        4,
+        "rate 1.0 samples everything"
+    );
+    assert_eq!(
+        svc.shadow_plane().completed() + svc.shadow_plane().dropped(),
+        4
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shadow_plane_surfaces_divergence_metrics_and_exemplars() {
+    let dir = tmpdir("shadowplane");
+    let mut cfg = ServedConfig::new(&dir);
+    cfg.shadow_rate = 1.0;
+    cfg.retain_csr = true;
+    let (svc, _handle, addr) = start(cfg);
+    let (a, b, c) = chain_matrices();
+    put_chain(&addr, &a, &b, &c);
+
+    // A deep DAG (divergence only) and a single-op DAG (exact ground truth
+    // from retained CSR).
+    let single_op = br#"{"op":"matmul","inputs":["A","B"]}"#;
+    for body in [CHAIN_DAG.as_bytes(), single_op.as_slice()] {
+        let (status, _, resp) = http(&addr, "POST", "/v1/estimate", None, body);
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&resp));
+    }
+    svc.shadow_plane().drain();
+
+    // 1. The exemplar ring serves valid, labeled JSONL.
+    let (status, headers, body) = http(&addr, "GET", "/v1/debug/shadow", None, b"");
+    assert_eq!(status, 200);
+    assert!(headers["content-type"].starts_with("application/jsonl"));
+    let text = String::from_utf8(body).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "both sampled estimates leave exemplars");
+    for line in &lines {
+        let v = mnc_obs::json::parse(line).expect("exemplar line is json");
+        assert_eq!(v.get("type").and_then(|t| t.as_str()), Some("shadow"));
+        assert_eq!(v.get("op").and_then(|o| o.as_str()), Some("matmul"));
+        assert!(v.get("primary").and_then(|p| p.as_f64()).is_some());
+    }
+    assert!(
+        text.contains("\"truth\":"),
+        "retained CSR must yield ground truth for the single-op request:\n{text}"
+    );
+
+    // 2. The shadow scoreboard is on /metrics.
+    let (_, _, metrics) = http(&addr, "GET", "/metrics", None, b"");
+    let metrics = String::from_utf8(metrics).unwrap();
+    for needle in [
+        "mnc_shadow_sampled_total",
+        "mnc_shadow_completed_total",
+        "mnc_shadow_dropped_total",
+        "mnc_shadow_queue_depth",
+        "mnc_shadow_runs_total{estimator=\"DMap\"}",
+        "mnc_shadow_runs_total{estimator=\"Bitset\"}",
+        "mnc_shadow_runs_total{estimator=\"MetaAC\"}",
+        "mnc_shadow_divergence_milli_bucket{estimator=\"DMap\",op=\"matmul\"",
+        "mnc_shadow_latency_ns_bucket{estimator=\"Bitset\"",
+    ] {
+        assert!(
+            needle.is_empty() || metrics.contains(needle),
+            "missing {needle} in:\n{metrics}"
+        );
+    }
+
+    // 3. The drift monitor saw the shadow accuracy records — its live
+    //    series are exported per (estimator, op).
+    for needle in [
+        "mnc_obsd_drift_geo_ewma_milli{estimator=\"DMap\",op=\"matmul\"}",
+        "mnc_obsd_drift_p95_milli{estimator=\"Bitset\",op=\"matmul\"}",
+        "mnc_obsd_drift_samples{estimator=\"MNC\",op=\"matmul\"}",
+    ] {
+        assert!(metrics.contains(needle), "missing {needle} in:\n{metrics}");
+    }
+
+    // 4. /v1/status carries the shadow and tracing counters.
+    let (_, _, status_body) = http(&addr, "GET", "/v1/status", None, b"");
+    let v = json_body(&status_body);
+    let shadow = v.get("shadow").expect("status must embed shadow block");
+    assert!(matches!(
+        shadow.get("enabled"),
+        Some(mnc_obs::json::JsonValue::Bool(true))
+    ));
+    assert_eq!(shadow.get("sampled").and_then(|x| x.as_f64()), Some(2.0));
+    assert_eq!(shadow.get("sidecars").and_then(|x| x.as_f64()), Some(3.0));
+    let tracing = v.get("tracing").expect("status must embed tracing block");
+    assert!(matches!(
+        tracing.get("enabled"),
+        Some(mnc_obs::json::JsonValue::Bool(true))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shadow_sidecars_survive_restart_without_rebuilds() {
+    let dir = tmpdir("shadowrestart");
+    let (a, b, c) = chain_matrices();
+    {
+        // Ingest with shadowing off: sidecars are built & persisted anyway.
+        let mut cfg = ServedConfig::new(&dir);
+        cfg.retain_csr = true;
+        let (_svc, mut handle, addr) = start(cfg);
+        put_chain(&addr, &a, &b, &c);
+        handle.shutdown();
+    }
+    // Bounce with shadowing on: alternates come from disk, zero rebuilds.
+    let mut cfg = ServedConfig::new(&dir);
+    cfg.shadow_rate = 1.0;
+    let (svc, _handle, addr) = start(cfg);
+    assert_eq!(svc.rebuilds(), 0);
+    let (status, _, _) = http(
+        &addr,
+        "POST",
+        "/v1/estimate",
+        None,
+        br#"{"op":"matmul","inputs":["A","B"]}"#,
+    );
+    assert_eq!(status, 200);
+    svc.shadow_plane().drain();
+    let ex = svc.shadow_plane().exemplars();
+    assert_eq!(ex.len(), 1);
+    assert_eq!(
+        ex[0].estimates.len(),
+        3,
+        "persisted sidecars must feed all alternates after a bounce: {ex:?}"
+    );
+    assert!(
+        ex[0].truth.is_some(),
+        "retained CSR must survive the restart inside the sidecar"
+    );
+    assert_eq!(svc.rebuilds(), 0, "shadowing must never rebuild synopses");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn oversized_bodies_are_rejected_before_compute() {
     let dir = tmpdir("toolarge");
     let service = EstimationService::new(ServedConfig::new(&dir)).expect("service");

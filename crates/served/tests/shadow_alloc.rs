@@ -1,0 +1,61 @@
+//! Proof of the shadow plane's hot-path isolation: the per-request
+//! **sampling decision** — the only shadow code an unsampled request ever
+//! executes — allocates **nothing**, at rate 0 (plane disabled, one branch)
+//! and at rate 1 (counter fetch-add + SplitMix64 hash). Everything that
+//! does allocate (job cloning, queue submission, the alternate estimator
+//! runs) happens only on the sampled path, strictly after the response
+//! body exists, and mostly off-thread.
+//!
+//! Requires the `alloc-track` feature (the counting global allocator) and
+//! lives alone in its own integration binary: the allocation counters are
+//! process-global, so any concurrently running test would attribute its
+//! allocations to our measurement scope.
+
+#![cfg(feature = "alloc-track")]
+
+use mnc_obs::alloc::AllocScope;
+use mnc_obsd::{ObsDaemon, ObsdConfig};
+use mnc_served::{ServedConfig, ShadowPlane};
+
+fn plane(rate: f64) -> (ShadowPlane, ObsDaemon) {
+    let daemon = ObsDaemon::new(ObsdConfig {
+        flight_capacity: 64,
+        ..ObsdConfig::default()
+    });
+    let mut cfg = ServedConfig::new(std::env::temp_dir().join("mnc-shadow-alloc-unused"));
+    cfg.shadow_rate = rate;
+    (ShadowPlane::new(&cfg, &daemon), daemon)
+}
+
+#[test]
+fn sampling_decision_allocates_nothing_at_any_rate() {
+    for rate in [0.0, 0.5, 1.0] {
+        let (plane, _daemon) = plane(rate);
+        // Warm-up: fault in thread-locals and lazy state (there should be
+        // none, but the measurement must not be the first call).
+        let mut warm = 0u64;
+        for _ in 0..64 {
+            warm += u64::from(plane.should_sample());
+        }
+
+        let scope = AllocScope::start();
+        let mut hits = 0u64;
+        for _ in 0..10_000 {
+            hits += u64::from(plane.should_sample());
+        }
+        let delta = scope.measure();
+        assert_eq!(
+            delta.gross_bytes, 0,
+            "sampling decision at rate {rate} must not allocate \
+             (delta: {delta:?})"
+        );
+        assert_eq!(delta.allocs, 0, "no allocation events either: {delta:?}");
+
+        // The decisions really ran: rate 0 never samples, rate 1 always.
+        match rate {
+            r if r == 0.0 => assert_eq!(hits + warm, 0),
+            r if r == 1.0 => assert_eq!(hits, 10_000),
+            _ => assert!(hits > 0 && hits < 10_000, "rate {rate} hit {hits}"),
+        }
+    }
+}
