@@ -4,13 +4,13 @@
 //! ```text
 //! mnc-cli sketch <a.mtx>                      # print the MNC sketch summary
 //! mnc-cli estimate <a.mtx> <b.mtx> [--op matmul|ewadd|ewmul|ewmax|ewmin]
-//!                                  [--exact] [--repeat N] [--json]
+//!                                  [--exact] [--repeat N] [--threads N] [--json]
 //!                                             # all estimators on one op
 //! mnc-cli gen <uniform|permutation|nlp> <out.mtx> [rows cols sparsity]
 //! mnc-cli catalog add <dir> <a.mtx> [--name NAME]   # build + persist sketch
 //! mnc-cli catalog list <dir>                  # list persisted sketches
-//! mnc-cli serve --catalog <dir> [--addr HOST:PORT] [--workers N] [--queue N]
-//!                               [--slow-threshold MS] [--access-log PATH]
+//! mnc-cli serve --catalog <dir> [--addr HOST:PORT] [--workers N] [--threads N]
+//!                               [--queue N] [--slow-threshold MS] [--access-log PATH]
 //! ```
 //!
 //! `estimate` runs inside an estimation session: synopses are cached across
@@ -52,12 +52,14 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage:\n  mnc-cli sketch <a.mtx>\n  mnc-cli estimate <a.mtx> \
-                 <b.mtx> [--op matmul|ewadd|ewmul|ewmax|ewmin] [--exact] [--repeat N] [--json]\n    \
+                 <b.mtx> [--op matmul|ewadd|ewmul|ewmax|ewmin] [--exact] [--repeat N]\n    \
+                 [--threads N] [--json]\n    \
                  {}\n  \
                  mnc-cli gen <uniform|permutation|nlp> <out.mtx> [rows cols sparsity]\n  \
                  mnc-cli catalog add <dir> <a.mtx> [--name NAME]\n  \
                  mnc-cli catalog list <dir>\n  \
-                 mnc-cli serve --catalog <dir> [--addr HOST:PORT] [--workers N] [--queue N]\n    \
+                 mnc-cli serve --catalog <dir> [--addr HOST:PORT] [--workers N] [--threads N]\n    \
+                 [--queue N]\n    \
                  [--max-body BYTES] [--flight-capacity N] [--slow-threshold MS] [--access-log PATH]",
                 mnc_bench::OBS_USAGE
             );
@@ -152,6 +154,7 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
     let mut exact = false;
     let mut json = false;
     let mut repeat = 1usize;
+    let mut threads = 1usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -166,6 +169,13 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
                     .ok_or("--repeat needs a value")?
                     .parse()
                     .map_err(|_| "bad --repeat value")?;
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --threads value")?;
             }
             f => files.push(f.to_string()),
         }
@@ -202,7 +212,9 @@ fn cmd_estimate(args: &[String]) -> Result<(), String> {
     let nb = dag.leaf(files[1].clone(), Arc::clone(&b));
     let root = dag.op(op.clone(), &[na, nb]).map_err(|e| e.to_string())?;
     let server = obs.serve()?;
-    let mut ctx = EstimationContext::new().with_recorder(obs.recorder());
+    let mut ctx = EstimationContext::new()
+        .with_threads(threads)
+        .with_recorder(obs.recorder());
     if let Some(srv) = &server {
         srv.install(ctx.recorder());
     }
@@ -354,6 +366,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut catalog: Option<String> = None;
     let mut addr = "127.0.0.1:9419".to_string();
     let mut workers = 4usize;
+    let mut threads = 1usize;
     let mut queue = 8usize;
     let mut max_body = 4usize << 20;
     let mut flight_capacity = 1024usize;
@@ -371,6 +384,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 workers = value("--workers")?
                     .parse()
                     .map_err(|_| "--workers: not a number")?
+            }
+            "--threads" => {
+                threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads: not a number")?
             }
             "--queue" => {
                 queue = value("--queue")?
@@ -401,6 +419,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let catalog = catalog.ok_or("serve: --catalog is required")?;
     let mut cfg = ServedConfig::new(&catalog);
     cfg.workers = workers;
+    cfg.threads = threads;
     cfg.queue = queue;
     cfg.flight_capacity = flight_capacity;
     if let Some(ms) = slow_threshold_ms {

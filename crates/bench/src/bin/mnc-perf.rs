@@ -8,9 +8,15 @@
 //!
 //! ```text
 //! MNC_SCALE=0.1 MNC_REPS=3 cargo run --release --bin mnc-perf
+//! mnc-perf --scale 1.0 --reps 5           # paper-scale profile (flags win
+//!                                         # over MNC_SCALE / MNC_REPS)
 //! mnc-perf --baseline BENCH_MNC.json      # regression gate (non-zero exit)
 //! mnc-perf --out -                        # record to stdout instead
 //! ```
+//!
+//! `MNC_THREADS` sets the worker count of the `parallel.*` workload
+//! (default 4); every threaded path is asserted bit-identical to its
+//! sequential twin before it is timed.
 //!
 //! `MNC_PERF_INJECT=latency=100` (or `memory=`, `accuracy=`, `infinite=`)
 //! deliberately corrupts the metrics after collection, so CI can prove the
@@ -26,7 +32,9 @@ use mnc_bench::perf::{apply_injection, compare_to_baseline, render_json, run_sui
 use mnc_bench::{env_reps, env_scale, ObsArgs, OBS_USAGE};
 
 fn usage() -> String {
-    format!("usage: mnc-perf [--out <file|->] [--baseline <file>] {OBS_USAGE}")
+    format!(
+        "usage: mnc-perf [--out <file|->] [--baseline <file>] [--scale F] [--reps N] {OBS_USAGE}"
+    )
 }
 
 fn main() -> ExitCode {
@@ -40,6 +48,8 @@ fn main() -> ExitCode {
     };
     let mut out_path = "BENCH_MNC.json".to_string();
     let mut baseline: Option<String> = None;
+    let mut scale_flag: Option<f64> = None;
+    let mut reps_flag: Option<usize> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -57,6 +67,20 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--scale" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(f) if f > 0.0 => scale_flag = Some(f),
+                _ => {
+                    eprintln!("error: --scale needs a positive number\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--reps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => reps_flag = Some(n),
+                _ => {
+                    eprintln!("error: --reps needs a positive integer\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("unknown argument `{other}`\n{}", usage());
                 return ExitCode::from(2);
@@ -64,8 +88,8 @@ fn main() -> ExitCode {
         }
     }
 
-    let scale = env_scale(1.0);
-    let reps = env_reps(5);
+    let scale = scale_flag.unwrap_or_else(|| env_scale(1.0));
+    let reps = reps_flag.unwrap_or_else(|| env_reps(5));
     eprintln!("================================================================");
     eprintln!("mnc-perf — fixed suite: estimators / chain / cache / sparsest-b1");
     eprintln!("scale {scale}, {reps} reps; record schema mnc.perf.v1");

@@ -65,6 +65,7 @@ fn main() -> ExitCode {
         }
     };
     let mut save_sketches: Option<String> = None;
+    let mut threads = 1usize;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -75,9 +76,17 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => threads = n,
+                None => {
+                    eprintln!("error: --threads needs a number");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!(
-                    "unknown argument: {other}\nusage: sparsest [--save-sketches <dir>] {OBS_USAGE}"
+                    "unknown argument: {other}\nusage: sparsest [--save-sketches <dir>] \
+                     [--threads N] {OBS_USAGE}"
                 );
                 return ExitCode::from(2);
             }
@@ -116,7 +125,9 @@ fn main() -> ExitCode {
     // One estimation session for the whole suite: B2/B3 cases share dataset
     // matrices, and tracked-intermediate reports revisit the same DAGs, so
     // synopses get real reuse across cases.
-    let mut ctx = EstimationContext::new().with_recorder(rec.clone());
+    let mut ctx = EstimationContext::new()
+        .with_threads(threads)
+        .with_recorder(rec.clone());
     let mut results = Vec::new();
     let b1_cases = b1_suite(scale, 42);
     if let Some(dir) = &save_sketches {

@@ -15,7 +15,14 @@
 //! 4. **cache** — an [`EstimationContext`] optimizer-probe workload, cached
 //!    vs uncached;
 //! 5. **sparsest/b1** — the B1 accuracy sweep feeding per-estimator error
-//!    summaries.
+//!    summaries;
+//! 6. **served/load** — concurrent HTTP clients against an in-process
+//!    `mnc-served` (end-to-end latency quantiles);
+//! 7. **parallel** — sequential vs `MNC_THREADS`-worker runs of the
+//!    pool-backed paths (sketch build, boolean MM, density-map matmul,
+//!    DAG wavefront): `parallel.*.{seq,par}_p50_ns` latency-gated plus the
+//!    informational `parallel.*.speedup` ratios, with results asserted
+//!    bit-identical before timing.
 //!
 //! Latency quantiles are aggregated from the recorder's spans (the same
 //! records the Chrome trace shows), synopsis memory comes from
@@ -218,23 +225,35 @@ fn kernel_workload(rec: &Recorder, scale: f64, metrics: &mut BTreeMap<String, f6
     let x = lcg_counts(1, len, 1000);
     let y = lcg_counts(2, len, 1000);
     let (samples, inner) = (31, (1 << 16) / len.min(1 << 16) + 4);
-    let mut record = |name: &str, scalar_ns: f64, kernel_ns: f64| {
+    fn record(metrics: &mut BTreeMap<String, f64>, name: &str, scalar_ns: f64, kernel_ns: f64) {
         metrics.insert(format!("kernel.{name}.scalar_p50_ns"), scalar_ns);
         metrics.insert(format!("kernel.{name}.kernel_p50_ns"), kernel_ns);
         metrics.insert(
             format!("kernel.{name}.speedup"),
             scalar_ns / kernel_ns.max(1.0),
         );
-    };
+    }
 
+    let scalar_dot = batched_p50_ns(samples, inner, || {
+        black_box(scalar::dot_u32(black_box(&x), black_box(&y)));
+    });
     record(
+        metrics,
         "dot",
+        scalar_dot,
         batched_p50_ns(samples, inner, || {
-            black_box(scalar::dot_u32(black_box(&x), black_box(&y)));
+            black_box(mnc_kernels::dot_u32_portable(black_box(&x), black_box(&y)));
         }),
-        batched_p50_ns(samples, inner, || {
-            black_box(mnc_kernels::dot_u32(black_box(&x), black_box(&y)));
-        }),
+    );
+    // The runtime-dispatched lane (AVX2 where the host has it, the portable
+    // kernel elsewhere) gets its own gated latency plus an info ratio.
+    let simd_dot = batched_p50_ns(samples, inner, || {
+        black_box(mnc_kernels::dot_u32(black_box(&x), black_box(&y)));
+    });
+    metrics.insert("kernel.dot.simd_p50_ns".into(), simd_dot);
+    metrics.insert(
+        "kernel.dot.simd_speedup".into(),
+        scalar_dot / simd_dot.max(1.0),
     );
 
     // The `bool_mm` inner loop: OR four synopsis rows into the output row —
@@ -251,20 +270,56 @@ fn kernel_workload(rec: &Recorder, scale: f64, metrics: &mut BTreeMap<String, f6
         })
         .collect();
     let mut dst = vec![0u64; len];
+    let scalar_or = batched_p50_ns(samples, inner, || {
+        dst.fill(0);
+        for r in &rows {
+            scalar::or_into(&mut dst, r);
+        }
+        black_box(&dst);
+    });
     record(
+        metrics,
         "bool_mm_or",
+        scalar_or,
         batched_p50_ns(samples, inner, || {
             dst.fill(0);
-            for r in &rows {
-                scalar::or_into(&mut dst, r);
-            }
+            mnc_kernels::or4_into_portable(&mut dst, &rows[0], &rows[1], &rows[2], &rows[3]);
             black_box(&dst);
         }),
+    );
+    let simd_or = batched_p50_ns(samples, inner, || {
+        dst.fill(0);
+        mnc_kernels::or4_into(&mut dst, &rows[0], &rows[1], &rows[2], &rows[3]);
+        black_box(&dst);
+    });
+    metrics.insert("kernel.bool_mm_or.simd_p50_ns".into(), simd_or);
+    metrics.insert(
+        "kernel.bool_mm_or.simd_speedup".into(),
+        scalar_or / simd_or.max(1.0),
+    );
+
+    // Bitset word popcount (sparsity readback, and_popcount pricing):
+    // scalar count_ones fold vs the portable fold vs the dispatched
+    // nibble-LUT lane.
+    let words = &rows[0];
+    let scalar_pc = batched_p50_ns(samples, inner, || {
+        black_box(scalar::popcount(black_box(words)));
+    });
+    record(
+        metrics,
+        "popcount",
+        scalar_pc,
         batched_p50_ns(samples, inner, || {
-            dst.fill(0);
-            mnc_kernels::or4_into(&mut dst, &rows[0], &rows[1], &rows[2], &rows[3]);
-            black_box(&dst);
+            black_box(mnc_kernels::popcount_portable(black_box(words)));
         }),
+    );
+    let simd_pc = batched_p50_ns(samples, inner, || {
+        black_box(mnc_kernels::popcount(black_box(words)));
+    });
+    metrics.insert("kernel.popcount.simd_p50_ns".into(), simd_pc);
+    metrics.insert(
+        "kernel.popcount.simd_speedup".into(),
+        scalar_pc / simd_pc.max(1.0),
     );
 
     // Chain-opt DP probe: price every split of a six-sketch matmul chain
@@ -329,7 +384,7 @@ fn kernel_workload(rec: &Recorder, scale: f64, metrics: &mut BTreeMap<String, f6
         arena.put_u32(hr);
         arena.put_u32(hc);
     });
-    record("propagation_chain", scalar_ns, kernel_ns);
+    record(metrics, "propagation_chain", scalar_ns, kernel_ns);
 }
 
 /// Builds one optimizer probe over the shared leaves: alternating left- and
@@ -465,6 +520,162 @@ fn served_workload(rec: &Recorder, scale: f64, reps: usize, metrics: &mut BTreeM
     metrics.insert("served.shadow.p99_ns".into(), report.shadow_p99_ns);
 }
 
+/// Workload 7: sequential vs multi-threaded runs of the pool-backed hot
+/// paths. Thread count comes from `MNC_THREADS` (default 4). Every pair is
+/// asserted bit-identical once before timing — the parallel paths are
+/// rearrangements of the same arithmetic, not approximations — then both
+/// sides are timed and emitted as `parallel.<name>.{seq_p50_ns, par_p50_ns}`
+/// (latency-gated) plus the ungated `parallel.<name>.speedup` ratio.
+fn parallel_workload(rec: &Recorder, scale: f64, reps: usize, metrics: &mut BTreeMap<String, f64>) {
+    use mnc_estimators::bitset::{bool_mm, bool_mm_parallel, BitsetSynopsis};
+
+    let _w = rec.span("workload").op("parallel");
+    let threads = std::env::var("MNC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(4);
+    metrics.insert("parallel.threads".into(), threads as f64);
+    let samples = (2 * reps + 1).min(9);
+    let mut record = |name: &str, seq_ns: f64, par_ns: f64| {
+        metrics.insert(format!("parallel.{name}.seq_p50_ns"), seq_ns);
+        metrics.insert(format!("parallel.{name}.par_p50_ns"), par_ns);
+        metrics.insert(format!("parallel.{name}.speedup"), seq_ns / par_ns.max(1.0));
+    };
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x9A12_11E1);
+    // Paper-scale at `--scale 1.0`: 3000-dim operands, large enough that the
+    // per-call scoped-thread spawn (~100µs) amortizes. At CI's 0.1 scale the
+    // matrices are small and the seq/par latencies are gated individually —
+    // the speedup ratios only become meaningful at the profile scale.
+    let d = ((3000.0 * scale) as usize).max(128);
+    let a = Arc::new(gen::rand_uniform(&mut rng, d, d, 0.05));
+    let b = Arc::new(gen::rand_uniform(&mut rng, d, d, 0.03));
+
+    // MNC sketch build: row/column count scans split across workers, merged
+    // in index order.
+    let det = MncEstimator::with_config(
+        "MNC",
+        mnc_core::MncConfig {
+            probabilistic_rounding: false,
+            ..mnc_core::MncConfig::default()
+        },
+    );
+    let det_par = MncEstimator::with_config(
+        "MNC",
+        mnc_core::MncConfig {
+            probabilistic_rounding: false,
+            ..mnc_core::MncConfig::default()
+        },
+    )
+    .with_build_threads(threads);
+    let (sa, pa) = (det.build(&a).unwrap(), det_par.build(&a).unwrap());
+    let (sb, pb) = (det.build(&b).unwrap(), det_par.build(&b).unwrap());
+    let seq_est = det.estimate(&OpKind::MatMul, &[&sa, &sb]).unwrap();
+    let par_est = det_par.estimate(&OpKind::MatMul, &[&pa, &pb]).unwrap();
+    assert_eq!(
+        seq_est.to_bits(),
+        par_est.to_bits(),
+        "threaded sketch build must be bit-identical"
+    );
+    record(
+        "sketch_build",
+        batched_p50_ns(samples, 1, || {
+            black_box(det.build(black_box(&a)).unwrap());
+        }),
+        batched_p50_ns(samples, 1, || {
+            black_box(det_par.build(black_box(&a)).unwrap());
+        }),
+    );
+
+    // Bitset boolean matrix product: output rows are independent; the
+    // parallel fold ORs the same rows in the same order per output row.
+    let (ba, bb) = (
+        BitsetSynopsis::from_matrix(&a),
+        BitsetSynopsis::from_matrix(&b),
+    );
+    let seq_mm = bool_mm(&ba, &bb);
+    let par_mm = bool_mm_parallel(&ba, &bb, threads);
+    assert_eq!(
+        seq_mm.sparsity().to_bits(),
+        par_mm.sparsity().to_bits(),
+        "parallel bool_mm must be bit-identical"
+    );
+    record(
+        "bool_mm",
+        batched_p50_ns(samples, 1, || {
+            black_box(bool_mm(black_box(&ba), black_box(&bb)));
+        }),
+        batched_p50_ns(samples, 1, || {
+            black_box(bool_mm_parallel(black_box(&ba), black_box(&bb), threads));
+        }),
+    );
+
+    // Density-map pseudo-product: block rows of the output are independent
+    // and merged in index order. The block size scales with the dimension so
+    // the grid stays ~128 blocks/side — a paper-sized pseudo-product, not a
+    // single-block trivial case.
+    let dm_block = (d / 128).max(1);
+    let dm_seq = DensityMapEstimator::with_block(dm_block);
+    let dm_par = DensityMapEstimator::with_block(dm_block).with_threads(threads);
+    let (da, db) = (dm_seq.build(&a).unwrap(), dm_seq.build(&b).unwrap());
+    let seq_dm = dm_seq.propagate(&OpKind::MatMul, &[&da, &db]).unwrap();
+    let par_dm = dm_par.propagate(&OpKind::MatMul, &[&da, &db]).unwrap();
+    assert_eq!(
+        seq_dm.sparsity().to_bits(),
+        par_dm.sparsity().to_bits(),
+        "threaded density-map matmul must be bit-identical"
+    );
+    record(
+        "dmap_matmul",
+        batched_p50_ns(samples, 1, || {
+            black_box(dm_seq.propagate(&OpKind::MatMul, &[&da, &db]).unwrap());
+        }),
+        batched_p50_ns(samples, 1, || {
+            black_box(dm_par.propagate(&OpKind::MatMul, &[&da, &db]).unwrap());
+        }),
+    );
+
+    // DAG wavefront: a wide expression (two independent products joined by
+    // an add) walked cold by an `EstimationContext` — the parallel side
+    // schedules each topological level across the session pool.
+    let c = Arc::new(gen::rand_uniform(&mut rng, d, d, 0.04));
+    let e = Arc::new(gen::rand_uniform(&mut rng, d, d, 0.02));
+    let mut dag = ExprDag::new();
+    let (la, lb, lc, le) = (
+        dag.leaf("A", Arc::clone(&a)),
+        dag.leaf("B", Arc::clone(&b)),
+        dag.leaf("C", Arc::clone(&c)),
+        dag.leaf("E", Arc::clone(&e)),
+    );
+    let left = dag.matmul(la, lb).expect("square chain");
+    let right = dag.matmul(lc, le).expect("square chain");
+    let root = dag.ew_add(left, right).expect("same shape");
+    let seq_root = EstimationContext::new()
+        .estimate_root(&det, &dag, root)
+        .expect("estimate");
+    let par_root = EstimationContext::new()
+        .with_threads(threads)
+        .estimate_root(&det, &dag, root)
+        .expect("estimate");
+    assert_eq!(
+        seq_root.to_bits(),
+        par_root.to_bits(),
+        "parallel wavefront must be bit-identical"
+    );
+    record(
+        "wavefront",
+        batched_p50_ns(samples, 1, || {
+            let mut ctx = EstimationContext::new();
+            black_box(ctx.estimate_root(&det, &dag, root).expect("estimate"));
+        }),
+        batched_p50_ns(samples, 1, || {
+            let mut ctx = EstimationContext::new().with_threads(threads);
+            black_box(ctx.estimate_root(&det, &dag, root).expect("estimate"));
+        }),
+    );
+}
+
 /// Runs the fixed suite at the given scale knobs and returns the report
 /// plus the recorder (for `--trace` / `--metrics` emission by the binary).
 pub fn run_suite(scale: f64, reps: usize) -> (PerfReport, Recorder) {
@@ -480,6 +691,7 @@ pub fn run_suite(scale: f64, reps: usize) -> (PerfReport, Recorder) {
     cache_workload(&rec, d_est, reps, &mut metrics);
     let accuracy = accuracy_workload(&rec, scale, &mut metrics);
     served_workload(&rec, scale, reps, &mut metrics);
+    parallel_workload(&rec, scale, reps, &mut metrics);
     metrics.insert("suite.total_ns".into(), t0.elapsed().as_nanos() as f64);
 
     // Latency quantiles aggregated from the recorder's spans — the same
@@ -992,12 +1204,27 @@ mod tests {
         }
         assert!(report.metrics.contains_key("build.MNC.p50_ns"));
         assert!(report.metrics.contains_key("cache.cached_total_ns"));
-        for name in ["dot", "bool_mm_or", "propagation_chain"] {
+        for name in ["dot", "bool_mm_or", "popcount", "propagation_chain"] {
             for stat in ["scalar_p50_ns", "kernel_p50_ns", "speedup"] {
                 let key = format!("kernel.{name}.{stat}");
                 assert!(report.metrics.contains_key(&key), "missing {key}");
             }
         }
+        // The dispatched (SIMD where available) lane is measured separately
+        // from the portable kernel so the CI gate can watch it directly.
+        for name in ["dot", "bool_mm_or", "popcount"] {
+            for stat in ["simd_p50_ns", "simd_speedup"] {
+                let key = format!("kernel.{name}.{stat}");
+                assert!(report.metrics.contains_key(&key), "missing {key}");
+            }
+        }
+        for name in ["sketch_build", "bool_mm", "dmap_matmul", "wavefront"] {
+            for stat in ["seq_p50_ns", "par_p50_ns", "speedup"] {
+                let key = format!("parallel.{name}.{stat}");
+                assert!(report.metrics.contains_key(&key), "missing {key}");
+            }
+        }
+        assert!(report.metrics.contains_key("parallel.threads"));
         assert!(report
             .metrics
             .keys()

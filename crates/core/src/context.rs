@@ -13,7 +13,7 @@ use std::fmt;
 use std::hash::Hash;
 use std::time::Instant;
 
-use mnc_kernels::row_chunks;
+use mnc_kernels::{row_chunks, WorkerPool};
 use mnc_matrix::CsrMatrix;
 use mnc_obs::LatencyHisto;
 
@@ -417,17 +417,12 @@ impl MncSketch {
             return Self::build_with(m, use_extended);
         }
         let chunks = row_chunks(nrows, threads);
+        let pool = WorkerPool::new(threads);
 
-        // Phase 1: per-chunk counts on scoped threads, merged here.
-        let phase1: Vec<Chunk1> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|&(lo, hi)| scope.spawn(move || chunk_phase1(m, lo, hi, ncols)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("phase 1 worker panicked"))
-                .collect()
+        // Phase 1: per-chunk counts on pool workers, merged in chunk order.
+        let phase1: Vec<Chunk1> = pool.run(chunks.len(), |k| {
+            let (lo, hi) = chunks[k];
+            chunk_phase1(m, lo, hi, ncols)
         });
         let mut hr = Vec::with_capacity(nrows);
         let mut hc = vec![0u32; ncols];
@@ -446,15 +441,9 @@ impl MncSketch {
         // Phase 2: extended vectors against the merged global h^c.
         let (her, hec) = if use_extended && max_hr > 1 && max_hc > 1 {
             let hc_ref = &hc;
-            let phase2: Vec<Chunk2> = std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|&(lo, hi)| scope.spawn(move || chunk_phase2(m, lo, hi, hc_ref)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("phase 2 worker panicked"))
-                    .collect()
+            let phase2: Vec<Chunk2> = pool.run(chunks.len(), |k| {
+                let (lo, hi) = chunks[k];
+                chunk_phase2(m, lo, hi, hc_ref)
             });
             let mut her = Vec::with_capacity(nrows);
             let mut hec = vec![0u32; ncols];

@@ -11,7 +11,7 @@
 
 use std::sync::Arc;
 
-use mnc_kernels::{or4_into, or_into, popcount, row_chunks};
+use mnc_kernels::{or4_into, or_into, popcount, row_chunks, WorkerPool};
 use mnc_matrix::CsrMatrix;
 
 use crate::{EstimatorError, OpKind, Result, SparsityEstimator, Synopsis};
@@ -55,8 +55,8 @@ impl BitsetSynopsis {
         b
     }
 
-    /// Packs the non-zero pattern on `threads` scoped worker threads, each
-    /// filling a disjoint row-chunk of the bit buffer. Bit-identical to
+    /// Packs the non-zero pattern on `threads` pool workers, each filling a
+    /// disjoint row-chunk of the bit buffer. Bit-identical to
     /// [`BitsetSynopsis::from_matrix`].
     pub fn from_matrix_parallel(m: &CsrMatrix, threads: usize) -> Self {
         let threads = threads.clamp(1, m.nrows().max(1));
@@ -65,12 +65,13 @@ impl BitsetSynopsis {
         if threads == 1 || wpr == 0 {
             return Self::from_matrix(m);
         }
-        let mut rest = b.bits.as_mut_slice();
-        std::thread::scope(|scope| {
+        {
+            let mut rest = b.bits.as_mut_slice();
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
             for (lo, hi) in row_chunks(m.nrows(), threads) {
                 let (chunk, tail) = rest.split_at_mut((hi - lo) * wpr);
                 rest = tail;
-                scope.spawn(move || {
+                tasks.push(Box::new(move || {
                     for (k, i) in (lo..hi).enumerate() {
                         let (cols, _) = m.row(i);
                         let base = k * wpr;
@@ -78,9 +79,10 @@ impl BitsetSynopsis {
                             chunk[base + (c as usize >> 6)] |= 1u64 << (c as usize & 63);
                         }
                     }
-                });
+                }));
             }
-        });
+            WorkerPool::new(threads).run_tasks(tasks);
+        }
         b.ones = popcount(&b.bits);
         b
     }
@@ -198,16 +200,18 @@ pub fn bool_mm_parallel(a: &BitsetSynopsis, b: &BitsetSynopsis, threads: usize) 
         return c;
     }
     let wpr = c.words_per_row;
-    let mut rest = c.bits.as_mut_slice();
-    std::thread::scope(|scope| {
+    {
+        let mut rest = c.bits.as_mut_slice();
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
         for (start, end) in row_chunks(a.nrows, threads) {
             let (chunk, tail) = rest.split_at_mut((end - start) * wpr);
             rest = tail;
-            scope.spawn(move || {
+            tasks.push(Box::new(move || {
                 bool_mm_rows_into(a, b, chunk, start, end, wpr);
-            });
+            }));
         }
-    });
+        WorkerPool::new(threads).run_tasks(tasks);
+    }
     c.ones = popcount(&c.bits);
     c
 }
@@ -479,6 +483,14 @@ impl SparsityEstimator for BitsetEstimator {
 
     fn propagate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<Synopsis> {
         Ok(Synopsis::Bitset(self.apply(op, inputs)?))
+    }
+
+    fn order_invariant(&self) -> bool {
+        true
+    }
+
+    fn as_sync(&self) -> Option<&(dyn SparsityEstimator + Sync)> {
+        Some(self)
     }
 }
 

@@ -11,17 +11,18 @@
 //! pattern — is reproduced in this module's tests with the paper's exact
 //! numbers (4,429 / 3,942 / 3,179).
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use mnc_kernels::WorkerPool;
 use mnc_matrix::CsrMatrix;
 
-use crate::{eac, prob_or, EstimatorError, OpKind, Result, SparsityEstimator, Synopsis};
+use crate::{prob_or, EstimatorError, OpKind, Result, SparsityEstimator, Synopsis};
 
 /// Default block size used by the paper.
 pub const DEFAULT_BLOCK: usize = 256;
 
 /// A block density map.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DmSynopsis {
     /// Rows of the described matrix.
     pub nrows: usize,
@@ -33,6 +34,27 @@ pub struct DmSynopsis {
     grid_cols: usize,
     /// Row-major grid of block sparsities.
     dens: Vec<f64>,
+    /// Lazily-cached per-block-row lists of non-zero block columns — the
+    /// sparse index the zero-skip Eq. 4 pseudo-product walks instead of
+    /// rescanning the full grid on every estimate.
+    support: OnceLock<Vec<Vec<u32>>>,
+}
+
+impl Clone for DmSynopsis {
+    fn clone(&self) -> Self {
+        // The support cache is intentionally *not* carried over: callers
+        // clone maps precisely to mutate the density grid in place
+        // (elementwise ops, complement), which would silently invalidate it.
+        DmSynopsis {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            block: self.block,
+            grid_rows: self.grid_rows,
+            grid_cols: self.grid_cols,
+            dens: self.dens.clone(),
+            support: OnceLock::new(),
+        }
+    }
 }
 
 impl DmSynopsis {
@@ -48,6 +70,7 @@ impl DmSynopsis {
             grid_rows,
             grid_cols,
             dens: vec![0.0; grid_rows * grid_cols],
+            support: OnceLock::new(),
         }
     }
 
@@ -111,6 +134,8 @@ impl DmSynopsis {
     }
 
     /// Measured heap bytes retained by the density grid (capacity-based).
+    /// The lazily-built support marginals are a derived acceleration
+    /// structure, not part of the paper's synopsis, and are excluded.
     pub fn heap_bytes(&self) -> u64 {
         (self.dens.capacity() * 8) as u64
     }
@@ -151,6 +176,26 @@ impl DmSynopsis {
             grid_rows,
             grid_cols,
             dens,
+            support: OnceLock::new(),
+        })
+    }
+
+    /// Per-block-row lists of the block columns whose density is non-zero,
+    /// computed once on first use and cached on the synopsis (`set_density`
+    /// invalidates). These marginals let the Eq. 4 pseudo-product and other
+    /// consumers skip the `O(grid²)` rescan per estimate call.
+    pub fn row_support(&self) -> &[Vec<u32>] {
+        self.support.get_or_init(|| {
+            (0..self.grid_rows)
+                .map(|bi| {
+                    self.dens[bi * self.grid_cols..(bi + 1) * self.grid_cols]
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &d)| d != 0.0)
+                        .map(|(bj, _)| bj as u32)
+                        .collect()
+                })
+                .collect()
         })
     }
 
@@ -159,6 +204,7 @@ impl DmSynopsis {
     pub fn set_density(&mut self, bi: usize, bj: usize, d: f64) {
         let idx = bi * self.grid_cols + bj;
         self.dens[idx] = d;
+        self.support = OnceLock::new();
     }
 
     /// Expected non-zeros inside the half-open cell rectangle
@@ -196,12 +242,14 @@ impl DmSynopsis {
 pub struct DensityMapEstimator {
     /// Block size `b` (default 256, as in the paper).
     pub block: usize,
+    threads: usize,
 }
 
 impl Default for DensityMapEstimator {
     fn default() -> Self {
         DensityMapEstimator {
             block: DEFAULT_BLOCK,
+            threads: 1,
         }
     }
 }
@@ -209,7 +257,15 @@ impl Default for DensityMapEstimator {
 impl DensityMapEstimator {
     /// Estimator with an explicit block size (Figure 12 sweeps).
     pub fn with_block(block: usize) -> Self {
-        DensityMapEstimator { block }
+        DensityMapEstimator { block, threads: 1 }
+    }
+
+    /// Runs the pseudo-product over `threads` workers (block rows of the
+    /// output are independent and merged in index order, so the answer is
+    /// bit-identical to the single-threaded one).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     fn unwrap<'a>(&self, inputs: &[&'a Synopsis], idx: usize) -> Result<&'a DmSynopsis> {
@@ -230,17 +286,55 @@ impl DensityMapEstimator {
                     ));
                 }
                 // Eq. 4: dmC_ij = ⊕_k E_ac(dmA_ik, dmB_kj) with the actual
-                // inner block width as the exponent.
+                // inner block width as the exponent — folded in complement-
+                // product space: `⊕_k (1 - (1-da·db)^{n_k})` is algebraically
+                // `1 - Π_k (1 - da·db)^{n_k}`, so the inner loop accumulates
+                // the plain complement products (pure multiplies the
+                // compiler vectorizes; no `ln`/`exp` per term) and applies
+                // the integer block-width exponent once per output cell.
+                // All inner blocks share one width except the (at most one)
+                // narrower edge block, which gets its own accumulator. Zero
+                // blocks of A are skipped through the cached row-support
+                // marginals; the inner walk over B's block row is dense —
+                // a zero B-block contributes an exact `1.0` factor — so the
+                // skipped and visited schedules agree bit for bit, and
+                // ascending-`bk` order per output row keeps the threaded
+                // run bit-identical to the sequential one.
                 let mut c = DmSynopsis::zeros(a.nrows, b.ncols, self.block);
-                for bi in 0..a.grid_rows {
-                    for bj in 0..b.grid_cols {
-                        let mut s = 0.0;
-                        for bk in 0..a.grid_cols {
-                            let inner = a.block_cols(bk) as f64;
-                            s = prob_or(s, eac(a.density(bi, bk), b.density(bk, bj), inner));
+                let a_sup = a.row_support();
+                let gc = c.grid_cols;
+                let full = a.block;
+                let rows = WorkerPool::new(self.threads).run(a.grid_rows, |bi| {
+                    let mut q_full = vec![1.0f64; gc];
+                    let mut q_edge = vec![1.0f64; gc];
+                    let mut edge_n = 0usize;
+                    for &bk in &a_sup[bi] {
+                        let bk = bk as usize;
+                        if bk >= b.grid_rows {
+                            continue;
                         }
-                        c.dens[bi * c.grid_cols + bj] = s;
+                        let da = a.density(bi, bk);
+                        let n = a.block_cols(bk);
+                        let brow = &b.dens[bk * b.grid_cols..(bk + 1) * b.grid_cols];
+                        let q = if n == full {
+                            &mut q_full
+                        } else {
+                            edge_n = n;
+                            &mut q_edge
+                        };
+                        for (qj, &db) in q.iter_mut().zip(brow) {
+                            *qj *= 1.0 - (da * db).clamp(0.0, 1.0);
+                        }
                     }
+                    let mut out = vec![0.0f64; gc];
+                    for bj in 0..gc {
+                        let q = q_full[bj].powi(full as i32) * q_edge[bj].powi(edge_n as i32);
+                        out[bj] = (1.0 - q).clamp(0.0, 1.0);
+                    }
+                    out
+                });
+                for (bi, row) in rows.into_iter().enumerate() {
+                    c.dens[bi * gc..(bi + 1) * gc].copy_from_slice(&row);
                 }
                 c
             }
@@ -408,6 +502,14 @@ impl SparsityEstimator for DensityMapEstimator {
     fn propagate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<Synopsis> {
         Ok(Synopsis::DensityMap(self.apply(op, inputs)?))
     }
+
+    fn order_invariant(&self) -> bool {
+        true
+    }
+
+    fn as_sync(&self) -> Option<&(dyn SparsityEstimator + Sync)> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]
@@ -533,6 +635,71 @@ mod tests {
             )
             .unwrap();
         assert_eq!(cb.shape(), (19, 41));
+    }
+
+    /// The zero-skip sparse walk (and its threaded variant) must reproduce
+    /// the dense complement-product triple loop bit for bit: skipped
+    /// A-blocks are exact `1.0` factors, and surviving terms keep their
+    /// ascending-`bk` fold order per output cell.
+    #[test]
+    fn zero_skip_matmul_bit_identical_to_dense_reference() {
+        let mut r = rng(9);
+        for sparsity in [0.0, 0.02, 0.3] {
+            let a = gen::rand_uniform(&mut r, 61, 47, sparsity);
+            let b = gen::rand_uniform(&mut r, 47, 53, sparsity * 1.5);
+            let block = 4;
+            let (da, db) = (
+                DmSynopsis::from_matrix(&a, block),
+                DmSynopsis::from_matrix(&b, block),
+            );
+            // Dense reference: the unskipped triple loop in the same
+            // complement-product realization of Eq. 4 the estimator uses.
+            let mut reference = DmSynopsis::zeros(da.nrows, db.ncols, block);
+            for bi in 0..da.grid_rows {
+                for bj in 0..db.grid_cols {
+                    let (mut q_full, mut q_edge, mut edge_n) = (1.0f64, 1.0f64, 0usize);
+                    for bk in 0..da.grid_cols {
+                        let n = da.block_cols(bk);
+                        let v = (da.density(bi, bk) * db.density(bk, bj)).clamp(0.0, 1.0);
+                        if n == block {
+                            q_full *= 1.0 - v;
+                        } else {
+                            edge_n = n;
+                            q_edge *= 1.0 - v;
+                        }
+                    }
+                    let q = q_full.powi(block as i32) * q_edge.powi(edge_n as i32);
+                    reference.dens[bi * reference.grid_cols + bj] = (1.0 - q).clamp(0.0, 1.0);
+                }
+            }
+            let (sa, sb) = (Synopsis::DensityMap(da), Synopsis::DensityMap(db));
+            for threads in [1usize, 2, 8] {
+                let e = DensityMapEstimator::with_block(block).with_threads(threads);
+                let got = e.propagate(&OpKind::MatMul, &[&sa, &sb]).unwrap();
+                let Synopsis::DensityMap(got) = got else {
+                    panic!("expected a density map");
+                };
+                for (g, r) in got.dens.iter().zip(&reference.dens) {
+                    assert_eq!(
+                        g.to_bits(),
+                        r.to_bits(),
+                        "sparsity={sparsity} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn support_marginals_track_the_grid() {
+        let mut m = DmSynopsis::zeros(10, 10, 4);
+        assert!(m.row_support().iter().all(|r| r.is_empty()));
+        m.set_density(1, 2, 0.5);
+        assert_eq!(m.row_support()[1], vec![2]);
+        m.set_density(1, 2, 0.0); // invalidated and recomputed
+        assert!(m.row_support()[1].is_empty());
+        m.set_density(2, 0, 0.25);
+        assert_eq!(m.clone().row_support()[2], vec![0]);
     }
 
     #[test]

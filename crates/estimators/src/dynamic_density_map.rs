@@ -13,7 +13,7 @@
 //! `O(min(nnz, cells) / leaf_capacity)` — bounded by the input size, unlike
 //! the fixed-block map.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use mnc_matrix::CsrMatrix;
 
@@ -154,6 +154,11 @@ pub struct QuadTreeSynopsis {
     root: QuadRegion,
     nrows: usize,
     ncols: usize,
+    /// Build-time-primed aligned-grid resample, keyed by the `max_grid` it
+    /// was computed for. Estimate calls on the product path would otherwise
+    /// repeat the full rectangle-query scan per call; the tree is immutable
+    /// after build, so the cache never goes stale (and `Clone` keeps it).
+    resampled: OnceLock<(usize, DmSynopsis)>,
 }
 
 impl QuadTreeSynopsis {
@@ -177,6 +182,7 @@ impl QuadTreeSynopsis {
             root,
             nrows: m.nrows(),
             ncols: m.ncols(),
+            resampled: OnceLock::new(),
         }
     }
 
@@ -212,6 +218,9 @@ impl QuadTreeSynopsis {
 
     /// Measured heap bytes: every region except the inline root lives in a
     /// boxed 4-child array, so the heap holds `region_count - 1` regions.
+    /// The primed resample cache is a derived acceleration structure, not
+    /// part of the paper's synopsis, and is excluded (as are the density
+    /// map's support marginals).
     pub fn heap_bytes(&self) -> u64 {
         ((self.root.region_count() - 1) * std::mem::size_of::<QuadRegion>()) as u64
     }
@@ -223,8 +232,27 @@ impl QuadTreeSynopsis {
 
     /// Resamples the quad-tree onto an aligned uniform grid with at most
     /// `max_grid` blocks per dimension — the alignment step that makes the
-    /// Eq. 4 pseudo-product applicable to non-aligned trees.
+    /// Eq. 4 pseudo-product applicable to non-aligned trees. Served from the
+    /// build-time cache when it was primed for the same `max_grid` (the
+    /// cached map is the same computation, so the answer is bit-identical).
     pub fn resample(&self, max_grid: usize) -> DmSynopsis {
+        if let Some((g, dm)) = self.resampled.get() {
+            if *g == max_grid {
+                return dm.clone();
+            }
+        }
+        self.resample_uncached(max_grid)
+    }
+
+    /// Primes the resample cache for `max_grid`. Called by the estimator at
+    /// build time so the per-estimate product path skips the rectangle-query
+    /// scan; a no-op if the cache is already set.
+    pub fn prime_resample(&self, max_grid: usize) {
+        self.resampled
+            .get_or_init(|| (max_grid, self.resample_uncached(max_grid)));
+    }
+
+    fn resample_uncached(&self, max_grid: usize) -> DmSynopsis {
         let block_rows = self.nrows.div_ceil(max_grid).max(1);
         let block_cols = self.ncols.div_ceil(max_grid).max(1);
         let block = block_rows.max(block_cols);
@@ -253,6 +281,7 @@ pub struct DynamicDensityMapEstimator {
     pub leaf_capacity: usize,
     /// Resampling resolution for products (default 64 blocks/dimension).
     pub max_grid: usize,
+    pub(crate) threads: usize,
 }
 
 impl Default for DynamicDensityMapEstimator {
@@ -260,11 +289,20 @@ impl Default for DynamicDensityMapEstimator {
         DynamicDensityMapEstimator {
             leaf_capacity: 256,
             max_grid: 64,
+            threads: 1,
         }
     }
 }
 
 impl DynamicDensityMapEstimator {
+    /// Runs the delegated fixed-block pseudo-product over `threads` workers
+    /// (bit-identical to single-threaded, see
+    /// [`crate::DensityMapEstimator::with_threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     fn unwrap<'a>(&self, inputs: &[&'a Synopsis], idx: usize) -> Result<&'a QuadTreeSynopsis> {
         crate::expect_synopsis!("DynDMap", Synopsis::QuadTree, inputs, idx)
     }
@@ -285,10 +323,11 @@ impl SparsityEstimator for DynamicDensityMapEstimator {
     }
 
     fn build(&self, m: &Arc<CsrMatrix>) -> Result<Synopsis> {
-        Ok(Synopsis::QuadTree(QuadTreeSynopsis::from_matrix(
-            m,
-            self.leaf_capacity,
-        )))
+        let qt = QuadTreeSynopsis::from_matrix(m, self.leaf_capacity);
+        // Prime the aligned-grid cache now so the per-estimate product path
+        // reuses it instead of re-running the rectangle-query scan.
+        qt.prime_resample(self.max_grid);
+        Ok(Synopsis::QuadTree(qt))
     }
 
     fn estimate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<f64> {
@@ -299,7 +338,8 @@ impl SparsityEstimator for DynamicDensityMapEstimator {
                 let b = self.unwrap(inputs, 1)?.resample(self.max_grid);
                 // Align the block sizes (resample may pick different ones).
                 let block = a.block.max(b.block);
-                let fixed = crate::DensityMapEstimator::with_block(block);
+                let fixed =
+                    crate::DensityMapEstimator::with_block(block).with_threads(self.threads);
                 let (ra, rb) = (
                     Synopsis::DensityMap(regrid(&a, block)),
                     Synopsis::DensityMap(regrid(&b, block)),
@@ -316,7 +356,8 @@ impl SparsityEstimator for DynamicDensityMapEstimator {
                 let block = (a.shape().0.div_ceil(self.max_grid))
                     .max(a.shape().1.div_ceil(self.max_grid))
                     .max(1);
-                let fixed = crate::DensityMapEstimator::with_block(block);
+                let fixed =
+                    crate::DensityMapEstimator::with_block(block).with_threads(self.threads);
                 let (ra, rb) = (
                     Synopsis::DensityMap(regrid(&a.resample(self.max_grid), block)),
                     Synopsis::DensityMap(regrid(&b.resample(self.max_grid), block)),
@@ -370,6 +411,14 @@ impl SparsityEstimator for DynamicDensityMapEstimator {
 
     fn supports_chains(&self) -> bool {
         false
+    }
+
+    fn order_invariant(&self) -> bool {
+        true
+    }
+
+    fn as_sync(&self) -> Option<&(dyn SparsityEstimator + Sync)> {
+        Some(self)
     }
 }
 
@@ -479,6 +528,7 @@ mod tests {
         let dyn_e = DynamicDensityMapEstimator {
             leaf_capacity: 8,
             max_grid: 128,
+            ..Default::default()
         };
         let est = dyn_e
             .estimate(&OpKind::MatMul, &[&syn(&a, 8), &syn(&b, 8)])
@@ -504,6 +554,42 @@ mod tests {
         assert!((add - truth).abs() < 0.06, "add {add} truth {truth}");
         let t = e.estimate(&OpKind::Transpose, &[&syn(&a, 16)]).unwrap();
         assert!((t - a.sparsity()).abs() < 1e-12);
+    }
+
+    /// The build-primed resample cache and the threaded product path must
+    /// not move the estimate by a single bit relative to the uncached,
+    /// single-threaded computation.
+    #[test]
+    fn primed_cache_and_threads_are_bit_identical() {
+        let mut r = rng(8);
+        let a = gen::rand_uniform(&mut r, 150, 120, 0.03);
+        let b = gen::rand_uniform(&mut r, 120, 140, 0.04);
+        let e = DynamicDensityMapEstimator::default();
+        let (qa, qb) = (
+            QuadTreeSynopsis::from_matrix(&a, e.leaf_capacity),
+            QuadTreeSynopsis::from_matrix(&b, e.leaf_capacity),
+        );
+        // Cached resample equals the direct scan bit for bit.
+        qa.prime_resample(e.max_grid);
+        let cached = qa.resample(e.max_grid);
+        let fresh = qa.resample_uncached(e.max_grid);
+        assert_eq!(cached.block, fresh.block);
+        for (c, f) in cached.densities().iter().zip(fresh.densities()) {
+            assert_eq!(c.to_bits(), f.to_bits());
+        }
+        // Estimates agree across primed/unprimed synopses and thread counts.
+        let built_a = e.build(&Arc::new(a)).unwrap(); // primed at build
+        let unprimed = Synopsis::QuadTree(qb.clone());
+        let reference = e
+            .estimate(&OpKind::MatMul, &[&Synopsis::QuadTree(qa), &unprimed])
+            .unwrap();
+        for threads in [1usize, 2, 8] {
+            let et = e.with_threads(threads);
+            let got = et
+                .estimate(&OpKind::MatMul, &[&built_a, &unprimed])
+                .unwrap();
+            assert_eq!(got.to_bits(), reference.to_bits(), "threads={threads}");
+        }
     }
 
     #[test]

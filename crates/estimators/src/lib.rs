@@ -209,6 +209,25 @@ pub trait SparsityEstimator {
         true
     }
 
+    /// Whether `build`/`estimate`/`propagate` results are pure functions of
+    /// their arguments — independent of the order in which calls interleave
+    /// across expression nodes. Estimators that draw from a shared
+    /// sequential generator (e.g. MNC with probabilistic rounding) are *not*
+    /// order-invariant: re-ordering the DAG walk re-orders their draws.
+    /// Parallel walks are gated on this returning `true`, so the
+    /// conservative default keeps unknown estimators sequential.
+    fn order_invariant(&self) -> bool {
+        false
+    }
+
+    /// A [`Sync`] view of this estimator for sharing across worker threads,
+    /// or `None` (the default) if it must stay on one thread. Split from
+    /// the trait's lack of a `Sync` supertrait so single-threaded estimator
+    /// implementations never pay for thread safety.
+    fn as_sync(&self) -> Option<&(dyn SparsityEstimator + Sync)> {
+        None
+    }
+
     /// Key distinguishing synopses this estimator builds from those of other
     /// estimators *and other configurations of the same estimator* — used by
     /// `mnc_expr::EstimationContext` to key its synopsis cache. Estimators
@@ -242,6 +261,12 @@ impl<E: SparsityEstimator + ?Sized> SparsityEstimator for Box<E> {
     }
     fn supports_chains(&self) -> bool {
         (**self).supports_chains()
+    }
+    fn order_invariant(&self) -> bool {
+        (**self).order_invariant()
+    }
+    fn as_sync(&self) -> Option<&(dyn SparsityEstimator + Sync)> {
+        (**self).as_sync()
     }
     fn cache_key(&self) -> String {
         (**self).cache_key()
@@ -379,6 +404,7 @@ mod tests {
         let est = DynamicDensityMapEstimator {
             leaf_capacity: 1,
             max_grid: 64,
+            ..Default::default()
         };
         let syn = est.build(&m).unwrap();
         let Synopsis::QuadTree(qt) = &syn else {

@@ -184,6 +184,14 @@ impl SparsityEstimator for MetaAcEstimator {
     fn propagate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<Synopsis> {
         propagate(self.name(), Variant::AverageCase, op, inputs)
     }
+
+    fn order_invariant(&self) -> bool {
+        true
+    }
+
+    fn as_sync(&self) -> Option<&(dyn SparsityEstimator + Sync)> {
+        Some(self)
+    }
 }
 
 impl SparsityEstimator for MetaWcEstimator {
@@ -201,6 +209,14 @@ impl SparsityEstimator for MetaWcEstimator {
 
     fn propagate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<Synopsis> {
         propagate(self.name(), Variant::WorstCase, op, inputs)
+    }
+
+    fn order_invariant(&self) -> bool {
+        true
+    }
+
+    fn as_sync(&self) -> Option<&(dyn SparsityEstimator + Sync)> {
+        Some(self)
     }
 }
 

@@ -1,8 +1,7 @@
 //! Adapter exposing the MNC sketch (the [`mnc_core`] crate) through the
 //! common [`SparsityEstimator`] trait, including the *MNC Basic* ablation.
 
-use std::cell::RefCell;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use mnc_core::{MncConfig, MncSketch, ScratchArena, SplitMix64};
 use mnc_matrix::CsrMatrix;
@@ -27,15 +26,18 @@ pub struct MncEstimator {
     /// keys or results.
     build_threads: usize,
     /// Internal generator for probabilistic rounding during propagation;
-    /// deterministic given the configured seed and call sequence.
-    rng: RefCell<SplitMix64>,
+    /// deterministic given the configured seed and call sequence. Behind a
+    /// [`Mutex`] (not a `RefCell`) so the estimator is [`Sync`] and can be
+    /// shared by parallel DAG walks — which are only enabled when rounding
+    /// is deterministic, so the lock is never contended on hot paths.
+    rng: Mutex<SplitMix64>,
     /// Route propagation through the persistent scratch arena below. Kept
     /// out of [`MncConfig`] and the cache key because the arena-backed path
     /// is bit-identical to the allocating one.
     use_arena: bool,
     /// Persistent pool of count-vector buffers reused across `propagate`
     /// calls (see [`mnc_core::ScratchArena`]).
-    scratch: RefCell<ScratchArena>,
+    scratch: Mutex<ScratchArena>,
 }
 
 impl Default for MncEstimator {
@@ -61,9 +63,9 @@ impl MncEstimator {
             name,
             cfg,
             build_threads: 1,
-            rng: RefCell::new(SplitMix64::new(cfg.seed)),
+            rng: Mutex::new(SplitMix64::new(cfg.seed)),
             use_arena: true,
-            scratch: RefCell::new(ScratchArena::new()),
+            scratch: Mutex::new(ScratchArena::new()),
         }
     }
 
@@ -117,13 +119,31 @@ impl SparsityEstimator for MncEstimator {
     }
 
     fn propagate(&self, op: &OpKind, inputs: &[&Synopsis]) -> Result<Synopsis> {
-        let rng = &mut *self.rng.borrow_mut();
         let sketches = self.sketches(inputs)?;
-        let sketch = if self.use_arena {
-            let arena = &mut *self.scratch.borrow_mut();
-            MncSketch::propagate_in(op, &sketches, &self.cfg, rng, arena)?
+        let sketch = if self.cfg.probabilistic_rounding {
+            // Rounding draws must keep their global call sequence, so the
+            // shared generator stays locked across the whole propagation.
+            let rng = &mut *self.rng.lock().expect("rng lock");
+            if self.use_arena {
+                let arena = &mut *self.scratch.lock().expect("scratch lock");
+                MncSketch::propagate_in(op, &sketches, &self.cfg, rng, arena)?
+            } else {
+                MncSketch::propagate_with(op, &sketches, &self.cfg, rng)?
+            }
         } else {
-            MncSketch::propagate_with(op, &sketches, &self.cfg, rng)?
+            // Deterministic rounding never draws (`round_count` is the only
+            // consumer), so a fresh seeded generator is indistinguishable
+            // from the shared one and parallel propagates skip the lock.
+            // The scratch arena is leased opportunistically: a contended
+            // lock falls back to the (bit-identical) allocating path
+            // instead of serializing the workers.
+            let mut rng = SplitMix64::new(self.cfg.seed);
+            match self.scratch.try_lock() {
+                Ok(mut arena) if self.use_arena => {
+                    MncSketch::propagate_in(op, &sketches, &self.cfg, &mut rng, &mut arena)?
+                }
+                _ => MncSketch::propagate_with(op, &sketches, &self.cfg, &mut rng)?,
+            }
         };
         Ok(Synopsis::Mnc(MncSynopsis { sketch }))
     }
@@ -134,9 +154,26 @@ impl SparsityEstimator for MncEstimator {
         inputs: &[&Synopsis],
         arena: &mut ScratchArena,
     ) -> Result<Synopsis> {
-        let rng = &mut *self.rng.borrow_mut();
-        let sketch = MncSketch::propagate_in(op, &self.sketches(inputs)?, &self.cfg, rng, arena)?;
+        let sketches = self.sketches(inputs)?;
+        let sketch = if self.cfg.probabilistic_rounding {
+            let rng = &mut *self.rng.lock().expect("rng lock");
+            MncSketch::propagate_in(op, &sketches, &self.cfg, rng, arena)?
+        } else {
+            let mut rng = SplitMix64::new(self.cfg.seed);
+            MncSketch::propagate_in(op, &sketches, &self.cfg, &mut rng, arena)?
+        };
         Ok(Synopsis::Mnc(MncSynopsis { sketch }))
+    }
+
+    fn order_invariant(&self) -> bool {
+        // With probabilistic rounding off, propagation is a pure function
+        // of its inputs; with it on, results depend on the shared
+        // generator's draw sequence and the walk order must stay fixed.
+        !self.cfg.probabilistic_rounding
+    }
+
+    fn as_sync(&self) -> Option<&(dyn SparsityEstimator + Sync)> {
+        Some(self)
     }
 
     fn cache_key(&self) -> String {

@@ -22,11 +22,12 @@
 //!
 //! [`cache_key`]: SparsityEstimator::cache_key
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use mnc_core::{EstimationStats, LruSynopsisCache, OpTimer, ScratchArena};
 use mnc_estimators::{Result, SparsityEstimator, Synopsis};
+use mnc_kernels::WorkerPool;
 use mnc_matrix::CsrMatrix;
 use mnc_obs::{Counter, Gauge, Histogram, Recorder};
 
@@ -126,6 +127,11 @@ pub struct EstimationContext {
     use_arena: bool,
     /// Reused per-walk memo map (cleared, not reallocated, between walks).
     memo_scratch: HashMap<NodeId, Arc<Synopsis>>,
+    /// Worker pool for DAG-wavefront materialization (1 thread = the plain
+    /// sequential walk). Parallel walks are additionally gated on the
+    /// estimator being order-invariant and `Sync`, so results stay
+    /// bit-identical regardless of this knob.
+    pool: WorkerPool,
     rec: Recorder,
     // Metric handles are resolved once per context (registry lookups take a
     // mutex) and are no-ops when the recorder is disabled.
@@ -159,6 +165,7 @@ impl EstimationContext {
             arena: ScratchArena::new(),
             use_arena: true,
             memo_scratch: HashMap::new(),
+            pool: WorkerPool::default(),
             rec: Recorder::disabled(),
             m_hit: Counter::noop(),
             m_miss: Counter::noop(),
@@ -219,6 +226,23 @@ impl EstimationContext {
     pub fn with_arena(mut self, on: bool) -> Self {
         self.use_arena = on;
         self
+    }
+
+    /// Materializes independent DAG nodes on up to `threads` pool workers
+    /// (topological wavefronts; default 1 = sequential). The parallel walk
+    /// only engages for estimators that are order-invariant and expose a
+    /// [`Sync`] view ([`SparsityEstimator::order_invariant`] /
+    /// [`SparsityEstimator::as_sync`]); every other estimator keeps the
+    /// exact sequential schedule. Either way results are bit-identical to
+    /// `threads == 1`, and partial results merge in fixed node order.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pool = WorkerPool::new(threads);
+        self
+    }
+
+    /// The configured worker-thread budget (1 = sequential walks).
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
     }
 
     /// The session's scratch arena (lease/reuse counters for telemetry).
@@ -350,7 +374,9 @@ impl EstimationContext {
     ) -> Result<Arc<Synopsis>> {
         let ekey: Arc<str> = est.cache_key().into();
         let mut memo = self.take_memo();
-        let out = self.materialize(est, dag, id, &ekey, &mut memo);
+        let out = self
+            .prefill(est, dag, &[id], &ekey, &mut memo)
+            .and_then(|()| self.materialize(est, dag, id, &ekey, &mut memo));
         self.restore_memo(memo);
         out
     }
@@ -371,6 +397,7 @@ impl EstimationContext {
                 let ekey: Arc<str> = est.cache_key().into();
                 let mut memo = self.take_memo();
                 let mut walk = || -> Result<f64> {
+                    self.prefill(est, dag, inputs, &ekey, &mut memo)?;
                     for &i in inputs {
                         self.materialize(est, dag, i, &ekey, &mut memo)?;
                     }
@@ -428,6 +455,10 @@ impl EstimationContext {
         let mut memo = self.take_memo();
         let mut out = Vec::with_capacity(dag.len());
         let mut walk = || -> Result<()> {
+            if self.pool.is_parallel() {
+                let ids: Vec<NodeId> = dag.iter().map(|(id, _)| id).collect();
+                self.prefill(est, dag, &ids, &ekey, &mut memo)?;
+            }
             for (id, _) in dag.iter() {
                 out.push(self.materialize(est, dag, id, &ekey, &mut memo)?);
             }
@@ -505,6 +536,170 @@ impl EstimationContext {
         };
         memo.insert(id, Arc::clone(&syn));
         Ok(syn)
+    }
+
+    /// Gate for the parallel wavefront walk: engages only when the pool is
+    /// parallel **and** the estimator declares its build/propagate pure
+    /// ([`SparsityEstimator::order_invariant`]) **and** it exposes a
+    /// [`Sync`] view ([`SparsityEstimator::as_sync`]). Every other
+    /// combination is a no-op, leaving [`materialize`](Self::materialize)
+    /// to run the exact sequential schedule — which is what keeps
+    /// RNG-bearing estimators (probabilistic MNC) and instrumented
+    /// wrappers bit-identical under any `threads` setting.
+    fn prefill<E: SparsityEstimator + ?Sized>(
+        &mut self,
+        est: &E,
+        dag: &ExprDag,
+        roots: &[NodeId],
+        ekey: &Arc<str>,
+        memo: &mut HashMap<NodeId, Arc<Synopsis>>,
+    ) -> Result<()> {
+        if !self.pool.is_parallel() || !est.order_invariant() {
+            return Ok(());
+        }
+        let Some(sync_est) = est.as_sync() else {
+            return Ok(());
+        };
+        self.prefill_wavefront(sync_est, dag, roots, ekey, memo)
+    }
+
+    /// Materializes every node reachable from `roots` (and absent from both
+    /// `memo` and the cache) in topological wavefronts: nodes of the same
+    /// depth run on pool workers concurrently, then merge **in ascending
+    /// node order** before the next level starts.
+    ///
+    /// Two properties keep this bit-identical to the sequential walk:
+    ///
+    /// 1. Workers compute pure `(synopsis, ns)` pairs; every observable
+    ///    side effect — stats, histograms, spans, cache admission, memo
+    ///    insertion — happens in the sequential merge, in fixed order.
+    /// 2. Discovery replicates the sequential walk's *pre-order* cache
+    ///    probes (an op is probed before its inputs, inputs left to
+    ///    right), so hit/miss counts match a `threads == 1` walk over the
+    ///    same cache state exactly.
+    fn prefill_wavefront(
+        &mut self,
+        est: &(dyn SparsityEstimator + Sync),
+        dag: &ExprDag,
+        roots: &[NodeId],
+        ekey: &Arc<str>,
+        memo: &mut HashMap<NodeId, Arc<Synopsis>>,
+    ) -> Result<()> {
+        let mut scheduled: Vec<NodeId> = Vec::new();
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut stack: Vec<NodeId> = roots.iter().rev().copied().collect();
+        while let Some(id) = stack.pop() {
+            if memo.contains_key(&id) || seen.contains(&id) {
+                continue;
+            }
+            let (key, inputs) = match dag.node(id) {
+                ExprNode::Leaf { matrix, .. } => {
+                    ((Arc::clone(ekey), SynopsisKey::leaf(matrix)), None)
+                }
+                ExprNode::Op { inputs, .. } => {
+                    ((Arc::clone(ekey), SynopsisKey::node(dag, id)), Some(inputs))
+                }
+            };
+            if let Some(syn) = self.cache.get(&key) {
+                self.stats.cache_hits += 1;
+                self.m_hit.incr();
+                memo.insert(id, Arc::clone(syn));
+            } else {
+                self.stats.cache_misses += 1;
+                self.m_miss.incr();
+                seen.insert(id);
+                scheduled.push(id);
+                if let Some(inputs) = inputs {
+                    stack.extend(inputs.iter().rev());
+                }
+            }
+        }
+        if scheduled.is_empty() {
+            return Ok(());
+        }
+        // DAGs are append-only, so ascending node id is a topological order.
+        scheduled.sort_unstable();
+
+        // A node's wavefront level is one past its deepest *scheduled*
+        // input; inputs already in the memo are data, not work, and pin
+        // nothing.
+        let mut level: HashMap<NodeId, usize> = HashMap::with_capacity(scheduled.len());
+        let mut max_level = 0usize;
+        for &id in &scheduled {
+            let l = match dag.node(id) {
+                ExprNode::Leaf { .. } => 0,
+                ExprNode::Op { inputs, .. } => inputs
+                    .iter()
+                    .map(|i| level.get(i).map_or(0, |l| l + 1))
+                    .max()
+                    .unwrap_or(0),
+            };
+            max_level = max_level.max(l);
+            level.insert(id, l);
+        }
+
+        for l in 0..=max_level {
+            let batch: Vec<NodeId> = scheduled
+                .iter()
+                .copied()
+                .filter(|id| level[id] == l)
+                .collect();
+            let memo_ref: &HashMap<NodeId, Arc<Synopsis>> = memo;
+            let results: Vec<Result<(Synopsis, u64)>> =
+                self.pool.run(batch.len(), |k| -> Result<(Synopsis, u64)> {
+                    let t = OpTimer::start();
+                    let syn = match dag.node(batch[k]) {
+                        ExprNode::Leaf { matrix, .. } => est.build(matrix)?,
+                        ExprNode::Op { op, inputs } => {
+                            let ins = GatheredIns::gather(inputs, memo_ref);
+                            // Allocating propagate: the scratch arena is
+                            // single-threaded session state, and arena vs
+                            // allocating paths are bit-identical anyway.
+                            est.propagate(op, ins.as_slice())?
+                        }
+                    };
+                    Ok((syn, t.elapsed_ns()))
+                });
+            for (k, res) in results.into_iter().enumerate() {
+                let (syn, ns) = res?;
+                let id = batch[k];
+                let syn = Arc::new(syn);
+                match dag.node(id) {
+                    ExprNode::Leaf { matrix, .. } => {
+                        let mut span = self
+                            .rec
+                            .span("build")
+                            .op(est.name())
+                            .nnz_in(matrix.nnz() as u64);
+                        self.stats.record_build(ns);
+                        self.h_build.record(ns);
+                        if self.rec.is_enabled() {
+                            span.set_nnz_out(syn.nnz());
+                            span.set_bytes(syn.size_bytes());
+                        }
+                        drop(span);
+                        self.admit((Arc::clone(ekey), SynopsisKey::leaf(matrix)), &syn);
+                    }
+                    ExprNode::Op { op, inputs } => {
+                        let mut span = self.rec.span("propagate").op(op.name());
+                        if self.rec.is_enabled() {
+                            let ins = GatheredIns::gather(inputs, memo);
+                            span = span.nnz_in(ins.as_slice().iter().map(|s| s.nnz()).sum());
+                        }
+                        self.stats.record_propagate(op.name(), ns);
+                        self.h_propagate.record(ns);
+                        if self.rec.is_enabled() {
+                            span.set_nnz_out(syn.nnz());
+                            span.set_bytes(syn.size_bytes());
+                        }
+                        drop(span);
+                        self.admit((Arc::clone(ekey), SynopsisKey::node(dag, id)), &syn);
+                    }
+                }
+                memo.insert(id, syn);
+            }
+        }
+        Ok(())
     }
 
     /// Inserts into the cache and refreshes the cache-derived counters.
@@ -830,6 +1025,142 @@ mod tests {
         tiny.named_synopsis(&est, "A", || est.build(&m)).unwrap();
         assert_eq!(tiny.stats().cache_hits, 0);
         assert_eq!(tiny.stats().cache_misses, 2);
+    }
+
+    /// Two independent matmul branches joined by an ew-add: a DAG with a
+    /// genuinely parallel wavefront (4 leaves at level 0, 2 matmuls at
+    /// level 1) plus a sequential tail.
+    fn wide_dag(seed: u64) -> (ExprDag, NodeId) {
+        let mut r = rng(seed);
+        let mut dag = ExprDag::new();
+        let a = dag.leaf("A", Arc::new(gen::rand_uniform(&mut r, 40, 32, 0.1)));
+        let b = dag.leaf("B", Arc::new(gen::rand_uniform(&mut r, 32, 28, 0.08)));
+        let c = dag.leaf("C", Arc::new(gen::rand_uniform(&mut r, 40, 32, 0.12)));
+        let d = dag.leaf("D", Arc::new(gen::rand_uniform(&mut r, 32, 28, 0.15)));
+        let ab = dag.matmul(a, b).unwrap();
+        let cd = dag.matmul(c, d).unwrap();
+        let sum = dag.ew_add(ab, cd).unwrap();
+        let root = dag.transpose(sum).unwrap();
+        (dag, root)
+    }
+
+    fn deterministic_mnc() -> MncEstimator {
+        MncEstimator::with_config(
+            "MNC",
+            mnc_core::MncConfig {
+                probabilistic_rounding: false,
+                ..mnc_core::MncConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn parallel_wavefront_is_bit_identical_and_stats_match() {
+        let (dag, root) = wide_dag(20);
+        // Baseline: sequential walk per estimator.
+        let run = |threads: usize, est: &dyn SparsityEstimator| {
+            let mut ctx = EstimationContext::new().with_threads(threads);
+            let cold = ctx.estimate_root(est, &dag, root).unwrap();
+            let props: u64 = ctx.stats().per_op().map(|(_, s)| s.propagations).sum();
+            let cold_stats = (
+                ctx.stats().builds,
+                props,
+                ctx.stats().cache_hits,
+                ctx.stats().cache_misses,
+            );
+            let warm = ctx.estimate_root(est, &dag, root).unwrap();
+            let warm_hits = ctx.stats().cache_hits;
+            (cold, cold_stats, warm, warm_hits)
+        };
+        let estimators: Vec<Box<dyn SparsityEstimator>> = vec![
+            Box::new(deterministic_mnc()),
+            Box::new(mnc_estimators::DensityMapEstimator::default()),
+            // DynDMap omitted: it does not support MatMul *propagation*
+            // (only direct estimates); its threads bit-identity is covered
+            // in the estimators crate.
+            Box::new(BitsetEstimator::default()),
+            Box::new(mnc_estimators::MetaAcEstimator),
+        ];
+        for est in &estimators {
+            assert!(est.order_invariant() && est.as_sync().is_some());
+            let baseline = run(1, est.as_ref());
+            for threads in [2, 8] {
+                let par = run(threads, est.as_ref());
+                assert_eq!(
+                    baseline.0.to_bits(),
+                    par.0.to_bits(),
+                    "{} cold, threads={threads}",
+                    est.name()
+                );
+                assert_eq!(baseline.1, par.1, "{} stats, threads={threads}", est.name());
+                assert_eq!(baseline.2.to_bits(), par.2.to_bits());
+                assert_eq!(baseline.3, par.3);
+            }
+        }
+    }
+
+    #[test]
+    fn probabilistic_mnc_keeps_the_sequential_schedule() {
+        // Default MNC draws from an internal RNG stream per propagate, so it
+        // reports order-sensitivity and the wavefront must stay off — the
+        // estimate under threads=8 matches threads=1 because both take the
+        // same sequential path.
+        let (dag, root) = wide_dag(21);
+        let est = MncEstimator::new();
+        assert!(!est.order_invariant());
+        let seq = EstimationContext::new()
+            .estimate_root(&MncEstimator::new(), &dag, root)
+            .unwrap();
+        let par = EstimationContext::new()
+            .with_threads(8)
+            .estimate_root(&est, &dag, root)
+            .unwrap();
+        assert_eq!(seq.to_bits(), par.to_bits());
+    }
+
+    #[test]
+    fn parallel_materialize_all_and_node_synopsis_agree_with_sequential() {
+        let (dag, root) = wide_dag(22);
+        let est = deterministic_mnc();
+        let mut seq = EstimationContext::new();
+        let mut par = EstimationContext::new().with_threads(4);
+        let s_all = seq.materialize_all(&est, &dag).unwrap();
+        let p_all = par.materialize_all(&est, &dag).unwrap();
+        assert_eq!(s_all.len(), p_all.len());
+        for (s, p) in s_all.iter().zip(&p_all) {
+            assert_eq!(s.sparsity().to_bits(), p.sparsity().to_bits());
+        }
+        assert_eq!(seq.stats().builds, par.stats().builds);
+        let props = |ctx: &EstimationContext| -> u64 {
+            ctx.stats().per_op().map(|(_, s)| s.propagations).sum()
+        };
+        assert_eq!(props(&seq), props(&par));
+        // node_synopsis on a warm parallel context hits everywhere.
+        let hits = par.stats().cache_hits;
+        let syn = par.node_synopsis(&est, &dag, root).unwrap();
+        assert_eq!(
+            syn.sparsity().to_bits(),
+            s_all.last().unwrap().sparsity().to_bits()
+        );
+        assert!(par.stats().cache_hits > hits);
+    }
+
+    #[test]
+    fn parallel_walk_traces_the_same_span_counts() {
+        let (dag, root) = wide_dag(23);
+        let est = deterministic_mnc();
+        let rec = Recorder::enabled();
+        let mut ctx = EstimationContext::new()
+            .with_threads(4)
+            .with_recorder(rec.clone());
+        ctx.estimate_root(&est, &dag, root).unwrap();
+        let spans = rec.spans();
+        assert_eq!(spans.iter().filter(|s| s.name == "build").count(), 4);
+        assert_eq!(spans.iter().filter(|s| s.name == "propagate").count(), 3);
+        assert_eq!(spans.iter().filter(|s| s.name == "estimate").count(), 1);
+        let snap = rec.registry().unwrap().snapshot();
+        assert_eq!(snap.counters["cache.miss"], ctx.stats().cache_misses);
+        assert_eq!(snap.histograms["session.build_ns"].count(), 4);
     }
 
     #[test]

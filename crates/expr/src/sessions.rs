@@ -35,6 +35,10 @@ pub struct SessionPoolConfig {
     pub session_byte_budget: usize,
     /// Sessions idle for longer than this are dropped by [`SessionPool::sweep`].
     pub idle_ttl: Duration,
+    /// Worker-thread budget handed to each session's context
+    /// ([`EstimationContext::with_threads`]); 1 keeps every walk
+    /// sequential. Results are bit-identical at any setting.
+    pub threads: usize,
 }
 
 impl Default for SessionPoolConfig {
@@ -43,6 +47,7 @@ impl Default for SessionPoolConfig {
             max_sessions: 64,
             session_byte_budget: 16 << 20,
             idle_ttl: Duration::from_secs(300),
+            threads: 1,
         }
     }
 }
@@ -118,9 +123,10 @@ impl SessionPool {
             self.sessions.insert(
                 Arc::from(client),
                 ClientSession {
-                    ctx: init(EstimationContext::with_byte_budget(
-                        self.config.session_byte_budget,
-                    )),
+                    ctx: init(
+                        EstimationContext::with_byte_budget(self.config.session_byte_budget)
+                            .with_threads(self.config.threads),
+                    ),
                     last_used: now,
                     requests: 0,
                 },
@@ -213,6 +219,7 @@ mod tests {
             max_sessions: max,
             session_byte_budget: 16 << 20,
             idle_ttl: Duration::from_secs(ttl_secs),
+            ..SessionPoolConfig::default()
         })
     }
 

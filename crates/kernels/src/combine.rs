@@ -26,7 +26,7 @@ pub struct VecMeta {
 
 impl VecMeta {
     #[inline]
-    fn accum(&mut self, v: u32, half: u32) {
+    pub(crate) fn accum(&mut self, v: u32, half: u32) {
         self.sum += v as u64;
         self.max = self.max.max(v);
         self.nonempty += usize::from(v > 0);
@@ -36,8 +36,19 @@ impl VecMeta {
 }
 
 /// Scans an existing vector — the kernel counterpart of the `compute_meta`
-/// loop, shared by sketch construction.
+/// loop, shared by sketch construction. Dispatches to the AVX2 form
+/// ([`crate::simd`]) where available; all statistics are integer
+/// sums/maxima/counts, so any evaluation order is exact.
 pub fn meta_scan(v: &[u32], half: u32) -> VecMeta {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::enabled() {
+        return unsafe { crate::simd::meta_scan(v, half) };
+    }
+    meta_scan_portable(v, half)
+}
+
+/// The portable scalar [`meta_scan`] body (dispatch fallback).
+pub fn meta_scan_portable(v: &[u32], half: u32) -> VecMeta {
     let mut meta = VecMeta::default();
     for &c in v {
         meta.accum(c, half);
@@ -47,6 +58,15 @@ pub fn meta_scan(v: &[u32], half: u32) -> VecMeta {
 
 /// `out = x + y` element-wise, with fused metadata (threshold `half`).
 pub fn zip_add_into(x: &[u32], y: &[u32], half: u32, out: &mut Vec<u32>) -> VecMeta {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::enabled() {
+        return unsafe { crate::simd::zip_add_into(x, y, half, out) };
+    }
+    zip_add_into_portable(x, y, half, out)
+}
+
+/// The portable scalar [`zip_add_into`] body (dispatch fallback).
+pub fn zip_add_into_portable(x: &[u32], y: &[u32], half: u32, out: &mut Vec<u32>) -> VecMeta {
     debug_assert_eq!(x.len(), y.len());
     out.clear();
     let mut meta = VecMeta::default();
@@ -65,16 +85,21 @@ pub fn concat_meta_into(x: &[u32], y: &[u32], half: u32, out: &mut Vec<u32>) -> 
     out.reserve(x.len() + y.len());
     out.extend_from_slice(x);
     out.extend_from_slice(y);
-    let mut meta = VecMeta::default();
-    for &v in out.iter() {
-        meta.accum(v, half);
-    }
-    meta
+    meta_scan(out, half)
 }
 
 /// `out = x ⊖ y` (saturating subtract) — temporaries of the extended-count
 /// estimator, no metadata needed.
 pub fn sub_sat_into(x: &[u32], y: &[u32], out: &mut Vec<u32>) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::enabled() {
+        return unsafe { crate::simd::sub_sat_into(x, y, out) };
+    }
+    sub_sat_into_portable(x, y, out)
+}
+
+/// The portable scalar [`sub_sat_into`] body (dispatch fallback).
+pub fn sub_sat_into_portable(x: &[u32], y: &[u32], out: &mut Vec<u32>) {
     debug_assert_eq!(x.len(), y.len());
     out.clear();
     out.extend(x.iter().zip(y).map(|(&a, &b)| a.saturating_sub(b)));
@@ -84,6 +109,15 @@ pub fn sub_sat_into(x: &[u32], y: &[u32], out: &mut Vec<u32>) {
 /// complement rule (Eq. 14). Requires `x[i] <= bound` (counts never exceed
 /// the opposite dimension), matching the original unchecked subtraction.
 pub fn complement_into(x: &[u32], bound: u32, half: u32, out: &mut Vec<u32>) -> VecMeta {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::enabled() {
+        return unsafe { crate::simd::complement_into(x, bound, half, out) };
+    }
+    complement_into_portable(x, bound, half, out)
+}
+
+/// The portable scalar [`complement_into`] body (dispatch fallback).
+pub fn complement_into_portable(x: &[u32], bound: u32, half: u32, out: &mut Vec<u32>) -> VecMeta {
     out.clear();
     let mut meta = VecMeta::default();
     out.extend(x.iter().map(|&c| {
@@ -96,6 +130,15 @@ pub fn complement_into(x: &[u32], bound: u32, half: u32, out: &mut Vec<u32>) -> 
 
 /// `out = min(x, y)` element-wise, with fused metadata.
 pub fn zip_min_into(x: &[u32], y: &[u32], half: u32, out: &mut Vec<u32>) -> VecMeta {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::enabled() {
+        return unsafe { crate::simd::zip_min_into(x, y, half, out) };
+    }
+    zip_min_into_portable(x, y, half, out)
+}
+
+/// The portable scalar [`zip_min_into`] body (dispatch fallback).
+pub fn zip_min_into_portable(x: &[u32], y: &[u32], half: u32, out: &mut Vec<u32>) -> VecMeta {
     debug_assert_eq!(x.len(), y.len());
     out.clear();
     let mut meta = VecMeta::default();
@@ -109,6 +152,15 @@ pub fn zip_min_into(x: &[u32], y: &[u32], half: u32, out: &mut Vec<u32>) -> VecM
 
 /// `out = max(x, y)` element-wise, with fused metadata.
 pub fn zip_max_into(x: &[u32], y: &[u32], half: u32, out: &mut Vec<u32>) -> VecMeta {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::enabled() {
+        return unsafe { crate::simd::zip_max_into(x, y, half, out) };
+    }
+    zip_max_into_portable(x, y, half, out)
+}
+
+/// The portable scalar [`zip_max_into`] body (dispatch fallback).
+pub fn zip_max_into_portable(x: &[u32], y: &[u32], half: u32, out: &mut Vec<u32>) -> VecMeta {
     debug_assert_eq!(x.len(), y.len());
     out.clear();
     let mut meta = VecMeta::default();

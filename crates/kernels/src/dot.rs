@@ -2,13 +2,25 @@
 
 /// Dot product of two count vectors, returned as `f64`.
 ///
-/// Products and partial sums are accumulated in `u64` across four
-/// independent lanes (integer addition is associative, so the unrolled
-/// order is exact), then converted to `f64` once. Bit-identical to
-/// [`crate::scalar::dot_u32`] while every sequential partial sum stays below
-/// `2^53` — which holds whenever `Σ x_k · y_k < 2^53`, i.e. for any realistic
-/// sketch (the sum is the boolean FLOP count of a matrix product).
+/// Products and partial sums are accumulated in `u64` (integer addition is
+/// associative, so any unrolled or vectorized order is exact), then
+/// converted to `f64` once. Bit-identical to [`crate::scalar::dot_u32`]
+/// while every sequential partial sum stays below `2^53` — which holds
+/// whenever `Σ x_k · y_k < 2^53`, i.e. for any realistic sketch (the sum is
+/// the boolean FLOP count of a matrix product). Dispatches to the AVX2
+/// wide-lane form ([`crate::simd`]) where available, else the portable
+/// four-lane body.
 pub fn dot_u32(x: &[u32], y: &[u32]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::enabled() {
+        return unsafe { crate::simd::dot_u32(x, y) };
+    }
+    dot_u32_portable(x, y)
+}
+
+/// The portable four-`u64`-lane [`dot_u32`] body — the dispatch fallback,
+/// kept public so benchmarks can measure it against the SIMD path.
+pub fn dot_u32_portable(x: &[u32], y: &[u32]) -> f64 {
     let n = x.len().min(y.len());
     let (x, y) = (&x[..n], &y[..n]);
     let mut acc = [0u64; 4];
@@ -29,8 +41,17 @@ pub fn dot_u32(x: &[u32], y: &[u32]) -> f64 {
 
 /// Exact integer sum of a count vector. `sum_u32(v) as f64` is bit-identical
 /// to the sequential `f64` accumulation of [`crate::scalar::sum_u32`] while
-/// the sum stays below `2^53`.
+/// the sum stays below `2^53`. Dispatches like [`dot_u32`].
 pub fn sum_u32(v: &[u32]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::enabled() {
+        return unsafe { crate::simd::sum_u32(v) };
+    }
+    sum_u32_portable(v)
+}
+
+/// The portable four-lane [`sum_u32`] body (dispatch fallback).
+pub fn sum_u32_portable(v: &[u32]) -> u64 {
     let mut acc = [0u64; 4];
     let mut chunks = v.chunks_exact(4);
     for c in &mut chunks {
@@ -87,6 +108,20 @@ mod tests {
         assert_eq!(dot_u32(&x, &y).to_bits(), scalar::dot_u32(&x, &y).to_bits());
         assert_eq!(dot_u32(&[], &[]), 0.0);
         assert_eq!(dot_u32(&[3], &[4]), 12.0);
+    }
+
+    #[test]
+    fn dispatched_paths_match_portable_bodies() {
+        for n in [0usize, 1, 5, 8, 13, 64, 1000] {
+            let x: Vec<u32> = (0..n as u32).map(|i| (i * 7 + 3) % 97).collect();
+            let y: Vec<u32> = (0..n as u32).map(|i| (i * 13 + 1) % 89).collect();
+            assert_eq!(
+                dot_u32(&x, &y).to_bits(),
+                dot_u32_portable(&x, &y).to_bits(),
+                "n={n}"
+            );
+            assert_eq!(sum_u32(&x), sum_u32_portable(&x), "n={n}");
+        }
     }
 
     #[test]

@@ -22,15 +22,25 @@
 //! sequential evaluation order and only replace the per-element product with
 //! the (identically rounded) integer form.
 //!
-//! Dispatch is a plain function call — no feature flags are required for
-//! correctness, and `#[cfg(target_arch)]` specializations may be layered in
-//! later without changing any caller.
+//! Dispatch is runtime feature detection behind a plain function call: on
+//! x86_64 with AVX2 the entry points take the wide-lane forms in [`simd`]
+//! (integer-exact, so still bit-identical — see the module docs there); on
+//! every other target, or pre-AVX2 hardware, the portable `*_portable`
+//! bodies run. No feature flags are required for correctness, and no caller
+//! changes when a new specialization is layered in.
+//!
+//! The crate also hosts the [`WorkerPool`] scoped-thread pool used by
+//! multi-threaded sketch/bitset builds and DAG-wavefront propagation:
+//! workers produce per-chunk partials that are merged in a fixed order, so
+//! parallel answers stay bit-identical to sequential ones.
 
 pub mod arena;
 pub mod chunk;
 pub mod combine;
 pub mod dot;
+pub mod pool;
 pub mod scalar;
+pub mod simd;
 pub mod words;
 
 pub use arena::ScratchArena;
@@ -39,5 +49,9 @@ pub use combine::{
     complement_into, concat_meta_into, meta_scan, scale_round_into, sub_sat_into, zip_add_into,
     zip_max_into, zip_min_into, VecMeta,
 };
-pub use dot::{dot_u32, sum_u32, vector_edm};
-pub use words::{and_into, and_popcount, or4_into, or_into, popcount};
+pub use dot::{dot_u32, dot_u32_portable, sum_u32, sum_u32_portable, vector_edm};
+pub use pool::WorkerPool;
+pub use words::{
+    and_into, and_into_portable, and_popcount, and_popcount_portable, or4_into, or4_into_portable,
+    or_into, or_into_portable, popcount, popcount_portable,
+};

@@ -2,10 +2,22 @@
 //!
 //! OR and AND are associative and commutative per word, and popcount is an
 //! integer sum, so every batching/unrolling order below is bit-identical to
-//! the one-word-at-a-time scalar loops in [`crate::scalar`].
+//! the one-word-at-a-time scalar loops in [`crate::scalar`]. Each entry
+//! point dispatches to the 256-bit AVX2 form ([`crate::simd`]) where
+//! available; the `*_portable` bodies are the fallback and stay public so
+//! benchmarks can measure both.
 
-/// Popcount over a word slice, accumulated across four lanes.
+/// Popcount over a word slice.
 pub fn popcount(words: &[u64]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::enabled() {
+        return unsafe { crate::simd::popcount(words) };
+    }
+    popcount_portable(words)
+}
+
+/// The portable four-lane [`popcount`] body (dispatch fallback).
+pub fn popcount_portable(words: &[u64]) -> u64 {
     let mut acc = [0u64; 4];
     let mut chunks = words.chunks_exact(4);
     for c in &mut chunks {
@@ -23,6 +35,15 @@ pub fn popcount(words: &[u64]) -> u64 {
 
 /// `dst |= src` word-wise.
 pub fn or_into(dst: &mut [u64], src: &[u64]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::enabled() {
+        return unsafe { crate::simd::or_into(dst, src) };
+    }
+    or_into_portable(dst, src)
+}
+
+/// The portable word-at-a-time [`or_into`] body (dispatch fallback).
+pub fn or_into_portable(dst: &mut [u64], src: &[u64]) {
     for (d, &s) in dst.iter_mut().zip(src) {
         *d |= s;
     }
@@ -30,6 +51,15 @@ pub fn or_into(dst: &mut [u64], src: &[u64]) {
 
 /// `dst &= src` word-wise.
 pub fn and_into(dst: &mut [u64], src: &[u64]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::enabled() {
+        return unsafe { crate::simd::and_into(dst, src) };
+    }
+    and_into_portable(dst, src)
+}
+
+/// The portable word-at-a-time [`and_into`] body (dispatch fallback).
+pub fn and_into_portable(dst: &mut [u64], src: &[u64]) {
     for (d, &s) in dst.iter_mut().zip(src) {
         *d &= s;
     }
@@ -39,6 +69,15 @@ pub fn and_into(dst: &mut [u64], src: &[u64]) {
 /// `dst`, quartering the destination traffic of the `bool_mm` inner loop
 /// when a left-operand row is dense.
 pub fn or4_into(dst: &mut [u64], a: &[u64], b: &[u64], c: &[u64], e: &[u64]) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::enabled() {
+        return unsafe { crate::simd::or4_into(dst, a, b, c, e) };
+    }
+    or4_into_portable(dst, a, b, c, e)
+}
+
+/// The portable single-pass [`or4_into`] body (dispatch fallback).
+pub fn or4_into_portable(dst: &mut [u64], a: &[u64], b: &[u64], c: &[u64], e: &[u64]) {
     for ((((d, &wa), &wb), &wc), &we) in dst.iter_mut().zip(a).zip(b).zip(c).zip(e) {
         *d |= (wa | wb) | (wc | we);
     }
@@ -46,6 +85,15 @@ pub fn or4_into(dst: &mut [u64], a: &[u64], b: &[u64], c: &[u64], e: &[u64]) {
 
 /// Popcount of `a & b` without materializing the intersection.
 pub fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::enabled() {
+        return unsafe { crate::simd::and_popcount(a, b) };
+    }
+    and_popcount_portable(a, b)
+}
+
+/// The portable [`and_popcount`] body (dispatch fallback).
+pub fn and_popcount_portable(a: &[u64], b: &[u64]) -> u64 {
     let n = a.len().min(b.len());
     let mut total = 0u64;
     for (&wa, &wb) in a[..n].iter().zip(&b[..n]) {
@@ -76,20 +124,25 @@ mod tests {
         for n in [0, 1, 3, 4, 7, 64, 129] {
             let w = words(n as u64 + 1, n);
             assert_eq!(popcount(&w), scalar::popcount(&w));
+            assert_eq!(popcount(&w), popcount_portable(&w));
         }
     }
 
     #[test]
     fn or4_equals_sequential_ors() {
-        let n = 37;
-        let mut dst = words(1, n);
-        let mut expect = dst.clone();
-        let (a, b, c, e) = (words(2, n), words(3, n), words(4, n), words(5, n));
-        or4_into(&mut dst, &a, &b, &c, &e);
-        for src in [&a, &b, &c, &e] {
-            scalar::or_into(&mut expect, src);
+        for n in [0usize, 1, 3, 4, 5, 37] {
+            let mut dst = words(1, n);
+            let mut expect = dst.clone();
+            let mut portable = dst.clone();
+            let (a, b, c, e) = (words(2, n), words(3, n), words(4, n), words(5, n));
+            or4_into(&mut dst, &a, &b, &c, &e);
+            or4_into_portable(&mut portable, &a, &b, &c, &e);
+            for src in [&a, &b, &c, &e] {
+                scalar::or_into(&mut expect, src);
+            }
+            assert_eq!(dst, expect, "n={n}");
+            assert_eq!(dst, portable, "n={n}");
         }
-        assert_eq!(dst, expect);
     }
 
     #[test]
@@ -98,5 +151,6 @@ mod tests {
         let mut m = a.clone();
         and_into(&mut m, &b);
         assert_eq!(and_popcount(&a, &b), scalar::popcount(&m));
+        assert_eq!(and_popcount(&a, &b), and_popcount_portable(&a, &b));
     }
 }

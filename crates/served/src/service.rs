@@ -26,6 +26,7 @@ use mnc_core::MncSketch;
 use mnc_estimators::mnc::MncSynopsis;
 use mnc_estimators::{MncEstimator, SparsityEstimator, Synopsis};
 use mnc_expr::{SessionPool, SessionPoolConfig};
+use mnc_kernels::WorkerPool;
 use mnc_obs::RequestContext;
 use mnc_obsd::{telemetry_response, Handler, ObsDaemon, ObsdConfig, Request, Response};
 
@@ -45,6 +46,10 @@ pub struct ServedConfig {
     pub catalog_dir: PathBuf,
     /// Concurrent compute slots.
     pub workers: usize,
+    /// Worker-thread budget for each estimation walk (propagation
+    /// wavefronts and per-session contexts); 1 keeps every walk
+    /// sequential. Responses are byte-identical at any setting.
+    pub threads: usize,
     /// Bounded wait queue beyond the compute slots.
     pub queue: usize,
     /// Per-client session policy.
@@ -80,6 +85,7 @@ impl ServedConfig {
         ServedConfig {
             catalog_dir: catalog_dir.into(),
             workers: 4,
+            threads: 1,
             queue: 8,
             sessions: SessionPoolConfig::default(),
             flight_capacity: 1024,
@@ -106,6 +112,7 @@ struct Counters {
 /// [`mnc_obsd::serve_with`].
 pub struct EstimationService {
     catalog: Mutex<SynopsisCatalog>,
+    pool: WorkerPool,
     sessions: Mutex<SessionPool>,
     gate: AdmissionGate,
     daemon: ObsDaemon,
@@ -127,9 +134,14 @@ impl EstimationService {
         });
         let trace = TracePlane::new(&cfg, &daemon)?;
         let shadow = ShadowPlane::new(&cfg, &daemon);
+        let sessions = SessionPoolConfig {
+            threads: cfg.threads,
+            ..cfg.sessions
+        };
         Ok(Arc::new(EstimationService {
             catalog: Mutex::new(catalog),
-            sessions: Mutex::new(SessionPool::new(cfg.sessions)),
+            pool: WorkerPool::new(cfg.threads),
+            sessions: Mutex::new(SessionPool::new(sessions)),
             gate: AdmissionGate::new(cfg.workers, cfg.queue),
             daemon,
             trace,
@@ -215,7 +227,7 @@ impl EstimationService {
         let body = format!(
             "{{\"uptime_secs\":{},\"requests\":{},\"estimates\":{},\"rejected\":{},\
              \"errors\":{},\"matrices\":{},\"rebuilds\":{},\"quarantined\":{},\
-             \"workers\":{},\"queue\":{},\"active\":{},\
+             \"workers\":{},\"threads\":{},\"queue\":{},\"active\":{},\
              \"sessions\":{{\"active\":{},\"created\":{},\"evicted_idle\":{},\
              \"evicted_lru\":{}}},\
              \"tracing\":{{\"enabled\":{},\"captured\":{},\"retry_after_secs\":{}}},\
@@ -230,6 +242,7 @@ impl EstimationService {
             rebuilds,
             quarantined,
             self.gate.workers(),
+            self.pool.threads(),
             self.gate.queue(),
             self.gate.active(),
             active_sessions,
@@ -411,7 +424,8 @@ impl EstimationService {
         }
         // The walk itself runs without any service lock.
         let t = ctx.transition(t, "walk");
-        let out = walk::estimate_dag(&est, &req.dag, &leaves, req.include_sketch)?;
+        let out =
+            walk::estimate_dag_pooled(&est, &req.dag, &leaves, req.include_sketch, &self.pool)?;
         self.counters.estimates.fetch_add(1, Ordering::Relaxed);
         let t = ctx.transition(t, "serialize");
         let resp = Response::json(200, proto::estimate_json(&out));

@@ -27,6 +27,7 @@ use std::sync::Arc;
 use mnc_core::serialize::to_bytes;
 use mnc_core::OpKind;
 use mnc_estimators::{SparsityEstimator, Synopsis};
+use mnc_kernels::WorkerPool;
 
 use crate::error::ServiceError;
 
@@ -132,8 +133,42 @@ pub fn estimate_dag<E: SparsityEstimator + ?Sized>(
     leaves: &[Option<Arc<Synopsis>>],
     want_sketch: bool,
 ) -> Result<EstimateOutcome, ServiceError> {
+    estimate_dag_pooled(est, dag, leaves, want_sketch, &WorkerPool::new(1))
+}
+
+/// [`estimate_dag`] with a worker-pool budget: when the pool is parallel
+/// *and* the estimator declares order-invariance with a [`Sync`] view
+/// ([`SparsityEstimator::order_invariant`] /
+/// [`SparsityEstimator::as_sync`]), reachable intermediates are propagated
+/// in topological wavefronts before the sequential tail runs. Every other
+/// estimator — including the service's default probabilistic MNC, whose
+/// RNG stream makes propagation order-sensitive — keeps the exact
+/// depth-first schedule, so responses are byte-identical under any
+/// `threads` setting.
+pub fn estimate_dag_pooled<E: SparsityEstimator + ?Sized>(
+    est: &E,
+    dag: &DagSpec,
+    leaves: &[Option<Arc<Synopsis>>],
+    want_sketch: bool,
+    pool: &WorkerPool,
+) -> Result<EstimateOutcome, ServiceError> {
     debug_assert_eq!(leaves.len(), dag.nodes.len());
     let mut memo: Vec<Option<Arc<Synopsis>>> = vec![None; dag.nodes.len()];
+    if pool.is_parallel() && est.order_invariant() {
+        if let Some(sync_est) = est.as_sync() {
+            let mut roots: Vec<usize> = match &dag.nodes[dag.root] {
+                NodeSpec::Leaf(_) => vec![dag.root],
+                NodeSpec::Op { inputs, .. } => inputs.clone(),
+            };
+            if want_sketch {
+                // Pure estimators are indifferent to propagating the root
+                // before or after the estimate, so fold it into the
+                // wavefront instead of paying a sequential tail propagate.
+                roots.push(dag.root);
+            }
+            prefill_wavefront(sync_est, dag, leaves, &roots, &mut memo, pool)?;
+        }
+    }
 
     let (sparsity, shape) = match &dag.nodes[dag.root] {
         // A leaf root answers its own (exact) sparsity — the estimate_root
@@ -180,6 +215,88 @@ pub fn estimate_dag<E: SparsityEstimator + ?Sized>(
         shape,
         sketch_bytes,
     })
+}
+
+/// Wavefront prefill for order-invariant estimators: resolves reachable
+/// leaves, then propagates scheduled ops level by level on pool workers,
+/// merging results into `memo` in ascending node order. Request DAGs are
+/// validated to reference only earlier indices, so ascending index *is*
+/// topological order.
+fn prefill_wavefront(
+    est: &(dyn SparsityEstimator + Sync),
+    dag: &DagSpec,
+    leaves: &[Option<Arc<Synopsis>>],
+    roots: &[usize],
+    memo: &mut [Option<Arc<Synopsis>>],
+    pool: &WorkerPool,
+) -> Result<(), ServiceError> {
+    let mut scheduled: Vec<usize> = Vec::new();
+    let mut seen = vec![false; dag.nodes.len()];
+    let mut stack: Vec<usize> = roots.iter().rev().copied().collect();
+    while let Some(i) = stack.pop() {
+        if memo[i].is_some() || seen[i] {
+            continue;
+        }
+        seen[i] = true;
+        match &dag.nodes[i] {
+            NodeSpec::Leaf(name) => {
+                let syn = leaves[i]
+                    .as_ref()
+                    .map(Arc::clone)
+                    .ok_or_else(|| ServiceError::UnknownMatrix(name.clone()))?;
+                memo[i] = Some(syn);
+            }
+            NodeSpec::Op { inputs, .. } => {
+                scheduled.push(i);
+                stack.extend(inputs.iter().rev());
+            }
+        }
+    }
+    if scheduled.is_empty() {
+        return Ok(());
+    }
+    scheduled.sort_unstable();
+
+    // A node's level is one past its deepest scheduled input; leaves and
+    // already-memoized nodes are data, not work.
+    let mut level = vec![0usize; dag.nodes.len()];
+    let mut in_sched = vec![false; dag.nodes.len()];
+    let mut max_level = 0usize;
+    for &i in &scheduled {
+        if let NodeSpec::Op { inputs, .. } = &dag.nodes[i] {
+            let l = inputs
+                .iter()
+                .map(|&j| if in_sched[j] { level[j] + 1 } else { 0 })
+                .max()
+                .unwrap_or(0);
+            level[i] = l;
+            in_sched[i] = true;
+            max_level = max_level.max(l);
+        }
+    }
+
+    for l in 0..=max_level {
+        let batch: Vec<usize> = scheduled
+            .iter()
+            .copied()
+            .filter(|&i| level[i] == l)
+            .collect();
+        let memo_ref: &[Option<Arc<Synopsis>>] = memo;
+        let results = pool.run(batch.len(), |k| {
+            let NodeSpec::Op { op, inputs } = &dag.nodes[batch[k]] else {
+                unreachable!("only ops are scheduled");
+            };
+            let ins: Vec<&Synopsis> = inputs
+                .iter()
+                .map(|&j| &**memo_ref[j].as_ref().expect("lower wavefront level"))
+                .collect();
+            est.propagate(op, &ins)
+        });
+        for (k, res) in results.into_iter().enumerate() {
+            memo[batch[k]] = Some(Arc::new(res?));
+        }
+    }
+    Ok(())
 }
 
 /// Depth-first, memoized materialization — the same order
@@ -366,6 +483,76 @@ mod tests {
         let bytes = with_sketch.sketch_bytes.unwrap();
         let sk = mnc_core::from_bytes(&bytes).unwrap();
         assert_eq!((sk.nrows, sk.ncols), plain.shape);
+    }
+
+    #[test]
+    fn pooled_walk_is_byte_identical_across_thread_counts() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(13);
+        let a = Arc::new(gen::rand_uniform(&mut r, 40, 30, 0.1));
+        let b = Arc::new(gen::rand_uniform(&mut r, 30, 40, 0.1));
+        let c = Arc::new(gen::rand_uniform(&mut r, 40, 30, 0.12));
+        let d = Arc::new(gen::rand_uniform(&mut r, 30, 40, 0.12));
+        // Two independent matmul branches: a real level-1 wavefront.
+        let dag = DagSpec {
+            nodes: vec![
+                leaf("A"),
+                leaf("B"),
+                leaf("C"),
+                leaf("D"),
+                op(OpKind::MatMul, &[0, 1]),
+                op(OpKind::MatMul, &[2, 3]),
+                op(OpKind::EwAdd, &[4, 5]),
+            ],
+            root: 6,
+        };
+        dag.validate().unwrap();
+
+        let det = || {
+            MncEstimator::with_config(
+                "MNC",
+                mnc_core::MncConfig {
+                    probabilistic_rounding: false,
+                    ..mnc_core::MncConfig::default()
+                },
+            )
+        };
+        let est = det();
+        let leaves: Vec<Option<Arc<Synopsis>>> = [&a, &b, &c, &d]
+            .iter()
+            .map(|m| Some(Arc::new(est.build(m).unwrap())))
+            .chain([None, None, None])
+            .collect();
+
+        for want_sketch in [false, true] {
+            let seq = estimate_dag(&det(), &dag, &leaves, want_sketch).unwrap();
+            for threads in [2, 8] {
+                let par = estimate_dag_pooled(
+                    &det(),
+                    &dag,
+                    &leaves,
+                    want_sketch,
+                    &WorkerPool::new(threads),
+                )
+                .unwrap();
+                assert_eq!(seq.sparsity.to_bits(), par.sparsity.to_bits());
+                assert_eq!(seq.nnz, par.nnz);
+                assert_eq!(seq.sketch_bytes, par.sketch_bytes, "threads={threads}");
+            }
+        }
+
+        // The default probabilistic estimator stays on the sequential
+        // schedule, so a parallel pool changes nothing.
+        let seq = estimate_dag(&MncEstimator::new(), &dag, &leaves, true).unwrap();
+        let par = estimate_dag_pooled(
+            &MncEstimator::new(),
+            &dag,
+            &leaves,
+            true,
+            &WorkerPool::new(8),
+        )
+        .unwrap();
+        assert_eq!(seq.sparsity.to_bits(), par.sparsity.to_bits());
+        assert_eq!(seq.sketch_bytes, par.sketch_bytes);
     }
 
     #[test]

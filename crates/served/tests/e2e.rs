@@ -211,6 +211,65 @@ fn concurrent_estimates_all_agree() {
 }
 
 #[test]
+fn threaded_service_is_byte_identical_and_survives_a_bounce() {
+    let (a, b, c) = chain_matrices();
+    let expected = library_chain_answer(&a, &b, &c);
+
+    // Reference body from a sequential (threads=1) service.
+    let dir1 = tmpdir("threads-seq");
+    let seq_body = {
+        let (_svc, mut handle, addr) = start(ServedConfig::new(&dir1));
+        put_chain(&addr, &a, &b, &c);
+        let (status, _, body) = http(&addr, "POST", "/v1/estimate", None, CHAIN_DAG.as_bytes());
+        assert_eq!(status, 200);
+        handle.shutdown();
+        body
+    };
+
+    // A threads=4 service must answer the same bytes: the default MNC
+    // estimator is order-sensitive (probabilistic rounding), so the walk
+    // stays on the sequential schedule no matter the pool size.
+    let dir4 = tmpdir("threads-par");
+    let mut cfg = ServedConfig::new(&dir4);
+    cfg.threads = 4;
+    let par_body = {
+        let (_svc, mut handle, addr) = start(cfg);
+        put_chain(&addr, &a, &b, &c);
+
+        let (status, _, status_body) = http(&addr, "GET", "/v1/status", None, b"");
+        assert_eq!(status, 200);
+        assert!(
+            String::from_utf8_lossy(&status_body).contains("\"threads\":4"),
+            "status must report the thread budget"
+        );
+
+        let (status, _, body) = http(&addr, "POST", "/v1/estimate", None, CHAIN_DAG.as_bytes());
+        assert_eq!(status, 200);
+        handle.shutdown();
+        body
+    };
+    assert_eq!(par_body, seq_body, "threads must not change a single byte");
+    let got = json_body(&par_body)
+        .get("sparsity")
+        .and_then(|s| s.as_f64())
+        .unwrap();
+    assert_eq!(got.to_bits(), expected.to_bits());
+
+    // Bounce the threaded service: catalog serves without rebuilds and the
+    // answer bytes are unchanged.
+    let mut cfg = ServedConfig::new(&dir4);
+    cfg.threads = 4;
+    let (svc, _handle, addr) = start(cfg);
+    assert_eq!(svc.rebuilds(), 0, "bounce must not rebuild sketches");
+    let (status, _, body) = http(&addr, "POST", "/v1/estimate", None, CHAIN_DAG.as_bytes());
+    assert_eq!(status, 200);
+    assert_eq!(body, seq_body);
+
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir4);
+}
+
+#[test]
 fn restart_serves_from_catalog_without_rebuilding() {
     let dir = tmpdir("restart");
     let (a, b, c) = chain_matrices();
