@@ -26,9 +26,18 @@ fn main() {
         "cargo:rustc-env=MNC_GIT_SHA={}",
         capture("git", &["rev-parse", "--short=12", "HEAD"])
     );
-    // Re-run when HEAD moves so the sha stays honest.
+    // Re-run when HEAD moves so the sha stays honest. HEAD itself is
+    // usually a symref ("ref: refs/heads/main") whose *contents* don't
+    // change on commit — the new commit lands in the branch ref file (or
+    // packed-refs after a gc), so those must be watched too or the baked
+    // sha silently pins to whatever commit first compiled this crate.
     let dir = capture("git", &["rev-parse", "--git-dir"]);
     if dir != "unknown" {
         println!("cargo:rerun-if-changed={dir}/HEAD");
+        let head_ref = capture("git", &["symbolic-ref", "-q", "HEAD"]);
+        if head_ref != "unknown" {
+            println!("cargo:rerun-if-changed={dir}/{head_ref}");
+        }
+        println!("cargo:rerun-if-changed={dir}/packed-refs");
     }
 }

@@ -416,6 +416,90 @@ fn measure_shadow_overhead(scale: f64, samples: usize) -> ShadowOverhead {
     }
 }
 
+/// The timeline-plane side of the overhead gate.
+struct TimelineOverhead {
+    /// Fastest request with the timeline plane disabled (`--timeline-capacity 0`).
+    off_floor: Duration,
+    /// Fastest request with the default timeline (360 frames, SLO engine
+    /// live). Gated at ≤2% of the disabled floor: the sampler runs on the
+    /// obsd ticker thread once a second, so the request path must pay
+    /// nothing beyond the metric recording it already does.
+    on_floor: Duration,
+    /// Whether both variants produced byte-identical response bodies.
+    identical: bool,
+}
+
+/// Two in-process services — timeline disabled vs the default-on plane —
+/// answer identical estimate batches, timed per request and strictly
+/// interleaved with a flipping order, exactly like
+/// [`measure_served_overhead`].
+fn measure_timeline_overhead(scale: f64, samples: usize) -> TimelineOverhead {
+    let d = ((200.0 * scale) as usize).max(1024);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x7133);
+    let mats: Vec<CsrMatrix> = (0..3)
+        .map(|_| gen::rand_uniform(&mut rng, d, d, 0.05))
+        .collect();
+
+    let mk_service = |capacity: usize, tag: &str| {
+        let dir = std::env::temp_dir().join(format!(
+            "mnc-cache-bench-timeline-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = ServedConfig::new(&dir);
+        cfg.timeline_capacity = capacity;
+        let svc = EstimationService::new(cfg).expect("served: open catalog");
+        for (i, m) in mats.iter().enumerate() {
+            let req = served_request("PUT", &format!("/v1/matrices/M{i}"), csr_json(m).as_bytes());
+            assert_eq!(svc.handle(&req).status, 201, "served: ingest M{i}");
+        }
+        (svc, dir)
+    };
+    let (off_svc, off_dir) = mk_service(0, "off");
+    let (on_svc, on_dir) = mk_service(360, "on");
+
+    let estimate = br#"{"dag":[{"leaf":"M0"},{"leaf":"M1"},{"leaf":"M2"},
+        {"op":"matmul","inputs":[0,1]},{"op":"matmul","inputs":[3,2]}]}"#;
+    let one = |svc: &EstimationService| -> (Duration, Vec<u8>) {
+        let t = Instant::now();
+        let resp = svc.handle(&served_request("POST", "/v1/estimate", estimate));
+        let took = t.elapsed();
+        assert_eq!(resp.status, 200, "served: estimate failed");
+        (took, resp.body)
+    };
+
+    let mut identical = true;
+    for _ in 0..16 {
+        let (_, body_off) = one(&off_svc);
+        let (_, body_on) = one(&on_svc);
+        identical &= body_off == body_on;
+    }
+
+    let mut floors = [Duration::MAX; 2];
+    for i in 0..samples {
+        let ((off_t, off_b), (on_t, on_b)) = if i % 2 == 0 {
+            let off = one(&off_svc);
+            let on = one(&on_svc);
+            (off, on)
+        } else {
+            let on = one(&on_svc);
+            let off = one(&off_svc);
+            (off, on)
+        };
+        identical &= off_b == on_b;
+        floors[0] = floors[0].min(off_t);
+        floors[1] = floors[1].min(on_t);
+    }
+    let _ = std::fs::remove_dir_all(&off_dir);
+    let _ = std::fs::remove_dir_all(&on_dir);
+
+    TimelineOverhead {
+        off_floor: floors[0],
+        on_floor: floors[1],
+        identical,
+    }
+}
+
 fn json_field(name: &str, v: f64) -> String {
     if v.is_finite() {
         format!("\"{name}\": {v}")
@@ -547,6 +631,7 @@ fn main() -> ExitCode {
         let o = measure_overhead(&dags, reps, 7, 10);
         let so = measure_served_overhead(scale, 225);
         let sh = measure_shadow_overhead(scale, 150);
+        let tl = measure_timeline_overhead(scale, 150);
         let plain = o.plain.as_secs_f64().max(1e-12);
         let noop = o.noop.as_secs_f64().max(1e-12);
         let noop_ratio = o.noop.as_secs_f64() / plain;
@@ -556,13 +641,16 @@ fn main() -> ExitCode {
         let shadow_base = sh.base_floor.as_secs_f64().max(1e-12);
         let shadow_off_ratio = sh.off_floor.as_secs_f64() / shadow_base;
         let shadow_on_ratio = sh.on_floor.as_secs_f64() / shadow_base;
+        let timeline_ratio = tl.on_floor.as_secs_f64() / tl.off_floor.as_secs_f64().max(1e-12);
         overhead_ok = noop_ratio <= 1.02
             && obsd_ratio <= 1.02
             && o.identical
             && served_ratio <= 1.02
             && so.identical
             && shadow_off_ratio <= 1.02
-            && sh.identical;
+            && sh.identical
+            && timeline_ratio <= 1.02
+            && tl.identical;
         eprintln!(
             "overhead: plain {} | no-op recorder {} (ratio {:.4}, limit 1.02) | idle obsd {} (ratio vs no-op {:.4}, limit 1.02) | traced {} (ratio {:.4}, informational), estimates identical: {}",
             fmt_duration(o.plain),
@@ -590,8 +678,15 @@ fn main() -> ExitCode {
             shadow_on_ratio,
             sh.identical
         );
+        eprintln!(
+            "timeline plane: disabled floor {} | default-on floor {} (ratio {:.4}, limit 1.02), response bodies identical: {}",
+            fmt_duration(tl.off_floor),
+            fmt_duration(tl.on_floor),
+            timeline_ratio,
+            tl.identical
+        );
         overhead_json = format!(
-            "\"overhead\": {{{}, {}, {}, {}, {}, {}, {}, \"estimates_identical\": {}, {}, {}, {}, \"served_bodies_identical\": {}, {}, {}, {}, {}, {}, \"shadow_bodies_identical\": {}, \"ok\": {}}}",
+            "\"overhead\": {{{}, {}, {}, {}, {}, {}, {}, \"estimates_identical\": {}, {}, {}, {}, \"served_bodies_identical\": {}, {}, {}, {}, {}, {}, \"shadow_bodies_identical\": {}, {}, {}, {}, \"timeline_bodies_identical\": {}, \"ok\": {}}}",
             json_field("plain_s", o.plain.as_secs_f64()),
             json_field("noop_s", o.noop.as_secs_f64()),
             json_field("traced_s", o.traced.as_secs_f64()),
@@ -610,6 +705,10 @@ fn main() -> ExitCode {
             json_field("shadow_off_ratio", shadow_off_ratio),
             json_field("shadow_on_ratio", shadow_on_ratio),
             sh.identical,
+            json_field("timeline_off_floor_s", tl.off_floor.as_secs_f64()),
+            json_field("timeline_on_floor_s", tl.on_floor.as_secs_f64()),
+            json_field("timeline_ratio", timeline_ratio),
+            tl.identical,
             overhead_ok
         );
     }

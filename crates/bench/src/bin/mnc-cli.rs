@@ -11,6 +11,7 @@
 //! mnc-cli catalog list <dir>                  # list persisted sketches
 //! mnc-cli serve --catalog <dir> [--addr HOST:PORT] [--workers N] [--threads N]
 //!                               [--queue N] [--slow-threshold MS] [--access-log PATH]
+//! mnc-cli top [--addr HOST:PORT] [--interval-ms N] [--once] [--frames N]
 //! ```
 //!
 //! `estimate` runs inside an estimation session: synopses are cached across
@@ -49,6 +50,7 @@ fn main() -> ExitCode {
         Some("gen") => cmd_gen(&args[1..]),
         Some("catalog") => cmd_catalog(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("top") => cmd_top(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  mnc-cli sketch <a.mtx>\n  mnc-cli estimate <a.mtx> \
@@ -60,7 +62,8 @@ fn main() -> ExitCode {
                  mnc-cli catalog list <dir>\n  \
                  mnc-cli serve --catalog <dir> [--addr HOST:PORT] [--workers N] [--threads N]\n    \
                  [--queue N]\n    \
-                 [--max-body BYTES] [--flight-capacity N] [--slow-threshold MS] [--access-log PATH]",
+                 [--max-body BYTES] [--flight-capacity N] [--slow-threshold MS] [--access-log PATH]\n  \
+                 mnc-cli top [--addr HOST:PORT] [--interval-ms N] [--once] [--frames N]",
                 mnc_bench::OBS_USAGE
             );
             return ExitCode::from(2);
@@ -442,6 +445,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     loop {
         std::thread::park();
     }
+}
+
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let opts = mnc_bench::top::parse_args(args)?;
+    mnc_bench::top::run(&opts)
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {

@@ -28,7 +28,9 @@
 
 use std::process::ExitCode;
 
-use mnc_bench::perf::{apply_injection, compare_to_baseline, render_json, run_suite};
+use mnc_bench::perf::{
+    apply_injection, baseline_staleness_warning, compare_to_baseline, render_json, run_suite,
+};
 use mnc_bench::{env_reps, env_scale, ObsArgs, OBS_USAGE};
 
 fn usage() -> String {
@@ -139,6 +141,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        if let Some(warning) = baseline_staleness_warning(&report, &text) {
+            eprintln!("\nWARNING: {warning}\n");
+        }
         match compare_to_baseline(&report, &text) {
             Ok(regressions) if regressions.is_empty() => {
                 eprintln!("baseline compare vs {path}: OK (no gated metric regressed)");

@@ -15,6 +15,7 @@ pub use mnc_obs::json;
 pub mod obs;
 pub mod perf;
 pub mod served_load;
+pub mod top;
 
 use std::time::Duration;
 

@@ -927,6 +927,26 @@ fn baseline_env_f64(env: &JsonValue, key: &str) -> Result<f64, String> {
 
 /// Parses a checked-in `BENCH_MNC.json` and gates the current report
 /// against it. Refuses (with `Err`) when the records are not comparable:
+/// A warning when the checked-in baseline was generated by the **same
+/// commit** as the current build. Such a gate compares a build against
+/// itself: every latency/memory threshold passes by construction and the
+/// record says nothing about the trajectory since the last real baseline.
+/// Returns `None` when the SHAs differ (the healthy case) or when either
+/// side has no usable SHA.
+pub fn baseline_staleness_warning(report: &PerfReport, baseline_json: &str) -> Option<String> {
+    let doc = parse(baseline_json).ok()?;
+    let base_sha = doc.get("env")?.get("git_sha")?.as_str()?.trim().to_string();
+    let cur_sha = report.env.git_sha.trim();
+    if base_sha.is_empty() || cur_sha.is_empty() || base_sha != cur_sha {
+        return None;
+    }
+    Some(format!(
+        "baseline git_sha {base_sha} matches the current build — the gate is comparing \
+         this commit against itself. Regenerate BENCH_MNC.json from the commit you want \
+         to defend, or expect vacuous thresholds."
+    ))
+}
+
 /// wrong schema, or different scale/reps/alloc-track knobs — comparing
 /// across knobs would turn every threshold into noise.
 pub fn compare_to_baseline(
@@ -1044,6 +1064,24 @@ mod tests {
             }],
             attribution: String::new(),
         }
+    }
+
+    #[test]
+    fn self_referential_baseline_warns_loudly() {
+        let report = tiny_report();
+        let sha = &report.env.git_sha;
+        let same = format!("{{\"schema\":\"mnc.perf.v1\",\"env\":{{\"git_sha\":\"{sha}\"}}}}");
+        let warning =
+            baseline_staleness_warning(&report, &same).expect("same-SHA baseline must warn");
+        assert!(warning.contains(sha), "{warning}");
+        assert!(warning.contains("itself"), "{warning}");
+        // A baseline from any other commit is the healthy case: silent.
+        let other = "{\"schema\":\"mnc.perf.v1\",\"env\":{\"git_sha\":\"a3f96872a660deadbeef\"}}";
+        assert!(baseline_staleness_warning(&report, other).is_none());
+        // Unparseable or SHA-less baselines never warn here — the compare
+        // itself reports those failures.
+        assert!(baseline_staleness_warning(&report, "not json").is_none());
+        assert!(baseline_staleness_warning(&report, "{\"env\":{}}").is_none());
     }
 
     #[test]

@@ -1,0 +1,371 @@
+//! `mnc-cli top` — a live terminal dashboard over a running `mnc-served`
+//! (or `--serve-obs`) process.
+//!
+//! Renders, refreshed once a second against the daemon's own endpoints:
+//!
+//! * a **RED table** per endpoint — request rate, error fraction, and the
+//!   latest per-second p50/p99 service time, with a sparkline of recent
+//!   p99s — aggregated client-side from `/v1/debug/timeline` frames (the
+//!   same delta-encoded series the SLO engine consumes);
+//! * the **SLO readout** — per-objective firing state, fast/slow burn
+//!   rates, and error budget remaining, from `/v1/status`;
+//! * **drift health** from `/healthz`.
+//!
+//! `--once` prints a single frame without ANSI clearing and exits — the CI
+//! smoke mode whose golden shape (section tokens `ENDPOINT`, `SLO
+//! OBJECTIVE`, `DRIFT`) is asserted non-interactively.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use mnc_obs::json::{parse, JsonValue};
+use mnc_obs::prometheus::split_labeled_name;
+
+/// Sparkline glyphs, lowest to highest.
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+/// Seconds of 1s frames the RED table aggregates over.
+const WINDOW_S: u64 = 60;
+/// Sparkline width (most recent seconds).
+const SPARK_W: usize = 20;
+
+/// Dashboard options (see [`parse_args`]).
+pub struct TopOptions {
+    /// Daemon address, `HOST:PORT`.
+    pub addr: String,
+    /// Refresh period for live mode.
+    pub interval: Duration,
+    /// Render one frame without ANSI control codes and exit.
+    pub once: bool,
+    /// Stop after this many frames (live mode; `None` = until killed).
+    pub frames: Option<u64>,
+}
+
+/// Parses `top` subcommand arguments.
+pub fn parse_args(args: &[String]) -> Result<TopOptions, String> {
+    let mut opts = TopOptions {
+        addr: "127.0.0.1:9419".to_string(),
+        interval: Duration::from_millis(1000),
+        once: false,
+        frames: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => opts.addr = value("--addr")?.clone(),
+            "--interval-ms" => {
+                opts.interval = Duration::from_millis(
+                    value("--interval-ms")?
+                        .parse()
+                        .map_err(|_| "--interval-ms: not a number".to_string())?,
+                )
+            }
+            "--once" => opts.once = true,
+            "--frames" => {
+                opts.frames = Some(
+                    value("--frames")?
+                        .parse()
+                        .map_err(|_| "--frames: not a number".to_string())?,
+                )
+            }
+            other => return Err(format!("top: unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Runs the dashboard until `--once`/`--frames` completes (or forever).
+pub fn run(opts: &TopOptions) -> Result<(), String> {
+    if opts.once {
+        print!("{}", render_frame(&opts.addr)?);
+        return Ok(());
+    }
+    let mut n = 0u64;
+    loop {
+        let frame = render_frame(&opts.addr)?;
+        // Clear + home, then the frame: one write keeps refreshes tear-free.
+        let mut out = String::with_capacity(frame.len() + 8);
+        out.push_str("\x1b[2J\x1b[H");
+        out.push_str(&frame);
+        print!("{out}");
+        let _ = std::io::stdout().flush();
+        n += 1;
+        if opts.frames.is_some_and(|max| n >= max) {
+            return Ok(());
+        }
+        std::thread::sleep(opts.interval);
+    }
+}
+
+/// One blocking HTTP GET; returns `(status, body)`.
+fn http_get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: top\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("send {path}: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("read {path}: {e}"))?;
+    let status: u16 = raw
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("{path}: unparseable response"))?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+/// Per-endpoint RED aggregation over the timeline window.
+#[derive(Default)]
+struct EndpointRow {
+    requests: u64,
+    errors: u64,
+    /// Seconds actually spanned by the frames (for the rate denominator).
+    span_s: u64,
+    /// Latest non-empty per-second p50/p99 (ns).
+    p50_ns: u64,
+    p99_ns: u64,
+    /// Recent per-second p99s, oldest first (sparkline input).
+    p99_series: Vec<f64>,
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    if ns == 0 {
+        "-".to_string()
+    } else if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{:.0}us", s * 1e6)
+    }
+}
+
+/// Scales `values` into the spark glyph range (flat-zero renders ▁▁▁).
+fn sparkline(values: &[f64]) -> String {
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                SPARKS[0]
+            } else {
+                let k = ((v / max) * (SPARKS.len() - 1) as f64).round() as usize;
+                SPARKS[k.min(SPARKS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+fn frames_of(series: &JsonValue) -> Vec<&JsonValue> {
+    match series.get("frames") {
+        Some(JsonValue::Array(fr)) => fr.iter().collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn num(v: &JsonValue, key: &str) -> f64 {
+    v.get(key).and_then(|x| x.as_f64()).unwrap_or(0.0)
+}
+
+/// Builds one full dashboard frame as text.
+pub fn render_frame(addr: &str) -> Result<String, String> {
+    let (sstat, status_body) = http_get(addr, "/v1/status")?;
+    let (hstat, health_body) = http_get(addr, "/healthz")?;
+    let (tstat, timeline_body) = http_get(addr, "/v1/debug/timeline?metric=served.&resolution=1s")?;
+
+    let mut out = String::new();
+    let status = if sstat == 200 {
+        parse(&status_body).map_err(|e| format!("/v1/status: {e}"))?
+    } else {
+        JsonValue::Null
+    };
+
+    // ---- header -----------------------------------------------------------
+    let health_line = if hstat == 200 { "OK" } else { "DEGRADED" };
+    out.push_str(&format!(
+        "mnc top — http://{addr}  up {}s  requests {}  estimates {}  health {}\n",
+        num(&status, "uptime_s") as u64,
+        num(&status, "requests") as u64,
+        num(&status, "estimates") as u64,
+        health_line,
+    ));
+
+    // ---- RED table from timeline frames -----------------------------------
+    let mut rows: BTreeMap<String, EndpointRow> = BTreeMap::new();
+    if tstat == 200 {
+        let timeline = parse(&timeline_body).map_err(|e| format!("/v1/debug/timeline: {e}"))?;
+        let now_s = num(&timeline, "now_s") as u64;
+        let cutoff = now_s.saturating_sub(WINDOW_S);
+        if let Some(JsonValue::Array(series)) = timeline.get("series") {
+            for s in series {
+                let Some(name) = s.get("metric").and_then(|m| m.as_str()) else {
+                    continue;
+                };
+                let (base, labels) = split_labeled_name(name);
+                let endpoint = labels
+                    .iter()
+                    .find(|(k, _)| *k == "endpoint")
+                    .map(|(_, v)| v.to_string());
+                match (base, endpoint) {
+                    ("served.requests", Some(ep)) => {
+                        let bad = labels
+                            .iter()
+                            .find(|(k, _)| *k == "status")
+                            .is_some_and(|(_, v)| v.starts_with('5') || *v == "429");
+                        let row = rows.entry(ep).or_default();
+                        for f in frames_of(s) {
+                            let t = num(f, "t_s") as u64;
+                            if t <= cutoff {
+                                continue;
+                            }
+                            let v = num(f, "v") as u64;
+                            row.requests += v;
+                            if bad {
+                                row.errors += v;
+                            }
+                            row.span_s = row.span_s.max(now_s.saturating_sub(t) + 1);
+                        }
+                    }
+                    ("served.service_ns", Some(ep)) => {
+                        let row = rows.entry(ep).or_default();
+                        for f in frames_of(s) {
+                            if (num(f, "t_s") as u64) <= cutoff {
+                                continue;
+                            }
+                            let p99 = num(f, "p99");
+                            row.p99_series.push(p99);
+                            if num(f, "count") > 0.0 {
+                                row.p50_ns = num(f, "p50") as u64;
+                                row.p99_ns = p99 as u64;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    out.push_str(&format!(
+        "\n{:<28} {:>8} {:>7} {:>8} {:>8}  {}\n",
+        "ENDPOINT", "REQ/S", "ERR%", "p50", "p99", "p99 trend"
+    ));
+    let any_traffic = rows.values().any(|r| r.requests > 0);
+    for (ep, row) in &rows {
+        if row.requests == 0 && row.p99_series.is_empty() {
+            continue;
+        }
+        let rate = row.requests as f64 / row.span_s.max(1) as f64;
+        let errp = if row.requests == 0 {
+            0.0
+        } else {
+            100.0 * row.errors as f64 / row.requests as f64
+        };
+        let spark_from = row.p99_series.len().saturating_sub(SPARK_W);
+        out.push_str(&format!(
+            "{:<28} {:>8.1} {:>6.1}% {:>8} {:>8}  {}\n",
+            ep,
+            rate,
+            errp,
+            fmt_ns(row.p50_ns),
+            fmt_ns(row.p99_ns),
+            sparkline(&row.p99_series[spark_from..]),
+        ));
+    }
+    if !any_traffic {
+        out.push_str("(no traffic in window)\n");
+    }
+
+    // ---- SLO readout -------------------------------------------------------
+    out.push_str(&format!(
+        "\n{:<16} {:>8} {:>11} {:>11} {:>12}\n",
+        "SLO OBJECTIVE", "STATE", "BURN(fast)", "BURN(slow)", "BUDGET LEFT"
+    ));
+    let slo = status.get("slo").cloned().unwrap_or(JsonValue::Null);
+    let mut any_obj = false;
+    if let Some(JsonValue::Array(objs)) = slo.get("objectives") {
+        for o in objs {
+            any_obj = true;
+            let firing = o.get("firing").and_then(|f| f.as_f64()).unwrap_or(0.0) > 0.0
+                || matches!(o.get("firing"), Some(JsonValue::Bool(true)));
+            out.push_str(&format!(
+                "{:<16} {:>8} {:>10.2}x {:>10.2}x {:>11.1}%\n",
+                o.get("name").and_then(|n| n.as_str()).unwrap_or("?"),
+                if firing { "FIRING" } else { "ok" },
+                num(o, "burn_fast"),
+                num(o, "burn_slow"),
+                100.0 * num(o, "budget_remaining"),
+            ));
+        }
+    }
+    if !any_obj {
+        out.push_str("(no objectives declared)\n");
+    }
+    if let Some(JsonValue::Number(alerts)) = slo.get("alerts_total") {
+        out.push_str(&format!("alerts total: {}\n", *alerts as u64));
+    }
+
+    // ---- drift health ------------------------------------------------------
+    if hstat == 200 {
+        out.push_str("\nDRIFT health: ok\n");
+    } else {
+        out.push_str("\nDRIFT health: degraded\n");
+        for line in health_body.lines().skip(1).filter(|l| !l.is_empty()) {
+            out.push_str(&format!("  {line}\n"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_scales_to_the_max() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        let s = sparkline(&[0.0, 4.0, 8.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.ends_with('█'), "{s}");
+        assert!(s.starts_with('▁'), "{s}");
+    }
+
+    #[test]
+    fn ns_formatting_ranges() {
+        assert_eq!(fmt_ns(0), "-");
+        assert_eq!(fmt_ns(4_000), "4us");
+        assert_eq!(fmt_ns(1_500_000), "1.5ms");
+        assert_eq!(fmt_ns(2_300_000_000), "2.30s");
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let opts = parse_args(&[
+            "--addr".into(),
+            "10.0.0.1:1".into(),
+            "--once".into(),
+            "--interval-ms".into(),
+            "250".into(),
+        ])
+        .unwrap();
+        assert_eq!(opts.addr, "10.0.0.1:1");
+        assert!(opts.once);
+        assert_eq!(opts.interval, Duration::from_millis(250));
+        assert!(parse_args(&["--bogus".into()]).is_err());
+    }
+}

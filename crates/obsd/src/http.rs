@@ -271,8 +271,7 @@ impl Handler for TelemetryHandler {
         if req.method != "GET" {
             return Response::text(405, "method not allowed\n");
         }
-        telemetry_response(&self.daemon, &req.path)
-            .unwrap_or_else(|| Response::text(404, "not found\n"))
+        telemetry_response(&self.daemon, req).unwrap_or_else(|| Response::text(404, "not found\n"))
     }
 
     fn tick(&self) {
@@ -280,11 +279,13 @@ impl Handler for TelemetryHandler {
     }
 }
 
-/// Routes one path to the daemon's telemetry plane; `None` for unknown
+/// Routes one request to the daemon's telemetry plane; `None` for unknown
 /// paths. Shared by the plain telemetry server and `mnc-served`, which
-/// mounts these routes next to its `/v1` API as its health plane.
-pub fn telemetry_response(daemon: &ObsDaemon, path: &str) -> Option<Response> {
-    Some(match path {
+/// mounts these routes next to its `/v1` API as its health plane. Takes
+/// the whole request (not just the path) because `/v1/debug/timeline`
+/// reads `?metric=&resolution=&since=` selections.
+pub fn telemetry_response(daemon: &ObsDaemon, req: &Request) -> Option<Response> {
+    Some(match req.path.as_str() {
         "/metrics" => Response {
             status: 200,
             content_type: "text/plain; version=0.0.4; charset=utf-8",
@@ -304,6 +305,48 @@ pub fn telemetry_response(daemon: &ObsDaemon, path: &str) -> Option<Response> {
             body: daemon.flight_jsonl().into_bytes(),
         },
         "/attribution" => Response::text(200, daemon.attribution_text()),
+        "/v1/debug/timeline" => {
+            let resolution = match req.query_param("resolution") {
+                None => None,
+                Some(r) => match crate::timeline::RESOLUTIONS.iter().position(|n| *n == r) {
+                    Some(i) => Some(i),
+                    None => {
+                        return Some(Response::json(
+                            400,
+                            "{\"error\":\"resolution must be one of 1s, 10s, 60s\"}",
+                        ))
+                    }
+                },
+            };
+            let since_s = match req.query_param("since") {
+                None => 0,
+                Some(s) => match s.parse::<u64>() {
+                    Ok(v) => v,
+                    Err(_) => {
+                        return Some(Response::json(
+                            400,
+                            "{\"error\":\"since must be unix seconds\"}",
+                        ))
+                    }
+                },
+            };
+            let query = crate::timeline::TimelineQuery {
+                metric: req.query_param("metric"),
+                resolution,
+                since_s,
+            };
+            let now_s = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            match daemon.timeline().render_json(now_s, &query) {
+                Some(body) => Response::json(200, body),
+                // Every claim retry lost to a writer — tell the client to
+                // come back rather than block the scrape path.
+                None => Response::json(503, "{\"error\":\"timeline busy, retry\"}")
+                    .with_header("Retry-After", "1"),
+            }
+        }
         _ => return None,
     })
 }

@@ -32,12 +32,16 @@
 pub mod drift;
 pub mod flight;
 pub mod http;
+pub mod slo;
+pub mod timeline;
 
 pub use drift::{DriftConfig, DriftMonitor, Health, SeriesStats};
 pub use flight::FlightRecorder;
 pub use http::{
     serve_with, telemetry_response, Handler, Request, Response, ServeOptions, ServerHandle,
 };
+pub use slo::{SloConfig, SloEngine, SloTransition};
+pub use timeline::{Timeline, TimelineConfig, TimelineQuery, TimelineStats};
 
 use std::sync::{Arc, Mutex};
 
@@ -53,6 +57,8 @@ pub struct ObsdConfig {
     pub flight_capacity: usize,
     /// Drift-monitor thresholds.
     pub drift: DriftConfig,
+    /// Timeline-plane sizing and SLO objectives.
+    pub timeline: TimelineConfig,
 }
 
 impl Default for ObsdConfig {
@@ -60,6 +66,7 @@ impl Default for ObsdConfig {
         ObsdConfig {
             flight_capacity: 1024,
             drift: DriftConfig::default(),
+            timeline: TimelineConfig::default(),
         }
     }
 }
@@ -70,6 +77,7 @@ impl Default for ObsdConfig {
 struct DaemonShared {
     flight: FlightRecorder,
     drift: DriftMonitor,
+    timeline: Timeline,
     /// Source recorders whose registries `/metrics` aggregates. Holding
     /// clones keeps the registries alive for scrapes that outlive the
     /// session.
@@ -106,6 +114,7 @@ impl ObsDaemon {
             shared: Arc::new(DaemonShared {
                 flight: FlightRecorder::new(config.flight_capacity),
                 drift: DriftMonitor::new(config.drift),
+                timeline: Timeline::new(config.timeline),
                 sources: Mutex::new(Vec::new()),
                 cached: Mutex::new(MetricSnapshot::default()),
             }),
@@ -142,9 +151,24 @@ impl ObsDaemon {
         &self.shared.drift
     }
 
-    /// The drift-aware health verdict (`/healthz`).
+    /// The timeline plane (history rings + SLO engine).
+    pub fn timeline(&self) -> &Timeline {
+        &self.shared.timeline
+    }
+
+    /// The health verdict (`/healthz`): drift-monitor reasons merged with
+    /// any firing SLO burn-rate alerts.
     pub fn health(&self) -> Health {
-        self.shared.drift.status()
+        let mut reasons = match self.shared.drift.status() {
+            Health::Ok => Vec::new(),
+            Health::Degraded(r) => r,
+        };
+        reasons.extend(self.shared.timeline.slo().health_reasons());
+        if reasons.is_empty() {
+            Health::Ok
+        } else {
+            Health::Degraded(reasons)
+        }
     }
 
     /// Number of installed source recorders.
@@ -214,7 +238,9 @@ impl ObsDaemon {
     /// Re-merges the service metrics with every source registry into the
     /// cached snapshot. Called on every scrape and periodically by the
     /// HTTP server's ticker (so the cache stays near-current even when
-    /// nobody scrapes).
+    /// nobody scrapes). The merged snapshot is also tailed into the
+    /// timeline plane (at most one frame per second) and any SLO alert
+    /// edges that produces are stamped into the flight recorder.
     pub fn refresh(&self) {
         let mut merged = self.service_snapshot();
         {
@@ -225,6 +251,38 @@ impl ObsDaemon {
                 }
             }
         }
+        let now_s = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let edges = self
+            .shared
+            .timeline
+            .sample_at(now_s, &merged, self.shared.drift.is_degraded());
+        for edge in edges.into_iter().flatten() {
+            self.shared.flight.record_span(&SpanRecord {
+                id: 0,
+                parent: 0,
+                name: "slo_alert",
+                op: Some(format!(
+                    "{}:{}",
+                    slo::OBJECTIVES[edge.objective],
+                    if edge.fired { "fire" } else { "recover" }
+                )),
+                thread: 0,
+                start_ns: now_s.saturating_mul(1_000_000_000),
+                dur_ns: 0,
+                nnz_in: None,
+                nnz_out: None,
+                synopsis_bytes: None,
+                alloc_net: None,
+                alloc_bytes: None,
+                trace: None,
+            });
+        }
+        // Contributed after sampling so scrapes see this second's SLO
+        // state, and the timeline never tracks its own series.
+        self.shared.timeline.contribute_metrics(&mut merged);
         *self.shared.cached.lock().expect("cached poisoned") = merged;
     }
 
@@ -302,6 +360,11 @@ mod tests {
                 min_samples: 4,
                 window: 8,
                 ..DriftConfig::default()
+            },
+            // Off so the golden metrics assertions stay deterministic.
+            timeline: TimelineConfig {
+                enabled: false,
+                ..TimelineConfig::default()
             },
         }
     }

@@ -7,7 +7,7 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
 use mnc_obs::{span, AccuracyRecord, Recorder};
-use mnc_obsd::{DriftConfig, ObsDaemon, ObsdConfig};
+use mnc_obsd::{DriftConfig, ObsDaemon, ObsdConfig, TimelineConfig};
 
 fn small_config() -> ObsdConfig {
     ObsdConfig {
@@ -17,6 +17,22 @@ fn small_config() -> ObsdConfig {
             window: 8,
             ..DriftConfig::default()
         },
+        // Off so the golden `/metrics` body stays deterministic; the
+        // timeline endpoints get their own config below.
+        timeline: TimelineConfig {
+            enabled: false,
+            ..TimelineConfig::default()
+        },
+    }
+}
+
+fn timeline_config() -> ObsdConfig {
+    ObsdConfig {
+        timeline: TimelineConfig {
+            capacity: 16,
+            ..TimelineConfig::default()
+        },
+        ..small_config()
     }
 }
 
@@ -230,6 +246,54 @@ fn flight_and_attribution_serve_ring_contents() {
     let (status, body) = get(addr, "/attribution");
     assert_eq!(status, 200);
     assert!(body.contains("estimate"), "{body}");
+}
+
+#[test]
+fn timeline_endpoint_serves_series_and_slo_block() {
+    let daemon = ObsDaemon::new(timeline_config());
+    let rec = Recorder::enabled();
+    daemon.install(&rec);
+    rec.counter("cache.hit").add(7);
+    let server = daemon.serve("127.0.0.1:0").expect("bind");
+    let addr = server.local_addr();
+
+    // A scrape refreshes the daemon, which tails the snapshot into the
+    // timeline (first frame lands on the first refresh).
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(metrics.contains("mnc_slo_burn_alerts_total 0"), "{metrics}");
+    assert!(metrics.contains("mnc_timeline_series "), "{metrics}");
+    assert!(
+        metrics.contains("mnc_slo_firing{objective=\"availability\"} 0"),
+        "{metrics}"
+    );
+
+    let (status, body) = get(addr, "/v1/debug/timeline");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"schema\":\"mnc.timeline.v1\""), "{body}");
+    assert!(body.contains("\"metric\":\"cache.hit\""), "{body}");
+    assert!(body.contains("\"alerts_total\":0"), "{body}");
+
+    // Selection narrows the series list.
+    let (status, body) = get(addr, "/v1/debug/timeline?metric=cache.&resolution=1s");
+    assert_eq!(status, 200);
+    assert!(body.contains("cache.hit"), "{body}");
+    assert!(!body.contains("obsd.flight"), "{body}");
+
+    // Malformed selections are rejected, not ignored.
+    let (status, _) = get(addr, "/v1/debug/timeline?resolution=5m");
+    assert_eq!(status, 400);
+    let (status, _) = get(addr, "/v1/debug/timeline?since=yesterday");
+    assert_eq!(status, 400);
+}
+
+#[test]
+fn timeline_disabled_serves_empty_series() {
+    let daemon = ObsDaemon::new(small_config());
+    let server = daemon.serve("127.0.0.1:0").expect("bind");
+    let (status, body) = get(server.local_addr(), "/v1/debug/timeline");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"series\":[]"), "{body}");
 }
 
 #[test]

@@ -1,0 +1,186 @@
+//! Prometheus exposition contract, checked over live scrapes: `_total`
+//! counters (and histogram `_count`/`_sum`/`_bucket` samples) never go
+//! backwards across consecutive scrapes of the same process, counter
+//! series never disappear once exposed, and within every scrape each
+//! histogram's buckets are cumulative in `le` order with the mandatory
+//! `+Inf` bucket equal to `_count`. A scraper (or recording rule) that
+//! computes `rate()` over these series must never see a reset that isn't
+//! a real process restart.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use mnc_obs::Recorder;
+use mnc_obsd::{ObsDaemon, ObsdConfig, TimelineConfig};
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let status: u16 = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Parses an exposition body into `full series key -> value`, keeping the
+/// label block as part of the key (`name{a="b"}`).
+fn parse_exposition(body: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in body.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (key, value) = line.rsplit_once(' ').expect("sample line");
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("bad value: {line}"));
+        assert!(
+            out.insert(key.to_string(), value).is_none(),
+            "duplicate series in one scrape: {key}"
+        );
+    }
+    out
+}
+
+/// Base metric name of a series key (strips the label block).
+fn base(key: &str) -> &str {
+    key.split('{').next().unwrap()
+}
+
+/// Whether this series must be monotone non-decreasing across scrapes.
+fn is_cumulative(key: &str) -> bool {
+    let b = base(key);
+    b.ends_with("_total") || b.ends_with("_count") || b.ends_with("_sum") || b.ends_with("_bucket")
+}
+
+/// The `le` bound of a `_bucket` series, as an ordering key.
+fn le_bound(key: &str) -> f64 {
+    let labels = &key[key.find('{').unwrap()..];
+    let le = labels
+        .split("le=\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .unwrap_or_else(|| panic!("bucket without le: {key}"));
+    if le == "+Inf" {
+        f64::INFINITY
+    } else {
+        le.parse().unwrap_or_else(|_| panic!("bad le in {key}"))
+    }
+}
+
+/// `_bucket` series key with the `le` label removed — the histogram child
+/// identity.
+fn bucket_family(key: &str) -> String {
+    let brace = key.find('{').unwrap();
+    let labels: Vec<&str> = key[brace + 1..key.len() - 1]
+        .split(',')
+        .filter(|kv| !kv.starts_with("le=\""))
+        .collect();
+    format!("{}{{{}}}", &key[..brace], labels.join(","))
+}
+
+/// Within one scrape: every histogram family's buckets are cumulative in
+/// `le` order and close with `+Inf` == `_count`.
+fn assert_buckets_cumulative(scrape: &BTreeMap<String, f64>) {
+    let mut families: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    for (key, &value) in scrape {
+        if base(key).ends_with("_bucket") {
+            families
+                .entry(bucket_family(key))
+                .or_default()
+                .push((le_bound(key), value));
+        }
+    }
+    assert!(!families.is_empty(), "no histograms exposed");
+    for (family, mut buckets) in families {
+        buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in buckets.windows(2) {
+            assert!(
+                pair[0].1 <= pair[1].1,
+                "{family}: bucket le={} count {} > le={} count {}",
+                pair[0].0,
+                pair[0].1,
+                pair[1].0,
+                pair[1].1
+            );
+        }
+        let (last_le, inf_count) = *buckets.last().unwrap();
+        assert!(last_le.is_infinite(), "{family}: no +Inf bucket");
+        // `_bucket{le="+Inf"}` must equal `_count` for the same family.
+        let count_key = family.replacen("_bucket", "_count", 1);
+        let count = scrape
+            .get(&count_key)
+            .or_else(|| scrape.get(base(&count_key)))
+            .unwrap_or_else(|| panic!("missing {count_key}"));
+        assert_eq!(inf_count, *count, "{family}: +Inf != _count");
+    }
+}
+
+#[test]
+fn cumulative_series_never_regress_across_scrapes() {
+    let daemon = ObsDaemon::new(ObsdConfig {
+        timeline: TimelineConfig {
+            capacity: 32,
+            ..TimelineConfig::default()
+        },
+        ..ObsdConfig::default()
+    });
+    let rec = Recorder::enabled();
+    assert!(daemon.install(&rec));
+    let server = daemon.serve("127.0.0.1:0").expect("bind");
+
+    let mut previous: Option<BTreeMap<String, f64>> = None;
+    for round in 0u64..5 {
+        // Traffic between scrapes: counters climb, histograms record,
+        // spans flow through the flight ring.
+        rec.counter("cache.hit").add(3 + round);
+        rec.counter("cache.miss").add(1);
+        for i in 0..=round {
+            rec.histogram("estimate_ns").record(1_000 << i);
+            let _g = rec.span("estimate");
+        }
+
+        let (status, body) = get(server.local_addr(), "/metrics");
+        assert_eq!(status, 200);
+        let scrape = parse_exposition(&body);
+        assert_buckets_cumulative(&scrape);
+
+        if let Some(prev) = &previous {
+            for (key, &was) in prev {
+                if !is_cumulative(key) {
+                    continue;
+                }
+                let now = scrape.get(key).unwrap_or_else(|| {
+                    panic!("cumulative series {key} disappeared between scrapes")
+                });
+                assert!(
+                    *now >= was,
+                    "{key} went backwards: {was} -> {now} (scrape {round})"
+                );
+            }
+        }
+        previous = Some(scrape);
+    }
+
+    // The traffic actually moved the counters (the loop wasn't vacuous).
+    let last = previous.unwrap();
+    assert!(last["mnc_cache_hit_total"] >= 3.0 + 4.0 + 5.0 + 6.0 + 7.0);
+    assert!(last["mnc_obsd_flight_spans_pushed_total"] >= 15.0);
+}

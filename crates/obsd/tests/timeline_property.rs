@@ -1,0 +1,152 @@
+//! The downsample-exactness property: a coarse frame is not an
+//! approximation of the seconds it covers — it is their **exact merge**.
+//! For arbitrary traffic shapes (random increments, random clock gaps,
+//! any run length), every 10s counter frame must equal the sum of its ten
+//! constituent evicted 1s deltas, every 60s frame the sum of six 10s
+//! frames; gauges carry the last level of their window, histograms the
+//! bucket-wise sum. The test rebuilds the expected rings with an
+//! independent chunking reference and compares against what
+//! `/v1/debug/timeline` actually serves, frame by frame.
+
+use mnc_obs::json::{parse, JsonValue};
+use mnc_obs::metrics::{LatencyHisto, MetricSnapshot};
+use mnc_obsd::{Timeline, TimelineConfig, TimelineQuery};
+use proptest::prelude::*;
+
+const CAPACITY: usize = 8;
+const FACTORS: [usize; 2] = [10, 6];
+
+/// One simulated second of ground truth, as frames the 1s ring saw.
+#[derive(Clone, Copy, Default)]
+struct Truth {
+    t_s: u64,
+    counter_delta: u64,
+    gauge: i64,
+    histo_count: u64,
+}
+
+/// Reference downsampler: chunk evicted fine frames into groups of
+/// `factor`, merging counters by sum, gauges by last, counts by sum,
+/// timestamps by max. Returns (coarse frames, frames left in fine ring).
+fn chunk(fine: &[Truth], factor: usize) -> (Vec<Truth>, Vec<Truth>) {
+    let evicted = fine.len().saturating_sub(CAPACITY);
+    let coarse: Vec<Truth> = fine[..evicted]
+        .chunks(factor)
+        .filter(|c| c.len() == factor)
+        .map(|c| Truth {
+            t_s: c.iter().map(|f| f.t_s).max().unwrap(),
+            counter_delta: c.iter().map(|f| f.counter_delta).sum(),
+            gauge: c.last().unwrap().gauge,
+            histo_count: c.iter().map(|f| f.histo_count).sum(),
+        })
+        .collect();
+    let visible = fine[evicted..].to_vec();
+    (coarse, visible)
+}
+
+/// The last `CAPACITY` frames of a reference ring (what the real ring
+/// retains after its own evictions).
+fn retained(frames: Vec<Truth>) -> Vec<Truth> {
+    let skip = frames.len().saturating_sub(CAPACITY);
+    frames[skip..].to_vec()
+}
+
+fn frames_of<'a>(doc: &'a JsonValue, metric: &str, resolution: &str) -> Vec<&'a JsonValue> {
+    let JsonValue::Array(series) = doc.get("series").expect("series") else {
+        panic!("series not an array");
+    };
+    series
+        .iter()
+        .find(|s| {
+            s.get("metric").and_then(|m| m.as_str()) == Some(metric)
+                && s.get("resolution").and_then(|r| r.as_str()) == Some(resolution)
+        })
+        .map(|s| match s.get("frames") {
+            Some(JsonValue::Array(f)) => f.iter().collect(),
+            _ => Vec::new(),
+        })
+        .unwrap_or_default()
+}
+
+fn num(v: &JsonValue, key: &str) -> i64 {
+    v.get(key).and_then(|x| x.as_f64()).unwrap_or(f64::NAN) as i64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn coarse_frames_are_the_exact_merge_of_their_fine_constituents(
+        seed in any::<u64>(),
+        n_seconds in 1usize..700,
+    ) {
+        let timeline = Timeline::new(TimelineConfig {
+            enabled: true,
+            capacity: CAPACITY,
+            ..TimelineConfig::default()
+        });
+
+        // Drive with xorshift traffic: random counter increments, random
+        // gauge levels, random histogram records, random clock gaps
+        // (skipped seconds must fold into the next frame's delta — the
+        // same lossless fold a contended sample relies on).
+        let mut rng = seed | 1;
+        let mut step = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut truth: Vec<Truth> = Vec::new();
+        let mut cum_counter = 0u64;
+        let mut cum_histo = LatencyHisto::new();
+        let mut now_s = 1_000u64;
+        for _ in 0..n_seconds {
+            now_s += 1 + step() % 3; // gaps of 0..=2 skipped seconds
+            let inc = step() % 100;
+            let gauge = (step() % 50) as i64;
+            let records = step() % 5;
+            cum_counter += inc;
+            for _ in 0..records {
+                cum_histo.record(1 + step() % 1_000_000);
+            }
+            let mut snap = MetricSnapshot::default();
+            snap.counters.insert("traffic.requests".into(), cum_counter);
+            snap.gauges.insert("traffic.depth".into(), gauge);
+            snap.histograms.insert("traffic.latency_ns".into(), cum_histo.clone());
+            timeline.sample_at(now_s, &snap, false);
+            truth.push(Truth { t_s: now_s, counter_delta: inc, gauge, histo_count: records });
+        }
+
+        // Reference cascade: 1s evictions chunk by 10 into 10s frames,
+        // 10s evictions chunk by 6 into 60s frames.
+        let (coarse10_all, visible1) = chunk(&truth, FACTORS[0]);
+        let (coarse60_all, visible10) = chunk(&coarse10_all, FACTORS[1]);
+        let expected = [visible1, visible10, retained(coarse60_all)];
+
+        let body = timeline
+            .render_json(now_s, &TimelineQuery { metric: None, resolution: None, since_s: 0 })
+            .expect("uncontended render");
+        let doc = parse(&body).expect("timeline JSON parses");
+
+        for (res, want) in ["1s", "10s", "60s"].iter().zip(&expected) {
+            let counter = frames_of(&doc, "traffic.requests", res);
+            prop_assert_eq!(counter.len(), want.len(), "counter frame count at {}", res);
+            for (frame, w) in counter.iter().zip(want) {
+                prop_assert_eq!(num(frame, "t_s") as u64, w.t_s, "counter t_s at {}", res);
+                prop_assert_eq!(num(frame, "v") as u64, w.counter_delta, "counter v at {}", res);
+            }
+            let gauge = frames_of(&doc, "traffic.depth", res);
+            prop_assert_eq!(gauge.len(), want.len(), "gauge frame count at {}", res);
+            for (frame, w) in gauge.iter().zip(want) {
+                prop_assert_eq!(num(frame, "v"), w.gauge, "gauge v at {}", res);
+            }
+            let histo = frames_of(&doc, "traffic.latency_ns", res);
+            prop_assert_eq!(histo.len(), want.len(), "histo frame count at {}", res);
+            for (frame, w) in histo.iter().zip(want) {
+                prop_assert_eq!(num(frame, "t_s") as u64, w.t_s, "histo t_s at {}", res);
+                prop_assert_eq!(num(frame, "count") as u64, w.histo_count, "histo count at {}", res);
+            }
+        }
+    }
+}

@@ -3,8 +3,11 @@
 //! ```text
 //! mnc-served --catalog <dir> [--addr 127.0.0.1:9419] [--workers 4]
 //!            [--threads 1] [--queue 8] [--max-body 4194304] [--flight-capacity 1024]
-//!            [--slow-threshold MS] [--access-log PATH] [--no-tracing]
+//!            [--slow-threshold MS] [--access-log PATH] [--access-log-max-bytes N]
+//!            [--access-log-keep N] [--no-tracing]
 //!            [--shadow-rate FRACTION] [--retain-csr]
+//!            [--timeline-capacity N] [--slo-availability TARGET]
+//!            [--slo-latency-ms MS] [--slo-fast-window S] [--slo-slow-window S]
 //! ```
 //!
 //! Serves the `/v1` estimation API plus the telemetry health plane on one
@@ -17,8 +20,11 @@ use mnc_served::{serve_with, EstimationService, ServeOptions, ServedConfig};
 
 const USAGE: &str = "usage: mnc-served --catalog <dir> [--addr HOST:PORT] [--workers N] \
                      [--threads N] [--queue N] [--max-body BYTES] [--flight-capacity N] \
-                     [--slow-threshold MS] [--access-log PATH] [--no-tracing] \
-                     [--shadow-rate FRACTION] [--retain-csr]";
+                     [--slow-threshold MS] [--access-log PATH] [--access-log-max-bytes N] \
+                     [--access-log-keep N] [--no-tracing] \
+                     [--shadow-rate FRACTION] [--retain-csr] \
+                     [--timeline-capacity N] [--slo-availability TARGET] \
+                     [--slo-latency-ms MS] [--slo-fast-window S] [--slo-slow-window S]";
 
 struct Args {
     addr: String,
@@ -39,6 +45,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut tracing = true;
     let mut shadow_rate = 0.0f64;
     let mut retain_csr = false;
+    let mut timeline_capacity: Option<usize> = None;
+    let mut slo_availability: Option<f64> = None;
+    let mut slo_latency_ms: Option<u64> = None;
+    let mut slo_fast_window_s: Option<u64> = None;
+    let mut slo_slow_window_s: Option<u64> = None;
+    let mut access_log_max_bytes: Option<u64> = None;
+    let mut access_log_keep: Option<usize> = None;
 
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -91,6 +104,57 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
             }
             "--retain-csr" => retain_csr = true,
+            "--timeline-capacity" => {
+                timeline_capacity = Some(
+                    value("--timeline-capacity")?
+                        .parse()
+                        .map_err(|_| "--timeline-capacity: not a number".to_string())?,
+                )
+            }
+            "--slo-availability" => {
+                let v: f64 = value("--slo-availability")?
+                    .parse()
+                    .map_err(|_| "--slo-availability: not a number".to_string())?;
+                if !(0.0..1.0).contains(&v) {
+                    return Err("--slo-availability must be in [0, 1) (0 disables)".to_string());
+                }
+                slo_availability = Some(v);
+            }
+            "--slo-latency-ms" => {
+                slo_latency_ms = Some(
+                    value("--slo-latency-ms")?
+                        .parse()
+                        .map_err(|_| "--slo-latency-ms: not a number (milliseconds)".to_string())?,
+                )
+            }
+            "--slo-fast-window" => {
+                slo_fast_window_s = Some(
+                    value("--slo-fast-window")?
+                        .parse()
+                        .map_err(|_| "--slo-fast-window: not a number (seconds)".to_string())?,
+                )
+            }
+            "--slo-slow-window" => {
+                slo_slow_window_s = Some(
+                    value("--slo-slow-window")?
+                        .parse()
+                        .map_err(|_| "--slo-slow-window: not a number (seconds)".to_string())?,
+                )
+            }
+            "--access-log-max-bytes" => {
+                access_log_max_bytes = Some(
+                    value("--access-log-max-bytes")?
+                        .parse()
+                        .map_err(|_| "--access-log-max-bytes: not a number".to_string())?,
+                )
+            }
+            "--access-log-keep" => {
+                access_log_keep = Some(
+                    value("--access-log-keep")?
+                        .parse()
+                        .map_err(|_| "--access-log-keep: not a number".to_string())?,
+                )
+            }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -107,6 +171,27 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     cfg.access_log = access_log.map(std::path::PathBuf::from);
     cfg.shadow_rate = shadow_rate;
     cfg.retain_csr = retain_csr;
+    if let Some(n) = timeline_capacity {
+        cfg.timeline_capacity = n;
+    }
+    if let Some(v) = slo_availability {
+        cfg.slo_availability = v;
+    }
+    if let Some(ms) = slo_latency_ms {
+        cfg.slo_latency_ms = ms;
+    }
+    if let Some(s) = slo_fast_window_s {
+        cfg.slo_fast_window_s = s.max(1);
+    }
+    if let Some(s) = slo_slow_window_s {
+        cfg.slo_slow_window_s = s.max(1);
+    }
+    if let Some(b) = access_log_max_bytes {
+        cfg.access_log_max_bytes = b;
+    }
+    if let Some(k) = access_log_keep {
+        cfg.access_log_keep = k.max(1);
+    }
     // Test hook: hold each estimate inside its admission permit for a fixed
     // delay, so saturation tests can trigger 429 sheds deterministically
     // instead of racing microsecond-fast estimates.
@@ -115,6 +200,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         .and_then(|v| v.parse::<u64>().ok())
     {
         cfg.debug_estimate_delay = Some(std::time::Duration::from_millis(ms));
+    }
+    // Companion hook: the delay only applies while uptime is under this
+    // window, so an injected degradation clears by itself (the SLO e2e's
+    // hysteresis-recovery half).
+    if let Some(s) = std::env::var("MNC_SERVED_DEBUG_DELAY_FOR_S")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        cfg.debug_delay_for = Some(std::time::Duration::from_secs(s));
     }
     Ok(Args {
         addr,

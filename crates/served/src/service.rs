@@ -28,7 +28,10 @@ use mnc_estimators::{MncEstimator, SparsityEstimator, Synopsis};
 use mnc_expr::{SessionPool, SessionPoolConfig};
 use mnc_kernels::WorkerPool;
 use mnc_obs::RequestContext;
-use mnc_obsd::{telemetry_response, Handler, ObsDaemon, ObsdConfig, Request, Response};
+use mnc_obsd::{
+    telemetry_response, Handler, ObsDaemon, ObsdConfig, Request, Response, SloConfig,
+    TimelineConfig,
+};
 
 use crate::catalog::{validate_name, SynopsisCatalog};
 use crate::error::ServiceError;
@@ -76,6 +79,27 @@ pub struct ServedConfig {
     /// Test hook: hold each admitted estimate's compute slot for this long
     /// before working, making saturation deterministic to provoke.
     pub debug_estimate_delay: Option<Duration>,
+    /// Test hook: apply `debug_estimate_delay` only while service uptime is
+    /// under this window — the CI SLO e2e injects a degradation that then
+    /// clears by itself, exercising hysteresis recovery.
+    pub debug_delay_for: Option<Duration>,
+    /// Timeline-plane frames retained per resolution; `0` disables the
+    /// plane (and the SLO engine riding it).
+    pub timeline_capacity: usize,
+    /// Availability SLO target in `(0, 1)`; `0.0` disables the objective.
+    pub slo_availability: f64,
+    /// p99 latency SLO ceiling for `/v1/estimate` service time, in
+    /// milliseconds; `0` disables the objective.
+    pub slo_latency_ms: u64,
+    /// SLO fast alert window, seconds.
+    pub slo_fast_window_s: u64,
+    /// SLO slow alert window, seconds.
+    pub slo_slow_window_s: u64,
+    /// Size-based access-log rotation threshold in bytes; `0` disables
+    /// rotation (the log grows unbounded, pre-rotation behavior).
+    pub access_log_max_bytes: u64,
+    /// Rotated access-log files kept (`path.1` .. `path.N`).
+    pub access_log_keep: usize,
 }
 
 impl ServedConfig {
@@ -96,6 +120,14 @@ impl ServedConfig {
             shadow_rate: 0.0,
             retain_csr: false,
             debug_estimate_delay: None,
+            debug_delay_for: None,
+            timeline_capacity: 360,
+            slo_availability: 0.999,
+            slo_latency_ms: 0,
+            slo_fast_window_s: 60,
+            slo_slow_window_s: 300,
+            access_log_max_bytes: 0,
+            access_log_keep: 3,
         }
     }
 }
@@ -122,6 +154,7 @@ pub struct EstimationService {
     counters: Counters,
     started: Instant,
     delay: Option<Duration>,
+    delay_for: Option<Duration>,
 }
 
 impl EstimationService {
@@ -130,6 +163,18 @@ impl EstimationService {
         let catalog = SynopsisCatalog::open(&cfg.catalog_dir)?;
         let daemon = ObsDaemon::new(ObsdConfig {
             flight_capacity: cfg.flight_capacity,
+            timeline: TimelineConfig {
+                enabled: cfg.timeline_capacity > 0,
+                capacity: cfg.timeline_capacity.max(1),
+                slo: SloConfig {
+                    availability_target: cfg.slo_availability,
+                    latency_p99_ms: cfg.slo_latency_ms,
+                    fast_window_s: cfg.slo_fast_window_s.max(1),
+                    slow_window_s: cfg.slo_slow_window_s.max(cfg.slo_fast_window_s).max(1),
+                    ..SloConfig::default()
+                },
+                ..TimelineConfig::default()
+            },
             ..ObsdConfig::default()
         });
         let trace = TracePlane::new(&cfg, &daemon)?;
@@ -150,6 +195,7 @@ impl EstimationService {
             counters: Counters::default(),
             started: Instant::now(),
             delay: cfg.debug_estimate_delay,
+            delay_for: cfg.debug_delay_for,
         }))
     }
 
@@ -178,7 +224,7 @@ impl EstimationService {
         // Health plane first: these paths predate /v1 and stay unversioned
         // so existing telemetry scrapers keep working.
         if req.method == "GET" {
-            if let Some(resp) = telemetry_response(&self.daemon, &req.path) {
+            if let Some(resp) = telemetry_response(&self.daemon, req) {
                 return Ok(resp);
             }
         }
@@ -224,15 +270,23 @@ impl EstimationService {
             let pool = self.sessions.lock().expect("sessions poisoned");
             (pool.len(), pool.stats())
         };
+        let tl = self.daemon.timeline();
+        let tstats = tl.stats();
         let body = format!(
-            "{{\"uptime_secs\":{},\"requests\":{},\"estimates\":{},\"rejected\":{},\
+            "{{\"uptime_secs\":{},\"uptime_s\":{},\"requests\":{},\"estimates\":{},\
+             \"rejected\":{},\
              \"errors\":{},\"matrices\":{},\"rebuilds\":{},\"quarantined\":{},\
              \"workers\":{},\"threads\":{},\"queue\":{},\"active\":{},\
              \"sessions\":{{\"active\":{},\"created\":{},\"evicted_idle\":{},\
              \"evicted_lru\":{}}},\
              \"tracing\":{{\"enabled\":{},\"captured\":{},\"retry_after_secs\":{}}},\
              \"shadow\":{{\"enabled\":{},\"sampled\":{},\"completed\":{},\
-             \"dropped\":{},\"queue_depth\":{},\"sidecars\":{}}}}}",
+             \"dropped\":{},\"queue_depth\":{},\"sidecars\":{}}},\
+             \"timeline\":{{\"enabled\":{},\"capacity\":{},\"series\":{},\
+             \"dropped_series\":{},\"samples\":{},\"contended_samples\":{},\
+             \"frames\":{{\"1s\":{},\"10s\":{},\"60s\":{}}}}},\
+             \"slo\":{}}}",
+            self.started.elapsed().as_secs(),
             self.started.elapsed().as_secs(),
             self.counters.requests.load(Ordering::Relaxed),
             self.counters.estimates.load(Ordering::Relaxed),
@@ -258,6 +312,16 @@ impl EstimationService {
             self.shadow.dropped(),
             self.shadow.queue_depth(),
             sidecars,
+            tstats.enabled,
+            tstats.capacity,
+            tstats.series,
+            tstats.dropped_series,
+            tstats.samples,
+            tstats.contended_samples,
+            tstats.frames[0],
+            tstats.frames[1],
+            tstats.frames[2],
+            tl.slo_json(),
         );
         Response::json(200, body)
     }
@@ -379,8 +443,12 @@ impl EstimationService {
         let permit = self.admit()?;
         ctx.set_queue_wait(permit.queue_wait_ns());
         if let Some(delay) = self.delay {
-            t = ctx.transition(t, "debug_delay");
-            std::thread::sleep(delay);
+            // A delay window (debug_delay_for) makes the injected
+            // degradation clear by itself — the SLO e2e's recovery half.
+            if self.delay_for.is_none_or(|w| self.started.elapsed() < w) {
+                t = ctx.transition(t, "debug_delay");
+                std::thread::sleep(delay);
+            }
         }
 
         // Fresh estimator per request: propagation consumes its RNG, and a

@@ -222,6 +222,101 @@ impl CapturedRequest {
 }
 
 // ---------------------------------------------------------------------------
+// Rotating access log
+// ---------------------------------------------------------------------------
+
+/// A size-rotated JSONL sink: the live file at `path`, rotated generations
+/// at `path.1` (newest) .. `path.keep` (oldest). Rotation happens strictly
+/// *between* lines — a line is always written whole to exactly one file
+/// before sizes are re-checked — so no rotation can ever split or lose a
+/// partially-written line. `max_bytes = 0` disables rotation (the
+/// pre-rotation unbounded behavior).
+pub struct RotatingLog {
+    path: std::path::PathBuf,
+    max_bytes: u64,
+    keep: usize,
+    state: Mutex<RotatingState>,
+}
+
+struct RotatingState {
+    file: std::fs::File,
+    /// Bytes in the live file (seeded from its on-disk size, so an
+    /// append-reopened log rotates on schedule).
+    written: u64,
+    rotations: u64,
+}
+
+impl RotatingLog {
+    /// Opens (appending) the live file at `path`.
+    pub fn open(
+        path: impl Into<std::path::PathBuf>,
+        max_bytes: u64,
+        keep: usize,
+    ) -> std::io::Result<RotatingLog> {
+        let path = path.into();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let written = file.metadata().map(|m| m.len()).unwrap_or(0);
+        Ok(RotatingLog {
+            path,
+            max_bytes,
+            keep: keep.max(1),
+            state: Mutex::new(RotatingState {
+                file,
+                written,
+                rotations: 0,
+            }),
+        })
+    }
+
+    /// Appends one line (newline added here), rotating first when the line
+    /// would push a non-empty live file past `max_bytes`. A single line
+    /// larger than the threshold still lands whole in its own fresh file.
+    pub fn write_line(&self, line: &str) -> std::io::Result<()> {
+        let mut st = self.state.lock().expect("access log poisoned");
+        let incoming = line.len() as u64 + 1;
+        if self.max_bytes > 0 && st.written > 0 && st.written + incoming > self.max_bytes {
+            self.rotate(&mut st)?;
+        }
+        st.file.write_all(line.as_bytes())?;
+        st.file.write_all(b"\n")?;
+        st.file.flush()?;
+        st.written += incoming;
+        Ok(())
+    }
+
+    /// Shifts `path.k → path.k+1` (dropping the oldest), renames the live
+    /// file to `path.1`, and reopens a fresh live file.
+    fn rotate(&self, st: &mut RotatingState) -> std::io::Result<()> {
+        st.file.flush()?;
+        let gen = |k: usize| {
+            let mut p = self.path.clone().into_os_string();
+            p.push(format!(".{k}"));
+            std::path::PathBuf::from(p)
+        };
+        let _ = std::fs::remove_file(gen(self.keep));
+        for k in (1..self.keep).rev() {
+            let from = gen(k);
+            if from.exists() {
+                let _ = std::fs::rename(&from, gen(k + 1));
+            }
+        }
+        std::fs::rename(&self.path, gen(1))?;
+        st.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        st.written = 0;
+        st.rotations += 1;
+        Ok(())
+    }
+
+    /// Rotations performed since open.
+    pub fn rotations(&self) -> u64 {
+        self.state.lock().expect("access log poisoned").rotations
+    }
+}
+
+// ---------------------------------------------------------------------------
 // TracePlane
 // ---------------------------------------------------------------------------
 
@@ -241,7 +336,7 @@ pub struct TracePlane {
     pool: Mutex<Vec<RequestContext>>,
     captured: Mutex<VecDeque<CapturedRequest>>,
     capture_capacity: usize,
-    access_log: Option<Mutex<std::fs::File>>,
+    access_log: Option<RotatingLog>,
     /// Span-ID allocator for captured trees (plane-level, distinct from any
     /// recorder's own IDs).
     span_ids: AtomicU64,
@@ -266,18 +361,16 @@ impl TracePlane {
             Recorder::disabled()
         };
         let access_log = match (&cfg.access_log, enabled) {
-            (Some(path), true) => Some(Mutex::new(
-                OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .open(path)
-                    .map_err(|e| {
+            (Some(path), true) => Some(
+                RotatingLog::open(path, cfg.access_log_max_bytes, cfg.access_log_keep).map_err(
+                    |e| {
                         ServiceError::Degraded(format!(
                             "access log {}: {e}",
                             path.to_string_lossy()
                         ))
-                    })?,
-            )),
+                    },
+                )?,
+            ),
             _ => None,
         };
         Ok(TracePlane {
@@ -400,9 +493,7 @@ impl TracePlane {
             spans,
         };
         if let Some(log) = &self.access_log {
-            let mut f = log.lock().expect("access log poisoned");
-            let _ = writeln!(f, "{}", cap.to_json());
-            let _ = f.flush();
+            let _ = log.write_line(&cap.to_json());
         }
         let mut ring = self.captured.lock().expect("capture ring poisoned");
         if ring.len() >= self.capture_capacity {
@@ -538,6 +629,94 @@ mod tests {
         assert_eq!(status_index(200), 0);
         assert_eq!(status_index(503), 10);
         assert_eq!(status_index(418), 11);
+    }
+
+    #[test]
+    fn rotation_never_loses_or_splits_a_line() {
+        let dir = std::env::temp_dir().join(format!("mnc-rotlog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("access.jsonl");
+        // ~3 lines of 40 bytes per 128-byte generation; keep enough
+        // generations that nothing ages out during the test.
+        let log = RotatingLog::open(&path, 128, 50).unwrap();
+        let n = 100usize;
+        for i in 0..n {
+            log.write_line(&format!("{{\"seq\":{i},\"pad\":\"0123456789abcdef\"}}"))
+                .unwrap();
+        }
+        assert!(log.rotations() > 10, "rotation never kicked in");
+
+        // Collect every retained line: live file + all generations.
+        let mut lines = Vec::new();
+        let mut read = |p: &std::path::Path| {
+            if let Ok(body) = std::fs::read_to_string(p) {
+                assert!(
+                    body.is_empty() || body.ends_with('\n'),
+                    "partial trailing line in {p:?}: {body:?}"
+                );
+                lines.extend(body.lines().map(str::to_string));
+            }
+        };
+        read(&path);
+        for k in 1..=50 {
+            read(&dir.join(format!("access.jsonl.{k}")));
+        }
+        // Every written line survives, whole: parseable with its sequence
+        // number, each exactly once.
+        assert_eq!(lines.len(), n, "lines lost or duplicated by rotation");
+        let mut seqs: Vec<u64> = lines
+            .iter()
+            .map(|l| {
+                let v = mnc_obs::json::parse(l).unwrap_or_else(|e| panic!("split line {l:?}: {e}"));
+                v.get("seq").and_then(|s| s.as_f64()).unwrap() as u64
+            })
+            .collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..n as u64).collect::<Vec<_>>());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_drops_only_the_oldest_generation() {
+        let dir = std::env::temp_dir().join(format!("mnc-rotlog-keep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.jsonl");
+        let log = RotatingLog::open(&path, 16, 2).unwrap();
+        for i in 0..10 {
+            log.write_line(&format!("{{\"i\":{i}}}")).unwrap();
+        }
+        // keep=2: exactly the live file plus two generations exist.
+        assert!(path.exists());
+        assert!(dir.join("a.jsonl.1").exists());
+        assert!(dir.join("a.jsonl.2").exists());
+        assert!(!dir.join("a.jsonl.3").exists());
+        // Newest generation holds strictly newer lines than the older one.
+        let g1 = std::fs::read_to_string(dir.join("a.jsonl.1")).unwrap();
+        let g2 = std::fs::read_to_string(dir.join("a.jsonl.2")).unwrap();
+        let last = |s: &str| {
+            s.lines()
+                .last()
+                .and_then(|l| mnc_obs::json::parse(l).ok())
+                .and_then(|v| v.get("i").and_then(|i| i.as_f64()))
+                .unwrap() as u64
+        };
+        assert!(last(&g1) > last(&g2), "generation order inverted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unbounded_log_never_rotates() {
+        let dir = std::env::temp_dir().join(format!("mnc-rotlog-unb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("u.jsonl");
+        let log = RotatingLog::open(&path, 0, 3).unwrap();
+        for i in 0..50 {
+            log.write_line(&format!("{{\"i\":{i}}}")).unwrap();
+        }
+        assert_eq!(log.rotations(), 0);
+        assert!(!dir.join("u.jsonl.1").exists());
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 50);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
